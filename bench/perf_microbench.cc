@@ -1,0 +1,192 @@
+// Performance microbenchmarks (google-benchmark) for the PrivateClean
+// building blocks: mechanism throughput, provenance graph construction
+// and cuts, estimator latency, aggregate scans, and CSV I/O. These back
+// the complexity claims of §6.4/§7.3 (linear-space graphs, O(l') cuts)
+// and the typed-column design decision in DESIGN.md.
+
+#include <benchmark/benchmark.h>
+
+#include "bench/harness.h"
+#include "cleaning/merge.h"
+#include "common/edit_distance.h"
+#include "datagen/synthetic.h"
+#include "privacy/laplace_mechanism.h"
+#include "privacy/randomized_response.h"
+#include "provenance/provenance_graph.h"
+#include "table/csv.h"
+
+namespace privateclean {
+namespace {
+
+Table MakeData(size_t rows, size_t distinct) {
+  SyntheticOptions options;
+  options.num_rows = rows;
+  options.num_distinct = distinct;
+  Rng rng(1);
+  return *GenerateSynthetic(options, rng);
+}
+
+void BM_RandomizedResponse(benchmark::State& state) {
+  size_t rows = static_cast<size_t>(state.range(0));
+  Table data = MakeData(rows, 50);
+  Domain domain = *Domain::FromColumn(data, "category");
+  Rng rng(2);
+  for (auto _ : state) {
+    state.PauseTiming();
+    Column col = *data.ColumnByName("category").ValueOrDie();
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(
+        ApplyRandomizedResponse(&col, domain, 0.1, rng).ok());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(rows));
+}
+BENCHMARK(BM_RandomizedResponse)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_LaplaceMechanism(benchmark::State& state) {
+  size_t rows = static_cast<size_t>(state.range(0));
+  Table data = MakeData(rows, 50);
+  Rng rng(3);
+  for (auto _ : state) {
+    state.PauseTiming();
+    Column col = *data.ColumnByName("value").ValueOrDie();
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(ApplyLaplaceMechanism(&col, 10.0, rng).ok());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(rows));
+}
+BENCHMARK(BM_LaplaceMechanism)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_GrrEndToEnd(benchmark::State& state) {
+  size_t rows = static_cast<size_t>(state.range(0));
+  Table data = MakeData(rows, 50);
+  Rng rng(4);
+  for (auto _ : state) {
+    auto out = ApplyGrr(data, GrrParams::Uniform(0.1, 10.0), GrrOptions{},
+                        rng);
+    benchmark::DoNotOptimize(out.ok());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(rows));
+}
+BENCHMARK(BM_GrrEndToEnd)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_ProvenanceGraphBuild(benchmark::State& state) {
+  size_t rows = static_cast<size_t>(state.range(0));
+  Table data = MakeData(rows, 200);
+  Table cleaned = data.Clone();
+  // Merge half the domain pairwise so the graph has real structure.
+  std::unordered_map<Value, Value, ValueHash> merges;
+  for (size_t k = 0; k + 1 < 200; k += 2) {
+    merges.emplace(SyntheticCategory(k + 1), SyntheticCategory(k));
+  }
+  (void)FindReplace("category", merges).Apply(&cleaned);
+  const Column& dirty = *data.ColumnByName("category").ValueOrDie();
+  const Column& clean = *cleaned.ColumnByName("category").ValueOrDie();
+  Domain domain = *Domain::FromColumn(data, "category");
+  for (auto _ : state) {
+    auto graph = ProvenanceGraph::Build(dirty, clean, domain);
+    benchmark::DoNotOptimize(graph.ok());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(rows));
+}
+BENCHMARK(BM_ProvenanceGraphBuild)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_ProvenanceCut(benchmark::State& state) {
+  // O(l') cut claim: vary the number of predicate values on a fixed
+  // graph.
+  size_t pred_size = static_cast<size_t>(state.range(0));
+  Table data = MakeData(20000, 500);
+  const Column& col = *data.ColumnByName("category").ValueOrDie();
+  Domain domain = *Domain::FromColumn(data, "category");
+  ProvenanceGraph graph = *ProvenanceGraph::Build(col, col, domain);
+  std::vector<Value> pred_values;
+  for (size_t k = 0; k < pred_size && k < domain.size(); ++k) {
+    pred_values.push_back(domain.value(k));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(graph.WeightedSelectivity(pred_values));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(pred_size));
+}
+BENCHMARK(BM_ProvenanceCut)->Arg(1)->Arg(10)->Arg(100)->Arg(400);
+
+void BM_AggregateScan(benchmark::State& state) {
+  size_t rows = static_cast<size_t>(state.range(0));
+  Table data = MakeData(rows, 50);
+  Predicate pred = Predicate::In(
+      "category", {SyntheticCategory(0), SyntheticCategory(1),
+                   SyntheticCategory(2)});
+  for (auto _ : state) {
+    auto stats = ScanWithPredicate(data, pred, "value");
+    benchmark::DoNotOptimize(stats.ok());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(rows));
+}
+BENCHMARK(BM_AggregateScan)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_EndToEndQuery(benchmark::State& state) {
+  // Full PrivateClean query: provenance rebuild + scan + estimate.
+  Table data = MakeData(static_cast<size_t>(state.range(0)), 50);
+  Rng rng(5);
+  PrivateTable pt = *PrivateTable::Create(
+      data, GrrParams::Uniform(0.1, 10.0), GrrOptions{}, rng);
+  Predicate pred = Predicate::In(
+      "category", {SyntheticCategory(0), SyntheticCategory(1)});
+  for (auto _ : state) {
+    auto r = pt.Count(pred);
+    benchmark::DoNotOptimize(r.ok());
+  }
+}
+BENCHMARK(BM_EndToEndQuery)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_CsvWriteRead(benchmark::State& state) {
+  Table data = MakeData(static_cast<size_t>(state.range(0)), 50);
+  for (auto _ : state) {
+    std::string csv = TableToCsv(data);
+    auto parsed = CsvToTable(csv, data.schema());
+    benchmark::DoNotOptimize(parsed.ok());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_CsvWriteRead)->Arg(1000)->Arg(10000);
+
+void BM_EditDistance(benchmark::State& state) {
+  std::string a(static_cast<size_t>(state.range(0)), 'a');
+  std::string b = a;
+  b[b.size() / 2] = 'x';
+  b.push_back('y');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(EditDistance(a, b));
+  }
+}
+BENCHMARK(BM_EditDistance)->Arg(8)->Arg(32)->Arg(128);
+
+}  // namespace
+}  // namespace privateclean
+
+/// Custom main: default to short measurement windows so the full bench
+/// sweep stays fast; pass --benchmark_min_time explicitly to override.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  bool has_min_time = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]).rfind("--benchmark_min_time", 0) == 0) {
+      has_min_time = true;
+    }
+  }
+  static char min_time_flag[] = "--benchmark_min_time=0.05";
+  if (!has_min_time) args.push_back(min_time_flag);
+  int adjusted_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&adjusted_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(adjusted_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,121 @@
+// Sensor-network log analysis on a private relation (the paper's
+// IntelWireless scenario, §8.4). Sensor ids identify physical locations
+// and must stay private; the logs contain failure episodes with spurious
+// or missing ids and garbage readings. The analyst merges the spurious
+// ids to NULL on the *private* relation and queries the healthy rows.
+// Demonstrates:
+//   * epsilon-matched privacy across discrete and numerical attributes,
+//   * the Theorem 2 size bound and domain-preservation regeneration,
+//   * MergeToNull cleaning with IS NOT NULL predicates,
+//   * the paper's counter-intuitive result that the cleaned private
+//     relation can beat the dirty original.
+
+#include <cmath>
+#include <cstdio>
+
+#include "core/privateclean.h"
+#include "datagen/intel_wireless.h"
+
+using namespace privateclean;
+
+int main() {
+  Rng rng(2016);
+  IntelWirelessOptions options;
+  options.num_rows = 20000;
+  IntelWirelessData data = *GenerateIntelWireless(options, rng);
+  std::printf("Sensor log: %zu rows from %zu sensors (%.1f%% failures)\n",
+              data.dirty.num_rows(), options.num_sensors,
+              options.failure_rate * 100.0);
+
+  // --- Provider: check the Theorem 2 bound, then privatize --------------
+  const double p = 0.2;
+  Domain id_domain = *Domain::FromColumn(data.dirty, "sensor_id");
+  size_t min_size =
+      *MinDatasetSizeForDomainPreservation(id_domain.size(), p, 0.05);
+  std::printf("Theorem 2: need >= %zu rows for 95%% domain preservation "
+              "(have %zu, N=%zu) -> expected regenerations %.3f\n",
+              min_size, data.dirty.num_rows(), id_domain.size(),
+              *ExpectedRegenerations(id_domain.size(), p,
+                                     data.dirty.num_rows()));
+
+  // epsilon-matched Laplace scales: every numerical attribute carries the
+  // same epsilon as the id attribute.
+  double eps = *EpsilonForRandomizedResponse(p);
+  GrrParams params;
+  params.default_p = p;
+  for (const char* attr : {"temp", "humidity", "light"}) {
+    double delta =
+        *ColumnSensitivity(**data.dirty.ColumnByName(attr));
+    params.numeric_b[attr] = *LaplaceScaleForEpsilon(delta, eps);
+  }
+  auto private_table =
+      PrivateTable::Create(data.dirty, params, GrrOptions{}, rng);
+  if (!private_table.ok()) {
+    std::fprintf(stderr, "privatize: %s\n",
+                 private_table.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Released private log with total epsilon %.3f "
+              "(4 attributes x %.3f)\n\n",
+              private_table->PrivacyAccounting()->total_epsilon, eps);
+
+  // --- Analyst: merge spurious ids to NULL, then query ------------------
+  Status st = private_table->Clean(
+      MergeToNull("sensor_id", data.is_spurious));
+  if (!st.ok()) {
+    std::fprintf(stderr, "clean: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  Predicate healthy = Predicate::IsNotNull("sensor_id");
+  auto count = private_table->Count(healthy);
+  auto avg_temp = private_table->Avg("temp", healthy);
+
+  double truth_count =
+      *ExecuteAggregate(data.clean, AggregateQuery::Count(healthy));
+  double truth_avg =
+      *ExecuteAggregate(data.clean, AggregateQuery::Avg("temp", healthy));
+  double dirty_avg =
+      *ExecuteAggregate(data.dirty, AggregateQuery::Avg("temp", healthy));
+
+  std::printf("count(*) WHERE sensor_id IS NOT NULL\n");
+  std::printf("  true                   : %.0f\n", truth_count);
+  if (count.ok()) {
+    std::printf("  PrivateClean (cleaned) : %.1f   95%% CI [%.1f, %.1f]\n",
+                count->estimate, count->ci.lo, count->ci.hi);
+  }
+  std::printf("\navg(temp) WHERE sensor_id IS NOT NULL\n");
+  std::printf("  true                   : %.3f\n", truth_avg);
+  if (avg_temp.ok()) {
+    std::printf("  PrivateClean (cleaned) : %.3f   95%% CI [%.3f, %.3f]\n",
+                avg_temp->estimate, avg_temp->ci.lo, avg_temp->ci.hi);
+  }
+  std::printf("  dirty original, no priv: %.3f (error %.2f%%)\n",
+              dirty_avg,
+              100.0 * std::abs(dirty_avg - truth_avg) /
+                  std::abs(truth_avg));
+  if (avg_temp.ok()) {
+    double pc_err = 100.0 * std::abs(avg_temp->estimate - truth_avg) /
+                    std::abs(truth_avg);
+    std::printf("\n%s\n",
+                pc_err < 100.0 * std::abs(dirty_avg - truth_avg) /
+                             std::abs(truth_avg)
+                    ? "-> cleaning + privacy beat the dirty raw data "
+                      "(privacy adds error, cleaning removes more)."
+                    : "-> at this privacy level the dirty raw data was "
+                      "still closer.");
+  }
+
+  // Per-sensor drill-down for one healthy sensor.
+  Predicate s1 = Predicate::Equals("sensor_id", "s1");
+  auto s1_count = private_table->Count(s1);
+  if (s1_count.ok()) {
+    double s1_truth =
+        *ExecuteAggregate(data.clean, AggregateQuery::Count(s1));
+    std::printf("\nSensor s1 rows: true %.0f, estimated %.1f "
+                "[%.1f, %.1f]\n",
+                s1_truth, s1_count->estimate, s1_count->ci.lo,
+                s1_count->ci.hi);
+  }
+  return 0;
+}

@@ -1,0 +1,29 @@
+#include "cleaning/cleaner.h"
+
+namespace privateclean {
+
+const char* CleanerKindToString(CleanerKind kind) {
+  switch (kind) {
+    case CleanerKind::kExtract:
+      return "extract";
+    case CleanerKind::kTransform:
+      return "transform";
+    case CleanerKind::kMerge:
+      return "merge";
+  }
+  return "unknown";
+}
+
+Status ValidateDiscreteAttribute(const Table& table,
+                                 const std::string& attribute) {
+  PCLEAN_ASSIGN_OR_RETURN(Field field,
+                          table.schema().FieldByName(attribute));
+  if (field.kind != AttributeKind::kDiscrete) {
+    return Status::InvalidArgument(
+        "cleaning operations are restricted to discrete attributes; '" +
+        attribute + "' is numerical");
+  }
+  return Status::OK();
+}
+
+}  // namespace privateclean

@@ -1,0 +1,127 @@
+#include "cleaning/constraints.h"
+
+#include <algorithm>
+#include <map>
+
+#include "cleaning/cleaner.h"
+#include "common/edit_distance.h"
+#include "table/domain.h"
+
+namespace privateclean {
+
+std::string FunctionalDependency::ToString() const {
+  std::string out = "[";
+  for (size_t i = 0; i < lhs.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += lhs[i];
+  }
+  out += "] -> [" + rhs + "]";
+  return out;
+}
+
+std::string MatchingDependency::ToString() const {
+  return "MD([" + attribute + "] ~ [" + attribute +
+         "], edit distance <= " + std::to_string(max_edit_distance) + ")";
+}
+
+Result<std::vector<FdViolation>> FindFdViolations(
+    const Table& table, const FunctionalDependency& fd) {
+  if (fd.lhs.empty()) {
+    return Status::InvalidArgument("FD left-hand side must be non-empty");
+  }
+  std::vector<const Column*> lhs_cols;
+  for (const std::string& attr : fd.lhs) {
+    PCLEAN_RETURN_NOT_OK(ValidateDiscreteAttribute(table, attr));
+    PCLEAN_ASSIGN_OR_RETURN(const Column* col, table.ColumnByName(attr));
+    lhs_cols.push_back(col);
+  }
+  PCLEAN_RETURN_NOT_OK(ValidateDiscreteAttribute(table, fd.rhs));
+  PCLEAN_ASSIGN_OR_RETURN(const Column* rhs_col,
+                          table.ColumnByName(fd.rhs));
+
+  // Group rows by lhs tuple; count rhs values within each group.
+  std::map<std::vector<Value>, std::map<Value, size_t>> groups;
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    std::vector<Value> key;
+    key.reserve(lhs_cols.size());
+    for (const Column* col : lhs_cols) key.push_back(col->ValueAt(r));
+    groups[std::move(key)][rhs_col->ValueAt(r)]++;
+  }
+
+  std::vector<FdViolation> violations;
+  for (auto& [key, rhs_counts] : groups) {
+    if (rhs_counts.size() < 2) continue;
+    FdViolation v;
+    v.lhs_tuple = key;
+    for (const auto& [value, count] : rhs_counts) {
+      v.rhs_values.emplace_back(value, count);
+    }
+    violations.push_back(std::move(v));
+  }
+  return violations;
+}
+
+Result<bool> SatisfiesFd(const Table& table,
+                         const FunctionalDependency& fd) {
+  PCLEAN_ASSIGN_OR_RETURN(auto violations, FindFdViolations(table, fd));
+  return violations.empty();
+}
+
+Result<std::vector<MdCluster>> FindMdClusters(const Table& table,
+                                              const MatchingDependency& md) {
+  PCLEAN_RETURN_NOT_OK(ValidateDiscreteAttribute(table, md.attribute));
+  PCLEAN_ASSIGN_OR_RETURN(Field field,
+                          table.schema().FieldByName(md.attribute));
+  if (field.type != ValueType::kString) {
+    return Status::InvalidArgument(
+        "matching dependencies require a string attribute");
+  }
+  PCLEAN_ASSIGN_OR_RETURN(
+      Domain domain,
+      Domain::FromColumn(table, md.attribute, /*include_null=*/false));
+
+  // Order values by frequency descending, ties broken by value, so the
+  // clustering is deterministic and canonicals are the most common
+  // spellings.
+  std::vector<size_t> order(domain.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    if (domain.frequency(a) != domain.frequency(b)) {
+      return domain.frequency(a) > domain.frequency(b);
+    }
+    return domain.value(a) < domain.value(b);
+  });
+
+  std::vector<size_t> canonical_indices;
+  std::map<size_t, std::vector<size_t>> members;  // canonical -> members
+  for (size_t idx : order) {
+    const std::string& s = domain.value(idx).AsString();
+    bool assigned = false;
+    for (size_t c : canonical_indices) {
+      const std::string& canon = domain.value(c).AsString();
+      if (BoundedEditDistance(s, canon, md.max_edit_distance) <=
+          md.max_edit_distance) {
+        members[c].push_back(idx);
+        assigned = true;
+        break;
+      }
+    }
+    if (!assigned) {
+      canonical_indices.push_back(idx);
+      members[idx];  // Ensure the cluster exists even if it stays unary.
+    }
+  }
+
+  std::vector<MdCluster> clusters;
+  for (size_t c : canonical_indices) {
+    const auto& m = members[c];
+    if (m.empty()) continue;
+    MdCluster cluster;
+    cluster.canonical = domain.value(c);
+    for (size_t idx : m) cluster.members.push_back(domain.value(idx));
+    clusters.push_back(std::move(cluster));
+  }
+  return clusters;
+}
+
+}  // namespace privateclean

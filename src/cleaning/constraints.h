@@ -1,0 +1,64 @@
+#ifndef PRIVATECLEAN_CLEANING_CONSTRAINTS_H_
+#define PRIVATECLEAN_CLEANING_CONSTRAINTS_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "table/table.h"
+
+namespace privateclean {
+
+/// Functional dependency X → y over discrete attributes: rows agreeing on
+/// all of `lhs` must agree on `rhs` (paper Example 2 and the TPC-DS
+/// constraint (ca_city, ca_county) → ca_state).
+struct FunctionalDependency {
+  std::vector<std::string> lhs;
+  std::string rhs;
+
+  std::string ToString() const;
+};
+
+/// One violating group of a functional dependency: a left-hand-side tuple
+/// mapped to more than one right-hand-side value.
+struct FdViolation {
+  std::vector<Value> lhs_tuple;
+  /// Distinct conflicting rhs values with their row counts.
+  std::vector<std::pair<Value, size_t>> rhs_values;
+};
+
+/// Finds all violating groups of `fd` in `table`.
+Result<std::vector<FdViolation>> FindFdViolations(
+    const Table& table, const FunctionalDependency& fd);
+
+/// True iff the relation satisfies the dependency.
+Result<bool> SatisfiesFd(const Table& table, const FunctionalDependency& fd);
+
+/// Matching dependency on one discrete string attribute: values within
+/// `max_edit_distance` of each other should denote the same real-world
+/// entity (the paper's MD([ca_country] ≈ [ca_country]) with edit
+/// distance).
+struct MatchingDependency {
+  std::string attribute;
+  size_t max_edit_distance = 1;
+
+  std::string ToString() const;
+};
+
+/// One cluster of values considered equal under the matching dependency,
+/// with the canonical (highest-frequency) representative first.
+struct MdCluster {
+  Value canonical;
+  std::vector<Value> members;  ///< Non-canonical members.
+};
+
+/// Clusters a column's values under `md` (greedy frequency-descending
+/// assignment, deterministic): each value joins the most frequent
+/// existing canonical within the distance bound, else founds its own
+/// cluster. Returns only clusters with at least one non-canonical member.
+Result<std::vector<MdCluster>> FindMdClusters(const Table& table,
+                                              const MatchingDependency& md);
+
+}  // namespace privateclean
+
+#endif  // PRIVATECLEAN_CLEANING_CONSTRAINTS_H_

@@ -1,0 +1,64 @@
+#include "cleaning/extract.h"
+
+#include <map>
+
+namespace privateclean {
+
+ExtractAttribute::ExtractAttribute(
+    std::string new_attribute, std::vector<std::string> projection,
+    std::function<Value(const std::vector<Value>&)> fn,
+    ValueType output_type, std::string provenance_anchor)
+    : new_attribute_(std::move(new_attribute)),
+      projection_(std::move(projection)),
+      fn_(std::move(fn)),
+      output_type_(output_type),
+      provenance_anchor_(std::move(provenance_anchor)) {}
+
+std::string ExtractAttribute::name() const {
+  return "extract(" + new_attribute_ + ")";
+}
+
+std::optional<ExtractedAttribute> ExtractAttribute::extracted_attribute()
+    const {
+  std::string anchor = provenance_anchor_;
+  if (anchor.empty() && !projection_.empty()) anchor = projection_[0];
+  return ExtractedAttribute{new_attribute_, anchor};
+}
+
+Status ExtractAttribute::Apply(Table* table) const {
+  if (table == nullptr) {
+    return Status::InvalidArgument("table must not be null");
+  }
+  if (projection_.empty()) {
+    return Status::InvalidArgument("projection must be non-empty");
+  }
+  if (table->schema().HasField(new_attribute_)) {
+    return Status::AlreadyExists("attribute '" + new_attribute_ +
+                                 "' already exists");
+  }
+  std::vector<const Column*> cols;
+  cols.reserve(projection_.size());
+  for (const std::string& attr : projection_) {
+    PCLEAN_RETURN_NOT_OK(ValidateDiscreteAttribute(*table, attr));
+    PCLEAN_ASSIGN_OR_RETURN(const Column* col, table->ColumnByName(attr));
+    cols.push_back(col);
+  }
+  PCLEAN_ASSIGN_OR_RETURN(Column out, Column::Make(output_type_));
+  out.Reserve(table->num_rows());
+  std::map<std::vector<Value>, Value> cache;
+  for (size_t r = 0; r < table->num_rows(); ++r) {
+    std::vector<Value> tuple;
+    tuple.reserve(cols.size());
+    for (const Column* col : cols) tuple.push_back(col->ValueAt(r));
+    auto it = cache.find(tuple);
+    if (it == cache.end()) {
+      Value v = fn_(tuple);
+      it = cache.emplace(std::move(tuple), std::move(v)).first;
+    }
+    PCLEAN_RETURN_NOT_OK(out.AppendValue(it->second));
+  }
+  return table->AddColumn(Field::Discrete(new_attribute_, output_type_),
+                          std::move(out));
+}
+
+}  // namespace privateclean

@@ -1,0 +1,46 @@
+#ifndef PRIVATECLEAN_CLEANING_EXTRACT_H_
+#define PRIVATECLEAN_CLEANING_EXTRACT_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "cleaning/cleaner.h"
+
+namespace privateclean {
+
+/// Extract cleaner: creates a new discrete attribute d_{m+1} from a
+/// projection of existing discrete attributes,
+/// d_{m+1} = C(v[g_i]) (paper §3.2.1, Extract).
+///
+/// The UDF is evaluated once per distinct projected tuple. The new
+/// attribute's provenance graph is anchored to one source attribute
+/// (default: the first of the projection); with a multi-attribute
+/// projection the anchored graph may fork, which the weighted cut
+/// handles (§7).
+class ExtractAttribute : public Cleaner {
+ public:
+  /// `output_type` is the physical type of the new discrete attribute
+  /// (string by default; int64 works for e.g. extracted codes).
+  ExtractAttribute(std::string new_attribute,
+                   std::vector<std::string> projection,
+                   std::function<Value(const std::vector<Value>&)> fn,
+                   ValueType output_type = ValueType::kString,
+                   std::string provenance_anchor = "");
+
+  Status Apply(Table* table) const override;
+  CleanerKind kind() const override { return CleanerKind::kExtract; }
+  std::string name() const override;
+  std::optional<ExtractedAttribute> extracted_attribute() const override;
+
+ private:
+  std::string new_attribute_;
+  std::vector<std::string> projection_;
+  std::function<Value(const std::vector<Value>&)> fn_;
+  ValueType output_type_;
+  std::string provenance_anchor_;
+};
+
+}  // namespace privateclean
+
+#endif  // PRIVATECLEAN_CLEANING_EXTRACT_H_

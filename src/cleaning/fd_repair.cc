@@ -1,0 +1,69 @@
+#include "cleaning/fd_repair.h"
+
+#include <map>
+
+namespace privateclean {
+
+FdRepair::FdRepair(FunctionalDependency fd) : fd_(std::move(fd)) {}
+
+std::string FdRepair::name() const { return "fd_repair(" + fd_.ToString() + ")"; }
+
+Status FdRepair::Apply(Table* table) const {
+  if (table == nullptr) {
+    return Status::InvalidArgument("table must not be null");
+  }
+  std::vector<const Column*> lhs_cols;
+  for (const std::string& attr : fd_.lhs) {
+    PCLEAN_RETURN_NOT_OK(ValidateDiscreteAttribute(*table, attr));
+    PCLEAN_ASSIGN_OR_RETURN(const Column* col, table->ColumnByName(attr));
+    lhs_cols.push_back(col);
+  }
+  PCLEAN_RETURN_NOT_OK(ValidateDiscreteAttribute(*table, fd_.rhs));
+
+  // Pass 1: count rhs values per lhs group.
+  std::map<std::vector<Value>, std::map<Value, size_t>> groups;
+  {
+    PCLEAN_ASSIGN_OR_RETURN(const Column* rhs_col,
+                            table->ColumnByName(fd_.rhs));
+    for (size_t r = 0; r < table->num_rows(); ++r) {
+      std::vector<Value> key;
+      key.reserve(lhs_cols.size());
+      for (const Column* col : lhs_cols) key.push_back(col->ValueAt(r));
+      groups[std::move(key)][rhs_col->ValueAt(r)]++;
+    }
+  }
+
+  // Choose the repair target per group: majority rhs value; ties broken
+  // by the std::map's value order, so the repair is deterministic.
+  std::map<std::vector<Value>, Value> repair_target;
+  for (const auto& [key, rhs_counts] : groups) {
+    if (rhs_counts.size() < 2) continue;  // Group already consistent.
+    const Value* best = nullptr;
+    size_t best_count = 0;
+    for (const auto& [value, count] : rhs_counts) {
+      if (count > best_count) {
+        best = &value;
+        best_count = count;
+      }
+    }
+    repair_target.emplace(key, *best);
+  }
+  if (repair_target.empty()) return Status::OK();
+
+  // Pass 2: rewrite violating rows.
+  PCLEAN_ASSIGN_OR_RETURN(Column * rhs_col,
+                          table->MutableColumnByName(fd_.rhs));
+  for (size_t r = 0; r < table->num_rows(); ++r) {
+    std::vector<Value> key;
+    key.reserve(lhs_cols.size());
+    for (const Column* col : lhs_cols) key.push_back(col->ValueAt(r));
+    auto it = repair_target.find(key);
+    if (it == repair_target.end()) continue;
+    if (rhs_col->ValueAt(r) != it->second) {
+      PCLEAN_RETURN_NOT_OK(rhs_col->SetValue(r, it->second));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace privateclean

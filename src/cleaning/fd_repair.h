@@ -1,0 +1,38 @@
+#ifndef PRIVATECLEAN_CLEANING_FD_REPAIR_H_
+#define PRIVATECLEAN_CLEANING_FD_REPAIR_H_
+
+#include "cleaning/cleaner.h"
+#include "cleaning/constraints.h"
+
+namespace privateclean {
+
+/// Functional-dependency repair cleaner (paper Example 2 and §8.3.4).
+///
+/// Implements a cost-based value-modification heuristic in the spirit of
+/// Bohannon et al. [6]: for each left-hand-side group violating the FD,
+/// all rows are updated to the group's majority right-hand-side value
+/// (minimum number of cell changes for that group; ties broken by value
+/// order for determinism). This is a Transform over the projection
+/// (lhs..., rhs) — deterministic per distinct projected tuple given the
+/// relation, which is what the provenance model requires.
+///
+/// Like all heuristic FD repairs it can be wrong when the corruption
+/// outvotes the truth in a group; the paper's Figure 8a exercises exactly
+/// this imperfect-cleaning regime.
+class FdRepair : public Cleaner {
+ public:
+  explicit FdRepair(FunctionalDependency fd);
+
+  Status Apply(Table* table) const override;
+  CleanerKind kind() const override { return CleanerKind::kTransform; }
+  std::string name() const override;
+
+  const FunctionalDependency& fd() const { return fd_; }
+
+ private:
+  FunctionalDependency fd_;
+};
+
+}  // namespace privateclean
+
+#endif  // PRIVATECLEAN_CLEANING_FD_REPAIR_H_

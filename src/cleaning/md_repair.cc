@@ -1,0 +1,29 @@
+#include "cleaning/md_repair.h"
+
+#include <unordered_map>
+
+#include "cleaning/merge.h"
+
+namespace privateclean {
+
+MdRepair::MdRepair(MatchingDependency md) : md_(std::move(md)) {}
+
+std::string MdRepair::name() const { return "md_repair(" + md_.ToString() + ")"; }
+
+Status MdRepair::Apply(Table* table) const {
+  if (table == nullptr) {
+    return Status::InvalidArgument("table must not be null");
+  }
+  PCLEAN_ASSIGN_OR_RETURN(auto clusters, FindMdClusters(*table, md_));
+  std::unordered_map<Value, Value, ValueHash> replacements;
+  for (const MdCluster& cluster : clusters) {
+    for (const Value& member : cluster.members) {
+      replacements.emplace(member, cluster.canonical);
+    }
+  }
+  if (replacements.empty()) return Status::OK();
+  FindReplace replace(md_.attribute, std::move(replacements));
+  return replace.Apply(table);
+}
+
+}  // namespace privateclean

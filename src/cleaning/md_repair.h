@@ -1,0 +1,32 @@
+#ifndef PRIVATECLEAN_CLEANING_MD_REPAIR_H_
+#define PRIVATECLEAN_CLEANING_MD_REPAIR_H_
+
+#include "cleaning/cleaner.h"
+#include "cleaning/constraints.h"
+
+namespace privateclean {
+
+/// Matching-dependency repair cleaner (paper §8.3.4, Figure 8b).
+///
+/// Clusters the attribute's distinct string values under the edit-
+/// distance bound (FindMdClusters) and merges every non-canonical member
+/// onto its cluster's canonical (highest-frequency) value. Unlike FD
+/// repair, the resolution is unique given the relation — the regime the
+/// paper notes has no imperfect-cleaning artifacts.
+class MdRepair : public Cleaner {
+ public:
+  explicit MdRepair(MatchingDependency md);
+
+  Status Apply(Table* table) const override;
+  CleanerKind kind() const override { return CleanerKind::kMerge; }
+  std::string name() const override;
+
+  const MatchingDependency& md() const { return md_; }
+
+ private:
+  MatchingDependency md_;
+};
+
+}  // namespace privateclean
+
+#endif  // PRIVATECLEAN_CLEANING_MD_REPAIR_H_

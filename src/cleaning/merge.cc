@@ -1,0 +1,102 @@
+#include "cleaning/merge.h"
+
+namespace privateclean {
+
+FindReplace::FindReplace(
+    std::string attribute,
+    std::unordered_map<Value, Value, ValueHash> replacements)
+    : attribute_(std::move(attribute)),
+      replacements_(std::move(replacements)) {}
+
+FindReplace FindReplace::Single(std::string attribute, Value from,
+                                Value to) {
+  std::unordered_map<Value, Value, ValueHash> map;
+  map.emplace(std::move(from), std::move(to));
+  return FindReplace(std::move(attribute), std::move(map));
+}
+
+std::string FindReplace::name() const {
+  return "find_replace(" + attribute_ + ", " +
+         std::to_string(replacements_.size()) + " rules)";
+}
+
+Status FindReplace::Apply(Table* table) const {
+  if (table == nullptr) {
+    return Status::InvalidArgument("table must not be null");
+  }
+  PCLEAN_RETURN_NOT_OK(ValidateDiscreteAttribute(*table, attribute_));
+  PCLEAN_ASSIGN_OR_RETURN(Column * col,
+                          table->MutableColumnByName(attribute_));
+  for (size_t r = 0; r < col->size(); ++r) {
+    auto it = replacements_.find(col->ValueAt(r));
+    if (it == replacements_.end()) continue;
+    PCLEAN_RETURN_NOT_OK(col->SetValue(r, it->second));
+  }
+  return Status::OK();
+}
+
+DomainMerge::DomainMerge(std::string attribute,
+                         std::function<Value(const Value&, const Domain&)> fn)
+    : attribute_(std::move(attribute)), fn_(std::move(fn)) {}
+
+std::string DomainMerge::name() const {
+  return "domain_merge(" + attribute_ + ")";
+}
+
+Status DomainMerge::Apply(Table* table) const {
+  if (table == nullptr) {
+    return Status::InvalidArgument("table must not be null");
+  }
+  PCLEAN_RETURN_NOT_OK(ValidateDiscreteAttribute(*table, attribute_));
+  PCLEAN_ASSIGN_OR_RETURN(
+      Domain domain,
+      Domain::FromColumn(*table, attribute_, /*include_null=*/true));
+  // One UDF evaluation per distinct value; the domain argument is the
+  // pre-merge domain for every evaluation (simultaneous semantics).
+  std::vector<Value> mapped;
+  mapped.reserve(domain.size());
+  for (size_t i = 0; i < domain.size(); ++i) {
+    mapped.push_back(fn_(domain.value(i), domain));
+  }
+  PCLEAN_ASSIGN_OR_RETURN(Column * col,
+                          table->MutableColumnByName(attribute_));
+  for (size_t r = 0; r < col->size(); ++r) {
+    size_t idx = domain.IndexOf(col->ValueAt(r)).ValueOrDie();
+    PCLEAN_RETURN_NOT_OK(col->SetValue(r, mapped[idx]));
+  }
+  return Status::OK();
+}
+
+MergeToNull::MergeToNull(std::string attribute,
+                         std::function<bool(const Value&)> is_spurious)
+    : attribute_(std::move(attribute)),
+      is_spurious_(std::move(is_spurious)) {}
+
+std::string MergeToNull::name() const {
+  return "merge_to_null(" + attribute_ + ")";
+}
+
+Status MergeToNull::Apply(Table* table) const {
+  if (table == nullptr) {
+    return Status::InvalidArgument("table must not be null");
+  }
+  PCLEAN_RETURN_NOT_OK(ValidateDiscreteAttribute(*table, attribute_));
+  PCLEAN_ASSIGN_OR_RETURN(
+      Domain domain,
+      Domain::FromColumn(*table, attribute_, /*include_null=*/true));
+  std::vector<uint8_t> spurious(domain.size());
+  for (size_t i = 0; i < domain.size(); ++i) {
+    spurious[i] = is_spurious_(domain.value(i)) ? 1 : 0;
+  }
+  PCLEAN_ASSIGN_OR_RETURN(Column * col,
+                          table->MutableColumnByName(attribute_));
+  for (size_t r = 0; r < col->size(); ++r) {
+    size_t idx = domain.IndexOf(col->ValueAt(r)).ValueOrDie();
+    if (spurious[idx]) {
+      PCLEAN_RETURN_NOT_OK(col->SetValue(r, Value::Null()));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace privateclean

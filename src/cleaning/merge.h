@@ -1,0 +1,71 @@
+#ifndef PRIVATECLEAN_CLEANING_MERGE_H_
+#define PRIVATECLEAN_CLEANING_MERGE_H_
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+
+#include "cleaning/cleaner.h"
+#include "table/domain.h"
+
+namespace privateclean {
+
+/// Merge cleaner: find-and-replace over a discrete attribute
+/// (paper Example 1, "Electrical Engineering and Computer Sciences ->
+/// EECS"). Values not present in the replacement map pass through.
+class FindReplace : public Cleaner {
+ public:
+  FindReplace(std::string attribute,
+              std::unordered_map<Value, Value, ValueHash> replacements);
+
+  /// Convenience for the common single-pair case.
+  static FindReplace Single(std::string attribute, Value from, Value to);
+
+  Status Apply(Table* table) const override;
+  CleanerKind kind() const override { return CleanerKind::kMerge; }
+  std::string name() const override;
+
+  size_t num_replacements() const { return replacements_.size(); }
+
+ private:
+  std::string attribute_;
+  std::unordered_map<Value, Value, ValueHash> replacements_;
+};
+
+/// Merge cleaner matching the paper's Merge(g_i, Domain(g_i)) signature:
+/// v[d] ← C(v[d], Domain(d)), i.e. the UDF picks a replacement from the
+/// attribute's current domain given the value and the domain.
+class DomainMerge : public Cleaner {
+ public:
+  DomainMerge(std::string attribute,
+              std::function<Value(const Value&, const Domain&)> fn);
+
+  Status Apply(Table* table) const override;
+  CleanerKind kind() const override { return CleanerKind::kMerge; }
+  std::string name() const override;
+
+ private:
+  std::string attribute_;
+  std::function<Value(const Value&, const Domain&)> fn_;
+};
+
+/// Merge cleaner mapping all values flagged spurious by a predicate UDF
+/// to NULL — the IntelWireless cleaning task (§8.4: "we merged all of
+/// the spurious values to null").
+class MergeToNull : public Cleaner {
+ public:
+  MergeToNull(std::string attribute,
+              std::function<bool(const Value&)> is_spurious);
+
+  Status Apply(Table* table) const override;
+  CleanerKind kind() const override { return CleanerKind::kMerge; }
+  std::string name() const override;
+
+ private:
+  std::string attribute_;
+  std::function<bool(const Value&)> is_spurious_;
+};
+
+}  // namespace privateclean
+
+#endif  // PRIVATECLEAN_CLEANING_MERGE_H_

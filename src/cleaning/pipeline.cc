@@ -1,0 +1,29 @@
+#include "cleaning/pipeline.h"
+
+namespace privateclean {
+
+CleaningPipeline& CleaningPipeline::Add(std::unique_ptr<Cleaner> cleaner) {
+  cleaners_.push_back(std::move(cleaner));
+  return *this;
+}
+
+Status CleaningPipeline::Apply(Table* table) const {
+  for (size_t i = 0; i < cleaners_.size(); ++i) {
+    Status st = cleaners_[i]->Apply(table);
+    if (!st.ok()) {
+      return Status::Internal("pipeline stage " + std::to_string(i) + " (" +
+                              cleaners_[i]->name() +
+                              ") failed: " + st.ToString());
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<std::string> CleaningPipeline::StageNames() const {
+  std::vector<std::string> names;
+  names.reserve(cleaners_.size());
+  for (const auto& c : cleaners_) names.push_back(c->name());
+  return names;
+}
+
+}  // namespace privateclean

@@ -1,0 +1,43 @@
+#ifndef PRIVATECLEAN_CLEANING_PIPELINE_H_
+#define PRIVATECLEAN_CLEANING_PIPELINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cleaning/cleaner.h"
+
+namespace privateclean {
+
+/// Ordered composition of cleaners, C = C_1 ∘ C_2 ∘ ... ∘ C_k
+/// (paper §3.2.1). Cleaners run in insertion order; the pipeline stops at
+/// the first failure and reports which stage failed.
+class CleaningPipeline {
+ public:
+  CleaningPipeline() = default;
+
+  /// Appends a cleaner; returns *this for chaining.
+  CleaningPipeline& Add(std::unique_ptr<Cleaner> cleaner);
+
+  /// Convenience: constructs the cleaner in place.
+  template <typename T, typename... Args>
+  CleaningPipeline& Emplace(Args&&... args) {
+    return Add(std::make_unique<T>(std::forward<Args>(args)...));
+  }
+
+  /// Applies all cleaners to `table` in order.
+  Status Apply(Table* table) const;
+
+  size_t size() const { return cleaners_.size(); }
+  const Cleaner& cleaner(size_t i) const { return *cleaners_[i]; }
+
+  /// Stage names, for diagnostics.
+  std::vector<std::string> StageNames() const;
+
+ private:
+  std::vector<std::unique_ptr<Cleaner>> cleaners_;
+};
+
+}  // namespace privateclean
+
+#endif  // PRIVATECLEAN_CLEANING_PIPELINE_H_

@@ -1,0 +1,58 @@
+#ifndef PRIVATECLEAN_CLEANING_TRANSFORM_H_
+#define PRIVATECLEAN_CLEANING_TRANSFORM_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "cleaning/cleaner.h"
+
+namespace privateclean {
+
+/// Transform cleaner over a single discrete attribute:
+/// v[d] ← C(v[d]) (paper §3.2.1, Transform with g_i = {d_i}).
+///
+/// The UDF is evaluated once per distinct value and the result broadcast
+/// to all rows holding that value, so the operation is deterministic by
+/// construction and the provenance graph stays fork-free (§6).
+class ValueTransform : public Cleaner {
+ public:
+  /// `fn` maps a distinct value (possibly null) to its cleaned value.
+  ValueTransform(std::string attribute,
+                 std::function<Value(const Value&)> fn);
+
+  Status Apply(Table* table) const override;
+  CleanerKind kind() const override { return CleanerKind::kTransform; }
+  std::string name() const override;
+
+ private:
+  std::string attribute_;
+  std::function<Value(const Value&)> fn_;
+};
+
+/// Transform cleaner over a multi-attribute projection g_i:
+/// (v[d_1], ..., v[d_k]) ← C(v[d_1], ..., v[d_k]).
+///
+/// The UDF sees the projected tuple and returns a replacement tuple of
+/// the same arity. It is evaluated once per distinct projected tuple.
+/// Because the rewrite of one attribute depends on the other attributes
+/// in the projection, a single attribute's provenance graph may fork
+/// (§7, Example 6) — the weighted cut handles this at query time.
+class ProjectionTransform : public Cleaner {
+ public:
+  ProjectionTransform(
+      std::vector<std::string> attributes,
+      std::function<std::vector<Value>(const std::vector<Value>&)> fn);
+
+  Status Apply(Table* table) const override;
+  CleanerKind kind() const override { return CleanerKind::kTransform; }
+  std::string name() const override;
+
+ private:
+  std::vector<std::string> attributes_;
+  std::function<std::vector<Value>(const std::vector<Value>&)> fn_;
+};
+
+}  // namespace privateclean
+
+#endif  // PRIVATECLEAN_CLEANING_TRANSFORM_H_

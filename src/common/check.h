@@ -1,0 +1,19 @@
+#ifndef PRIVATECLEAN_COMMON_CHECK_H_
+#define PRIVATECLEAN_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Internal invariant check. Unlike Status returns (which report *caller*
+/// mistakes and recoverable conditions), a failed PCLEAN_CHECK indicates a
+/// bug inside PrivateClean itself and aborts.
+#define PCLEAN_CHECK(cond)                                              \
+  do {                                                                  \
+    if (!(cond)) {                                                      \
+      std::fprintf(stderr, "PCLEAN_CHECK failed at %s:%d: %s\n",        \
+                   __FILE__, __LINE__, #cond);                          \
+      std::abort();                                                     \
+    }                                                                   \
+  } while (false)
+
+#endif  // PRIVATECLEAN_COMMON_CHECK_H_

@@ -1,0 +1,59 @@
+#include "common/edit_distance.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace privateclean {
+
+size_t EditDistance(std::string_view a, std::string_view b) {
+  if (a.size() < b.size()) std::swap(a, b);  // b is the shorter string.
+  if (b.empty()) return a.size();
+  std::vector<size_t> row(b.size() + 1);
+  for (size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (size_t i = 1; i <= a.size(); ++i) {
+    size_t prev_diag = row[0];
+    row[0] = i;
+    for (size_t j = 1; j <= b.size(); ++j) {
+      size_t del = row[j] + 1;
+      size_t ins = row[j - 1] + 1;
+      size_t sub = prev_diag + (a[i - 1] == b[j - 1] ? 0 : 1);
+      prev_diag = row[j];
+      row[j] = std::min({del, ins, sub});
+    }
+  }
+  return row[b.size()];
+}
+
+size_t BoundedEditDistance(std::string_view a, std::string_view b,
+                           size_t limit) {
+  if (a.size() < b.size()) std::swap(a, b);
+  // Length difference is a lower bound on the distance.
+  if (a.size() - b.size() > limit) return limit + 1;
+  if (b.empty()) return a.size();
+  std::vector<size_t> row(b.size() + 1);
+  for (size_t j = 0; j <= b.size(); ++j) row[j] = j;
+  for (size_t i = 1; i <= a.size(); ++i) {
+    size_t prev_diag = row[0];
+    row[0] = i;
+    size_t row_min = row[0];
+    for (size_t j = 1; j <= b.size(); ++j) {
+      size_t del = row[j] + 1;
+      size_t ins = row[j - 1] + 1;
+      size_t sub = prev_diag + (a[i - 1] == b[j - 1] ? 0 : 1);
+      prev_diag = row[j];
+      row[j] = std::min({del, ins, sub});
+      row_min = std::min(row_min, row[j]);
+    }
+    if (row_min > limit) return limit + 1;  // Whole band exceeded the limit.
+  }
+  return std::min(row[b.size()], limit + 1);
+}
+
+double EditSimilarity(std::string_view a, std::string_view b) {
+  size_t longest = std::max(a.size(), b.size());
+  if (longest == 0) return 1.0;
+  return 1.0 - static_cast<double>(EditDistance(a, b)) /
+                   static_cast<double>(longest);
+}
+
+}  // namespace privateclean

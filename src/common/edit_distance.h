@@ -1,0 +1,26 @@
+#ifndef PRIVATECLEAN_COMMON_EDIT_DISTANCE_H_
+#define PRIVATECLEAN_COMMON_EDIT_DISTANCE_H_
+
+#include <cstddef>
+#include <string_view>
+
+namespace privateclean {
+
+/// Levenshtein edit distance (unit-cost insert/delete/substitute).
+/// O(|a|·|b|) time, O(min(|a|,|b|)) space.
+size_t EditDistance(std::string_view a, std::string_view b);
+
+/// Edit distance with early exit: returns any value > `limit` as soon as
+/// the distance provably exceeds `limit` (banded DP). Used by the
+/// matching-dependency resolver, whose similarity predicate only needs
+/// "distance <= k".
+size_t BoundedEditDistance(std::string_view a, std::string_view b,
+                           size_t limit);
+
+/// Normalized similarity in [0, 1]: 1 - dist / max(|a|, |b|); 1.0 when both
+/// strings are empty.
+double EditSimilarity(std::string_view a, std::string_view b);
+
+}  // namespace privateclean
+
+#endif  // PRIVATECLEAN_COMMON_EDIT_DISTANCE_H_

@@ -1,0 +1,128 @@
+#include "common/random.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace privateclean {
+
+namespace {
+
+/// SplitMix64: expands a single seed into well-mixed state words.
+uint64_t SplitMix64(uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& word : s_) word = SplitMix64(sm);
+  // Avoid the all-zero state, which is a fixed point of xoshiro.
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+uint64_t Rng::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Rng::UniformInt(uint64_t n) {
+  PCLEAN_CHECK(n > 0);
+  // Rejection sampling over the largest multiple of n that fits in 64 bits.
+  const uint64_t threshold = (0 - n) % n;  // == 2^64 mod n
+  for (;;) {
+    uint64_t r = Next();
+    if (r >= threshold) return r % n;
+  }
+}
+
+int64_t Rng::UniformIntRange(int64_t lo, int64_t hi) {
+  PCLEAN_CHECK(lo <= hi);
+  uint64_t span = static_cast<uint64_t>(hi) - static_cast<uint64_t>(lo) + 1;
+  if (span == 0) {
+    // Full 64-bit range.
+    return static_cast<int64_t>(Next());
+  }
+  return lo + static_cast<int64_t>(UniformInt(span));
+}
+
+double Rng::UniformReal() {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::UniformRealRange(double lo, double hi) {
+  return lo + (hi - lo) * UniformReal();
+}
+
+bool Rng::Bernoulli(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return UniformReal() < p;
+}
+
+double Rng::Laplace(double mu, double b) {
+  PCLEAN_CHECK(b >= 0.0);
+  if (b == 0.0) return mu;
+  // Inverse CDF: u uniform in (-0.5, 0.5], x = mu - b*sgn(u)*ln(1-2|u|).
+  double u = UniformReal() - 0.5;
+  double sign = (u < 0.0) ? -1.0 : 1.0;
+  double mag = std::min(std::abs(u) * 2.0, 1.0 - 1e-16);
+  return mu - b * sign * std::log(1.0 - mag);
+}
+
+double Rng::Gaussian(double mu, double sigma) {
+  // Box-Muller with a guard against log(0).
+  double u1 = std::max(UniformReal(), 1e-300);
+  double u2 = UniformReal();
+  double mag = std::sqrt(-2.0 * std::log(u1));
+  return mu + sigma * mag * std::cos(2.0 * M_PI * u2);
+}
+
+Rng Rng::Fork() { return Rng(Next()); }
+
+ZipfianSampler::ZipfianSampler(size_t n, double z) : n_(n), z_(z) {
+  PCLEAN_CHECK(n >= 1);
+  PCLEAN_CHECK(z >= 0.0);
+  cdf_.resize(n);
+  double total = 0.0;
+  for (size_t k = 0; k < n; ++k) {
+    total += 1.0 / std::pow(static_cast<double>(k + 1), z);
+    cdf_[k] = total;
+  }
+  for (auto& c : cdf_) c /= total;
+  cdf_.back() = 1.0;  // Guard against floating-point shortfall.
+}
+
+size_t ZipfianSampler::Sample(Rng& rng) const {
+  double u = rng.UniformReal();
+  auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  if (it == cdf_.end()) return n_ - 1;
+  return static_cast<size_t>(it - cdf_.begin());
+}
+
+double ZipfianSampler::Pmf(size_t k) const {
+  PCLEAN_CHECK(k < n_);
+  double total = 0.0;
+  for (size_t i = 0; i < n_; ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i + 1), z_);
+  }
+  return (1.0 / std::pow(static_cast<double>(k + 1), z_)) / total;
+}
+
+}  // namespace privateclean

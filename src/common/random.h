@@ -1,0 +1,95 @@
+#ifndef PRIVATECLEAN_COMMON_RANDOM_H_
+#define PRIVATECLEAN_COMMON_RANDOM_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace privateclean {
+
+/// Deterministic pseudo-random number generator (xoshiro256**).
+///
+/// Every randomized component in PrivateClean (mechanisms, generators,
+/// experiment harnesses) takes an explicit `Rng&` so that all behaviour is
+/// reproducible from a seed. The generator is cheap to construct and copy;
+/// distinct seeds yield independent-looking streams via SplitMix64 seeding.
+class Rng {
+ public:
+  /// Constructs a generator whose stream is fully determined by `seed`.
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  /// Next raw 64-bit output.
+  uint64_t Next();
+
+  /// Uniform integer in [0, n). Requires n > 0. Uses rejection sampling,
+  /// so the result is exactly uniform.
+  uint64_t UniformInt(uint64_t n);
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformIntRange(int64_t lo, int64_t hi);
+
+  /// Uniform real in [0, 1) with 53 bits of precision.
+  double UniformReal();
+
+  /// Uniform real in [lo, hi).
+  double UniformRealRange(double lo, double hi);
+
+  /// Bernoulli trial: true with probability p (clamped to [0, 1]).
+  bool Bernoulli(double p);
+
+  /// Sample from the Laplace distribution with location `mu` and scale `b`.
+  /// Requires b >= 0 (b == 0 returns mu exactly).
+  double Laplace(double mu, double b);
+
+  /// Sample from a standard normal via Box-Muller (used by data
+  /// generators, not by the privacy mechanisms).
+  double Gaussian(double mu, double sigma);
+
+  /// Fisher-Yates shuffle of `v` in place.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    if (v.empty()) return;
+    for (size_t i = v.size() - 1; i > 0; --i) {
+      size_t j = static_cast<size_t>(UniformInt(i + 1));
+      using std::swap;
+      swap(v[i], v[j]);
+    }
+  }
+
+  /// Derives a new independent generator from this one's stream, for
+  /// handing to sub-components without correlating their draws.
+  Rng Fork();
+
+ private:
+  uint64_t s_[4];
+};
+
+/// Zipfian sampler over ranks {0, 1, ..., n-1} with exponent `z`:
+/// P(k) ∝ 1 / (k+1)^z. z == 0 degenerates to the uniform distribution.
+///
+/// The CDF is precomputed at construction (O(n)), and sampling is a binary
+/// search (O(log n)), matching the synthetic workload generator in the
+/// paper's Section 8.2 where both attributes are Zipf-distributed.
+class ZipfianSampler {
+ public:
+  /// Builds the sampler. Requires n >= 1 and z >= 0.
+  ZipfianSampler(size_t n, double z);
+
+  /// Draws a rank in [0, n).
+  size_t Sample(Rng& rng) const;
+
+  /// Analytic probability of rank k (for tests).
+  double Pmf(size_t k) const;
+
+  size_t n() const { return n_; }
+  double z() const { return z_; }
+
+ private:
+  size_t n_;
+  double z_;
+  std::vector<double> cdf_;
+};
+
+}  // namespace privateclean
+
+#endif  // PRIVATECLEAN_COMMON_RANDOM_H_

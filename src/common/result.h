@@ -1,0 +1,90 @@
+#ifndef PRIVATECLEAN_COMMON_RESULT_H_
+#define PRIVATECLEAN_COMMON_RESULT_H_
+
+#include <cstdlib>
+#include <utility>
+#include <variant>
+
+#include "common/status.h"
+
+namespace privateclean {
+
+/// Value-or-error return type (Arrow-style `Result<T>`).
+///
+/// A `Result<T>` holds either a `T` or a non-OK `Status`. Accessing the
+/// value of an errored result aborts the process, so callers must check
+/// `ok()` (or use `PCLEAN_ASSIGN_OR_RETURN`) before dereferencing.
+template <typename T>
+class Result {
+ public:
+  /// Constructs a result carrying `value`. Intentionally implicit so
+  /// `return value;` works in functions returning `Result<T>`.
+  Result(T value) : state_(std::move(value)) {}
+
+  /// Constructs an errored result from a non-OK status. Implicit so
+  /// `return Status::InvalidArgument(...)` works. Passing an OK status is
+  /// a programming error and aborts.
+  Result(Status status) : state_(std::move(status)) {
+    if (std::get<Status>(state_).ok()) {
+      std::abort();  // A Result must hold either a value or a real error.
+    }
+  }
+
+  Result(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(const Result&) = default;
+  Result& operator=(Result&&) = default;
+
+  /// True iff a value is present.
+  bool ok() const { return std::holds_alternative<T>(state_); }
+
+  /// The status: OK when a value is present, the error otherwise.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(state_);
+  }
+
+  /// Borrows the value. Aborts if `!ok()`.
+  const T& ValueOrDie() const& {
+    if (!ok()) std::abort();
+    return std::get<T>(state_);
+  }
+  T& ValueOrDie() & {
+    if (!ok()) std::abort();
+    return std::get<T>(state_);
+  }
+  /// Moves the value out. Aborts if `!ok()`.
+  T ValueOrDie() && {
+    if (!ok()) std::abort();
+    return std::move(std::get<T>(state_));
+  }
+
+  const T& operator*() const& { return ValueOrDie(); }
+  T& operator*() & { return ValueOrDie(); }
+  T operator*() && { return std::move(*this).ValueOrDie(); }
+  const T* operator->() const { return &ValueOrDie(); }
+  T* operator->() { return &ValueOrDie(); }
+
+ private:
+  std::variant<T, Status> state_;
+};
+
+}  // namespace privateclean
+
+#define PCLEAN_CONCAT_IMPL_(a, b) a##b
+#define PCLEAN_CONCAT_(a, b) PCLEAN_CONCAT_IMPL_(a, b)
+
+/// Evaluates `rexpr` (a Result<T>); on error returns its Status from the
+/// enclosing function, otherwise moves the value into `lhs`.
+///
+///   PCLEAN_ASSIGN_OR_RETURN(Table t, Csv::Read(path));
+#define PCLEAN_ASSIGN_OR_RETURN(lhs, rexpr)                              \
+  PCLEAN_ASSIGN_OR_RETURN_IMPL_(                                         \
+      PCLEAN_CONCAT_(_pclean_result_, __LINE__), lhs, rexpr)
+
+#define PCLEAN_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                  \
+  if (!tmp.ok()) return tmp.status();                  \
+  lhs = std::move(tmp).ValueOrDie()
+
+#endif  // PRIVATECLEAN_COMMON_RESULT_H_

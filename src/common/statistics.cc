@@ -1,0 +1,141 @@
+#include "common/statistics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace privateclean {
+
+void RunningMoments::Add(double x) {
+  ++count_;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningMoments::Mean() const { return count_ == 0 ? 0.0 : mean_; }
+
+double RunningMoments::PopulationVariance() const {
+  if (count_ == 0) return 0.0;
+  return m2_ / static_cast<double>(count_);
+}
+
+double RunningMoments::SampleVariance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_ - 1);
+}
+
+void RunningMoments::Merge(const RunningMoments& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  double na = static_cast<double>(count_);
+  double nb = static_cast<double>(other.count_);
+  double delta = other.mean_ - mean_;
+  double n = na + nb;
+  mean_ += delta * nb / n;
+  m2_ += other.m2_ + delta * delta * na * nb / n;
+  count_ += other.count_;
+}
+
+double NormalCdf(double x) { return 0.5 * std::erfc(-x / std::sqrt(2.0)); }
+
+Result<double> NormalQuantile(double p) {
+  if (!(p > 0.0 && p < 1.0)) {
+    return Status::InvalidArgument("NormalQuantile requires p in (0, 1)");
+  }
+  // Acklam's algorithm.
+  static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                             -2.759285104469687e+02, 1.383577518672690e+02,
+                             -3.066479806614716e+01, 2.506628277459239e+00};
+  static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                             -1.556989798598866e+02, 6.680131188771972e+01,
+                             -1.328068155288572e+01};
+  static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                             -2.400758277161838e+00, -2.549732539343734e+00,
+                             4.374664141464968e+00,  2.938163982698783e+00};
+  static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                             2.445134137142996e+00, 3.754408661907416e+00};
+  const double p_low = 0.02425;
+  const double p_high = 1.0 - p_low;
+  double q, r, x;
+  if (p < p_low) {
+    q = std::sqrt(-2.0 * std::log(p));
+    x = (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  } else if (p <= p_high) {
+    q = p - 0.5;
+    r = q * q;
+    x = (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) *
+        q /
+        (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+  } else {
+    q = std::sqrt(-2.0 * std::log(1.0 - p));
+    x = -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+          c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  // One Halley refinement step for near-double precision.
+  double e = NormalCdf(x) - p;
+  double u = e * std::sqrt(2.0 * M_PI) * std::exp(x * x / 2.0);
+  x = x - u / (1.0 + x * u / 2.0);
+  return x;
+}
+
+Result<double> ZScoreForConfidence(double level) {
+  if (!(level > 0.0 && level < 1.0)) {
+    return Status::InvalidArgument(
+        "ZScoreForConfidence requires level in (0, 1)");
+  }
+  return NormalQuantile(0.5 + level / 2.0);
+}
+
+Result<double> RelativeError(double estimate, double truth) {
+  if (truth == 0.0) {
+    return Status::InvalidArgument("RelativeError undefined for truth == 0");
+  }
+  return std::abs(estimate - truth) / std::abs(truth);
+}
+
+Result<double> Mean(const std::vector<double>& xs) {
+  if (xs.empty()) return Status::InvalidArgument("Mean of empty vector");
+  RunningMoments m;
+  for (double x : xs) m.Add(x);
+  return m.Mean();
+}
+
+Result<double> SampleVariance(const std::vector<double>& xs) {
+  if (xs.size() < 2) {
+    return Status::InvalidArgument("SampleVariance needs >= 2 observations");
+  }
+  RunningMoments m;
+  for (double x : xs) m.Add(x);
+  return m.SampleVariance();
+}
+
+Result<double> Median(std::vector<double> xs) {
+  if (xs.empty()) return Status::InvalidArgument("Median of empty vector");
+  size_t mid = xs.size() / 2;
+  std::nth_element(xs.begin(), xs.begin() + mid, xs.end());
+  double hi = xs[mid];
+  if (xs.size() % 2 == 1) return hi;
+  double lo = *std::max_element(xs.begin(), xs.begin() + mid);
+  return (lo + hi) / 2.0;
+}
+
+Result<double> Percentile(std::vector<double> xs, double p) {
+  if (xs.empty()) return Status::InvalidArgument("Percentile of empty vector");
+  if (p < 0.0 || p > 100.0) {
+    return Status::InvalidArgument("Percentile requires p in [0, 100]");
+  }
+  std::sort(xs.begin(), xs.end());
+  if (xs.size() == 1) return xs[0];
+  double rank = (p / 100.0) * static_cast<double>(xs.size() - 1);
+  size_t lo = static_cast<size_t>(rank);
+  size_t hi = std::min(lo + 1, xs.size() - 1);
+  double frac = rank - static_cast<double>(lo);
+  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+}
+
+}  // namespace privateclean

@@ -1,0 +1,82 @@
+#ifndef PRIVATECLEAN_COMMON_STATISTICS_H_
+#define PRIVATECLEAN_COMMON_STATISTICS_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "common/result.h"
+
+namespace privateclean {
+
+/// Streaming mean/variance accumulator (Welford's algorithm).
+///
+/// Numerically stable for long streams; used by the query engine and the
+/// experiment harnesses to compute sample moments in a single pass.
+class RunningMoments {
+ public:
+  /// Adds one observation.
+  void Add(double x);
+
+  /// Number of observations so far.
+  size_t count() const { return count_; }
+
+  /// Sample mean; 0 if empty.
+  double Mean() const;
+
+  /// Population variance (divide by n); 0 if fewer than 1 observation.
+  double PopulationVariance() const;
+
+  /// Sample variance (divide by n-1); 0 if fewer than 2 observations.
+  double SampleVariance() const;
+
+  /// Sum of all observations.
+  double Sum() const { return mean_ * static_cast<double>(count_); }
+
+  /// Merges another accumulator into this one (parallel Welford).
+  void Merge(const RunningMoments& other);
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+/// Two-sided symmetric confidence interval [lo, hi] around an estimate.
+struct ConfidenceInterval {
+  double lo = 0.0;
+  double hi = 0.0;
+
+  double Width() const { return hi - lo; }
+  bool Contains(double x) const { return x >= lo && x <= hi; }
+};
+
+/// Standard normal cumulative distribution function Φ(x).
+double NormalCdf(double x);
+
+/// Inverse standard normal CDF Φ⁻¹(p) for p in (0, 1)
+/// (Acklam's rational approximation, |relative error| < 1.15e-9).
+Result<double> NormalQuantile(double p);
+
+/// Two-sided z-score for a confidence level in (0, 1):
+/// z such that Φ(z) - Φ(-z) = level (e.g. 0.95 -> 1.959964).
+Result<double> ZScoreForConfidence(double level);
+
+/// Relative error |estimate - truth| / |truth|. Errors if truth == 0.
+Result<double> RelativeError(double estimate, double truth);
+
+/// Mean of a vector; errors if empty.
+Result<double> Mean(const std::vector<double>& xs);
+
+/// Sample variance of a vector (n-1 denominator); errors if size < 2.
+Result<double> SampleVariance(const std::vector<double>& xs);
+
+/// Median of a vector (copies and partially sorts); errors if empty.
+Result<double> Median(std::vector<double> xs);
+
+/// p-th percentile (p in [0,100]) via linear interpolation between order
+/// statistics; errors if empty or p out of range.
+Result<double> Percentile(std::vector<double> xs, double p);
+
+}  // namespace privateclean
+
+#endif  // PRIVATECLEAN_COMMON_STATISTICS_H_

@@ -1,0 +1,93 @@
+#include "core/conjunctive.h"
+
+#include <cmath>
+
+#include "privacy/randomized_response.h"
+
+namespace privateclean {
+
+Result<ConjunctiveScanStats> ScanConjunctive(const Table& table,
+                                             const Predicate& cond_a,
+                                             const Predicate& cond_b) {
+  if (cond_a.attribute() == cond_b.attribute()) {
+    return Status::InvalidArgument(
+        "conjunctive estimation requires predicates on two different "
+        "attributes (combine same-attribute conditions into one "
+        "Predicate instead)");
+  }
+  PCLEAN_ASSIGN_OR_RETURN(auto mask_a, cond_a.Evaluate(table));
+  PCLEAN_ASSIGN_OR_RETURN(auto mask_b, cond_b.Evaluate(table));
+  ConjunctiveScanStats stats;
+  stats.total_rows = table.num_rows();
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    if (mask_a[r] && mask_b[r]) {
+      ++stats.count_tt;
+    } else if (mask_a[r]) {
+      ++stats.count_tf;
+    } else if (mask_b[r]) {
+      ++stats.count_ft;
+    } else {
+      ++stats.count_ff;
+    }
+  }
+  return stats;
+}
+
+Result<QueryResult> EstimateConjunctiveCount(
+    const ConjunctiveScanStats& stats, const EstimationInputs& in_a,
+    const EstimationInputs& in_b) {
+  PCLEAN_RETURN_NOT_OK(in_a.Validate());
+  PCLEAN_RETURN_NOT_OK(in_b.Validate());
+  if (stats.total_rows == 0) {
+    return Status::InvalidArgument("cannot estimate over an empty relation");
+  }
+  PCLEAN_ASSIGN_OR_RETURN(
+      TransitionProbabilities ta,
+      ComputeTransitionProbabilities(in_a.p, in_a.l, in_a.n));
+  PCLEAN_ASSIGN_OR_RETURN(
+      TransitionProbabilities tb,
+      ComputeTransitionProbabilities(in_b.p, in_b.l, in_b.n));
+
+  // Per-attribute inverse transition matrix:
+  //   M = [[tau_p, tau_n], [1-tau_p, 1-tau_n]],
+  //   M^-1 = 1/(tau_p - tau_n) [[1-tau_n, -tau_n], [-(1-tau_p), tau_p]].
+  // The joint inverse is Minv_a (x) Minv_b; we only need the first row of
+  // the Kronecker product (the TT component of q_true).
+  double det_a = ta.true_positive - ta.false_positive;  // == 1 - p_a.
+  double det_b = tb.true_positive - tb.false_positive;  // == 1 - p_b.
+  double ia_t = (1.0 - ta.false_positive) / det_a;   // Minv_a[0][0]
+  double ia_f = -ta.false_positive / det_a;          // Minv_a[0][1]
+  double ib_t = (1.0 - tb.false_positive) / det_b;   // Minv_b[0][0]
+  double ib_f = -tb.false_positive / det_b;          // Minv_b[0][1]
+
+  double q_tt = static_cast<double>(stats.count_tt);
+  double q_tf = static_cast<double>(stats.count_tf);
+  double q_ft = static_cast<double>(stats.count_ft);
+  double q_ff = static_cast<double>(stats.count_ff);
+  double estimate = ia_t * ib_t * q_tt + ia_t * ib_f * q_tf +
+                    ia_f * ib_t * q_ft + ia_f * ib_f * q_ff;
+
+  // CLT interval: the observed TT indicator is Bernoulli per row; the
+  // correction weights are bounded by 1/((1-p_a)(1-p_b)). Conservative
+  // multinomial bound on the dominant term.
+  double s = static_cast<double>(stats.total_rows);
+  double frac_tt = q_tt / s;
+  double conf = in_a.confidence;  // Shared level; in_b's is informational.
+  PCLEAN_ASSIGN_OR_RETURN(double z, ZScoreForConfidence(conf));
+  double half = z / (det_a * det_b) *
+                std::sqrt(s * frac_tt * (1.0 - frac_tt) + 0.25 * s);
+
+  QueryResult result;
+  result.estimator = EstimatorKind::kPrivateClean;
+  result.estimate = estimate;
+  result.ci = ConfidenceInterval{estimate - half, estimate + half};
+  result.confidence = conf;
+  result.nominal = q_tt;
+  result.p = in_a.p;  // Diagnostics carry attribute a's parameters.
+  result.l = in_a.l;
+  result.n = in_a.n;
+  result.s = stats.total_rows;
+  return result;
+}
+
+}  // namespace privateclean

@@ -1,0 +1,175 @@
+#include "core/estimators.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "privacy/randomized_response.h"
+
+namespace privateclean {
+
+Status EstimationInputs::Validate() const {
+  if (!(p >= 0.0 && p < 1.0)) {
+    return Status::InvalidArgument(
+        "estimation requires p in [0, 1); p == 1 destroys all signal");
+  }
+  if (!(n >= 1.0)) return Status::InvalidArgument("N must be >= 1");
+  if (!(l >= 0.0 && l <= n)) {
+    return Status::InvalidArgument("l must be in [0, N]");
+  }
+  if (b < 0.0) return Status::InvalidArgument("b must be >= 0");
+  if (!(confidence > 0.0 && confidence < 1.0)) {
+    return Status::InvalidArgument("confidence must be in (0, 1)");
+  }
+  return Status::OK();
+}
+
+namespace {
+
+/// Fills the shared diagnostic fields.
+void FillDiagnostics(QueryResult* r, const QueryScanStats& stats,
+                     const EstimationInputs& in, double nominal) {
+  r->confidence = in.confidence;
+  r->nominal = nominal;
+  r->p = in.p;
+  r->l = in.l;
+  r->n = in.n;
+  r->s = stats.total_rows;
+}
+
+}  // namespace
+
+Result<QueryResult> EstimateCount(const QueryScanStats& stats,
+                                  const EstimationInputs& in) {
+  PCLEAN_RETURN_NOT_OK(in.Validate());
+  if (stats.total_rows == 0) {
+    return Status::InvalidArgument("cannot estimate over an empty relation");
+  }
+  PCLEAN_ASSIGN_OR_RETURN(
+      TransitionProbabilities t,
+      ComputeTransitionProbabilities(in.p, in.l, in.n));
+  double s = static_cast<double>(stats.total_rows);
+  double c_private = static_cast<double>(stats.matching_rows);
+
+  // Eq. 3. Note τ_p − τ_n = 1 − p exactly.
+  double denom = t.true_positive - t.false_positive;
+  double estimate = (c_private - s * t.false_positive) / denom;
+
+  // CLT interval (§5.4): s_p is Binomial(S, ·)/S, so
+  // sd(ĉ) = sqrt(S·s_p(1−s_p)) / (1−p). (The paper states the interval
+  // in selectivity units; multiplying by S gives count units.)
+  double s_p = c_private / s;
+  PCLEAN_ASSIGN_OR_RETURN(double z, ZScoreForConfidence(in.confidence));
+  double half = z / denom * std::sqrt(s * s_p * (1.0 - s_p));
+
+  QueryResult result;
+  result.estimator = EstimatorKind::kPrivateClean;
+  result.estimate = estimate;
+  result.ci = ConfidenceInterval{estimate - half, estimate + half};
+  FillDiagnostics(&result, stats, in, c_private);
+  return result;
+}
+
+Result<QueryResult> EstimateSum(const QueryScanStats& stats,
+                                const EstimationInputs& in) {
+  PCLEAN_RETURN_NOT_OK(in.Validate());
+  if (stats.total_rows == 0) {
+    return Status::InvalidArgument("cannot estimate over an empty relation");
+  }
+  PCLEAN_ASSIGN_OR_RETURN(
+      TransitionProbabilities t,
+      ComputeTransitionProbabilities(in.p, in.l, in.n));
+  double denom = t.true_positive - t.false_positive;  // == 1 − p.
+
+  // Eq. 5 / Appendix C closed form.
+  double estimate = ((1.0 - t.false_positive) * stats.matching_sum -
+                     t.false_positive * stats.complement_sum) /
+                    denom;
+
+  // Interval (§5.5): bound via the moments of the private numeric
+  // attribute. sd(h_p) <= sqrt(S·(s_p(1−s_p)·μ_p² + σ_p²)); the paper
+  // applies the factor 2 to cover h_p + h_p^c, and the weights sum to
+  // 1/(1−p).
+  double s = static_cast<double>(stats.total_rows);
+  double s_p = static_cast<double>(stats.matching_rows) / s;
+  double mu_p = stats.numeric_mean;
+  double var_p = stats.numeric_variance;
+  PCLEAN_ASSIGN_OR_RETURN(double z, ZScoreForConfidence(in.confidence));
+  double half = 2.0 * z / denom *
+                std::sqrt(s * (s_p * (1.0 - s_p) * mu_p * mu_p + var_p));
+
+  QueryResult result;
+  result.estimator = EstimatorKind::kPrivateClean;
+  result.estimate = estimate;
+  result.ci = ConfidenceInterval{estimate - half, estimate + half};
+  FillDiagnostics(&result, stats, in, stats.matching_sum);
+  return result;
+}
+
+Result<QueryResult> EstimateAvg(const QueryScanStats& stats,
+                                const EstimationInputs& in) {
+  PCLEAN_ASSIGN_OR_RETURN(QueryResult sum, EstimateSum(stats, in));
+  PCLEAN_ASSIGN_OR_RETURN(QueryResult count, EstimateCount(stats, in));
+  if (count.estimate == 0.0) {
+    return Status::FailedPrecondition("avg undefined: estimated count is 0");
+  }
+  QueryResult result;
+  result.estimator = EstimatorKind::kPrivateClean;
+  result.estimate = sum.estimate / count.estimate;
+
+  // Conservative corner-ratio interval (§5.6): upper CI of ĥ over lower
+  // CI of ĉ, and vice versa. Only well defined when the count interval
+  // does not straddle zero.
+  double c_lo = count.ci.lo;
+  double c_hi = count.ci.hi;
+  if (c_lo <= 0.0 && c_hi >= 0.0) {
+    return Status::FailedPrecondition(
+        "avg interval undefined: count interval straddles zero "
+        "(relation too small or privacy too high for this predicate)");
+  }
+  double corners[4] = {sum.ci.lo / c_lo, sum.ci.lo / c_hi,
+                       sum.ci.hi / c_lo, sum.ci.hi / c_hi};
+  result.ci = ConfidenceInterval{*std::min_element(corners, corners + 4),
+                                 *std::max_element(corners, corners + 4)};
+  double nominal_count = static_cast<double>(stats.matching_rows);
+  FillDiagnostics(&result, stats, in,
+                  nominal_count > 0.0 ? stats.matching_sum / nominal_count
+                                      : 0.0);
+  return result;
+}
+
+QueryResult DirectCount(const QueryScanStats& stats) {
+  QueryResult r;
+  r.estimator = EstimatorKind::kDirect;
+  r.estimate = static_cast<double>(stats.matching_rows);
+  r.nominal = r.estimate;
+  r.ci = ConfidenceInterval{r.estimate, r.estimate};
+  r.s = stats.total_rows;
+  return r;
+}
+
+QueryResult DirectSum(const QueryScanStats& stats) {
+  QueryResult r;
+  r.estimator = EstimatorKind::kDirect;
+  r.estimate = stats.matching_sum;
+  r.nominal = r.estimate;
+  r.ci = ConfidenceInterval{r.estimate, r.estimate};
+  r.s = stats.total_rows;
+  return r;
+}
+
+Result<QueryResult> DirectAvg(const QueryScanStats& stats) {
+  if (stats.matching_rows == 0) {
+    return Status::FailedPrecondition(
+        "avg undefined: no rows match the predicate");
+  }
+  QueryResult r;
+  r.estimator = EstimatorKind::kDirect;
+  r.estimate =
+      stats.matching_sum / static_cast<double>(stats.matching_rows);
+  r.nominal = r.estimate;
+  r.ci = ConfidenceInterval{r.estimate, r.estimate};
+  r.s = stats.total_rows;
+  return r;
+}
+
+}  // namespace privateclean

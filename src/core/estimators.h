@@ -1,0 +1,50 @@
+#ifndef PRIVATECLEAN_CORE_ESTIMATORS_H_
+#define PRIVATECLEAN_CORE_ESTIMATORS_H_
+
+#include "common/result.h"
+#include "core/query_result.h"
+#include "query/aggregate.h"
+
+namespace privateclean {
+
+/// Deterministic inputs to the PrivateClean estimators (paper §5.3):
+/// known to the query processor, so they do not affect the statistical
+/// properties of the estimate.
+struct EstimationInputs {
+  double p = 0.0;   ///< Randomization probability of the predicate's attr.
+  double l = 0.0;   ///< Dirty-side selectivity (weighted cut; §6.3/§7.2).
+  double n = 1.0;   ///< N, number of distinct dirty values.
+  double b = 0.0;   ///< Laplace scale of the aggregated numeric attr.
+  double confidence = 0.95;
+
+  Status Validate() const;
+};
+
+/// COUNT estimator, Eq. 3:  ĉ = (c_private − S·τ_n) / (τ_p − τ_n),
+/// with the CLT interval from §5.4 expressed in count units.
+Result<QueryResult> EstimateCount(const QueryScanStats& stats,
+                                  const EstimationInputs& in);
+
+/// SUM estimator, Eq. 5 (complement-query trick, §5.5):
+///   ĥ = ((1 − τ_n)·h_p − τ_n·h_p^c) / (τ_p − τ_n)
+/// The interval follows §5.5, in sum units.
+Result<QueryResult> EstimateSum(const QueryScanStats& stats,
+                                const EstimationInputs& in);
+
+/// AVG estimator (§5.6): avg = ĥ/ĉ (conditionally unbiased). The
+/// interval is the conservative corner-ratio interval — upper CI of ĥ
+/// over lower CI of ĉ and vice versa — exactly as the paper prescribes.
+/// Errors with FailedPrecondition if the count interval straddles zero.
+Result<QueryResult> EstimateAvg(const QueryScanStats& stats,
+                                const EstimationInputs& in);
+
+/// Direct (baseline) estimators: the nominal private values, no
+/// re-weighting (§8.1). Supplied for symmetry and for the experiment
+/// harnesses.
+QueryResult DirectCount(const QueryScanStats& stats);
+QueryResult DirectSum(const QueryScanStats& stats);
+Result<QueryResult> DirectAvg(const QueryScanStats& stats);
+
+}  // namespace privateclean
+
+#endif  // PRIVATECLEAN_CORE_ESTIMATORS_H_

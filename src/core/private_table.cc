@@ -1,0 +1,404 @@
+#include "core/private_table.h"
+
+#include <cmath>
+
+#include "privacy/allocation.h"
+
+namespace privateclean {
+
+Result<PrivateTable> PrivateTable::Create(const Table& original,
+                                          const GrrParams& params,
+                                          const GrrOptions& options,
+                                          Rng& rng) {
+  PCLEAN_ASSIGN_OR_RETURN(GrrOutput grr, ApplyGrr(original, params, options, rng));
+  PrivateTable table;
+  table.relation_ = std::move(grr.table);
+  table.metadata_ = std::move(grr.metadata);
+  // Anchor provenance in the randomization-time domains so N matches the
+  // mechanism exactly.
+  std::unordered_map<std::string, Domain> domains;
+  for (const auto& [name, meta] : table.metadata_.discrete) {
+    domains.emplace(name, meta.domain);
+  }
+  PCLEAN_ASSIGN_OR_RETURN(table.provenance_,
+                          ProvenanceManager::Create(table.relation_, domains));
+  return table;
+}
+
+Result<PrivateTable> PrivateTable::CreateWithTuning(const Table& original,
+                                                    double max_count_error,
+                                                    double confidence,
+                                                    Rng& rng) {
+  PCLEAN_ASSIGN_OR_RETURN(
+      TuningResult tuning,
+      TunePrivacyParameters(original, max_count_error, confidence));
+  return Create(original, ToGrrParams(tuning), GrrOptions{}, rng);
+}
+
+Result<PrivateTable> PrivateTable::CreateWithEpsilonBudget(
+    const Table& original, double total_epsilon, Rng& rng) {
+  PCLEAN_ASSIGN_OR_RETURN(GrrParams params,
+                          AllocateEpsilonBudget(original, total_epsilon));
+  return Create(original, params, GrrOptions{}, rng);
+}
+
+Result<PrivateTable> PrivateTable::FromPrivateRelation(
+    Table relation, PrivateRelationMetadata metadata) {
+  const Schema& schema = relation.schema();
+  for (size_t i = 0; i < schema.num_fields(); ++i) {
+    const Field& field = schema.field(i);
+    bool covered = field.kind == AttributeKind::kDiscrete
+                       ? metadata.discrete.count(field.name) > 0
+                       : metadata.numeric.count(field.name) > 0;
+    if (!covered) {
+      return Status::InvalidArgument(
+          "metadata does not cover attribute '" + field.name + "'");
+    }
+  }
+  PrivateTable table;
+  table.relation_ = std::move(relation);
+  table.metadata_ = std::move(metadata);
+  table.metadata_.dataset_size = table.relation_.num_rows();
+  std::unordered_map<std::string, Domain> domains;
+  for (const auto& [name, meta] : table.metadata_.discrete) {
+    domains.emplace(name, meta.domain);
+  }
+  PCLEAN_ASSIGN_OR_RETURN(table.provenance_,
+                          ProvenanceManager::Create(table.relation_, domains));
+  return table;
+}
+
+Status PrivateTable::Clean(const Cleaner& cleaner) {
+  PCLEAN_RETURN_NOT_OK(cleaner.Apply(&relation_));
+  if (auto extracted = cleaner.extracted_attribute(); extracted.has_value()) {
+    PCLEAN_RETURN_NOT_OK(provenance_.RegisterDerivedAttribute(
+        extracted->name, extracted->provenance_anchor));
+  }
+  graph_cache_.clear();  // Cleaning changes the dirty->clean mapping.
+  return Status::OK();
+}
+
+Result<const ProvenanceGraph*> PrivateTable::CachedGraphFor(
+    const std::string& attribute) const {
+  if (auto it = graph_cache_.find(attribute); it != graph_cache_.end()) {
+    return &it->second;
+  }
+  PCLEAN_ASSIGN_OR_RETURN(ProvenanceGraph graph,
+                          provenance_.GraphFor(relation_, attribute));
+  auto [it, inserted] = graph_cache_.emplace(attribute, std::move(graph));
+  (void)inserted;
+  return &it->second;
+}
+
+Result<ProvenanceGraph> PrivateTable::ProvenanceFor(
+    const std::string& attribute) const {
+  PCLEAN_ASSIGN_OR_RETURN(const ProvenanceGraph* graph,
+                          CachedGraphFor(attribute));
+  return *graph;  // Copy: callers own their snapshot.
+}
+
+Status PrivateTable::Clean(const CleaningPipeline& pipeline) {
+  for (size_t i = 0; i < pipeline.size(); ++i) {
+    Status st = Clean(pipeline.cleaner(i));
+    if (!st.ok()) {
+      return Status::Internal("pipeline stage " + std::to_string(i) + " (" +
+                              pipeline.cleaner(i).name() +
+                              ") failed: " + st.ToString());
+    }
+  }
+  return Status::OK();
+}
+
+Result<EstimationInputs> PrivateTable::InputsForPredicate(
+    const Predicate& predicate, const std::string& numeric_attribute,
+    const QueryOptions& options) const {
+  const std::string& attr = predicate.attribute();
+  PCLEAN_ASSIGN_OR_RETURN(std::string anchor, provenance_.AnchorOf(attr));
+  auto meta_it = metadata_.discrete.find(anchor);
+  if (meta_it == metadata_.discrete.end()) {
+    return Status::FailedPrecondition(
+        "attribute '" + attr +
+        "' is not backed by a randomized discrete attribute");
+  }
+  PCLEAN_ASSIGN_OR_RETURN(const ProvenanceGraph* graph,
+                          CachedGraphFor(attr));
+  std::vector<Value> m_pred =
+      predicate.MatchingValues(graph->clean_domain());
+
+  EstimationInputs in;
+  in.p = meta_it->second.p;
+  in.n = static_cast<double>(graph->num_dirty_values());
+  in.l = options.weighted_cut
+             ? graph->WeightedSelectivity(m_pred)
+             : static_cast<double>(graph->UnweightedSelectivity(m_pred));
+  in.confidence = options.confidence;
+  if (!numeric_attribute.empty()) {
+    if (auto it = metadata_.numeric.find(numeric_attribute);
+        it != metadata_.numeric.end()) {
+      in.b = it->second.b;
+    }
+  }
+  return in;
+}
+
+Result<QueryScanStats> PrivateTable::Scan(
+    const Predicate& predicate,
+    const std::string& numeric_attribute) const {
+  return ScanWithPredicate(relation_, predicate, numeric_attribute);
+}
+
+Result<QueryResult> PrivateTable::Count(const Predicate& predicate,
+                                        const QueryOptions& options) const {
+  PCLEAN_ASSIGN_OR_RETURN(EstimationInputs in,
+                          InputsForPredicate(predicate, "", options));
+  PCLEAN_ASSIGN_OR_RETURN(QueryScanStats stats, Scan(predicate, ""));
+  return EstimateCount(stats, in);
+}
+
+Result<QueryResult> PrivateTable::Sum(const std::string& numeric_attribute,
+                                      const Predicate& predicate,
+                                      const QueryOptions& options) const {
+  PCLEAN_ASSIGN_OR_RETURN(
+      EstimationInputs in,
+      InputsForPredicate(predicate, numeric_attribute, options));
+  PCLEAN_ASSIGN_OR_RETURN(QueryScanStats stats,
+                          Scan(predicate, numeric_attribute));
+  return EstimateSum(stats, in);
+}
+
+Result<QueryResult> PrivateTable::Avg(const std::string& numeric_attribute,
+                                      const Predicate& predicate,
+                                      const QueryOptions& options) const {
+  PCLEAN_ASSIGN_OR_RETURN(
+      EstimationInputs in,
+      InputsForPredicate(predicate, numeric_attribute, options));
+  PCLEAN_ASSIGN_OR_RETURN(QueryScanStats stats,
+                          Scan(predicate, numeric_attribute));
+  return EstimateAvg(stats, in);
+}
+
+Result<QueryResult> PrivateTable::CountConjunctive(
+    const Predicate& cond_a, const Predicate& cond_b,
+    const QueryOptions& options) const {
+  PCLEAN_ASSIGN_OR_RETURN(EstimationInputs in_a,
+                          InputsForPredicate(cond_a, "", options));
+  PCLEAN_ASSIGN_OR_RETURN(EstimationInputs in_b,
+                          InputsForPredicate(cond_b, "", options));
+  PCLEAN_ASSIGN_OR_RETURN(ConjunctiveScanStats stats,
+                          ScanConjunctive(relation_, cond_a, cond_b));
+  return EstimateConjunctiveCount(stats, in_a, in_b);
+}
+
+Result<std::vector<std::pair<Value, QueryResult>>>
+PrivateTable::GroupByCountEstimate(const std::string& attribute,
+                                   const QueryOptions& options) const {
+  PCLEAN_ASSIGN_OR_RETURN(std::string anchor, provenance_.AnchorOf(attribute));
+  auto meta_it = metadata_.discrete.find(anchor);
+  if (meta_it == metadata_.discrete.end()) {
+    return Status::FailedPrecondition(
+        "attribute '" + attribute +
+        "' is not backed by a randomized discrete attribute");
+  }
+  PCLEAN_ASSIGN_OR_RETURN(const ProvenanceGraph* graph,
+                          CachedGraphFor(attribute));
+  // One pass: nominal count per clean value.
+  PCLEAN_ASSIGN_OR_RETURN(const Column* col,
+                          relation_.ColumnByName(attribute));
+  const Domain& clean_domain = graph->clean_domain();
+  std::vector<size_t> counts(clean_domain.size(), 0);
+  for (size_t r = 0; r < col->size(); ++r) {
+    ++counts[clean_domain.IndexOf(col->ValueAt(r)).ValueOrDie()];
+  }
+  std::vector<std::pair<Value, QueryResult>> groups;
+  groups.reserve(clean_domain.size());
+  for (size_t i = 0; i < clean_domain.size(); ++i) {
+    EstimationInputs in;
+    in.p = meta_it->second.p;
+    in.n = static_cast<double>(graph->num_dirty_values());
+    std::vector<Value> m_pred{clean_domain.value(i)};
+    in.l = options.weighted_cut
+               ? graph->WeightedSelectivity(m_pred)
+               : static_cast<double>(graph->UnweightedSelectivity(m_pred));
+    in.confidence = options.confidence;
+    QueryScanStats stats;
+    stats.total_rows = relation_.num_rows();
+    stats.matching_rows = counts[i];
+    PCLEAN_ASSIGN_OR_RETURN(QueryResult r, EstimateCount(stats, in));
+    groups.emplace_back(clean_domain.value(i), std::move(r));
+  }
+  return groups;
+}
+
+Result<QueryResult> PrivateTable::Execute(const AggregateQuery& query,
+                                          const QueryOptions& options) const {
+  if (query.agg != AggregateType::kCount &&
+      query.agg != AggregateType::kSum && query.agg != AggregateType::kAvg) {
+    return Status::InvalidArgument(
+        "Execute supports sum/count/avg; use ExtendedAggregate for " +
+        std::string(AggregateTypeToString(query.agg)));
+  }
+  if (query.predicate.has_value()) {
+    switch (query.agg) {
+      case AggregateType::kCount:
+        return Count(*query.predicate, options);
+      case AggregateType::kSum:
+        return Sum(query.numeric_attribute, *query.predicate, options);
+      default:
+        return Avg(query.numeric_attribute, *query.predicate, options);
+    }
+  }
+
+  // No predicate: the Direct estimate is unbiased (§5.1) — GRR noise is
+  // zero-mean and randomized response permutes within the relation. The
+  // interval reflects the Laplace noise added to the numeric attribute.
+  PCLEAN_ASSIGN_OR_RETURN(double nominal,
+                          ExecuteAggregate(relation_, query));
+  QueryResult r;
+  r.estimator = EstimatorKind::kPrivateClean;
+  r.estimate = nominal;
+  r.nominal = nominal;
+  r.confidence = options.confidence;
+  r.s = relation_.num_rows();
+  double b = 0.0;
+  if (auto it = metadata_.numeric.find(query.numeric_attribute);
+      it != metadata_.numeric.end()) {
+    b = it->second.b;
+  }
+  PCLEAN_ASSIGN_OR_RETURN(double z, ZScoreForConfidence(options.confidence));
+  double s = static_cast<double>(relation_.num_rows());
+  double half = 0.0;
+  if (query.agg == AggregateType::kSum) {
+    half = z * std::sqrt(2.0 * s * b * b);  // Var(Σ Laplace) = 2Sb².
+  } else if (query.agg == AggregateType::kAvg) {
+    half = (s > 0.0) ? z * std::sqrt(2.0 * b * b / s) : 0.0;
+  }
+  r.ci = ConfidenceInterval{r.estimate - half, r.estimate + half};
+  return r;
+}
+
+Result<QueryResult> PrivateTable::ExecuteDirect(
+    const AggregateQuery& query) const {
+  if (query.agg != AggregateType::kCount &&
+      query.agg != AggregateType::kSum && query.agg != AggregateType::kAvg) {
+    return Status::InvalidArgument(
+        "ExecuteDirect supports sum/count/avg aggregates");
+  }
+  if (!query.predicate.has_value()) {
+    PCLEAN_ASSIGN_OR_RETURN(double nominal,
+                            ExecuteAggregate(relation_, query));
+    QueryResult r;
+    r.estimator = EstimatorKind::kDirect;
+    r.estimate = nominal;
+    r.nominal = nominal;
+    r.ci = ConfidenceInterval{nominal, nominal};
+    r.s = relation_.num_rows();
+    return r;
+  }
+  PCLEAN_ASSIGN_OR_RETURN(
+      QueryScanStats stats,
+      Scan(*query.predicate, query.agg == AggregateType::kCount
+                                 ? ""
+                                 : query.numeric_attribute));
+  switch (query.agg) {
+    case AggregateType::kCount:
+      return DirectCount(stats);
+    case AggregateType::kSum:
+      return DirectSum(stats);
+    default:
+      return DirectAvg(stats);
+  }
+}
+
+namespace {
+
+/// Shared implementation of the §10 extension aggregates on an arbitrary
+/// table (used by both the point estimate and the bootstrap replicates).
+Result<double> ExtendedAggregateOnTable(const Table& table,
+                                        const AggregateQuery& query,
+                                        double b) {
+  switch (query.agg) {
+    case AggregateType::kMedian:
+    case AggregateType::kPercentile:
+      // Laplace noise has zero median; the nominal value is a consistent
+      // estimate (§10).
+      return ExecuteAggregate(table, query);
+    case AggregateType::kVar:
+    case AggregateType::kStd: {
+      PCLEAN_ASSIGN_OR_RETURN(
+          double nominal_var,
+          ExecuteAggregate(table,
+                           AggregateQuery{AggregateType::kVar,
+                                          query.numeric_attribute,
+                                          query.predicate, 50.0}));
+      // var(x + noise) = var(x) + 2b² for independent noise (§10).
+      double corrected = std::max(0.0, nominal_var - 2.0 * b * b);
+      return query.agg == AggregateType::kVar ? corrected
+                                              : std::sqrt(corrected);
+    }
+    default:
+      return Status::InvalidArgument(
+          "ExtendedAggregate handles median/percentile/var/std; use "
+          "Execute for sum/count/avg");
+  }
+}
+
+}  // namespace
+
+Result<double> PrivateTable::ExtendedAggregate(
+    const AggregateQuery& query) const {
+  double b = 0.0;
+  if (auto it = metadata_.numeric.find(query.numeric_attribute);
+      it != metadata_.numeric.end()) {
+    b = it->second.b;
+  }
+  return ExtendedAggregateOnTable(relation_, query, b);
+}
+
+Result<QueryResult> PrivateTable::BootstrapExtendedAggregate(
+    const AggregateQuery& query, Rng& rng, size_t replicates,
+    double confidence) const {
+  if (replicates < 10) {
+    return Status::InvalidArgument("need at least 10 bootstrap replicates");
+  }
+  if (!(confidence > 0.0 && confidence < 1.0)) {
+    return Status::InvalidArgument("confidence must be in (0, 1)");
+  }
+  PCLEAN_ASSIGN_OR_RETURN(double point, ExtendedAggregate(query));
+  double b = 0.0;
+  if (auto it = metadata_.numeric.find(query.numeric_attribute);
+      it != metadata_.numeric.end()) {
+    b = it->second.b;
+  }
+  size_t rows = relation_.num_rows();
+  std::vector<double> replicate_values;
+  replicate_values.reserve(replicates);
+  std::vector<size_t> indices(rows);
+  for (size_t rep = 0; rep < replicates; ++rep) {
+    for (size_t i = 0; i < rows; ++i) {
+      indices[i] = static_cast<size_t>(rng.UniformInt(rows));
+    }
+    PCLEAN_ASSIGN_OR_RETURN(Table resampled, relation_.Take(indices));
+    auto value = ExtendedAggregateOnTable(resampled, query, b);
+    if (!value.ok()) continue;  // Degenerate resample (e.g. empty group).
+    replicate_values.push_back(*value);
+  }
+  if (replicate_values.size() < replicates / 2) {
+    return Status::FailedPrecondition(
+        "too many degenerate bootstrap replicates");
+  }
+  double alpha = (1.0 - confidence) / 2.0;
+  PCLEAN_ASSIGN_OR_RETURN(double lo,
+                          Percentile(replicate_values, 100.0 * alpha));
+  PCLEAN_ASSIGN_OR_RETURN(
+      double hi, Percentile(replicate_values, 100.0 * (1.0 - alpha)));
+  QueryResult result;
+  result.estimator = EstimatorKind::kPrivateClean;
+  result.estimate = point;
+  result.ci = ConfidenceInterval{lo, hi};
+  result.confidence = confidence;
+  result.nominal = point;
+  result.s = rows;
+  return result;
+}
+
+}  // namespace privateclean

@@ -1,0 +1,191 @@
+#ifndef PRIVATECLEAN_CORE_PRIVATE_TABLE_H_
+#define PRIVATECLEAN_CORE_PRIVATE_TABLE_H_
+
+#include <string>
+#include <unordered_map>
+
+#include "cleaning/pipeline.h"
+#include "core/conjunctive.h"
+#include "core/estimators.h"
+#include "core/query_result.h"
+#include "privacy/accountant.h"
+#include "privacy/grr.h"
+#include "privacy/tuning.h"
+#include "provenance/provenance_manager.h"
+#include "query/aggregate.h"
+
+namespace privateclean {
+
+/// Per-query knobs for PrivateTable estimators.
+struct QueryOptions {
+  double confidence = 0.95;
+  /// true: weighted provenance cut (PC-W, §7.2);
+  /// false: unweighted vertex count (PC-U, §6.3) — on forked graphs this
+  /// over-counts; exposed for the Figure 7 ablation.
+  bool weighted_cut = true;
+};
+
+/// The PrivateClean facade: an ε-locally-differentially-private relation
+/// V that the analyst can clean (Extract/Transform/Merge) and query
+/// (sum/count/avg with single-discrete-attribute predicates), with
+/// bias-corrected estimates and CLT confidence intervals.
+///
+/// Lifecycle (paper Figure 1):
+///   1. the *provider* calls Create() on the original dirty relation R —
+///      GRR randomizes it and the original is no longer needed;
+///   2. the *analyst* applies cleaning operations with Clean();
+///   3. the analyst runs aggregate queries with Count()/Sum()/Avg() (the
+///      PrivateClean estimator) or ExecuteDirect() (the uncorrected
+///      baseline).
+///
+/// The table keeps the GRR metadata (p_i, b_i, domains, S) and a
+/// provenance manager that snapshots V at creation, so after any
+/// composition of cleaners it can rebuild the dirty→clean bipartite graph
+/// and re-anchor query selectivity in the dirty domain (paper §6–§7).
+class PrivateTable {
+ public:
+  /// Privatizes `original` with explicit GRR parameters.
+  static Result<PrivateTable> Create(const Table& original,
+                                     const GrrParams& params,
+                                     const GrrOptions& options, Rng& rng);
+
+  /// Privatizes `original` with parameters chosen by the Appendix E
+  /// tuning algorithm for a desired worst-case count error (selectivity
+  /// units) at the given confidence.
+  static Result<PrivateTable> CreateWithTuning(const Table& original,
+                                               double max_count_error,
+                                               double confidence, Rng& rng);
+
+  /// Privatizes `original` under a total ε budget, split uniformly
+  /// across all attributes (Theorem 1 composition; §4.2.3 "Setting ε").
+  static Result<PrivateTable> CreateWithEpsilonBudget(const Table& original,
+                                                      double total_epsilon,
+                                                      Rng& rng);
+
+  /// Wraps an already-privatized relation (e.g. loaded from a release
+  /// directory, see core/release.h). `relation` must be the *uncleaned*
+  /// private relation: the provenance snapshot anchors to it. The
+  /// metadata must cover every attribute of the relation's schema.
+  static Result<PrivateTable> FromPrivateRelation(
+      Table relation, PrivateRelationMetadata metadata);
+
+  /// The current private relation (V before cleaning, V_clean after).
+  const Table& relation() const { return relation_; }
+
+  /// S, the relation size.
+  size_t size() const { return relation_.num_rows(); }
+
+  /// GRR metadata (public mechanism parameters).
+  const PrivateRelationMetadata& metadata() const { return metadata_; }
+
+  /// Theorem 1 ε accounting for this relation.
+  Result<PrivacyReport> PrivacyAccounting() const {
+    return AccountPrivacy(metadata_);
+  }
+
+  /// Applies one cleaner to the private relation, keeping provenance
+  /// consistent (Extract cleaners are registered with their anchor).
+  Status Clean(const Cleaner& cleaner);
+
+  /// Applies a whole pipeline, stopping at the first failure.
+  Status Clean(const CleaningPipeline& pipeline);
+
+  /// --- PrivateClean estimators (bias-corrected, §5–§7) ----------------
+
+  /// COUNT rows satisfying `predicate`.
+  Result<QueryResult> Count(const Predicate& predicate,
+                            const QueryOptions& options = QueryOptions()) const;
+
+  /// SUM of `numeric_attribute` over rows satisfying `predicate`.
+  Result<QueryResult> Sum(const std::string& numeric_attribute,
+                          const Predicate& predicate,
+                          const QueryOptions& options = QueryOptions()) const;
+
+  /// AVG of `numeric_attribute` over rows satisfying `predicate`.
+  Result<QueryResult> Avg(const std::string& numeric_attribute,
+                          const Predicate& predicate,
+                          const QueryOptions& options = QueryOptions()) const;
+
+  /// COUNT rows satisfying `cond_a AND cond_b`, where the two predicates
+  /// condition on two *different* discrete attributes (§10 SPJ
+  /// extension): the per-attribute correction constants compose via the
+  /// Kronecker product of the transition matrices. Both attributes'
+  /// selectivities are provenance-adjusted, so this works after cleaning.
+  Result<QueryResult> CountConjunctive(
+      const Predicate& cond_a, const Predicate& cond_b,
+      const QueryOptions& options = QueryOptions()) const;
+
+  /// Corrected COUNT for every distinct value of `attribute` in the
+  /// cleaned private relation — the paper's
+  /// `SELECT count(1) FROM R GROUP BY attribute` (§8.3.4), one corrected
+  /// estimate per group, in the clean domain's first-appearance order.
+  Result<std::vector<std::pair<Value, QueryResult>>> GroupByCountEstimate(
+      const std::string& attribute,
+      const QueryOptions& options = QueryOptions()) const;
+
+  /// Generic entry point: dispatches sum/count/avg, with or without a
+  /// predicate. Queries without a predicate use the Direct estimator,
+  /// which is unbiased there (§5.1), with a Laplace-noise interval.
+  Result<QueryResult> Execute(const AggregateQuery& query,
+                              const QueryOptions& options = QueryOptions()) const;
+
+  /// --- Baselines and extensions ----------------------------------------
+
+  /// The Direct estimator (§8.1): nominal value on the cleaned private
+  /// relation, no re-weighting.
+  Result<QueryResult> ExecuteDirect(const AggregateQuery& query) const;
+
+  /// §10 extension aggregates on the private relation: median and
+  /// percentile pass through (Laplace noise has zero median); var/std
+  /// subtract the known noise variance 2b². Predicates are applied
+  /// nominally (no selectivity correction). Caveat: the median
+  /// pass-through is exact only for distributions roughly symmetric
+  /// around their median — on heavily skewed marginals the noised median
+  /// shifts toward the heavy tail.
+  Result<double> ExtendedAggregate(const AggregateQuery& query) const;
+
+  /// §10: confidence intervals for the extension aggregates via the
+  /// bootstrap ("calculating confidence intervals ... require[s] an
+  /// empirical method"). Resamples the private relation's rows with
+  /// replacement `replicates` times and returns the point estimate with
+  /// the percentile interval of the replicate statistics.
+  Result<QueryResult> BootstrapExtendedAggregate(
+      const AggregateQuery& query, Rng& rng, size_t replicates = 200,
+      double confidence = 0.95) const;
+
+  /// --- Introspection -----------------------------------------------------
+
+  /// Current provenance graph of a discrete attribute.
+  Result<ProvenanceGraph> ProvenanceFor(const std::string& attribute) const;
+
+  /// The deterministic estimator inputs (p, l, N) PrivateClean would use
+  /// for this predicate right now — exposed for tests and diagnostics.
+  Result<EstimationInputs> InputsForPredicate(
+      const Predicate& predicate, const std::string& numeric_attribute,
+      const QueryOptions& options) const;
+
+  PrivateTable(PrivateTable&&) = default;
+  PrivateTable& operator=(PrivateTable&&) = default;
+
+ private:
+  PrivateTable() = default;
+
+  Result<QueryScanStats> Scan(const Predicate& predicate,
+                              const std::string& numeric_attribute) const;
+
+  /// Returns the (possibly cached) provenance graph for `attribute`.
+  /// Graphs cost O(S) to build, so they are cached between queries and
+  /// invalidated by Clean(). PrivateTable is not thread-safe: concurrent
+  /// queries on one instance would race on this cache.
+  Result<const ProvenanceGraph*> CachedGraphFor(
+      const std::string& attribute) const;
+
+  Table relation_;
+  PrivateRelationMetadata metadata_;
+  ProvenanceManager provenance_;
+  mutable std::unordered_map<std::string, ProvenanceGraph> graph_cache_;
+};
+
+}  // namespace privateclean
+
+#endif  // PRIVATECLEAN_CORE_PRIVATE_TABLE_H_

@@ -1,0 +1,179 @@
+#include "core/release.h"
+
+#include <filesystem>
+
+#include "table/csv.h"
+#include "table/table_builder.h"
+
+namespace privateclean {
+
+namespace {
+
+constexpr char kDataFile[] = "data.csv";
+constexpr char kMetaFile[] = "meta.csv";
+/// Domain files encode NULL distinctly from the empty string.
+constexpr char kDomainNullLiteral[] = "\\N";
+
+Result<Schema> MetaSchema() {
+  return Schema::Make(
+      {Field::Discrete("attribute"), Field::Discrete("kind"),
+       Field::Discrete("type"),
+       Field::Numerical("param", ValueType::kDouble),
+       Field::Numerical("sensitivity", ValueType::kDouble),
+       Field::Numerical("domain_size", ValueType::kInt64)});
+}
+
+std::string DomainFileName(size_t index) {
+  return "domain_" + std::to_string(index) + ".csv";
+}
+
+std::string TypeName(ValueType type) { return ValueTypeToString(type); }
+
+Result<ValueType> TypeFromName(const std::string& name) {
+  if (name == "int64") return ValueType::kInt64;
+  if (name == "double") return ValueType::kDouble;
+  if (name == "string") return ValueType::kString;
+  return Status::IOError("unknown type '" + name + "' in release metadata");
+}
+
+}  // namespace
+
+Status WriteRelease(const Table& private_relation,
+                    const PrivateRelationMetadata& metadata,
+                    const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::IOError("cannot create release directory '" + dir +
+                           "': " + ec.message());
+  }
+  PCLEAN_RETURN_NOT_OK(
+      WriteCsvFile(private_relation, dir + "/" + kDataFile));
+
+  // meta.csv: one row per attribute, in schema order so the analyst can
+  // reconstruct the schema exactly.
+  PCLEAN_ASSIGN_OR_RETURN(Schema meta_schema, MetaSchema());
+  TableBuilder meta(meta_schema);
+  const Schema& schema = private_relation.schema();
+  size_t domain_index = 0;
+  for (size_t i = 0; i < schema.num_fields(); ++i) {
+    const Field& field = schema.field(i);
+    if (field.kind == AttributeKind::kDiscrete) {
+      auto it = metadata.discrete.find(field.name);
+      if (it == metadata.discrete.end()) {
+        return Status::InvalidArgument(
+            "metadata missing discrete attribute '" + field.name + "'");
+      }
+      meta.Row({Value(field.name), Value("discrete"),
+                Value(TypeName(field.type)), Value(it->second.p),
+                Value::Null(),
+                Value(static_cast<int64_t>(it->second.domain.size()))});
+      // Domain file: one typed column with the attribute's name.
+      PCLEAN_ASSIGN_OR_RETURN(
+          Schema domain_schema,
+          Schema::Make({Field::Discrete(field.name, field.type)}));
+      TableBuilder domain_table(domain_schema);
+      for (const Value& v : it->second.domain.values()) {
+        domain_table.Row({v});
+      }
+      PCLEAN_ASSIGN_OR_RETURN(Table dt, domain_table.Finish());
+      CsvOptions domain_options;
+      domain_options.null_literal = kDomainNullLiteral;
+      PCLEAN_RETURN_NOT_OK(WriteCsvFile(
+          dt, dir + "/" + DomainFileName(domain_index), domain_options));
+      ++domain_index;
+    } else {
+      auto it = metadata.numeric.find(field.name);
+      if (it == metadata.numeric.end()) {
+        return Status::InvalidArgument(
+            "metadata missing numerical attribute '" + field.name + "'");
+      }
+      meta.Row({Value(field.name), Value("numeric"),
+                Value(TypeName(field.type)), Value(it->second.b),
+                Value(it->second.sensitivity), Value::Null()});
+    }
+  }
+  PCLEAN_ASSIGN_OR_RETURN(Table meta_table, meta.Finish());
+  return WriteCsvFile(meta_table, dir + "/" + kMetaFile);
+}
+
+Status WriteRelease(const GrrOutput& grr, const std::string& dir) {
+  return WriteRelease(grr.table, grr.metadata, dir);
+}
+
+Result<LoadedRelease> ReadRelease(const std::string& dir) {
+  PCLEAN_ASSIGN_OR_RETURN(Schema meta_schema, MetaSchema());
+  PCLEAN_ASSIGN_OR_RETURN(Table meta,
+                          ReadCsvFile(dir + "/" + kMetaFile, meta_schema));
+  if (meta.num_rows() == 0) {
+    return Status::IOError("release metadata is empty");
+  }
+
+  // Reconstruct the data schema and the metadata maps.
+  std::vector<Field> fields;
+  LoadedRelease release;
+  size_t domain_index = 0;
+  for (size_t r = 0; r < meta.num_rows(); ++r) {
+    std::string name = meta.column(0).StringAt(r);
+    std::string kind = meta.column(1).StringAt(r);
+    PCLEAN_ASSIGN_OR_RETURN(ValueType type,
+                            TypeFromName(meta.column(2).StringAt(r)));
+    if (meta.column(3).IsNull(r)) {
+      return Status::IOError("attribute '" + name +
+                             "' missing its mechanism parameter");
+    }
+    double param = meta.column(3).DoubleAt(r);
+    if (kind == "discrete") {
+      fields.push_back(Field{name, type, AttributeKind::kDiscrete});
+      PCLEAN_ASSIGN_OR_RETURN(
+          Schema domain_schema,
+          Schema::Make({Field::Discrete(name, type)}));
+      CsvOptions domain_options;
+      domain_options.null_literal = kDomainNullLiteral;
+      PCLEAN_ASSIGN_OR_RETURN(
+          Table domain_table,
+          ReadCsvFile(dir + "/" + DomainFileName(domain_index),
+                      domain_schema, domain_options));
+      ++domain_index;
+      std::vector<Value> values;
+      values.reserve(domain_table.num_rows());
+      for (size_t i = 0; i < domain_table.num_rows(); ++i) {
+        values.push_back(domain_table.column(0).ValueAt(i));
+      }
+      Domain domain = Domain::FromValues(values);
+      if (!meta.column(5).IsNull(r) &&
+          domain.size() !=
+              static_cast<size_t>(meta.column(5).Int64At(r))) {
+        return Status::IOError("domain file for '" + name +
+                               "' does not match the recorded size");
+      }
+      release.metadata.discrete.emplace(
+          name, DiscreteAttributeMeta{param, std::move(domain)});
+    } else if (kind == "numeric") {
+      if (type == ValueType::kString) {
+        return Status::IOError("numeric attribute '" + name +
+                               "' cannot be string-typed");
+      }
+      fields.push_back(Field{name, type, AttributeKind::kNumerical});
+      double sensitivity =
+          meta.column(4).IsNull(r) ? 0.0 : meta.column(4).DoubleAt(r);
+      release.metadata.numeric.emplace(
+          name, NumericAttributeMeta{param, sensitivity});
+    } else {
+      return Status::IOError("unknown attribute kind '" + kind + "'");
+    }
+  }
+  PCLEAN_ASSIGN_OR_RETURN(Schema schema, Schema::Make(std::move(fields)));
+  PCLEAN_ASSIGN_OR_RETURN(release.relation,
+                          ReadCsvFile(dir + "/" + kDataFile, schema));
+  release.metadata.dataset_size = release.relation.num_rows();
+  return release;
+}
+
+Result<PrivateTable> OpenRelease(const std::string& dir) {
+  PCLEAN_ASSIGN_OR_RETURN(LoadedRelease release, ReadRelease(dir));
+  return PrivateTable::FromPrivateRelation(std::move(release.relation),
+                                           std::move(release.metadata));
+}
+
+}  // namespace privateclean

@@ -1,0 +1,52 @@
+#ifndef PRIVATECLEAN_CORE_RELEASE_H_
+#define PRIVATECLEAN_CORE_RELEASE_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "core/private_table.h"
+#include "privacy/grr.h"
+
+namespace privateclean {
+
+/// Serialization of a private release — the actual provider→analyst
+/// handoff. A release directory contains:
+///
+///   data.csv       the private relation V (RFC-4180 CSV)
+///   meta.csv       one row per attribute: name, kind, physical type,
+///                  mechanism parameter (p or b), sensitivity, domain
+///                  size; plus the relation size
+///   domain_<i>.csv the randomization-time domain of the i-th discrete
+///                  attribute (one typed column; nulls encoded as \N)
+///
+/// Everything in the release is a public parameter of the mechanism —
+/// shipping it alongside V does not weaken ε-local differential privacy
+/// — and it is exactly what the analyst-side estimators need (p_i, b_i,
+/// the dirty domains fixing N, and S).
+
+/// Writes the release into `dir` (created if missing).
+Status WriteRelease(const Table& private_relation,
+                    const PrivateRelationMetadata& metadata,
+                    const std::string& dir);
+
+/// Convenience overload for a fresh GRR output.
+Status WriteRelease(const GrrOutput& grr, const std::string& dir);
+
+/// A loaded release: the private relation and its mechanism metadata.
+struct LoadedRelease {
+  Table relation;
+  PrivateRelationMetadata metadata;
+};
+
+/// Reads a release directory back.
+Result<LoadedRelease> ReadRelease(const std::string& dir);
+
+/// Reconstructs an analyst-side PrivateTable from a loaded release. The
+/// relation must be the *uncleaned* private relation as released (the
+/// provenance snapshot anchors to it); apply cleaners afterwards via
+/// PrivateTable::Clean as usual.
+Result<PrivateTable> OpenRelease(const std::string& dir);
+
+}  // namespace privateclean
+
+#endif  // PRIVATECLEAN_CORE_RELEASE_H_

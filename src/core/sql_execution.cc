@@ -1,0 +1,61 @@
+#include "core/sql_execution.h"
+
+namespace privateclean {
+
+namespace {
+
+bool IsExtensionAggregate(AggregateType agg) {
+  return agg == AggregateType::kMedian || agg == AggregateType::kVar ||
+         agg == AggregateType::kStd || agg == AggregateType::kPercentile;
+}
+
+QueryResult PointResult(double value, EstimatorKind kind, size_t s) {
+  QueryResult r;
+  r.estimator = kind;
+  r.estimate = value;
+  r.nominal = value;
+  r.ci = ConfidenceInterval{value, value};
+  r.s = s;
+  return r;
+}
+
+}  // namespace
+
+Result<QueryResult> ExecuteSql(const PrivateTable& table,
+                               const std::string& sql,
+                               const QueryOptions& options) {
+  PCLEAN_ASSIGN_OR_RETURN(ParsedSql parsed, ParseSql(sql));
+  if (parsed.conjunct.has_value()) {
+    return table.CountConjunctive(*parsed.query.predicate,
+                                  *parsed.conjunct, options);
+  }
+  if (IsExtensionAggregate(parsed.query.agg)) {
+    PCLEAN_ASSIGN_OR_RETURN(double value,
+                            table.ExtendedAggregate(parsed.query));
+    return PointResult(value, EstimatorKind::kPrivateClean, table.size());
+  }
+  return table.Execute(parsed.query, options);
+}
+
+Result<QueryResult> ExecuteSqlDirect(const PrivateTable& table,
+                                     const std::string& sql) {
+  PCLEAN_ASSIGN_OR_RETURN(ParsedSql parsed, ParseSql(sql));
+  if (parsed.conjunct.has_value()) {
+    // Nominal conjunctive count: scan the quadrants, no correction.
+    PCLEAN_ASSIGN_OR_RETURN(
+        ConjunctiveScanStats stats,
+        ScanConjunctive(table.relation(), *parsed.query.predicate,
+                        *parsed.conjunct));
+    return PointResult(static_cast<double>(stats.count_tt),
+                       EstimatorKind::kDirect, table.size());
+  }
+  if (IsExtensionAggregate(parsed.query.agg)) {
+    // Nominal extension aggregate straight off the private relation.
+    PCLEAN_ASSIGN_OR_RETURN(
+        double value, ExecuteAggregate(table.relation(), parsed.query));
+    return PointResult(value, EstimatorKind::kDirect, table.size());
+  }
+  return table.ExecuteDirect(parsed.query);
+}
+
+}  // namespace privateclean

@@ -1,0 +1,31 @@
+#ifndef PRIVATECLEAN_CORE_SQL_EXECUTION_H_
+#define PRIVATECLEAN_CORE_SQL_EXECUTION_H_
+
+#include <string>
+
+#include "core/private_table.h"
+#include "query/sql.h"
+
+namespace privateclean {
+
+/// Parses and runs a SQL query against a private table with the
+/// PrivateClean estimators:
+///
+///   ExecuteSql(pt, "SELECT avg(score) FROM r WHERE major = 'EECS'")
+///
+/// Dispatch: COUNT with two AND-conditions uses the conjunctive
+/// estimator; plain SUM/COUNT/AVG use the corrected estimators;
+/// MEDIAN/VAR/STD use the §10 extension aggregates (point estimates —
+/// their intervals are degenerate). The FROM table name is not checked
+/// (a PrivateTable is a single relation).
+Result<QueryResult> ExecuteSql(const PrivateTable& table,
+                               const std::string& sql,
+                               const QueryOptions& options = QueryOptions());
+
+/// The Direct-baseline counterpart (nominal values, no re-weighting).
+Result<QueryResult> ExecuteSqlDirect(const PrivateTable& table,
+                                     const std::string& sql);
+
+}  // namespace privateclean
+
+#endif  // PRIVATECLEAN_CORE_SQL_EXECUTION_H_

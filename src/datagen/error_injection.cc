@@ -1,0 +1,165 @@
+#include "datagen/error_injection.h"
+
+#include "cleaning/merge.h"
+
+namespace privateclean {
+
+namespace {
+
+Status ValidateRate(double rate, const char* what) {
+  if (!(rate >= 0.0 && rate <= 1.0)) {
+    return Status::InvalidArgument(std::string(what) +
+                                   " must be in [0, 1]");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<InjectionResult> InjectSpellingErrors(const Table& table,
+                                             const std::string& attribute,
+                                             double error_rate,
+                                             double row_corruption_prob,
+                                             Rng& rng) {
+  PCLEAN_RETURN_NOT_OK(ValidateRate(error_rate, "error_rate"));
+  PCLEAN_RETURN_NOT_OK(
+      ValidateRate(row_corruption_prob, "row_corruption_prob"));
+  PCLEAN_ASSIGN_OR_RETURN(
+      Domain domain,
+      Domain::FromColumn(table, attribute, /*include_null=*/false));
+  if (domain.empty()) {
+    return Status::FailedPrecondition("attribute '" + attribute +
+                                      "' has no non-null values");
+  }
+
+  // Choose which distinct values receive an alternate spelling.
+  size_t num_corrupted = static_cast<size_t>(
+      error_rate * static_cast<double>(domain.size()) + 0.5);
+  std::vector<size_t> indices(domain.size());
+  for (size_t i = 0; i < indices.size(); ++i) indices[i] = i;
+  rng.Shuffle(indices);
+  indices.resize(num_corrupted);
+
+  InjectionResult out{table.Clone(), table.Clone(), {}};
+  std::unordered_map<Value, Value, ValueHash> alternate;  // clean -> dirty
+  for (size_t idx : indices) {
+    const Value& v = domain.value(idx);
+    Value alt(v.ToString() + "~err");
+    alternate.emplace(v, alt);
+    out.repair_map.emplace(std::move(alt), v);
+  }
+  if (!alternate.empty() && row_corruption_prob > 0.0) {
+    PCLEAN_ASSIGN_OR_RETURN(Column * col,
+                            out.dirty.MutableColumnByName(attribute));
+    for (size_t r = 0; r < col->size(); ++r) {
+      if (col->IsNull(r)) continue;
+      auto it = alternate.find(col->ValueAt(r));
+      if (it == alternate.end()) continue;
+      if (rng.Bernoulli(row_corruption_prob)) {
+        PCLEAN_RETURN_NOT_OK(col->SetValue(r, it->second));
+      }
+    }
+  }
+  return out;
+}
+
+Result<InjectionResult> InjectMixedErrors(const Table& table,
+                                          const std::string& attribute,
+                                          double error_rate,
+                                          double merge_fraction, Rng& rng) {
+  PCLEAN_RETURN_NOT_OK(ValidateRate(error_rate, "error_rate"));
+  PCLEAN_RETURN_NOT_OK(ValidateRate(merge_fraction, "merge_fraction"));
+  PCLEAN_ASSIGN_OR_RETURN(
+      Domain domain,
+      Domain::FromColumn(table, attribute, /*include_null=*/false));
+  if (domain.size() < 2) {
+    return Status::FailedPrecondition(
+        "mixed injection needs at least 2 distinct values");
+  }
+
+  size_t num_errors = static_cast<size_t>(
+      error_rate * static_cast<double>(domain.size()) + 0.5);
+  num_errors = std::min(num_errors, domain.size() - 1);
+  size_t num_merges = static_cast<size_t>(
+      merge_fraction * static_cast<double>(num_errors) + 0.5);
+  std::vector<size_t> indices(domain.size());
+  for (size_t i = 0; i < indices.size(); ++i) indices[i] = i;
+  rng.Shuffle(indices);
+
+  InjectionResult out{table.Clone(), Table(), {}};
+  // Merge-type errors: aliases of values drawn from the error-free
+  // remainder (no alias chains). The input relation already contains the
+  // alias spellings; cleaning maps them onto their canonicals.
+  size_t num_clean_values = domain.size() - num_errors;
+  std::unordered_map<Value, Value, ValueHash> renames;  // original -> dirty
+  for (size_t i = 0; i < num_errors; ++i) {
+    const Value& v = domain.value(indices[i]);
+    if (i < num_merges && num_clean_values > 0) {
+      const Value& canonical = domain.value(
+          indices[num_errors + rng.UniformInt(num_clean_values)]);
+      out.repair_map.emplace(v, canonical);
+    } else {
+      Value dirty(v.ToString() + "~r");
+      renames.emplace(v, dirty);
+      out.repair_map.emplace(std::move(dirty), v);
+    }
+  }
+  // Apply the renames to the dirty relation (merge-type values stay as
+  // they are — their spelling *is* the error).
+  if (!renames.empty()) {
+    PCLEAN_ASSIGN_OR_RETURN(Column * col,
+                            out.dirty.MutableColumnByName(attribute));
+    for (size_t r = 0; r < col->size(); ++r) {
+      if (col->IsNull(r)) continue;
+      auto it = renames.find(col->ValueAt(r));
+      if (it == renames.end()) continue;
+      PCLEAN_RETURN_NOT_OK(col->SetValue(r, it->second));
+    }
+  }
+  // Ground truth: the repair applied to the dirty relation.
+  out.clean = out.dirty.Clone();
+  if (!out.repair_map.empty()) {
+    FindReplace repair(attribute, out.repair_map);
+    PCLEAN_RETURN_NOT_OK(repair.Apply(&out.clean));
+  }
+  return out;
+}
+
+Result<InjectionResult> InjectMergeErrors(const Table& table,
+                                          const std::string& attribute,
+                                          double merge_rate, Rng& rng) {
+  PCLEAN_RETURN_NOT_OK(ValidateRate(merge_rate, "merge_rate"));
+  PCLEAN_ASSIGN_OR_RETURN(
+      Domain domain,
+      Domain::FromColumn(table, attribute, /*include_null=*/false));
+  if (domain.size() < 2) {
+    return Status::FailedPrecondition(
+        "merge injection needs at least 2 distinct values");
+  }
+
+  size_t num_aliases = static_cast<size_t>(
+      merge_rate * static_cast<double>(domain.size()) + 0.5);
+  num_aliases = std::min(num_aliases, domain.size() - 1);
+  std::vector<size_t> indices(domain.size());
+  for (size_t i = 0; i < indices.size(); ++i) indices[i] = i;
+  rng.Shuffle(indices);
+
+  // The first num_aliases shuffled values become aliases; canonicals are
+  // drawn from the remainder so alias chains cannot form.
+  InjectionResult out{table.Clone(), table.Clone(), {}};
+  size_t num_canonicals = domain.size() - num_aliases;
+  for (size_t i = 0; i < num_aliases; ++i) {
+    const Value& alias = domain.value(indices[i]);
+    const Value& canonical = domain.value(
+        indices[num_aliases + rng.UniformInt(num_canonicals)]);
+    out.repair_map.emplace(alias, canonical);
+  }
+  if (!out.repair_map.empty()) {
+    // Ground truth: aliases relabeled to canonicals.
+    FindReplace repair(attribute, out.repair_map);
+    PCLEAN_RETURN_NOT_OK(repair.Apply(&out.clean));
+  }
+  return out;
+}
+
+}  // namespace privateclean

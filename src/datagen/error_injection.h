@@ -1,0 +1,63 @@
+#ifndef PRIVATECLEAN_DATAGEN_ERROR_INJECTION_H_
+#define PRIVATECLEAN_DATAGEN_ERROR_INJECTION_H_
+
+#include <unordered_map>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "table/domain.h"
+#include "table/table.h"
+
+namespace privateclean {
+
+/// The output of an error injector: a dirty relation, the ground-truth
+/// clean relation (what a perfect analyst would produce), and the repair
+/// map the experiment's cleaner applies (dirty value → clean value).
+/// The experiments privatize `dirty`, clean the private relation with
+/// `repair_map` as a FindReplace/Merge, and score estimates against
+/// queries on `clean`.
+struct InjectionResult {
+  Table dirty;
+  Table clean;
+  std::unordered_map<Value, Value, ValueHash> repair_map;
+};
+
+/// Spelling-error injection (the Figure 5 "error rate" workload): for a
+/// fraction `error_rate` of the attribute's distinct values, an alternate
+/// representation "<value>~err" is introduced and each row holding the
+/// value switches to it independently with probability
+/// `row_corruption_prob`. Cleaning merges the alternates back — the
+/// dirty domain is larger than the clean one, which is what breaks the
+/// Direct estimator's implicit selectivity.
+Result<InjectionResult> InjectSpellingErrors(const Table& table,
+                                             const std::string& attribute,
+                                             double error_rate,
+                                             double row_corruption_prob,
+                                             Rng& rng);
+
+/// Mixed rename/merge injection (the §8.3.2 protocol: distinct values
+/// are "mapped to new random distinct values and other distinct
+/// values"). A fraction `error_rate` of the distinct values are
+/// erroneous; of those, `merge_fraction` are *aliases* of other existing
+/// values (cleaning merges them, shrinking the domain — the errors that
+/// hurt Direct) and the rest are *renames* (the dirty relation holds a
+/// new spelling "<value>~r"; cleaning renames it back, domain size
+/// preserved). Figure 5 sweeps error_rate at a fixed mix; Figure 6 fixes
+/// the error rate and sweeps merge_fraction.
+Result<InjectionResult> InjectMixedErrors(const Table& table,
+                                          const std::string& attribute,
+                                          double error_rate,
+                                          double merge_fraction, Rng& rng);
+
+/// Merge-error injection (the Figure 6 "merge rate" workload): a fraction
+/// `merge_rate` of the distinct values are declared aliases of other
+/// (randomly chosen) distinct values. The input relation is the dirty
+/// one; the ground truth relabels every alias row to its canonical. The
+/// analyst's repair merges alias → canonical, shrinking the domain.
+Result<InjectionResult> InjectMergeErrors(const Table& table,
+                                          const std::string& attribute,
+                                          double merge_rate, Rng& rng);
+
+}  // namespace privateclean
+
+#endif  // PRIVATECLEAN_DATAGEN_ERROR_INJECTION_H_

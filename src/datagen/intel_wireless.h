@@ -1,0 +1,54 @@
+#ifndef PRIVATECLEAN_DATAGEN_INTEL_WIRELESS_H_
+#define PRIVATECLEAN_DATAGEN_INTEL_WIRELESS_H_
+
+#include <functional>
+
+#include "common/random.h"
+#include "common/result.h"
+#include "table/table.h"
+#include "table/value.h"
+
+namespace privateclean {
+
+/// Simulator for the IntelWireless workload (paper §8.4).
+///
+/// The real dataset is 2.3M sensor-environment observations from 68
+/// sensors with occasional failures that drop or garble the sensor id
+/// and produce untrustworthy readings. We do not have the Intel Lab
+/// trace, so this generator reproduces its *structure*: per-sensor
+/// temperature/humidity/light time series, a small discrete domain
+/// (68 ids) relative to the dataset size, and failure episodes that emit
+/// spurious ids (or nulls) and outlier readings. This is the paper's
+/// "preferred regime" for PrivateClean — small N/S.
+struct IntelWirelessOptions {
+  size_t num_sensors = 68;
+  size_t num_rows = 20000;
+  /// Probability a row belongs to a failure episode.
+  double failure_rate = 0.05;
+  /// Among failure rows, probability the id is a spurious garbage token
+  /// (vs. missing/null).
+  double spurious_id_prob = 0.6;
+  /// Number of distinct spurious tokens failures draw from.
+  size_t num_spurious_tokens = 8;
+};
+
+/// The generated dataset plus its ground truth.
+struct IntelWirelessData {
+  /// Dirty relation: sensor_id (discrete string, nullable), temp,
+  /// humidity, light (numerical doubles).
+  Table dirty;
+  /// Ground truth after the paper's cleaning: all spurious ids merged to
+  /// NULL (failure rows keep their garbage readings — the cleaning model
+  /// only touches the discrete attribute).
+  Table clean;
+  /// Recognizer for spurious id values (never matches real ids or null);
+  /// this is the `is_spurious` UDF handed to MergeToNull.
+  std::function<bool(const Value&)> is_spurious;
+};
+
+Result<IntelWirelessData> GenerateIntelWireless(
+    const IntelWirelessOptions& options, Rng& rng);
+
+}  // namespace privateclean
+
+#endif  // PRIVATECLEAN_DATAGEN_INTEL_WIRELESS_H_

@@ -1,0 +1,46 @@
+#ifndef PRIVATECLEAN_DATAGEN_MCAFE_H_
+#define PRIVATECLEAN_DATAGEN_MCAFE_H_
+
+#include "common/random.h"
+#include "common/result.h"
+#include "table/table.h"
+
+namespace privateclean {
+
+/// Simulator for the MCAFE course-evaluation workload (paper §8.5).
+///
+/// The real dataset is 406 M-CAFE evaluations with a numerical
+/// "enthusiasm" score (1–10) and a student country code, where the
+/// distinct fraction is high (~21%) and the distribution is dominated by
+/// the United States. We do not have the M-CAFE data, so this generator
+/// reproduces that structure: 406 rows, a Zipf-skewed country marginal
+/// over ~85 codes (US first), European countries present in the tail,
+/// and a few missing country codes. This is the paper's "hard" regime —
+/// high N/S — where estimates carry larger error.
+struct McafeOptions {
+  size_t num_rows = 406;
+  /// Target number of distinct country codes (capped by the code list;
+  /// codes beyond the base list get synthetic "X<k>" codes so the
+  /// distinct fraction can reach the paper's ~21%).
+  size_t num_countries = 85;
+  /// Probability a student is from the US (the dominant head).
+  double us_share = 0.5;
+  /// Zipf skew of the non-US tail; low skew keeps the tail long, so the
+  /// distinct fraction reaches the paper's ~21%.
+  double zipf_skew = 0.6;
+  double missing_rate = 0.02;
+};
+
+/// Generated MCAFE-like relation: country (discrete string, nullable),
+/// enthusiasm (numerical double, 1–10). The relation is its own ground
+/// truth — the experiment's "cleaning" is the semantic isEurope()
+/// aggregation, not error repair.
+Result<Table> GenerateMcafe(const McafeOptions& options, Rng& rng);
+
+/// The isEurope() UDF from §8.5: true for European country codes
+/// (false for null, non-European, and synthetic codes).
+bool McafeIsEurope(const Value& country);
+
+}  // namespace privateclean
+
+#endif  // PRIVATECLEAN_DATAGEN_MCAFE_H_

@@ -1,0 +1,96 @@
+#include "datagen/names.h"
+
+#include <unordered_set>
+
+namespace privateclean {
+
+const std::vector<std::string>& CityNames() {
+  static const std::vector<std::string>* kCities = new std::vector<std::string>{
+      "Springfield", "Riverside",  "Franklin",   "Greenville", "Bristol",
+      "Clinton",     "Fairview",   "Salem",      "Madison",    "Georgetown",
+      "Arlington",   "Ashland",    "Dover",      "Oxford",     "Jackson",
+      "Burlington",  "Manchester", "Milton",     "Newport",    "Auburn",
+      "Centerville", "Clayton",    "Dayton",     "Lexington",  "Milford",
+      "Mount Vernon", "Oakland",   "Winchester", "Cleveland",  "Hudson",
+      "Kingston",    "Riverton",   "Lebanon",    "Plymouth",   "Marion",
+      "Monroe",      "Lancaster",  "Glendale",   "Brookfield", "Hamilton",
+      "Waverly",     "Bedford",    "Camden",     "Chester",    "Dublin",
+      "Easton",      "Farmington", "Gilbert",    "Harrison",   "Irving",
+      "Jasper",      "Keystone",   "Lakeside",   "Midland",    "Norwood",
+      "Ontario",     "Preston",    "Quincy",     "Redmond",    "Sheridan",
+      "Troy",        "Union",      "Vernon",     "Weston",     "York",
+      "Zanesville",  "Alton",      "Boone",      "Carlisle",   "Decatur",
+      "Elgin",       "Fulton",     "Geneva",     "Hanover",    "Ithaca",
+      "Juneau",      "Knoxville",  "Laurel",     "Mesa",       "Nashua",
+      "Ogden",       "Palmyra",    "Quitman",    "Roswell",    "Sparta",
+      "Tiffin",      "Urbana",     "Vienna",     "Warsaw",     "Xenia",
+      "Yukon",       "Zion",       "Avondale",   "Berea",      "Corinth",
+      "Delphi",      "Elkhart",    "Freeport",   "Granville",  "Holland"};
+  return *kCities;
+}
+
+const std::vector<std::string>& CountyNames() {
+  static const std::vector<std::string>* kCounties =
+      new std::vector<std::string>{
+          "Adams",     "Brown",    "Clark",     "Douglas",  "Elm",
+          "Floyd",     "Grant",    "Hardin",    "Iron",     "Jefferson",
+          "Knox",      "Lincoln",  "Mercer",    "Newton",   "Orange",
+          "Perry",     "Quitman",  "Randolph",  "Summit",   "Taylor",
+          "Union",     "Vance",    "Washington", "Yates",   "Zapata",
+          "Ashe",      "Blaine",   "Custer",    "Dawson",   "Eagle"};
+  return *kCounties;
+}
+
+const std::vector<std::string>& StateNames() {
+  static const std::vector<std::string>* kStates = new std::vector<std::string>{
+      "Alabama",       "Alaska",        "Arizona",      "Arkansas",
+      "California",    "Colorado",      "Connecticut",  "Delaware",
+      "Florida",       "Georgia",       "Hawaii",       "Idaho",
+      "Illinois",      "Indiana",       "Iowa",         "Kansas",
+      "Kentucky",      "Louisiana",     "Maine",        "Maryland",
+      "Massachusetts", "Michigan",      "Minnesota",    "Mississippi",
+      "Missouri",      "Montana",       "Nebraska",     "Nevada",
+      "New Hampshire", "New Jersey",    "New Mexico",   "New York",
+      "North Carolina", "North Dakota", "Ohio",         "Oklahoma",
+      "Oregon",        "Pennsylvania",  "Rhode Island", "South Carolina",
+      "South Dakota",  "Tennessee",     "Texas",        "Utah",
+      "Vermont",       "Virginia",      "Washington",   "West Virginia",
+      "Wisconsin",     "Wyoming"};
+  return *kStates;
+}
+
+const std::vector<std::string>& CountryNames() {
+  static const std::vector<std::string>* kCountries =
+      new std::vector<std::string>{
+          "United States", "Canada",      "Mexico",      "Brazil",
+          "United Kingdom", "France",     "Germany",     "Spain",
+          "Italy",         "Netherlands", "Sweden",      "Norway",
+          "Poland",        "Portugal",    "Ireland",     "Switzerland",
+          "Austria",       "Belgium",     "Japan",       "China",
+          "India",         "Australia",   "South Korea", "Argentina"};
+  return *kCountries;
+}
+
+const std::vector<std::string>& CountryCodes() {
+  // Index 0 is US. The next ranks are the large non-European cohorts
+  // (Canada, China, India, ...); the 16 European codes sit deeper in the
+  // tail, so European students are individually rare while their codes
+  // make up a large share of the *domain* — the skewed regime the MCAFE
+  // experiment (§8.5) aggregates over. 40 codes total.
+  static const std::vector<std::string>* kCodes = new std::vector<std::string>{
+      "US", "CA", "CN", "IN", "MX", "KR", "JP", "BR", "AU", "GB",
+      "TR", "FR", "SA", "DE", "NG", "ES", "IL", "IT", "TH", "NL",
+      "VN", "SE", "SG", "NO", "MY", "PL", "AR", "PT", "CL", "IE",
+      "NZ", "CH", "ZA", "AT", "EG", "BE", "KE", "DK", "AE", "FI"};
+  return *kCodes;
+}
+
+bool IsEuropeanCountryCode(const std::string& code) {
+  static const std::unordered_set<std::string>* kEurope =
+      new std::unordered_set<std::string>{
+          "GB", "FR", "DE", "ES", "IT", "NL", "SE", "NO",
+          "PL", "PT", "IE", "CH", "AT", "BE", "DK", "FI"};
+  return kEurope->count(code) > 0;
+}
+
+}  // namespace privateclean

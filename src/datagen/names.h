@@ -1,0 +1,34 @@
+#ifndef PRIVATECLEAN_DATAGEN_NAMES_H_
+#define PRIVATECLEAN_DATAGEN_NAMES_H_
+
+#include <string>
+#include <vector>
+
+namespace privateclean {
+
+/// Word lists used by the synthetic dataset generators. All functions
+/// return stable, deterministic lists (no RNG involved).
+
+/// US city names (100 entries).
+const std::vector<std::string>& CityNames();
+
+/// County names (30 entries).
+const std::vector<std::string>& CountyNames();
+
+/// US state names (50 entries).
+const std::vector<std::string>& StateNames();
+
+/// Country names (24 entries); index 0 is "United States".
+const std::vector<std::string>& CountryNames();
+
+/// ISO-like country codes (40 entries); index 0 is "US". The first 16
+/// non-US entries are European (see IsEuropeanCountryCode).
+const std::vector<std::string>& CountryCodes();
+
+/// True for the European codes in CountryCodes() — the MCAFE experiment's
+/// isEurope() UDF.
+bool IsEuropeanCountryCode(const std::string& code);
+
+}  // namespace privateclean
+
+#endif  // PRIVATECLEAN_DATAGEN_NAMES_H_

@@ -1,0 +1,45 @@
+#ifndef PRIVATECLEAN_DATAGEN_SYNTHETIC_H_
+#define PRIVATECLEAN_DATAGEN_SYNTHETIC_H_
+
+#include "common/random.h"
+#include "common/result.h"
+#include "table/table.h"
+
+namespace privateclean {
+
+/// Parameters for the paper's synthetic dataset (§8.2, Appendix D
+/// Table 1). Defaults match the paper's defaults exactly.
+struct SyntheticOptions {
+  size_t num_rows = 1000;     ///< S
+  size_t num_distinct = 50;   ///< N
+  double zipf_skew = 2.0;     ///< z (0 = uniform)
+  double numeric_lo = 0.0;    ///< numeric attribute range lower bound
+  double numeric_hi = 100.0;  ///< numeric attribute range upper bound
+  /// When true, the numeric value's mean tracks the categorical value's
+  /// Zipf rank, so the predicate attribute and the aggregate attribute
+  /// are correlated — the harder regime §5.5 discusses for sum queries.
+  bool correlated = false;
+};
+
+/// Generates the synthetic relation:
+///   category : discrete string attribute, values "c0".."c<N-1>",
+///              drawn Zipf(z) over ranks (rank 0 most frequent);
+///   value    : numerical double in [lo, hi], drawn from a Zipf-shaped
+///              marginal (both attributes Zipfian, as in §8.2).
+Result<Table> GenerateSynthetic(const SyntheticOptions& options, Rng& rng);
+
+/// The categorical value for rank k ("c<k>").
+Value SyntheticCategory(size_t rank);
+
+/// A predicate value set of `num_values` categories. `mode` picks which
+/// ranks: 0 = the most frequent ranks (high record-selectivity), 1 = the
+/// rarest ranks (low record-selectivity, skew-sensitive), 2 = a uniform
+/// random subset. The experiment harnesses use mode 2 ("randomly
+/// selected query", Appendix D).
+std::vector<Value> PickPredicateCategories(size_t num_distinct,
+                                           size_t num_values, int mode,
+                                           Rng& rng);
+
+}  // namespace privateclean
+
+#endif  // PRIVATECLEAN_DATAGEN_SYNTHETIC_H_

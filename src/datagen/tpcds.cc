@@ -1,0 +1,99 @@
+#include "datagen/tpcds.h"
+
+#include "datagen/names.h"
+#include "table/table_builder.h"
+
+namespace privateclean {
+
+Result<Table> GenerateCustomerAddress(const TpcdsOptions& options,
+                                      Rng& rng) {
+  if (options.num_rows == 0) {
+    return Status::InvalidArgument("num_rows must be > 0");
+  }
+  size_t num_cities = std::min(options.num_cities, CityNames().size());
+  size_t num_counties = std::min(options.num_counties, CountyNames().size());
+  if (num_cities == 0 || num_counties == 0) {
+    return Status::InvalidArgument("need at least one city and county");
+  }
+
+  PCLEAN_ASSIGN_OR_RETURN(
+      Schema schema,
+      Schema::Make({Field::Discrete("ca_city", ValueType::kString),
+                    Field::Discrete("ca_county", ValueType::kString),
+                    Field::Discrete("ca_state", ValueType::kString),
+                    Field::Discrete("ca_country", ValueType::kString)}));
+
+  // Deterministically assign a state per (city, county) pair so the FD
+  // holds by construction.
+  const auto& states = StateNames();
+  auto state_for = [&](size_t city, size_t county) -> const std::string& {
+    size_t mixed = city * 1315423911u + county * 2654435761u;
+    return states[mixed % states.size()];
+  };
+
+  // Row distribution: Zipf over (city, county) pairs; country Zipf over
+  // the country list (US-heavy).
+  ZipfianSampler pair_sampler(num_cities * num_counties, options.zipf_skew);
+  ZipfianSampler country_sampler(CountryNames().size(), 2.0);
+
+  TableBuilder builder(schema);
+  builder.Reserve(options.num_rows);
+  for (size_t r = 0; r < options.num_rows; ++r) {
+    size_t pair = pair_sampler.Sample(rng);
+    size_t city = pair % num_cities;
+    size_t county = pair / num_cities;
+    builder.Row({Value(CityNames()[city]), Value(CountyNames()[county]),
+                 Value(state_for(city, county)),
+                 Value(CountryNames()[country_sampler.Sample(rng)])});
+  }
+  return builder.Finish();
+}
+
+Status CorruptStates(Table* table, size_t num_corruptions, Rng& rng) {
+  if (table == nullptr) {
+    return Status::InvalidArgument("table must not be null");
+  }
+  PCLEAN_ASSIGN_OR_RETURN(Column * col,
+                          table->MutableColumnByName("ca_state"));
+  const auto& states = StateNames();
+  for (size_t i = 0; i < num_corruptions; ++i) {
+    size_t row = static_cast<size_t>(rng.UniformInt(col->size()));
+    const std::string& current = col->StringAt(row);
+    // Pick a different state.
+    for (int attempt = 0; attempt < 16; ++attempt) {
+      const std::string& replacement =
+          states[rng.UniformInt(states.size())];
+      if (replacement != current) {
+        PCLEAN_RETURN_NOT_OK(col->SetValue(row, Value(replacement)));
+        break;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status CorruptCountries(Table* table, size_t num_corruptions, Rng& rng) {
+  if (table == nullptr) {
+    return Status::InvalidArgument("table must not be null");
+  }
+  PCLEAN_ASSIGN_OR_RETURN(Column * col,
+                          table->MutableColumnByName("ca_country"));
+  for (size_t i = 0; i < num_corruptions; ++i) {
+    size_t row = static_cast<size_t>(rng.UniformInt(col->size()));
+    std::string corrupted = col->StringAt(row);
+    corrupted.push_back(
+        static_cast<char>('a' + rng.UniformInt(26)));  // 1-char append.
+    PCLEAN_RETURN_NOT_OK(col->SetValue(row, Value(corrupted)));
+  }
+  return Status::OK();
+}
+
+FunctionalDependency CustomerAddressFd() {
+  return FunctionalDependency{{"ca_city", "ca_county"}, "ca_state"};
+}
+
+MatchingDependency CustomerAddressMd() {
+  return MatchingDependency{"ca_country", 1};
+}
+
+}  // namespace privateclean

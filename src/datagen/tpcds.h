@@ -1,0 +1,43 @@
+#ifndef PRIVATECLEAN_DATAGEN_TPCDS_H_
+#define PRIVATECLEAN_DATAGEN_TPCDS_H_
+
+#include "cleaning/constraints.h"
+#include "common/random.h"
+#include "common/result.h"
+#include "table/table.h"
+
+namespace privateclean {
+
+/// Generator for a TPC-DS-like customer_address projection
+/// (ca_city, ca_county, ca_state, ca_country) with the two data-quality
+/// constraints the paper uses (§8.3.4):
+///
+///   FD: (ca_city, ca_county) → ca_state
+///   MD: ca_country ≈ ca_country under edit distance
+///
+/// The generated table satisfies both constraints; the corruption
+/// injectors below break them exactly the way the paper describes.
+struct TpcdsOptions {
+  size_t num_rows = 2000;
+  size_t num_cities = 40;
+  size_t num_counties = 15;
+  double zipf_skew = 1.2;  ///< Row distribution over (city, county) pairs.
+};
+
+Result<Table> GenerateCustomerAddress(const TpcdsOptions& options, Rng& rng);
+
+/// Randomly replaces `num_corruptions` rows' ca_state with a different
+/// state (violating the FD). Mutates `table`.
+Status CorruptStates(Table* table, size_t num_corruptions, Rng& rng);
+
+/// Appends one random character to `num_corruptions` rows' ca_country
+/// (the paper's "one-character corruptions", fixable by the MD).
+Status CorruptCountries(Table* table, size_t num_corruptions, Rng& rng);
+
+/// The two constraints, ready for FdRepair / MdRepair.
+FunctionalDependency CustomerAddressFd();
+MatchingDependency CustomerAddressMd();
+
+}  // namespace privateclean
+
+#endif  // PRIVATECLEAN_DATAGEN_TPCDS_H_

@@ -1,0 +1,109 @@
+#include "privacy/grr.h"
+
+#include "privacy/laplace_mechanism.h"
+#include "privacy/randomized_response.h"
+
+namespace privateclean {
+
+namespace {
+
+/// True iff every value of `domain` appears in `column`.
+bool DomainPreserved(const Column& column, const Domain& domain) {
+  std::vector<uint8_t> seen(domain.size(), 0);
+  size_t remaining = domain.size();
+  for (size_t r = 0; r < column.size() && remaining > 0; ++r) {
+    auto idx = domain.IndexOf(column.ValueAt(r));
+    if (!idx.ok()) continue;  // Cannot happen for RR output; be safe.
+    if (!seen[*idx]) {
+      seen[*idx] = 1;
+      --remaining;
+    }
+  }
+  return remaining == 0;
+}
+
+}  // namespace
+
+Result<GrrOutput> ApplyGrr(const Table& input, const GrrParams& params,
+                           const GrrOptions& options, Rng& rng) {
+  if (input.num_rows() == 0) {
+    return Status::InvalidArgument("cannot privatize an empty relation");
+  }
+  GrrOutput out;
+  out.table = input.Clone();
+  out.metadata.dataset_size = input.num_rows();
+
+  const Schema& schema = input.schema();
+  for (size_t i = 0; i < schema.num_fields(); ++i) {
+    const Field& field = schema.field(i);
+    const std::string& name = field.name;
+
+    if (field.kind == AttributeKind::kDiscrete) {
+      double p;
+      if (auto it = params.discrete_p.find(name);
+          it != params.discrete_p.end()) {
+        p = it->second;
+      } else if (params.default_p >= 0.0) {
+        p = params.default_p;
+      } else {
+        return Status::InvalidArgument(
+            "no randomization probability for discrete attribute '" + name +
+            "' (a non-private column would de-privatize the relation)");
+      }
+      if (!(p >= 0.0 && p <= 1.0)) {
+        return Status::InvalidArgument("p for '" + name +
+                                       "' must be in [0, 1]");
+      }
+      PCLEAN_ASSIGN_OR_RETURN(
+          Domain domain,
+          Domain::FromColumn(input, name, /*include_null=*/true));
+      if (domain.empty()) {
+        return Status::FailedPrecondition("attribute '" + name +
+                                          "' has an empty domain");
+      }
+
+      Column* col = out.table.mutable_column(i);
+      const Column& original = input.column(i);
+      size_t attempts = 0;
+      for (;;) {
+        PCLEAN_RETURN_NOT_OK(ApplyRandomizedResponse(col, domain, p, rng));
+        if (!options.ensure_domain_preserved || p == 0.0 ||
+            DomainPreserved(*col, domain)) {
+          break;
+        }
+        ++attempts;
+        ++out.total_regenerations;
+        if (attempts >= options.max_regenerations) {
+          return Status::FailedPrecondition(
+              "attribute '" + name + "' failed domain preservation after " +
+              std::to_string(attempts) +
+              " regenerations; dataset likely violates the Theorem 2 size "
+              "bound");
+        }
+        // Restore the original values and retry with fresh randomness.
+        *col = original;
+      }
+      out.metadata.discrete.emplace(
+          name, DiscreteAttributeMeta{p, std::move(domain)});
+    } else {
+      double b;
+      if (auto it = params.numeric_b.find(name);
+          it != params.numeric_b.end()) {
+        b = it->second;
+      } else if (params.default_b >= 0.0) {
+        b = params.default_b;
+      } else {
+        return Status::InvalidArgument(
+            "no Laplace scale for numerical attribute '" + name +
+            "' (a non-private column would de-privatize the relation)");
+      }
+      PCLEAN_ASSIGN_OR_RETURN(double delta, ColumnSensitivity(input.column(i)));
+      PCLEAN_RETURN_NOT_OK(
+          ApplyLaplaceMechanism(out.table.mutable_column(i), b, rng));
+      out.metadata.numeric.emplace(name, NumericAttributeMeta{b, delta});
+    }
+  }
+  return out;
+}
+
+}  // namespace privateclean

@@ -1,0 +1,62 @@
+#include "privacy/laplace_mechanism.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace privateclean {
+
+Status ApplyLaplaceMechanism(Column* column, double b, Rng& rng) {
+  if (column == nullptr) {
+    return Status::InvalidArgument("column must not be null");
+  }
+  if (b < 0.0) {
+    return Status::InvalidArgument("Laplace scale must be >= 0");
+  }
+  if (column->type() == ValueType::kString) {
+    return Status::InvalidArgument(
+        "Laplace mechanism applies to numerical columns only");
+  }
+  if (b == 0.0) return Status::OK();
+  if (column->type() == ValueType::kDouble) {
+    std::vector<double>* xs = column->mutable_doubles();
+    for (size_t r = 0; r < xs->size(); ++r) {
+      if (column->IsNull(r)) continue;
+      (*xs)[r] = rng.Laplace((*xs)[r], b);
+    }
+  } else {
+    std::vector<int64_t>* xs = column->mutable_ints();
+    for (size_t r = 0; r < xs->size(); ++r) {
+      if (column->IsNull(r)) continue;
+      double noised = rng.Laplace(static_cast<double>((*xs)[r]), b);
+      (*xs)[r] = static_cast<int64_t>(std::llround(noised));
+    }
+  }
+  return Status::OK();
+}
+
+Result<double> ColumnSensitivity(const Column& column) {
+  if (column.type() == ValueType::kString) {
+    return Status::InvalidArgument(
+        "sensitivity is defined for numerical columns only");
+  }
+  bool any = false;
+  double lo = 0.0, hi = 0.0;
+  for (size_t r = 0; r < column.size(); ++r) {
+    if (column.IsNull(r)) continue;
+    double x = column.NumericAt(r);
+    if (!any) {
+      lo = hi = x;
+      any = true;
+    } else {
+      lo = std::min(lo, x);
+      hi = std::max(hi, x);
+    }
+  }
+  if (!any) {
+    return Status::FailedPrecondition(
+        "sensitivity undefined: column has no non-null entries");
+  }
+  return hi - lo;
+}
+
+}  // namespace privateclean

@@ -1,0 +1,29 @@
+#ifndef PRIVATECLEAN_PRIVACY_LAPLACE_MECHANISM_H_
+#define PRIVATECLEAN_PRIVACY_LAPLACE_MECHANISM_H_
+
+#include "common/random.h"
+#include "common/result.h"
+#include "table/column.h"
+
+namespace privateclean {
+
+/// Laplace mechanism for a numerical attribute (paper §4.2.2):
+/// r'[a] = r[a] + Laplace(0, b). Null entries stay null.
+///
+/// Double columns receive real-valued noise. Int64 columns receive
+/// rounded noise (round(x + Laplace(0, b))): rounding is deterministic
+/// post-processing of an ε-DP output, so privacy is preserved
+/// (Dwork & Roth Prop. 2.1), and by the symmetry of the Laplace
+/// distribution the rounded noise remains zero-mean, which is all the
+/// estimators rely on.
+///
+/// Requires b >= 0 (b == 0 is a no-op, meaning no privacy).
+Status ApplyLaplaceMechanism(Column* column, double b, Rng& rng);
+
+/// Sensitivity Δ of a numerical column: max − min over non-null entries
+/// (paper Proposition 1). Errors if the column has no non-null entries.
+Result<double> ColumnSensitivity(const Column& column);
+
+}  // namespace privateclean
+
+#endif  // PRIVATECLEAN_PRIVACY_LAPLACE_MECHANISM_H_

@@ -1,0 +1,49 @@
+#include "privacy/randomized_response.h"
+
+namespace privateclean {
+
+Status ApplyRandomizedResponse(Column* column, const Domain& domain,
+                               double p, Rng& rng) {
+  if (column == nullptr) {
+    return Status::InvalidArgument("column must not be null");
+  }
+  if (!(p >= 0.0 && p <= 1.0)) {
+    return Status::InvalidArgument(
+        "randomization probability must be in [0, 1], got " +
+        std::to_string(p));
+  }
+  if (domain.empty()) {
+    return Status::FailedPrecondition(
+        "randomized response requires a non-empty domain");
+  }
+  if (p == 0.0) return Status::OK();
+  for (size_t r = 0; r < column->size(); ++r) {
+    if (!rng.Bernoulli(p)) continue;
+    const Value& replacement =
+        domain.value(static_cast<size_t>(rng.UniformInt(domain.size())));
+    PCLEAN_RETURN_NOT_OK(column->SetValue(r, replacement));
+  }
+  return Status::OK();
+}
+
+Result<TransitionProbabilities> ComputeTransitionProbabilities(double p,
+                                                               double l,
+                                                               double n) {
+  if (!(p >= 0.0 && p <= 1.0)) {
+    return Status::InvalidArgument("p must be in [0, 1]");
+  }
+  if (!(n >= 1.0)) {
+    return Status::InvalidArgument("N must be >= 1");
+  }
+  if (!(l >= 0.0 && l <= n)) {
+    return Status::InvalidArgument("l must be in [0, N]");
+  }
+  TransitionProbabilities t;
+  t.true_positive = (1.0 - p) + p * l / n;
+  t.false_positive = p * l / n;
+  t.true_negative = (1.0 - p) + p * (n - l) / n;
+  t.false_negative = p * (n - l) / n;
+  return t;
+}
+
+}  // namespace privateclean

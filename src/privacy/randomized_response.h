@@ -1,0 +1,45 @@
+#ifndef PRIVATECLEAN_PRIVACY_RANDOMIZED_RESPONSE_H_
+#define PRIVATECLEAN_PRIVACY_RANDOMIZED_RESPONSE_H_
+
+#include "common/random.h"
+#include "common/result.h"
+#include "table/column.h"
+#include "table/domain.h"
+
+namespace privateclean {
+
+/// Randomized-response mechanism for a discrete attribute (paper §4.2.1):
+///
+///   r'[d] = r[d]              with probability 1 - p
+///         = U(Domain(d))      with probability p
+///
+/// The replacement is drawn uniformly from `domain` — which must be the
+/// domain of the *original dirty* column, captured before randomization.
+/// Null is a legitimate domain member (spurious/missing values in the
+/// dirty data are part of Domain(d) and participate in randomization).
+///
+/// Requires p in [0, 1] and a non-empty domain. p == 0 leaves the column
+/// untouched (no privacy); p == 1 replaces every value.
+Status ApplyRandomizedResponse(Column* column, const Domain& domain,
+                               double p, Rng& rng);
+
+/// Transition probabilities of randomized response for a predicate that
+/// selects l of the N distinct values (paper §5.3). These are the
+/// deterministic constants the estimators are parameterized by.
+struct TransitionProbabilities {
+  double true_positive = 0.0;   ///< τ_p = (1-p) + p·l/N
+  double false_positive = 0.0;  ///< τ_n = p·l/N
+  double true_negative = 0.0;   ///< (1-p) + p·(N-l)/N
+  double false_negative = 0.0;  ///< p·(N-l)/N
+};
+
+/// Computes the transition probabilities. `l` may be fractional in the
+/// multi-attribute (weighted provenance) case (§7.2). Requires
+/// 0 <= p <= 1, N >= 1 and 0 <= l <= N.
+Result<TransitionProbabilities> ComputeTransitionProbabilities(double p,
+                                                               double l,
+                                                               double n);
+
+}  // namespace privateclean
+
+#endif  // PRIVATECLEAN_PRIVACY_RANDOMIZED_RESPONSE_H_

@@ -1,0 +1,79 @@
+#include "privacy/size_bound.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace privateclean {
+
+namespace {
+
+Status ValidateCommon(size_t num_distinct, double p) {
+  if (num_distinct < 1) {
+    return Status::InvalidArgument("domain must have at least one value");
+  }
+  if (!(p >= 0.0 && p <= 1.0)) {
+    return Status::InvalidArgument("p must be in [0, 1]");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<double> DomainPreservationLowerBound(size_t num_distinct, double p,
+                                            size_t dataset_size) {
+  PCLEAN_RETURN_NOT_OK(ValidateCommon(num_distinct, p));
+  if (dataset_size < 1) {
+    return Status::InvalidArgument("dataset size must be >= 1");
+  }
+  double n = static_cast<double>(num_distinct);
+  double s = static_cast<double>(dataset_size);
+  double failure = p * (n - 1.0) * std::pow(1.0 - p / n, s - 1.0);
+  return std::clamp(1.0 - failure, 0.0, 1.0);
+}
+
+Result<size_t> MinDatasetSizeForDomainPreservation(size_t num_distinct,
+                                                   double p, double alpha) {
+  PCLEAN_RETURN_NOT_OK(ValidateCommon(num_distinct, p));
+  if (!(p > 0.0)) {
+    return Status::InvalidArgument("Theorem 2 requires p > 0");
+  }
+  if (!(alpha > 0.0 && alpha < 1.0)) {
+    return Status::InvalidArgument("alpha must be in (0, 1)");
+  }
+  double n = static_cast<double>(num_distinct);
+  double log_term = std::log(p * n / alpha);
+  if (log_term <= 0.0) return 1;
+  return static_cast<size_t>(std::ceil(n / p * log_term));
+}
+
+Result<size_t> MinDatasetSizeExact(size_t num_distinct, double p,
+                                   double alpha) {
+  PCLEAN_RETURN_NOT_OK(ValidateCommon(num_distinct, p));
+  if (!(p > 0.0)) {
+    return Status::InvalidArgument("exact bound requires p > 0");
+  }
+  if (!(alpha > 0.0 && alpha < 1.0)) {
+    return Status::InvalidArgument("alpha must be in (0, 1)");
+  }
+  double n = static_cast<double>(num_distinct);
+  if (num_distinct == 1) return 1;  // A single value cannot be masked.
+  double failure_at_one = p * (n - 1.0);
+  if (failure_at_one <= alpha) return 1;
+  // Solve p(N-1)(1 - p/N)^(S-1) <= alpha for S.
+  double s = 1.0 + std::log(alpha / failure_at_one) / std::log(1.0 - p / n);
+  return static_cast<size_t>(std::ceil(s));
+}
+
+Result<double> ExpectedRegenerations(size_t num_distinct, double p,
+                                     size_t dataset_size) {
+  PCLEAN_ASSIGN_OR_RETURN(
+      double preserve,
+      DomainPreservationLowerBound(num_distinct, p, dataset_size));
+  if (preserve <= 0.0) {
+    return Status::FailedPrecondition(
+        "domain preservation probability bound is zero; dataset too small");
+  }
+  return 1.0 / preserve;
+}
+
+}  // namespace privateclean

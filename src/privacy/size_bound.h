@@ -1,0 +1,43 @@
+#ifndef PRIVATECLEAN_PRIVACY_SIZE_BOUND_H_
+#define PRIVATECLEAN_PRIVACY_SIZE_BOUND_H_
+
+#include <cstddef>
+
+#include "common/result.h"
+
+namespace privateclean {
+
+/// Theorem 2 machinery: how large must the dataset be so that, with
+/// probability 1 − α, every distinct value of a discrete attribute is
+/// still visible after randomized response?
+
+/// Lower bound on the probability that *all* N domain values survive GRR
+/// on a dataset of S rows with randomization probability p (union bound
+/// from the proof of Theorem 2):
+///   P[all] >= 1 − p(N−1)(1 − p/N)^(S−1)
+/// Clamped to [0, 1]. Requires N >= 1, S >= 1, p in [0, 1].
+Result<double> DomainPreservationLowerBound(size_t num_distinct, double p,
+                                            size_t dataset_size);
+
+/// Minimum dataset size from Theorem 2's closed form:
+///   S > (N/p) · ln(pN / α)
+/// Requires N >= 1, p in (0, 1], α in (0, 1). Returns 1 when the log term
+/// is non-positive (tiny domains are trivially preserved).
+Result<size_t> MinDatasetSizeForDomainPreservation(size_t num_distinct,
+                                                   double p, double alpha);
+
+/// Exact-form minimum size obtained by inverting the union bound directly
+/// (tighter than the closed form):
+///   S >= 1 + ln(α / (p(N−1))) / ln(1 − p/N)
+Result<size_t> MinDatasetSizeExact(size_t num_distinct, double p,
+                                   double alpha);
+
+/// Expected number of GRR regenerations until a domain-preserving private
+/// relation is drawn, 1 / (1 − α) with α the failure probability bound
+/// (paper §4.3).
+Result<double> ExpectedRegenerations(size_t num_distinct, double p,
+                                     size_t dataset_size);
+
+}  // namespace privateclean
+
+#endif  // PRIVATECLEAN_PRIVACY_SIZE_BOUND_H_

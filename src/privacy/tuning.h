@@ -1,0 +1,59 @@
+#ifndef PRIVATECLEAN_PRIVACY_TUNING_H_
+#define PRIVATECLEAN_PRIVACY_TUNING_H_
+
+#include <string>
+#include <unordered_map>
+
+#include "common/result.h"
+#include "privacy/privacy_params.h"
+#include "table/table.h"
+
+namespace privateclean {
+
+/// Analytic error bounds used for parameter tuning (paper §5.4–5.5).
+
+/// Worst-case count-query error bound over all possible count queries,
+/// in *selectivity units* (fraction of S), Eq. 4:
+///   error < z_α · (1/(1−p)) · sqrt(1/(4S))
+Result<double> CountErrorBound(double p, size_t dataset_size,
+                               double confidence = 0.95);
+
+/// Worst-case sum-query error bound, Eq. 6:
+///   error <= z_α · (1/(1−p)) · sqrt(μ/S + 4(σ² + 2b²)/S)
+/// where μ and σ² are the mean and variance of the (non-private) numeric
+/// attribute.
+Result<double> SumErrorBound(double p, double b, double mean,
+                             double variance, size_t dataset_size,
+                             double confidence = 0.95);
+
+/// Output of the Appendix E tuning algorithm: a single randomization
+/// probability for all discrete attributes and a Laplace scale per
+/// numerical attribute (equalizing per-attribute ε).
+struct TuningResult {
+  double p = 0.0;
+  std::unordered_map<std::string, double> numeric_b;
+  /// The per-attribute ε implied by p, ε = ln(3/p − 2).
+  double per_attribute_epsilon = 0.0;
+};
+
+/// Appendix E parameter-tuning algorithm. Given a desired maximum error
+/// (in selectivity units, e.g. 0.05 = five points of selectivity) on any
+/// count query with 1−α confidence:
+///
+///   1. p = 1 − z_α · sqrt(1 / (4·S·error²))   — inverted Eq. 4
+///   2. every discrete attribute gets p
+///   3. every numerical attribute j gets b_j = Δ_j / ln(3/p − 2)
+///      so its ε matches the discrete attributes' ε
+///
+/// Errors with InvalidArgument if the target error is unattainable even
+/// at p = 0 (no randomization), or so loose that p >= 1.
+Result<TuningResult> TunePrivacyParameters(const Table& table,
+                                           double max_count_error,
+                                           double confidence = 0.95);
+
+/// Converts a TuningResult into GrrParams ready for ApplyGrr.
+GrrParams ToGrrParams(const TuningResult& tuning);
+
+}  // namespace privateclean
+
+#endif  // PRIVATECLEAN_PRIVACY_TUNING_H_

@@ -1,0 +1,133 @@
+#include "provenance/provenance_graph.h"
+
+#include <map>
+
+namespace privateclean {
+
+Result<ProvenanceGraph> ProvenanceGraph::Build(const Column& dirty_snapshot,
+                                               const Column& clean_current,
+                                               const Domain& dirty_domain) {
+  if (dirty_snapshot.size() != clean_current.size()) {
+    return Status::InvalidArgument(
+        "dirty snapshot and clean column must have equal length");
+  }
+  if (dirty_domain.empty()) {
+    return Status::InvalidArgument("dirty domain must be non-empty");
+  }
+
+  ProvenanceGraph graph;
+  graph.dirty_domain_ = dirty_domain;
+
+  // Pass 1: the clean domain, in first-appearance order.
+  std::vector<Value> clean_values;
+  clean_values.reserve(clean_current.size());
+  for (size_t r = 0; r < clean_current.size(); ++r) {
+    clean_values.push_back(clean_current.ValueAt(r));
+  }
+  graph.clean_domain_ = Domain::FromValues(clean_values);
+
+  // Pass 2: per (dirty, clean) row counts and per-dirty totals.
+  size_t n_dirty = dirty_domain.size();
+  size_t n_clean = graph.clean_domain_.size();
+  std::vector<size_t> dirty_totals(n_dirty, 0);
+  // (dirty, clean) pair -> row count; keyed compactly by index pair.
+  std::unordered_map<uint64_t, size_t> pair_counts;
+  for (size_t r = 0; r < dirty_snapshot.size(); ++r) {
+    auto d_idx = dirty_domain.IndexOf(dirty_snapshot.ValueAt(r));
+    if (!d_idx.ok()) {
+      return Status::InvalidArgument(
+          "snapshot value '" + dirty_snapshot.ValueAt(r).ToString() +
+          "' at row " + std::to_string(r) + " is not in the dirty domain");
+    }
+    size_t c_idx = graph.clean_domain_.IndexOf(clean_current.ValueAt(r))
+                       .ValueOrDie();
+    ++dirty_totals[*d_idx];
+    ++pair_counts[static_cast<uint64_t>(*d_idx) * n_clean + c_idx];
+  }
+
+  // Assemble edges. Iterate in deterministic order for reproducibility.
+  std::map<uint64_t, size_t> ordered(pair_counts.begin(), pair_counts.end());
+  graph.edges_by_clean_.resize(n_clean);
+  graph.dirty_out_degree_.assign(n_dirty, 0);
+  for (const auto& [key, count] : ordered) {
+    size_t d_idx = static_cast<size_t>(key / n_clean);
+    size_t c_idx = static_cast<size_t>(key % n_clean);
+    double weight =
+        static_cast<double>(count) / static_cast<double>(dirty_totals[d_idx]);
+    graph.edges_by_clean_[c_idx].push_back(Edge{d_idx, weight});
+    ++graph.dirty_out_degree_[d_idx];
+    ++graph.num_edges_;
+    if (graph.dirty_out_degree_[d_idx] > 1) graph.fork_free_ = false;
+  }
+  return graph;
+}
+
+double ProvenanceGraph::WeightedSelectivity(
+    const std::vector<Value>& clean_values) const {
+  double l = 0.0;
+  for (const Value& m : clean_values) {
+    auto c_idx = clean_domain_.IndexOf(m);
+    if (!c_idx.ok()) continue;  // Predicate value absent from the relation.
+    for (const Edge& e : edges_by_clean_[*c_idx]) l += e.weight;
+  }
+  return l;
+}
+
+size_t ProvenanceGraph::UnweightedSelectivity(
+    const std::vector<Value>& clean_values) const {
+  std::vector<uint8_t> seen(dirty_domain_.size(), 0);
+  size_t count = 0;
+  for (const Value& m : clean_values) {
+    auto c_idx = clean_domain_.IndexOf(m);
+    if (!c_idx.ok()) continue;
+    for (const Edge& e : edges_by_clean_[*c_idx]) {
+      if (!seen[e.dirty_index]) {
+        seen[e.dirty_index] = 1;
+        ++count;
+      }
+    }
+  }
+  return count;
+}
+
+std::vector<Value> ProvenanceGraph::ParentSet(
+    const std::vector<Value>& clean_values) const {
+  std::vector<uint8_t> seen(dirty_domain_.size(), 0);
+  std::vector<Value> parents;
+  for (const Value& m : clean_values) {
+    auto c_idx = clean_domain_.IndexOf(m);
+    if (!c_idx.ok()) continue;
+    for (const Edge& e : edges_by_clean_[*c_idx]) {
+      if (!seen[e.dirty_index]) {
+        seen[e.dirty_index] = 1;
+        parents.push_back(dirty_domain_.value(e.dirty_index));
+      }
+    }
+  }
+  return parents;
+}
+
+double ProvenanceGraph::MergeRate(
+    const std::vector<Value>& clean_values) const {
+  double n = static_cast<double>(dirty_domain_.size());
+  double n_clean = static_cast<double>(clean_domain_.size());
+  double l = WeightedSelectivity(clean_values);
+  double l_clean = 0.0;
+  for (const Value& m : clean_values) {
+    if (clean_domain_.Contains(m)) l_clean += 1.0;
+  }
+  return l / n - l_clean / n_clean;
+}
+
+double ProvenanceGraph::EdgeWeight(const Value& dirty,
+                                   const Value& clean) const {
+  auto c_idx = clean_domain_.IndexOf(clean);
+  auto d_idx = dirty_domain_.IndexOf(dirty);
+  if (!c_idx.ok() || !d_idx.ok()) return 0.0;
+  for (const Edge& e : edges_by_clean_[*c_idx]) {
+    if (e.dirty_index == *d_idx) return e.weight;
+  }
+  return 0.0;
+}
+
+}  // namespace privateclean

@@ -1,0 +1,78 @@
+#ifndef PRIVATECLEAN_PROVENANCE_PROVENANCE_MANAGER_H_
+#define PRIVATECLEAN_PROVENANCE_PROVENANCE_MANAGER_H_
+
+#include <string>
+#include <unordered_map>
+
+#include "common/result.h"
+#include "provenance/provenance_graph.h"
+#include "table/table.h"
+
+namespace privateclean {
+
+/// Tracks value provenance across an arbitrary composition of cleaning
+/// operations (paper §6–§7: one graph per discrete attribute).
+///
+/// The manager snapshots every discrete column of the private relation V
+/// at creation time (the "dirty" side). After any sequence of cleaners
+/// has mutated the relation, `GraphFor` reconstructs the bipartite graph
+/// for an attribute in one O(S) pass over (snapshot, current) pairs. This
+/// composes automatically: no matter how many Merge/Transform operations
+/// ran, the graph always maps the original dirty domain to the *final*
+/// clean domain, which is exactly what the estimators need.
+///
+/// Attributes created by Extract cleaners are registered with
+/// `RegisterDerivedAttribute(new, source)`; their graphs map the source
+/// attribute's dirty domain to the new attribute's values.
+class ProvenanceManager {
+ public:
+  /// An empty manager tracking nothing (placeholder until Create()).
+  ProvenanceManager() = default;
+
+  /// Snapshots all discrete columns of `private_table`. Optional
+  /// `dirty_domains` (keyed by attribute) override the domains computed
+  /// from the snapshot itself — pass the randomization-time domains from
+  /// GRR metadata so N matches the mechanism even if domain preservation
+  /// was disabled.
+  static Result<ProvenanceManager> Create(
+      const Table& private_table,
+      const std::unordered_map<std::string, Domain>& dirty_domains = {});
+
+  /// Declares that attribute `name` was created by an Extract over
+  /// `source` (a snapshotted discrete attribute).
+  Status RegisterDerivedAttribute(const std::string& name,
+                                  const std::string& source);
+
+  /// True iff provenance is tracked for this attribute (directly or via
+  /// a registered derivation).
+  bool Tracks(const std::string& attribute) const;
+
+  /// The dirty (randomization-time) domain backing `attribute`.
+  Result<const Domain*> DirtyDomain(const std::string& attribute) const;
+
+  /// The snapshotted attribute anchoring `attribute`'s provenance:
+  /// itself for original discrete attributes, the registered source for
+  /// Extract-derived ones.
+  Result<std::string> AnchorOf(const std::string& attribute) const;
+
+  /// Builds the provenance graph for `attribute` against the current
+  /// contents of `current` (the cleaned private relation).
+  Result<ProvenanceGraph> GraphFor(const Table& current,
+                                   const std::string& attribute) const;
+
+ private:
+  struct Snapshot {
+    Column column;
+    Domain domain;
+  };
+
+  /// Resolves an attribute to the snapshot that anchors it.
+  Result<const Snapshot*> ResolveSource(const std::string& attribute) const;
+
+  std::unordered_map<std::string, Snapshot> snapshots_;
+  std::unordered_map<std::string, std::string> derived_sources_;
+};
+
+}  // namespace privateclean
+
+#endif  // PRIVATECLEAN_PROVENANCE_PROVENANCE_MANAGER_H_

@@ -1,0 +1,171 @@
+#include "query/aggregate.h"
+
+#include <cmath>
+
+#include "common/statistics.h"
+
+namespace privateclean {
+
+const char* AggregateTypeToString(AggregateType agg) {
+  switch (agg) {
+    case AggregateType::kCount:
+      return "count";
+    case AggregateType::kSum:
+      return "sum";
+    case AggregateType::kAvg:
+      return "avg";
+    case AggregateType::kMedian:
+      return "median";
+    case AggregateType::kPercentile:
+      return "percentile";
+    case AggregateType::kVar:
+      return "var";
+    case AggregateType::kStd:
+      return "std";
+  }
+  return "unknown";
+}
+
+AggregateQuery AggregateQuery::Count(std::optional<Predicate> pred) {
+  return AggregateQuery{AggregateType::kCount, "", std::move(pred), 50.0};
+}
+
+AggregateQuery AggregateQuery::Sum(std::string attr,
+                                   std::optional<Predicate> pred) {
+  return AggregateQuery{AggregateType::kSum, std::move(attr),
+                        std::move(pred), 50.0};
+}
+
+AggregateQuery AggregateQuery::Avg(std::string attr,
+                                   std::optional<Predicate> pred) {
+  return AggregateQuery{AggregateType::kAvg, std::move(attr),
+                        std::move(pred), 50.0};
+}
+
+namespace {
+
+Status ValidateNumericAttribute(const Table& table, const std::string& attr) {
+  PCLEAN_ASSIGN_OR_RETURN(Field f, table.schema().FieldByName(attr));
+  if (f.type == ValueType::kString) {
+    return Status::InvalidArgument("aggregate attribute '" + attr +
+                                   "' is not numeric");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<double> ExecuteAggregate(const Table& table,
+                                const AggregateQuery& query) {
+  std::vector<uint8_t> mask;
+  if (query.predicate.has_value()) {
+    PCLEAN_ASSIGN_OR_RETURN(mask, query.predicate->Evaluate(table));
+  } else {
+    mask.assign(table.num_rows(), 1);
+  }
+
+  if (query.agg == AggregateType::kCount) {
+    size_t n = 0;
+    for (uint8_t m : mask) n += m;
+    return static_cast<double>(n);
+  }
+
+  PCLEAN_RETURN_NOT_OK(
+      ValidateNumericAttribute(table, query.numeric_attribute));
+  PCLEAN_ASSIGN_OR_RETURN(const Column* col,
+                          table.ColumnByName(query.numeric_attribute));
+
+  switch (query.agg) {
+    case AggregateType::kSum: {
+      double sum = 0.0;
+      for (size_t r = 0; r < col->size(); ++r) {
+        if (mask[r] && !col->IsNull(r)) sum += col->NumericAt(r);
+      }
+      return sum;
+    }
+    case AggregateType::kAvg: {
+      double sum = 0.0;
+      size_t n = 0;
+      for (size_t r = 0; r < col->size(); ++r) {
+        if (mask[r] && !col->IsNull(r)) {
+          sum += col->NumericAt(r);
+          ++n;
+        }
+      }
+      if (n == 0) {
+        return Status::FailedPrecondition("avg over zero matching rows");
+      }
+      return sum / static_cast<double>(n);
+    }
+    case AggregateType::kVar:
+    case AggregateType::kStd: {
+      RunningMoments m;
+      for (size_t r = 0; r < col->size(); ++r) {
+        if (mask[r] && !col->IsNull(r)) m.Add(col->NumericAt(r));
+      }
+      if (m.count() < 2) {
+        return Status::FailedPrecondition(
+            "var/std needs at least 2 matching rows");
+      }
+      double var = m.SampleVariance();
+      return query.agg == AggregateType::kVar ? var : std::sqrt(var);
+    }
+    case AggregateType::kMedian:
+    case AggregateType::kPercentile: {
+      std::vector<double> xs;
+      for (size_t r = 0; r < col->size(); ++r) {
+        if (mask[r] && !col->IsNull(r)) xs.push_back(col->NumericAt(r));
+      }
+      if (query.agg == AggregateType::kMedian) return Median(std::move(xs));
+      return Percentile(std::move(xs), query.percentile);
+    }
+    case AggregateType::kCount:
+      break;  // Handled above.
+  }
+  return Status::Internal("unhandled aggregate type");
+}
+
+Result<QueryScanStats> ScanWithPredicate(
+    const Table& table, const Predicate& predicate,
+    const std::string& numeric_attribute) {
+  QueryScanStats stats;
+  stats.total_rows = table.num_rows();
+  PCLEAN_ASSIGN_OR_RETURN(auto mask, predicate.Evaluate(table));
+
+  const Column* numeric = nullptr;
+  if (!numeric_attribute.empty()) {
+    PCLEAN_RETURN_NOT_OK(ValidateNumericAttribute(table, numeric_attribute));
+    PCLEAN_ASSIGN_OR_RETURN(numeric, table.ColumnByName(numeric_attribute));
+  }
+
+  RunningMoments moments;
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    double x = 0.0;
+    if (numeric != nullptr && !numeric->IsNull(r)) {
+      x = numeric->NumericAt(r);
+      moments.Add(x);
+    }
+    if (mask[r]) {
+      ++stats.matching_rows;
+      stats.matching_sum += x;
+    } else {
+      stats.complement_sum += x;
+    }
+  }
+  stats.numeric_mean = moments.Mean();
+  stats.numeric_variance = moments.PopulationVariance();
+  return stats;
+}
+
+Result<std::map<std::string, size_t>> GroupByCount(
+    const Table& table, const std::string& group_attribute) {
+  PCLEAN_ASSIGN_OR_RETURN(const Column* col,
+                          table.ColumnByName(group_attribute));
+  std::map<std::string, size_t> counts;
+  for (size_t r = 0; r < col->size(); ++r) {
+    counts[col->ValueAt(r).ToString()]++;
+  }
+  return counts;
+}
+
+}  // namespace privateclean

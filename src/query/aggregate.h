@@ -1,0 +1,86 @@
+#ifndef PRIVATECLEAN_QUERY_AGGREGATE_H_
+#define PRIVATECLEAN_QUERY_AGGREGATE_H_
+
+#include <map>
+#include <optional>
+#include <string>
+
+#include "common/result.h"
+#include "query/predicate.h"
+#include "table/table.h"
+
+namespace privateclean {
+
+/// Supported aggregate functions. The paper's core class is
+/// sum/count/avg (§3.2.2); median/percentile/var/std are the §10
+/// extensions (Laplace noise has zero median, and its variance 2b² can be
+/// subtracted from var).
+enum class AggregateType {
+  kCount = 0,
+  kSum = 1,
+  kAvg = 2,
+  kMedian = 3,
+  kPercentile = 4,
+  kVar = 5,
+  kStd = 6,
+};
+
+const char* AggregateTypeToString(AggregateType agg);
+
+/// `SELECT agg(numeric_attribute) FROM t WHERE predicate`.
+///
+/// `numeric_attribute` is ignored for kCount (SQL `count(1)`). A missing
+/// predicate aggregates over the whole relation. `percentile` is only
+/// meaningful for kPercentile.
+struct AggregateQuery {
+  AggregateType agg = AggregateType::kCount;
+  std::string numeric_attribute;
+  std::optional<Predicate> predicate;
+  double percentile = 50.0;
+
+  static AggregateQuery Count(std::optional<Predicate> pred = std::nullopt);
+  static AggregateQuery Sum(std::string attr,
+                            std::optional<Predicate> pred = std::nullopt);
+  static AggregateQuery Avg(std::string attr,
+                            std::optional<Predicate> pred = std::nullopt);
+};
+
+/// Executes the aggregate exactly on a (non-private) table. This is how
+/// ground truth f(R_clean) is computed in the experiments, and also how
+/// the Direct estimator reads nominal values off the private relation.
+///
+/// Null semantics: count counts rows (regardless of the numeric
+/// attribute); sum skips null numeric entries; avg = sum of non-null
+/// entries / count of predicate-matching rows with non-null numeric value.
+Result<double> ExecuteAggregate(const Table& table,
+                                const AggregateQuery& query);
+
+/// One-pass scan producing everything the PrivateClean estimators need
+/// (Section 5): the nominal count and sums under the predicate and its
+/// complement, plus moments of the numeric attribute over the whole
+/// relation (for the confidence intervals).
+struct QueryScanStats {
+  size_t total_rows = 0;          ///< S
+  size_t matching_rows = 0;       ///< nominal private count c_private
+  double matching_sum = 0.0;      ///< h_private
+  double complement_sum = 0.0;    ///< h_private^c
+  double numeric_mean = 0.0;      ///< μ_p over all rows
+  double numeric_variance = 0.0;  ///< σ_p² over all rows (population)
+};
+
+/// Computes QueryScanStats for `predicate` over `numeric_attribute`.
+/// For count-only queries pass an empty `numeric_attribute`; the sums and
+/// moments are then zero.
+Result<QueryScanStats> ScanWithPredicate(const Table& table,
+                                         const Predicate& predicate,
+                                         const std::string& numeric_attribute);
+
+/// `SELECT group, count(1) FROM t GROUP BY group_attribute` — used by the
+/// TPC-DS experiment (§8.3.4). Keys are rendered with Value::ToString();
+/// null groups render as the empty string.
+Result<std::map<std::string, size_t>> GroupByCount(
+    const Table& table, const std::string& group_attribute);
+
+}  // namespace privateclean
+
+#endif  // PRIVATECLEAN_QUERY_AGGREGATE_H_

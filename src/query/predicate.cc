@@ -1,0 +1,84 @@
+#include "query/predicate.h"
+
+namespace privateclean {
+
+Predicate Predicate::Equals(std::string attribute, Value value) {
+  Predicate p(std::move(attribute), Mode::kIn);
+  p.values_.insert(std::move(value));
+  return p;
+}
+
+Predicate Predicate::In(std::string attribute, std::vector<Value> values) {
+  Predicate p(std::move(attribute), Mode::kIn);
+  for (auto& v : values) p.values_.insert(std::move(v));
+  return p;
+}
+
+Predicate Predicate::IsNull(std::string attribute) {
+  return Equals(std::move(attribute), Value::Null());
+}
+
+Predicate Predicate::IsNotNull(std::string attribute) {
+  return IsNull(std::move(attribute)).Negate();
+}
+
+Predicate Predicate::Udf(std::string attribute,
+                         std::function<bool(const Value&)> fn) {
+  Predicate p(std::move(attribute), Mode::kUdf);
+  p.fn_ = std::move(fn);
+  return p;
+}
+
+Predicate Predicate::Negate() const {
+  Predicate p = *this;
+  p.negated_ = !p.negated_;
+  return p;
+}
+
+bool Predicate::MatchesIgnoringNegation(const Value& v) const {
+  if (mode_ == Mode::kIn) return values_.count(v) > 0;
+  return fn_(v);
+}
+
+bool Predicate::Matches(const Value& v) const {
+  return MatchesIgnoringNegation(v) != negated_;
+}
+
+Result<std::vector<uint8_t>> Predicate::Evaluate(const Table& table) const {
+  PCLEAN_ASSIGN_OR_RETURN(const Column* col, table.ColumnByName(attribute_));
+  // Evaluate per distinct value, then broadcast: UDFs can be arbitrarily
+  // expensive and the paper's model is value-deterministic anyway.
+  Domain domain;
+  {
+    PCLEAN_ASSIGN_OR_RETURN(
+        Domain d, Domain::FromColumn(table, attribute_, /*include_null=*/true));
+    domain = std::move(d);
+  }
+  std::vector<uint8_t> value_matches(domain.size());
+  for (size_t i = 0; i < domain.size(); ++i) {
+    value_matches[i] = Matches(domain.value(i)) ? 1 : 0;
+  }
+  std::vector<uint8_t> mask(col->size());
+  for (size_t r = 0; r < col->size(); ++r) {
+    size_t idx = domain.IndexOf(col->ValueAt(r)).ValueOrDie();
+    mask[r] = value_matches[idx];
+  }
+  return mask;
+}
+
+std::vector<Value> Predicate::MatchingValues(const Domain& domain) const {
+  std::vector<Value> out;
+  for (size_t i = 0; i < domain.size(); ++i) {
+    if (Matches(domain.value(i))) out.push_back(domain.value(i));
+  }
+  return out;
+}
+
+Result<size_t> Predicate::CountMatches(const Table& table) const {
+  PCLEAN_ASSIGN_OR_RETURN(auto mask, Evaluate(table));
+  size_t n = 0;
+  for (uint8_t m : mask) n += m;
+  return n;
+}
+
+}  // namespace privateclean

@@ -1,0 +1,82 @@
+#ifndef PRIVATECLEAN_QUERY_PREDICATE_H_
+#define PRIVATECLEAN_QUERY_PREDICATE_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/result.h"
+#include "table/domain.h"
+#include "table/table.h"
+
+namespace privateclean {
+
+/// Predicate over a single discrete attribute (the paper's `cond(d)`,
+/// Section 3.2.2). Every deterministic predicate is equivalent to
+/// membership in a subset of the attribute's distinct values, which is
+/// exactly how the bias analysis uses it: `MatchingValues(domain)` yields
+/// the paper's M_pred, whose size is the distinct-value selectivity l'.
+///
+/// Construction:
+///   Predicate::Equals("major", "EECS")
+///   Predicate::In("country", {"FR", "DE", "IT"})
+///   Predicate::IsNotNull("sensor_id")
+///   Predicate::Udf("country", [](const Value& v) { return IsEurope(v); })
+/// plus `Negate()` for complements (used by the SUM estimator, §5.5).
+class Predicate {
+ public:
+  /// d == value. A null `value` matches null entries.
+  static Predicate Equals(std::string attribute, Value value);
+
+  /// d ∈ values.
+  static Predicate In(std::string attribute, std::vector<Value> values);
+
+  /// d is null / d is not null.
+  static Predicate IsNull(std::string attribute);
+  static Predicate IsNotNull(std::string attribute);
+
+  /// Arbitrary deterministic condition. The function must be pure: it is
+  /// evaluated once per distinct value, not once per row.
+  static Predicate Udf(std::string attribute,
+                       std::function<bool(const Value&)> fn);
+
+  /// Logical complement of this predicate.
+  Predicate Negate() const;
+
+  /// The discrete attribute this predicate conditions on.
+  const std::string& attribute() const { return attribute_; }
+
+  bool negated() const { return negated_; }
+
+  /// Whether a single value satisfies the predicate.
+  bool Matches(const Value& v) const;
+
+  /// Row mask over `table` (1 = predicate true).
+  Result<std::vector<uint8_t>> Evaluate(const Table& table) const;
+
+  /// The subset of `domain` that satisfies the predicate (paper's M_pred).
+  std::vector<Value> MatchingValues(const Domain& domain) const;
+
+  /// Number of rows in `table` satisfying the predicate.
+  Result<size_t> CountMatches(const Table& table) const;
+
+ private:
+  enum class Mode { kIn, kUdf };
+
+  Predicate(std::string attribute, Mode mode)
+      : attribute_(std::move(attribute)), mode_(mode) {}
+
+  bool MatchesIgnoringNegation(const Value& v) const;
+
+  std::string attribute_;
+  Mode mode_;
+  bool negated_ = false;
+  std::unordered_set<Value, ValueHash> values_;
+  std::function<bool(const Value&)> fn_;
+};
+
+}  // namespace privateclean
+
+#endif  // PRIVATECLEAN_QUERY_PREDICATE_H_

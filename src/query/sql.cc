@@ -1,0 +1,375 @@
+#include "query/sql.h"
+
+#include <cctype>
+#include <vector>
+
+#include "common/string_util.h"
+
+namespace privateclean {
+
+namespace {
+
+enum class TokenKind {
+  kIdentifier,  ///< Bare or double-quoted identifier / keyword.
+  kString,      ///< Single-quoted string literal.
+  kNumber,
+  kSymbol,  ///< One of ( ) , = != <> *
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;   ///< Identifier/symbol text or decoded literal.
+  size_t position;    ///< Byte offset in the input, for error messages.
+  bool is_float = false;  ///< For kNumber: contains '.' or exponent.
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& input) : input_(input) {}
+
+  Result<std::vector<Token>> Tokenize() {
+    std::vector<Token> tokens;
+    size_t i = 0;
+    while (i < input_.size()) {
+      char c = input_[i];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++i;
+        continue;
+      }
+      if (c == '\'') {
+        PCLEAN_ASSIGN_OR_RETURN(Token t, LexString(&i));
+        tokens.push_back(std::move(t));
+      } else if (c == '"') {
+        PCLEAN_ASSIGN_OR_RETURN(Token t, LexQuotedIdentifier(&i));
+        tokens.push_back(std::move(t));
+      } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+                 ((c == '-' || c == '+') && i + 1 < input_.size() &&
+                  (std::isdigit(static_cast<unsigned char>(input_[i + 1])) ||
+                   input_[i + 1] == '.')) ||
+                 (c == '.' && i + 1 < input_.size() &&
+                  std::isdigit(static_cast<unsigned char>(input_[i + 1])))) {
+        tokens.push_back(LexNumber(&i));
+      } else if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        tokens.push_back(LexIdentifier(&i));
+      } else if (c == '!' || c == '<') {
+        size_t start = i;
+        if (i + 1 < input_.size() &&
+            ((c == '!' && input_[i + 1] == '=') ||
+             (c == '<' && input_[i + 1] == '>'))) {
+          i += 2;
+          tokens.push_back(Token{TokenKind::kSymbol, "!=", start});
+        } else {
+          return Err(start, "unexpected character '" + std::string(1, c) +
+                                "'");
+        }
+      } else if (c == '(' || c == ')' || c == ',' || c == '=' || c == '*') {
+        tokens.push_back(
+            Token{TokenKind::kSymbol, std::string(1, c), i});
+        ++i;
+      } else {
+        return Err(i, "unexpected character '" + std::string(1, c) + "'");
+      }
+    }
+    tokens.push_back(Token{TokenKind::kEnd, "", input_.size()});
+    return tokens;
+  }
+
+ private:
+  Status Err(size_t pos, const std::string& msg) {
+    return Status::InvalidArgument("SQL error at position " +
+                                   std::to_string(pos) + ": " + msg);
+  }
+
+  Result<Token> LexString(size_t* i) {
+    size_t start = *i;
+    ++*i;  // Opening quote.
+    std::string out;
+    while (*i < input_.size()) {
+      char c = input_[*i];
+      if (c == '\'') {
+        if (*i + 1 < input_.size() && input_[*i + 1] == '\'') {
+          out.push_back('\'');
+          *i += 2;
+        } else {
+          ++*i;
+          return Token{TokenKind::kString, std::move(out), start};
+        }
+      } else {
+        out.push_back(c);
+        ++*i;
+      }
+    }
+    return Err(start, "unterminated string literal");
+  }
+
+  Result<Token> LexQuotedIdentifier(size_t* i) {
+    size_t start = *i;
+    ++*i;
+    std::string out;
+    while (*i < input_.size()) {
+      char c = input_[*i];
+      if (c == '"') {
+        if (*i + 1 < input_.size() && input_[*i + 1] == '"') {
+          out.push_back('"');
+          *i += 2;
+        } else {
+          ++*i;
+          return Token{TokenKind::kIdentifier, std::move(out), start};
+        }
+      } else {
+        out.push_back(c);
+        ++*i;
+      }
+    }
+    return Err(start, "unterminated quoted identifier");
+  }
+
+  Token LexNumber(size_t* i) {
+    size_t start = *i;
+    bool is_float = false;
+    if (input_[*i] == '-' || input_[*i] == '+') ++*i;
+    while (*i < input_.size()) {
+      char c = input_[*i];
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        ++*i;
+      } else if (c == '.' || c == 'e' || c == 'E') {
+        is_float = true;
+        ++*i;
+        if (*i < input_.size() &&
+            (input_[*i] == '-' || input_[*i] == '+') &&
+            (input_[*i - 1] == 'e' || input_[*i - 1] == 'E')) {
+          ++*i;
+        }
+      } else {
+        break;
+      }
+    }
+    Token t{TokenKind::kNumber, input_.substr(start, *i - start), start};
+    t.is_float = is_float;
+    return t;
+  }
+
+  Token LexIdentifier(size_t* i) {
+    size_t start = *i;
+    while (*i < input_.size() &&
+           (std::isalnum(static_cast<unsigned char>(input_[*i])) ||
+            input_[*i] == '_')) {
+      ++*i;
+    }
+    return Token{TokenKind::kIdentifier, input_.substr(start, *i - start),
+                 start};
+  }
+
+  const std::string& input_;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<ParsedSql> Parse() {
+    PCLEAN_RETURN_NOT_OK(ExpectKeyword("SELECT"));
+    ParsedSql out;
+    PCLEAN_RETURN_NOT_OK(ParseAggregate(&out.query));
+    PCLEAN_RETURN_NOT_OK(ExpectKeyword("FROM"));
+    PCLEAN_ASSIGN_OR_RETURN(out.table_name, ExpectIdentifier("table name"));
+    if (TryKeyword("WHERE")) {
+      PCLEAN_ASSIGN_OR_RETURN(Predicate first, ParseCondition());
+      out.query.predicate = std::move(first);
+      if (TryKeyword("AND")) {
+        PCLEAN_ASSIGN_OR_RETURN(Predicate second, ParseCondition());
+        if (out.query.agg != AggregateType::kCount) {
+          return Err(
+              "AND conditions are supported for COUNT queries only "
+              "(the conjunctive estimator)");
+        }
+        if (second.attribute() == out.query.predicate->attribute()) {
+          return Err(
+              "AND conditions must reference two different attributes; "
+              "use IN (...) for multiple values of one attribute");
+        }
+        out.conjunct = std::move(second);
+      }
+    }
+    if (Peek().kind != TokenKind::kEnd) {
+      return Err("unexpected trailing input '" + Peek().text + "'");
+    }
+    return out;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& Advance() { return tokens_[pos_++]; }
+
+  Status Err(const std::string& msg) const {
+    return Status::InvalidArgument("SQL error at position " +
+                                   std::to_string(Peek().position) + ": " +
+                                   msg);
+  }
+
+  bool TryKeyword(const std::string& upper) {
+    if (Peek().kind == TokenKind::kIdentifier &&
+        ToLowerAscii(Peek().text) == ToLowerAscii(upper)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+
+  Status ExpectKeyword(const std::string& upper) {
+    if (!TryKeyword(upper)) {
+      return Err("expected " + upper);
+    }
+    return Status::OK();
+  }
+
+  Result<std::string> ExpectIdentifier(const std::string& what) {
+    if (Peek().kind != TokenKind::kIdentifier) {
+      return Err("expected " + what);
+    }
+    return Advance().text;
+  }
+
+  Status ExpectSymbol(const std::string& symbol) {
+    if (Peek().kind != TokenKind::kSymbol || Peek().text != symbol) {
+      return Err("expected '" + symbol + "'");
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  Status ParseAggregate(AggregateQuery* query) {
+    PCLEAN_ASSIGN_OR_RETURN(std::string name,
+                            ExpectIdentifier("aggregate function"));
+    std::string lower = ToLowerAscii(name);
+    if (lower == "count") {
+      query->agg = AggregateType::kCount;
+    } else if (lower == "sum") {
+      query->agg = AggregateType::kSum;
+    } else if (lower == "avg") {
+      query->agg = AggregateType::kAvg;
+    } else if (lower == "median") {
+      query->agg = AggregateType::kMedian;
+    } else if (lower == "var") {
+      query->agg = AggregateType::kVar;
+    } else if (lower == "std") {
+      query->agg = AggregateType::kStd;
+    } else if (lower == "percentile") {
+      query->agg = AggregateType::kPercentile;
+    } else {
+      return Err("unknown aggregate '" + name + "'");
+    }
+    PCLEAN_RETURN_NOT_OK(ExpectSymbol("("));
+    if (query->agg == AggregateType::kCount) {
+      // COUNT(1) or COUNT(*).
+      if (Peek().kind == TokenKind::kNumber && Peek().text == "1") {
+        Advance();
+      } else if (Peek().kind == TokenKind::kSymbol && Peek().text == "*") {
+        Advance();
+      } else {
+        return Err("COUNT takes 1 or * (predicates go in WHERE)");
+      }
+    } else {
+      PCLEAN_ASSIGN_OR_RETURN(query->numeric_attribute,
+                              ExpectIdentifier("numeric attribute"));
+      if (query->agg == AggregateType::kPercentile) {
+        // PERCENTILE(attr, p) with p in [0, 100].
+        PCLEAN_RETURN_NOT_OK(ExpectSymbol(","));
+        if (Peek().kind != TokenKind::kNumber) {
+          return Err("PERCENTILE expects a numeric rank, e.g. "
+                     "percentile(score, 90)");
+        }
+        PCLEAN_ASSIGN_OR_RETURN(query->percentile,
+                                ParseDouble(Advance().text));
+        if (query->percentile < 0.0 || query->percentile > 100.0) {
+          return Err("percentile rank must be in [0, 100]");
+        }
+      }
+    }
+    return ExpectSymbol(")");
+  }
+
+  Result<Value> ParseLiteral() {
+    const Token& t = Peek();
+    switch (t.kind) {
+      case TokenKind::kString: {
+        std::string text = Advance().text;
+        return Value(std::move(text));
+      }
+      case TokenKind::kNumber: {
+        Token num = Advance();
+        if (num.is_float) {
+          PCLEAN_ASSIGN_OR_RETURN(double v, ParseDouble(num.text));
+          return Value(v);
+        }
+        PCLEAN_ASSIGN_OR_RETURN(int64_t v, ParseInt64(num.text));
+        return Value(v);
+      }
+      case TokenKind::kIdentifier:
+        if (ToLowerAscii(t.text) == "null") {
+          Advance();
+          return Value::Null();
+        }
+        return Err("expected a literal (strings use single quotes)");
+      default:
+        return Err("expected a literal");
+    }
+  }
+
+  Result<Predicate> ParseCondition() {
+    PCLEAN_ASSIGN_OR_RETURN(std::string attribute,
+                            ExpectIdentifier("attribute"));
+    const Token& t = Peek();
+    if (t.kind == TokenKind::kSymbol && t.text == "=") {
+      Advance();
+      PCLEAN_ASSIGN_OR_RETURN(Value literal, ParseLiteral());
+      return Predicate::Equals(std::move(attribute), std::move(literal));
+    }
+    if (t.kind == TokenKind::kSymbol && t.text == "!=") {
+      Advance();
+      PCLEAN_ASSIGN_OR_RETURN(Value literal, ParseLiteral());
+      return Predicate::Equals(std::move(attribute), std::move(literal))
+          .Negate();
+    }
+    if (TryKeyword("IN")) {
+      PCLEAN_RETURN_NOT_OK(ExpectSymbol("("));
+      std::vector<Value> values;
+      for (;;) {
+        PCLEAN_ASSIGN_OR_RETURN(Value literal, ParseLiteral());
+        values.push_back(std::move(literal));
+        if (Peek().kind == TokenKind::kSymbol && Peek().text == ",") {
+          Advance();
+          continue;
+        }
+        break;
+      }
+      PCLEAN_RETURN_NOT_OK(ExpectSymbol(")"));
+      return Predicate::In(std::move(attribute), std::move(values));
+    }
+    if (TryKeyword("IS")) {
+      bool negated = TryKeyword("NOT");
+      if (!TryKeyword("NULL")) {
+        return Err("expected NULL after IS [NOT]");
+      }
+      Predicate p = Predicate::IsNull(attribute);
+      return negated ? p.Negate() : p;
+    }
+    return Err("expected =, !=, <>, IN, or IS after attribute '" +
+               attribute + "'");
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<ParsedSql> ParseSql(const std::string& sql) {
+  Lexer lexer(sql);
+  PCLEAN_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
+  Parser parser(std::move(tokens));
+  return parser.Parse();
+}
+
+}  // namespace privateclean

@@ -1,0 +1,46 @@
+#ifndef PRIVATECLEAN_QUERY_SQL_H_
+#define PRIVATECLEAN_QUERY_SQL_H_
+
+#include <optional>
+#include <string>
+
+#include "common/result.h"
+#include "query/aggregate.h"
+#include "query/predicate.h"
+
+namespace privateclean {
+
+/// A parsed PrivateClean query. The supported grammar is exactly the
+/// paper's query class (§3.2.2) plus the §10 extensions:
+///
+///   SELECT <agg> FROM <table> [WHERE <condition> [AND <condition>]]
+///
+///   <agg>       := COUNT(1) | COUNT(*)
+///                | SUM(<attr>) | AVG(<attr>)
+///                | MEDIAN(<attr>) | VAR(<attr>) | STD(<attr>)
+///                | PERCENTILE(<attr>, <rank 0-100>)
+///   <condition> := <attr> =  <literal>
+///                | <attr> != <literal> | <attr> <> <literal>
+///                | <attr> IN ( <literal> [, <literal>]... )
+///                | <attr> IS NULL | <attr> IS NOT NULL
+///   <literal>   := 'string' (doubled '' escapes a quote)
+///                | integer | floating point | NULL
+///
+/// Keywords are case-insensitive; identifiers are case-sensitive and may
+/// be double-quoted to include spaces. A second AND-condition is only
+/// meaningful for COUNT (the conjunctive estimator, §10) and must name a
+/// different attribute than the first.
+struct ParsedSql {
+  std::string table_name;
+  AggregateQuery query;  ///< Carries the first WHERE condition, if any.
+  /// Second AND-condition (COUNT only).
+  std::optional<Predicate> conjunct;
+};
+
+/// Parses `sql` into a ParsedSql. Returns InvalidArgument with a
+/// position-annotated message on syntax errors.
+Result<ParsedSql> ParseSql(const std::string& sql);
+
+}  // namespace privateclean
+
+#endif  // PRIVATECLEAN_QUERY_SQL_H_

@@ -1,0 +1,170 @@
+#include "table/column.h"
+
+#include "common/check.h"
+
+namespace privateclean {
+
+Result<Column> Column::Make(ValueType type) {
+  if (type == ValueType::kNull) {
+    return Status::InvalidArgument("column type cannot be null");
+  }
+  return Column(type);
+}
+
+void Column::AppendNull() {
+  switch (type_) {
+    case ValueType::kInt64:
+      ints_.push_back(0);
+      break;
+    case ValueType::kDouble:
+      doubles_.push_back(0.0);
+      break;
+    case ValueType::kString:
+      strings_.emplace_back();
+      break;
+    case ValueType::kNull:
+      PCLEAN_CHECK(false);
+  }
+  valid_.push_back(0);
+  ++null_count_;
+}
+
+void Column::AppendInt64(int64_t v) {
+  PCLEAN_CHECK(type_ == ValueType::kInt64);
+  ints_.push_back(v);
+  valid_.push_back(1);
+}
+
+void Column::AppendDouble(double v) {
+  PCLEAN_CHECK(type_ == ValueType::kDouble);
+  doubles_.push_back(v);
+  valid_.push_back(1);
+}
+
+void Column::AppendString(std::string v) {
+  PCLEAN_CHECK(type_ == ValueType::kString);
+  strings_.push_back(std::move(v));
+  valid_.push_back(1);
+}
+
+Status Column::AppendValue(const Value& v) {
+  if (v.is_null()) {
+    AppendNull();
+    return Status::OK();
+  }
+  if (v.type() != type_) {
+    return Status::InvalidArgument(
+        std::string("cannot append ") + ValueTypeToString(v.type()) +
+        " value to " + ValueTypeToString(type_) + " column");
+  }
+  switch (type_) {
+    case ValueType::kInt64:
+      AppendInt64(v.AsInt64());
+      break;
+    case ValueType::kDouble:
+      AppendDouble(v.AsDouble());
+      break;
+    case ValueType::kString:
+      AppendString(v.AsString());
+      break;
+    case ValueType::kNull:
+      PCLEAN_CHECK(false);
+  }
+  return Status::OK();
+}
+
+double Column::NumericAt(size_t row) const {
+  if (IsNull(row)) return 0.0;
+  switch (type_) {
+    case ValueType::kInt64:
+      return static_cast<double>(ints_[row]);
+    case ValueType::kDouble:
+      return doubles_[row];
+    default:
+      PCLEAN_CHECK(false);
+      return 0.0;
+  }
+}
+
+Value Column::ValueAt(size_t row) const {
+  if (IsNull(row)) return Value::Null();
+  switch (type_) {
+    case ValueType::kInt64:
+      return Value(ints_[row]);
+    case ValueType::kDouble:
+      return Value(doubles_[row]);
+    case ValueType::kString:
+      return Value(strings_[row]);
+    case ValueType::kNull:
+      break;
+  }
+  PCLEAN_CHECK(false);
+  return Value::Null();
+}
+
+Status Column::SetValue(size_t row, const Value& v) {
+  if (row >= size()) {
+    return Status::OutOfRange("row " + std::to_string(row) +
+                              " out of range for column of size " +
+                              std::to_string(size()));
+  }
+  bool was_null = IsNull(row);
+  if (v.is_null()) {
+    switch (type_) {
+      case ValueType::kInt64:
+        ints_[row] = 0;
+        break;
+      case ValueType::kDouble:
+        doubles_[row] = 0.0;
+        break;
+      case ValueType::kString:
+        strings_[row].clear();
+        break;
+      case ValueType::kNull:
+        PCLEAN_CHECK(false);
+    }
+    valid_[row] = 0;
+    if (!was_null) ++null_count_;
+    return Status::OK();
+  }
+  if (v.type() != type_) {
+    return Status::InvalidArgument(
+        std::string("cannot set ") + ValueTypeToString(v.type()) +
+        " value in " + ValueTypeToString(type_) + " column");
+  }
+  switch (type_) {
+    case ValueType::kInt64:
+      ints_[row] = v.AsInt64();
+      break;
+    case ValueType::kDouble:
+      doubles_[row] = v.AsDouble();
+      break;
+    case ValueType::kString:
+      strings_[row] = v.AsString();
+      break;
+    case ValueType::kNull:
+      PCLEAN_CHECK(false);
+  }
+  valid_[row] = 1;
+  if (was_null) --null_count_;
+  return Status::OK();
+}
+
+void Column::Reserve(size_t n) {
+  valid_.reserve(n);
+  switch (type_) {
+    case ValueType::kInt64:
+      ints_.reserve(n);
+      break;
+    case ValueType::kDouble:
+      doubles_.reserve(n);
+      break;
+    case ValueType::kString:
+      strings_.reserve(n);
+      break;
+    case ValueType::kNull:
+      break;
+  }
+}
+
+}  // namespace privateclean

@@ -1,0 +1,87 @@
+#ifndef PRIVATECLEAN_TABLE_COLUMN_H_
+#define PRIVATECLEAN_TABLE_COLUMN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "table/value.h"
+
+namespace privateclean {
+
+/// Typed column with a validity vector.
+///
+/// Storage is unboxed (`vector<int64_t>` / `vector<double>` /
+/// `vector<string>`) so aggregate scans are cache-friendly; `Value` boxing
+/// happens only at API edges. Null entries keep a placeholder in the typed
+/// vector and are flagged invalid.
+class Column {
+ public:
+  /// Creates an empty column of the given physical type (not kNull).
+  static Result<Column> Make(ValueType type);
+
+  ValueType type() const { return type_; }
+  size_t size() const { return valid_.size(); }
+  bool empty() const { return valid_.empty(); }
+
+  /// Number of null entries.
+  size_t null_count() const { return null_count_; }
+
+  /// --- Appends -------------------------------------------------------
+
+  void AppendNull();
+  /// Typed appends; calling the mismatched one is a programming error
+  /// (checked via PCLEAN_CHECK).
+  void AppendInt64(int64_t v);
+  void AppendDouble(double v);
+  void AppendString(std::string v);
+  /// Boxed append with type checking; null is accepted for any column type.
+  Status AppendValue(const Value& v);
+
+  /// --- Element access --------------------------------------------------
+
+  bool IsNull(size_t row) const { return valid_[row] == 0; }
+  /// Unchecked typed getters (row must be valid and type must match).
+  int64_t Int64At(size_t row) const { return ints_[row]; }
+  double DoubleAt(size_t row) const { return doubles_[row]; }
+  const std::string& StringAt(size_t row) const { return strings_[row]; }
+  /// Numeric view of an int64/double entry; 0 for null.
+  double NumericAt(size_t row) const;
+  /// Boxed getter; returns Value::Null() for null entries.
+  Value ValueAt(size_t row) const;
+
+  /// --- Mutation (used by privacy mechanisms and cleaners) --------------
+
+  /// Overwrites row with a boxed value (type-checked; null allowed).
+  Status SetValue(size_t row, const Value& v);
+
+  /// --- Raw access for fast scans ---------------------------------------
+
+  const std::vector<int64_t>& ints() const { return ints_; }
+  const std::vector<double>& doubles() const { return doubles_; }
+  const std::vector<std::string>& strings() const { return strings_; }
+  const std::vector<uint8_t>& validity() const { return valid_; }
+
+  /// Mutable numeric payload for in-place Laplace noising. Requires a
+  /// double column.
+  std::vector<double>* mutable_doubles() { return &doubles_; }
+  std::vector<int64_t>* mutable_ints() { return &ints_; }
+
+  /// Pre-allocates capacity for n rows.
+  void Reserve(size_t n);
+
+ private:
+  explicit Column(ValueType type) : type_(type) {}
+
+  ValueType type_;
+  std::vector<int64_t> ints_;
+  std::vector<double> doubles_;
+  std::vector<std::string> strings_;
+  std::vector<uint8_t> valid_;
+  size_t null_count_ = 0;
+};
+
+}  // namespace privateclean
+
+#endif  // PRIVATECLEAN_TABLE_COLUMN_H_

@@ -1,0 +1,281 @@
+#include "table/csv.h"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "common/string_util.h"
+
+namespace privateclean {
+
+namespace {
+
+bool NeedsQuoting(const std::string& field, const CsvOptions& options) {
+  // Real values that would read back as NULL must be quoted: quoted
+  // fields are never NULL (see ParseCell), which keeps the empty string
+  // and a literal null marker distinguishable from actual nulls.
+  if (field.empty() || field == options.null_literal) return true;
+  // Leading/trailing whitespace must be quoted: the reader trims
+  // unquoted fields.
+  if (std::isspace(static_cast<unsigned char>(field.front())) ||
+      std::isspace(static_cast<unsigned char>(field.back()))) {
+    return true;
+  }
+  for (char c : field) {
+    if (c == options.delimiter || c == '"' || c == '\n' || c == '\r') {
+      return true;
+    }
+  }
+  return false;
+}
+
+/// Appends a non-null field, quoting when necessary.
+void AppendField(std::string* out, const std::string& field,
+                 const CsvOptions& options) {
+  if (!NeedsQuoting(field, options)) {
+    out->append(field);
+    return;
+  }
+  out->push_back('"');
+  for (char c : field) {
+    if (c == '"') out->push_back('"');
+    out->push_back(c);
+  }
+  out->push_back('"');
+}
+
+/// One parsed field: its text and whether it was quoted in the input
+/// (quoted fields are never interpreted as NULL).
+struct RawField {
+  std::string text;
+  bool quoted = false;
+};
+
+/// A blank input line parses as a record with one unquoted empty field.
+/// For single-column schemas that is a legitimate NULL row; for wider
+/// schemas it is a blank line to skip.
+bool IsBlankRecord(const std::vector<RawField>& record) {
+  return record.size() == 1 && !record[0].quoted && record[0].text.empty();
+}
+
+/// Splits CSV text into records of fields, honoring quoting.
+Result<std::vector<std::vector<RawField>>> ParseRecords(
+    const std::string& text, const CsvOptions& options) {
+  std::vector<std::vector<RawField>> records;
+  std::vector<RawField> record;
+  std::string field;
+  bool in_quotes = false;
+  bool field_was_quoted = false;
+  bool any_content = false;
+
+  auto end_field = [&]() {
+    record.push_back(RawField{
+        field_was_quoted ? field : std::string(TrimWhitespace(field)),
+        field_was_quoted});
+    field.clear();
+    field_was_quoted = false;
+  };
+  auto end_record = [&]() {
+    end_field();
+    records.push_back(std::move(record));
+    record.clear();
+    any_content = false;
+  };
+
+  for (size_t i = 0; i < text.size(); ++i) {
+    char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field.push_back(c);
+      }
+      continue;
+    }
+    if (c == '"') {
+      in_quotes = true;
+      field_was_quoted = true;
+      any_content = true;
+    } else if (c == options.delimiter) {
+      end_field();
+      any_content = true;
+    } else if (c == '\n') {
+      // Every newline terminates a record; blank lines become records
+      // with a single unquoted empty field (a NULL row for one-column
+      // relations; schema-aware callers skip them otherwise).
+      end_record();
+    } else if (c == '\r') {
+      // Swallow; '\n' terminates the record.
+    } else {
+      field.push_back(c);
+      any_content = true;
+    }
+  }
+  if (in_quotes) {
+    return Status::IOError("unterminated quoted field in CSV input");
+  }
+  if (any_content || !field.empty() || !record.empty()) end_record();
+  return records;
+}
+
+Result<Value> ParseCell(const RawField& cell, const Field& field,
+                        const CsvOptions& options) {
+  // Quoted fields are never NULL; unquoted empty fields and the null
+  // literal are.
+  if (!cell.quoted &&
+      (cell.text.empty() || cell.text == options.null_literal)) {
+    return Value::Null();
+  }
+  switch (field.type) {
+    case ValueType::kInt64: {
+      PCLEAN_ASSIGN_OR_RETURN(int64_t v, ParseInt64(cell.text));
+      return Value(v);
+    }
+    case ValueType::kDouble: {
+      PCLEAN_ASSIGN_OR_RETURN(double v, ParseDouble(cell.text));
+      return Value(v);
+    }
+    case ValueType::kString:
+      return Value(cell.text);
+    case ValueType::kNull:
+      break;
+  }
+  return Status::Internal("field with null type");
+}
+
+}  // namespace
+
+std::string TableToCsv(const Table& table, const CsvOptions& options) {
+  std::string out;
+  if (options.header) {
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      if (c > 0) out.push_back(options.delimiter);
+      AppendField(&out, table.schema().field(c).name, options);
+    }
+    out.push_back('\n');
+  }
+  for (size_t r = 0; r < table.num_rows(); ++r) {
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      if (c > 0) out.push_back(options.delimiter);
+      Value v = table.column(c).ValueAt(r);
+      if (v.is_null()) {
+        // NULL is encoded as the *unquoted* null literal; AppendField
+        // would quote it, which marks a real value (quoted fields are
+        // never NULL).
+        out.append(options.null_literal);
+      } else {
+        AppendField(&out, v.ToString(), options);
+      }
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+Status WriteCsvFile(const Table& table, const std::string& path,
+                    const CsvOptions& options) {
+  std::ofstream f(path, std::ios::binary);
+  if (!f) return Status::IOError("cannot open '" + path + "' for writing");
+  f << TableToCsv(table, options);
+  if (!f) return Status::IOError("failed writing '" + path + "'");
+  return Status::OK();
+}
+
+Result<Table> CsvToTable(const std::string& text, const Schema& schema,
+                         const CsvOptions& options) {
+  PCLEAN_ASSIGN_OR_RETURN(auto records, ParseRecords(text, options));
+  size_t first_data = 0;
+  if (options.header) {
+    if (records.empty()) {
+      return Status::IOError("CSV input missing header row");
+    }
+    const auto& header = records[0];
+    if (header.size() != schema.num_fields()) {
+      return Status::IOError(
+          "CSV header has " + std::to_string(header.size()) +
+          " fields, schema expects " + std::to_string(schema.num_fields()));
+    }
+    for (size_t c = 0; c < header.size(); ++c) {
+      if (header[c].text != schema.field(c).name) {
+        return Status::IOError("CSV header field '" + header[c].text +
+                               "' does not match schema field '" +
+                               schema.field(c).name + "'");
+      }
+    }
+    first_data = 1;
+  }
+  PCLEAN_ASSIGN_OR_RETURN(Table table, Table::MakeEmpty(schema));
+  for (size_t r = first_data; r < records.size(); ++r) {
+    const auto& record = records[r];
+    if (schema.num_fields() != 1 && IsBlankRecord(record)) continue;
+    if (record.size() != schema.num_fields()) {
+      return Status::IOError("CSV record " + std::to_string(r) + " has " +
+                             std::to_string(record.size()) +
+                             " fields, expected " +
+                             std::to_string(schema.num_fields()));
+    }
+    std::vector<Value> row;
+    row.reserve(record.size());
+    for (size_t c = 0; c < record.size(); ++c) {
+      PCLEAN_ASSIGN_OR_RETURN(Value v,
+                              ParseCell(record[c], schema.field(c), options));
+      row.push_back(std::move(v));
+    }
+    PCLEAN_RETURN_NOT_OK(table.AppendRow(row));
+  }
+  return table;
+}
+
+Result<Table> ReadCsvFile(const std::string& path, const Schema& schema,
+                          const CsvOptions& options) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return Status::IOError("cannot open '" + path + "' for reading");
+  std::ostringstream buffer;
+  buffer << f.rdbuf();
+  return CsvToTable(buffer.str(), schema, options);
+}
+
+Result<Schema> InferCsvSchema(const std::string& text,
+                              const CsvOptions& options) {
+  if (!options.header) {
+    return Status::InvalidArgument(
+        "schema inference requires a header row for field names");
+  }
+  PCLEAN_ASSIGN_OR_RETURN(auto records, ParseRecords(text, options));
+  if (records.empty()) return Status::IOError("empty CSV input");
+  const auto& header = records[0];
+  std::vector<Field> fields;
+  for (size_t c = 0; c < header.size(); ++c) {
+    bool all_int = true;
+    bool all_double = true;
+    bool any_value = false;
+    for (size_t r = 1; r < records.size(); ++r) {
+      if (header.size() != 1 && IsBlankRecord(records[r])) continue;
+      if (c >= records[r].size()) continue;
+      const RawField& cell = records[r][c];
+      if (!cell.quoted &&
+          (cell.text.empty() || cell.text == options.null_literal)) {
+        continue;
+      }
+      any_value = true;
+      if (all_int && !ParseInt64(cell.text).ok()) all_int = false;
+      if (all_double && !ParseDouble(cell.text).ok()) all_double = false;
+      if (!all_int && !all_double) break;
+    }
+    if (any_value && all_int) {
+      fields.push_back(Field::Numerical(header[c].text, ValueType::kInt64));
+    } else if (any_value && all_double) {
+      fields.push_back(Field::Numerical(header[c].text, ValueType::kDouble));
+    } else {
+      fields.push_back(Field::Discrete(header[c].text, ValueType::kString));
+    }
+  }
+  return Schema::Make(std::move(fields));
+}
+
+}  // namespace privateclean

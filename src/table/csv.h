@@ -1,0 +1,48 @@
+#ifndef PRIVATECLEAN_TABLE_CSV_H_
+#define PRIVATECLEAN_TABLE_CSV_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "table/table.h"
+
+namespace privateclean {
+
+/// CSV parsing/serialization options (RFC-4180 quoting).
+struct CsvOptions {
+  char delimiter = ',';
+  /// Whether the first record is a header row. On read with an explicit
+  /// schema the header names must match the schema names.
+  bool header = true;
+  /// String that encodes NULL (in addition to the empty field).
+  std::string null_literal = "";
+};
+
+/// Serializes a table to CSV text. Null cells render as
+/// `options.null_literal`; fields containing the delimiter, quotes or
+/// newlines are quoted with doubled inner quotes.
+std::string TableToCsv(const Table& table, const CsvOptions& options = {});
+
+/// Writes a table to a CSV file.
+Status WriteCsvFile(const Table& table, const std::string& path,
+                    const CsvOptions& options = {});
+
+/// Parses CSV text into a table with a caller-provided schema. Every
+/// record must have exactly one field per schema column; numeric fields
+/// are parsed strictly. Empty fields (or `null_literal`) become NULL.
+Result<Table> CsvToTable(const std::string& text, const Schema& schema,
+                         const CsvOptions& options = {});
+
+/// Reads a CSV file into a table with a caller-provided schema.
+Result<Table> ReadCsvFile(const std::string& path, const Schema& schema,
+                          const CsvOptions& options = {});
+
+/// Infers a schema from CSV text: a column parseable entirely as int64
+/// becomes a numerical int64 field; else entirely as double, a numerical
+/// double field; otherwise a discrete string field. Requires a header row.
+Result<Schema> InferCsvSchema(const std::string& text,
+                              const CsvOptions& options = {});
+
+}  // namespace privateclean
+
+#endif  // PRIVATECLEAN_TABLE_CSV_H_

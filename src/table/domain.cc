@@ -1,0 +1,42 @@
+#include "table/domain.h"
+
+namespace privateclean {
+
+Result<Domain> Domain::FromColumn(const Table& table,
+                                  const std::string& field,
+                                  bool include_null) {
+  PCLEAN_ASSIGN_OR_RETURN(const Column* col, table.ColumnByName(field));
+  Domain d;
+  for (size_t r = 0; r < col->size(); ++r) {
+    if (col->IsNull(r) && !include_null) continue;
+    d.Add(col->ValueAt(r));
+  }
+  return d;
+}
+
+Domain Domain::FromValues(const std::vector<Value>& values) {
+  Domain d;
+  for (const Value& v : values) d.Add(v);
+  return d;
+}
+
+Result<size_t> Domain::IndexOf(const Value& v) const {
+  auto it = index_.find(v);
+  if (it == index_.end()) {
+    return Status::NotFound("value '" + v.ToString() + "' not in domain");
+  }
+  return it->second;
+}
+
+void Domain::Add(const Value& v) {
+  ++total_;
+  auto [it, inserted] = index_.emplace(v, values_.size());
+  if (inserted) {
+    values_.push_back(v);
+    freqs_.push_back(1);
+  } else {
+    ++freqs_[it->second];
+  }
+}
+
+}  // namespace privateclean

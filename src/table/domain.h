@@ -1,0 +1,64 @@
+#ifndef PRIVATECLEAN_TABLE_DOMAIN_H_
+#define PRIVATECLEAN_TABLE_DOMAIN_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "table/table.h"
+
+namespace privateclean {
+
+/// The active domain of a discrete attribute: its distinct values with
+/// frequencies, in first-appearance order.
+///
+/// This is the paper's `Domain(d_i)` — the set randomized response draws
+/// replacements from (Section 4.2.1) and the node set of the provenance
+/// graph (Section 6.2). Null is a first-class domain member when present,
+/// since cleaners may merge spurious values *to* null (IntelWireless
+/// experiment).
+class Domain {
+ public:
+  /// Computes the domain of `field` in `table`. `include_null` controls
+  /// whether null entries contribute a domain member.
+  static Result<Domain> FromColumn(const Table& table,
+                                   const std::string& field,
+                                   bool include_null = true);
+
+  /// Computes a domain from an explicit list of values (deduplicated,
+  /// frequencies counted).
+  static Domain FromValues(const std::vector<Value>& values);
+
+  /// Number of distinct values (paper's N).
+  size_t size() const { return values_.size(); }
+  bool empty() const { return values_.empty(); }
+
+  /// Distinct values in first-appearance order.
+  const std::vector<Value>& values() const { return values_; }
+
+  /// i-th distinct value.
+  const Value& value(size_t i) const { return values_[i]; }
+
+  /// Occurrence count of the i-th distinct value.
+  size_t frequency(size_t i) const { return freqs_[i]; }
+
+  /// Total number of (counted) rows.
+  size_t total_count() const { return total_; }
+
+  /// Index of `v` in the domain, or NotFound.
+  Result<size_t> IndexOf(const Value& v) const;
+
+  bool Contains(const Value& v) const { return index_.count(v) > 0; }
+
+ private:
+  void Add(const Value& v);
+
+  std::vector<Value> values_;
+  std::vector<size_t> freqs_;
+  std::unordered_map<Value, size_t, ValueHash> index_;
+  size_t total_ = 0;
+};
+
+}  // namespace privateclean
+
+#endif  // PRIVATECLEAN_TABLE_DOMAIN_H_

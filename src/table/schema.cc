@@ -1,0 +1,88 @@
+#include "table/schema.h"
+
+namespace privateclean {
+
+const char* AttributeKindToString(AttributeKind kind) {
+  switch (kind) {
+    case AttributeKind::kNumerical:
+      return "numerical";
+    case AttributeKind::kDiscrete:
+      return "discrete";
+  }
+  return "unknown";
+}
+
+Field Field::Numerical(std::string name, ValueType type) {
+  return Field{std::move(name), type, AttributeKind::kNumerical};
+}
+
+Field Field::Discrete(std::string name, ValueType type) {
+  return Field{std::move(name), type, AttributeKind::kDiscrete};
+}
+
+Result<Schema> Schema::Make(std::vector<Field> fields) {
+  Schema schema;
+  for (size_t i = 0; i < fields.size(); ++i) {
+    const Field& f = fields[i];
+    if (f.name.empty()) {
+      return Status::InvalidArgument("field name must be non-empty");
+    }
+    if (f.type == ValueType::kNull) {
+      return Status::InvalidArgument("field '" + f.name +
+                                     "' cannot have null type");
+    }
+    if (f.kind == AttributeKind::kNumerical &&
+        f.type == ValueType::kString) {
+      return Status::InvalidArgument(
+          "numerical field '" + f.name + "' must be int64 or double");
+    }
+    auto [it, inserted] = schema.index_.emplace(f.name, i);
+    (void)it;
+    if (!inserted) {
+      return Status::AlreadyExists("duplicate field name '" + f.name + "'");
+    }
+  }
+  schema.fields_ = std::move(fields);
+  return schema;
+}
+
+Result<size_t> Schema::FieldIndex(const std::string& name) const {
+  auto it = index_.find(name);
+  if (it == index_.end()) {
+    return Status::NotFound("no field named '" + name + "'");
+  }
+  return it->second;
+}
+
+Result<Field> Schema::FieldByName(const std::string& name) const {
+  PCLEAN_ASSIGN_OR_RETURN(size_t i, FieldIndex(name));
+  return fields_[i];
+}
+
+bool Schema::HasField(const std::string& name) const {
+  return index_.count(name) > 0;
+}
+
+std::vector<size_t> Schema::DiscreteIndices() const {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].kind == AttributeKind::kDiscrete) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<size_t> Schema::NumericalIndices() const {
+  std::vector<size_t> out;
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].kind == AttributeKind::kNumerical) out.push_back(i);
+  }
+  return out;
+}
+
+Result<Schema> Schema::AddField(const Field& field) const {
+  std::vector<Field> fields = fields_;
+  fields.push_back(field);
+  return Make(std::move(fields));
+}
+
+}  // namespace privateclean

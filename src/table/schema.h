@@ -1,0 +1,82 @@
+#ifndef PRIVATECLEAN_TABLE_SCHEMA_H_
+#define PRIVATECLEAN_TABLE_SCHEMA_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "table/value.h"
+
+namespace privateclean {
+
+/// PrivateClean's attribute taxonomy (paper Section 3.1): numerical
+/// attributes A receive the Laplace mechanism; discrete attributes D
+/// receive randomized response and are the only attributes user-defined
+/// cleaning may touch.
+enum class AttributeKind {
+  kNumerical = 0,
+  kDiscrete = 1,
+};
+
+const char* AttributeKindToString(AttributeKind kind);
+
+/// One attribute: a name, a physical type, and its privacy/cleaning role.
+struct Field {
+  std::string name;
+  ValueType type = ValueType::kString;
+  AttributeKind kind = AttributeKind::kDiscrete;
+
+  /// Convenience factories.
+  static Field Numerical(std::string name, ValueType type = ValueType::kDouble);
+  static Field Discrete(std::string name, ValueType type = ValueType::kString);
+
+  friend bool operator==(const Field& a, const Field& b) {
+    return a.name == b.name && a.type == b.type && a.kind == b.kind;
+  }
+};
+
+/// Ordered list of fields with O(1) lookup by name.
+///
+/// Invariants: field names are unique and non-empty; numerical fields have
+/// int64 or double physical type (enforced at construction via Make()).
+class Schema {
+ public:
+  Schema() = default;
+
+  /// Validates and builds a schema.
+  static Result<Schema> Make(std::vector<Field> fields);
+
+  size_t num_fields() const { return fields_.size(); }
+  const Field& field(size_t i) const { return fields_[i]; }
+  const std::vector<Field>& fields() const { return fields_; }
+
+  /// Index of the field named `name`, or NotFound.
+  Result<size_t> FieldIndex(const std::string& name) const;
+
+  /// The field named `name`, or NotFound.
+  Result<Field> FieldByName(const std::string& name) const;
+
+  /// True if a field with this name exists.
+  bool HasField(const std::string& name) const;
+
+  /// Indices of all discrete / all numerical fields, in schema order.
+  std::vector<size_t> DiscreteIndices() const;
+  std::vector<size_t> NumericalIndices() const;
+
+  /// Returns a new schema with `field` appended (used by Extract cleaners,
+  /// which create new discrete attributes).
+  Result<Schema> AddField(const Field& field) const;
+
+  friend bool operator==(const Schema& a, const Schema& b) {
+    return a.fields_ == b.fields_;
+  }
+
+ private:
+  std::vector<Field> fields_;
+  std::unordered_map<std::string, size_t> index_;
+};
+
+}  // namespace privateclean
+
+#endif  // PRIVATECLEAN_TABLE_SCHEMA_H_

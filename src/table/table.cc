@@ -1,0 +1,187 @@
+#include "table/table.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace privateclean {
+
+Result<Table> Table::MakeEmpty(const Schema& schema) {
+  Table t;
+  t.schema_ = schema;
+  for (size_t i = 0; i < schema.num_fields(); ++i) {
+    PCLEAN_ASSIGN_OR_RETURN(Column col, Column::Make(schema.field(i).type));
+    t.columns_.push_back(std::move(col));
+  }
+  return t;
+}
+
+Result<Table> Table::Make(Schema schema, std::vector<Column> columns) {
+  if (schema.num_fields() != columns.size()) {
+    return Status::InvalidArgument(
+        "schema has " + std::to_string(schema.num_fields()) +
+        " fields but " + std::to_string(columns.size()) +
+        " columns were provided");
+  }
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (columns[i].type() != schema.field(i).type) {
+      return Status::InvalidArgument("column " + std::to_string(i) +
+                                     " type does not match field '" +
+                                     schema.field(i).name + "'");
+    }
+    if (columns[i].size() != columns[0].size()) {
+      return Status::InvalidArgument("columns have unequal lengths");
+    }
+  }
+  Table t;
+  t.schema_ = std::move(schema);
+  t.columns_ = std::move(columns);
+  return t;
+}
+
+Result<const Column*> Table::ColumnByName(const std::string& name) const {
+  PCLEAN_ASSIGN_OR_RETURN(size_t i, schema_.FieldIndex(name));
+  return &columns_[i];
+}
+
+Result<Column*> Table::MutableColumnByName(const std::string& name) {
+  PCLEAN_ASSIGN_OR_RETURN(size_t i, schema_.FieldIndex(name));
+  return &columns_[i];
+}
+
+Result<Value> Table::GetValue(size_t row, const std::string& field) const {
+  PCLEAN_ASSIGN_OR_RETURN(const Column* col, ColumnByName(field));
+  if (row >= col->size()) {
+    return Status::OutOfRange("row " + std::to_string(row) +
+                              " out of range");
+  }
+  return col->ValueAt(row);
+}
+
+Status Table::SetValue(size_t row, const std::string& field,
+                       const Value& v) {
+  PCLEAN_ASSIGN_OR_RETURN(Column * col, MutableColumnByName(field));
+  return col->SetValue(row, v);
+}
+
+Status Table::AppendRow(const std::vector<Value>& row) {
+  if (row.size() != columns_.size()) {
+    return Status::InvalidArgument(
+        "row has " + std::to_string(row.size()) + " values, expected " +
+        std::to_string(columns_.size()));
+  }
+  // Validate all cells before mutating any column so a failed append
+  // leaves the table unchanged.
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (!row[i].is_null() && row[i].type() != columns_[i].type()) {
+      return Status::InvalidArgument(
+          "value for field '" + schema_.field(i).name + "' has type " +
+          ValueTypeToString(row[i].type()) + ", expected " +
+          ValueTypeToString(columns_[i].type()));
+    }
+  }
+  for (size_t i = 0; i < row.size(); ++i) {
+    PCLEAN_RETURN_NOT_OK(columns_[i].AppendValue(row[i]));
+  }
+  return Status::OK();
+}
+
+Status Table::AddColumn(const Field& field, Column column) {
+  if (column.type() != field.type) {
+    return Status::InvalidArgument("column type does not match field '" +
+                                   field.name + "'");
+  }
+  if (!columns_.empty() && column.size() != num_rows()) {
+    return Status::InvalidArgument(
+        "new column has " + std::to_string(column.size()) +
+        " rows, table has " + std::to_string(num_rows()));
+  }
+  PCLEAN_ASSIGN_OR_RETURN(Schema new_schema, schema_.AddField(field));
+  schema_ = std::move(new_schema);
+  columns_.push_back(std::move(column));
+  return Status::OK();
+}
+
+Table Table::Clone() const {
+  Table t;
+  t.schema_ = schema_;
+  t.columns_ = columns_;
+  return t;
+}
+
+Result<Table> Table::Filter(const std::vector<uint8_t>& keep) const {
+  if (keep.size() != num_rows()) {
+    return Status::InvalidArgument("filter mask length mismatch");
+  }
+  PCLEAN_ASSIGN_OR_RETURN(Table out, MakeEmpty(schema_));
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    Column* dst = out.mutable_column(c);
+    const Column& src = columns_[c];
+    for (size_t r = 0; r < keep.size(); ++r) {
+      if (!keep[r]) continue;
+      PCLEAN_RETURN_NOT_OK(dst->AppendValue(src.ValueAt(r)));
+    }
+  }
+  return out;
+}
+
+Result<Table> Table::Take(const std::vector<size_t>& row_indices) const {
+  PCLEAN_ASSIGN_OR_RETURN(Table out, MakeEmpty(schema_));
+  for (size_t c = 0; c < columns_.size(); ++c) {
+    Column* dst = out.mutable_column(c);
+    dst->Reserve(row_indices.size());
+    const Column& src = columns_[c];
+    for (size_t r : row_indices) {
+      if (r >= num_rows()) {
+        return Status::OutOfRange("row index " + std::to_string(r) +
+                                  " out of range");
+      }
+      PCLEAN_RETURN_NOT_OK(dst->AppendValue(src.ValueAt(r)));
+    }
+  }
+  return out;
+}
+
+std::string Table::ToString(size_t max_rows) const {
+  // Compute column widths over the header and the shown rows.
+  size_t rows = std::min(max_rows, num_rows());
+  std::vector<std::vector<std::string>> cells(rows + 1);
+  cells[0].reserve(num_columns());
+  for (size_t c = 0; c < num_columns(); ++c) {
+    cells[0].push_back(schema_.field(c).name);
+  }
+  for (size_t r = 0; r < rows; ++r) {
+    cells[r + 1].reserve(num_columns());
+    for (size_t c = 0; c < num_columns(); ++c) {
+      Value v = columns_[c].ValueAt(r);
+      cells[r + 1].push_back(v.is_null() ? "NULL" : v.ToString());
+    }
+  }
+  std::vector<size_t> widths(num_columns(), 0);
+  for (const auto& row : cells) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream out;
+  for (size_t r = 0; r < cells.size(); ++r) {
+    for (size_t c = 0; c < num_columns(); ++c) {
+      out << (c == 0 ? "" : "  ");
+      out << cells[r][c];
+      out << std::string(widths[c] - cells[r][c].size(), ' ');
+    }
+    out << "\n";
+    if (r == 0) {
+      size_t total = 0;
+      for (size_t c = 0; c < num_columns(); ++c) {
+        total += widths[c] + (c == 0 ? 0 : 2);
+      }
+      out << std::string(total, '-') << "\n";
+    }
+  }
+  if (num_rows() > rows) {
+    out << "... (" << num_rows() - rows << " more rows)\n";
+  }
+  return out.str();
+}
+
+}  // namespace privateclean

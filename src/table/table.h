@@ -1,0 +1,79 @@
+#ifndef PRIVATECLEAN_TABLE_TABLE_H_
+#define PRIVATECLEAN_TABLE_TABLE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "table/column.h"
+#include "table/schema.h"
+
+namespace privateclean {
+
+/// In-memory columnar relation: a Schema plus one Column per field, all of
+/// equal length. This is the substrate every other PrivateClean module
+/// operates on — the provider's original relation R, the private relation
+/// V, and the cleaned private relation V_clean are all `Table`s.
+class Table {
+ public:
+  Table() = default;
+
+  /// Builds an empty table for `schema`.
+  static Result<Table> MakeEmpty(const Schema& schema);
+
+  /// Builds a table from pre-populated columns (validated: one column per
+  /// field, matching types, equal lengths).
+  static Result<Table> Make(Schema schema, std::vector<Column> columns);
+
+  const Schema& schema() const { return schema_; }
+  size_t num_rows() const {
+    return columns_.empty() ? 0 : columns_[0].size();
+  }
+  size_t num_columns() const { return columns_.size(); }
+
+  const Column& column(size_t i) const { return columns_[i]; }
+  Column* mutable_column(size_t i) { return &columns_[i]; }
+
+  /// Column lookup by field name.
+  Result<const Column*> ColumnByName(const std::string& name) const;
+  Result<Column*> MutableColumnByName(const std::string& name);
+
+  /// Boxed cell accessors.
+  Result<Value> GetValue(size_t row, const std::string& field) const;
+  Status SetValue(size_t row, const std::string& field, const Value& v);
+
+  /// Appends one row given boxed values in schema order.
+  Status AppendRow(const std::vector<Value>& row);
+
+  /// Adds a new column (used by Extract cleaners). The column must have
+  /// num_rows() entries.
+  Status AddColumn(const Field& field, Column column);
+
+  /// Returns a deep copy. Tables are heavyweight; the explicit name keeps
+  /// copies visible at call sites (the copy constructor is disabled).
+  Table Clone() const;
+
+  /// Returns a new table containing only rows where `keep[row]` is true.
+  Result<Table> Filter(const std::vector<uint8_t>& keep) const;
+
+  /// Returns a new table with the given rows, in order. Indices may
+  /// repeat (bootstrap resampling) and must be < num_rows().
+  Result<Table> Take(const std::vector<size_t>& row_indices) const;
+
+  /// Renders the first `max_rows` rows as an aligned ASCII grid (debugging
+  /// and example output).
+  std::string ToString(size_t max_rows = 10) const;
+
+  Table(Table&&) = default;
+  Table& operator=(Table&&) = default;
+  Table(const Table&) = delete;
+  Table& operator=(const Table&) = delete;
+
+ private:
+  Schema schema_;
+  std::vector<Column> columns_;
+};
+
+}  // namespace privateclean
+
+#endif  // PRIVATECLEAN_TABLE_TABLE_H_

@@ -1,0 +1,32 @@
+#include "table/table_builder.h"
+
+namespace privateclean {
+
+TableBuilder::TableBuilder(Schema schema)
+    : schema_(std::move(schema)), table_(Table::MakeEmpty(schema_)) {}
+
+TableBuilder& TableBuilder::Row(std::vector<Value> values) {
+  ++num_rows_;
+  if (!first_error_.ok() || !table_.ok()) return *this;
+  Status st = table_.ValueOrDie().AppendRow(values);
+  if (!st.ok()) first_error_ = std::move(st);
+  return *this;
+}
+
+TableBuilder& TableBuilder::Reserve(size_t n) {
+  if (table_.ok()) {
+    Table& t = table_.ValueOrDie();
+    for (size_t c = 0; c < t.num_columns(); ++c) {
+      t.mutable_column(c)->Reserve(n);
+    }
+  }
+  return *this;
+}
+
+Result<Table> TableBuilder::Finish() {
+  if (!table_.ok()) return table_.status();
+  if (!first_error_.ok()) return first_error_;
+  return std::move(table_);
+}
+
+}  // namespace privateclean

@@ -1,0 +1,45 @@
+#ifndef PRIVATECLEAN_TABLE_TABLE_BUILDER_H_
+#define PRIVATECLEAN_TABLE_TABLE_BUILDER_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "table/table.h"
+
+namespace privateclean {
+
+/// Row-at-a-time table construction with a fluent interface:
+///
+///   TableBuilder b(schema);
+///   b.Row({Value("Mech. Eng."), Value(4.0)});
+///   b.Row({Value("EECS"), Value(3.5)});
+///   PCLEAN_ASSIGN_OR_RETURN(Table t, b.Finish());
+///
+/// Errors (type mismatches, wrong arity) are deferred to Finish() so row
+/// chains stay readable; the first error wins.
+class TableBuilder {
+ public:
+  explicit TableBuilder(Schema schema);
+
+  /// Appends one row of boxed values in schema order.
+  TableBuilder& Row(std::vector<Value> values);
+
+  /// Reserves capacity for n rows.
+  TableBuilder& Reserve(size_t n);
+
+  /// Number of rows appended so far (including any that will fail).
+  size_t num_rows() const { return num_rows_; }
+
+  /// Validates and returns the built table; the builder is consumed.
+  Result<Table> Finish();
+
+ private:
+  Schema schema_;
+  Result<Table> table_;
+  Status first_error_;
+  size_t num_rows_ = 0;
+};
+
+}  // namespace privateclean
+
+#endif  // PRIVATECLEAN_TABLE_TABLE_BUILDER_H_

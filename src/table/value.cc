@@ -1,0 +1,67 @@
+#include "table/value.h"
+
+#include "common/string_util.h"
+
+namespace privateclean {
+
+const char* ValueTypeToString(ValueType type) {
+  switch (type) {
+    case ValueType::kNull:
+      return "null";
+    case ValueType::kInt64:
+      return "int64";
+    case ValueType::kDouble:
+      return "double";
+    case ValueType::kString:
+      return "string";
+  }
+  return "unknown";
+}
+
+double Value::ToNumeric() const {
+  switch (type()) {
+    case ValueType::kInt64:
+      return static_cast<double>(AsInt64());
+    case ValueType::kDouble:
+      return AsDouble();
+    default:
+      return 0.0;
+  }
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return "";
+    case ValueType::kInt64:
+      return std::to_string(AsInt64());
+    case ValueType::kDouble:
+      return FormatDouble(AsDouble());
+    case ValueType::kString:
+      return AsString();
+  }
+  return "";
+}
+
+size_t Value::Hash() const {
+  // Mix the type index so int64(0), double(0.0) and "" hash differently.
+  size_t seed = data_.index() * 0x9E3779B97F4A7C15ULL;
+  size_t h = 0;
+  switch (type()) {
+    case ValueType::kNull:
+      h = 0;
+      break;
+    case ValueType::kInt64:
+      h = std::hash<int64_t>{}(AsInt64());
+      break;
+    case ValueType::kDouble:
+      h = std::hash<double>{}(AsDouble());
+      break;
+    case ValueType::kString:
+      h = std::hash<std::string>{}(AsString());
+      break;
+  }
+  return seed ^ (h + 0x9E3779B9U + (seed << 6) + (seed >> 2));
+}
+
+}  // namespace privateclean

@@ -1,0 +1,76 @@
+#include "privacy/accountant.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+#include "table/table_builder.h"
+
+namespace privateclean {
+namespace {
+
+PrivateRelationMetadata MakeMetadata(double p, double b, double delta) {
+  PrivateRelationMetadata meta;
+  meta.dataset_size = 100;
+  meta.discrete.emplace(
+      "d", DiscreteAttributeMeta{p, Domain::FromValues({Value("a")})});
+  meta.numeric.emplace("x", NumericAttributeMeta{b, delta});
+  return meta;
+}
+
+TEST(AccountantTest, Theorem1Composition) {
+  PrivacyReport report = *AccountPrivacy(MakeMetadata(0.25, 10.0, 100.0));
+  double eps_d = std::log(3.0 / 0.25 - 2.0);
+  double eps_n = 100.0 / 10.0;
+  EXPECT_NEAR(report.per_attribute_epsilon.at("d"), eps_d, 1e-12);
+  EXPECT_NEAR(report.per_attribute_epsilon.at("x"), eps_n, 1e-12);
+  EXPECT_NEAR(report.total_epsilon, eps_d + eps_n, 1e-12);
+  EXPECT_TRUE(report.fully_private);
+}
+
+TEST(AccountantTest, NonRandomizedDiscreteIsInfinite) {
+  PrivacyReport report = *AccountPrivacy(MakeMetadata(0.0, 10.0, 100.0));
+  EXPECT_TRUE(std::isinf(report.per_attribute_epsilon.at("d")));
+  EXPECT_TRUE(std::isinf(report.total_epsilon));
+  EXPECT_FALSE(report.fully_private);
+}
+
+TEST(AccountantTest, ZeroNoiseNumericIsInfinite) {
+  PrivacyReport report = *AccountPrivacy(MakeMetadata(0.25, 0.0, 100.0));
+  EXPECT_TRUE(std::isinf(report.per_attribute_epsilon.at("x")));
+  EXPECT_FALSE(report.fully_private);
+}
+
+TEST(AccountantTest, ZeroNoiseOnConstantColumnIsPrivate) {
+  // Delta == 0: the attribute carries no information.
+  PrivacyReport report = *AccountPrivacy(MakeMetadata(0.25, 0.0, 0.0));
+  EXPECT_DOUBLE_EQ(report.per_attribute_epsilon.at("x"), 0.0);
+  EXPECT_TRUE(report.fully_private);
+}
+
+TEST(AccountantTest, FullRandomizationIsZeroEpsilon) {
+  PrivacyReport report = *AccountPrivacy(MakeMetadata(1.0, 10.0, 100.0));
+  EXPECT_NEAR(report.per_attribute_epsilon.at("d"), 0.0, 1e-12);
+}
+
+TEST(AccountantTest, AddingAttributesIncreasesEpsilon) {
+  // The Theorem 1 interpretation: more attributes, more epsilon.
+  PrivateRelationMetadata one = MakeMetadata(0.25, 10.0, 100.0);
+  PrivateRelationMetadata two = MakeMetadata(0.25, 10.0, 100.0);
+  two.discrete.emplace(
+      "d2", DiscreteAttributeMeta{0.25, Domain::FromValues({Value("b")})});
+  EXPECT_GT(AccountPrivacy(two)->total_epsilon,
+            AccountPrivacy(one)->total_epsilon);
+}
+
+TEST(AccountantTest, EmptyMetadataIsZero) {
+  PrivateRelationMetadata meta;
+  PrivacyReport report = *AccountPrivacy(meta);
+  EXPECT_DOUBLE_EQ(report.total_epsilon, 0.0);
+  EXPECT_TRUE(report.fully_private);
+  EXPECT_TRUE(report.per_attribute_epsilon.empty());
+}
+
+}  // namespace
+}  // namespace privateclean

@@ -1,0 +1,150 @@
+#include "query/aggregate.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "table/table_builder.h"
+
+namespace privateclean {
+namespace {
+
+Schema TestSchema() {
+  return *Schema::Make({Field::Discrete("major"),
+                        Field::Numerical("score", ValueType::kDouble)});
+}
+
+Table TestTable() {
+  TableBuilder b(TestSchema());
+  b.Row({Value("EECS"), Value(4.0)})
+      .Row({Value("Math"), Value(2.0)})
+      .Row({Value("EECS"), Value(5.0)})
+      .Row({Value("Math"), Value(3.0)})
+      .Row({Value("EECS"), Value::Null()})
+      .Row({Value("Bio"), Value(1.0)});
+  return *b.Finish();
+}
+
+Predicate Eecs() { return Predicate::Equals("major", "EECS"); }
+
+TEST(AggregateTest, CountNoPredicate) {
+  EXPECT_DOUBLE_EQ(*ExecuteAggregate(TestTable(), AggregateQuery::Count()),
+                   6.0);
+}
+
+TEST(AggregateTest, CountWithPredicate) {
+  EXPECT_DOUBLE_EQ(
+      *ExecuteAggregate(TestTable(), AggregateQuery::Count(Eecs())), 3.0);
+}
+
+TEST(AggregateTest, SumSkipsNulls) {
+  EXPECT_DOUBLE_EQ(
+      *ExecuteAggregate(TestTable(), AggregateQuery::Sum("score", Eecs())),
+      9.0);
+  EXPECT_DOUBLE_EQ(
+      *ExecuteAggregate(TestTable(), AggregateQuery::Sum("score")), 15.0);
+}
+
+TEST(AggregateTest, AvgOverNonNullMatches) {
+  EXPECT_DOUBLE_EQ(
+      *ExecuteAggregate(TestTable(), AggregateQuery::Avg("score", Eecs())),
+      4.5);
+}
+
+TEST(AggregateTest, AvgNoMatchesFails) {
+  auto r = ExecuteAggregate(
+      TestTable(),
+      AggregateQuery::Avg("score", Predicate::Equals("major", "Absent")));
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsFailedPrecondition());
+}
+
+TEST(AggregateTest, SumOnStringAttributeRejected) {
+  auto r = ExecuteAggregate(TestTable(), AggregateQuery::Sum("major"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+}
+
+TEST(AggregateTest, SumOnMissingAttributeRejected) {
+  EXPECT_FALSE(ExecuteAggregate(TestTable(),
+                                AggregateQuery::Sum("nope")).ok());
+}
+
+TEST(AggregateTest, VarAndStd) {
+  AggregateQuery var{AggregateType::kVar, "score", std::nullopt, 50.0};
+  // Non-null scores: 4,2,5,3,1 -> mean 3, sample var 2.5.
+  EXPECT_NEAR(*ExecuteAggregate(TestTable(), var), 2.5, 1e-12);
+  AggregateQuery stddev{AggregateType::kStd, "score", std::nullopt, 50.0};
+  EXPECT_NEAR(*ExecuteAggregate(TestTable(), stddev), std::sqrt(2.5),
+              1e-12);
+}
+
+TEST(AggregateTest, MedianAndPercentile) {
+  AggregateQuery median{AggregateType::kMedian, "score", std::nullopt, 50.0};
+  EXPECT_DOUBLE_EQ(*ExecuteAggregate(TestTable(), median), 3.0);
+  AggregateQuery p100{AggregateType::kPercentile, "score", std::nullopt,
+                      100.0};
+  EXPECT_DOUBLE_EQ(*ExecuteAggregate(TestTable(), p100), 5.0);
+}
+
+TEST(AggregateTest, VarNeedsTwoRows) {
+  AggregateQuery var{AggregateType::kVar, "score",
+                     Predicate::Equals("major", "Bio"), 50.0};
+  EXPECT_FALSE(ExecuteAggregate(TestTable(), var).ok());
+}
+
+TEST(ScanTest, BasicStats) {
+  QueryScanStats stats = *ScanWithPredicate(TestTable(), Eecs(), "score");
+  EXPECT_EQ(stats.total_rows, 6u);
+  EXPECT_EQ(stats.matching_rows, 3u);
+  EXPECT_DOUBLE_EQ(stats.matching_sum, 9.0);
+  EXPECT_DOUBLE_EQ(stats.complement_sum, 6.0);
+  // Moments over non-null scores: 4,2,5,3,1.
+  EXPECT_DOUBLE_EQ(stats.numeric_mean, 3.0);
+  EXPECT_DOUBLE_EQ(stats.numeric_variance, 2.0);  // Population variance.
+}
+
+TEST(ScanTest, CountOnlyScanHasZeroSums) {
+  QueryScanStats stats = *ScanWithPredicate(TestTable(), Eecs(), "");
+  EXPECT_EQ(stats.matching_rows, 3u);
+  EXPECT_DOUBLE_EQ(stats.matching_sum, 0.0);
+  EXPECT_DOUBLE_EQ(stats.complement_sum, 0.0);
+}
+
+TEST(ScanTest, SumPlusComplementEqualsTotal) {
+  QueryScanStats stats = *ScanWithPredicate(TestTable(), Eecs(), "score");
+  double total =
+      *ExecuteAggregate(TestTable(), AggregateQuery::Sum("score"));
+  EXPECT_DOUBLE_EQ(stats.matching_sum + stats.complement_sum, total);
+}
+
+TEST(GroupByTest, CountsPerGroup) {
+  auto groups = *GroupByCount(TestTable(), "major");
+  EXPECT_EQ(groups.size(), 3u);
+  EXPECT_EQ(groups["EECS"], 3u);
+  EXPECT_EQ(groups["Math"], 2u);
+  EXPECT_EQ(groups["Bio"], 1u);
+}
+
+TEST(GroupByTest, NullGroupKeyedByEmptyString) {
+  TableBuilder b(TestSchema());
+  b.Row({Value::Null(), Value(1.0)}).Row({Value("X"), Value(2.0)});
+  Table t = *b.Finish();
+  auto groups = *GroupByCount(t, "major");
+  EXPECT_EQ(groups[""], 1u);
+  EXPECT_EQ(groups["X"], 1u);
+}
+
+TEST(GroupByTest, MissingAttributeFails) {
+  EXPECT_FALSE(GroupByCount(TestTable(), "nope").ok());
+}
+
+TEST(AggregateTypeTest, Names) {
+  EXPECT_STREQ(AggregateTypeToString(AggregateType::kCount), "count");
+  EXPECT_STREQ(AggregateTypeToString(AggregateType::kSum), "sum");
+  EXPECT_STREQ(AggregateTypeToString(AggregateType::kAvg), "avg");
+  EXPECT_STREQ(AggregateTypeToString(AggregateType::kMedian), "median");
+}
+
+}  // namespace
+}  // namespace privateclean

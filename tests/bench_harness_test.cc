@@ -1,0 +1,141 @@
+// The experiment harness (bench/harness.*) is part of the reproduction
+// deliverable, so it gets its own tests: the comparison runner must
+// compute mean relative errors correctly, respect support filters, keep
+// query sets fixed across sweep points, and fail loudly on bad specs.
+
+#include "bench/harness.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/synthetic.h"
+
+namespace privateclean {
+namespace bench {
+namespace {
+
+Table MakeData(uint64_t seed = 1) {
+  SyntheticOptions options;
+  options.num_rows = 600;
+  Rng rng(seed);
+  return *GenerateSynthetic(options, rng);
+}
+
+TEST(RunComparisonTest, ProducesFiniteErrors) {
+  Table data = MakeData();
+  Predicate pred = Predicate::In(
+      "category", {SyntheticCategory(0), SyntheticCategory(1)});
+  ComparisonSpec spec;
+  spec.data = &data;
+  spec.params = GrrParams::Uniform(0.2, 5.0);
+  spec.query = AggregateQuery::Count(pred);
+  spec.truth = *ExecuteAggregate(data, spec.query);
+  spec.trials = 10;
+  ComparisonResult r = *RunComparison(spec);
+  EXPECT_GE(r.privateclean_pct, 0.0);
+  EXPECT_GE(r.direct_pct, 0.0);
+  EXPECT_LT(r.privateclean_pct, 200.0);
+  EXPECT_EQ(r.failed_trials, 0);
+}
+
+TEST(RunComparisonTest, CleaningHookRuns) {
+  Table data = MakeData();
+  int clean_calls = 0;
+  ComparisonSpec spec;
+  spec.data = &data;
+  spec.params = GrrParams::Uniform(0.1, 5.0);
+  spec.clean = [&clean_calls](PrivateTable& pt) {
+    ++clean_calls;
+    return pt.Clean(FindReplace::Single("category", SyntheticCategory(1),
+                                        SyntheticCategory(0)));
+  };
+  spec.query = AggregateQuery::Count(
+      Predicate::Equals("category", SyntheticCategory(0)));
+  Table truth_table = data.Clone();
+  (void)FindReplace::Single("category", SyntheticCategory(1),
+                            SyntheticCategory(0))
+      .Apply(&truth_table);
+  spec.truth = *ExecuteAggregate(truth_table, spec.query);
+  spec.trials = 5;
+  ComparisonResult r = *RunComparison(spec);
+  EXPECT_EQ(clean_calls, 5);
+  EXPECT_LT(r.privateclean_pct, r.direct_pct + 100.0);
+}
+
+TEST(RunComparisonTest, UnweightedVariantOnlyWhenRequested) {
+  Table data = MakeData();
+  ComparisonSpec spec;
+  spec.data = &data;
+  spec.params = GrrParams::Uniform(0.1, 5.0);
+  spec.query = AggregateQuery::Count(
+      Predicate::Equals("category", SyntheticCategory(0)));
+  spec.truth = *ExecuteAggregate(data, spec.query);
+  spec.trials = 5;
+  ComparisonResult without = *RunComparison(spec);
+  EXPECT_DOUBLE_EQ(without.unweighted_pct, 0.0);
+  spec.include_unweighted = true;
+  ComparisonResult with = *RunComparison(spec);
+  EXPECT_GT(with.unweighted_pct, 0.0);
+}
+
+TEST(RunComparisonTest, RejectsBadSpecs) {
+  ComparisonSpec spec;
+  EXPECT_FALSE(RunComparison(spec).ok());  // No data.
+  Table data = MakeData();
+  spec.data = &data;
+  spec.truth = 0.0;  // Zero truth: relative error undefined.
+  EXPECT_FALSE(RunComparison(spec).ok());
+}
+
+TEST(RandomQueryComparisonTest, SupportFilterRejectsRareQueries) {
+  Table data = MakeData();
+  RandomQuerySpec spec;
+  spec.data = &data;
+  spec.params = GrrParams::Uniform(0.1, 5.0);
+  // Queries over single random categories; with z=2 most are rare.
+  spec.make_query = [](Rng& rng) {
+    return AggregateQuery::Count(Predicate::In(
+        "category", PickPredicateCategories(50, 1, 2, rng)));
+  };
+  spec.num_queries = 5;
+  spec.trials_per_query = 3;
+  spec.min_predicate_rows = data.num_rows();  // Impossible support.
+  auto r = RunRandomQueryComparison(spec);
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsFailedPrecondition());
+}
+
+TEST(RandomQueryComparisonTest, FixedQuerySeedGivesIdenticalResults) {
+  Table data = MakeData();
+  auto run = [&](uint64_t query_seed) {
+    RandomQuerySpec spec;
+    spec.data = &data;
+    spec.params = GrrParams::Uniform(0.1, 5.0);
+    spec.make_query = [](Rng& rng) {
+      return AggregateQuery::Count(Predicate::In(
+          "category", PickPredicateCategories(50, 5, 2, rng)));
+    };
+    spec.num_queries = 4;
+    spec.trials_per_query = 4;
+    spec.query_seed = query_seed;
+    spec.seed_base = 999;
+    return *RunRandomQueryComparison(spec);
+  };
+  ComparisonResult a = run(123);
+  ComparisonResult b = run(123);
+  EXPECT_DOUBLE_EQ(a.privateclean_pct, b.privateclean_pct);
+  EXPECT_DOUBLE_EQ(a.direct_pct, b.direct_pct);
+  ComparisonResult c = run(456);
+  EXPECT_NE(a.privateclean_pct, c.privateclean_pct);
+}
+
+TEST(PrintFigureTest, RendersAllSeries) {
+  // Smoke: PrintFigure writes to stdout; just ensure it doesn't crash
+  // with mismatched lengths or NaNs.
+  Series s1{"A", {1.0, 2.0}};
+  Series s2{"B", {3.0}};  // Shorter than xs: prints n/a.
+  PrintFigure("test figure", "x", {0.1, 0.2}, {s1, s2});
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace privateclean

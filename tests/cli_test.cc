@@ -1,0 +1,188 @@
+#include "tools/pclean_cli.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/random.h"
+#include "datagen/synthetic.h"
+#include "table/csv.h"
+
+namespace privateclean {
+namespace {
+
+class CliTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    base_ = ::testing::TempDir() + "/pclean_cli_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    std::filesystem::remove_all(base_);
+    std::filesystem::create_directories(base_);
+    csv_path_ = base_ + "/input.csv";
+    release_dir_ = base_ + "/release";
+
+    SyntheticOptions options;
+    options.num_rows = 500;
+    Rng rng(1);
+    Table data = *GenerateSynthetic(options, rng);
+    ASSERT_TRUE(WriteCsvFile(data, csv_path_).ok());
+  }
+  void TearDown() override { std::filesystem::remove_all(base_); }
+
+  int Run(const std::vector<std::string>& args) {
+    out_.str("");
+    err_.str("");
+    return RunPcleanCli(args, out_, err_);
+  }
+
+  std::string base_, csv_path_, release_dir_;
+  std::ostringstream out_, err_;
+};
+
+TEST_F(CliTest, HelpAndUnknownCommand) {
+  EXPECT_EQ(Run({"help"}), 0);
+  EXPECT_NE(out_.str().find("privatize"), std::string::npos);
+  EXPECT_EQ(Run({}), 1);
+  EXPECT_EQ(Run({"frobnicate"}), 1);
+  EXPECT_NE(err_.str().find("unknown command"), std::string::npos);
+}
+
+TEST_F(CliTest, PrivatizeWithEpsilonThenInfo) {
+  ASSERT_EQ(Run({"privatize", "--input", csv_path_, "--output",
+                 release_dir_, "--epsilon", "4.0", "--seed", "7"}),
+            0)
+      << err_.str();
+  EXPECT_NE(out_.str().find("rows: 500"), std::string::npos);
+  EXPECT_NE(out_.str().find("total epsilon: 4"), std::string::npos);
+
+  ASSERT_EQ(Run({"info", "--release", release_dir_}), 0) << err_.str();
+  EXPECT_NE(out_.str().find("category"), std::string::npos);
+  EXPECT_NE(out_.str().find("value"), std::string::npos);
+  EXPECT_NE(out_.str().find("total epsilon: 4"), std::string::npos);
+}
+
+TEST_F(CliTest, PrivatizeWithExplicitParams) {
+  ASSERT_EQ(Run({"privatize", "--input", csv_path_, "--output",
+                 release_dir_, "--p", "0.1", "--b", "5.0", "--seed", "7"}),
+            0)
+      << err_.str();
+}
+
+TEST_F(CliTest, PrivatizeWithCountErrorTarget) {
+  ASSERT_EQ(Run({"privatize", "--input", csv_path_, "--output",
+                 release_dir_, "--count-error", "0.1", "--seed", "7"}),
+            0)
+      << err_.str();
+}
+
+TEST_F(CliTest, PrivatizeRequiresAPrivacySpec) {
+  EXPECT_EQ(Run({"privatize", "--input", csv_path_, "--output",
+                 release_dir_}),
+            1);
+  EXPECT_NE(err_.str().find("--epsilon"), std::string::npos);
+}
+
+TEST_F(CliTest, PrivatizeMissingInputFileFails) {
+  EXPECT_EQ(Run({"privatize", "--input", base_ + "/nope.csv", "--output",
+                 release_dir_, "--epsilon", "2"}),
+            1);
+}
+
+TEST_F(CliTest, QueryEndToEnd) {
+  ASSERT_EQ(Run({"privatize", "--input", csv_path_, "--output",
+                 release_dir_, "--p", "0.1", "--b", "5.0", "--seed", "7"}),
+            0);
+  ASSERT_EQ(Run({"query", "--release", release_dir_, "--sql",
+                 "SELECT count(1) FROM r WHERE category = 'c0'"}),
+            0)
+      << err_.str();
+  EXPECT_NE(out_.str().find("estimate:"), std::string::npos);
+  EXPECT_NE(out_.str().find("CI:"), std::string::npos);
+}
+
+TEST_F(CliTest, QueryDirectBaseline) {
+  ASSERT_EQ(Run({"privatize", "--input", csv_path_, "--output",
+                 release_dir_, "--p", "0.1", "--b", "5.0", "--seed", "7"}),
+            0);
+  ASSERT_EQ(Run({"query", "--release", release_dir_, "--direct", "--sql",
+                 "SELECT count(1) FROM r WHERE category = 'c0'"}),
+            0)
+      << err_.str();
+  EXPECT_NE(out_.str().find("direct:"), std::string::npos);
+}
+
+TEST_F(CliTest, QueryWithReplaceRules) {
+  ASSERT_EQ(Run({"privatize", "--input", csv_path_, "--output",
+                 release_dir_, "--p", "0.1", "--b", "5.0", "--seed", "7"}),
+            0);
+  ASSERT_EQ(Run({"query", "--release", release_dir_, "--replace",
+                 "category:c1=c0", "--replace", "category:c2=c0", "--sql",
+                 "SELECT count(1) FROM r WHERE category = 'c0'"}),
+            0)
+      << err_.str();
+  EXPECT_NE(out_.str().find("estimate:"), std::string::npos);
+}
+
+TEST_F(CliTest, QueryBadReplaceRuleFails) {
+  ASSERT_EQ(Run({"privatize", "--input", csv_path_, "--output",
+                 release_dir_, "--p", "0.1", "--b", "5.0", "--seed", "7"}),
+            0);
+  EXPECT_EQ(Run({"query", "--release", release_dir_, "--replace",
+                 "malformed", "--sql", "SELECT count(1) FROM r"}),
+            1);
+  EXPECT_NE(err_.str().find("attr:from=to"), std::string::npos);
+}
+
+TEST_F(CliTest, QueryBadSqlFails) {
+  ASSERT_EQ(Run({"privatize", "--input", csv_path_, "--output",
+                 release_dir_, "--p", "0.1", "--b", "5.0", "--seed", "7"}),
+            0);
+  EXPECT_EQ(Run({"query", "--release", release_dir_, "--sql",
+                 "SELECT nope(1) FROM r"}),
+            1);
+  EXPECT_NE(err_.str().find("SQL error"), std::string::npos);
+}
+
+TEST_F(CliTest, QueryMissingReleaseFails) {
+  EXPECT_EQ(Run({"query", "--release", base_ + "/nope", "--sql",
+                 "SELECT count(1) FROM r"}),
+            1);
+}
+
+TEST_F(CliTest, FlagParsingErrors) {
+  EXPECT_EQ(Run({"info", "positional"}), 1);
+  EXPECT_NE(err_.str().find("--flag"), std::string::npos);
+  EXPECT_EQ(Run({"info", "--release"}), 1);  // Missing value.
+  EXPECT_EQ(Run({"info"}), 1);  // Missing required flag.
+}
+
+TEST_F(CliTest, FlagEqualsSyntax) {
+  ASSERT_EQ(Run({"privatize", "--input=" + csv_path_,
+                 "--output=" + release_dir_, "--epsilon=3.0",
+                 "--seed=9"}),
+            0)
+      << err_.str();
+  EXPECT_NE(out_.str().find("total epsilon: 3"), std::string::npos);
+}
+
+TEST_F(CliTest, DeterministicGivenSeed) {
+  ASSERT_EQ(Run({"privatize", "--input", csv_path_, "--output",
+                 release_dir_ + "_a", "--p", "0.2", "--b", "5.0", "--seed",
+                 "42"}),
+            0);
+  ASSERT_EQ(Run({"privatize", "--input", csv_path_, "--output",
+                 release_dir_ + "_b", "--p", "0.2", "--b", "5.0", "--seed",
+                 "42"}),
+            0);
+  std::ifstream a(release_dir_ + "_a/data.csv");
+  std::ifstream b(release_dir_ + "_b/data.csv");
+  std::stringstream sa, sb;
+  sa << a.rdbuf();
+  sb << b.rdbuf();
+  EXPECT_EQ(sa.str(), sb.str());
+}
+
+}  // namespace
+}  // namespace privateclean

@@ -1,0 +1,156 @@
+#include "cleaning/constraints.h"
+
+#include <gtest/gtest.h>
+
+#include "table/table_builder.h"
+
+namespace privateclean {
+namespace {
+
+Schema AddressSchema() {
+  return *Schema::Make({Field::Discrete("city"), Field::Discrete("county"),
+                        Field::Discrete("state")});
+}
+
+TEST(FdViolationTest, CleanTableHasNone) {
+  TableBuilder b(AddressSchema());
+  b.Row({Value("Springfield"), Value("Clark"), Value("Ohio")})
+      .Row({Value("Springfield"), Value("Clark"), Value("Ohio")})
+      .Row({Value("Salem"), Value("Essex"), Value("Massachusetts")});
+  Table t = *b.Finish();
+  FunctionalDependency fd{{"city", "county"}, "state"};
+  EXPECT_TRUE(*SatisfiesFd(t, fd));
+  EXPECT_TRUE(FindFdViolations(t, fd)->empty());
+}
+
+TEST(FdViolationTest, DetectsViolatingGroup) {
+  TableBuilder b(AddressSchema());
+  b.Row({Value("Springfield"), Value("Clark"), Value("Ohio")})
+      .Row({Value("Springfield"), Value("Clark"), Value("Texas")})
+      .Row({Value("Springfield"), Value("Clark"), Value("Ohio")})
+      .Row({Value("Salem"), Value("Essex"), Value("Massachusetts")});
+  Table t = *b.Finish();
+  FunctionalDependency fd{{"city", "county"}, "state"};
+  EXPECT_FALSE(*SatisfiesFd(t, fd));
+  auto violations = *FindFdViolations(t, fd);
+  ASSERT_EQ(violations.size(), 1u);
+  EXPECT_EQ(violations[0].lhs_tuple,
+            (std::vector<Value>{Value("Springfield"), Value("Clark")}));
+  ASSERT_EQ(violations[0].rhs_values.size(), 2u);
+}
+
+TEST(FdViolationTest, SameCityDifferentCountyIsNotAViolation) {
+  TableBuilder b(AddressSchema());
+  b.Row({Value("Springfield"), Value("Clark"), Value("Ohio")})
+      .Row({Value("Springfield"), Value("Greene"), Value("Missouri")});
+  Table t = *b.Finish();
+  FunctionalDependency fd{{"city", "county"}, "state"};
+  EXPECT_TRUE(*SatisfiesFd(t, fd));
+}
+
+TEST(FdViolationTest, SingleAttributeLhs) {
+  TableBuilder b(AddressSchema());
+  b.Row({Value("A"), Value("x"), Value("S1")})
+      .Row({Value("A"), Value("y"), Value("S2")});
+  Table t = *b.Finish();
+  FunctionalDependency fd{{"city"}, "state"};
+  EXPECT_FALSE(*SatisfiesFd(t, fd));
+}
+
+TEST(FdViolationTest, NullsGroupTogether) {
+  TableBuilder b(AddressSchema());
+  b.Row({Value::Null(), Value("x"), Value("S1")})
+      .Row({Value::Null(), Value("x"), Value("S2")});
+  Table t = *b.Finish();
+  FunctionalDependency fd{{"city", "county"}, "state"};
+  auto violations = *FindFdViolations(t, fd);
+  EXPECT_EQ(violations.size(), 1u);
+}
+
+TEST(FdViolationTest, RejectsBadFd) {
+  TableBuilder b(AddressSchema());
+  b.Row({Value("A"), Value("x"), Value("S1")});
+  Table t = *b.Finish();
+  EXPECT_FALSE(FindFdViolations(t, FunctionalDependency{{}, "state"}).ok());
+  EXPECT_FALSE(
+      FindFdViolations(t, FunctionalDependency{{"nope"}, "state"}).ok());
+  EXPECT_FALSE(
+      FindFdViolations(t, FunctionalDependency{{"city"}, "nope"}).ok());
+}
+
+TEST(FdTest, ToStringRendering) {
+  FunctionalDependency fd{{"a", "b"}, "c"};
+  EXPECT_EQ(fd.ToString(), "[a, b] -> [c]");
+}
+
+Schema CountrySchema() {
+  return *Schema::Make({Field::Discrete("country")});
+}
+
+TEST(MdClusterTest, ClustersNearbySpellings) {
+  TableBuilder b(CountrySchema());
+  for (int i = 0; i < 10; ++i) b.Row({Value("France")});
+  b.Row({Value("Francex")}).Row({Value("Franc")});
+  for (int i = 0; i < 5; ++i) b.Row({Value("Germany")});
+  Table t = *b.Finish();
+  MatchingDependency md{"country", 1};
+  auto clusters = *FindMdClusters(t, md);
+  ASSERT_EQ(clusters.size(), 1u);
+  EXPECT_EQ(clusters[0].canonical, Value("France"));
+  EXPECT_EQ(clusters[0].members.size(), 2u);
+}
+
+TEST(MdClusterTest, CanonicalIsMostFrequent) {
+  TableBuilder b(CountrySchema());
+  for (int i = 0; i < 3; ++i) b.Row({Value("Spain")});
+  for (int i = 0; i < 7; ++i) b.Row({Value("Spainx")});
+  Table t = *b.Finish();
+  auto clusters = *FindMdClusters(t, MatchingDependency{"country", 1});
+  ASSERT_EQ(clusters.size(), 1u);
+  EXPECT_EQ(clusters[0].canonical, Value("Spainx"));
+}
+
+TEST(MdClusterTest, DistantValuesStaySeparate) {
+  TableBuilder b(CountrySchema());
+  b.Row({Value("France")}).Row({Value("Germany")}).Row({Value("Japan")});
+  Table t = *b.Finish();
+  auto clusters = *FindMdClusters(t, MatchingDependency{"country", 1});
+  EXPECT_TRUE(clusters.empty());  // Only unary clusters.
+}
+
+TEST(MdClusterTest, ThresholdControlsMerging) {
+  TableBuilder b(CountrySchema());
+  for (int i = 0; i < 5; ++i) b.Row({Value("abcd")});
+  b.Row({Value("abxy")});  // Distance 2 from abcd.
+  Table t = *b.Finish();
+  EXPECT_TRUE(FindMdClusters(t, MatchingDependency{"country", 1})->empty());
+  auto clusters = *FindMdClusters(t, MatchingDependency{"country", 2});
+  ASSERT_EQ(clusters.size(), 1u);
+}
+
+TEST(MdClusterTest, NullIgnored) {
+  TableBuilder b(CountrySchema());
+  b.Row({Value("France")}).Row({Value::Null()}).Row({Value("Francee")});
+  Table t = *b.Finish();
+  auto clusters = *FindMdClusters(t, MatchingDependency{"country", 1});
+  ASSERT_EQ(clusters.size(), 1u);
+  EXPECT_EQ(clusters[0].members.size(), 1u);
+}
+
+TEST(MdClusterTest, RejectsNonStringAttribute) {
+  Schema s = *Schema::Make(
+      {Field{"code", ValueType::kInt64, AttributeKind::kDiscrete}});
+  TableBuilder b(s);
+  b.Row({Value(1)});
+  Table t = *b.Finish();
+  EXPECT_FALSE(FindMdClusters(t, MatchingDependency{"code", 1}).ok());
+}
+
+TEST(MdTest, ToStringRendering) {
+  MatchingDependency md{"country", 2};
+  EXPECT_NE(md.ToString().find("country"), std::string::npos);
+  EXPECT_NE(md.ToString().find("2"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace privateclean

@@ -1,0 +1,217 @@
+#include "table/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "table/table_builder.h"
+
+namespace privateclean {
+namespace {
+
+Schema TestSchema() {
+  return *Schema::Make({Field::Discrete("name"),
+                        Field::Numerical("score", ValueType::kDouble),
+                        Field::Numerical("count", ValueType::kInt64)});
+}
+
+Table TestTable() {
+  TableBuilder b(TestSchema());
+  b.Row({Value("alice"), Value(3.5), Value(10)})
+      .Row({Value("bob,with comma"), Value(2.0), Value::Null()})
+      .Row({Value("quote\"inside"), Value::Null(), Value(7)});
+  return *b.Finish();
+}
+
+TEST(CsvTest, SerializeBasic) {
+  std::string csv = TableToCsv(TestTable());
+  EXPECT_NE(csv.find("name,score,count\n"), std::string::npos);
+  EXPECT_NE(csv.find("alice,3.5,10\n"), std::string::npos);
+}
+
+TEST(CsvTest, QuotesDelimiterAndQuotes) {
+  std::string csv = TableToCsv(TestTable());
+  EXPECT_NE(csv.find("\"bob,with comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"quote\"\"inside\""), std::string::npos);
+}
+
+TEST(CsvTest, RoundTrip) {
+  Table t = TestTable();
+  std::string csv = TableToCsv(t);
+  Table parsed = *CsvToTable(csv, TestSchema());
+  ASSERT_EQ(parsed.num_rows(), t.num_rows());
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    for (size_t c = 0; c < t.num_columns(); ++c) {
+      EXPECT_EQ(parsed.column(c).ValueAt(r), t.column(c).ValueAt(r))
+          << "row " << r << " col " << c;
+    }
+  }
+}
+
+TEST(CsvTest, NullRoundTrip) {
+  Table t = TestTable();
+  Table parsed = *CsvToTable(TableToCsv(t), TestSchema());
+  EXPECT_TRUE(parsed.column(2).IsNull(1));
+  EXPECT_TRUE(parsed.column(1).IsNull(2));
+}
+
+TEST(CsvTest, CustomNullLiteral) {
+  CsvOptions options;
+  options.null_literal = "NA";
+  Table t = TestTable();
+  std::string csv = TableToCsv(t, options);
+  EXPECT_NE(csv.find("NA"), std::string::npos);
+  Table parsed = *CsvToTable(csv, TestSchema(), options);
+  EXPECT_TRUE(parsed.column(2).IsNull(1));
+}
+
+TEST(CsvTest, CustomDelimiter) {
+  CsvOptions options;
+  options.delimiter = ';';
+  Table t = TestTable();
+  Table parsed = *CsvToTable(TableToCsv(t, options), TestSchema(), options);
+  EXPECT_EQ(parsed.num_rows(), t.num_rows());
+  EXPECT_EQ(parsed.column(0).StringAt(1), "bob,with comma");
+}
+
+TEST(CsvTest, HeaderMismatchRejected) {
+  std::string csv = "wrong,score,count\nx,1,2\n";
+  auto r = CsvToTable(csv, TestSchema());
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsIOError());
+}
+
+TEST(CsvTest, FieldCountMismatchRejected) {
+  std::string csv = "name,score,count\nx,1\n";
+  EXPECT_FALSE(CsvToTable(csv, TestSchema()).ok());
+}
+
+TEST(CsvTest, BadNumericRejected) {
+  std::string csv = "name,score,count\nx,notanumber,2\n";
+  EXPECT_FALSE(CsvToTable(csv, TestSchema()).ok());
+}
+
+TEST(CsvTest, UnterminatedQuoteRejected) {
+  std::string csv = "name,score,count\n\"unterminated,1,2\n";
+  EXPECT_FALSE(CsvToTable(csv, TestSchema()).ok());
+}
+
+TEST(CsvTest, CrLfLineEndings) {
+  std::string csv = "name,score,count\r\nx,1.5,2\r\n";
+  Table t = *CsvToTable(csv, TestSchema());
+  ASSERT_EQ(t.num_rows(), 1u);
+  EXPECT_EQ(t.column(0).StringAt(0), "x");
+  EXPECT_DOUBLE_EQ(t.column(1).DoubleAt(0), 1.5);
+}
+
+TEST(CsvTest, MissingFinalNewline) {
+  std::string csv = "name,score,count\nx,1.5,2";
+  Table t = *CsvToTable(csv, TestSchema());
+  EXPECT_EQ(t.num_rows(), 1u);
+}
+
+TEST(CsvTest, EmbeddedNewlineInQuotedField) {
+  std::string csv = "name,score,count\n\"line1\nline2\",1.0,2\n";
+  Table t = *CsvToTable(csv, TestSchema());
+  ASSERT_EQ(t.num_rows(), 1u);
+  EXPECT_EQ(t.column(0).StringAt(0), "line1\nline2");
+}
+
+TEST(CsvTest, WhitespaceTrimmedOutsideQuotes) {
+  std::string csv = "name,score,count\n  padded  , 1.0 , 2 \n";
+  Table t = *CsvToTable(csv, TestSchema());
+  EXPECT_EQ(t.column(0).StringAt(0), "padded");
+}
+
+TEST(CsvTest, QuotedWhitespacePreserved) {
+  std::string csv = "name,score,count\n\"  padded  \",1.0,2\n";
+  Table t = *CsvToTable(csv, TestSchema());
+  EXPECT_EQ(t.column(0).StringAt(0), "  padded  ");
+}
+
+TEST(CsvTest, QuotedFieldsAreNeverNull) {
+  // The empty string and a literal null marker are real values when
+  // quoted; unquoted they are NULL.
+  Schema s = *Schema::Make({Field::Discrete("name")});
+  TableBuilder b(s);
+  b.Row({Value("")}).Row({Value::Null()}).Row({Value("NA")});
+  Table t = *b.Finish();
+  CsvOptions options;
+  options.null_literal = "NA";
+  Table parsed = *CsvToTable(TableToCsv(t, options), s, options);
+  ASSERT_EQ(parsed.num_rows(), 3u);
+  EXPECT_FALSE(parsed.column(0).IsNull(0));
+  EXPECT_EQ(parsed.column(0).StringAt(0), "");
+  EXPECT_TRUE(parsed.column(0).IsNull(1));
+  EXPECT_FALSE(parsed.column(0).IsNull(2));
+  EXPECT_EQ(parsed.column(0).StringAt(2), "NA");
+}
+
+TEST(CsvTest, SingleColumnNullRowsSurvive) {
+  Schema s = *Schema::Make({Field::Discrete("only")});
+  TableBuilder b(s);
+  b.Row({Value("a")}).Row({Value::Null()}).Row({Value("b")});
+  Table t = *b.Finish();
+  Table parsed = *CsvToTable(TableToCsv(t), s);
+  ASSERT_EQ(parsed.num_rows(), 3u);
+  EXPECT_TRUE(parsed.column(0).IsNull(1));
+  EXPECT_EQ(parsed.column(0).StringAt(2), "b");
+}
+
+TEST(CsvTest, BlankLinesSkippedForWideSchemas) {
+  Schema s = *Schema::Make({Field::Discrete("a"), Field::Discrete("b")});
+  std::string csv = "a,b\nx,y\n\nz,w\n\n";
+  Table parsed = *CsvToTable(csv, s);
+  ASSERT_EQ(parsed.num_rows(), 2u);
+  EXPECT_EQ(parsed.column(0).StringAt(1), "z");
+}
+
+TEST(CsvTest, FileRoundTrip) {
+  Table t = TestTable();
+  std::string path = ::testing::TempDir() + "/pclean_csv_test.csv";
+  ASSERT_TRUE(WriteCsvFile(t, path).ok());
+  Table parsed = *ReadCsvFile(path, TestSchema());
+  EXPECT_EQ(parsed.num_rows(), t.num_rows());
+  std::remove(path.c_str());
+}
+
+TEST(CsvTest, ReadMissingFileFails) {
+  auto r = ReadCsvFile("/nonexistent/path/file.csv", TestSchema());
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsIOError());
+}
+
+TEST(CsvInferTest, InfersTypes) {
+  std::string csv = "a,b,c\nx,1,1.5\ny,2,2.5\n";
+  Schema s = *InferCsvSchema(csv);
+  ASSERT_EQ(s.num_fields(), 3u);
+  EXPECT_EQ(s.field(0).type, ValueType::kString);
+  EXPECT_EQ(s.field(0).kind, AttributeKind::kDiscrete);
+  EXPECT_EQ(s.field(1).type, ValueType::kInt64);
+  EXPECT_EQ(s.field(1).kind, AttributeKind::kNumerical);
+  EXPECT_EQ(s.field(2).type, ValueType::kDouble);
+}
+
+TEST(CsvInferTest, MixedColumnFallsBackToString) {
+  std::string csv = "a\n1\nx\n";
+  Schema s = *InferCsvSchema(csv);
+  EXPECT_EQ(s.field(0).type, ValueType::kString);
+}
+
+TEST(CsvInferTest, AllNullColumnIsString) {
+  std::string csv = "a,b\n,1\n,2\n";
+  Schema s = *InferCsvSchema(csv);
+  EXPECT_EQ(s.field(0).type, ValueType::kString);
+  EXPECT_EQ(s.field(1).type, ValueType::kInt64);
+}
+
+TEST(CsvInferTest, InferThenParseRoundTrip) {
+  std::string csv = "name,score\nalice,3.5\nbob,\n";
+  Schema s = *InferCsvSchema(csv);
+  Table t = *CsvToTable(csv, s);
+  EXPECT_EQ(t.num_rows(), 2u);
+  EXPECT_TRUE(t.column(1).IsNull(1));
+}
+
+}  // namespace
+}  // namespace privateclean

@@ -1,0 +1,425 @@
+#include <gtest/gtest.h>
+
+#include "cleaning/constraints.h"
+#include "cleaning/merge.h"
+#include "datagen/error_injection.h"
+#include "datagen/intel_wireless.h"
+#include "datagen/mcafe.h"
+#include "datagen/names.h"
+#include "datagen/synthetic.h"
+#include "datagen/tpcds.h"
+#include "query/predicate.h"
+#include "table/domain.h"
+
+namespace privateclean {
+namespace {
+
+// --- Synthetic ----------------------------------------------------------
+
+TEST(SyntheticTest, DefaultsMatchPaperTable1) {
+  SyntheticOptions options;
+  EXPECT_EQ(options.num_rows, 1000u);
+  EXPECT_EQ(options.num_distinct, 50u);
+  EXPECT_DOUBLE_EQ(options.zipf_skew, 2.0);
+}
+
+TEST(SyntheticTest, SchemaAndRanges) {
+  Rng rng(1);
+  Table t = *GenerateSynthetic(SyntheticOptions{}, rng);
+  EXPECT_EQ(t.num_rows(), 1000u);
+  EXPECT_EQ(t.schema().field(0).name, "category");
+  EXPECT_EQ(t.schema().field(0).kind, AttributeKind::kDiscrete);
+  EXPECT_EQ(t.schema().field(1).name, "value");
+  EXPECT_EQ(t.schema().field(1).kind, AttributeKind::kNumerical);
+  const Column& values = t.column(1);
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    EXPECT_GE(values.DoubleAt(r), 0.0);
+    EXPECT_LE(values.DoubleAt(r), 100.0);
+  }
+}
+
+TEST(SyntheticTest, CategoriesFollowZipf) {
+  SyntheticOptions options;
+  options.num_rows = 20000;
+  options.num_distinct = 10;
+  options.zipf_skew = 1.0;
+  Rng rng(2);
+  Table t = *GenerateSynthetic(options, rng);
+  Domain d = *Domain::FromColumn(t, "category");
+  size_t c0 = d.frequency(*d.IndexOf(SyntheticCategory(0)));
+  size_t c1 = d.frequency(*d.IndexOf(SyntheticCategory(1)));
+  size_t c9 = d.frequency(*d.IndexOf(SyntheticCategory(9)));
+  // Zipf(1): rank0/rank1 ~ 2, rank0/rank9 ~ 10.
+  EXPECT_NEAR(static_cast<double>(c0) / c1, 2.0, 0.5);
+  EXPECT_NEAR(static_cast<double>(c0) / c9, 10.0, 4.0);
+}
+
+TEST(SyntheticTest, UniformWhenSkewZero) {
+  SyntheticOptions options;
+  options.num_rows = 20000;
+  options.num_distinct = 5;
+  options.zipf_skew = 0.0;
+  Rng rng(3);
+  Table t = *GenerateSynthetic(options, rng);
+  Domain d = *Domain::FromColumn(t, "category");
+  for (size_t k = 0; k < 5; ++k) {
+    EXPECT_NEAR(static_cast<double>(d.frequency(k)) / 20000.0, 0.2, 0.02);
+  }
+}
+
+TEST(SyntheticTest, CorrelatedMode) {
+  SyntheticOptions options;
+  options.num_rows = 5000;
+  options.num_distinct = 10;
+  options.correlated = true;
+  Rng rng(4);
+  Table t = *GenerateSynthetic(options, rng);
+  // Mean numeric for rank 0 (head) should be well above rank 9's.
+  double sum0 = 0.0, sum9 = 0.0;
+  size_t n0 = 0, n9 = 0;
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    const Value cat = t.column(0).ValueAt(r);
+    if (cat == SyntheticCategory(0)) {
+      sum0 += t.column(1).DoubleAt(r);
+      ++n0;
+    } else if (cat == SyntheticCategory(9)) {
+      sum9 += t.column(1).DoubleAt(r);
+      ++n9;
+    }
+  }
+  ASSERT_GT(n0, 10u);
+  ASSERT_GT(n9, 0u);
+  EXPECT_GT(sum0 / n0, sum9 / n9);
+}
+
+TEST(SyntheticTest, RejectsBadOptions) {
+  Rng rng(5);
+  SyntheticOptions bad;
+  bad.num_rows = 0;
+  EXPECT_FALSE(GenerateSynthetic(bad, rng).ok());
+  bad = SyntheticOptions{};
+  bad.num_distinct = 0;
+  EXPECT_FALSE(GenerateSynthetic(bad, rng).ok());
+  bad = SyntheticOptions{};
+  bad.zipf_skew = -1.0;
+  EXPECT_FALSE(GenerateSynthetic(bad, rng).ok());
+  bad = SyntheticOptions{};
+  bad.numeric_hi = bad.numeric_lo;
+  EXPECT_FALSE(GenerateSynthetic(bad, rng).ok());
+}
+
+TEST(SyntheticTest, PredicatePickerModes) {
+  Rng rng(6);
+  auto head = PickPredicateCategories(50, 5, 0, rng);
+  EXPECT_EQ(head[0], SyntheticCategory(0));
+  EXPECT_EQ(head[4], SyntheticCategory(4));
+  auto tail = PickPredicateCategories(50, 5, 1, rng);
+  EXPECT_EQ(tail[0], SyntheticCategory(49));
+  auto random = PickPredicateCategories(50, 5, 2, rng);
+  EXPECT_EQ(random.size(), 5u);
+  auto capped = PickPredicateCategories(3, 10, 0, rng);
+  EXPECT_EQ(capped.size(), 3u);
+}
+
+// --- Error injection -----------------------------------------------------
+
+TEST(ErrorInjectionTest, SpellingErrorsGrowDomain) {
+  SyntheticOptions options;
+  options.num_distinct = 20;
+  Rng rng(7);
+  Table t = *GenerateSynthetic(options, rng);
+  InjectionResult result =
+      *InjectSpellingErrors(t, "category", 0.5, 0.5, rng);
+  Domain dirty_domain = *Domain::FromColumn(result.dirty, "category");
+  Domain clean_domain = *Domain::FromColumn(result.clean, "category");
+  EXPECT_GT(dirty_domain.size(), clean_domain.size());
+  EXPECT_EQ(result.repair_map.size(), 10u);  // 50% of 20 values.
+  // Clean table is the original.
+  EXPECT_EQ(clean_domain.size(), 20u);
+}
+
+TEST(ErrorInjectionTest, SpellingRepairMapRestoresCleanTable) {
+  SyntheticOptions options;
+  options.num_distinct = 20;
+  Rng rng(8);
+  Table t = *GenerateSynthetic(options, rng);
+  InjectionResult result =
+      *InjectSpellingErrors(t, "category", 0.4, 0.6, rng);
+  Table repaired = result.dirty.Clone();
+  ASSERT_TRUE(
+      FindReplace("category", result.repair_map).Apply(&repaired).ok());
+  for (size_t r = 0; r < repaired.num_rows(); ++r) {
+    EXPECT_EQ(repaired.column(0).ValueAt(r),
+              result.clean.column(0).ValueAt(r));
+  }
+}
+
+TEST(ErrorInjectionTest, ZeroErrorRateIsIdentity) {
+  Rng rng(9);
+  Table t = *GenerateSynthetic(SyntheticOptions{}, rng);
+  InjectionResult result =
+      *InjectSpellingErrors(t, "category", 0.0, 0.5, rng);
+  EXPECT_TRUE(result.repair_map.empty());
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    EXPECT_EQ(result.dirty.column(0).ValueAt(r),
+              t.column(0).ValueAt(r));
+  }
+}
+
+TEST(ErrorInjectionTest, MergeErrorsShrinkCleanDomain) {
+  SyntheticOptions options;
+  options.num_distinct = 20;
+  Rng rng(10);
+  Table t = *GenerateSynthetic(options, rng);
+  InjectionResult result = *InjectMergeErrors(t, "category", 0.3, rng);
+  Domain dirty_domain = *Domain::FromColumn(result.dirty, "category");
+  Domain clean_domain = *Domain::FromColumn(result.clean, "category");
+  EXPECT_EQ(dirty_domain.size(), 20u);  // Input is the dirty table.
+  EXPECT_EQ(clean_domain.size(), 20u - result.repair_map.size());
+  EXPECT_EQ(result.repair_map.size(), 6u);  // 30% of 20.
+}
+
+TEST(ErrorInjectionTest, MergeAliasesPointAtCanonicals) {
+  SyntheticOptions options;
+  options.num_distinct = 10;
+  Rng rng(11);
+  Table t = *GenerateSynthetic(options, rng);
+  InjectionResult result = *InjectMergeErrors(t, "category", 0.5, rng);
+  for (const auto& [alias, canonical] : result.repair_map) {
+    // No chains: canonicals are never aliases themselves.
+    EXPECT_EQ(result.repair_map.count(canonical), 0u) << alias.ToString();
+  }
+}
+
+TEST(ErrorInjectionTest, MixedErrorsSplitByMergeFraction) {
+  SyntheticOptions options;
+  options.num_distinct = 20;
+  Rng rng(13);
+  Table t = *GenerateSynthetic(options, rng);
+  InjectionResult result =
+      *InjectMixedErrors(t, "category", 0.5, 0.4, rng);
+  // 10 errors total: 4 merges (no dirty rewrite) + 6 renames ("~r").
+  EXPECT_EQ(result.repair_map.size(), 10u);
+  size_t renames = 0;
+  for (const auto& [dirty, clean] : result.repair_map) {
+    if (dirty.ToString().find("~r") != std::string::npos) ++renames;
+    // No chains: repair targets are never themselves dirty keys.
+    EXPECT_EQ(result.repair_map.count(clean), 0u);
+  }
+  EXPECT_EQ(renames, 6u);
+}
+
+TEST(ErrorInjectionTest, MixedRepairReachesCleanTable) {
+  SyntheticOptions options;
+  options.num_distinct = 25;
+  Rng rng(14);
+  Table t = *GenerateSynthetic(options, rng);
+  InjectionResult result =
+      *InjectMixedErrors(t, "category", 0.4, 0.5, rng);
+  Table repaired = result.dirty.Clone();
+  ASSERT_TRUE(
+      FindReplace("category", result.repair_map).Apply(&repaired).ok());
+  for (size_t r = 0; r < repaired.num_rows(); ++r) {
+    EXPECT_EQ(repaired.column(0).ValueAt(r),
+              result.clean.column(0).ValueAt(r));
+  }
+}
+
+TEST(ErrorInjectionTest, MixedPureRenamesPreserveDomainSize) {
+  SyntheticOptions options;
+  options.num_distinct = 20;
+  Rng rng(15);
+  Table t = *GenerateSynthetic(options, rng);
+  InjectionResult result =
+      *InjectMixedErrors(t, "category", 0.5, 0.0, rng);
+  // Renames replace spellings 1:1: dirty and clean domains are equal
+  // sized.
+  EXPECT_EQ(Domain::FromColumn(result.dirty, "category")->size(),
+            Domain::FromColumn(result.clean, "category")->size());
+}
+
+TEST(ErrorInjectionTest, MixedPureMergesShrinkCleanDomain) {
+  SyntheticOptions options;
+  options.num_distinct = 20;
+  Rng rng(16);
+  Table t = *GenerateSynthetic(options, rng);
+  InjectionResult result =
+      *InjectMixedErrors(t, "category", 0.5, 1.0, rng);
+  EXPECT_EQ(Domain::FromColumn(result.dirty, "category")->size(), 20u);
+  EXPECT_EQ(Domain::FromColumn(result.clean, "category")->size(), 10u);
+}
+
+TEST(ErrorInjectionTest, RejectsBadRates) {
+  Rng rng(12);
+  Table t = *GenerateSynthetic(SyntheticOptions{}, rng);
+  EXPECT_FALSE(InjectSpellingErrors(t, "category", -0.1, 0.5, rng).ok());
+  EXPECT_FALSE(InjectSpellingErrors(t, "category", 0.1, 1.5, rng).ok());
+  EXPECT_FALSE(InjectMergeErrors(t, "category", 1.0001, rng).ok());
+}
+
+// --- TPC-DS --------------------------------------------------------------
+
+TEST(TpcdsTest, GeneratedTableSatisfiesConstraints) {
+  Rng rng(13);
+  Table t = *GenerateCustomerAddress(TpcdsOptions{}, rng);
+  EXPECT_EQ(t.num_rows(), 2000u);
+  EXPECT_TRUE(*SatisfiesFd(t, CustomerAddressFd()));
+  // No near-duplicate countries in the clean data.
+  auto clusters = *FindMdClusters(t, CustomerAddressMd());
+  EXPECT_TRUE(clusters.empty());
+}
+
+TEST(TpcdsTest, CorruptStatesBreaksFd) {
+  Rng rng(14);
+  Table t = *GenerateCustomerAddress(TpcdsOptions{}, rng);
+  ASSERT_TRUE(CorruptStates(&t, 50, rng).ok());
+  EXPECT_FALSE(*SatisfiesFd(t, CustomerAddressFd()));
+}
+
+TEST(TpcdsTest, CorruptCountriesCreatesNearDuplicates) {
+  Rng rng(15);
+  Table t = *GenerateCustomerAddress(TpcdsOptions{}, rng);
+  size_t before = Domain::FromColumn(t, "ca_country")->size();
+  ASSERT_TRUE(CorruptCountries(&t, 50, rng).ok());
+  size_t after = Domain::FromColumn(t, "ca_country")->size();
+  EXPECT_GT(after, before);
+  EXPECT_FALSE(FindMdClusters(t, CustomerAddressMd())->empty());
+}
+
+TEST(TpcdsTest, AllAttributesDiscrete) {
+  Rng rng(16);
+  Table t = *GenerateCustomerAddress(TpcdsOptions{}, rng);
+  for (size_t i = 0; i < t.schema().num_fields(); ++i) {
+    EXPECT_EQ(t.schema().field(i).kind, AttributeKind::kDiscrete);
+  }
+}
+
+// --- IntelWireless --------------------------------------------------------
+
+TEST(IntelWirelessTest, StructureMatchesPaper) {
+  Rng rng(17);
+  IntelWirelessOptions options;
+  options.num_rows = 5000;
+  IntelWirelessData data = *GenerateIntelWireless(options, rng);
+  EXPECT_EQ(data.dirty.num_rows(), 5000u);
+  EXPECT_TRUE(data.dirty.schema().HasField("sensor_id"));
+  EXPECT_TRUE(data.dirty.schema().HasField("temp"));
+  // Small N/S: at most 68 real ids + spurious tokens + null.
+  Domain d = *Domain::FromColumn(data.dirty, "sensor_id");
+  EXPECT_LE(d.size(), 68u + options.num_spurious_tokens + 1);
+  EXPECT_GT(d.size(), 30u);
+}
+
+TEST(IntelWirelessTest, SpuriousRecognizerMatchesOnlyGarbage) {
+  Rng rng(18);
+  IntelWirelessOptions options;
+  options.num_rows = 3000;
+  IntelWirelessData data = *GenerateIntelWireless(options, rng);
+  EXPECT_FALSE(data.is_spurious(Value("s1")));
+  EXPECT_FALSE(data.is_spurious(Value::Null()));
+  Domain d = *Domain::FromColumn(data.dirty, "sensor_id");
+  size_t spurious_count = 0;
+  for (size_t i = 0; i < d.size(); ++i) {
+    if (data.is_spurious(d.value(i))) ++spurious_count;
+  }
+  EXPECT_GT(spurious_count, 0u);
+  EXPECT_LE(spurious_count, options.num_spurious_tokens);
+}
+
+TEST(IntelWirelessTest, CleanTableHasNoSpuriousIds) {
+  Rng rng(19);
+  IntelWirelessOptions options;
+  options.num_rows = 3000;
+  IntelWirelessData data = *GenerateIntelWireless(options, rng);
+  Domain d = *Domain::FromColumn(data.clean, "sensor_id");
+  for (size_t i = 0; i < d.size(); ++i) {
+    EXPECT_FALSE(data.is_spurious(d.value(i)));
+  }
+  // Nulls grew: spurious merged into null.
+  EXPECT_GE((*data.clean.ColumnByName("sensor_id"))->null_count(),
+            (*data.dirty.ColumnByName("sensor_id"))->null_count());
+}
+
+TEST(IntelWirelessTest, ZeroFailureRateIsAllClean) {
+  Rng rng(20);
+  IntelWirelessOptions options;
+  options.num_rows = 1000;
+  options.failure_rate = 0.0;
+  IntelWirelessData data = *GenerateIntelWireless(options, rng);
+  EXPECT_EQ((*data.dirty.ColumnByName("sensor_id"))->null_count(), 0u);
+  Domain d = *Domain::FromColumn(data.dirty, "sensor_id");
+  for (size_t i = 0; i < d.size(); ++i) {
+    EXPECT_FALSE(data.is_spurious(d.value(i)));
+  }
+}
+
+// --- MCAFE ----------------------------------------------------------------
+
+TEST(McafeTest, StructureMatchesPaper) {
+  Rng rng(21);
+  Table t = *GenerateMcafe(McafeOptions{}, rng);
+  EXPECT_EQ(t.num_rows(), 406u);
+  // Distinct fraction around the paper's 21% (high-N/S regime). The Zipf
+  // tail may not realize every code; just require it to be "hard".
+  Domain d = *Domain::FromColumn(t, "country");
+  double fraction = static_cast<double>(d.size()) / 406.0;
+  EXPECT_GT(fraction, 0.10);
+  EXPECT_LT(fraction, 0.30);
+}
+
+TEST(McafeTest, UsDominates) {
+  Rng rng(22);
+  Table t = *GenerateMcafe(McafeOptions{}, rng);
+  Domain d = *Domain::FromColumn(t, "country");
+  size_t us = d.frequency(*d.IndexOf(Value("US")));
+  EXPECT_GT(us, 406u / 4);  // The head of the Zipf.
+}
+
+TEST(McafeTest, EnthusiasmInRange) {
+  Rng rng(23);
+  Table t = *GenerateMcafe(McafeOptions{}, rng);
+  const Column& e = *t.ColumnByName("enthusiasm").ValueOrDie();
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    EXPECT_GE(e.DoubleAt(r), 1.0);
+    EXPECT_LE(e.DoubleAt(r), 10.0);
+  }
+}
+
+TEST(McafeTest, EuropeanCountriesPresent) {
+  Rng rng(24);
+  Table t = *GenerateMcafe(McafeOptions{}, rng);
+  Predicate europe = Predicate::Udf("country", McafeIsEurope);
+  EXPECT_GT(*europe.CountMatches(t), 5u);
+}
+
+TEST(McafeTest, IsEuropeUdf) {
+  EXPECT_TRUE(McafeIsEurope(Value("FR")));
+  EXPECT_TRUE(McafeIsEurope(Value("DE")));
+  EXPECT_FALSE(McafeIsEurope(Value("US")));
+  EXPECT_FALSE(McafeIsEurope(Value("JP")));
+  EXPECT_FALSE(McafeIsEurope(Value::Null()));
+  EXPECT_FALSE(McafeIsEurope(Value(42)));
+}
+
+// --- Names ----------------------------------------------------------------
+
+TEST(NamesTest, ListsAreStableAndSized) {
+  EXPECT_EQ(CityNames().size(), 100u);
+  EXPECT_EQ(CountyNames().size(), 30u);
+  EXPECT_EQ(StateNames().size(), 50u);
+  EXPECT_EQ(CountryNames().size(), 24u);
+  EXPECT_EQ(CountryCodes().size(), 40u);
+  EXPECT_EQ(CountryCodes()[0], "US");
+  EXPECT_EQ(CountryNames()[0], "United States");
+}
+
+TEST(NamesTest, EuropeanCodeSet) {
+  EXPECT_TRUE(IsEuropeanCountryCode("FR"));
+  EXPECT_TRUE(IsEuropeanCountryCode("FI"));
+  EXPECT_FALSE(IsEuropeanCountryCode("US"));
+  EXPECT_FALSE(IsEuropeanCountryCode("JP"));
+  EXPECT_FALSE(IsEuropeanCountryCode(""));
+}
+
+}  // namespace
+}  // namespace privateclean

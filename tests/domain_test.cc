@@ -1,0 +1,87 @@
+#include "table/domain.h"
+
+#include <gtest/gtest.h>
+
+#include "table/table_builder.h"
+
+namespace privateclean {
+namespace {
+
+Table MajorsTable() {
+  Schema s = *Schema::Make({Field::Discrete("major")});
+  TableBuilder b(s);
+  b.Row({Value("EECS")})
+      .Row({Value("Math")})
+      .Row({Value("EECS")})
+      .Row({Value::Null()})
+      .Row({Value("Math")})
+      .Row({Value("EECS")});
+  return *b.Finish();
+}
+
+TEST(DomainTest, FromColumnWithNull) {
+  Domain d = *Domain::FromColumn(MajorsTable(), "major");
+  EXPECT_EQ(d.size(), 3u);  // EECS, Math, null.
+  EXPECT_EQ(d.total_count(), 6u);
+  EXPECT_TRUE(d.Contains(Value::Null()));
+}
+
+TEST(DomainTest, FromColumnWithoutNull) {
+  Domain d = *Domain::FromColumn(MajorsTable(), "major",
+                                 /*include_null=*/false);
+  EXPECT_EQ(d.size(), 2u);
+  EXPECT_EQ(d.total_count(), 5u);
+  EXPECT_FALSE(d.Contains(Value::Null()));
+}
+
+TEST(DomainTest, FirstAppearanceOrder) {
+  Domain d = *Domain::FromColumn(MajorsTable(), "major");
+  EXPECT_EQ(d.value(0), Value("EECS"));
+  EXPECT_EQ(d.value(1), Value("Math"));
+  EXPECT_EQ(d.value(2), Value::Null());
+}
+
+TEST(DomainTest, Frequencies) {
+  Domain d = *Domain::FromColumn(MajorsTable(), "major");
+  EXPECT_EQ(d.frequency(*d.IndexOf(Value("EECS"))), 3u);
+  EXPECT_EQ(d.frequency(*d.IndexOf(Value("Math"))), 2u);
+  EXPECT_EQ(d.frequency(*d.IndexOf(Value::Null())), 1u);
+}
+
+TEST(DomainTest, IndexOfMissingValue) {
+  Domain d = *Domain::FromColumn(MajorsTable(), "major");
+  EXPECT_TRUE(d.IndexOf(Value("Physics")).status().IsNotFound());
+}
+
+TEST(DomainTest, MissingColumnErrors) {
+  EXPECT_FALSE(Domain::FromColumn(MajorsTable(), "nope").ok());
+}
+
+TEST(DomainTest, FromValues) {
+  Domain d = Domain::FromValues({Value(1), Value(2), Value(1), Value(3)});
+  EXPECT_EQ(d.size(), 3u);
+  EXPECT_EQ(d.total_count(), 4u);
+  EXPECT_EQ(d.frequency(*d.IndexOf(Value(1))), 2u);
+}
+
+TEST(DomainTest, EmptyDomain) {
+  Domain d = Domain::FromValues({});
+  EXPECT_TRUE(d.empty());
+  EXPECT_EQ(d.size(), 0u);
+  EXPECT_EQ(d.total_count(), 0u);
+}
+
+TEST(DomainTest, NumericColumnDomain) {
+  Schema s = *Schema::Make(
+      {Field{"section", ValueType::kInt64, AttributeKind::kDiscrete}});
+  TableBuilder b(s);
+  b.Row({Value(1)}).Row({Value(2)}).Row({Value(1)});
+  Table t = *b.Finish();
+  Domain d = *Domain::FromColumn(t, "section");
+  EXPECT_EQ(d.size(), 2u);
+  EXPECT_TRUE(d.Contains(Value(1)));
+  EXPECT_TRUE(d.Contains(Value(2)));
+}
+
+}  // namespace
+}  // namespace privateclean

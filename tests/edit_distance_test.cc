@@ -1,0 +1,102 @@
+#include "common/edit_distance.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/random.h"
+
+namespace privateclean {
+namespace {
+
+TEST(EditDistanceTest, IdenticalStrings) {
+  EXPECT_EQ(EditDistance("hello", "hello"), 0u);
+  EXPECT_EQ(EditDistance("", ""), 0u);
+}
+
+TEST(EditDistanceTest, EmptyAgainstNonEmpty) {
+  EXPECT_EQ(EditDistance("", "abc"), 3u);
+  EXPECT_EQ(EditDistance("abc", ""), 3u);
+}
+
+TEST(EditDistanceTest, KnownPairs) {
+  EXPECT_EQ(EditDistance("kitten", "sitting"), 3u);
+  EXPECT_EQ(EditDistance("flaw", "lawn"), 2u);
+  EXPECT_EQ(EditDistance("intention", "execution"), 5u);
+  EXPECT_EQ(EditDistance("abc", "abd"), 1u);
+  EXPECT_EQ(EditDistance("abc", "abcd"), 1u);
+  EXPECT_EQ(EditDistance("abc", "bc"), 1u);
+}
+
+TEST(EditDistanceTest, Symmetric) {
+  EXPECT_EQ(EditDistance("sunday", "saturday"),
+            EditDistance("saturday", "sunday"));
+}
+
+TEST(EditDistanceTest, TriangleInequalityFuzz) {
+  Rng rng(7);
+  auto random_string = [&](size_t max_len) {
+    std::string s;
+    size_t len = rng.UniformInt(max_len + 1);
+    for (size_t i = 0; i < len; ++i) {
+      s.push_back(static_cast<char>('a' + rng.UniformInt(4)));
+    }
+    return s;
+  };
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string a = random_string(8), b = random_string(8),
+                c = random_string(8);
+    EXPECT_LE(EditDistance(a, c), EditDistance(a, b) + EditDistance(b, c));
+  }
+}
+
+TEST(BoundedEditDistanceTest, AgreesWithinLimit) {
+  EXPECT_EQ(BoundedEditDistance("kitten", "sitting", 5), 3u);
+  EXPECT_EQ(BoundedEditDistance("abc", "abc", 0), 0u);
+  EXPECT_EQ(BoundedEditDistance("abc", "abd", 1), 1u);
+}
+
+TEST(BoundedEditDistanceTest, ExceedsLimitReportsOverLimit) {
+  EXPECT_GT(BoundedEditDistance("kitten", "sitting", 2), 2u);
+  EXPECT_GT(BoundedEditDistance("", "abcdef", 3), 3u);
+  EXPECT_GT(BoundedEditDistance("aaaa", "bbbb", 1), 1u);
+}
+
+TEST(BoundedEditDistanceTest, LengthGapShortCircuit) {
+  // |len(a) - len(b)| > limit must exceed immediately.
+  EXPECT_GT(BoundedEditDistance("a", "abcdefgh", 3), 3u);
+}
+
+TEST(BoundedEditDistanceTest, MatchesUnboundedFuzz) {
+  Rng rng(13);
+  auto random_string = [&](size_t max_len) {
+    std::string s;
+    size_t len = rng.UniformInt(max_len + 1);
+    for (size_t i = 0; i < len; ++i) {
+      s.push_back(static_cast<char>('a' + rng.UniformInt(3)));
+    }
+    return s;
+  };
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string a = random_string(10), b = random_string(10);
+    size_t exact = EditDistance(a, b);
+    for (size_t limit : {0u, 1u, 2u, 5u, 10u}) {
+      size_t bounded = BoundedEditDistance(a, b, limit);
+      if (exact <= limit) {
+        EXPECT_EQ(bounded, exact) << a << " vs " << b;
+      } else {
+        EXPECT_GT(bounded, limit) << a << " vs " << b;
+      }
+    }
+  }
+}
+
+TEST(EditSimilarityTest, Range) {
+  EXPECT_DOUBLE_EQ(EditSimilarity("abc", "abc"), 1.0);
+  EXPECT_DOUBLE_EQ(EditSimilarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(EditSimilarity("abc", "xyz"), 0.0);
+  EXPECT_NEAR(EditSimilarity("abcd", "abce"), 0.75, 1e-12);
+}
+
+}  // namespace
+}  // namespace privateclean

@@ -1,0 +1,129 @@
+#include "cleaning/extract.h"
+
+#include <gtest/gtest.h>
+
+#include "table/table_builder.h"
+
+namespace privateclean {
+namespace {
+
+Schema TestSchema() {
+  return *Schema::Make({Field::Discrete("major"),
+                        Field::Discrete("campus"),
+                        Field::Numerical("score", ValueType::kDouble)});
+}
+
+Table TestTable() {
+  TableBuilder b(TestSchema());
+  b.Row({Value("EECS"), Value("North"), Value(4.0)})
+      .Row({Value("Math"), Value("South"), Value(3.0)})
+      .Row({Value("EECS"), Value("South"), Value(2.0)});
+  return *b.Finish();
+}
+
+TEST(ExtractTest, CreatesNewDiscreteAttribute) {
+  Table t = TestTable();
+  ExtractAttribute extract("dept_code", {"major"},
+                           [](const std::vector<Value>& tuple) {
+                             return Value(tuple[0].AsString().substr(0, 2));
+                           });
+  ASSERT_TRUE(extract.Apply(&t).ok());
+  ASSERT_TRUE(t.schema().HasField("dept_code"));
+  EXPECT_EQ(t.schema().FieldByName("dept_code")->kind,
+            AttributeKind::kDiscrete);
+  EXPECT_EQ(*t.GetValue(0, "dept_code"), Value("EE"));
+  EXPECT_EQ(*t.GetValue(1, "dept_code"), Value("Ma"));
+}
+
+TEST(ExtractTest, MultiAttributeProjection) {
+  Table t = TestTable();
+  ExtractAttribute extract(
+      "major_campus", {"major", "campus"},
+      [](const std::vector<Value>& tuple) {
+        return Value(tuple[0].AsString() + "/" + tuple[1].AsString());
+      });
+  ASSERT_TRUE(extract.Apply(&t).ok());
+  EXPECT_EQ(*t.GetValue(2, "major_campus"), Value("EECS/South"));
+}
+
+TEST(ExtractTest, UdfCalledOncePerDistinctTuple) {
+  Table t = TestTable();
+  int calls = 0;
+  ExtractAttribute extract("x", {"major"},
+                           [&calls](const std::vector<Value>& tuple) {
+                             ++calls;
+                             return tuple[0];
+                           });
+  ASSERT_TRUE(extract.Apply(&t).ok());
+  EXPECT_EQ(calls, 2);  // EECS, Math.
+}
+
+TEST(ExtractTest, Int64OutputType) {
+  Table t = TestTable();
+  ExtractAttribute extract(
+      "name_len", {"major"},
+      [](const std::vector<Value>& tuple) {
+        return Value(static_cast<int64_t>(tuple[0].AsString().size()));
+      },
+      ValueType::kInt64);
+  ASSERT_TRUE(extract.Apply(&t).ok());
+  EXPECT_EQ(*t.GetValue(0, "name_len"), Value(4));
+}
+
+TEST(ExtractTest, DefaultAnchorIsFirstProjectionAttribute) {
+  ExtractAttribute extract("x", {"campus", "major"},
+                           [](const std::vector<Value>& tuple) {
+                             return tuple[0];
+                           });
+  auto info = extract.extracted_attribute();
+  ASSERT_TRUE(info.has_value());
+  EXPECT_EQ(info->name, "x");
+  EXPECT_EQ(info->provenance_anchor, "campus");
+}
+
+TEST(ExtractTest, ExplicitAnchor) {
+  ExtractAttribute extract(
+      "x", {"campus", "major"},
+      [](const std::vector<Value>& tuple) { return tuple[0]; },
+      ValueType::kString, "major");
+  EXPECT_EQ(extract.extracted_attribute()->provenance_anchor, "major");
+}
+
+TEST(ExtractTest, RejectsExistingName) {
+  Table t = TestTable();
+  ExtractAttribute extract("major", {"campus"},
+                           [](const std::vector<Value>& tuple) {
+                             return tuple[0];
+                           });
+  EXPECT_TRUE(extract.Apply(&t).IsAlreadyExists());
+}
+
+TEST(ExtractTest, RejectsEmptyProjection) {
+  Table t = TestTable();
+  ExtractAttribute extract("x", {},
+                           [](const std::vector<Value>& tuple) {
+                             return tuple.empty() ? Value("e") : tuple[0];
+                           });
+  EXPECT_TRUE(extract.Apply(&t).IsInvalidArgument());
+}
+
+TEST(ExtractTest, RejectsNumericalProjection) {
+  Table t = TestTable();
+  ExtractAttribute extract("x", {"score"},
+                           [](const std::vector<Value>& tuple) {
+                             return tuple[0];
+                           });
+  EXPECT_TRUE(extract.Apply(&t).IsInvalidArgument());
+}
+
+TEST(ExtractTest, KindIsExtract) {
+  ExtractAttribute extract("x", {"major"},
+                           [](const std::vector<Value>& tuple) {
+                             return tuple[0];
+                           });
+  EXPECT_EQ(extract.kind(), CleanerKind::kExtract);
+  EXPECT_EQ(extract.name(), "extract(x)");
+}
+
+}  // namespace
+}  // namespace privateclean

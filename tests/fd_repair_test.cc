@@ -1,0 +1,135 @@
+#include "cleaning/fd_repair.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "datagen/tpcds.h"
+#include "table/table_builder.h"
+
+namespace privateclean {
+namespace {
+
+Schema AddressSchema() {
+  return *Schema::Make({Field::Discrete("city"), Field::Discrete("county"),
+                        Field::Discrete("state")});
+}
+
+FunctionalDependency CityCountyToState() {
+  return FunctionalDependency{{"city", "county"}, "state"};
+}
+
+TEST(FdRepairTest, MajorityWinsWithinGroup) {
+  TableBuilder b(AddressSchema());
+  b.Row({Value("Springfield"), Value("Clark"), Value("Ohio")})
+      .Row({Value("Springfield"), Value("Clark"), Value("Ohio")})
+      .Row({Value("Springfield"), Value("Clark"), Value("Texas")});
+  Table t = *b.Finish();
+  FdRepair repair(CityCountyToState());
+  ASSERT_TRUE(repair.Apply(&t).ok());
+  for (size_t r = 0; r < 3; ++r) {
+    EXPECT_EQ(*t.GetValue(r, "state"), Value("Ohio"));
+  }
+  EXPECT_TRUE(*SatisfiesFd(t, CityCountyToState()));
+}
+
+TEST(FdRepairTest, ConsistentGroupsUntouched) {
+  TableBuilder b(AddressSchema());
+  b.Row({Value("Salem"), Value("Essex"), Value("Massachusetts")})
+      .Row({Value("Salem"), Value("Essex"), Value("Massachusetts")});
+  Table t = *b.Finish();
+  FdRepair repair(CityCountyToState());
+  ASSERT_TRUE(repair.Apply(&t).ok());
+  EXPECT_EQ(*t.GetValue(0, "state"), Value("Massachusetts"));
+}
+
+TEST(FdRepairTest, IndependentGroupsRepairedIndependently) {
+  TableBuilder b(AddressSchema());
+  b.Row({Value("A"), Value("x"), Value("S1")})
+      .Row({Value("A"), Value("x"), Value("S1")})
+      .Row({Value("A"), Value("x"), Value("S2")})
+      .Row({Value("B"), Value("y"), Value("T2")})
+      .Row({Value("B"), Value("y"), Value("T2")})
+      .Row({Value("B"), Value("y"), Value("T1")});
+  Table t = *b.Finish();
+  ASSERT_TRUE(FdRepair(CityCountyToState()).Apply(&t).ok());
+  EXPECT_EQ(*t.GetValue(2, "state"), Value("S1"));
+  EXPECT_EQ(*t.GetValue(5, "state"), Value("T2"));
+}
+
+TEST(FdRepairTest, TieBrokenDeterministically) {
+  TableBuilder b(AddressSchema());
+  b.Row({Value("A"), Value("x"), Value("S2")})
+      .Row({Value("A"), Value("x"), Value("S1")});
+  Table t1 = *b.Finish();
+  Table t2 = t1.Clone();
+  ASSERT_TRUE(FdRepair(CityCountyToState()).Apply(&t1).ok());
+  ASSERT_TRUE(FdRepair(CityCountyToState()).Apply(&t2).ok());
+  EXPECT_EQ(*t1.GetValue(0, "state"), *t2.GetValue(0, "state"));
+  // std::map ordering makes the smallest value win ties.
+  EXPECT_EQ(*t1.GetValue(0, "state"), Value("S1"));
+}
+
+TEST(FdRepairTest, HeuristicCanBeWrongWhenCorruptionOutvotes) {
+  // The corrupted value has the majority: repair picks it — imperfect
+  // cleaning, exactly the Figure 8a regime.
+  TableBuilder b(AddressSchema());
+  b.Row({Value("A"), Value("x"), Value("Corrupt")})
+      .Row({Value("A"), Value("x"), Value("Corrupt")})
+      .Row({Value("A"), Value("x"), Value("True")});
+  Table t = *b.Finish();
+  ASSERT_TRUE(FdRepair(CityCountyToState()).Apply(&t).ok());
+  EXPECT_EQ(*t.GetValue(2, "state"), Value("Corrupt"));
+}
+
+TEST(FdRepairTest, RestoresGeneratedTpcdsData) {
+  // Corrupt a constraint-satisfying table lightly; repair should fix most
+  // cells back to ground truth.
+  Rng rng(7);
+  TpcdsOptions options;
+  options.num_rows = 2000;
+  Table truth = *GenerateCustomerAddress(options, rng);
+  Table dirty = truth.Clone();
+  ASSERT_TRUE(CorruptStates(&dirty, 100, rng).ok());
+  ASSERT_TRUE(FdRepair(CustomerAddressFd()).Apply(&dirty).ok());
+  size_t wrong = 0;
+  const Column& repaired = **dirty.ColumnByName("ca_state");
+  const Column& original = **truth.ColumnByName("ca_state");
+  for (size_t r = 0; r < dirty.num_rows(); ++r) {
+    if (repaired.ValueAt(r) != original.ValueAt(r)) ++wrong;
+  }
+  // 100 corruptions in 2000 rows; majority voting should repair most.
+  EXPECT_LT(wrong, 30u);
+}
+
+TEST(FdRepairTest, RepairIsIdempotent) {
+  TableBuilder b(AddressSchema());
+  b.Row({Value("A"), Value("x"), Value("S1")})
+      .Row({Value("A"), Value("x"), Value("S1")})
+      .Row({Value("A"), Value("x"), Value("S2")});
+  Table t = *b.Finish();
+  ASSERT_TRUE(FdRepair(CityCountyToState()).Apply(&t).ok());
+  Table once = t.Clone();
+  ASSERT_TRUE(FdRepair(CityCountyToState()).Apply(&t).ok());
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    EXPECT_EQ(*t.GetValue(r, "state"), *once.GetValue(r, "state"));
+  }
+}
+
+TEST(FdRepairTest, RejectsBadInputs) {
+  FdRepair repair(CityCountyToState());
+  EXPECT_TRUE(repair.Apply(nullptr).IsInvalidArgument());
+  Schema s = *Schema::Make({Field::Discrete("other")});
+  TableBuilder b(s);
+  b.Row({Value("v")});
+  Table t = *b.Finish();
+  EXPECT_FALSE(repair.Apply(&t).ok());
+}
+
+TEST(FdRepairTest, KindIsTransform) {
+  FdRepair repair(CityCountyToState());
+  EXPECT_EQ(repair.kind(), CleanerKind::kTransform);
+  EXPECT_NE(repair.name().find("fd_repair"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace privateclean

@@ -1,0 +1,186 @@
+#include "privacy/grr.h"
+
+#include <gtest/gtest.h>
+
+#include "table/table_builder.h"
+
+namespace privateclean {
+namespace {
+
+Schema TestSchema() {
+  return *Schema::Make({Field::Discrete("major"),
+                        Field::Numerical("score", ValueType::kDouble)});
+}
+
+Table TestTable(size_t rows = 200) {
+  TableBuilder b(TestSchema());
+  const char* majors[] = {"EECS", "Math", "Bio", "Physics"};
+  for (size_t i = 0; i < rows; ++i) {
+    b.Row({Value(majors[i % 4]), Value(static_cast<double>(i % 10))});
+  }
+  return *b.Finish();
+}
+
+TEST(GrrTest, ProducesSameSchemaAndSize) {
+  Rng rng(1);
+  Table t = TestTable();
+  GrrOutput out = *ApplyGrr(t, GrrParams::Uniform(0.2, 1.0), GrrOptions{}, rng);
+  EXPECT_EQ(out.table.num_rows(), t.num_rows());
+  EXPECT_TRUE(out.table.schema() == t.schema());
+  EXPECT_EQ(out.metadata.dataset_size, t.num_rows());
+}
+
+TEST(GrrTest, MetadataCoversAllAttributes) {
+  Rng rng(2);
+  GrrOutput out =
+      *ApplyGrr(TestTable(), GrrParams::Uniform(0.2, 1.0), GrrOptions{}, rng);
+  ASSERT_EQ(out.metadata.discrete.size(), 1u);
+  ASSERT_EQ(out.metadata.numeric.size(), 1u);
+  const auto& major = out.metadata.discrete.at("major");
+  EXPECT_DOUBLE_EQ(major.p, 0.2);
+  EXPECT_EQ(major.domain.size(), 4u);
+  const auto& score = out.metadata.numeric.at("score");
+  EXPECT_DOUBLE_EQ(score.b, 1.0);
+  EXPECT_DOUBLE_EQ(score.sensitivity, 9.0);
+}
+
+TEST(GrrTest, DiscreteDomainPreservedByDefault) {
+  Rng rng(3);
+  GrrOutput out =
+      *ApplyGrr(TestTable(), GrrParams::Uniform(0.5, 1.0), GrrOptions{}, rng);
+  Domain after = *Domain::FromColumn(out.table, "major");
+  EXPECT_EQ(after.size(), 4u);
+}
+
+TEST(GrrTest, NumericColumnActuallyNoised) {
+  Rng rng(4);
+  Table t = TestTable();
+  GrrOutput out = *ApplyGrr(t, GrrParams::Uniform(0.0, 2.0), GrrOptions{}, rng);
+  const Column& noised = *out.table.ColumnByName("score").ValueOrDie();
+  const Column& original = *t.ColumnByName("score").ValueOrDie();
+  int changed = 0;
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    if (noised.DoubleAt(r) != original.DoubleAt(r)) ++changed;
+  }
+  EXPECT_GT(changed, static_cast<int>(t.num_rows()) - 5);
+}
+
+TEST(GrrTest, PerAttributeParamsOverrideDefaults) {
+  Rng rng(5);
+  GrrParams params = GrrParams::Uniform(0.5, 1.0);
+  params.discrete_p["major"] = 0.0;  // Explicitly no randomization.
+  Table t = TestTable();
+  GrrOutput out = *ApplyGrr(t, params, GrrOptions{}, rng);
+  const Column& majors = *out.table.ColumnByName("major").ValueOrDie();
+  const Column& original = *t.ColumnByName("major").ValueOrDie();
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    EXPECT_EQ(majors.ValueAt(r), original.ValueAt(r));
+  }
+  EXPECT_DOUBLE_EQ(out.metadata.discrete.at("major").p, 0.0);
+}
+
+TEST(GrrTest, MissingDiscreteParamRejected) {
+  Rng rng(6);
+  GrrParams params;  // No defaults, no per-attribute entries.
+  params.default_b = 1.0;
+  auto r = ApplyGrr(TestTable(), params, GrrOptions{}, rng);
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+}
+
+TEST(GrrTest, MissingNumericParamRejected) {
+  Rng rng(7);
+  GrrParams params;
+  params.default_p = 0.1;
+  auto r = ApplyGrr(TestTable(), params, GrrOptions{}, rng);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(GrrTest, InvalidPRejected) {
+  Rng rng(8);
+  auto r = ApplyGrr(TestTable(), GrrParams::Uniform(1.5, 1.0), GrrOptions{},
+                    rng);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(GrrTest, EmptyRelationRejected) {
+  Rng rng(9);
+  Table empty = *Table::MakeEmpty(TestSchema());
+  EXPECT_FALSE(
+      ApplyGrr(empty, GrrParams::Uniform(0.1, 1.0), GrrOptions{}, rng).ok());
+}
+
+TEST(GrrTest, RegenerationTriggersOnTinyData) {
+  // 3 rows, 3 distinct values, p = 1: masking is likely, so regenerations
+  // should occur (and eventually succeed) with domain preservation on.
+  Rng rng(10);
+  Schema s = *Schema::Make({Field::Discrete("d")});
+  TableBuilder b(s);
+  b.Row({Value("a")}).Row({Value("b")}).Row({Value("c")});
+  Table t = *b.Finish();
+  GrrParams params;
+  params.default_p = 1.0;
+  GrrOutput out = *ApplyGrr(t, params, GrrOptions{}, rng);
+  Domain after = *Domain::FromColumn(out.table, "d");
+  EXPECT_EQ(after.size(), 3u);
+}
+
+TEST(GrrTest, RegenerationCapFails) {
+  // One row can never show all 3 domain values: with the cap at 2 the
+  // mechanism must report failure rather than loop forever.
+  Rng rng(11);
+  Schema s = *Schema::Make({Field::Discrete("d")});
+  TableBuilder b(s);
+  b.Row({Value("a")}).Row({Value("b")}).Row({Value("c")});
+  Table t = *b.Finish();
+  // Shrink to one row by filtering.
+  Table one = *t.Filter({1, 0, 0});
+  // Manually extend the domain: use p=1 with a domain of one value — fine;
+  // instead corrupt: single row, domain {a}, always preserved. So use the
+  // 3-row table with p=1 and max_regenerations=0-ish to force failure.
+  GrrParams params;
+  params.default_p = 1.0;
+  GrrOptions options;
+  options.max_regenerations = 1;
+  // With only 1 regeneration allowed, failure is likely but not certain;
+  // try a seed known to fail.
+  bool saw_failure = false;
+  for (uint64_t seed = 0; seed < 50 && !saw_failure; ++seed) {
+    Rng attempt(seed);
+    auto r = ApplyGrr(t, params, options, attempt);
+    if (!r.ok()) {
+      EXPECT_TRUE(r.status().IsFailedPrecondition());
+      saw_failure = true;
+    }
+  }
+  EXPECT_TRUE(saw_failure);
+  (void)one;
+}
+
+TEST(GrrTest, DomainPreservationCanBeDisabled) {
+  Rng rng(12);
+  Schema s = *Schema::Make({Field::Discrete("d")});
+  TableBuilder b(s);
+  b.Row({Value("a")}).Row({Value("b")});
+  Table t = *b.Finish();
+  GrrParams params;
+  params.default_p = 1.0;
+  GrrOptions options;
+  options.ensure_domain_preserved = false;
+  GrrOutput out = *ApplyGrr(t, params, options, rng);
+  EXPECT_EQ(out.total_regenerations, 0u);
+}
+
+TEST(GrrTest, DeterministicGivenSeed) {
+  Rng rng1(99), rng2(99);
+  Table t = TestTable();
+  GrrOutput a = *ApplyGrr(t, GrrParams::Uniform(0.3, 2.0), GrrOptions{}, rng1);
+  GrrOutput b = *ApplyGrr(t, GrrParams::Uniform(0.3, 2.0), GrrOptions{}, rng2);
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    EXPECT_EQ(a.table.column(0).ValueAt(r), b.table.column(0).ValueAt(r));
+    EXPECT_EQ(a.table.column(1).ValueAt(r), b.table.column(1).ValueAt(r));
+  }
+}
+
+}  // namespace
+}  // namespace privateclean

@@ -1,0 +1,99 @@
+#include "cleaning/md_repair.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+#include "datagen/tpcds.h"
+#include "table/domain.h"
+#include "table/table_builder.h"
+
+namespace privateclean {
+namespace {
+
+Schema CountrySchema() {
+  return *Schema::Make({Field::Discrete("country")});
+}
+
+TEST(MdRepairTest, MergesOneCharCorruptions) {
+  TableBuilder b(CountrySchema());
+  for (int i = 0; i < 10; ++i) b.Row({Value("France")});
+  b.Row({Value("Francez")}).Row({Value("Frence")});
+  Table t = *b.Finish();
+  ASSERT_TRUE(MdRepair(MatchingDependency{"country", 1}).Apply(&t).ok());
+  Domain d = *Domain::FromColumn(t, "country");
+  EXPECT_EQ(d.size(), 1u);
+  EXPECT_EQ(d.value(0), Value("France"));
+}
+
+TEST(MdRepairTest, PreservesDistantValues) {
+  TableBuilder b(CountrySchema());
+  b.Row({Value("France")}).Row({Value("Japan")}).Row({Value("Brazil")});
+  Table t = *b.Finish();
+  ASSERT_TRUE(MdRepair(MatchingDependency{"country", 1}).Apply(&t).ok());
+  EXPECT_EQ(Domain::FromColumn(t, "country")->size(), 3u);
+}
+
+TEST(MdRepairTest, ResolutionIsUnique) {
+  // Unlike FD repair, MD repair has a unique answer given the relation —
+  // repeated application is stable from the first pass.
+  TableBuilder b(CountrySchema());
+  for (int i = 0; i < 8; ++i) b.Row({Value("Germany")});
+  b.Row({Value("Germanyx")}).Row({Value("Germanz")});
+  Table t = *b.Finish();
+  ASSERT_TRUE(MdRepair(MatchingDependency{"country", 1}).Apply(&t).ok());
+  Table once = t.Clone();
+  ASSERT_TRUE(MdRepair(MatchingDependency{"country", 1}).Apply(&t).ok());
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    EXPECT_EQ(*t.GetValue(r, "country"), *once.GetValue(r, "country"));
+  }
+}
+
+TEST(MdRepairTest, RestoresCorruptedTpcdsCountries) {
+  Rng rng(11);
+  TpcdsOptions options;
+  options.num_rows = 1500;
+  Table truth = *GenerateCustomerAddress(options, rng);
+  Table dirty = truth.Clone();
+  ASSERT_TRUE(CorruptCountries(&dirty, 120, rng).ok());
+  ASSERT_TRUE(MdRepair(CustomerAddressMd()).Apply(&dirty).ok());
+  size_t wrong = 0;
+  const Column& repaired = **dirty.ColumnByName("ca_country");
+  const Column& original = **truth.ColumnByName("ca_country");
+  for (size_t r = 0; r < dirty.num_rows(); ++r) {
+    if (repaired.ValueAt(r) != original.ValueAt(r)) ++wrong;
+  }
+  // One-character appends are within the MD's edit-distance bound and the
+  // corrupted spellings are rare, so nearly all cells are restored.
+  EXPECT_LT(wrong, 10u);
+}
+
+TEST(MdRepairTest, NoopOnCleanData) {
+  TableBuilder b(CountrySchema());
+  b.Row({Value("United States")}).Row({Value("Canada")});
+  Table t = *b.Finish();
+  ASSERT_TRUE(MdRepair(MatchingDependency{"country", 1}).Apply(&t).ok());
+  EXPECT_EQ(*t.GetValue(0, "country"), Value("United States"));
+  EXPECT_EQ(*t.GetValue(1, "country"), Value("Canada"));
+}
+
+TEST(MdRepairTest, NullsUntouched) {
+  TableBuilder b(CountrySchema());
+  b.Row({Value("France")}).Row({Value::Null()});
+  Table t = *b.Finish();
+  ASSERT_TRUE(MdRepair(MatchingDependency{"country", 1}).Apply(&t).ok());
+  EXPECT_TRUE(t.GetValue(1, "country")->is_null());
+}
+
+TEST(MdRepairTest, RejectsNullTable) {
+  MdRepair repair(MatchingDependency{"country", 1});
+  EXPECT_TRUE(repair.Apply(nullptr).IsInvalidArgument());
+}
+
+TEST(MdRepairTest, KindIsMerge) {
+  MdRepair repair(MatchingDependency{"country", 1});
+  EXPECT_EQ(repair.kind(), CleanerKind::kMerge);
+  EXPECT_NE(repair.name().find("md_repair"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace privateclean

@@ -1,0 +1,94 @@
+#include "cleaning/pipeline.h"
+
+#include <gtest/gtest.h>
+
+#include "cleaning/merge.h"
+#include "cleaning/transform.h"
+#include "table/table_builder.h"
+
+namespace privateclean {
+namespace {
+
+Schema TestSchema() {
+  return *Schema::Make({Field::Discrete("d")});
+}
+
+Table TestTable() {
+  TableBuilder b(TestSchema());
+  b.Row({Value("a")}).Row({Value("b")}).Row({Value("c")});
+  return *b.Finish();
+}
+
+TEST(PipelineTest, AppliesInOrder) {
+  Table t = TestTable();
+  CleaningPipeline pipeline;
+  pipeline.Emplace<FindReplace>(
+      FindReplace::Single("d", Value("a"), Value("b")));
+  pipeline.Emplace<FindReplace>(
+      FindReplace::Single("d", Value("b"), Value("c")));
+  ASSERT_TRUE(pipeline.Apply(&t).ok());
+  // a -> b (stage 1), then b -> c (stage 2): everything lands on c.
+  for (size_t r = 0; r < 3; ++r) {
+    EXPECT_EQ(*t.GetValue(r, "d"), Value("c"));
+  }
+}
+
+TEST(PipelineTest, OrderMatters) {
+  Table t = TestTable();
+  CleaningPipeline pipeline;
+  // Reverse order: b -> c first, then a -> b leaves "b" rows behind.
+  pipeline.Emplace<FindReplace>(
+      FindReplace::Single("d", Value("b"), Value("c")));
+  pipeline.Emplace<FindReplace>(
+      FindReplace::Single("d", Value("a"), Value("b")));
+  ASSERT_TRUE(pipeline.Apply(&t).ok());
+  EXPECT_EQ(*t.GetValue(0, "d"), Value("b"));
+  EXPECT_EQ(*t.GetValue(1, "d"), Value("c"));
+}
+
+TEST(PipelineTest, EmptyPipelineIsNoop) {
+  Table t = TestTable();
+  CleaningPipeline pipeline;
+  ASSERT_TRUE(pipeline.Apply(&t).ok());
+  EXPECT_EQ(*t.GetValue(0, "d"), Value("a"));
+}
+
+TEST(PipelineTest, FailureIdentifiesStage) {
+  Table t = TestTable();
+  CleaningPipeline pipeline;
+  pipeline.Emplace<FindReplace>(
+      FindReplace::Single("d", Value("a"), Value("b")));
+  pipeline.Emplace<ValueTransform>("missing_attr",
+                                   [](const Value& v) { return v; });
+  Status st = pipeline.Apply(&t);
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("stage 1"), std::string::npos);
+  EXPECT_NE(st.message().find("transform(missing_attr)"),
+            std::string::npos);
+}
+
+TEST(PipelineTest, StopsAtFirstFailure) {
+  Table t = TestTable();
+  CleaningPipeline pipeline;
+  pipeline.Emplace<ValueTransform>("missing_attr",
+                                   [](const Value& v) { return v; });
+  pipeline.Emplace<FindReplace>(
+      FindReplace::Single("d", Value("a"), Value("never")));
+  EXPECT_FALSE(pipeline.Apply(&t).ok());
+  EXPECT_EQ(*t.GetValue(0, "d"), Value("a"));  // Stage 2 never ran.
+}
+
+TEST(PipelineTest, SizeAndStageNames) {
+  CleaningPipeline pipeline;
+  pipeline.Emplace<FindReplace>(
+      FindReplace::Single("d", Value("a"), Value("b")));
+  pipeline.Emplace<ValueTransform>("d", [](const Value& v) { return v; });
+  EXPECT_EQ(pipeline.size(), 2u);
+  auto names = pipeline.StageNames();
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_NE(names[0].find("find_replace"), std::string::npos);
+  EXPECT_EQ(names[1], "transform(d)");
+}
+
+}  // namespace
+}  // namespace privateclean

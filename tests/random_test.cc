@@ -1,0 +1,206 @@
+#include "common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "common/statistics.h"
+
+namespace privateclean {
+namespace {
+
+TEST(RngTest, DeterministicGivenSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(RngTest, UniformIntInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.UniformInt(13), 13u);
+  }
+}
+
+TEST(RngTest, UniformIntCoversAllValues) {
+  Rng rng(7);
+  std::vector<int> counts(5, 0);
+  for (int i = 0; i < 5000; ++i) counts[rng.UniformInt(5)]++;
+  for (int c : counts) {
+    EXPECT_GT(c, 800);  // Each ~1000 expected; 800 is >6 sigma slack.
+    EXPECT_LT(c, 1200);
+  }
+}
+
+TEST(RngTest, UniformIntRangeInclusive) {
+  Rng rng(11);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.UniformIntRange(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, UniformRealInUnitInterval) {
+  Rng rng(3);
+  RunningMoments m;
+  for (int i = 0; i < 20000; ++i) {
+    double u = rng.UniformReal();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+    m.Add(u);
+  }
+  EXPECT_NEAR(m.Mean(), 0.5, 0.01);
+  EXPECT_NEAR(m.PopulationVariance(), 1.0 / 12.0, 0.005);
+}
+
+TEST(RngTest, BernoulliMatchesProbability) {
+  Rng rng(5);
+  int hits = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) hits += rng.Bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, BernoulliEdgeCases) {
+  Rng rng(5);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+    EXPECT_FALSE(rng.Bernoulli(-0.5));
+    EXPECT_TRUE(rng.Bernoulli(1.5));
+  }
+}
+
+TEST(RngTest, LaplaceMomentsMatch) {
+  Rng rng(17);
+  RunningMoments m;
+  const double b = 4.0;
+  for (int i = 0; i < 200000; ++i) m.Add(rng.Laplace(10.0, b));
+  // Mean mu, variance 2b^2.
+  EXPECT_NEAR(m.Mean(), 10.0, 0.1);
+  EXPECT_NEAR(m.PopulationVariance(), 2.0 * b * b, 1.0);
+}
+
+TEST(RngTest, LaplaceZeroScaleReturnsLocation) {
+  Rng rng(17);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.Laplace(3.5, 0.0), 3.5);
+}
+
+TEST(RngTest, LaplaceMedianIsLocation) {
+  Rng rng(19);
+  int below = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) below += rng.Laplace(2.0, 5.0) < 2.0 ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(below) / n, 0.5, 0.01);
+}
+
+TEST(RngTest, GaussianMomentsMatch) {
+  Rng rng(23);
+  RunningMoments m;
+  for (int i = 0; i < 100000; ++i) m.Add(rng.Gaussian(-2.0, 3.0));
+  EXPECT_NEAR(m.Mean(), -2.0, 0.05);
+  EXPECT_NEAR(m.PopulationVariance(), 9.0, 0.3);
+}
+
+TEST(RngTest, ShufflePreservesElements) {
+  Rng rng(29);
+  std::vector<int> v(50);
+  std::iota(v.begin(), v.end(), 0);
+  std::vector<int> shuffled = v;
+  rng.Shuffle(shuffled);
+  EXPECT_NE(shuffled, v);  // Astronomically unlikely to be identity.
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(RngTest, ShuffleEmptyAndSingleton) {
+  Rng rng(29);
+  std::vector<int> empty;
+  rng.Shuffle(empty);
+  EXPECT_TRUE(empty.empty());
+  std::vector<int> one{42};
+  rng.Shuffle(one);
+  EXPECT_EQ(one, std::vector<int>{42});
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng a(99);
+  Rng forked = a.Fork();
+  // The fork should not replay the parent's stream.
+  Rng b(99);
+  b.Next();  // Align with the Fork() consumption.
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (forked.Next() == b.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(ZipfianTest, UniformWhenSkewZero) {
+  ZipfianSampler z(10, 0.0);
+  for (size_t k = 0; k < 10; ++k) EXPECT_NEAR(z.Pmf(k), 0.1, 1e-12);
+}
+
+TEST(ZipfianTest, PmfSumsToOne) {
+  ZipfianSampler z(50, 2.0);
+  double total = 0.0;
+  for (size_t k = 0; k < 50; ++k) total += z.Pmf(k);
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ZipfianTest, PmfDecreasesWithRank) {
+  ZipfianSampler z(20, 1.5);
+  for (size_t k = 1; k < 20; ++k) EXPECT_LT(z.Pmf(k), z.Pmf(k - 1));
+}
+
+TEST(ZipfianTest, PowerLawRatio) {
+  ZipfianSampler z(10, 2.0);
+  // P(0)/P(1) = 2^z = 4.
+  EXPECT_NEAR(z.Pmf(0) / z.Pmf(1), 4.0, 1e-9);
+}
+
+TEST(ZipfianTest, EmpiricalMatchesAnalytic) {
+  Rng rng(31);
+  ZipfianSampler z(8, 1.0);
+  std::vector<int> counts(8, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) counts[z.Sample(rng)]++;
+  for (size_t k = 0; k < 8; ++k) {
+    double empirical = static_cast<double>(counts[k]) / n;
+    EXPECT_NEAR(empirical, z.Pmf(k), 0.01) << "rank " << k;
+  }
+}
+
+TEST(ZipfianTest, SingletonDomain) {
+  Rng rng(1);
+  ZipfianSampler z(1, 3.0);
+  EXPECT_EQ(z.Sample(rng), 0u);
+  EXPECT_NEAR(z.Pmf(0), 1.0, 1e-12);
+}
+
+TEST(ZipfianTest, HighSkewConcentratesOnHead) {
+  Rng rng(37);
+  ZipfianSampler z(100, 3.0);
+  int head = 0;
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) head += z.Sample(rng) == 0 ? 1 : 0;
+  EXPECT_GT(static_cast<double>(head) / n, 0.75);
+}
+
+}  // namespace
+}  // namespace privateclean

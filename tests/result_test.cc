@@ -1,0 +1,108 @@
+#include "common/result.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace privateclean {
+namespace {
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueOrDie(), 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("nope");
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_EQ(r.status().message(), "nope");
+}
+
+TEST(ResultTest, ImplicitValueConstruction) {
+  auto make = []() -> Result<std::string> { return std::string("hello"); };
+  Result<std::string> r = make();
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, "hello");
+}
+
+TEST(ResultTest, ImplicitStatusConstruction) {
+  auto make = []() -> Result<std::string> {
+    return Status::InvalidArgument("bad");
+  };
+  EXPECT_FALSE(make().ok());
+}
+
+TEST(ResultTest, DereferenceOperators) {
+  Result<std::vector<int>> r(std::vector<int>{1, 2, 3});
+  EXPECT_EQ(r->size(), 3u);
+  EXPECT_EQ((*r)[1], 2);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(7));
+  std::unique_ptr<int> v = std::move(r).ValueOrDie();
+  ASSERT_NE(v, nullptr);
+  EXPECT_EQ(*v, 7);
+}
+
+TEST(ResultTest, MutableAccess) {
+  Result<std::vector<int>> r(std::vector<int>{1});
+  r.ValueOrDie().push_back(2);
+  EXPECT_EQ(r->size(), 2u);
+}
+
+TEST(ResultTest, AssignOrReturnMacroSuccess) {
+  auto inner = []() -> Result<int> { return 10; };
+  auto outer = [&]() -> Result<int> {
+    PCLEAN_ASSIGN_OR_RETURN(int v, inner());
+    return v * 2;
+  };
+  Result<int> r = outer();
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 20);
+}
+
+TEST(ResultTest, AssignOrReturnMacroPropagatesError) {
+  auto inner = []() -> Result<int> { return Status::OutOfRange("over"); };
+  auto outer = [&]() -> Result<int> {
+    PCLEAN_ASSIGN_OR_RETURN(int v, inner());
+    return v * 2;
+  };
+  Result<int> r = outer();
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsOutOfRange());
+}
+
+TEST(ResultTest, AssignOrReturnIntoExistingVariable) {
+  auto inner = []() -> Result<int> { return 5; };
+  auto outer = [&]() -> Status {
+    int v = 0;
+    PCLEAN_ASSIGN_OR_RETURN(v, inner());
+    return v == 5 ? Status::OK() : Status::Internal("wrong");
+  };
+  EXPECT_TRUE(outer().ok());
+}
+
+TEST(ResultTest, CopyableWhenValueCopyable) {
+  Result<std::string> r(std::string("abc"));
+  Result<std::string> copy = r;
+  EXPECT_EQ(*copy, "abc");
+  EXPECT_EQ(*r, "abc");
+}
+
+TEST(ResultDeathTest, ValueOfErrorAborts) {
+  Result<int> r = Status::Internal("boom");
+  EXPECT_DEATH((void)r.ValueOrDie(), "");
+}
+
+TEST(ResultDeathTest, OkStatusIntoResultAborts) {
+  EXPECT_DEATH({ Result<int> r = Status::OK(); (void)r; }, "");
+}
+
+}  // namespace
+}  // namespace privateclean

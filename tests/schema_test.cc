@@ -1,0 +1,109 @@
+#include "table/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace privateclean {
+namespace {
+
+Schema TwoFieldSchema() {
+  return *Schema::Make({Field::Discrete("major"),
+                        Field::Numerical("score", ValueType::kDouble)});
+}
+
+TEST(FieldTest, Factories) {
+  Field n = Field::Numerical("score");
+  EXPECT_EQ(n.kind, AttributeKind::kNumerical);
+  EXPECT_EQ(n.type, ValueType::kDouble);
+  Field d = Field::Discrete("major");
+  EXPECT_EQ(d.kind, AttributeKind::kDiscrete);
+  EXPECT_EQ(d.type, ValueType::kString);
+  Field ni = Field::Numerical("count", ValueType::kInt64);
+  EXPECT_EQ(ni.type, ValueType::kInt64);
+}
+
+TEST(SchemaTest, MakeValid) {
+  Schema s = TwoFieldSchema();
+  EXPECT_EQ(s.num_fields(), 2u);
+  EXPECT_EQ(s.field(0).name, "major");
+  EXPECT_EQ(s.field(1).name, "score");
+}
+
+TEST(SchemaTest, RejectsDuplicateNames) {
+  auto r = Schema::Make({Field::Discrete("x"), Field::Discrete("x")});
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsAlreadyExists());
+}
+
+TEST(SchemaTest, RejectsEmptyName) {
+  EXPECT_FALSE(Schema::Make({Field::Discrete("")}).ok());
+}
+
+TEST(SchemaTest, RejectsNullType) {
+  Field f{"x", ValueType::kNull, AttributeKind::kDiscrete};
+  EXPECT_FALSE(Schema::Make({f}).ok());
+}
+
+TEST(SchemaTest, RejectsStringNumericalField) {
+  Field f{"x", ValueType::kString, AttributeKind::kNumerical};
+  auto r = Schema::Make({f});
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+}
+
+TEST(SchemaTest, DiscreteAttributeMayBeNumericTyped) {
+  // The paper allows discrete attributes of any data type (e.g. section
+  // numbers); only numerical attributes are type-restricted.
+  Field f{"section", ValueType::kInt64, AttributeKind::kDiscrete};
+  EXPECT_TRUE(Schema::Make({f}).ok());
+}
+
+TEST(SchemaTest, FieldLookup) {
+  Schema s = TwoFieldSchema();
+  EXPECT_EQ(*s.FieldIndex("score"), 1u);
+  EXPECT_EQ(s.FieldByName("major")->kind, AttributeKind::kDiscrete);
+  EXPECT_TRUE(s.HasField("major"));
+  EXPECT_FALSE(s.HasField("nope"));
+  EXPECT_TRUE(s.FieldIndex("nope").status().IsNotFound());
+}
+
+TEST(SchemaTest, KindIndices) {
+  Schema s = *Schema::Make({Field::Discrete("a"), Field::Numerical("b"),
+                            Field::Discrete("c"), Field::Numerical("d")});
+  EXPECT_EQ(s.DiscreteIndices(), (std::vector<size_t>{0, 2}));
+  EXPECT_EQ(s.NumericalIndices(), (std::vector<size_t>{1, 3}));
+}
+
+TEST(SchemaTest, AddField) {
+  Schema s = TwoFieldSchema();
+  auto extended = s.AddField(Field::Discrete("new_attr"));
+  ASSERT_TRUE(extended.ok());
+  EXPECT_EQ(extended->num_fields(), 3u);
+  EXPECT_TRUE(extended->HasField("new_attr"));
+  EXPECT_EQ(s.num_fields(), 2u);  // Original untouched.
+}
+
+TEST(SchemaTest, AddFieldRejectsDuplicate) {
+  Schema s = TwoFieldSchema();
+  EXPECT_FALSE(s.AddField(Field::Discrete("major")).ok());
+}
+
+TEST(SchemaTest, Equality) {
+  EXPECT_EQ(TwoFieldSchema(), TwoFieldSchema());
+  Schema other = *Schema::Make({Field::Discrete("major")});
+  EXPECT_FALSE(TwoFieldSchema() == other);
+}
+
+TEST(SchemaTest, EmptySchemaIsValid) {
+  auto r = Schema::Make({});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->num_fields(), 0u);
+}
+
+TEST(AttributeKindTest, Names) {
+  EXPECT_STREQ(AttributeKindToString(AttributeKind::kNumerical),
+               "numerical");
+  EXPECT_STREQ(AttributeKindToString(AttributeKind::kDiscrete), "discrete");
+}
+
+}  // namespace
+}  // namespace privateclean

@@ -1,0 +1,291 @@
+#include "query/sql.h"
+
+#include <gtest/gtest.h>
+
+#include "core/sql_execution.h"
+#include "datagen/synthetic.h"
+#include "table/table_builder.h"
+
+namespace privateclean {
+namespace {
+
+// --- Parsing: aggregates ---------------------------------------------------
+
+TEST(SqlParseTest, CountForms) {
+  for (const char* sql :
+       {"SELECT count(1) FROM r", "SELECT COUNT(*) FROM r",
+        "select Count( 1 ) from r"}) {
+    ParsedSql p = *ParseSql(sql);
+    EXPECT_EQ(p.query.agg, AggregateType::kCount) << sql;
+    EXPECT_EQ(p.table_name, "r") << sql;
+    EXPECT_FALSE(p.query.predicate.has_value()) << sql;
+  }
+}
+
+TEST(SqlParseTest, NumericAggregates) {
+  EXPECT_EQ(ParseSql("SELECT sum(score) FROM r")->query.agg,
+            AggregateType::kSum);
+  EXPECT_EQ(ParseSql("SELECT avg(score) FROM r")->query.agg,
+            AggregateType::kAvg);
+  EXPECT_EQ(ParseSql("SELECT median(score) FROM r")->query.agg,
+            AggregateType::kMedian);
+  EXPECT_EQ(ParseSql("SELECT var(score) FROM r")->query.agg,
+            AggregateType::kVar);
+  EXPECT_EQ(ParseSql("SELECT std(score) FROM r")->query.agg,
+            AggregateType::kStd);
+  EXPECT_EQ(ParseSql("SELECT sum(score) FROM r")->query.numeric_attribute,
+            "score");
+}
+
+TEST(SqlParseTest, Percentile) {
+  ParsedSql p = *ParseSql("SELECT percentile(score, 90) FROM r");
+  EXPECT_EQ(p.query.agg, AggregateType::kPercentile);
+  EXPECT_EQ(p.query.numeric_attribute, "score");
+  EXPECT_DOUBLE_EQ(p.query.percentile, 90.0);
+  EXPECT_DOUBLE_EQ(
+      ParseSql("SELECT percentile(score, 12.5) FROM r")->query.percentile,
+      12.5);
+}
+
+TEST(SqlParseTest, PercentileRejectsBadRank) {
+  EXPECT_FALSE(ParseSql("SELECT percentile(score) FROM r").ok());
+  EXPECT_FALSE(ParseSql("SELECT percentile(score, 101) FROM r").ok());
+  EXPECT_FALSE(ParseSql("SELECT percentile(score, -1) FROM r").ok());
+  EXPECT_FALSE(ParseSql("SELECT percentile(score, 'x') FROM r").ok());
+}
+
+TEST(SqlParseTest, RejectsBadAggregates) {
+  EXPECT_FALSE(ParseSql("SELECT max(score) FROM r").ok());
+  EXPECT_FALSE(ParseSql("SELECT min(score) FROM r").ok());
+  EXPECT_FALSE(ParseSql("SELECT count(score) FROM r").ok());
+  EXPECT_FALSE(ParseSql("SELECT sum() FROM r").ok());
+  EXPECT_FALSE(ParseSql("SELECT sum(score FROM r").ok());
+}
+
+// --- Parsing: conditions -----------------------------------------------------
+
+TEST(SqlParseTest, EqualsString) {
+  ParsedSql p =
+      *ParseSql("SELECT count(1) FROM r WHERE major = 'Mech. Eng.'");
+  ASSERT_TRUE(p.query.predicate.has_value());
+  EXPECT_EQ(p.query.predicate->attribute(), "major");
+  EXPECT_TRUE(p.query.predicate->Matches(Value("Mech. Eng.")));
+  EXPECT_FALSE(p.query.predicate->Matches(Value("Math")));
+}
+
+TEST(SqlParseTest, StringEscapes) {
+  ParsedSql p =
+      *ParseSql("SELECT count(1) FROM r WHERE name = 'O''Brien'");
+  EXPECT_TRUE(p.query.predicate->Matches(Value("O'Brien")));
+}
+
+TEST(SqlParseTest, NumericLiterals) {
+  ParsedSql p = *ParseSql("SELECT count(1) FROM r WHERE section = 3");
+  EXPECT_TRUE(p.query.predicate->Matches(Value(3)));
+  EXPECT_FALSE(p.query.predicate->Matches(Value(3.0)));  // Typed equality.
+  ParsedSql q = *ParseSql("SELECT count(1) FROM r WHERE x = 2.5");
+  EXPECT_TRUE(q.query.predicate->Matches(Value(2.5)));
+  ParsedSql neg = *ParseSql("SELECT count(1) FROM r WHERE x = -7");
+  EXPECT_TRUE(neg.query.predicate->Matches(Value(-7)));
+}
+
+TEST(SqlParseTest, NotEquals) {
+  for (const char* sql :
+       {"SELECT count(1) FROM r WHERE major != 'EECS'",
+        "SELECT count(1) FROM r WHERE major <> 'EECS'"}) {
+    ParsedSql p = *ParseSql(sql);
+    EXPECT_FALSE(p.query.predicate->Matches(Value("EECS"))) << sql;
+    EXPECT_TRUE(p.query.predicate->Matches(Value("Math"))) << sql;
+    EXPECT_TRUE(p.query.predicate->Matches(Value::Null())) << sql;
+  }
+}
+
+TEST(SqlParseTest, InList) {
+  ParsedSql p = *ParseSql(
+      "SELECT count(1) FROM r WHERE country IN ('FR', 'DE', 'IT')");
+  EXPECT_TRUE(p.query.predicate->Matches(Value("DE")));
+  EXPECT_FALSE(p.query.predicate->Matches(Value("US")));
+}
+
+TEST(SqlParseTest, InListWithNullAndNumbers) {
+  ParsedSql p =
+      *ParseSql("SELECT count(1) FROM r WHERE x IN (1, 2, NULL)");
+  EXPECT_TRUE(p.query.predicate->Matches(Value(1)));
+  EXPECT_TRUE(p.query.predicate->Matches(Value::Null()));
+  EXPECT_FALSE(p.query.predicate->Matches(Value(3)));
+}
+
+TEST(SqlParseTest, IsNullForms) {
+  ParsedSql is_null =
+      *ParseSql("SELECT count(1) FROM r WHERE id IS NULL");
+  EXPECT_TRUE(is_null.query.predicate->Matches(Value::Null()));
+  EXPECT_FALSE(is_null.query.predicate->Matches(Value("x")));
+  ParsedSql not_null =
+      *ParseSql("SELECT count(1) FROM r WHERE id is not null");
+  EXPECT_FALSE(not_null.query.predicate->Matches(Value::Null()));
+  EXPECT_TRUE(not_null.query.predicate->Matches(Value("x")));
+}
+
+TEST(SqlParseTest, EqualsNullLiteral) {
+  ParsedSql p = *ParseSql("SELECT count(1) FROM r WHERE id = NULL");
+  EXPECT_TRUE(p.query.predicate->Matches(Value::Null()));
+}
+
+TEST(SqlParseTest, QuotedIdentifier) {
+  ParsedSql p = *ParseSql(
+      "SELECT count(1) FROM r WHERE \"country code\" = 'US'");
+  EXPECT_EQ(p.query.predicate->attribute(), "country code");
+}
+
+// --- Parsing: conjunctions -----------------------------------------------------
+
+TEST(SqlParseTest, CountWithAnd) {
+  ParsedSql p = *ParseSql(
+      "SELECT count(1) FROM r WHERE dept = 'EECS' AND campus = 'North'");
+  ASSERT_TRUE(p.conjunct.has_value());
+  EXPECT_EQ(p.query.predicate->attribute(), "dept");
+  EXPECT_EQ(p.conjunct->attribute(), "campus");
+}
+
+TEST(SqlParseTest, AndRejectedForSum) {
+  auto r = ParseSql(
+      "SELECT sum(x) FROM r WHERE a = '1' AND b = '2'");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(SqlParseTest, AndOnSameAttributeRejected) {
+  auto r = ParseSql(
+      "SELECT count(1) FROM r WHERE a = '1' AND a = '2'");
+  EXPECT_FALSE(r.ok());
+}
+
+// --- Parsing: errors -----------------------------------------------------------
+
+TEST(SqlParseTest, SyntaxErrors) {
+  const char* bad[] = {
+      "",
+      "SELECT",
+      "count(1) FROM r",
+      "SELECT count(1)",
+      "SELECT count(1) FROM",
+      "SELECT count(1) FROM r WHERE",
+      "SELECT count(1) FROM r WHERE major",
+      "SELECT count(1) FROM r WHERE major = ",
+      "SELECT count(1) FROM r WHERE major = 'unterminated",
+      "SELECT count(1) FROM r WHERE major IN ()",
+      "SELECT count(1) FROM r WHERE major IN ('a',)",
+      "SELECT count(1) FROM r WHERE major IS",
+      "SELECT count(1) FROM r trailing",
+      "SELECT count(1) FROM r WHERE a = 'x' AND",
+      "SELECT count(1) FROM r WHERE a = bareword",
+  };
+  for (const char* sql : bad) {
+    EXPECT_FALSE(ParseSql(sql).ok()) << "should reject: " << sql;
+  }
+}
+
+TEST(SqlParseTest, ErrorsCarryPosition) {
+  auto r = ParseSql("SELECT count(1) FROM r WHERE major @@ 'x'");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("position"), std::string::npos);
+}
+
+// --- Execution ------------------------------------------------------------------
+
+class SqlExecutionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Schema schema = *Schema::Make(
+        {Field::Discrete("dept"), Field::Discrete("campus"),
+         Field::Numerical("score", ValueType::kDouble)});
+    TableBuilder b(schema);
+    Rng data_rng(1);
+    const char* depts[] = {"EECS", "Math", "Bio", "Physics"};
+    const char* campuses[] = {"North", "South"};
+    for (int i = 0; i < 400; ++i) {
+      b.Row({Value(depts[i % 4]), Value(campuses[i % 2]),
+             Value(static_cast<double>(i % 10))});
+    }
+    data_ = *b.Finish();
+    Rng rng(2);
+    pt_.emplace(*PrivateTable::Create(
+        *data_, GrrParams::Uniform(0.1, 1.0), GrrOptions{}, rng));
+  }
+
+  std::optional<Table> data_;
+  std::optional<PrivateTable> pt_;
+};
+
+TEST_F(SqlExecutionTest, CountMatchesProgrammaticApi) {
+  QueryResult via_sql =
+      *ExecuteSql(*pt_, "SELECT count(1) FROM r WHERE dept = 'EECS'");
+  QueryResult via_api = *pt_->Count(Predicate::Equals("dept", "EECS"));
+  EXPECT_DOUBLE_EQ(via_sql.estimate, via_api.estimate);
+  EXPECT_DOUBLE_EQ(via_sql.ci.lo, via_api.ci.lo);
+}
+
+TEST_F(SqlExecutionTest, AvgMatchesProgrammaticApi) {
+  QueryResult via_sql = *ExecuteSql(
+      *pt_, "SELECT avg(score) FROM r WHERE dept IN ('EECS', 'Math')");
+  QueryResult via_api = *pt_->Avg(
+      "score", Predicate::In("dept", {Value("EECS"), Value("Math")}));
+  EXPECT_DOUBLE_EQ(via_sql.estimate, via_api.estimate);
+}
+
+TEST_F(SqlExecutionTest, ConjunctiveCountDispatch) {
+  QueryResult via_sql = *ExecuteSql(
+      *pt_,
+      "SELECT count(1) FROM r WHERE dept = 'EECS' AND campus = 'North'");
+  QueryResult via_api = *pt_->CountConjunctive(
+      Predicate::Equals("dept", "EECS"),
+      Predicate::Equals("campus", "North"));
+  EXPECT_DOUBLE_EQ(via_sql.estimate, via_api.estimate);
+}
+
+TEST_F(SqlExecutionTest, ExtensionAggregateDispatch) {
+  QueryResult median = *ExecuteSql(*pt_, "SELECT median(score) FROM r");
+  EXPECT_GE(median.estimate, -5.0);
+  EXPECT_LE(median.estimate, 15.0);
+  EXPECT_DOUBLE_EQ(median.ci.Width(), 0.0);  // Point estimate.
+}
+
+TEST_F(SqlExecutionTest, PercentileDispatch) {
+  QueryResult p90 =
+      *ExecuteSql(*pt_, "SELECT percentile(score, 90) FROM r");
+  QueryResult p10 =
+      *ExecuteSql(*pt_, "SELECT percentile(score, 10) FROM r");
+  EXPECT_GT(p90.estimate, p10.estimate);
+}
+
+TEST_F(SqlExecutionTest, DirectBaseline) {
+  QueryResult direct = *ExecuteSqlDirect(
+      *pt_, "SELECT count(1) FROM r WHERE dept = 'EECS'");
+  EXPECT_EQ(direct.estimator, EstimatorKind::kDirect);
+  QueryResult api = *pt_->ExecuteDirect(
+      AggregateQuery::Count(Predicate::Equals("dept", "EECS")));
+  EXPECT_DOUBLE_EQ(direct.estimate, api.estimate);
+}
+
+TEST_F(SqlExecutionTest, DirectConjunctiveIsNominal) {
+  QueryResult direct = *ExecuteSqlDirect(
+      *pt_,
+      "SELECT count(1) FROM r WHERE dept = 'EECS' AND campus = 'North'");
+  ConjunctiveScanStats stats = *ScanConjunctive(
+      pt_->relation(), Predicate::Equals("dept", "EECS"),
+      Predicate::Equals("campus", "North"));
+  EXPECT_DOUBLE_EQ(direct.estimate,
+                   static_cast<double>(stats.count_tt));
+}
+
+TEST_F(SqlExecutionTest, ParseErrorsPropagate) {
+  EXPECT_FALSE(ExecuteSql(*pt_, "SELECT nope(1) FROM r").ok());
+  EXPECT_FALSE(ExecuteSqlDirect(*pt_, "garbage").ok());
+}
+
+TEST_F(SqlExecutionTest, UnknownAttributeFailsAtExecution) {
+  auto r = ExecuteSql(*pt_, "SELECT count(1) FROM r WHERE nope = 'x'");
+  EXPECT_FALSE(r.ok());
+}
+
+}  // namespace
+}  // namespace privateclean

@@ -1,0 +1,155 @@
+#include "common/statistics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/random.h"
+
+namespace privateclean {
+namespace {
+
+TEST(RunningMomentsTest, EmptyIsZero) {
+  RunningMoments m;
+  EXPECT_EQ(m.count(), 0u);
+  EXPECT_EQ(m.Mean(), 0.0);
+  EXPECT_EQ(m.PopulationVariance(), 0.0);
+  EXPECT_EQ(m.SampleVariance(), 0.0);
+}
+
+TEST(RunningMomentsTest, SingleObservation) {
+  RunningMoments m;
+  m.Add(5.0);
+  EXPECT_EQ(m.count(), 1u);
+  EXPECT_EQ(m.Mean(), 5.0);
+  EXPECT_EQ(m.PopulationVariance(), 0.0);
+  EXPECT_EQ(m.SampleVariance(), 0.0);
+  EXPECT_EQ(m.Sum(), 5.0);
+}
+
+TEST(RunningMomentsTest, KnownValues) {
+  RunningMoments m;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) m.Add(x);
+  EXPECT_DOUBLE_EQ(m.Mean(), 5.0);
+  EXPECT_DOUBLE_EQ(m.PopulationVariance(), 4.0);
+  EXPECT_NEAR(m.SampleVariance(), 32.0 / 7.0, 1e-12);
+  EXPECT_DOUBLE_EQ(m.Sum(), 40.0);
+}
+
+TEST(RunningMomentsTest, NumericallyStableWithLargeOffset) {
+  RunningMoments m;
+  const double offset = 1e12;
+  for (double x : {1.0, 2.0, 3.0}) m.Add(offset + x);
+  EXPECT_NEAR(m.Mean() - offset, 2.0, 1e-3);
+  EXPECT_NEAR(m.SampleVariance(), 1.0, 1e-3);
+}
+
+TEST(RunningMomentsTest, MergeEqualsSequential) {
+  Rng rng(41);
+  RunningMoments whole, a, b;
+  for (int i = 0; i < 1000; ++i) {
+    double x = rng.Gaussian(3.0, 2.0);
+    whole.Add(x);
+    (i < 400 ? a : b).Add(x);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_NEAR(a.Mean(), whole.Mean(), 1e-9);
+  EXPECT_NEAR(a.SampleVariance(), whole.SampleVariance(), 1e-9);
+}
+
+TEST(RunningMomentsTest, MergeWithEmpty) {
+  RunningMoments a, b;
+  a.Add(1.0);
+  a.Add(3.0);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.Mean(), 2.0);
+  b.Merge(a);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_EQ(b.Mean(), 2.0);
+}
+
+TEST(NormalTest, CdfKnownValues) {
+  EXPECT_NEAR(NormalCdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(NormalCdf(1.959964), 0.975, 1e-5);
+  EXPECT_NEAR(NormalCdf(-1.959964), 0.025, 1e-5);
+}
+
+TEST(NormalTest, QuantileKnownValues) {
+  EXPECT_NEAR(*NormalQuantile(0.5), 0.0, 1e-9);
+  EXPECT_NEAR(*NormalQuantile(0.975), 1.959964, 1e-5);
+  EXPECT_NEAR(*NormalQuantile(0.995), 2.575829, 1e-5);
+  EXPECT_NEAR(*NormalQuantile(0.84134474), 1.0, 1e-5);
+}
+
+TEST(NormalTest, QuantileInvertsCdf) {
+  for (double p : {0.001, 0.01, 0.1, 0.3, 0.5, 0.7, 0.9, 0.99, 0.999}) {
+    EXPECT_NEAR(NormalCdf(*NormalQuantile(p)), p, 1e-9) << "p=" << p;
+  }
+}
+
+TEST(NormalTest, QuantileRejectsOutOfDomain) {
+  EXPECT_FALSE(NormalQuantile(0.0).ok());
+  EXPECT_FALSE(NormalQuantile(1.0).ok());
+  EXPECT_FALSE(NormalQuantile(-0.1).ok());
+}
+
+TEST(NormalTest, ZScoreForConfidence) {
+  EXPECT_NEAR(*ZScoreForConfidence(0.95), 1.959964, 1e-5);
+  EXPECT_NEAR(*ZScoreForConfidence(0.99), 2.575829, 1e-5);
+  EXPECT_NEAR(*ZScoreForConfidence(0.6827), 1.0, 1e-3);
+  EXPECT_FALSE(ZScoreForConfidence(0.0).ok());
+  EXPECT_FALSE(ZScoreForConfidence(1.0).ok());
+}
+
+TEST(ConfidenceIntervalTest, ContainsAndWidth) {
+  ConfidenceInterval ci{2.0, 5.0};
+  EXPECT_EQ(ci.Width(), 3.0);
+  EXPECT_TRUE(ci.Contains(2.0));
+  EXPECT_TRUE(ci.Contains(5.0));
+  EXPECT_TRUE(ci.Contains(3.5));
+  EXPECT_FALSE(ci.Contains(1.999));
+  EXPECT_FALSE(ci.Contains(5.001));
+}
+
+TEST(RelativeErrorTest, Basic) {
+  EXPECT_DOUBLE_EQ(*RelativeError(110.0, 100.0), 0.1);
+  EXPECT_DOUBLE_EQ(*RelativeError(90.0, 100.0), 0.1);
+  EXPECT_DOUBLE_EQ(*RelativeError(-90.0, -100.0), 0.1);
+  EXPECT_FALSE(RelativeError(1.0, 0.0).ok());
+}
+
+TEST(VectorStatsTest, MeanAndVariance) {
+  std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(*Mean(xs), 2.5);
+  EXPECT_NEAR(*SampleVariance(xs), 5.0 / 3.0, 1e-12);
+  EXPECT_FALSE(Mean({}).ok());
+  EXPECT_FALSE(SampleVariance({1.0}).ok());
+}
+
+TEST(MedianTest, OddAndEven) {
+  EXPECT_DOUBLE_EQ(*Median({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(*Median({4.0, 1.0, 3.0, 2.0}), 2.5);
+  EXPECT_DOUBLE_EQ(*Median({7.0}), 7.0);
+  EXPECT_FALSE(Median({}).ok());
+}
+
+TEST(PercentileTest, KnownValues) {
+  std::vector<double> xs{10.0, 20.0, 30.0, 40.0, 50.0};
+  EXPECT_DOUBLE_EQ(*Percentile(xs, 0.0), 10.0);
+  EXPECT_DOUBLE_EQ(*Percentile(xs, 100.0), 50.0);
+  EXPECT_DOUBLE_EQ(*Percentile(xs, 50.0), 30.0);
+  EXPECT_DOUBLE_EQ(*Percentile(xs, 25.0), 20.0);
+  EXPECT_DOUBLE_EQ(*Percentile(xs, 12.5), 15.0);  // Interpolated.
+}
+
+TEST(PercentileTest, ErrorsOnBadInput) {
+  EXPECT_FALSE(Percentile({}, 50.0).ok());
+  EXPECT_FALSE(Percentile({1.0}, -1.0).ok());
+  EXPECT_FALSE(Percentile({1.0}, 101.0).ok());
+  EXPECT_DOUBLE_EQ(*Percentile({5.0}, 99.0), 5.0);
+}
+
+}  // namespace
+}  // namespace privateclean

@@ -1,0 +1,114 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace privateclean {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_TRUE(st.message().empty());
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, OkFactory) {
+  EXPECT_TRUE(Status::OK().ok());
+}
+
+TEST(StatusTest, ErrorFactoriesCarryCodeAndMessage) {
+  struct Case {
+    Status status;
+    StatusCode code;
+  };
+  Case cases[] = {
+      {Status::InvalidArgument("a"), StatusCode::kInvalidArgument},
+      {Status::NotFound("b"), StatusCode::kNotFound},
+      {Status::OutOfRange("c"), StatusCode::kOutOfRange},
+      {Status::FailedPrecondition("d"), StatusCode::kFailedPrecondition},
+      {Status::AlreadyExists("e"), StatusCode::kAlreadyExists},
+      {Status::IOError("f"), StatusCode::kIOError},
+      {Status::Internal("g"), StatusCode::kInternal},
+  };
+  for (const Case& c : cases) {
+    EXPECT_FALSE(c.status.ok());
+    EXPECT_EQ(c.status.code(), c.code);
+    EXPECT_FALSE(c.status.message().empty());
+  }
+}
+
+TEST(StatusTest, PredicatesMatchCodes) {
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::FailedPrecondition("x").IsFailedPrecondition());
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+  EXPECT_TRUE(Status::IOError("x").IsIOError());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+  EXPECT_FALSE(Status::NotFound("x").IsInvalidArgument());
+}
+
+TEST(StatusTest, ToStringIncludesCodeNameAndMessage) {
+  Status st = Status::InvalidArgument("p must be positive");
+  EXPECT_EQ(st.ToString(), "Invalid argument: p must be positive");
+}
+
+TEST(StatusTest, CopyPreservesState) {
+  Status st = Status::NotFound("missing");
+  Status copy = st;
+  EXPECT_TRUE(copy.IsNotFound());
+  EXPECT_EQ(copy.message(), "missing");
+  EXPECT_TRUE(st.IsNotFound());  // Source unchanged.
+}
+
+TEST(StatusTest, CopyAssignOverwrites) {
+  Status st = Status::NotFound("missing");
+  Status other;
+  other = st;
+  EXPECT_TRUE(other.IsNotFound());
+  other = Status::OK();
+  EXPECT_TRUE(other.ok());
+}
+
+TEST(StatusTest, MovePreservesState) {
+  Status st = Status::IOError("disk");
+  Status moved = std::move(st);
+  EXPECT_TRUE(moved.IsIOError());
+  EXPECT_EQ(moved.message(), "disk");
+}
+
+TEST(StatusTest, SelfAssignmentIsSafe) {
+  Status st = Status::Internal("boom");
+  Status& ref = st;
+  st = ref;
+  EXPECT_TRUE(st.IsInternal());
+  EXPECT_EQ(st.message(), "boom");
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  auto fails = []() -> Status {
+    PCLEAN_RETURN_NOT_OK(Status::InvalidArgument("inner"));
+    return Status::Internal("unreachable");
+  };
+  Status st = fails();
+  EXPECT_TRUE(st.IsInvalidArgument());
+  EXPECT_EQ(st.message(), "inner");
+}
+
+TEST(StatusTest, ReturnNotOkMacroPassesThroughOk) {
+  auto succeeds = []() -> Status {
+    PCLEAN_RETURN_NOT_OK(Status::OK());
+    return Status::AlreadyExists("reached");
+  };
+  EXPECT_TRUE(succeeds().IsAlreadyExists());
+}
+
+TEST(StatusTest, CodeNamesAreStable) {
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kNotFound), "Not found");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kIOError), "IO error");
+}
+
+}  // namespace
+}  // namespace privateclean

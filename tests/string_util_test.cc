@@ -1,0 +1,94 @@
+#include "common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace privateclean {
+namespace {
+
+TEST(TrimTest, Basic) {
+  EXPECT_EQ(TrimWhitespace("  abc  "), "abc");
+  EXPECT_EQ(TrimWhitespace("abc"), "abc");
+  EXPECT_EQ(TrimWhitespace("\t\n abc \r\n"), "abc");
+  EXPECT_EQ(TrimWhitespace("   "), "");
+  EXPECT_EQ(TrimWhitespace(""), "");
+  EXPECT_EQ(TrimWhitespace("a b"), "a b");  // Inner space preserved.
+}
+
+TEST(ToLowerTest, Basic) {
+  EXPECT_EQ(ToLowerAscii("HeLLo 123 WORLD"), "hello 123 world");
+  EXPECT_EQ(ToLowerAscii(""), "");
+}
+
+TEST(SplitTest, KeepsEmptyFields) {
+  EXPECT_EQ(Split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(Split(",", ','), (std::vector<std::string>{"", ""}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split("abc", ','), (std::vector<std::string>{"abc"}));
+}
+
+TEST(JoinTest, Basic) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({"solo"}, ","), "solo");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(SplitJoinTest, RoundTrip) {
+  std::string s = "x|y||z";
+  EXPECT_EQ(Join(Split(s, '|'), "|"), s);
+}
+
+TEST(ParseInt64Test, Valid) {
+  EXPECT_EQ(*ParseInt64("42"), 42);
+  EXPECT_EQ(*ParseInt64("-7"), -7);
+  EXPECT_EQ(*ParseInt64("  123  "), 123);
+  EXPECT_EQ(*ParseInt64("0"), 0);
+  EXPECT_EQ(*ParseInt64("9223372036854775807"), INT64_MAX);
+  EXPECT_EQ(*ParseInt64("-9223372036854775808"), INT64_MIN);
+}
+
+TEST(ParseInt64Test, Invalid) {
+  EXPECT_FALSE(ParseInt64("").ok());
+  EXPECT_FALSE(ParseInt64("abc").ok());
+  EXPECT_FALSE(ParseInt64("12x").ok());
+  EXPECT_FALSE(ParseInt64("1.5").ok());
+  EXPECT_FALSE(ParseInt64("9223372036854775808").ok());  // Overflow.
+}
+
+TEST(ParseDoubleTest, Valid) {
+  EXPECT_DOUBLE_EQ(*ParseDouble("3.14"), 3.14);
+  EXPECT_DOUBLE_EQ(*ParseDouble("-2.5e3"), -2500.0);
+  EXPECT_DOUBLE_EQ(*ParseDouble("42"), 42.0);
+  EXPECT_DOUBLE_EQ(*ParseDouble(" 0.5 "), 0.5);
+}
+
+TEST(ParseDoubleTest, Invalid) {
+  EXPECT_FALSE(ParseDouble("").ok());
+  EXPECT_FALSE(ParseDouble("pi").ok());
+  EXPECT_FALSE(ParseDouble("1.5.2").ok());
+  EXPECT_FALSE(ParseDouble("3.14abc").ok());
+}
+
+TEST(FormatDoubleTest, IntegralValuesCompact) {
+  EXPECT_EQ(FormatDouble(42.0), "42");
+  EXPECT_EQ(FormatDouble(-3.0), "-3");
+  EXPECT_EQ(FormatDouble(0.0), "0");
+}
+
+TEST(FormatDoubleTest, RoundTrips) {
+  for (double v : {3.14159, -0.001, 1e-10, 12345.6789, 2.0 / 3.0}) {
+    EXPECT_DOUBLE_EQ(*ParseDouble(FormatDouble(v)), v) << v;
+  }
+}
+
+TEST(StartsEndsWithTest, Basic) {
+  EXPECT_TRUE(StartsWith("privateclean", "private"));
+  EXPECT_FALSE(StartsWith("private", "privateclean"));
+  EXPECT_TRUE(StartsWith("abc", ""));
+  EXPECT_TRUE(EndsWith("file.csv", ".csv"));
+  EXPECT_FALSE(EndsWith(".csv", "file.csv"));
+  EXPECT_TRUE(EndsWith("abc", ""));
+}
+
+}  // namespace
+}  // namespace privateclean

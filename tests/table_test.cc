@@ -1,0 +1,168 @@
+#include "table/table.h"
+
+#include <gtest/gtest.h>
+
+#include "table/table_builder.h"
+
+namespace privateclean {
+namespace {
+
+Schema TestSchema() {
+  return *Schema::Make({Field::Discrete("major"),
+                        Field::Numerical("score", ValueType::kDouble)});
+}
+
+Table TestTable() {
+  TableBuilder b(TestSchema());
+  b.Row({Value("EECS"), Value(4.0)})
+      .Row({Value("Math"), Value(3.0)})
+      .Row({Value("EECS"), Value(5.0)});
+  return *b.Finish();
+}
+
+TEST(TableTest, MakeEmpty) {
+  Table t = *Table::MakeEmpty(TestSchema());
+  EXPECT_EQ(t.num_rows(), 0u);
+  EXPECT_EQ(t.num_columns(), 2u);
+}
+
+TEST(TableTest, MakeValidatesColumnCount) {
+  Column c = *Column::Make(ValueType::kString);
+  auto r = Table::Make(TestSchema(), {std::move(c)});
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(TableTest, MakeValidatesColumnTypes) {
+  Column a = *Column::Make(ValueType::kString);
+  Column b = *Column::Make(ValueType::kInt64);  // Schema wants double.
+  EXPECT_FALSE(Table::Make(TestSchema(), {std::move(a), std::move(b)}).ok());
+}
+
+TEST(TableTest, MakeValidatesEqualLengths) {
+  Column a = *Column::Make(ValueType::kString);
+  a.AppendString("x");
+  Column b = *Column::Make(ValueType::kDouble);
+  EXPECT_FALSE(Table::Make(TestSchema(), {std::move(a), std::move(b)}).ok());
+}
+
+TEST(TableTest, AppendRowAndAccess) {
+  Table t = TestTable();
+  EXPECT_EQ(t.num_rows(), 3u);
+  EXPECT_EQ(*t.GetValue(0, "major"), Value("EECS"));
+  EXPECT_EQ(*t.GetValue(1, "score"), Value(3.0));
+}
+
+TEST(TableTest, AppendRowRejectsWrongArity) {
+  Table t = TestTable();
+  EXPECT_FALSE(t.AppendRow({Value("x")}).ok());
+  EXPECT_EQ(t.num_rows(), 3u);
+}
+
+TEST(TableTest, AppendRowAtomicOnTypeError) {
+  Table t = TestTable();
+  // Second cell has the wrong type; no column may be modified.
+  EXPECT_FALSE(t.AppendRow({Value("x"), Value("not a number")}).ok());
+  EXPECT_EQ(t.column(0).size(), 3u);
+  EXPECT_EQ(t.column(1).size(), 3u);
+}
+
+TEST(TableTest, AppendRowAcceptsNulls) {
+  Table t = TestTable();
+  EXPECT_TRUE(t.AppendRow({Value::Null(), Value::Null()}).ok());
+  EXPECT_TRUE(t.column(0).IsNull(3));
+}
+
+TEST(TableTest, SetValue) {
+  Table t = TestTable();
+  EXPECT_TRUE(t.SetValue(0, "major", Value("Physics")).ok());
+  EXPECT_EQ(*t.GetValue(0, "major"), Value("Physics"));
+  EXPECT_FALSE(t.SetValue(0, "nope", Value(1)).ok());
+  EXPECT_FALSE(t.SetValue(99, "major", Value("x")).ok());
+}
+
+TEST(TableTest, ColumnByName) {
+  Table t = TestTable();
+  EXPECT_EQ((*t.ColumnByName("score"))->size(), 3u);
+  EXPECT_TRUE(t.ColumnByName("nope").status().IsNotFound());
+}
+
+TEST(TableTest, AddColumn) {
+  Table t = TestTable();
+  Column c = *Column::Make(ValueType::kString);
+  c.AppendString("a");
+  c.AppendString("b");
+  c.AppendString("c");
+  EXPECT_TRUE(t.AddColumn(Field::Discrete("extra"), std::move(c)).ok());
+  EXPECT_EQ(t.num_columns(), 3u);
+  EXPECT_EQ(*t.GetValue(2, "extra"), Value("c"));
+}
+
+TEST(TableTest, AddColumnRejectsLengthMismatch) {
+  Table t = TestTable();
+  Column c = *Column::Make(ValueType::kString);
+  c.AppendString("only one");
+  EXPECT_FALSE(t.AddColumn(Field::Discrete("extra"), std::move(c)).ok());
+}
+
+TEST(TableTest, AddColumnRejectsDuplicateName) {
+  Table t = TestTable();
+  Column c = *Column::Make(ValueType::kString);
+  for (int i = 0; i < 3; ++i) c.AppendString("x");
+  EXPECT_FALSE(t.AddColumn(Field::Discrete("major"), std::move(c)).ok());
+}
+
+TEST(TableTest, CloneIsDeep) {
+  Table t = TestTable();
+  Table copy = t.Clone();
+  EXPECT_TRUE(copy.SetValue(0, "major", Value("Changed")).ok());
+  EXPECT_EQ(*t.GetValue(0, "major"), Value("EECS"));
+  EXPECT_EQ(*copy.GetValue(0, "major"), Value("Changed"));
+}
+
+TEST(TableTest, Filter) {
+  Table t = TestTable();
+  Table kept = *t.Filter({1, 0, 1});
+  EXPECT_EQ(kept.num_rows(), 2u);
+  EXPECT_EQ(*kept.GetValue(0, "major"), Value("EECS"));
+  EXPECT_EQ(*kept.GetValue(1, "score"), Value(5.0));
+}
+
+TEST(TableTest, FilterRejectsBadMask) {
+  Table t = TestTable();
+  EXPECT_FALSE(t.Filter({1, 0}).ok());
+}
+
+TEST(TableTest, ToStringRendersHeaderAndRows) {
+  Table t = TestTable();
+  std::string s = t.ToString();
+  EXPECT_NE(s.find("major"), std::string::npos);
+  EXPECT_NE(s.find("EECS"), std::string::npos);
+  EXPECT_NE(s.find("3"), std::string::npos);
+}
+
+TEST(TableTest, ToStringTruncates) {
+  Table t = TestTable();
+  std::string s = t.ToString(1);
+  EXPECT_NE(s.find("more rows"), std::string::npos);
+}
+
+TEST(TableBuilderTest, DefersErrorsToFinish) {
+  TableBuilder b(TestSchema());
+  b.Row({Value("ok"), Value(1.0)});
+  b.Row({Value("bad"), Value("wrong type")});
+  b.Row({Value("after"), Value(2.0)});
+  auto r = b.Finish();
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInvalidArgument());
+}
+
+TEST(TableBuilderTest, ReserveAndCount) {
+  TableBuilder b(TestSchema());
+  b.Reserve(10);
+  b.Row({Value("a"), Value(1.0)});
+  EXPECT_EQ(b.num_rows(), 1u);
+  EXPECT_EQ(b.Finish()->num_rows(), 1u);
+}
+
+}  // namespace
+}  // namespace privateclean

@@ -1,0 +1,170 @@
+#include "cleaning/transform.h"
+
+#include <gtest/gtest.h>
+
+#include "table/domain.h"
+#include "table/table_builder.h"
+
+namespace privateclean {
+namespace {
+
+Schema TestSchema() {
+  return *Schema::Make({Field::Discrete("major"),
+                        Field::Discrete("campus"),
+                        Field::Numerical("score", ValueType::kDouble)});
+}
+
+Table TestTable() {
+  TableBuilder b(TestSchema());
+  b.Row({Value("eecs"), Value("North"), Value(4.0)})
+      .Row({Value("math"), Value("South"), Value(3.0)})
+      .Row({Value("EECS"), Value("North"), Value(2.0)})
+      .Row({Value::Null(), Value("South"), Value(1.0)});
+  return *b.Finish();
+}
+
+TEST(ValueTransformTest, UppercasesValues) {
+  Table t = TestTable();
+  ValueTransform upper("major", [](const Value& v) {
+    if (v.is_null()) return v;
+    std::string s = v.AsString();
+    for (char& c : s) c = static_cast<char>(std::toupper(c));
+    return Value(s);
+  });
+  ASSERT_TRUE(upper.Apply(&t).ok());
+  EXPECT_EQ(*t.GetValue(0, "major"), Value("EECS"));
+  EXPECT_EQ(*t.GetValue(1, "major"), Value("MATH"));
+  EXPECT_EQ(*t.GetValue(2, "major"), Value("EECS"));
+  EXPECT_TRUE(t.GetValue(3, "major")->is_null());
+}
+
+TEST(ValueTransformTest, UdfCalledOncePerDistinctValue) {
+  Table t = TestTable();
+  int calls = 0;
+  ValueTransform count("major", [&calls](const Value& v) {
+    ++calls;
+    return v;
+  });
+  ASSERT_TRUE(count.Apply(&t).ok());
+  EXPECT_EQ(calls, 4);  // eecs, math, EECS, null.
+}
+
+TEST(ValueTransformTest, NullCanBeFilled) {
+  Table t = TestTable();
+  ValueTransform fill("major", [](const Value& v) {
+    return v.is_null() ? Value("Undeclared") : v;
+  });
+  ASSERT_TRUE(fill.Apply(&t).ok());
+  EXPECT_EQ(*t.GetValue(3, "major"), Value("Undeclared"));
+}
+
+TEST(ValueTransformTest, RejectsNumericalAttribute) {
+  Table t = TestTable();
+  ValueTransform bad("score", [](const Value& v) { return v; });
+  Status st = bad.Apply(&t);
+  EXPECT_TRUE(st.IsInvalidArgument());
+}
+
+TEST(ValueTransformTest, RejectsMissingAttribute) {
+  Table t = TestTable();
+  ValueTransform bad("nope", [](const Value& v) { return v; });
+  EXPECT_FALSE(bad.Apply(&t).ok());
+}
+
+TEST(ValueTransformTest, RejectsNullTable) {
+  ValueTransform vt("major", [](const Value& v) { return v; });
+  EXPECT_TRUE(vt.Apply(nullptr).IsInvalidArgument());
+}
+
+TEST(ValueTransformTest, KindAndName) {
+  ValueTransform vt("major", [](const Value& v) { return v; });
+  EXPECT_EQ(vt.kind(), CleanerKind::kTransform);
+  EXPECT_EQ(vt.name(), "transform(major)");
+  EXPECT_FALSE(vt.extracted_attribute().has_value());
+}
+
+TEST(ProjectionTransformTest, RewritesTuples) {
+  Table t = TestTable();
+  // Normalize major to lowercase AND rename campus in one deterministic
+  // per-tuple rewrite.
+  ProjectionTransform pt(
+      {"major", "campus"},
+      [](const std::vector<Value>& tuple) {
+        std::vector<Value> out = tuple;
+        if (!out[0].is_null()) {
+          std::string s = out[0].AsString();
+          for (char& c : s) c = static_cast<char>(std::tolower(c));
+          out[0] = Value(s);
+        }
+        if (out[1] == Value("North")) out[1] = Value("N");
+        return out;
+      });
+  ASSERT_TRUE(pt.Apply(&t).ok());
+  EXPECT_EQ(*t.GetValue(0, "major"), Value("eecs"));
+  EXPECT_EQ(*t.GetValue(2, "major"), Value("eecs"));
+  EXPECT_EQ(*t.GetValue(0, "campus"), Value("N"));
+  EXPECT_EQ(*t.GetValue(1, "campus"), Value("South"));
+}
+
+TEST(ProjectionTransformTest, UdfCalledOncePerDistinctTuple) {
+  Table t = TestTable();
+  int calls = 0;
+  ProjectionTransform pt({"major", "campus"},
+                         [&calls](const std::vector<Value>& tuple) {
+                           ++calls;
+                           return tuple;
+                         });
+  ASSERT_TRUE(pt.Apply(&t).ok());
+  EXPECT_EQ(calls, 4);  // All four tuples are distinct here.
+}
+
+TEST(ProjectionTransformTest, CachedTupleReuse) {
+  Schema s = *Schema::Make({Field::Discrete("a"), Field::Discrete("b")});
+  TableBuilder b(s);
+  for (int i = 0; i < 10; ++i) b.Row({Value("x"), Value("y")});
+  Table t = *b.Finish();
+  int calls = 0;
+  ProjectionTransform pt({"a", "b"},
+                         [&calls](const std::vector<Value>& tuple) {
+                           ++calls;
+                           return tuple;
+                         });
+  ASSERT_TRUE(pt.Apply(&t).ok());
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ProjectionTransformTest, RejectsArityChange) {
+  Table t = TestTable();
+  ProjectionTransform bad({"major", "campus"},
+                          [](const std::vector<Value>& tuple) {
+                            return std::vector<Value>{tuple[0]};
+                          });
+  EXPECT_TRUE(bad.Apply(&t).IsInvalidArgument());
+}
+
+TEST(ProjectionTransformTest, RejectsEmptyProjection) {
+  Table t = TestTable();
+  ProjectionTransform bad({}, [](const std::vector<Value>& tuple) {
+    return tuple;
+  });
+  EXPECT_TRUE(bad.Apply(&t).IsInvalidArgument());
+}
+
+TEST(ProjectionTransformTest, RejectsNumericalInProjection) {
+  Table t = TestTable();
+  ProjectionTransform bad({"major", "score"},
+                          [](const std::vector<Value>& tuple) {
+                            return tuple;
+                          });
+  EXPECT_TRUE(bad.Apply(&t).IsInvalidArgument());
+}
+
+TEST(ProjectionTransformTest, Name) {
+  ProjectionTransform pt({"a", "b"}, [](const std::vector<Value>& tuple) {
+    return tuple;
+  });
+  EXPECT_EQ(pt.name(), "transform(a, b)");
+}
+
+}  // namespace
+}  // namespace privateclean

@@ -1,0 +1,98 @@
+#include "table/value.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace privateclean {
+namespace {
+
+TEST(ValueTest, DefaultIsNull) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_EQ(v.type(), ValueType::kNull);
+  EXPECT_EQ(v, Value::Null());
+}
+
+TEST(ValueTest, TypedConstruction) {
+  EXPECT_EQ(Value(int64_t{7}).type(), ValueType::kInt64);
+  EXPECT_EQ(Value(7).type(), ValueType::kInt64);  // int promotes to int64.
+  EXPECT_EQ(Value(3.5).type(), ValueType::kDouble);
+  EXPECT_EQ(Value("abc").type(), ValueType::kString);
+  EXPECT_EQ(Value(std::string("abc")).type(), ValueType::kString);
+}
+
+TEST(ValueTest, Accessors) {
+  EXPECT_EQ(Value(42).AsInt64(), 42);
+  EXPECT_DOUBLE_EQ(Value(2.5).AsDouble(), 2.5);
+  EXPECT_EQ(Value("hi").AsString(), "hi");
+}
+
+TEST(ValueTest, ToNumeric) {
+  EXPECT_DOUBLE_EQ(Value(3).ToNumeric(), 3.0);
+  EXPECT_DOUBLE_EQ(Value(2.5).ToNumeric(), 2.5);
+  EXPECT_DOUBLE_EQ(Value("x").ToNumeric(), 0.0);
+  EXPECT_DOUBLE_EQ(Value::Null().ToNumeric(), 0.0);
+}
+
+TEST(ValueTest, EqualityIsTypeAware) {
+  EXPECT_EQ(Value(1), Value(1));
+  EXPECT_NE(Value(1), Value(2));
+  EXPECT_NE(Value(1), Value(1.0));  // int64 != double.
+  EXPECT_NE(Value(0), Value::Null());
+  EXPECT_NE(Value(""), Value::Null());
+  EXPECT_EQ(Value::Null(), Value::Null());
+  EXPECT_EQ(Value("a"), Value("a"));
+}
+
+TEST(ValueTest, OrderingIsTotal) {
+  // Order by type index, then payload.
+  EXPECT_LT(Value::Null(), Value(0));
+  EXPECT_LT(Value(5), Value(1.0));     // int64 before double.
+  EXPECT_LT(Value(9.0), Value(""));    // double before string.
+  EXPECT_LT(Value(1), Value(2));
+  EXPECT_LT(Value("a"), Value("b"));
+}
+
+TEST(ValueTest, ToStringRendering) {
+  EXPECT_EQ(Value::Null().ToString(), "");
+  EXPECT_EQ(Value(42).ToString(), "42");
+  EXPECT_EQ(Value(2.5).ToString(), "2.5");
+  EXPECT_EQ(Value(3.0).ToString(), "3");
+  EXPECT_EQ(Value("text").ToString(), "text");
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  EXPECT_EQ(Value("abc").Hash(), Value("abc").Hash());
+  EXPECT_EQ(Value(7).Hash(), Value(7).Hash());
+  EXPECT_EQ(Value::Null().Hash(), Value::Null().Hash());
+}
+
+TEST(ValueTest, HashDistinguishesTypes) {
+  // int64(0), double(0.0), "" and null should not all collide.
+  std::unordered_set<size_t> hashes{Value(0).Hash(), Value(0.0).Hash(),
+                                    Value("").Hash(), Value::Null().Hash()};
+  EXPECT_GE(hashes.size(), 3u);
+}
+
+TEST(ValueTest, WorksAsUnorderedKey) {
+  std::unordered_set<Value, ValueHash> set;
+  set.insert(Value("a"));
+  set.insert(Value("a"));
+  set.insert(Value(1));
+  set.insert(Value::Null());
+  EXPECT_EQ(set.size(), 3u);
+  EXPECT_TRUE(set.count(Value("a")));
+  EXPECT_TRUE(set.count(Value::Null()));
+  EXPECT_FALSE(set.count(Value("b")));
+}
+
+TEST(ValueTypeTest, Names) {
+  EXPECT_STREQ(ValueTypeToString(ValueType::kNull), "null");
+  EXPECT_STREQ(ValueTypeToString(ValueType::kInt64), "int64");
+  EXPECT_STREQ(ValueTypeToString(ValueType::kDouble), "double");
+  EXPECT_STREQ(ValueTypeToString(ValueType::kString), "string");
+}
+
+}  // namespace
+}  // namespace privateclean

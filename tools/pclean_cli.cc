@@ -1,0 +1,263 @@
+#include "tools/pclean_cli.h"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "common/string_util.h"
+#include "core/privateclean.h"
+
+namespace privateclean {
+
+namespace {
+
+/// Parsed command line: flag -> values (repeatable flags keep all).
+struct ParsedArgs {
+  std::map<std::string, std::vector<std::string>> flags;
+
+  bool Has(const std::string& name) const { return flags.count(name) > 0; }
+
+  Result<std::string> One(const std::string& name) const {
+    auto it = flags.find(name);
+    if (it == flags.end() || it->second.empty()) {
+      return Status::InvalidArgument("missing required flag --" + name);
+    }
+    if (it->second.size() > 1) {
+      return Status::InvalidArgument("flag --" + name +
+                                     " given more than once");
+    }
+    return it->second[0];
+  }
+
+  const std::vector<std::string>& All(const std::string& name) const {
+    static const std::vector<std::string> kEmpty;
+    auto it = flags.find(name);
+    return it == flags.end() ? kEmpty : it->second;
+  }
+};
+
+Result<ParsedArgs> ParseFlags(const std::vector<std::string>& args,
+                              size_t start) {
+  ParsedArgs parsed;
+  for (size_t i = start; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    if (arg.rfind("--", 0) != 0 || arg.size() <= 2) {
+      return Status::InvalidArgument("expected a --flag, got '" + arg +
+                                     "'");
+    }
+    std::string name = arg.substr(2);
+    // --flag=value or --flag value.
+    if (auto eq = name.find('='); eq != std::string::npos) {
+      parsed.flags[name.substr(0, eq)].push_back(name.substr(eq + 1));
+    } else if (name == "direct") {  // Boolean flags.
+      parsed.flags[name].push_back("true");
+    } else {
+      if (i + 1 >= args.size()) {
+        return Status::InvalidArgument("flag --" + name +
+                                       " expects a value");
+      }
+      parsed.flags[name].push_back(args[++i]);
+    }
+  }
+  return parsed;
+}
+
+Result<double> ParseFlagDouble(const ParsedArgs& args,
+                               const std::string& name) {
+  PCLEAN_ASSIGN_OR_RETURN(std::string text, args.One(name));
+  return ParseDouble(text);
+}
+
+void PrintUsage(std::ostream& out) {
+  out << "pclean - PrivateClean command-line tool\n"
+         "\n"
+         "  pclean privatize --input data.csv --output release_dir\n"
+         "         (--epsilon E | --p P --b B | --count-error TARGET)\n"
+         "         [--seed N]\n"
+         "  pclean info --release release_dir\n"
+         "  pclean query --release release_dir --sql \"SELECT ...\"\n"
+         "         [--direct] [--confidence C]\n"
+         "         [--replace attr:from=to]...\n";
+}
+
+Status RunPrivatize(const ParsedArgs& args, std::ostream& out) {
+  PCLEAN_ASSIGN_OR_RETURN(std::string input, args.One("input"));
+  PCLEAN_ASSIGN_OR_RETURN(std::string output, args.One("output"));
+
+  std::ifstream f(input, std::ios::binary);
+  if (!f) return Status::IOError("cannot open '" + input + "'");
+  std::ostringstream buffer;
+  buffer << f.rdbuf();
+  std::string text = buffer.str();
+
+  PCLEAN_ASSIGN_OR_RETURN(Schema schema, InferCsvSchema(text));
+  PCLEAN_ASSIGN_OR_RETURN(Table table, CsvToTable(text, schema));
+
+  uint64_t seed = 0;
+  if (args.Has("seed")) {
+    PCLEAN_ASSIGN_OR_RETURN(std::string seed_text, args.One("seed"));
+    PCLEAN_ASSIGN_OR_RETURN(int64_t parsed, ParseInt64(seed_text));
+    seed = static_cast<uint64_t>(parsed);
+  }
+  Rng rng(seed != 0 ? seed : 0x9E3779B97F4A7C15ULL);
+
+  GrrParams params;
+  if (args.Has("epsilon")) {
+    PCLEAN_ASSIGN_OR_RETURN(double epsilon, ParseFlagDouble(args, "epsilon"));
+    PCLEAN_ASSIGN_OR_RETURN(params, AllocateEpsilonBudget(table, epsilon));
+  } else if (args.Has("count-error")) {
+    PCLEAN_ASSIGN_OR_RETURN(double target,
+                            ParseFlagDouble(args, "count-error"));
+    PCLEAN_ASSIGN_OR_RETURN(TuningResult tuning,
+                            TunePrivacyParameters(table, target));
+    params = ToGrrParams(tuning);
+  } else if (args.Has("p") && args.Has("b")) {
+    PCLEAN_ASSIGN_OR_RETURN(double p, ParseFlagDouble(args, "p"));
+    PCLEAN_ASSIGN_OR_RETURN(double b, ParseFlagDouble(args, "b"));
+    params = GrrParams::Uniform(p, b);
+  } else {
+    return Status::InvalidArgument(
+        "privatize needs --epsilon, --count-error, or both --p and --b");
+  }
+
+  PCLEAN_ASSIGN_OR_RETURN(GrrOutput grr,
+                          ApplyGrr(table, params, GrrOptions{}, rng));
+  PCLEAN_RETURN_NOT_OK(WriteRelease(grr, output));
+  PCLEAN_ASSIGN_OR_RETURN(PrivacyReport report,
+                          AccountPrivacy(grr.metadata));
+  out << "wrote release: " << output << "\n";
+  out << "  rows: " << grr.table.num_rows() << "\n";
+  out << "  total epsilon: " << FormatDouble(report.total_epsilon) << "\n";
+  if (grr.total_regenerations > 0) {
+    out << "  regenerations: " << grr.total_regenerations << "\n";
+  }
+  return Status::OK();
+}
+
+Status RunInfo(const ParsedArgs& args, std::ostream& out) {
+  PCLEAN_ASSIGN_OR_RETURN(std::string dir, args.One("release"));
+  PCLEAN_ASSIGN_OR_RETURN(LoadedRelease release, ReadRelease(dir));
+  PCLEAN_ASSIGN_OR_RETURN(PrivacyReport report,
+                          AccountPrivacy(release.metadata));
+  out << "release: " << dir << "\n";
+  out << "  rows: " << release.relation.num_rows() << "\n";
+  out << "  attributes:\n";
+  const Schema& schema = release.relation.schema();
+  for (size_t i = 0; i < schema.num_fields(); ++i) {
+    const Field& field = schema.field(i);
+    out << "    " << field.name << " ("
+        << AttributeKindToString(field.kind) << " "
+        << ValueTypeToString(field.type) << ")";
+    if (field.kind == AttributeKind::kDiscrete) {
+      const auto& meta = release.metadata.discrete.at(field.name);
+      out << "  p=" << FormatDouble(meta.p)
+          << "  N=" << meta.domain.size();
+    } else {
+      const auto& meta = release.metadata.numeric.at(field.name);
+      out << "  b=" << FormatDouble(meta.b)
+          << "  sensitivity=" << FormatDouble(meta.sensitivity);
+    }
+    out << "  epsilon="
+        << FormatDouble(report.per_attribute_epsilon.at(field.name))
+        << "\n";
+  }
+  out << "  total epsilon: " << FormatDouble(report.total_epsilon) << "\n";
+  return Status::OK();
+}
+
+/// Parses a --replace rule "attr:from=to" with values typed by the
+/// attribute's column type.
+Status ApplyReplaceRule(PrivateTable* table, const std::string& rule) {
+  auto colon = rule.find(':');
+  auto eq = rule.find('=', colon == std::string::npos ? 0 : colon + 1);
+  if (colon == std::string::npos || eq == std::string::npos ||
+      colon == 0 || eq <= colon + 1) {
+    return Status::InvalidArgument(
+        "--replace expects attr:from=to, got '" + rule + "'");
+  }
+  std::string attr = rule.substr(0, colon);
+  std::string from_text = rule.substr(colon + 1, eq - colon - 1);
+  std::string to_text = rule.substr(eq + 1);
+  PCLEAN_ASSIGN_OR_RETURN(Field field,
+                          table->relation().schema().FieldByName(attr));
+  auto typed = [&](const std::string& text) -> Result<Value> {
+    if (text == "\\N") return Value::Null();
+    switch (field.type) {
+      case ValueType::kInt64: {
+        PCLEAN_ASSIGN_OR_RETURN(int64_t v, ParseInt64(text));
+        return Value(v);
+      }
+      case ValueType::kDouble: {
+        PCLEAN_ASSIGN_OR_RETURN(double v, ParseDouble(text));
+        return Value(v);
+      }
+      default:
+        return Value(text);
+    }
+  };
+  PCLEAN_ASSIGN_OR_RETURN(Value from, typed(from_text));
+  PCLEAN_ASSIGN_OR_RETURN(Value to, typed(to_text));
+  return table->Clean(
+      FindReplace::Single(attr, std::move(from), std::move(to)));
+}
+
+Status RunQuery(const ParsedArgs& args, std::ostream& out) {
+  PCLEAN_ASSIGN_OR_RETURN(std::string dir, args.One("release"));
+  PCLEAN_ASSIGN_OR_RETURN(std::string sql, args.One("sql"));
+  PCLEAN_ASSIGN_OR_RETURN(PrivateTable table, OpenRelease(dir));
+  for (const std::string& rule : args.All("replace")) {
+    PCLEAN_RETURN_NOT_OK(ApplyReplaceRule(&table, rule));
+  }
+  QueryOptions options;
+  if (args.Has("confidence")) {
+    PCLEAN_ASSIGN_OR_RETURN(options.confidence,
+                            ParseFlagDouble(args, "confidence"));
+  }
+  if (args.Has("direct")) {
+    PCLEAN_ASSIGN_OR_RETURN(QueryResult r, ExecuteSqlDirect(table, sql));
+    out << "direct: " << FormatDouble(r.estimate) << "\n";
+    return Status::OK();
+  }
+  PCLEAN_ASSIGN_OR_RETURN(QueryResult r, ExecuteSql(table, sql, options));
+  out << "estimate: " << FormatDouble(r.estimate) << "\n";
+  if (r.ci.Width() > 0.0) {
+    out << FormatDouble(options.confidence * 100) << "% CI: ["
+        << FormatDouble(r.ci.lo) << ", " << FormatDouble(r.ci.hi) << "]\n";
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+int RunPcleanCli(const std::vector<std::string>& args, std::ostream& out,
+                 std::ostream& err) {
+  if (args.empty() || args[0] == "help" || args[0] == "--help") {
+    PrintUsage(out);
+    return args.empty() ? 1 : 0;
+  }
+  const std::string& command = args[0];
+  auto parsed = ParseFlags(args, 1);
+  if (!parsed.ok()) {
+    err << "pclean: " << parsed.status().ToString() << "\n";
+    return 1;
+  }
+  Status st;
+  if (command == "privatize") {
+    st = RunPrivatize(*parsed, out);
+  } else if (command == "info") {
+    st = RunInfo(*parsed, out);
+  } else if (command == "query") {
+    st = RunQuery(*parsed, out);
+  } else {
+    err << "pclean: unknown command '" << command << "'\n";
+    PrintUsage(err);
+    return 1;
+  }
+  if (!st.ok()) {
+    err << "pclean " << command << ": " << st.ToString() << "\n";
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace privateclean
