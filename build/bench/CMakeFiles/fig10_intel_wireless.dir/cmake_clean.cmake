@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_intel_wireless.dir/fig10_intel_wireless.cc.o"
+  "CMakeFiles/fig10_intel_wireless.dir/fig10_intel_wireless.cc.o.d"
+  "fig10_intel_wireless"
+  "fig10_intel_wireless.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_intel_wireless.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_mcafe.dir/fig11_mcafe.cc.o"
+  "CMakeFiles/fig11_mcafe.dir/fig11_mcafe.cc.o.d"
+  "fig11_mcafe"
+  "fig11_mcafe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_mcafe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

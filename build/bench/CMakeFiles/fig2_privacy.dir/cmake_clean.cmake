@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_privacy.dir/fig2_privacy.cc.o"
+  "CMakeFiles/fig2_privacy.dir/fig2_privacy.cc.o.d"
+  "fig2_privacy"
+  "fig2_privacy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_privacy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_selectivity.dir/fig3_selectivity.cc.o"
+  "CMakeFiles/fig3_selectivity.dir/fig3_selectivity.cc.o.d"
+  "fig3_selectivity"
+  "fig3_selectivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_selectivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_skew.dir/fig4_skew.cc.o"
+  "CMakeFiles/fig4_skew.dir/fig4_skew.cc.o.d"
+  "fig4_skew"
+  "fig4_skew.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_skew.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_merge_rate.dir/fig6_merge_rate.cc.o"
+  "CMakeFiles/fig6_merge_rate.dir/fig6_merge_rate.cc.o.d"
+  "fig6_merge_rate"
+  "fig6_merge_rate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_merge_rate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_multiattr.dir/fig7_multiattr.cc.o"
+  "CMakeFiles/fig7_multiattr.dir/fig7_multiattr.cc.o.d"
+  "fig7_multiattr"
+  "fig7_multiattr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_multiattr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_tpcds.dir/fig8_tpcds.cc.o"
+  "CMakeFiles/fig8_tpcds.dir/fig8_tpcds.cc.o.d"
+  "fig8_tpcds"
+  "fig8_tpcds.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_tpcds.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

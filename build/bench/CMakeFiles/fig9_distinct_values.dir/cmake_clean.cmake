@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_distinct_values.dir/fig9_distinct_values.cc.o"
+  "CMakeFiles/fig9_distinct_values.dir/fig9_distinct_values.cc.o.d"
+  "fig9_distinct_values"
+  "fig9_distinct_values.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_distinct_values.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

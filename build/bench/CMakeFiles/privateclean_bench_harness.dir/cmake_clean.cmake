@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/privateclean_bench_harness.dir/harness.cc.o"
+  "CMakeFiles/privateclean_bench_harness.dir/harness.cc.o.d"
+  "libprivateclean_bench_harness.a"
+  "libprivateclean_bench_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/privateclean_bench_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/course_evaluations.dir/course_evaluations.cpp.o"
+  "CMakeFiles/course_evaluations.dir/course_evaluations.cpp.o.d"
+  "course_evaluations"
+  "course_evaluations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/course_evaluations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

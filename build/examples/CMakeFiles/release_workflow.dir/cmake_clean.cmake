@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/release_workflow.dir/release_workflow.cpp.o"
+  "CMakeFiles/release_workflow.dir/release_workflow.cpp.o.d"
+  "release_workflow"
+  "release_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/release_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpcds_repair.dir/tpcds_repair.cpp.o"
+  "CMakeFiles/tpcds_repair.dir/tpcds_repair.cpp.o.d"
+  "tpcds_repair"
+  "tpcds_repair.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpcds_repair.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

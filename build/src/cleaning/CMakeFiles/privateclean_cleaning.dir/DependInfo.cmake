@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cleaning/cleaner.cc" "src/cleaning/CMakeFiles/privateclean_cleaning.dir/cleaner.cc.o" "gcc" "src/cleaning/CMakeFiles/privateclean_cleaning.dir/cleaner.cc.o.d"
+  "/root/repo/src/cleaning/constraints.cc" "src/cleaning/CMakeFiles/privateclean_cleaning.dir/constraints.cc.o" "gcc" "src/cleaning/CMakeFiles/privateclean_cleaning.dir/constraints.cc.o.d"
+  "/root/repo/src/cleaning/extract.cc" "src/cleaning/CMakeFiles/privateclean_cleaning.dir/extract.cc.o" "gcc" "src/cleaning/CMakeFiles/privateclean_cleaning.dir/extract.cc.o.d"
+  "/root/repo/src/cleaning/fd_repair.cc" "src/cleaning/CMakeFiles/privateclean_cleaning.dir/fd_repair.cc.o" "gcc" "src/cleaning/CMakeFiles/privateclean_cleaning.dir/fd_repair.cc.o.d"
+  "/root/repo/src/cleaning/md_repair.cc" "src/cleaning/CMakeFiles/privateclean_cleaning.dir/md_repair.cc.o" "gcc" "src/cleaning/CMakeFiles/privateclean_cleaning.dir/md_repair.cc.o.d"
+  "/root/repo/src/cleaning/merge.cc" "src/cleaning/CMakeFiles/privateclean_cleaning.dir/merge.cc.o" "gcc" "src/cleaning/CMakeFiles/privateclean_cleaning.dir/merge.cc.o.d"
+  "/root/repo/src/cleaning/pipeline.cc" "src/cleaning/CMakeFiles/privateclean_cleaning.dir/pipeline.cc.o" "gcc" "src/cleaning/CMakeFiles/privateclean_cleaning.dir/pipeline.cc.o.d"
+  "/root/repo/src/cleaning/transform.cc" "src/cleaning/CMakeFiles/privateclean_cleaning.dir/transform.cc.o" "gcc" "src/cleaning/CMakeFiles/privateclean_cleaning.dir/transform.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/table/CMakeFiles/privateclean_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/privateclean_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/privateclean_cleaning.dir/cleaner.cc.o"
+  "CMakeFiles/privateclean_cleaning.dir/cleaner.cc.o.d"
+  "CMakeFiles/privateclean_cleaning.dir/constraints.cc.o"
+  "CMakeFiles/privateclean_cleaning.dir/constraints.cc.o.d"
+  "CMakeFiles/privateclean_cleaning.dir/extract.cc.o"
+  "CMakeFiles/privateclean_cleaning.dir/extract.cc.o.d"
+  "CMakeFiles/privateclean_cleaning.dir/fd_repair.cc.o"
+  "CMakeFiles/privateclean_cleaning.dir/fd_repair.cc.o.d"
+  "CMakeFiles/privateclean_cleaning.dir/md_repair.cc.o"
+  "CMakeFiles/privateclean_cleaning.dir/md_repair.cc.o.d"
+  "CMakeFiles/privateclean_cleaning.dir/merge.cc.o"
+  "CMakeFiles/privateclean_cleaning.dir/merge.cc.o.d"
+  "CMakeFiles/privateclean_cleaning.dir/pipeline.cc.o"
+  "CMakeFiles/privateclean_cleaning.dir/pipeline.cc.o.d"
+  "CMakeFiles/privateclean_cleaning.dir/transform.cc.o"
+  "CMakeFiles/privateclean_cleaning.dir/transform.cc.o.d"
+  "libprivateclean_cleaning.a"
+  "libprivateclean_cleaning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/privateclean_cleaning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/privateclean_common.dir/edit_distance.cc.o"
+  "CMakeFiles/privateclean_common.dir/edit_distance.cc.o.d"
+  "CMakeFiles/privateclean_common.dir/random.cc.o"
+  "CMakeFiles/privateclean_common.dir/random.cc.o.d"
+  "CMakeFiles/privateclean_common.dir/statistics.cc.o"
+  "CMakeFiles/privateclean_common.dir/statistics.cc.o.d"
+  "CMakeFiles/privateclean_common.dir/status.cc.o"
+  "CMakeFiles/privateclean_common.dir/status.cc.o.d"
+  "CMakeFiles/privateclean_common.dir/string_util.cc.o"
+  "CMakeFiles/privateclean_common.dir/string_util.cc.o.d"
+  "libprivateclean_common.a"
+  "libprivateclean_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/privateclean_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/privateclean_core.dir/conjunctive.cc.o"
+  "CMakeFiles/privateclean_core.dir/conjunctive.cc.o.d"
+  "CMakeFiles/privateclean_core.dir/estimators.cc.o"
+  "CMakeFiles/privateclean_core.dir/estimators.cc.o.d"
+  "CMakeFiles/privateclean_core.dir/private_table.cc.o"
+  "CMakeFiles/privateclean_core.dir/private_table.cc.o.d"
+  "CMakeFiles/privateclean_core.dir/release.cc.o"
+  "CMakeFiles/privateclean_core.dir/release.cc.o.d"
+  "CMakeFiles/privateclean_core.dir/sql_execution.cc.o"
+  "CMakeFiles/privateclean_core.dir/sql_execution.cc.o.d"
+  "libprivateclean_core.a"
+  "libprivateclean_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/privateclean_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

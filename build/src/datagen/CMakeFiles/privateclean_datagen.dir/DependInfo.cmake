@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/datagen/error_injection.cc" "src/datagen/CMakeFiles/privateclean_datagen.dir/error_injection.cc.o" "gcc" "src/datagen/CMakeFiles/privateclean_datagen.dir/error_injection.cc.o.d"
+  "/root/repo/src/datagen/intel_wireless.cc" "src/datagen/CMakeFiles/privateclean_datagen.dir/intel_wireless.cc.o" "gcc" "src/datagen/CMakeFiles/privateclean_datagen.dir/intel_wireless.cc.o.d"
+  "/root/repo/src/datagen/mcafe.cc" "src/datagen/CMakeFiles/privateclean_datagen.dir/mcafe.cc.o" "gcc" "src/datagen/CMakeFiles/privateclean_datagen.dir/mcafe.cc.o.d"
+  "/root/repo/src/datagen/names.cc" "src/datagen/CMakeFiles/privateclean_datagen.dir/names.cc.o" "gcc" "src/datagen/CMakeFiles/privateclean_datagen.dir/names.cc.o.d"
+  "/root/repo/src/datagen/synthetic.cc" "src/datagen/CMakeFiles/privateclean_datagen.dir/synthetic.cc.o" "gcc" "src/datagen/CMakeFiles/privateclean_datagen.dir/synthetic.cc.o.d"
+  "/root/repo/src/datagen/tpcds.cc" "src/datagen/CMakeFiles/privateclean_datagen.dir/tpcds.cc.o" "gcc" "src/datagen/CMakeFiles/privateclean_datagen.dir/tpcds.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/table/CMakeFiles/privateclean_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/cleaning/CMakeFiles/privateclean_cleaning.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/privateclean_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/privateclean_datagen.dir/error_injection.cc.o"
+  "CMakeFiles/privateclean_datagen.dir/error_injection.cc.o.d"
+  "CMakeFiles/privateclean_datagen.dir/intel_wireless.cc.o"
+  "CMakeFiles/privateclean_datagen.dir/intel_wireless.cc.o.d"
+  "CMakeFiles/privateclean_datagen.dir/mcafe.cc.o"
+  "CMakeFiles/privateclean_datagen.dir/mcafe.cc.o.d"
+  "CMakeFiles/privateclean_datagen.dir/names.cc.o"
+  "CMakeFiles/privateclean_datagen.dir/names.cc.o.d"
+  "CMakeFiles/privateclean_datagen.dir/synthetic.cc.o"
+  "CMakeFiles/privateclean_datagen.dir/synthetic.cc.o.d"
+  "CMakeFiles/privateclean_datagen.dir/tpcds.cc.o"
+  "CMakeFiles/privateclean_datagen.dir/tpcds.cc.o.d"
+  "libprivateclean_datagen.a"
+  "libprivateclean_datagen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/privateclean_datagen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

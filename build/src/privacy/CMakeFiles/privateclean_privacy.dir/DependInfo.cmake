@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/privacy/accountant.cc" "src/privacy/CMakeFiles/privateclean_privacy.dir/accountant.cc.o" "gcc" "src/privacy/CMakeFiles/privateclean_privacy.dir/accountant.cc.o.d"
+  "/root/repo/src/privacy/allocation.cc" "src/privacy/CMakeFiles/privateclean_privacy.dir/allocation.cc.o" "gcc" "src/privacy/CMakeFiles/privateclean_privacy.dir/allocation.cc.o.d"
+  "/root/repo/src/privacy/grr.cc" "src/privacy/CMakeFiles/privateclean_privacy.dir/grr.cc.o" "gcc" "src/privacy/CMakeFiles/privateclean_privacy.dir/grr.cc.o.d"
+  "/root/repo/src/privacy/laplace_mechanism.cc" "src/privacy/CMakeFiles/privateclean_privacy.dir/laplace_mechanism.cc.o" "gcc" "src/privacy/CMakeFiles/privateclean_privacy.dir/laplace_mechanism.cc.o.d"
+  "/root/repo/src/privacy/privacy_params.cc" "src/privacy/CMakeFiles/privateclean_privacy.dir/privacy_params.cc.o" "gcc" "src/privacy/CMakeFiles/privateclean_privacy.dir/privacy_params.cc.o.d"
+  "/root/repo/src/privacy/randomized_response.cc" "src/privacy/CMakeFiles/privateclean_privacy.dir/randomized_response.cc.o" "gcc" "src/privacy/CMakeFiles/privateclean_privacy.dir/randomized_response.cc.o.d"
+  "/root/repo/src/privacy/size_bound.cc" "src/privacy/CMakeFiles/privateclean_privacy.dir/size_bound.cc.o" "gcc" "src/privacy/CMakeFiles/privateclean_privacy.dir/size_bound.cc.o.d"
+  "/root/repo/src/privacy/tuning.cc" "src/privacy/CMakeFiles/privateclean_privacy.dir/tuning.cc.o" "gcc" "src/privacy/CMakeFiles/privateclean_privacy.dir/tuning.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/table/CMakeFiles/privateclean_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/privateclean_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

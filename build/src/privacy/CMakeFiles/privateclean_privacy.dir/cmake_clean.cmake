@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/privateclean_privacy.dir/accountant.cc.o"
+  "CMakeFiles/privateclean_privacy.dir/accountant.cc.o.d"
+  "CMakeFiles/privateclean_privacy.dir/allocation.cc.o"
+  "CMakeFiles/privateclean_privacy.dir/allocation.cc.o.d"
+  "CMakeFiles/privateclean_privacy.dir/grr.cc.o"
+  "CMakeFiles/privateclean_privacy.dir/grr.cc.o.d"
+  "CMakeFiles/privateclean_privacy.dir/laplace_mechanism.cc.o"
+  "CMakeFiles/privateclean_privacy.dir/laplace_mechanism.cc.o.d"
+  "CMakeFiles/privateclean_privacy.dir/privacy_params.cc.o"
+  "CMakeFiles/privateclean_privacy.dir/privacy_params.cc.o.d"
+  "CMakeFiles/privateclean_privacy.dir/randomized_response.cc.o"
+  "CMakeFiles/privateclean_privacy.dir/randomized_response.cc.o.d"
+  "CMakeFiles/privateclean_privacy.dir/size_bound.cc.o"
+  "CMakeFiles/privateclean_privacy.dir/size_bound.cc.o.d"
+  "CMakeFiles/privateclean_privacy.dir/tuning.cc.o"
+  "CMakeFiles/privateclean_privacy.dir/tuning.cc.o.d"
+  "libprivateclean_privacy.a"
+  "libprivateclean_privacy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/privateclean_privacy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/privateclean_provenance.dir/provenance_graph.cc.o"
+  "CMakeFiles/privateclean_provenance.dir/provenance_graph.cc.o.d"
+  "CMakeFiles/privateclean_provenance.dir/provenance_manager.cc.o"
+  "CMakeFiles/privateclean_provenance.dir/provenance_manager.cc.o.d"
+  "libprivateclean_provenance.a"
+  "libprivateclean_provenance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/privateclean_provenance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libprivateclean_provenance.a"
+)

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/query/aggregate.cc" "src/query/CMakeFiles/privateclean_query.dir/aggregate.cc.o" "gcc" "src/query/CMakeFiles/privateclean_query.dir/aggregate.cc.o.d"
+  "/root/repo/src/query/predicate.cc" "src/query/CMakeFiles/privateclean_query.dir/predicate.cc.o" "gcc" "src/query/CMakeFiles/privateclean_query.dir/predicate.cc.o.d"
+  "/root/repo/src/query/sql.cc" "src/query/CMakeFiles/privateclean_query.dir/sql.cc.o" "gcc" "src/query/CMakeFiles/privateclean_query.dir/sql.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/table/CMakeFiles/privateclean_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/privateclean_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

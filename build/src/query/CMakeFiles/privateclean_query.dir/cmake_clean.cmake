@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/privateclean_query.dir/aggregate.cc.o"
+  "CMakeFiles/privateclean_query.dir/aggregate.cc.o.d"
+  "CMakeFiles/privateclean_query.dir/predicate.cc.o"
+  "CMakeFiles/privateclean_query.dir/predicate.cc.o.d"
+  "CMakeFiles/privateclean_query.dir/sql.cc.o"
+  "CMakeFiles/privateclean_query.dir/sql.cc.o.d"
+  "libprivateclean_query.a"
+  "libprivateclean_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/privateclean_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

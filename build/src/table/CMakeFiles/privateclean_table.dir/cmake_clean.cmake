@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/privateclean_table.dir/column.cc.o"
+  "CMakeFiles/privateclean_table.dir/column.cc.o.d"
+  "CMakeFiles/privateclean_table.dir/csv.cc.o"
+  "CMakeFiles/privateclean_table.dir/csv.cc.o.d"
+  "CMakeFiles/privateclean_table.dir/domain.cc.o"
+  "CMakeFiles/privateclean_table.dir/domain.cc.o.d"
+  "CMakeFiles/privateclean_table.dir/schema.cc.o"
+  "CMakeFiles/privateclean_table.dir/schema.cc.o.d"
+  "CMakeFiles/privateclean_table.dir/table.cc.o"
+  "CMakeFiles/privateclean_table.dir/table.cc.o.d"
+  "CMakeFiles/privateclean_table.dir/table_builder.cc.o"
+  "CMakeFiles/privateclean_table.dir/table_builder.cc.o.d"
+  "CMakeFiles/privateclean_table.dir/value.cc.o"
+  "CMakeFiles/privateclean_table.dir/value.cc.o.d"
+  "libprivateclean_table.a"
+  "libprivateclean_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/privateclean_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

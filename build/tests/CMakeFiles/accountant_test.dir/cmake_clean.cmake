@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/accountant_test.dir/accountant_test.cc.o"
+  "CMakeFiles/accountant_test.dir/accountant_test.cc.o.d"
+  "accountant_test"
+  "accountant_test.pdb"
+  "accountant_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/accountant_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

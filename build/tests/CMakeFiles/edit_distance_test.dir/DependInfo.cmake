@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/edit_distance_test.cc" "tests/CMakeFiles/edit_distance_test.dir/edit_distance_test.cc.o" "gcc" "tests/CMakeFiles/edit_distance_test.dir/edit_distance_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/privateclean_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/datagen/CMakeFiles/privateclean_datagen.dir/DependInfo.cmake"
+  "/root/repo/build/src/privacy/CMakeFiles/privateclean_privacy.dir/DependInfo.cmake"
+  "/root/repo/build/src/provenance/CMakeFiles/privateclean_provenance.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/privateclean_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/cleaning/CMakeFiles/privateclean_cleaning.dir/DependInfo.cmake"
+  "/root/repo/build/src/table/CMakeFiles/privateclean_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/privateclean_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fd_repair_test.dir/fd_repair_test.cc.o"
+  "CMakeFiles/fd_repair_test.dir/fd_repair_test.cc.o.d"
+  "fd_repair_test"
+  "fd_repair_test.pdb"
+  "fd_repair_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fd_repair_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

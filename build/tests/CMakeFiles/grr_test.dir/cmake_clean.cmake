@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grr_test.dir/grr_test.cc.o"
+  "CMakeFiles/grr_test.dir/grr_test.cc.o.d"
+  "grr_test"
+  "grr_test.pdb"
+  "grr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

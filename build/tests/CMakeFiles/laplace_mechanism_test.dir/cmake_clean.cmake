@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/laplace_mechanism_test.dir/laplace_mechanism_test.cc.o"
+  "CMakeFiles/laplace_mechanism_test.dir/laplace_mechanism_test.cc.o.d"
+  "laplace_mechanism_test"
+  "laplace_mechanism_test.pdb"
+  "laplace_mechanism_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/laplace_mechanism_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/privacy_params_test.dir/privacy_params_test.cc.o"
+  "CMakeFiles/privacy_params_test.dir/privacy_params_test.cc.o.d"
+  "privacy_params_test"
+  "privacy_params_test.pdb"
+  "privacy_params_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/privacy_params_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

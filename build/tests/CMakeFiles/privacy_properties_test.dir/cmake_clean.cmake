@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/privacy_properties_test.dir/privacy_properties_test.cc.o"
+  "CMakeFiles/privacy_properties_test.dir/privacy_properties_test.cc.o.d"
+  "privacy_properties_test"
+  "privacy_properties_test.pdb"
+  "privacy_properties_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/privacy_properties_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

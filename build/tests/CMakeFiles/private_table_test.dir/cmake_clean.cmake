@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/private_table_test.dir/private_table_test.cc.o"
+  "CMakeFiles/private_table_test.dir/private_table_test.cc.o.d"
+  "private_table_test"
+  "private_table_test.pdb"
+  "private_table_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/private_table_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

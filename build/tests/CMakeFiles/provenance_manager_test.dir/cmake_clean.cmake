@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/provenance_manager_test.dir/provenance_manager_test.cc.o"
+  "CMakeFiles/provenance_manager_test.dir/provenance_manager_test.cc.o.d"
+  "provenance_manager_test"
+  "provenance_manager_test.pdb"
+  "provenance_manager_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/provenance_manager_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/randomized_response_test.dir/randomized_response_test.cc.o"
+  "CMakeFiles/randomized_response_test.dir/randomized_response_test.cc.o.d"
+  "randomized_response_test"
+  "randomized_response_test.pdb"
+  "randomized_response_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/randomized_response_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

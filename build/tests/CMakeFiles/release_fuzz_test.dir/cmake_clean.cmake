@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/release_fuzz_test.dir/release_fuzz_test.cc.o"
+  "CMakeFiles/release_fuzz_test.dir/release_fuzz_test.cc.o.d"
+  "release_fuzz_test"
+  "release_fuzz_test.pdb"
+  "release_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/release_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

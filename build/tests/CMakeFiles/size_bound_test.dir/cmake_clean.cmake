@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/size_bound_test.dir/size_bound_test.cc.o"
+  "CMakeFiles/size_bound_test.dir/size_bound_test.cc.o.d"
+  "size_bound_test"
+  "size_bound_test.pdb"
+  "size_bound_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/size_bound_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

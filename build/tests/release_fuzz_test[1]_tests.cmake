@@ -1,0 +1,3 @@
+add_test([=[ReleaseFuzzTest.RandomSchemasRoundTrip]=]  /root/repo/build/tests/release_fuzz_test [==[--gtest_filter=ReleaseFuzzTest.RandomSchemasRoundTrip]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[ReleaseFuzzTest.RandomSchemasRoundTrip]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  release_fuzz_test_TESTS ReleaseFuzzTest.RandomSchemasRoundTrip)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pclean.dir/pclean_main.cc.o"
+  "CMakeFiles/pclean.dir/pclean_main.cc.o.d"
+  "pclean"
+  "pclean.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pclean.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

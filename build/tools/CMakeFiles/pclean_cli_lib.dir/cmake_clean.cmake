@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pclean_cli_lib.dir/pclean_cli.cc.o"
+  "CMakeFiles/pclean_cli_lib.dir/pclean_cli.cc.o.d"
+  "libpclean_cli_lib.a"
+  "libpclean_cli_lib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pclean_cli_lib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

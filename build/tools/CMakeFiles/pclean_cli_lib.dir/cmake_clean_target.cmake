@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libpclean_cli_lib.a"
+)
