@@ -144,6 +144,50 @@ void BM_EndToEndQuery(benchmark::State& state) {
 }
 BENCHMARK(BM_EndToEndQuery)->Arg(1000)->Arg(10000)->Arg(100000);
 
+// --- Parallel scaling (1 vs N threads) --------------------------------
+//
+// Same 1M-row table at every thread count; the deterministic sharding
+// contract (common/thread_pool.h) guarantees identical output, so these
+// benchmarks measure pure execution scaling. Build once and share: the
+// table dominates setup time.
+
+const Table& ScalingTable() {
+  static const Table* table = new Table(MakeData(1000000, 50));
+  return *table;
+}
+
+void BM_GrrParallelScaling(benchmark::State& state) {
+  const Table& data = ScalingTable();
+  GrrOptions options;
+  options.exec.num_threads = static_cast<size_t>(state.range(0));
+  Rng rng(6);
+  for (auto _ : state) {
+    auto out = ApplyGrr(data, GrrParams::Uniform(0.1, 10.0), options, rng);
+    benchmark::DoNotOptimize(out.ok());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(data.num_rows()));
+}
+BENCHMARK(BM_GrrParallelScaling)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ScanParallelScaling(benchmark::State& state) {
+  const Table& data = ScalingTable();
+  ExecutionOptions exec;
+  exec.num_threads = static_cast<size_t>(state.range(0));
+  Predicate pred = Predicate::In(
+      "category", {SyntheticCategory(0), SyntheticCategory(1),
+                   SyntheticCategory(2)});
+  for (auto _ : state) {
+    auto stats = ScanWithPredicate(data, pred, "value", exec);
+    benchmark::DoNotOptimize(stats.ok());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(data.num_rows()));
+}
+BENCHMARK(BM_ScanParallelScaling)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_CsvWriteRead(benchmark::State& state) {
   Table data = MakeData(static_cast<size_t>(state.range(0)), 50);
   for (auto _ : state) {

@@ -8,27 +8,42 @@ namespace privateclean {
 
 Result<ConjunctiveScanStats> ScanConjunctive(const Table& table,
                                              const Predicate& cond_a,
-                                             const Predicate& cond_b) {
+                                             const Predicate& cond_b,
+                                             const ExecutionOptions& exec) {
   if (cond_a.attribute() == cond_b.attribute()) {
     return Status::InvalidArgument(
         "conjunctive estimation requires predicates on two different "
         "attributes (combine same-attribute conditions into one "
         "Predicate instead)");
   }
-  PCLEAN_ASSIGN_OR_RETURN(auto mask_a, cond_a.Evaluate(table));
-  PCLEAN_ASSIGN_OR_RETURN(auto mask_b, cond_b.Evaluate(table));
+  PCLEAN_ASSIGN_OR_RETURN(auto mask_a, cond_a.Evaluate(table, exec));
+  PCLEAN_ASSIGN_OR_RETURN(auto mask_b, cond_b.Evaluate(table, exec));
   ConjunctiveScanStats stats;
   stats.total_rows = table.num_rows();
-  for (size_t r = 0; r < table.num_rows(); ++r) {
-    if (mask_a[r] && mask_b[r]) {
-      ++stats.count_tt;
-    } else if (mask_a[r]) {
-      ++stats.count_tf;
-    } else if (mask_b[r]) {
-      ++stats.count_ft;
-    } else {
-      ++stats.count_ff;
-    }
+  const size_t shards = ShardCountForRows(table.num_rows());
+  std::vector<ConjunctiveScanStats> partials(shards);
+  PCLEAN_RETURN_NOT_OK(ParallelFor(
+      table.num_rows(), shards, exec,
+      [&](size_t shard, size_t begin, size_t end) -> Status {
+        ConjunctiveScanStats& part = partials[shard];
+        for (size_t r = begin; r < end; ++r) {
+          if (mask_a[r] && mask_b[r]) {
+            ++part.count_tt;
+          } else if (mask_a[r]) {
+            ++part.count_tf;
+          } else if (mask_b[r]) {
+            ++part.count_ft;
+          } else {
+            ++part.count_ff;
+          }
+        }
+        return Status::OK();
+      }));
+  for (const ConjunctiveScanStats& part : partials) {
+    stats.count_tt += part.count_tt;
+    stats.count_tf += part.count_tf;
+    stats.count_ft += part.count_ft;
+    stats.count_ff += part.count_ff;
   }
   return stats;
 }

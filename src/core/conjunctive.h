@@ -2,6 +2,7 @@
 #define PRIVATECLEAN_CORE_CONJUNCTIVE_H_
 
 #include "common/result.h"
+#include "common/thread_pool.h"
 #include "core/estimators.h"
 #include "query/predicate.h"
 #include "table/table.h"
@@ -30,10 +31,13 @@ struct ConjunctiveScanStats {
   size_t count_ff = 0;  ///< a false, b false
 };
 
-/// Scans `table` once, evaluating both predicates per row.
+/// Scans `table` once, evaluating both predicates per row. The scan is
+/// sharded per `exec` (common/thread_pool.h); per-shard quadrant counts
+/// are summed in shard order, so the result is thread-count independent.
 Result<ConjunctiveScanStats> ScanConjunctive(const Table& table,
                                              const Predicate& cond_a,
-                                             const Predicate& cond_b);
+                                             const Predicate& cond_b,
+                                             const ExecutionOptions& exec = {});
 
 /// Solves the 4×4 linear system (M_a ⊗ M_b)·q_true = q_observed for the
 /// true quadrant counts and returns the corrected count of rows

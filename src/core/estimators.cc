@@ -57,9 +57,19 @@ Result<QueryResult> EstimateCount(const QueryScanStats& stats,
   // CLT interval (§5.4): s_p is Binomial(S, ·)/S, so
   // sd(ĉ) = sqrt(S·s_p(1−s_p)) / (1−p). (The paper states the interval
   // in selectivity units; multiplying by S gives count units.)
+  //
+  // At observed selectivity exactly 0 or 1 the plug-in variance
+  // vanishes and the interval degenerates to a point, which overstates
+  // certainty: a relation where no private row matched still only
+  // bounds the true selectivity to O(1/S). Clamp s_p to
+  // [1/(2S), 1 − 1/(2S)] — half an observation — for the width
+  // computation only, so the interval always reflects at least that
+  // residual binomial uncertainty.
   double s_p = c_private / s;
+  double s_p_floor = 0.5 / s;
+  double s_p_ci = std::clamp(s_p, s_p_floor, 1.0 - s_p_floor);
   PCLEAN_ASSIGN_OR_RETURN(double z, ZScoreForConfidence(in.confidence));
-  double half = z / denom * std::sqrt(s * s_p * (1.0 - s_p));
+  double half = z / denom * std::sqrt(s * s_p_ci * (1.0 - s_p_ci));
 
   QueryResult result;
   result.estimator = EstimatorKind::kPrivateClean;

@@ -21,7 +21,11 @@ struct EstimationInputs {
 };
 
 /// COUNT estimator, Eq. 3:  ĉ = (c_private − S·τ_n) / (τ_p − τ_n),
-/// with the CLT interval from §5.4 expressed in count units.
+/// with the CLT interval from §5.4 expressed in count units. For the
+/// interval width the observed selectivity is clamped to
+/// [1/(2S), 1 − 1/(2S)]: at the extremes the plug-in binomial variance
+/// is identically zero and would yield a degenerate zero-width interval,
+/// while the data only supports certainty up to O(1/S).
 Result<QueryResult> EstimateCount(const QueryScanStats& stats,
                                   const EstimationInputs& in);
 

@@ -141,17 +141,18 @@ Result<EstimationInputs> PrivateTable::InputsForPredicate(
   return in;
 }
 
-Result<QueryScanStats> PrivateTable::Scan(
-    const Predicate& predicate,
-    const std::string& numeric_attribute) const {
-  return ScanWithPredicate(relation_, predicate, numeric_attribute);
+Result<QueryScanStats> PrivateTable::Scan(const Predicate& predicate,
+                                          const std::string& numeric_attribute,
+                                          const ExecutionOptions& exec) const {
+  return ScanWithPredicate(relation_, predicate, numeric_attribute, exec);
 }
 
 Result<QueryResult> PrivateTable::Count(const Predicate& predicate,
                                         const QueryOptions& options) const {
   PCLEAN_ASSIGN_OR_RETURN(EstimationInputs in,
                           InputsForPredicate(predicate, "", options));
-  PCLEAN_ASSIGN_OR_RETURN(QueryScanStats stats, Scan(predicate, ""));
+  PCLEAN_ASSIGN_OR_RETURN(QueryScanStats stats,
+                          Scan(predicate, "", options.exec));
   return EstimateCount(stats, in);
 }
 
@@ -162,7 +163,7 @@ Result<QueryResult> PrivateTable::Sum(const std::string& numeric_attribute,
       EstimationInputs in,
       InputsForPredicate(predicate, numeric_attribute, options));
   PCLEAN_ASSIGN_OR_RETURN(QueryScanStats stats,
-                          Scan(predicate, numeric_attribute));
+                          Scan(predicate, numeric_attribute, options.exec));
   return EstimateSum(stats, in);
 }
 
@@ -173,7 +174,7 @@ Result<QueryResult> PrivateTable::Avg(const std::string& numeric_attribute,
       EstimationInputs in,
       InputsForPredicate(predicate, numeric_attribute, options));
   PCLEAN_ASSIGN_OR_RETURN(QueryScanStats stats,
-                          Scan(predicate, numeric_attribute));
+                          Scan(predicate, numeric_attribute, options.exec));
   return EstimateAvg(stats, in);
 }
 
@@ -184,8 +185,9 @@ Result<QueryResult> PrivateTable::CountConjunctive(
                           InputsForPredicate(cond_a, "", options));
   PCLEAN_ASSIGN_OR_RETURN(EstimationInputs in_b,
                           InputsForPredicate(cond_b, "", options));
-  PCLEAN_ASSIGN_OR_RETURN(ConjunctiveScanStats stats,
-                          ScanConjunctive(relation_, cond_a, cond_b));
+  PCLEAN_ASSIGN_OR_RETURN(
+      ConjunctiveScanStats stats,
+      ScanConjunctive(relation_, cond_a, cond_b, options.exec));
   return EstimateConjunctiveCount(stats, in_a, in_b);
 }
 

@@ -23,6 +23,9 @@ struct QueryOptions {
   /// false: unweighted vertex count (PC-U, §6.3) — on forked graphs this
   /// over-counts; exposed for the Figure 7 ablation.
   bool weighted_cut = true;
+  /// Threading for the scan phase of Count/Sum/Avg/CountConjunctive
+  /// (common/thread_pool.h). Results are identical at every thread count.
+  ExecutionOptions exec;
 };
 
 /// The PrivateClean facade: an ε-locally-differentially-private relation
@@ -171,12 +174,15 @@ class PrivateTable {
   PrivateTable() = default;
 
   Result<QueryScanStats> Scan(const Predicate& predicate,
-                              const std::string& numeric_attribute) const;
+                              const std::string& numeric_attribute,
+                              const ExecutionOptions& exec = {}) const;
 
   /// Returns the (possibly cached) provenance graph for `attribute`.
   /// Graphs cost O(S) to build, so they are cached between queries and
   /// invalidated by Clean(). PrivateTable is not thread-safe: concurrent
-  /// queries on one instance would race on this cache.
+  /// queries on one instance would race on this cache. (Intra-query
+  /// parallelism via QueryOptions::exec is fine — the scan shards never
+  /// touch the cache.)
   Result<const ProvenanceGraph*> CachedGraphFor(
       const std::string& attribute) const;
 

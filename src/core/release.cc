@@ -11,8 +11,18 @@ namespace {
 
 constexpr char kDataFile[] = "data.csv";
 constexpr char kMetaFile[] = "meta.csv";
-/// Domain files encode NULL distinctly from the empty string.
-constexpr char kDomainNullLiteral[] = "\\N";
+/// All release files encode NULL distinctly from the empty string.
+/// data.csv historically used the writer's default (empty unquoted
+/// field), which conflated a NULL string entry with "" on read; both
+/// sides now pass the same literal. Reads stay backward compatible:
+/// unquoted empty fields still parse as NULL under any null literal.
+constexpr char kNullLiteral[] = "\\N";
+
+CsvOptions ReleaseCsvOptions() {
+  CsvOptions options;
+  options.null_literal = kNullLiteral;
+  return options;
+}
 
 Result<Schema> MetaSchema() {
   return Schema::Make(
@@ -47,8 +57,8 @@ Status WriteRelease(const Table& private_relation,
     return Status::IOError("cannot create release directory '" + dir +
                            "': " + ec.message());
   }
-  PCLEAN_RETURN_NOT_OK(
-      WriteCsvFile(private_relation, dir + "/" + kDataFile));
+  PCLEAN_RETURN_NOT_OK(WriteCsvFile(private_relation, dir + "/" + kDataFile,
+                                    ReleaseCsvOptions()));
 
   // meta.csv: one row per attribute, in schema order so the analyst can
   // reconstruct the schema exactly.
@@ -77,10 +87,9 @@ Status WriteRelease(const Table& private_relation,
         domain_table.Row({v});
       }
       PCLEAN_ASSIGN_OR_RETURN(Table dt, domain_table.Finish());
-      CsvOptions domain_options;
-      domain_options.null_literal = kDomainNullLiteral;
-      PCLEAN_RETURN_NOT_OK(WriteCsvFile(
-          dt, dir + "/" + DomainFileName(domain_index), domain_options));
+      PCLEAN_RETURN_NOT_OK(
+          WriteCsvFile(dt, dir + "/" + DomainFileName(domain_index),
+                       ReleaseCsvOptions()));
       ++domain_index;
     } else {
       auto it = metadata.numeric.find(field.name);
@@ -128,12 +137,10 @@ Result<LoadedRelease> ReadRelease(const std::string& dir) {
       PCLEAN_ASSIGN_OR_RETURN(
           Schema domain_schema,
           Schema::Make({Field::Discrete(name, type)}));
-      CsvOptions domain_options;
-      domain_options.null_literal = kDomainNullLiteral;
       PCLEAN_ASSIGN_OR_RETURN(
           Table domain_table,
           ReadCsvFile(dir + "/" + DomainFileName(domain_index),
-                      domain_schema, domain_options));
+                      domain_schema, ReleaseCsvOptions()));
       ++domain_index;
       std::vector<Value> values;
       values.reserve(domain_table.num_rows());
@@ -164,8 +171,9 @@ Result<LoadedRelease> ReadRelease(const std::string& dir) {
     }
   }
   PCLEAN_ASSIGN_OR_RETURN(Schema schema, Schema::Make(std::move(fields)));
-  PCLEAN_ASSIGN_OR_RETURN(release.relation,
-                          ReadCsvFile(dir + "/" + kDataFile, schema));
+  PCLEAN_ASSIGN_OR_RETURN(
+      release.relation,
+      ReadCsvFile(dir + "/" + kDataFile, schema, ReleaseCsvOptions()));
   release.metadata.dataset_size = release.relation.num_rows();
   return release;
 }

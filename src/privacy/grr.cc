@@ -1,5 +1,8 @@
 #include "privacy/grr.h"
 
+#include <limits>
+
+#include "common/thread_pool.h"
 #include "privacy/laplace_mechanism.h"
 #include "privacy/randomized_response.h"
 
@@ -7,19 +10,117 @@ namespace privateclean {
 
 namespace {
 
-/// True iff every value of `domain` appears in `column`.
-bool DomainPreserved(const Column& column, const Domain& domain) {
-  std::vector<uint8_t> seen(domain.size(), 0);
-  size_t remaining = domain.size();
-  for (size_t r = 0; r < column.size() && remaining > 0; ++r) {
-    auto idx = domain.IndexOf(column.ValueAt(r));
-    if (!idx.ok()) continue;  // Cannot happen for RR output; be safe.
-    if (!seen[*idx]) {
-      seen[*idx] = 1;
-      --remaining;
-    }
+constexpr uint32_t kNoDomainIndex = std::numeric_limits<uint32_t>::max();
+
+/// Domain index of every row of `column` before randomization, so the
+/// sharded kernels can track Theorem 2 domain coverage during the
+/// randomization pass itself (a retry round then costs one pass, not a
+/// randomize-then-rescan pair). Rows whose value is somehow outside the
+/// domain (cannot happen when the domain was taken from this column; be
+/// safe) get a sentinel the kernels skip.
+std::vector<uint32_t> DomainIndices(const Column& column, const Domain& domain,
+                                    const ExecutionOptions& exec) {
+  std::vector<uint32_t> indices(column.size(), kNoDomainIndex);
+  // Read-only on the column and domain, so sharding is safe; the result
+  // does not depend on the shard layout.
+  (void)ParallelFor(
+      column.size(), ShardCountForRows(column.size()), exec,
+      [&](size_t, size_t begin, size_t end) -> Status {
+        for (size_t r = begin; r < end; ++r) {
+          auto idx = domain.IndexOf(column.ValueAt(r));
+          if (idx.ok()) indices[r] = static_cast<uint32_t>(*idx);
+        }
+        return Status::OK();
+      });
+  return indices;
+}
+
+/// Randomizes one discrete column in place with the Theorem 2
+/// regeneration loop, sharded over row ranges. Every attempt forks one
+/// RNG stream per shard, in shard order, off the caller's `rng` — the
+/// stream assignment depends only on the shard layout (a function of the
+/// row count), never on the thread count, so output is reproducible from
+/// the seed regardless of parallelism.
+Status RandomizeDiscreteColumn(Column* col, const Column& original,
+                               const Domain& domain, double p,
+                               const std::string& name,
+                               const GrrOptions& options, Rng& rng,
+                               size_t* total_regenerations) {
+  const size_t rows = col->size();
+  const size_t shards = ShardCountForRows(rows);
+  const bool track_coverage = options.ensure_domain_preserved && p > 0.0;
+
+  std::vector<uint32_t> original_indices;
+  std::vector<std::vector<uint8_t>> coverage;
+  if (track_coverage) {
+    original_indices = DomainIndices(original, domain, options.exec);
+    coverage.resize(shards);
   }
-  return remaining == 0;
+
+  size_t attempts = 0;
+  for (;;) {
+    std::vector<Rng> shard_rngs;
+    shard_rngs.reserve(shards);
+    for (size_t s = 0; s < shards; ++s) shard_rngs.push_back(rng.Fork());
+    if (track_coverage) {
+      for (auto& c : coverage) c.assign(domain.size(), 0);
+    }
+    PCLEAN_RETURN_NOT_OK(ParallelFor(
+        rows, shards, options.exec,
+        [&](size_t shard, size_t begin, size_t end) -> Status {
+          uint8_t* shard_coverage = nullptr;
+          const uint32_t* indices = nullptr;
+          if (track_coverage) {
+            shard_coverage = coverage[shard].data();
+            indices = original_indices.data();
+          }
+          return ApplyRandomizedResponseShard(col, domain, p,
+                                              shard_rngs[shard], begin, end,
+                                              indices, shard_coverage);
+        }));
+    col->RecomputeNullCount();
+    if (!track_coverage) return Status::OK();
+
+    // Merge per-shard coverage: preserved iff every domain value is
+    // visible in some shard.
+    bool preserved = true;
+    for (size_t v = 0; v < domain.size() && preserved; ++v) {
+      bool seen = false;
+      for (size_t s = 0; s < shards && !seen; ++s) {
+        seen = coverage[s][v] != 0;
+      }
+      preserved = seen;
+    }
+    if (preserved) return Status::OK();
+
+    ++attempts;
+    ++*total_regenerations;
+    if (attempts >= options.max_regenerations) {
+      return Status::FailedPrecondition(
+          "attribute '" + name + "' failed domain preservation after " +
+          std::to_string(attempts) +
+          " regenerations; dataset likely violates the Theorem 2 size "
+          "bound");
+    }
+    // Restore the original values and retry with fresh randomness.
+    *col = original;
+  }
+}
+
+/// Adds Laplace noise to one numerical column, sharded like the
+/// discrete path (shard-indexed RNG forks, thread-count-independent).
+Status NoiseNumericColumn(Column* col, double b, const GrrOptions& options,
+                          Rng& rng) {
+  const size_t rows = col->size();
+  const size_t shards = ShardCountForRows(rows);
+  std::vector<Rng> shard_rngs;
+  shard_rngs.reserve(shards);
+  for (size_t s = 0; s < shards; ++s) shard_rngs.push_back(rng.Fork());
+  return ParallelFor(rows, shards, options.exec,
+                     [&](size_t shard, size_t begin, size_t end) -> Status {
+                       return ApplyLaplaceMechanismShard(
+                           col, b, shard_rngs[shard], begin, end);
+                     });
 }
 
 }  // namespace
@@ -62,27 +163,9 @@ Result<GrrOutput> ApplyGrr(const Table& input, const GrrParams& params,
                                           "' has an empty domain");
       }
 
-      Column* col = out.table.mutable_column(i);
-      const Column& original = input.column(i);
-      size_t attempts = 0;
-      for (;;) {
-        PCLEAN_RETURN_NOT_OK(ApplyRandomizedResponse(col, domain, p, rng));
-        if (!options.ensure_domain_preserved || p == 0.0 ||
-            DomainPreserved(*col, domain)) {
-          break;
-        }
-        ++attempts;
-        ++out.total_regenerations;
-        if (attempts >= options.max_regenerations) {
-          return Status::FailedPrecondition(
-              "attribute '" + name + "' failed domain preservation after " +
-              std::to_string(attempts) +
-              " regenerations; dataset likely violates the Theorem 2 size "
-              "bound");
-        }
-        // Restore the original values and retry with fresh randomness.
-        *col = original;
-      }
+      PCLEAN_RETURN_NOT_OK(RandomizeDiscreteColumn(
+          out.table.mutable_column(i), input.column(i), domain, p, name,
+          options, rng, &out.total_regenerations));
       out.metadata.discrete.emplace(
           name, DiscreteAttributeMeta{p, std::move(domain)});
     } else {
@@ -99,7 +182,7 @@ Result<GrrOutput> ApplyGrr(const Table& input, const GrrParams& params,
       }
       PCLEAN_ASSIGN_OR_RETURN(double delta, ColumnSensitivity(input.column(i)));
       PCLEAN_RETURN_NOT_OK(
-          ApplyLaplaceMechanism(out.table.mutable_column(i), b, rng));
+          NoiseNumericColumn(out.table.mutable_column(i), b, options, rng));
       out.metadata.numeric.emplace(name, NumericAttributeMeta{b, delta});
     }
   }

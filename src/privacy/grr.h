@@ -6,6 +6,7 @@
 
 #include "common/random.h"
 #include "common/result.h"
+#include "common/thread_pool.h"
 #include "privacy/privacy_params.h"
 #include "table/domain.h"
 #include "table/table.h"
@@ -46,6 +47,11 @@ struct GrrOptions {
   /// Abort with FailedPrecondition after this many attempts per column —
   /// a symptom that the dataset violates the Theorem 2 size bound badly.
   size_t max_regenerations = 1000;
+  /// Threading for the per-row randomization loops. Rows are sharded by
+  /// size alone and each shard forks its own RNG stream by shard index,
+  /// so for a fixed seed the private relation is bit-identical at any
+  /// thread count (see common/thread_pool.h).
+  ExecutionOptions exec;
 };
 
 /// The result of Generalized Randomized Response.

@@ -9,6 +9,14 @@ Status ApplyLaplaceMechanism(Column* column, double b, Rng& rng) {
   if (column == nullptr) {
     return Status::InvalidArgument("column must not be null");
   }
+  return ApplyLaplaceMechanismShard(column, b, rng, 0, column->size());
+}
+
+Status ApplyLaplaceMechanismShard(Column* column, double b, Rng& rng,
+                                  size_t begin, size_t end) {
+  if (column == nullptr) {
+    return Status::InvalidArgument("column must not be null");
+  }
   if (b < 0.0) {
     return Status::InvalidArgument("Laplace scale must be >= 0");
   }
@@ -16,16 +24,19 @@ Status ApplyLaplaceMechanism(Column* column, double b, Rng& rng) {
     return Status::InvalidArgument(
         "Laplace mechanism applies to numerical columns only");
   }
+  if (end > column->size() || begin > end) {
+    return Status::OutOfRange("noising range out of bounds");
+  }
   if (b == 0.0) return Status::OK();
   if (column->type() == ValueType::kDouble) {
     std::vector<double>* xs = column->mutable_doubles();
-    for (size_t r = 0; r < xs->size(); ++r) {
+    for (size_t r = begin; r < end; ++r) {
       if (column->IsNull(r)) continue;
       (*xs)[r] = rng.Laplace((*xs)[r], b);
     }
   } else {
     std::vector<int64_t>* xs = column->mutable_ints();
-    for (size_t r = 0; r < xs->size(); ++r) {
+    for (size_t r = begin; r < end; ++r) {
       if (column->IsNull(r)) continue;
       double noised = rng.Laplace(static_cast<double>((*xs)[r]), b);
       (*xs)[r] = static_cast<int64_t>(std::llround(noised));

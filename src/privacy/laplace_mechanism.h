@@ -20,6 +20,13 @@ namespace privateclean {
 /// Requires b >= 0 (b == 0 is a no-op, meaning no privacy).
 Status ApplyLaplaceMechanism(Column* column, double b, Rng& rng);
 
+/// Row-range kernel of the Laplace mechanism, for sharded execution
+/// (common/thread_pool.h): noises rows [begin, end) drawing from `rng`.
+/// Kernels over disjoint ranges may run concurrently on one column; the
+/// validity vector is only read, so no null-count fixup is needed.
+Status ApplyLaplaceMechanismShard(Column* column, double b, Rng& rng,
+                                  size_t begin, size_t end);
+
 /// Sensitivity Δ of a numerical column: max − min over non-null entries
 /// (paper Proposition 1). Errors if the column has no non-null entries.
 Result<double> ColumnSensitivity(const Column& column);

@@ -7,6 +7,20 @@ Status ApplyRandomizedResponse(Column* column, const Domain& domain,
   if (column == nullptr) {
     return Status::InvalidArgument("column must not be null");
   }
+  PCLEAN_RETURN_NOT_OK(ApplyRandomizedResponseShard(
+      column, domain, p, rng, 0, column->size(), nullptr, nullptr));
+  column->RecomputeNullCount();
+  return Status::OK();
+}
+
+Status ApplyRandomizedResponseShard(Column* column, const Domain& domain,
+                                    double p, Rng& rng, size_t begin,
+                                    size_t end,
+                                    const uint32_t* original_indices,
+                                    uint8_t* coverage) {
+  if (column == nullptr) {
+    return Status::InvalidArgument("column must not be null");
+  }
   if (!(p >= 0.0 && p <= 1.0)) {
     return Status::InvalidArgument(
         "randomization probability must be in [0, 1], got " +
@@ -16,12 +30,65 @@ Status ApplyRandomizedResponse(Column* column, const Domain& domain,
     return Status::FailedPrecondition(
         "randomized response requires a non-empty domain");
   }
-  if (p == 0.0) return Status::OK();
-  for (size_t r = 0; r < column->size(); ++r) {
-    if (!rng.Bernoulli(p)) continue;
-    const Value& replacement =
-        domain.value(static_cast<size_t>(rng.UniformInt(domain.size())));
-    PCLEAN_RETURN_NOT_OK(column->SetValue(r, replacement));
+  if (end > column->size() || begin > end) {
+    return Status::OutOfRange("randomization range out of bounds");
+  }
+  if (coverage != nullptr && original_indices == nullptr) {
+    return Status::InvalidArgument(
+        "coverage tracking requires the original domain indices");
+  }
+
+  uint8_t* valid = column->mutable_validity()->data();
+  const size_t n = domain.size();
+  for (size_t r = begin; r < end; ++r) {
+    if (p == 0.0 || !rng.Bernoulli(p)) {
+      // UINT32_MAX flags a row whose original value is outside the
+      // domain (possible only with a caller-supplied domain); it
+      // contributes no coverage.
+      if (coverage != nullptr && original_indices[r] != UINT32_MAX) {
+        coverage[original_indices[r]] = 1;
+      }
+      continue;
+    }
+    size_t j = static_cast<size_t>(rng.UniformInt(n));
+    const Value& v = domain.value(j);
+    if (v.is_null()) {
+      switch (column->type()) {
+        case ValueType::kInt64:
+          (*column->mutable_ints())[r] = 0;
+          break;
+        case ValueType::kDouble:
+          (*column->mutable_doubles())[r] = 0.0;
+          break;
+        case ValueType::kString:
+          (*column->mutable_strings())[r].clear();
+          break;
+        case ValueType::kNull:
+          return Status::Internal("column with null type");
+      }
+      valid[r] = 0;
+    } else {
+      if (v.type() != column->type()) {
+        return Status::InvalidArgument(
+            std::string("cannot set ") + ValueTypeToString(v.type()) +
+            " value in " + ValueTypeToString(column->type()) + " column");
+      }
+      switch (column->type()) {
+        case ValueType::kInt64:
+          (*column->mutable_ints())[r] = v.AsInt64();
+          break;
+        case ValueType::kDouble:
+          (*column->mutable_doubles())[r] = v.AsDouble();
+          break;
+        case ValueType::kString:
+          (*column->mutable_strings())[r] = v.AsString();
+          break;
+        case ValueType::kNull:
+          return Status::Internal("column with null type");
+      }
+      valid[r] = 1;
+    }
+    if (coverage != nullptr) coverage[j] = 1;
   }
   return Status::OK();
 }

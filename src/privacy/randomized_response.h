@@ -23,6 +23,28 @@ namespace privateclean {
 Status ApplyRandomizedResponse(Column* column, const Domain& domain,
                                double p, Rng& rng);
 
+/// Row-range kernel of randomized response, for sharded execution
+/// (common/thread_pool.h): randomizes rows [begin, end) of `column`
+/// drawing from `rng`. Kernels over disjoint ranges may run concurrently
+/// on one column — writes go through the raw typed storage and skip the
+/// shared null bookkeeping, so the caller must invoke
+/// `column->RecomputeNullCount()` after all shards finish.
+///
+/// If `coverage` is non-null it must point at `domain.size()` flags; the
+/// kernel sets the flag of every domain value that appears in the range
+/// *after* randomization — replaced rows mark the drawn index, untouched
+/// rows mark `original_indices[r]` (the domain index of the row's
+/// pre-randomization value, which the caller computes once per column;
+/// UINT32_MAX marks a value outside the domain and contributes nothing).
+/// This is how `ApplyGrr` tracks Theorem 2 domain preservation in the
+/// same pass as the randomization instead of rescanning the column.
+/// `original_indices` may be null when `coverage` is null.
+Status ApplyRandomizedResponseShard(Column* column, const Domain& domain,
+                                    double p, Rng& rng, size_t begin,
+                                    size_t end,
+                                    const uint32_t* original_indices,
+                                    uint8_t* coverage);
+
 /// Transition probabilities of randomized response for a predicate that
 /// selects l of the N distinct values (paper §5.3). These are the
 /// deterministic constants the estimators are parameterized by.

@@ -125,12 +125,27 @@ Result<double> ExecuteAggregate(const Table& table,
   return Status::Internal("unhandled aggregate type");
 }
 
-Result<QueryScanStats> ScanWithPredicate(
-    const Table& table, const Predicate& predicate,
-    const std::string& numeric_attribute) {
+namespace {
+
+/// Per-shard partial of QueryScanStats, merged in shard index order so
+/// the floating-point result depends only on the shard layout (a
+/// function of the row count), never on the thread count.
+struct ScanPartial {
+  size_t matching_rows = 0;
+  double matching_sum = 0.0;
+  double complement_sum = 0.0;
+  RunningMoments moments;
+};
+
+}  // namespace
+
+Result<QueryScanStats> ScanWithPredicate(const Table& table,
+                                         const Predicate& predicate,
+                                         const std::string& numeric_attribute,
+                                         const ExecutionOptions& exec) {
   QueryScanStats stats;
   stats.total_rows = table.num_rows();
-  PCLEAN_ASSIGN_OR_RETURN(auto mask, predicate.Evaluate(table));
+  PCLEAN_ASSIGN_OR_RETURN(auto mask, predicate.Evaluate(table, exec));
 
   const Column* numeric = nullptr;
   if (!numeric_attribute.empty()) {
@@ -138,19 +153,34 @@ Result<QueryScanStats> ScanWithPredicate(
     PCLEAN_ASSIGN_OR_RETURN(numeric, table.ColumnByName(numeric_attribute));
   }
 
+  const size_t shards = ShardCountForRows(table.num_rows());
+  std::vector<ScanPartial> partials(shards);
+  PCLEAN_RETURN_NOT_OK(ParallelFor(
+      table.num_rows(), shards, exec,
+      [&](size_t shard, size_t begin, size_t end) -> Status {
+        ScanPartial& part = partials[shard];
+        for (size_t r = begin; r < end; ++r) {
+          double x = 0.0;
+          if (numeric != nullptr && !numeric->IsNull(r)) {
+            x = numeric->NumericAt(r);
+            part.moments.Add(x);
+          }
+          if (mask[r]) {
+            ++part.matching_rows;
+            part.matching_sum += x;
+          } else {
+            part.complement_sum += x;
+          }
+        }
+        return Status::OK();
+      }));
+
   RunningMoments moments;
-  for (size_t r = 0; r < table.num_rows(); ++r) {
-    double x = 0.0;
-    if (numeric != nullptr && !numeric->IsNull(r)) {
-      x = numeric->NumericAt(r);
-      moments.Add(x);
-    }
-    if (mask[r]) {
-      ++stats.matching_rows;
-      stats.matching_sum += x;
-    } else {
-      stats.complement_sum += x;
-    }
+  for (const ScanPartial& part : partials) {
+    stats.matching_rows += part.matching_rows;
+    stats.matching_sum += part.matching_sum;
+    stats.complement_sum += part.complement_sum;
+    moments.Merge(part.moments);
   }
   stats.numeric_mean = moments.Mean();
   stats.numeric_variance = moments.PopulationVariance();

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "common/result.h"
+#include "common/thread_pool.h"
 #include "query/predicate.h"
 #include "table/table.h"
 
@@ -71,9 +72,15 @@ struct QueryScanStats {
 /// Computes QueryScanStats for `predicate` over `numeric_attribute`.
 /// For count-only queries pass an empty `numeric_attribute`; the sums and
 /// moments are then zero.
+///
+/// The scan is sharded per `exec` (common/thread_pool.h): each shard
+/// accumulates its own partial stats, merged in shard index order, so for
+/// a fixed table the result is identical at every thread count (the shard
+/// layout depends only on the row count).
 Result<QueryScanStats> ScanWithPredicate(const Table& table,
                                          const Predicate& predicate,
-                                         const std::string& numeric_attribute);
+                                         const std::string& numeric_attribute,
+                                         const ExecutionOptions& exec = {});
 
 /// `SELECT group, count(1) FROM t GROUP BY group_attribute` — used by the
 /// TPC-DS experiment (§8.3.4). Keys are rendered with Value::ToString();

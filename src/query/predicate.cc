@@ -1,5 +1,7 @@
 #include "query/predicate.h"
 
+#include <unordered_map>
+
 namespace privateclean {
 
 Predicate Predicate::Equals(std::string attribute, Value value) {
@@ -44,25 +46,28 @@ bool Predicate::Matches(const Value& v) const {
   return MatchesIgnoringNegation(v) != negated_;
 }
 
-Result<std::vector<uint8_t>> Predicate::Evaluate(const Table& table) const {
+Result<std::vector<uint8_t>> Predicate::Evaluate(
+    const Table& table, const ExecutionOptions& exec) const {
   PCLEAN_ASSIGN_OR_RETURN(const Column* col, table.ColumnByName(attribute_));
-  // Evaluate per distinct value, then broadcast: UDFs can be arbitrarily
-  // expensive and the paper's model is value-deterministic anyway.
-  Domain domain;
-  {
-    PCLEAN_ASSIGN_OR_RETURN(
-        Domain d, Domain::FromColumn(table, attribute_, /*include_null=*/true));
-    domain = std::move(d);
-  }
-  std::vector<uint8_t> value_matches(domain.size());
-  for (size_t i = 0; i < domain.size(); ++i) {
-    value_matches[i] = Matches(domain.value(i)) ? 1 : 0;
-  }
   std::vector<uint8_t> mask(col->size());
-  for (size_t r = 0; r < col->size(); ++r) {
-    size_t idx = domain.IndexOf(col->ValueAt(r)).ValueOrDie();
-    mask[r] = value_matches[idx];
-  }
+  PCLEAN_RETURN_NOT_OK(ParallelFor(
+      col->size(), ShardCountForRows(col->size()), exec,
+      [&](size_t, size_t begin, size_t end) -> Status {
+        // Memoize per distinct value within the shard: UDFs can be
+        // arbitrarily expensive and the paper's model is
+        // value-deterministic anyway, so repeats cost one hash lookup.
+        std::unordered_map<Value, bool, ValueHash> memo;
+        for (size_t r = begin; r < end; ++r) {
+          Value v = col->ValueAt(r);
+          auto it = memo.find(v);
+          if (it == memo.end()) {
+            bool m = Matches(v);
+            it = memo.emplace(std::move(v), m).first;
+          }
+          mask[r] = it->second ? 1 : 0;
+        }
+        return Status::OK();
+      }));
   return mask;
 }
 
@@ -74,8 +79,9 @@ std::vector<Value> Predicate::MatchingValues(const Domain& domain) const {
   return out;
 }
 
-Result<size_t> Predicate::CountMatches(const Table& table) const {
-  PCLEAN_ASSIGN_OR_RETURN(auto mask, Evaluate(table));
+Result<size_t> Predicate::CountMatches(const Table& table,
+                                       const ExecutionOptions& exec) const {
+  PCLEAN_ASSIGN_OR_RETURN(auto mask, Evaluate(table, exec));
   size_t n = 0;
   for (uint8_t m : mask) n += m;
   return n;

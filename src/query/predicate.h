@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/thread_pool.h"
 #include "table/domain.h"
 #include "table/table.h"
 
@@ -38,7 +39,8 @@ class Predicate {
   static Predicate IsNotNull(std::string attribute);
 
   /// Arbitrary deterministic condition. The function must be pure: it is
-  /// evaluated once per distinct value, not once per row.
+  /// evaluated at most once per distinct value per shard, not once per
+  /// row, and may be called concurrently from evaluation shards.
   static Predicate Udf(std::string attribute,
                        std::function<bool(const Value&)> fn);
 
@@ -53,14 +55,18 @@ class Predicate {
   /// Whether a single value satisfies the predicate.
   bool Matches(const Value& v) const;
 
-  /// Row mask over `table` (1 = predicate true).
-  Result<std::vector<uint8_t>> Evaluate(const Table& table) const;
+  /// Row mask over `table` (1 = predicate true). Rows are sharded per
+  /// `exec` (common/thread_pool.h); the mask is independent of the
+  /// thread count since the predicate is value-deterministic.
+  Result<std::vector<uint8_t>> Evaluate(const Table& table,
+                                        const ExecutionOptions& exec = {}) const;
 
   /// The subset of `domain` that satisfies the predicate (paper's M_pred).
   std::vector<Value> MatchingValues(const Domain& domain) const;
 
   /// Number of rows in `table` satisfying the predicate.
-  Result<size_t> CountMatches(const Table& table) const;
+  Result<size_t> CountMatches(const Table& table,
+                              const ExecutionOptions& exec = {}) const;
 
  private:
   enum class Mode { kIn, kUdf };

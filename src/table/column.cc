@@ -150,6 +150,12 @@ Status Column::SetValue(size_t row, const Value& v) {
   return Status::OK();
 }
 
+void Column::RecomputeNullCount() {
+  size_t nulls = 0;
+  for (uint8_t v : valid_) nulls += (v == 0) ? 1 : 0;
+  null_count_ = nulls;
+}
+
 void Column::Reserve(size_t n) {
   valid_.reserve(n);
   switch (type_) {

@@ -67,6 +67,16 @@ class Column {
   /// double column.
   std::vector<double>* mutable_doubles() { return &doubles_; }
   std::vector<int64_t>* mutable_ints() { return &ints_; }
+  /// Mutable string payload / validity for sharded in-place mutation
+  /// (randomized response). Writers touching disjoint row ranges through
+  /// these may run concurrently, but they bypass the null bookkeeping:
+  /// call RecomputeNullCount() once all writers have finished.
+  std::vector<std::string>* mutable_strings() { return &strings_; }
+  std::vector<uint8_t>* mutable_validity() { return &valid_; }
+
+  /// Recounts nulls from the validity vector. Required after any
+  /// mutation through mutable_validity().
+  void RecomputeNullCount();
 
   /// Pre-allocates capacity for n rows.
   void Reserve(size_t n);

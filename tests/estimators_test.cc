@@ -74,6 +74,24 @@ TEST(CountEstimatorTest, CiWidensWithPrivacy) {
   EXPECT_GT(hi.ci.Width(), lo.ci.Width());
 }
 
+TEST(CountEstimatorTest, NonDegenerateCiAtExtremeSelectivity) {
+  // Observed selectivity exactly 0 or 1 used to produce a zero-width
+  // interval (the plug-in binomial variance vanishes); the half-width
+  // now floors s_p at half an observation, so residual uncertainty
+  // survives.
+  QueryResult none = *EstimateCount(Stats(1000, 0), Inputs(0.2, 5.0, 50.0));
+  EXPECT_GT(none.ci.Width(), 0.0);
+  EXPECT_TRUE(none.ci.Contains(none.estimate));
+  QueryResult all =
+      *EstimateCount(Stats(1000, 1000), Inputs(0.2, 5.0, 50.0));
+  EXPECT_GT(all.ci.Width(), 0.0);
+  EXPECT_TRUE(all.ci.Contains(all.estimate));
+  // The clamp only engages at the extremes: an interior selectivity has
+  // strictly more binomial variance, hence a wider interval.
+  QueryResult mid = *EstimateCount(Stats(1000, 500), Inputs(0.2, 5.0, 50.0));
+  EXPECT_GT(mid.ci.Width(), all.ci.Width());
+}
+
 TEST(CountEstimatorTest, DiagnosticsFilled) {
   QueryResult r = *EstimateCount(Stats(500, 300), Inputs(0.25, 10.0, 25.0));
   EXPECT_DOUBLE_EQ(r.p, 0.25);

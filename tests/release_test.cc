@@ -86,6 +86,33 @@ TEST_F(ReleaseTest, NullDomainValueSurvives) {
       loaded.metadata.discrete.at("major").domain.Contains(Value::Null()));
 }
 
+TEST_F(ReleaseTest, NullAndEmptyStringDistinctAfterRoundTrip) {
+  // data.csv is written with an explicit null literal, so a NULL string
+  // entry and the empty string stay distinct through a release round
+  // trip — including a value that collides with the literal itself.
+  Schema s = *Schema::Make({Field::Discrete("tag"),
+                            Field::Numerical("x", ValueType::kDouble)});
+  TableBuilder b(s);
+  b.Row({Value::Null(), Value(1.0)});
+  b.Row({Value(""), Value(2.0)});
+  b.Row({Value("\\N"), Value(3.0)});  // The literal itself, as a value.
+  b.Row({Value("plain"), Value(4.0)});
+  Table t = *b.Finish();
+  Rng rng(1);
+  // p = 0, b = 0: the private relation equals the original, so
+  // cell-level expectations are deterministic.
+  GrrOutput grr = *ApplyGrr(t, GrrParams::Uniform(0.0, 0.0), GrrOptions{},
+                            rng);
+  ASSERT_TRUE(WriteRelease(grr, dir_).ok());
+  LoadedRelease loaded = *ReadRelease(dir_);
+  const Column& tag = loaded.relation.column(0);
+  EXPECT_TRUE(tag.ValueAt(0).is_null());
+  EXPECT_EQ(tag.ValueAt(1), Value(""));
+  EXPECT_EQ(tag.ValueAt(2), Value("\\N"));
+  EXPECT_EQ(tag.ValueAt(3), Value("plain"));
+  EXPECT_EQ(tag.null_count(), 1u);
+}
+
 TEST_F(ReleaseTest, OpenReleaseProducesQueryablePrivateTable) {
   GrrOutput grr = MakeGrr();
   ASSERT_TRUE(WriteRelease(grr, dir_).ok());

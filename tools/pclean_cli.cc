@@ -68,16 +68,35 @@ Result<double> ParseFlagDouble(const ParsedArgs& args,
   return ParseDouble(text);
 }
 
+/// --threads N: scan/randomization parallelism. 1 = single-threaded
+/// (default), 0 = all hardware threads. Output is identical at every
+/// setting; only wall-clock time changes.
+Result<ExecutionOptions> ParseExecOptions(const ParsedArgs& args) {
+  ExecutionOptions exec;
+  if (args.Has("threads")) {
+    PCLEAN_ASSIGN_OR_RETURN(std::string text, args.One("threads"));
+    PCLEAN_ASSIGN_OR_RETURN(int64_t threads, ParseInt64(text));
+    if (threads < 0) {
+      return Status::InvalidArgument("--threads must be >= 0");
+    }
+    exec.num_threads = static_cast<size_t>(threads);
+  }
+  return exec;
+}
+
 void PrintUsage(std::ostream& out) {
   out << "pclean - PrivateClean command-line tool\n"
          "\n"
          "  pclean privatize --input data.csv --output release_dir\n"
          "         (--epsilon E | --p P --b B | --count-error TARGET)\n"
-         "         [--seed N]\n"
+         "         [--seed N] [--threads N]\n"
          "  pclean info --release release_dir\n"
          "  pclean query --release release_dir --sql \"SELECT ...\"\n"
-         "         [--direct] [--confidence C]\n"
-         "         [--replace attr:from=to]...\n";
+         "         [--direct] [--confidence C] [--threads N]\n"
+         "         [--replace attr:from=to]...\n"
+         "\n"
+         "  --threads N uses N worker threads for randomization and query\n"
+         "  scans (0 = all hardware threads); results are independent of N.\n";
 }
 
 Status RunPrivatize(const ParsedArgs& args, std::ostream& out) {
@@ -120,8 +139,10 @@ Status RunPrivatize(const ParsedArgs& args, std::ostream& out) {
         "privatize needs --epsilon, --count-error, or both --p and --b");
   }
 
+  GrrOptions grr_options;
+  PCLEAN_ASSIGN_OR_RETURN(grr_options.exec, ParseExecOptions(args));
   PCLEAN_ASSIGN_OR_RETURN(GrrOutput grr,
-                          ApplyGrr(table, params, GrrOptions{}, rng));
+                          ApplyGrr(table, params, grr_options, rng));
   PCLEAN_RETURN_NOT_OK(WriteRelease(grr, output));
   PCLEAN_ASSIGN_OR_RETURN(PrivacyReport report,
                           AccountPrivacy(grr.metadata));
@@ -213,6 +234,7 @@ Status RunQuery(const ParsedArgs& args, std::ostream& out) {
     PCLEAN_ASSIGN_OR_RETURN(options.confidence,
                             ParseFlagDouble(args, "confidence"));
   }
+  PCLEAN_ASSIGN_OR_RETURN(options.exec, ParseExecOptions(args));
   if (args.Has("direct")) {
     PCLEAN_ASSIGN_OR_RETURN(QueryResult r, ExecuteSqlDirect(table, sql));
     out << "direct: " << FormatDouble(r.estimate) << "\n";
