@@ -188,6 +188,59 @@ void BM_ScanParallelScaling(benchmark::State& state) {
 BENCHMARK(BM_ScanParallelScaling)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
     ->Unit(benchmark::kMillisecond);
 
+void BM_GroupByParallelScaling(benchmark::State& state) {
+  const Table& data = ScalingTable();
+  Rng rng(7);
+  PrivateTable pt = *PrivateTable::Create(
+      data, GrrParams::Uniform(0.1, 10.0), GrrOptions{}, rng);
+  QueryOptions options;
+  options.exec.num_threads = static_cast<size_t>(state.range(0));
+  // Warm the provenance-graph cache so the loop times the sharded
+  // counting pass, not the one-off graph build.
+  benchmark::DoNotOptimize(pt.GroupByCountEstimate("category").ok());
+  for (auto _ : state) {
+    auto groups = pt.GroupByCountEstimate("category", options);
+    benchmark::DoNotOptimize(groups.ok());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(data.num_rows()));
+}
+BENCHMARK(BM_GroupByParallelScaling)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_AggregateParallelScaling(benchmark::State& state) {
+  const Table& data = ScalingTable();
+  ExecutionOptions exec;
+  exec.num_threads = static_cast<size_t>(state.range(0));
+  AggregateQuery query = AggregateQuery::Avg(
+      "value", Predicate::In("category", {SyntheticCategory(0),
+                                          SyntheticCategory(1),
+                                          SyntheticCategory(2)}));
+  for (auto _ : state) {
+    auto r = ExecuteAggregate(data, query, exec);
+    benchmark::DoNotOptimize(r.ok());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(data.num_rows()));
+}
+BENCHMARK(BM_AggregateParallelScaling)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_CsvParseParallelScaling(benchmark::State& state) {
+  const Table& data = ScalingTable();
+  CsvOptions options;
+  options.exec.num_threads = static_cast<size_t>(state.range(0));
+  const std::string text = TableToCsv(data, options);
+  for (auto _ : state) {
+    auto parsed = CsvToTable(text, data.schema(), options);
+    benchmark::DoNotOptimize(parsed.ok());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(data.num_rows()));
+}
+BENCHMARK(BM_CsvParseParallelScaling)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_CsvWriteRead(benchmark::State& state) {
   Table data = MakeData(static_cast<size_t>(state.range(0)), 50);
   for (auto _ : state) {

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Full verification flow:
+#   1. tier-1: configure, build, run the whole test suite;
+#   2. thread-sanitizer pass: rebuild with PCLEAN_SANITIZE=thread and run
+#      the `determinism`-labeled suites (the 1/2/8-thread bit-identity and
+#      statistical tests), so data races in the sharded paths are caught
+#      even when plain ctest happens to schedule them benignly.
+#
+# Usage: scripts/verify.sh [build-dir] [tsan-build-dir]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+TSAN_DIR="${2:-build-tsan}"
+JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+echo "== tier-1: build + full ctest (${BUILD_DIR}) =="
+cmake -B "${BUILD_DIR}" -S .
+cmake --build "${BUILD_DIR}" -j "${JOBS}"
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"
+
+echo "== TSan: build + ctest -L determinism (${TSAN_DIR}) =="
+cmake -B "${TSAN_DIR}" -S . -DPCLEAN_SANITIZE=thread
+cmake --build "${TSAN_DIR}" -j "${JOBS}"
+ctest --test-dir "${TSAN_DIR}" --output-on-failure -j "${JOBS}" -L determinism
+
+echo "verify: OK"

@@ -124,6 +124,58 @@ Result<double> Median(std::vector<double> xs) {
   return (lo + hi) / 2.0;
 }
 
+Result<double> ChiSquaredStatistic(const std::vector<double>& observed,
+                                   const std::vector<double>& expected) {
+  if (observed.empty() || observed.size() != expected.size()) {
+    return Status::InvalidArgument(
+        "ChiSquaredStatistic needs equal-length non-empty vectors");
+  }
+  double stat = 0.0;
+  for (size_t i = 0; i < observed.size(); ++i) {
+    if (!(expected[i] > 0.0)) {
+      return Status::InvalidArgument(
+          "ChiSquaredStatistic requires positive expected counts");
+    }
+    double diff = observed[i] - expected[i];
+    stat += diff * diff / expected[i];
+  }
+  return stat;
+}
+
+Result<double> ChiSquaredQuantile(size_t df, double p) {
+  if (df == 0) {
+    return Status::InvalidArgument("ChiSquaredQuantile requires df >= 1");
+  }
+  if (!(p > 0.0 && p < 1.0)) {
+    return Status::InvalidArgument("ChiSquaredQuantile requires p in (0, 1)");
+  }
+  // Wilson–Hilferty: (X/df)^(1/3) is approximately normal with mean
+  // 1 - 2/(9 df) and variance 2/(9 df).
+  PCLEAN_ASSIGN_OR_RETURN(double z, NormalQuantile(p));
+  double k = static_cast<double>(df);
+  double t = 1.0 - 2.0 / (9.0 * k) + z * std::sqrt(2.0 / (9.0 * k));
+  return k * t * t * t;
+}
+
+Result<double> KolmogorovSmirnovStatistic(
+    std::vector<double> samples, const std::function<double(double)>& cdf) {
+  if (samples.empty()) {
+    return Status::InvalidArgument(
+        "KolmogorovSmirnovStatistic of empty sample");
+  }
+  std::sort(samples.begin(), samples.end());
+  double n = static_cast<double>(samples.size());
+  double d = 0.0;
+  for (size_t i = 0; i < samples.size(); ++i) {
+    double f = cdf(samples[i]);
+    // The empirical CDF jumps from i/n to (i+1)/n at samples[i]; the sup
+    // distance is attained at one side of some jump.
+    d = std::max(d, std::abs(f - static_cast<double>(i) / n));
+    d = std::max(d, std::abs(static_cast<double>(i + 1) / n - f));
+  }
+  return d;
+}
+
 Result<double> Percentile(std::vector<double> xs, double p) {
   if (xs.empty()) return Status::InvalidArgument("Percentile of empty vector");
   if (p < 0.0 || p > 100.0) {

@@ -2,6 +2,7 @@
 #define PRIVATECLEAN_COMMON_STATISTICS_H_
 
 #include <cstddef>
+#include <functional>
 #include <vector>
 
 #include "common/result.h"
@@ -76,6 +77,25 @@ Result<double> Median(std::vector<double> xs);
 /// p-th percentile (p in [0,100]) via linear interpolation between order
 /// statistics; errors if empty or p out of range.
 Result<double> Percentile(std::vector<double> xs, double p);
+
+/// Pearson's chi-squared goodness-of-fit statistic
+/// Σ (observed_i - expected_i)² / expected_i. The two vectors must have
+/// equal, non-zero length and every expected count must be positive.
+Result<double> ChiSquaredStatistic(const std::vector<double>& observed,
+                                   const std::vector<double>& expected);
+
+/// Upper quantile of the chi-squared distribution with `df` degrees of
+/// freedom: x such that P(X <= x) = p, via the Wilson–Hilferty cube
+/// approximation (accurate to a few percent for df >= 3, which is enough
+/// for pass/fail test thresholds). Errors if df == 0 or p outside (0, 1).
+Result<double> ChiSquaredQuantile(size_t df, double p);
+
+/// One-sample Kolmogorov–Smirnov statistic sup_x |F_n(x) - F(x)| of
+/// `samples` against a reference CDF evaluated by `cdf`. Errors if
+/// `samples` is empty. (Compare against the asymptotic critical value
+/// c(α)/√n, e.g. 1.358/√n at α = 0.05.)
+Result<double> KolmogorovSmirnovStatistic(
+    std::vector<double> samples, const std::function<double(double)>& cdf);
 
 }  // namespace privateclean
 

@@ -79,21 +79,21 @@ Status PrivateTable::Clean(const Cleaner& cleaner) {
 }
 
 Result<const ProvenanceGraph*> PrivateTable::CachedGraphFor(
-    const std::string& attribute) const {
+    const std::string& attribute, const ExecutionOptions& exec) const {
   if (auto it = graph_cache_.find(attribute); it != graph_cache_.end()) {
     return &it->second;
   }
   PCLEAN_ASSIGN_OR_RETURN(ProvenanceGraph graph,
-                          provenance_.GraphFor(relation_, attribute));
+                          provenance_.GraphFor(relation_, attribute, exec));
   auto [it, inserted] = graph_cache_.emplace(attribute, std::move(graph));
   (void)inserted;
   return &it->second;
 }
 
 Result<ProvenanceGraph> PrivateTable::ProvenanceFor(
-    const std::string& attribute) const {
+    const std::string& attribute, const ExecutionOptions& exec) const {
   PCLEAN_ASSIGN_OR_RETURN(const ProvenanceGraph* graph,
-                          CachedGraphFor(attribute));
+                          CachedGraphFor(attribute, exec));
   return *graph;  // Copy: callers own their snapshot.
 }
 
@@ -121,7 +121,7 @@ Result<EstimationInputs> PrivateTable::InputsForPredicate(
         "' is not backed by a randomized discrete attribute");
   }
   PCLEAN_ASSIGN_OR_RETURN(const ProvenanceGraph* graph,
-                          CachedGraphFor(attr));
+                          CachedGraphFor(attr, options.exec));
   std::vector<Value> m_pred =
       predicate.MatchingValues(graph->clean_domain());
 
@@ -202,14 +202,29 @@ PrivateTable::GroupByCountEstimate(const std::string& attribute,
         "' is not backed by a randomized discrete attribute");
   }
   PCLEAN_ASSIGN_OR_RETURN(const ProvenanceGraph* graph,
-                          CachedGraphFor(attribute));
-  // One pass: nominal count per clean value.
+                          CachedGraphFor(attribute, options.exec));
+  // One sharded pass: nominal count per clean value. Each shard owns a
+  // full count vector; vectors add up in shard index order (integer
+  // sums, so the merge order is immaterial — kept for uniformity with
+  // the other sharded paths).
   PCLEAN_ASSIGN_OR_RETURN(const Column* col,
                           relation_.ColumnByName(attribute));
   const Domain& clean_domain = graph->clean_domain();
+  const size_t shards = ShardCountForRows(col->size());
+  std::vector<std::vector<size_t>> partial_counts(
+      shards, std::vector<size_t>(clean_domain.size(), 0));
+  PCLEAN_RETURN_NOT_OK(ParallelFor(
+      col->size(), shards, options.exec,
+      [&](size_t shard, size_t begin, size_t end) -> Status {
+        std::vector<size_t>& counts = partial_counts[shard];
+        for (size_t r = begin; r < end; ++r) {
+          ++counts[clean_domain.IndexOf(col->ValueAt(r)).ValueOrDie()];
+        }
+        return Status::OK();
+      }));
   std::vector<size_t> counts(clean_domain.size(), 0);
-  for (size_t r = 0; r < col->size(); ++r) {
-    ++counts[clean_domain.IndexOf(col->ValueAt(r)).ValueOrDie()];
+  for (const std::vector<size_t>& partial : partial_counts) {
+    for (size_t i = 0; i < partial.size(); ++i) counts[i] += partial[i];
   }
   std::vector<std::pair<Value, QueryResult>> groups;
   groups.reserve(clean_domain.size());
@@ -254,7 +269,7 @@ Result<QueryResult> PrivateTable::Execute(const AggregateQuery& query,
   // zero-mean and randomized response permutes within the relation. The
   // interval reflects the Laplace noise added to the numeric attribute.
   PCLEAN_ASSIGN_OR_RETURN(double nominal,
-                          ExecuteAggregate(relation_, query));
+                          ExecuteAggregate(relation_, query, options.exec));
   QueryResult r;
   r.estimator = EstimatorKind::kPrivateClean;
   r.estimate = nominal;
@@ -279,15 +294,15 @@ Result<QueryResult> PrivateTable::Execute(const AggregateQuery& query,
 }
 
 Result<QueryResult> PrivateTable::ExecuteDirect(
-    const AggregateQuery& query) const {
+    const AggregateQuery& query, const QueryOptions& options) const {
   if (query.agg != AggregateType::kCount &&
       query.agg != AggregateType::kSum && query.agg != AggregateType::kAvg) {
     return Status::InvalidArgument(
         "ExecuteDirect supports sum/count/avg aggregates");
   }
   if (!query.predicate.has_value()) {
-    PCLEAN_ASSIGN_OR_RETURN(double nominal,
-                            ExecuteAggregate(relation_, query));
+    PCLEAN_ASSIGN_OR_RETURN(
+        double nominal, ExecuteAggregate(relation_, query, options.exec));
     QueryResult r;
     r.estimator = EstimatorKind::kDirect;
     r.estimate = nominal;
@@ -298,9 +313,9 @@ Result<QueryResult> PrivateTable::ExecuteDirect(
   }
   PCLEAN_ASSIGN_OR_RETURN(
       QueryScanStats stats,
-      Scan(*query.predicate, query.agg == AggregateType::kCount
-                                 ? ""
-                                 : query.numeric_attribute));
+      Scan(*query.predicate,
+           query.agg == AggregateType::kCount ? "" : query.numeric_attribute,
+           options.exec));
   switch (query.agg) {
     case AggregateType::kCount:
       return DirectCount(stats);

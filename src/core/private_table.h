@@ -23,8 +23,11 @@ struct QueryOptions {
   /// false: unweighted vertex count (PC-U, §6.3) — on forked graphs this
   /// over-counts; exposed for the Figure 7 ablation.
   bool weighted_cut = true;
-  /// Threading for the scan phase of Count/Sum/Avg/CountConjunctive
-  /// (common/thread_pool.h). Results are identical at every thread count.
+  /// Threading (common/thread_pool.h) for every row pass a query runs:
+  /// the predicate scans of Count/Sum/Avg/CountConjunctive, the
+  /// GroupByCountEstimate counting pass, ExecuteAggregate's per-row
+  /// loops, and provenance graph (re)builds. Results are identical at
+  /// every thread count.
   ExecutionOptions exec;
 };
 
@@ -135,8 +138,11 @@ class PrivateTable {
   /// --- Baselines and extensions ----------------------------------------
 
   /// The Direct estimator (§8.1): nominal value on the cleaned private
-  /// relation, no re-weighting.
-  Result<QueryResult> ExecuteDirect(const AggregateQuery& query) const;
+  /// relation, no re-weighting. Only `options.exec` is consulted (Direct
+  /// has no confidence interval or provenance cut to configure).
+  Result<QueryResult> ExecuteDirect(
+      const AggregateQuery& query,
+      const QueryOptions& options = QueryOptions()) const;
 
   /// §10 extension aggregates on the private relation: median and
   /// percentile pass through (Laplace noise has zero median); var/std
@@ -159,7 +165,8 @@ class PrivateTable {
   /// --- Introspection -----------------------------------------------------
 
   /// Current provenance graph of a discrete attribute.
-  Result<ProvenanceGraph> ProvenanceFor(const std::string& attribute) const;
+  Result<ProvenanceGraph> ProvenanceFor(const std::string& attribute,
+                                        const ExecutionOptions& exec = {}) const;
 
   /// The deterministic estimator inputs (p, l, N) PrivateClean would use
   /// for this predicate right now — exposed for tests and diagnostics.
@@ -184,7 +191,7 @@ class PrivateTable {
   /// parallelism via QueryOptions::exec is fine — the scan shards never
   /// touch the cache.)
   Result<const ProvenanceGraph*> CachedGraphFor(
-      const std::string& attribute) const;
+      const std::string& attribute, const ExecutionOptions& exec = {}) const;
 
   Table relation_;
   PrivateRelationMetadata metadata_;

@@ -18,9 +18,10 @@ constexpr char kMetaFile[] = "meta.csv";
 /// unquoted empty fields still parse as NULL under any null literal.
 constexpr char kNullLiteral[] = "\\N";
 
-CsvOptions ReleaseCsvOptions() {
+CsvOptions ReleaseCsvOptions(const ExecutionOptions& exec = {}) {
   CsvOptions options;
   options.null_literal = kNullLiteral;
+  options.exec = exec;
   return options;
 }
 
@@ -50,7 +51,7 @@ Result<ValueType> TypeFromName(const std::string& name) {
 
 Status WriteRelease(const Table& private_relation,
                     const PrivateRelationMetadata& metadata,
-                    const std::string& dir) {
+                    const std::string& dir, const ExecutionOptions& exec) {
   std::error_code ec;
   std::filesystem::create_directories(dir, ec);
   if (ec) {
@@ -58,7 +59,7 @@ Status WriteRelease(const Table& private_relation,
                            "': " + ec.message());
   }
   PCLEAN_RETURN_NOT_OK(WriteCsvFile(private_relation, dir + "/" + kDataFile,
-                                    ReleaseCsvOptions()));
+                                    ReleaseCsvOptions(exec)));
 
   // meta.csv: one row per attribute, in schema order so the analyst can
   // reconstruct the schema exactly.
@@ -106,11 +107,13 @@ Status WriteRelease(const Table& private_relation,
   return WriteCsvFile(meta_table, dir + "/" + kMetaFile);
 }
 
-Status WriteRelease(const GrrOutput& grr, const std::string& dir) {
-  return WriteRelease(grr.table, grr.metadata, dir);
+Status WriteRelease(const GrrOutput& grr, const std::string& dir,
+                    const ExecutionOptions& exec) {
+  return WriteRelease(grr.table, grr.metadata, dir, exec);
 }
 
-Result<LoadedRelease> ReadRelease(const std::string& dir) {
+Result<LoadedRelease> ReadRelease(const std::string& dir,
+                                  const ExecutionOptions& exec) {
   PCLEAN_ASSIGN_OR_RETURN(Schema meta_schema, MetaSchema());
   PCLEAN_ASSIGN_OR_RETURN(Table meta,
                           ReadCsvFile(dir + "/" + kMetaFile, meta_schema));
@@ -173,13 +176,14 @@ Result<LoadedRelease> ReadRelease(const std::string& dir) {
   PCLEAN_ASSIGN_OR_RETURN(Schema schema, Schema::Make(std::move(fields)));
   PCLEAN_ASSIGN_OR_RETURN(
       release.relation,
-      ReadCsvFile(dir + "/" + kDataFile, schema, ReleaseCsvOptions()));
+      ReadCsvFile(dir + "/" + kDataFile, schema, ReleaseCsvOptions(exec)));
   release.metadata.dataset_size = release.relation.num_rows();
   return release;
 }
 
-Result<PrivateTable> OpenRelease(const std::string& dir) {
-  PCLEAN_ASSIGN_OR_RETURN(LoadedRelease release, ReadRelease(dir));
+Result<PrivateTable> OpenRelease(const std::string& dir,
+                                 const ExecutionOptions& exec) {
+  PCLEAN_ASSIGN_OR_RETURN(LoadedRelease release, ReadRelease(dir, exec));
   return PrivateTable::FromPrivateRelation(std::move(release.relation),
                                            std::move(release.metadata));
 }

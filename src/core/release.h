@@ -24,13 +24,16 @@ namespace privateclean {
 /// — and it is exactly what the analyst-side estimators need (p_i, b_i,
 /// the dirty domains fixing N, and S).
 
-/// Writes the release into `dir` (created if missing).
+/// Writes the release into `dir` (created if missing). `exec` shards the
+/// CSV serialization of data.csv (see CsvOptions::exec); the bytes
+/// written are identical at every thread count.
 Status WriteRelease(const Table& private_relation,
                     const PrivateRelationMetadata& metadata,
-                    const std::string& dir);
+                    const std::string& dir, const ExecutionOptions& exec = {});
 
 /// Convenience overload for a fresh GRR output.
-Status WriteRelease(const GrrOutput& grr, const std::string& dir);
+Status WriteRelease(const GrrOutput& grr, const std::string& dir,
+                    const ExecutionOptions& exec = {});
 
 /// A loaded release: the private relation and its mechanism metadata.
 struct LoadedRelease {
@@ -38,14 +41,17 @@ struct LoadedRelease {
   PrivateRelationMetadata metadata;
 };
 
-/// Reads a release directory back.
-Result<LoadedRelease> ReadRelease(const std::string& dir);
+/// Reads a release directory back. `exec` shards the CSV cell typing of
+/// data.csv; the resulting Table is identical at every thread count.
+Result<LoadedRelease> ReadRelease(const std::string& dir,
+                                  const ExecutionOptions& exec = {});
 
 /// Reconstructs an analyst-side PrivateTable from a loaded release. The
 /// relation must be the *uncleaned* private relation as released (the
 /// provenance snapshot anchors to it); apply cleaners afterwards via
 /// PrivateTable::Clean as usual.
-Result<PrivateTable> OpenRelease(const std::string& dir);
+Result<PrivateTable> OpenRelease(const std::string& dir,
+                                 const ExecutionOptions& exec = {});
 
 }  // namespace privateclean
 

@@ -180,7 +180,8 @@ Result<GrrOutput> ApplyGrr(const Table& input, const GrrParams& params,
             "no Laplace scale for numerical attribute '" + name +
             "' (a non-private column would de-privatize the relation)");
       }
-      PCLEAN_ASSIGN_OR_RETURN(double delta, ColumnSensitivity(input.column(i)));
+      PCLEAN_ASSIGN_OR_RETURN(
+          double delta, ColumnSensitivity(input.column(i), options.exec));
       PCLEAN_RETURN_NOT_OK(
           NoiseNumericColumn(out.table.mutable_column(i), b, options, rng));
       out.metadata.numeric.emplace(name, NumericAttributeMeta{b, delta});

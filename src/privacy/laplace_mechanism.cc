@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/thread_pool.h"
+
 namespace privateclean {
 
 Status ApplyLaplaceMechanism(Column* column, double b, Rng& rng) {
@@ -45,16 +47,18 @@ Status ApplyLaplaceMechanismShard(Column* column, double b, Rng& rng,
   return Status::OK();
 }
 
-Result<double> ColumnSensitivity(const Column& column) {
-  if (column.type() == ValueType::kString) {
-    return Status::InvalidArgument(
-        "sensitivity is defined for numerical columns only");
-  }
+namespace {
+
+/// Per-shard min/max partial for the sensitivity reduction. Merged in
+/// shard index order per the determinism contract (the reduction is
+/// order-insensitive anyway, but the contract keeps every sharded path
+/// uniform and auditable).
+struct MinMaxPartial {
   bool any = false;
-  double lo = 0.0, hi = 0.0;
-  for (size_t r = 0; r < column.size(); ++r) {
-    if (column.IsNull(r)) continue;
-    double x = column.NumericAt(r);
+  double lo = 0.0;
+  double hi = 0.0;
+
+  void Add(double x) {
     if (!any) {
       lo = hi = x;
       any = true;
@@ -63,11 +67,39 @@ Result<double> ColumnSensitivity(const Column& column) {
       hi = std::max(hi, x);
     }
   }
-  if (!any) {
+};
+
+}  // namespace
+
+Result<double> ColumnSensitivity(const Column& column,
+                                 const ExecutionOptions& exec) {
+  if (column.type() == ValueType::kString) {
+    return Status::InvalidArgument(
+        "sensitivity is defined for numerical columns only");
+  }
+  const size_t shards = ShardCountForRows(column.size());
+  std::vector<MinMaxPartial> partials(shards);
+  PCLEAN_RETURN_NOT_OK(ParallelFor(
+      column.size(), shards, exec,
+      [&](size_t shard, size_t begin, size_t end) -> Status {
+        MinMaxPartial& part = partials[shard];
+        for (size_t r = begin; r < end; ++r) {
+          if (column.IsNull(r)) continue;
+          part.Add(column.NumericAt(r));
+        }
+        return Status::OK();
+      }));
+  MinMaxPartial merged;
+  for (const MinMaxPartial& part : partials) {
+    if (!part.any) continue;
+    merged.Add(part.lo);
+    merged.Add(part.hi);
+  }
+  if (!merged.any) {
     return Status::FailedPrecondition(
         "sensitivity undefined: column has no non-null entries");
   }
-  return hi - lo;
+  return merged.hi - merged.lo;
 }
 
 }  // namespace privateclean

@@ -3,6 +3,7 @@
 
 #include "common/random.h"
 #include "common/result.h"
+#include "common/thread_pool.h"
 #include "table/column.h"
 
 namespace privateclean {
@@ -29,7 +30,12 @@ Status ApplyLaplaceMechanismShard(Column* column, double b, Rng& rng,
 
 /// Sensitivity Δ of a numerical column: max − min over non-null entries
 /// (paper Proposition 1). Errors if the column has no non-null entries.
-Result<double> ColumnSensitivity(const Column& column);
+///
+/// The reduction is sharded per `exec` (common/thread_pool.h) with
+/// per-shard min/max partials merged in shard index order, so the result
+/// is identical at every thread count.
+Result<double> ColumnSensitivity(const Column& column,
+                                 const ExecutionOptions& exec = {});
 
 }  // namespace privateclean
 

@@ -2,11 +2,44 @@
 
 #include <map>
 
+#include "common/thread_pool.h"
+
 namespace privateclean {
+
+namespace {
+
+/// Per-shard partial of the clean-domain discovery pass: the shard's
+/// distinct values in local first-appearance order with occurrence
+/// counts. Concatenating the partials in shard index order and deduping
+/// reproduces the global first-appearance order exactly.
+struct CleanDomainPartial {
+  std::vector<Value> values;
+  std::vector<size_t> counts;
+  std::unordered_map<Value, size_t, ValueHash> local_index;
+
+  void Add(const Value& v) {
+    auto [it, inserted] = local_index.emplace(v, values.size());
+    if (inserted) {
+      values.push_back(v);
+      counts.push_back(1);
+    } else {
+      ++counts[it->second];
+    }
+  }
+};
+
+/// Per-shard partial of the edge-counting pass.
+struct EdgeCountPartial {
+  std::vector<size_t> dirty_totals;
+  std::unordered_map<uint64_t, size_t> pair_counts;
+};
+
+}  // namespace
 
 Result<ProvenanceGraph> ProvenanceGraph::Build(const Column& dirty_snapshot,
                                                const Column& clean_current,
-                                               const Domain& dirty_domain) {
+                                               const Domain& dirty_domain,
+                                               const ExecutionOptions& exec) {
   if (dirty_snapshot.size() != clean_current.size()) {
     return Status::InvalidArgument(
         "dirty snapshot and clean column must have equal length");
@@ -18,35 +51,74 @@ Result<ProvenanceGraph> ProvenanceGraph::Build(const Column& dirty_snapshot,
   ProvenanceGraph graph;
   graph.dirty_domain_ = dirty_domain;
 
-  // Pass 1: the clean domain, in first-appearance order.
-  std::vector<Value> clean_values;
-  clean_values.reserve(clean_current.size());
-  for (size_t r = 0; r < clean_current.size(); ++r) {
-    clean_values.push_back(clean_current.ValueAt(r));
-  }
-  graph.clean_domain_ = Domain::FromValues(clean_values);
+  const size_t rows = clean_current.size();
+  const size_t shards = ShardCountForRows(rows);
 
-  // Pass 2: per (dirty, clean) row counts and per-dirty totals.
+  // Pass 1: the clean domain, in first-appearance order. Shards collect
+  // local (value, count) runs; the sequential shard-order merge rebuilds
+  // the global first-appearance order and frequencies.
+  std::vector<CleanDomainPartial> domain_partials(shards);
+  PCLEAN_RETURN_NOT_OK(ParallelFor(
+      rows, shards, exec,
+      [&](size_t shard, size_t begin, size_t end) -> Status {
+        CleanDomainPartial& part = domain_partials[shard];
+        for (size_t r = begin; r < end; ++r) {
+          part.Add(clean_current.ValueAt(r));
+        }
+        return Status::OK();
+      }));
+  {
+    std::vector<Value> merged_values;
+    std::vector<size_t> merged_counts;
+    for (const CleanDomainPartial& part : domain_partials) {
+      merged_values.insert(merged_values.end(), part.values.begin(),
+                           part.values.end());
+      merged_counts.insert(merged_counts.end(), part.counts.begin(),
+                           part.counts.end());
+    }
+    graph.clean_domain_ = Domain::FromValueCounts(merged_values,
+                                                  merged_counts);
+  }
+
+  // Pass 2: per (dirty, clean) row counts and per-dirty totals, sharded
+  // with integer partials summed in shard index order.
   size_t n_dirty = dirty_domain.size();
   size_t n_clean = graph.clean_domain_.size();
+  std::vector<EdgeCountPartial> edge_partials(shards);
+  PCLEAN_RETURN_NOT_OK(ParallelFor(
+      rows, shards, exec,
+      [&](size_t shard, size_t begin, size_t end) -> Status {
+        EdgeCountPartial& part = edge_partials[shard];
+        part.dirty_totals.assign(n_dirty, 0);
+        for (size_t r = begin; r < end; ++r) {
+          auto d_idx = dirty_domain.IndexOf(dirty_snapshot.ValueAt(r));
+          if (!d_idx.ok()) {
+            return Status::InvalidArgument(
+                "snapshot value '" + dirty_snapshot.ValueAt(r).ToString() +
+                "' at row " + std::to_string(r) +
+                " is not in the dirty domain");
+          }
+          size_t c_idx = graph.clean_domain_.IndexOf(clean_current.ValueAt(r))
+                             .ValueOrDie();
+          ++part.dirty_totals[*d_idx];
+          ++part.pair_counts[static_cast<uint64_t>(*d_idx) * n_clean + c_idx];
+        }
+        return Status::OK();
+      }));
+
   std::vector<size_t> dirty_totals(n_dirty, 0);
-  // (dirty, clean) pair -> row count; keyed compactly by index pair.
-  std::unordered_map<uint64_t, size_t> pair_counts;
-  for (size_t r = 0; r < dirty_snapshot.size(); ++r) {
-    auto d_idx = dirty_domain.IndexOf(dirty_snapshot.ValueAt(r));
-    if (!d_idx.ok()) {
-      return Status::InvalidArgument(
-          "snapshot value '" + dirty_snapshot.ValueAt(r).ToString() +
-          "' at row " + std::to_string(r) + " is not in the dirty domain");
+  // (dirty, clean) pair -> row count, in deterministic key order for
+  // reproducible edge assembly.
+  std::map<uint64_t, size_t> ordered;
+  for (const EdgeCountPartial& part : edge_partials) {
+    if (part.dirty_totals.empty()) continue;  // Shard never ran (0 rows).
+    for (size_t d = 0; d < n_dirty; ++d) dirty_totals[d] += part.dirty_totals[d];
+    for (const auto& [key, count] : part.pair_counts) {
+      ordered[key] += count;
     }
-    size_t c_idx = graph.clean_domain_.IndexOf(clean_current.ValueAt(r))
-                       .ValueOrDie();
-    ++dirty_totals[*d_idx];
-    ++pair_counts[static_cast<uint64_t>(*d_idx) * n_clean + c_idx];
   }
 
-  // Assemble edges. Iterate in deterministic order for reproducibility.
-  std::map<uint64_t, size_t> ordered(pair_counts.begin(), pair_counts.end());
+  // Assemble edges in deterministic key order.
   graph.edges_by_clean_.resize(n_clean);
   graph.dirty_out_degree_.assign(n_dirty, 0);
   for (const auto& [key, count] : ordered) {

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/thread_pool.h"
 #include "table/column.h"
 #include "table/domain.h"
 
@@ -37,9 +38,16 @@ class ProvenanceGraph {
   /// all of its rows during later operations. The two columns must have
   /// equal length, and every snapshot value must belong to
   /// `dirty_domain`.
+  ///
+  /// Construction is sharded per `exec` (common/thread_pool.h) in two
+  /// row passes — clean-domain discovery, then (dirty, clean) edge
+  /// counting — with per-shard partials merged in shard index order, so
+  /// the graph (domain order, edge order, weights) is identical at every
+  /// thread count.
   static Result<ProvenanceGraph> Build(const Column& dirty_snapshot,
                                        const Column& clean_current,
-                                       const Domain& dirty_domain);
+                                       const Domain& dirty_domain,
+                                       const ExecutionOptions& exec = {});
 
   /// N: number of distinct dirty values.
   size_t num_dirty_values() const { return dirty_domain_.size(); }

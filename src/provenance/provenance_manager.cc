@@ -81,11 +81,12 @@ Result<const Domain*> ProvenanceManager::DirtyDomain(
 }
 
 Result<ProvenanceGraph> ProvenanceManager::GraphFor(
-    const Table& current, const std::string& attribute) const {
+    const Table& current, const std::string& attribute,
+    const ExecutionOptions& exec) const {
   PCLEAN_ASSIGN_OR_RETURN(const Snapshot* snap, ResolveSource(attribute));
   PCLEAN_ASSIGN_OR_RETURN(const Column* clean_col,
                           current.ColumnByName(attribute));
-  return ProvenanceGraph::Build(snap->column, *clean_col, snap->domain);
+  return ProvenanceGraph::Build(snap->column, *clean_col, snap->domain, exec);
 }
 
 }  // namespace privateclean

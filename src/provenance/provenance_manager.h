@@ -56,9 +56,12 @@ class ProvenanceManager {
   Result<std::string> AnchorOf(const std::string& attribute) const;
 
   /// Builds the provenance graph for `attribute` against the current
-  /// contents of `current` (the cleaned private relation).
+  /// contents of `current` (the cleaned private relation). The build is
+  /// sharded per `exec` (see ProvenanceGraph::Build); the graph is
+  /// identical at every thread count.
   Result<ProvenanceGraph> GraphFor(const Table& current,
-                                   const std::string& attribute) const;
+                                   const std::string& attribute,
+                                   const ExecutionOptions& exec = {}) const;
 
  private:
   struct Snapshot {

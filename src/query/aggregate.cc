@@ -55,18 +55,45 @@ Status ValidateNumericAttribute(const Table& table, const std::string& attr) {
 
 }  // namespace
 
+namespace {
+
+/// Per-shard partial of one ExecuteAggregate pass: everything any of the
+/// aggregate kinds needs, merged in shard index order so floating-point
+/// results depend only on the shard layout, never the thread count.
+struct AggregatePartial {
+  size_t count = 0;             ///< Matching rows (count) / non-null (avg).
+  double sum = 0.0;             ///< Sum of matching non-null values.
+  RunningMoments moments;       ///< For var/std.
+  std::vector<double> values;   ///< For median/percentile (in row order).
+};
+
+}  // namespace
+
 Result<double> ExecuteAggregate(const Table& table,
-                                const AggregateQuery& query) {
+                                const AggregateQuery& query,
+                                const ExecutionOptions& exec) {
   std::vector<uint8_t> mask;
   if (query.predicate.has_value()) {
-    PCLEAN_ASSIGN_OR_RETURN(mask, query.predicate->Evaluate(table));
+    PCLEAN_ASSIGN_OR_RETURN(mask, query.predicate->Evaluate(table, exec));
   } else {
     mask.assign(table.num_rows(), 1);
   }
 
+  const size_t rows = table.num_rows();
+  const size_t shards = ShardCountForRows(rows);
+
   if (query.agg == AggregateType::kCount) {
+    std::vector<AggregatePartial> partials(shards);
+    PCLEAN_RETURN_NOT_OK(ParallelFor(
+        rows, shards, exec,
+        [&](size_t shard, size_t begin, size_t end) -> Status {
+          size_t n = 0;
+          for (size_t r = begin; r < end; ++r) n += mask[r];
+          partials[shard].count = n;
+          return Status::OK();
+        }));
     size_t n = 0;
-    for (uint8_t m : mask) n += m;
+    for (const AggregatePartial& part : partials) n += part.count;
     return static_cast<double>(n);
   }
 
@@ -75,49 +102,63 @@ Result<double> ExecuteAggregate(const Table& table,
   PCLEAN_ASSIGN_OR_RETURN(const Column* col,
                           table.ColumnByName(query.numeric_attribute));
 
-  switch (query.agg) {
-    case AggregateType::kSum: {
-      double sum = 0.0;
-      for (size_t r = 0; r < col->size(); ++r) {
-        if (mask[r] && !col->IsNull(r)) sum += col->NumericAt(r);
-      }
-      return sum;
-    }
-    case AggregateType::kAvg: {
-      double sum = 0.0;
-      size_t n = 0;
-      for (size_t r = 0; r < col->size(); ++r) {
-        if (mask[r] && !col->IsNull(r)) {
-          sum += col->NumericAt(r);
-          ++n;
+  const bool needs_values = query.agg == AggregateType::kMedian ||
+                            query.agg == AggregateType::kPercentile;
+  const bool needs_moments =
+      query.agg == AggregateType::kVar || query.agg == AggregateType::kStd;
+  std::vector<AggregatePartial> partials(shards);
+  PCLEAN_RETURN_NOT_OK(ParallelFor(
+      rows, shards, exec,
+      [&](size_t shard, size_t begin, size_t end) -> Status {
+        AggregatePartial& part = partials[shard];
+        for (size_t r = begin; r < end; ++r) {
+          if (!mask[r] || col->IsNull(r)) continue;
+          double x = col->NumericAt(r);
+          part.sum += x;
+          ++part.count;
+          if (needs_moments) part.moments.Add(x);
+          if (needs_values) part.values.push_back(x);
         }
-      }
-      if (n == 0) {
+        return Status::OK();
+      }));
+
+  AggregatePartial merged;
+  for (AggregatePartial& part : partials) {
+    merged.count += part.count;
+    merged.sum += part.sum;
+    if (needs_moments) merged.moments.Merge(part.moments);
+    if (needs_values) {
+      // Concatenating in shard index order reproduces the serial row
+      // order exactly.
+      merged.values.insert(merged.values.end(), part.values.begin(),
+                           part.values.end());
+    }
+  }
+
+  switch (query.agg) {
+    case AggregateType::kSum:
+      return merged.sum;
+    case AggregateType::kAvg: {
+      if (merged.count == 0) {
         return Status::FailedPrecondition("avg over zero matching rows");
       }
-      return sum / static_cast<double>(n);
+      return merged.sum / static_cast<double>(merged.count);
     }
     case AggregateType::kVar:
     case AggregateType::kStd: {
-      RunningMoments m;
-      for (size_t r = 0; r < col->size(); ++r) {
-        if (mask[r] && !col->IsNull(r)) m.Add(col->NumericAt(r));
-      }
-      if (m.count() < 2) {
+      if (merged.moments.count() < 2) {
         return Status::FailedPrecondition(
             "var/std needs at least 2 matching rows");
       }
-      double var = m.SampleVariance();
+      double var = merged.moments.SampleVariance();
       return query.agg == AggregateType::kVar ? var : std::sqrt(var);
     }
     case AggregateType::kMedian:
     case AggregateType::kPercentile: {
-      std::vector<double> xs;
-      for (size_t r = 0; r < col->size(); ++r) {
-        if (mask[r] && !col->IsNull(r)) xs.push_back(col->NumericAt(r));
+      if (query.agg == AggregateType::kMedian) {
+        return Median(std::move(merged.values));
       }
-      if (query.agg == AggregateType::kMedian) return Median(std::move(xs));
-      return Percentile(std::move(xs), query.percentile);
+      return Percentile(std::move(merged.values), query.percentile);
     }
     case AggregateType::kCount:
       break;  // Handled above.

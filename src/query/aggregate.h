@@ -53,8 +53,17 @@ struct AggregateQuery {
 /// Null semantics: count counts rows (regardless of the numeric
 /// attribute); sum skips null numeric entries; avg = sum of non-null
 /// entries / count of predicate-matching rows with non-null numeric value.
+/// Avg over a selection with zero (non-null) matching rows is a
+/// FailedPrecondition, never 0 or NaN.
+///
+/// The per-row loop is sharded per `exec` (common/thread_pool.h):
+/// per-shard partials (counts, sums, Welford moments, value buffers)
+/// merge in shard index order, so the result — including floating-point
+/// sums and the median/percentile value order — is bit-identical at every
+/// thread count.
 Result<double> ExecuteAggregate(const Table& table,
-                                const AggregateQuery& query);
+                                const AggregateQuery& query,
+                                const ExecutionOptions& exec = {});
 
 /// One-pass scan producing everything the PrivateClean estimators need
 /// (Section 5): the nominal count and sums under the predicate and its

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "common/string_util.h"
+#include "common/thread_pool.h"
 
 namespace privateclean {
 
@@ -159,21 +160,35 @@ std::string TableToCsv(const Table& table, const CsvOptions& options) {
     }
     out.push_back('\n');
   }
-  for (size_t r = 0; r < table.num_rows(); ++r) {
-    for (size_t c = 0; c < table.num_columns(); ++c) {
-      if (c > 0) out.push_back(options.delimiter);
-      Value v = table.column(c).ValueAt(r);
-      if (v.is_null()) {
-        // NULL is encoded as the *unquoted* null literal; AppendField
-        // would quote it, which marks a real value (quoted fields are
-        // never NULL).
-        out.append(options.null_literal);
-      } else {
-        AppendField(&out, v.ToString(), options);
-      }
-    }
-    out.push_back('\n');
-  }
+  // Row rendering is sharded; concatenating the per-shard chunks in
+  // shard index order yields the exact serial byte stream.
+  const size_t rows = table.num_rows();
+  const size_t shards = ShardCountForRows(rows);
+  std::vector<std::string> chunks(shards);
+  // Shard bodies never fail, so the status is always OK.
+  Status st = ParallelFor(
+      rows, shards, options.exec,
+      [&](size_t shard, size_t begin, size_t end) -> Status {
+        std::string& chunk = chunks[shard];
+        for (size_t r = begin; r < end; ++r) {
+          for (size_t c = 0; c < table.num_columns(); ++c) {
+            if (c > 0) chunk.push_back(options.delimiter);
+            Value v = table.column(c).ValueAt(r);
+            if (v.is_null()) {
+              // NULL is encoded as the *unquoted* null literal; AppendField
+              // would quote it, which marks a real value (quoted fields are
+              // never NULL).
+              chunk.append(options.null_literal);
+            } else {
+              AppendField(&chunk, v.ToString(), options);
+            }
+          }
+          chunk.push_back('\n');
+        }
+        return Status::OK();
+      });
+  (void)st;
+  for (const std::string& chunk : chunks) out.append(chunk);
   return out;
 }
 
@@ -210,23 +225,43 @@ Result<Table> CsvToTable(const std::string& text, const Schema& schema,
     first_data = 1;
   }
   PCLEAN_ASSIGN_OR_RETURN(Table table, Table::MakeEmpty(schema));
-  for (size_t r = first_data; r < records.size(); ++r) {
-    const auto& record = records[r];
-    if (schema.num_fields() != 1 && IsBlankRecord(record)) continue;
-    if (record.size() != schema.num_fields()) {
-      return Status::IOError("CSV record " + std::to_string(r) + " has " +
-                             std::to_string(record.size()) +
-                             " fields, expected " +
-                             std::to_string(schema.num_fields()));
+  // Cell typing is sharded over the data records; each shard types its
+  // records into a local row buffer, and the buffers are appended in
+  // shard index order, which reproduces the serial row order exactly.
+  // Shards are claimed in increasing index order, so on malformed input
+  // the error reported is the serial one (lowest failing record).
+  const size_t num_data = records.size() - first_data;
+  const size_t shards = ShardCountForRows(num_data);
+  std::vector<std::vector<std::vector<Value>>> shard_rows(shards);
+  PCLEAN_RETURN_NOT_OK(ParallelFor(
+      num_data, shards, options.exec,
+      [&](size_t shard, size_t begin, size_t end) -> Status {
+        std::vector<std::vector<Value>>& rows = shard_rows[shard];
+        for (size_t i = begin; i < end; ++i) {
+          const size_t r = first_data + i;
+          const auto& record = records[r];
+          if (schema.num_fields() != 1 && IsBlankRecord(record)) continue;
+          if (record.size() != schema.num_fields()) {
+            return Status::IOError(
+                "CSV record " + std::to_string(r) + " has " +
+                std::to_string(record.size()) + " fields, expected " +
+                std::to_string(schema.num_fields()));
+          }
+          std::vector<Value> row;
+          row.reserve(record.size());
+          for (size_t c = 0; c < record.size(); ++c) {
+            PCLEAN_ASSIGN_OR_RETURN(
+                Value v, ParseCell(record[c], schema.field(c), options));
+            row.push_back(std::move(v));
+          }
+          rows.push_back(std::move(row));
+        }
+        return Status::OK();
+      }));
+  for (const auto& rows : shard_rows) {
+    for (const std::vector<Value>& row : rows) {
+      PCLEAN_RETURN_NOT_OK(table.AppendRow(row));
     }
-    std::vector<Value> row;
-    row.reserve(record.size());
-    for (size_t c = 0; c < record.size(); ++c) {
-      PCLEAN_ASSIGN_OR_RETURN(Value v,
-                              ParseCell(record[c], schema.field(c), options));
-      row.push_back(std::move(v));
-    }
-    PCLEAN_RETURN_NOT_OK(table.AppendRow(row));
   }
   return table;
 }

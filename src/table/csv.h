@@ -4,6 +4,7 @@
 #include <string>
 
 #include "common/result.h"
+#include "common/thread_pool.h"
 #include "table/table.h"
 
 namespace privateclean {
@@ -16,6 +17,12 @@ struct CsvOptions {
   bool header = true;
   /// String that encodes NULL (in addition to the empty field).
   std::string null_literal = "";
+  /// Threading (common/thread_pool.h). Record splitting is inherently
+  /// sequential (quote state carries across bytes) and stays serial;
+  /// cell typing on read and row rendering on write are sharded, with
+  /// per-shard output concatenated in shard index order so the bytes
+  /// (write) and Table (read) are identical at every thread count.
+  ExecutionOptions exec;
 };
 
 /// Serializes a table to CSV text. Null cells render as

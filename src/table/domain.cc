@@ -20,6 +20,15 @@ Domain Domain::FromValues(const std::vector<Value>& values) {
   return d;
 }
 
+Domain Domain::FromValueCounts(const std::vector<Value>& values,
+                               const std::vector<size_t>& counts) {
+  Domain d;
+  for (size_t i = 0; i < values.size() && i < counts.size(); ++i) {
+    d.AddCount(values[i], counts[i]);
+  }
+  return d;
+}
+
 Result<size_t> Domain::IndexOf(const Value& v) const {
   auto it = index_.find(v);
   if (it == index_.end()) {
@@ -28,14 +37,17 @@ Result<size_t> Domain::IndexOf(const Value& v) const {
   return it->second;
 }
 
-void Domain::Add(const Value& v) {
-  ++total_;
+void Domain::Add(const Value& v) { AddCount(v, 1); }
+
+void Domain::AddCount(const Value& v, size_t count) {
+  if (count == 0) return;
+  total_ += count;
   auto [it, inserted] = index_.emplace(v, values_.size());
   if (inserted) {
     values_.push_back(v);
-    freqs_.push_back(1);
+    freqs_.push_back(count);
   } else {
-    ++freqs_[it->second];
+    freqs_[it->second] += count;
   }
 }
 

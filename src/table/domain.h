@@ -29,6 +29,14 @@ class Domain {
   /// frequencies counted).
   static Domain FromValues(const std::vector<Value>& values);
 
+  /// Builds a domain from parallel (value, occurrence count) lists —
+  /// used by sharded consumers that pre-aggregate per shard and merge in
+  /// shard index order, so the first-appearance order and frequencies
+  /// match what FromValues would compute over the full value stream.
+  /// Repeated values accumulate their counts.
+  static Domain FromValueCounts(const std::vector<Value>& values,
+                                const std::vector<size_t>& counts);
+
   /// Number of distinct values (paper's N).
   size_t size() const { return values_.size(); }
   bool empty() const { return values_.empty(); }
@@ -52,6 +60,7 @@ class Domain {
 
  private:
   void Add(const Value& v);
+  void AddCount(const Value& v, size_t count);
 
   std::vector<Value> values_;
   std::vector<size_t> freqs_;

@@ -59,6 +59,41 @@ TEST(AggregateTest, AvgNoMatchesFails) {
   EXPECT_TRUE(r.status().IsFailedPrecondition());
 }
 
+TEST(AggregateTest, AvgZeroSelectedRowsIsTypedStatusNotZeroOrNan) {
+  // Regression: AVG over an empty selection must be a FailedPrecondition
+  // Status, never a raw 0.0 or NaN — and identically so on an entirely
+  // empty relation and at every thread count.
+  Table empty = *Table::MakeEmpty(TestSchema());
+  for (size_t threads : {1u, 2u, 8u}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    ExecutionOptions exec;
+    exec.num_threads = threads;
+    auto on_empty =
+        ExecuteAggregate(empty, AggregateQuery::Avg("score"), exec);
+    ASSERT_FALSE(on_empty.ok());
+    EXPECT_TRUE(on_empty.status().IsFailedPrecondition());
+    auto no_match = ExecuteAggregate(
+        TestTable(),
+        AggregateQuery::Avg("score", Predicate::Equals("major", "Absent")),
+        exec);
+    ASSERT_FALSE(no_match.ok());
+    EXPECT_TRUE(no_match.status().IsFailedPrecondition());
+  }
+}
+
+TEST(AggregateTest, AvgAllNullMatchesFails) {
+  // Rows match the predicate but every matching numeric entry is NULL:
+  // there is no well-defined mean, so this is the same typed error.
+  TableBuilder b(TestSchema());
+  b.Row({Value("EECS"), Value::Null()})
+      .Row({Value("EECS"), Value::Null()})
+      .Row({Value("Math"), Value(2.0)});
+  Table table = *b.Finish();
+  auto r = ExecuteAggregate(table, AggregateQuery::Avg("score", Eecs()));
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsFailedPrecondition());
+}
+
 TEST(AggregateTest, SumOnStringAttributeRejected) {
   auto r = ExecuteAggregate(TestTable(), AggregateQuery::Sum("major"));
   EXPECT_FALSE(r.ok());

@@ -4,6 +4,7 @@
 
 #include <cstdio>
 
+#include "common/random.h"
 #include "table/table_builder.h"
 
 namespace privateclean {
@@ -211,6 +212,102 @@ TEST(CsvInferTest, InferThenParseRoundTrip) {
   Table t = *CsvToTable(csv, s);
   EXPECT_EQ(t.num_rows(), 2u);
   EXPECT_TRUE(t.column(1).IsNull(1));
+}
+
+// --- Parallel parser/serializer vs the serial reference ----------------
+
+void ExpectSameTable(const Table& a, const Table& b) {
+  ASSERT_TRUE(a.schema() == b.schema());
+  ASSERT_EQ(a.num_rows(), b.num_rows());
+  for (size_t c = 0; c < a.num_columns(); ++c) {
+    for (size_t r = 0; r < a.num_rows(); ++r) {
+      ASSERT_EQ(a.column(c).ValueAt(r), b.column(c).ValueAt(r))
+          << "row " << r << " col " << c;
+    }
+  }
+}
+
+TEST(CsvParallelFuzzTest, ParallelParseMatchesSerialOnRandomTables) {
+  // Random tables full of the hostile cases — delimiters, quotes,
+  // newlines, padding whitespace, the null literal both as a real string
+  // and as an actual NULL — serialized, then parsed serially and with 8
+  // threads: same bytes in, same Table out.
+  const char* string_pool[] = {"alpha",  "be,ta", "ga\"mma", "del\nta",
+                               " lead",  "trail ", "\\N",    "",
+                               "x\r\ny", "\"\""};
+  Schema schema = *Schema::Make({Field::Discrete("name"),
+                                 Field::Numerical("score", ValueType::kDouble),
+                                 Field::Numerical("count", ValueType::kInt64)});
+  for (int trial = 0; trial < 10; ++trial) {
+    SCOPED_TRACE("trial " + std::to_string(trial));
+    Rng rng(500 + trial);
+    TableBuilder b(schema);
+    size_t rows = 50 + rng.UniformInt(200);
+    for (size_t r = 0; r < rows; ++r) {
+      Value name = rng.Bernoulli(0.15)
+                       ? Value::Null()
+                       : Value(string_pool[rng.UniformInt(10)]);
+      Value score = rng.Bernoulli(0.15)
+                        ? Value::Null()
+                        : Value(rng.UniformRealRange(-100.0, 100.0));
+      Value count = rng.Bernoulli(0.15)
+                        ? Value::Null()
+                        : Value(rng.UniformIntRange(-1000, 1000));
+      b.Row({name, score, count});
+    }
+    Table original = *b.Finish();
+
+    CsvOptions serial;
+    serial.null_literal = "\\N";
+    CsvOptions parallel = serial;
+    parallel.exec.num_threads = 8;
+
+    // Same bytes out of both serializers.
+    const std::string text = TableToCsv(original, serial);
+    EXPECT_EQ(TableToCsv(original, parallel), text);
+
+    // Same Table out of both parsers, equal to the original.
+    Table from_serial = *CsvToTable(text, schema, serial);
+    Table from_parallel = *CsvToTable(text, schema, parallel);
+    ExpectSameTable(from_serial, from_parallel);
+    ExpectSameTable(original, from_parallel);
+  }
+}
+
+TEST(CsvParallelFuzzTest, ParallelParseMatchesSerialOnRawText) {
+  // Raw text fuzz (not writer output): random fragments including
+  // malformed records. Serial and parallel parses must agree exactly —
+  // same Table on success, same Status (code and message) on failure.
+  const char* fragment_pool[] = {
+      "a,1.5,2\n",     "\\N,\\N,\\N\n", "\"\\N\",0,0\n", "\n",
+      "\"q\"\"q\",3,4\n", " pad ,5,6\n", "a,b,c\n",       "short,1\n",
+      "long,1,2,3\n",  "\"multi\nline\",7,8\n"};
+  Schema schema = *Schema::Make({Field::Discrete("name"),
+                                 Field::Numerical("score", ValueType::kDouble),
+                                 Field::Numerical("count", ValueType::kInt64)});
+  for (int trial = 0; trial < 20; ++trial) {
+    SCOPED_TRACE("trial " + std::to_string(trial));
+    Rng rng(900 + trial);
+    std::string text = "name,score,count\n";
+    size_t fragments = 20 + rng.UniformInt(100);
+    for (size_t i = 0; i < fragments; ++i) {
+      text += fragment_pool[rng.UniformInt(10)];
+    }
+    CsvOptions serial;
+    serial.null_literal = "\\N";
+    CsvOptions parallel = serial;
+    parallel.exec.num_threads = 8;
+    auto from_serial = CsvToTable(text, schema, serial);
+    auto from_parallel = CsvToTable(text, schema, parallel);
+    ASSERT_EQ(from_serial.ok(), from_parallel.ok());
+    if (from_serial.ok()) {
+      ExpectSameTable(*from_serial, *from_parallel);
+    } else {
+      EXPECT_EQ(from_serial.status().code(), from_parallel.status().code());
+      EXPECT_EQ(from_serial.status().message(),
+                from_parallel.status().message());
+    }
+  }
 }
 
 }  // namespace

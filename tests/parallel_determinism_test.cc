@@ -7,10 +7,16 @@
 
 #include <gtest/gtest.h>
 
+#include "cleaning/merge.h"
 #include "core/private_table.h"
 #include "datagen/synthetic.h"
+#include "parallel_harness.h"
 #include "privacy/grr.h"
+#include "privacy/laplace_mechanism.h"
+#include "provenance/provenance_graph.h"
 #include "query/aggregate.h"
+#include "table/csv.h"
+#include "table/table_builder.h"
 
 namespace privateclean {
 namespace {
@@ -153,6 +159,200 @@ TEST(ParallelDeterminismTest, SmallTableRegenerationStillWorks) {
       *ApplyGrr(small, GrrParams::Uniform(0.9, 1.0), grr_options, rng8);
   ExpectTablesIdentical(base.table, parallel.table);
   EXPECT_EQ(base.total_regenerations, parallel.total_regenerations);
+}
+
+// --- The five sharded hot paths, via the byte-exact harness ------------
+
+void AppendStatusOrDouble(ByteSink* sink, const Result<double>& r) {
+  sink->AppendU64(r.ok() ? 1 : 0);
+  if (r.ok()) {
+    sink->AppendDoubleBits(*r);
+  } else {
+    sink->AppendU64(static_cast<uint64_t>(r.status().code()));
+    sink->AppendString(r.status().message());
+  }
+}
+
+void AppendQueryResult(ByteSink* sink, const QueryResult& r) {
+  sink->AppendDoubleBits(r.estimate);
+  sink->AppendDoubleBits(r.ci.lo);
+  sink->AppendDoubleBits(r.ci.hi);
+  sink->AppendDoubleBits(r.nominal);
+  sink->AppendDoubleBits(r.p);
+  sink->AppendDoubleBits(r.l);
+  sink->AppendDoubleBits(r.n);
+  sink->AppendU64(r.s);
+}
+
+void AppendProvenanceGraph(ByteSink* sink, const ProvenanceGraph& g) {
+  sink->AppendU64(g.num_dirty_values());
+  sink->AppendU64(g.num_clean_values());
+  sink->AppendU64(g.num_edges());
+  sink->AppendU64(g.is_fork_free() ? 1 : 0);
+  for (size_t i = 0; i < g.clean_domain().size(); ++i) {
+    sink->AppendValue(g.clean_domain().value(i));
+    sink->AppendU64(g.clean_domain().frequency(i));
+  }
+  for (const Value& dirty : g.dirty_domain().values()) {
+    for (const Value& clean : g.clean_domain().values()) {
+      sink->AppendDoubleBits(g.EdgeWeight(dirty, clean));
+    }
+  }
+}
+
+TEST(ParallelDeterminismTest, GroupByCountIdenticalAcrossThreadCounts) {
+  Rng rng(13);
+  PrivateTable pt = *PrivateTable::Create(
+      TestTable(), GrrParams::Uniform(0.2, 5.0), GrrOptions{}, rng);
+  // Merge two categories so the estimate runs on a cleaned relation with
+  // a non-trivial provenance graph.
+  ASSERT_TRUE(pt.Clean(FindReplace::Single("category", SyntheticCategory(1),
+                                           SyntheticCategory(0)))
+                  .ok());
+  ExpectIdenticalAcrossThreadCounts([&](const ExecutionOptions& exec) {
+    QueryOptions options;
+    options.exec = exec;
+    auto groups = *pt.GroupByCountEstimate("category", options);
+    ByteSink sink;
+    sink.AppendU64(groups.size());
+    for (const auto& [value, result] : groups) {
+      sink.AppendValue(value);
+      AppendQueryResult(&sink, result);
+    }
+    return std::move(sink).Finish();
+  });
+}
+
+TEST(ParallelDeterminismTest, ExecuteAggregateIdenticalAcrossThreadCounts) {
+  Predicate pred = Predicate::In(
+      "category", {SyntheticCategory(0), SyntheticCategory(2)});
+  std::vector<AggregateQuery> queries = {
+      AggregateQuery::Count(pred),
+      AggregateQuery::Sum("value", pred),
+      AggregateQuery::Avg("value", pred),
+      AggregateQuery{AggregateType::kVar, "value", pred, 50.0},
+      AggregateQuery{AggregateType::kStd, "value", pred, 50.0},
+      AggregateQuery{AggregateType::kMedian, "value", pred, 50.0},
+      AggregateQuery{AggregateType::kPercentile, "value", pred, 90.0},
+  };
+  ExpectIdenticalAcrossThreadCounts([&](const ExecutionOptions& exec) {
+    ByteSink sink;
+    for (const AggregateQuery& query : queries) {
+      AppendStatusOrDouble(&sink, ExecuteAggregate(TestTable(), query, exec));
+    }
+    return std::move(sink).Finish();
+  });
+}
+
+TEST(ParallelDeterminismTest, ColumnSensitivityIdenticalAcrossThreadCounts) {
+  const Column& value_col = **TestTable().ColumnByName("value");
+  ExpectIdenticalAcrossThreadCounts([&](const ExecutionOptions& exec) {
+    ByteSink sink;
+    AppendStatusOrDouble(&sink, ColumnSensitivity(value_col, exec));
+    return std::move(sink).Finish();
+  });
+}
+
+TEST(ParallelDeterminismTest, CsvWriteAndReadIdenticalAcrossThreadCounts) {
+  const Schema& schema = TestTable().schema();
+  CsvOptions serial;
+  const std::string serial_text = TableToCsv(TestTable(), serial);
+  ExpectIdenticalAcrossThreadCounts([&](const ExecutionOptions& exec) {
+    CsvOptions options;
+    options.exec = exec;
+    const std::string text = TableToCsv(TestTable(), options);
+    Table parsed = *CsvToTable(text, schema, options);
+    ByteSink sink;
+    sink.AppendString(text);
+    sink.AppendTable(parsed);
+    return std::move(sink).Finish();
+  });
+  // And the sharded writer reproduces the serial byte stream.
+  CsvOptions parallel;
+  parallel.exec.num_threads = 8;
+  EXPECT_EQ(TableToCsv(TestTable(), parallel), serial_text);
+}
+
+TEST(ParallelDeterminismTest, ProvenanceBuildIdenticalAcrossThreadCounts) {
+  // Dirty column spanning several shards; the clean column merges c1
+  // into c0 and forks c2 by row parity, so the graph has both a merged
+  // and a forked dirty value.
+  const Column& dirty = **TestTable().ColumnByName("category");
+  Column clean = *Column::Make(ValueType::kString);
+  for (size_t r = 0; r < dirty.size(); ++r) {
+    Value v = dirty.ValueAt(r);
+    if (v == SyntheticCategory(1)) {
+      v = SyntheticCategory(0);
+    } else if (v == SyntheticCategory(2)) {
+      v = Value(r % 2 == 0 ? "c2-even" : "c2-odd");
+    }
+    ASSERT_TRUE(clean.AppendValue(v).ok());
+  }
+  Domain dirty_domain = *Domain::FromColumn(TestTable(), "category");
+  ExpectIdenticalAcrossThreadCounts([&](const ExecutionOptions& exec) {
+    ProvenanceGraph g =
+        *ProvenanceGraph::Build(dirty, clean, dirty_domain, exec);
+    ByteSink sink;
+    AppendProvenanceGraph(&sink, g);
+    return std::move(sink).Finish();
+  });
+}
+
+// --- Shard-boundary and degenerate table sizes -------------------------
+
+Table SizedTable(size_t rows) {
+  Schema schema = *Schema::Make({Field::Discrete("category"),
+                                 Field::Numerical("value", ValueType::kDouble)});
+  TableBuilder builder(schema);
+  for (size_t r = 0; r < rows; ++r) {
+    // A small rotating category set with periodic nulls in both columns,
+    // so every path sees nulls and repeated values.
+    Value category = r % 7 == 3 ? Value::Null()
+                                : Value("g" + std::to_string(r % 5));
+    Value value = r % 11 == 5 ? Value::Null()
+                              : Value(static_cast<double>(r % 97) / 7.0);
+    builder.Row({category, value});
+  }
+  return *builder.Finish();
+}
+
+TEST(ParallelDeterminismTest, EdgeCaseSizesIdenticalAcrossThreadCounts) {
+  // Empty, single-row, exactly one full shard, and one row over the
+  // shard boundary: the layouts where shard arithmetic can go wrong.
+  for (size_t rows : {size_t{0}, size_t{1}, kRowsPerShard,
+                      kRowsPerShard + 1}) {
+    SCOPED_TRACE("rows=" + std::to_string(rows));
+    Table table = SizedTable(rows);
+    Predicate pred = Predicate::Equals("category", Value("g2"));
+    Domain dirty_domain = Domain::FromValues(
+        {Value("g0"), Value("g1"), Value("g2"), Value("g3"), Value("g4"),
+         Value::Null()});
+    ExpectIdenticalAcrossThreadCounts([&](const ExecutionOptions& exec) {
+      ByteSink sink;
+      AppendStatusOrDouble(
+          &sink, ExecuteAggregate(table, AggregateQuery::Count(pred), exec));
+      AppendStatusOrDouble(
+          &sink,
+          ExecuteAggregate(table, AggregateQuery::Sum("value", pred), exec));
+      AppendStatusOrDouble(
+          &sink,
+          ExecuteAggregate(table, AggregateQuery::Avg("value", pred), exec));
+      AppendStatusOrDouble(&sink,
+                           ColumnSensitivity(*table.ColumnByName("value")
+                                                  .ValueOrDie(),
+                                             exec));
+      CsvOptions csv;
+      csv.exec = exec;
+      csv.null_literal = "\\N";
+      const std::string text = TableToCsv(table, csv);
+      sink.AppendString(text);
+      sink.AppendTable(*CsvToTable(text, table.schema(), csv));
+      ProvenanceGraph g = *ProvenanceGraph::Build(
+          table.column(0), table.column(0), dirty_domain, exec);
+      AppendProvenanceGraph(&sink, g);
+      return std::move(sink).Finish();
+    });
+  }
 }
 
 }  // namespace

@@ -151,5 +151,47 @@ TEST(PercentileTest, ErrorsOnBadInput) {
   EXPECT_DOUBLE_EQ(*Percentile({5.0}, 99.0), 5.0);
 }
 
+TEST(ChiSquaredTest, StatisticKnownValue) {
+  // (60-50)²/50 + (40-50)²/50 = 2 + 2 = 4.
+  EXPECT_DOUBLE_EQ(*ChiSquaredStatistic({60.0, 40.0}, {50.0, 50.0}), 4.0);
+  EXPECT_DOUBLE_EQ(*ChiSquaredStatistic({50.0, 50.0}, {50.0, 50.0}), 0.0);
+}
+
+TEST(ChiSquaredTest, StatisticErrors) {
+  EXPECT_FALSE(ChiSquaredStatistic({}, {}).ok());
+  EXPECT_FALSE(ChiSquaredStatistic({1.0}, {1.0, 2.0}).ok());
+  EXPECT_FALSE(ChiSquaredStatistic({1.0}, {0.0}).ok());
+}
+
+TEST(ChiSquaredTest, QuantileMatchesTables) {
+  // Textbook 95th percentiles: df=10 -> 18.307, df=30 -> 43.773. The
+  // Wilson–Hilferty cube is good to well under 1% here.
+  EXPECT_NEAR(*ChiSquaredQuantile(10, 0.95), 18.307, 0.1);
+  EXPECT_NEAR(*ChiSquaredQuantile(30, 0.95), 43.773, 0.1);
+  EXPECT_NEAR(*ChiSquaredQuantile(100, 0.99), 135.807, 0.3);
+  EXPECT_FALSE(ChiSquaredQuantile(0, 0.95).ok());
+  EXPECT_FALSE(ChiSquaredQuantile(5, 1.0).ok());
+}
+
+TEST(KolmogorovSmirnovTest, UniformSamplesAgainstUniformCdf) {
+  // Perfectly spaced uniform quantiles minimize the KS distance: with
+  // x_i = (i + 0.5)/n the sup distance is exactly 0.5/n.
+  std::vector<double> xs;
+  const size_t n = 100;
+  for (size_t i = 0; i < n; ++i) {
+    xs.push_back((static_cast<double>(i) + 0.5) / static_cast<double>(n));
+  }
+  auto uniform_cdf = [](double x) { return x; };
+  EXPECT_NEAR(*KolmogorovSmirnovStatistic(xs, uniform_cdf), 0.005, 1e-12);
+}
+
+TEST(KolmogorovSmirnovTest, DetectsWrongDistribution) {
+  // Samples concentrated at 0.9 are far from Uniform(0,1): D ~ 0.9.
+  std::vector<double> xs(50, 0.9);
+  auto uniform_cdf = [](double x) { return x; };
+  EXPECT_GT(*KolmogorovSmirnovStatistic(xs, uniform_cdf), 0.8);
+  EXPECT_FALSE(KolmogorovSmirnovStatistic({}, uniform_cdf).ok());
+}
+
 }  // namespace
 }  // namespace privateclean

@@ -109,8 +109,10 @@ Status RunPrivatize(const ParsedArgs& args, std::ostream& out) {
   buffer << f.rdbuf();
   std::string text = buffer.str();
 
+  CsvOptions csv_options;
+  PCLEAN_ASSIGN_OR_RETURN(csv_options.exec, ParseExecOptions(args));
   PCLEAN_ASSIGN_OR_RETURN(Schema schema, InferCsvSchema(text));
-  PCLEAN_ASSIGN_OR_RETURN(Table table, CsvToTable(text, schema));
+  PCLEAN_ASSIGN_OR_RETURN(Table table, CsvToTable(text, schema, csv_options));
 
   uint64_t seed = 0;
   if (args.Has("seed")) {
@@ -140,10 +142,10 @@ Status RunPrivatize(const ParsedArgs& args, std::ostream& out) {
   }
 
   GrrOptions grr_options;
-  PCLEAN_ASSIGN_OR_RETURN(grr_options.exec, ParseExecOptions(args));
+  grr_options.exec = csv_options.exec;
   PCLEAN_ASSIGN_OR_RETURN(GrrOutput grr,
                           ApplyGrr(table, params, grr_options, rng));
-  PCLEAN_RETURN_NOT_OK(WriteRelease(grr, output));
+  PCLEAN_RETURN_NOT_OK(WriteRelease(grr, output, csv_options.exec));
   PCLEAN_ASSIGN_OR_RETURN(PrivacyReport report,
                           AccountPrivacy(grr.metadata));
   out << "wrote release: " << output << "\n";
@@ -225,16 +227,16 @@ Status ApplyReplaceRule(PrivateTable* table, const std::string& rule) {
 Status RunQuery(const ParsedArgs& args, std::ostream& out) {
   PCLEAN_ASSIGN_OR_RETURN(std::string dir, args.One("release"));
   PCLEAN_ASSIGN_OR_RETURN(std::string sql, args.One("sql"));
-  PCLEAN_ASSIGN_OR_RETURN(PrivateTable table, OpenRelease(dir));
-  for (const std::string& rule : args.All("replace")) {
-    PCLEAN_RETURN_NOT_OK(ApplyReplaceRule(&table, rule));
-  }
   QueryOptions options;
   if (args.Has("confidence")) {
     PCLEAN_ASSIGN_OR_RETURN(options.confidence,
                             ParseFlagDouble(args, "confidence"));
   }
   PCLEAN_ASSIGN_OR_RETURN(options.exec, ParseExecOptions(args));
+  PCLEAN_ASSIGN_OR_RETURN(PrivateTable table, OpenRelease(dir, options.exec));
+  for (const std::string& rule : args.All("replace")) {
+    PCLEAN_RETURN_NOT_OK(ApplyReplaceRule(&table, rule));
+  }
   if (args.Has("direct")) {
     PCLEAN_ASSIGN_OR_RETURN(QueryResult r, ExecuteSqlDirect(table, sql));
     out << "direct: " << FormatDouble(r.estimate) << "\n";
