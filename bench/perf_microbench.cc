@@ -226,6 +226,32 @@ void BM_AggregateParallelScaling(benchmark::State& state) {
 BENCHMARK(BM_AggregateParallelScaling)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
     ->Unit(benchmark::kMillisecond);
 
+void BM_BootstrapParallelScaling(benchmark::State& state) {
+  // Replicate-axis scaling: each of the 64 replicates resamples all rows
+  // and runs the extension aggregate, so the work is
+  // O(replicates × rows) and shards at replicate granularity
+  // (ShardCountForCoarseItems). A smaller table than ScalingTable keeps
+  // one iteration tractable at every thread count.
+  static const Table* data = new Table(MakeData(50000, 50));
+  static const PrivateTable* pt = [] {
+    Rng rng(8);
+    return new PrivateTable(*PrivateTable::Create(
+        *data, GrrParams::Uniform(0.1, 10.0), GrrOptions{}, rng));
+  }();
+  ExecutionOptions exec;
+  exec.num_threads = static_cast<size_t>(state.range(0));
+  AggregateQuery median{AggregateType::kMedian, "value", std::nullopt, 50.0};
+  for (auto _ : state) {
+    Rng rng(9);
+    auto r = pt->BootstrapExtendedAggregate(median, rng, 64, 0.95, exec);
+    benchmark::DoNotOptimize(r.ok());
+  }
+  state.SetItemsProcessed(state.iterations() * 64 *
+                          static_cast<int64_t>(data->num_rows()));
+}
+BENCHMARK(BM_BootstrapParallelScaling)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_CsvParseParallelScaling(benchmark::State& state) {
   const Table& data = ScalingTable();
   CsvOptions options;

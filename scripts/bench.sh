@@ -1,0 +1,71 @@
+#!/usr/bin/env bash
+# Thread-scaling benchmark run:
+#   1. build the release benchmark binary;
+#   2. run the *ParallelScaling microbenchmarks (GRR, CSV parse,
+#      bootstrap replicates) at their 1..8-thread arguments;
+#   3. condense the google-benchmark JSON into BENCH_pr3.json, mapping
+#      each benchmark to its 1-thread and max-thread wall time in ms.
+#
+# On a single-core machine the scaling numbers are flat; the run still
+# verifies that every scaling path executes and stays deterministic.
+#
+# Usage: scripts/bench.sh [build-dir] [output-json]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+OUT_JSON="${2:-BENCH_pr3.json}"
+JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+RAW_JSON="${BUILD_DIR}/bench_scaling_raw.json"
+
+echo "== build (${BUILD_DIR}) =="
+cmake -B "${BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build "${BUILD_DIR}" -j "${JOBS}" --target perf_microbench
+
+echo "== run *ParallelScaling benchmarks =="
+"${BUILD_DIR}/bench/perf_microbench" \
+  --benchmark_filter='ParallelScaling' \
+  --benchmark_format=json \
+  --benchmark_out="${RAW_JSON}" \
+  --benchmark_out_format=json
+
+echo "== condense into ${OUT_JSON} =="
+python3 - "${RAW_JSON}" "${OUT_JSON}" <<'PY'
+import json
+import sys
+
+raw_path, out_path = sys.argv[1], sys.argv[2]
+with open(raw_path) as f:
+    raw = json.load(f)
+
+TO_MS = {"ns": 1e-6, "us": 1e-3, "ms": 1.0, "s": 1e3}
+
+# One entry per benchmark family: real time in ms at 1 thread and at the
+# largest thread argument that ran.
+runs = {}
+for b in raw.get("benchmarks", []):
+    if b.get("run_type") == "aggregate":
+        continue
+    name, _, arg = b["name"].rpartition("/")
+    if not name or not arg.isdigit():
+        continue
+    ms = b["real_time"] * TO_MS[b.get("time_unit", "ns")]
+    runs.setdefault(name, {})[int(arg)] = ms
+
+summary = {}
+for name, by_threads in sorted(runs.items()):
+    max_threads = max(by_threads)
+    summary[name] = {
+        "threads_1_ms": round(by_threads.get(1, float("nan")), 4),
+        "threads_max": max_threads,
+        "threads_max_ms": round(by_threads[max_threads], 4),
+    }
+
+with open(out_path, "w") as f:
+    json.dump(summary, f, indent=2, sort_keys=True)
+    f.write("\n")
+print(json.dumps(summary, indent=2, sort_keys=True))
+PY
+
+echo "bench: wrote ${OUT_JSON}"

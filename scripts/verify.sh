@@ -26,3 +26,5 @@ cmake --build "${TSAN_DIR}" -j "${JOBS}"
 ctest --test-dir "${TSAN_DIR}" --output-on-failure -j "${JOBS}" -L determinism
 
 echo "verify: OK"
+echo "optional: scripts/bench.sh runs the *ParallelScaling benchmarks"
+echo "and writes BENCH_pr3.json (1-thread vs N-thread wall times)."

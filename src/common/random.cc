@@ -96,6 +96,13 @@ double Rng::Gaussian(double mu, double sigma) {
 
 Rng Rng::Fork() { return Rng(Next()); }
 
+std::vector<Rng> Rng::ForkStreams(size_t count) {
+  std::vector<Rng> streams;
+  streams.reserve(count);
+  for (size_t i = 0; i < count; ++i) streams.push_back(Fork());
+  return streams;
+}
+
 ZipfianSampler::ZipfianSampler(size_t n, double z) : n_(n), z_(z) {
   PCLEAN_CHECK(n >= 1);
   PCLEAN_CHECK(z >= 0.0);

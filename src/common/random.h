@@ -60,6 +60,14 @@ class Rng {
   /// handing to sub-components without correlating their draws.
   Rng Fork();
 
+  /// Forks `count` child generators off this one's stream, in index
+  /// order. This is the stream-assignment scheme of every deterministic
+  /// parallel loop (shard-indexed forking in ApplyGrr, replicate-indexed
+  /// forking in the bootstrap): stream i is fully determined by this
+  /// generator's state and i, never by which worker thread consumes it,
+  /// so parallel output is bit-identical at any thread count.
+  std::vector<Rng> ForkStreams(size_t count);
+
  private:
   uint64_t s_[4];
 };

@@ -177,17 +177,33 @@ Result<double> KolmogorovSmirnovStatistic(
 }
 
 Result<double> Percentile(std::vector<double> xs, double p) {
-  if (xs.empty()) return Status::InvalidArgument("Percentile of empty vector");
+  std::sort(xs.begin(), xs.end());
+  return PercentileOfSorted(xs, p);
+}
+
+Result<double> PercentileOfSorted(const std::vector<double>& sorted_xs,
+                                  double p) {
+  if (sorted_xs.empty()) {
+    return Status::InvalidArgument("Percentile of empty vector");
+  }
   if (p < 0.0 || p > 100.0) {
     return Status::InvalidArgument("Percentile requires p in [0, 100]");
   }
-  std::sort(xs.begin(), xs.end());
-  if (xs.size() == 1) return xs[0];
-  double rank = (p / 100.0) * static_cast<double>(xs.size() - 1);
+  if (sorted_xs.size() == 1) return sorted_xs[0];
+  double rank = (p / 100.0) * static_cast<double>(sorted_xs.size() - 1);
   size_t lo = static_cast<size_t>(rank);
-  size_t hi = std::min(lo + 1, xs.size() - 1);
+  size_t hi = std::min(lo + 1, sorted_xs.size() - 1);
   double frac = rank - static_cast<double>(lo);
-  return xs[lo] * (1.0 - frac) + xs[hi] * frac;
+  return sorted_xs[lo] * (1.0 - frac) + sorted_xs[hi] * frac;
+}
+
+Result<PercentileEndpoints> PercentilePair(std::vector<double> xs,
+                                           double p_lo, double p_hi) {
+  std::sort(xs.begin(), xs.end());
+  PercentileEndpoints endpoints;
+  PCLEAN_ASSIGN_OR_RETURN(endpoints.lo, PercentileOfSorted(xs, p_lo));
+  PCLEAN_ASSIGN_OR_RETURN(endpoints.hi, PercentileOfSorted(xs, p_hi));
+  return endpoints;
 }
 
 }  // namespace privateclean

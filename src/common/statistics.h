@@ -78,6 +78,23 @@ Result<double> Median(std::vector<double> xs);
 /// statistics; errors if empty or p out of range.
 Result<double> Percentile(std::vector<double> xs, double p);
 
+/// Percentile of an already ascending-sorted vector (same interpolation
+/// as Percentile, without the copy-and-sort). The caller is responsible
+/// for the sort; errors if empty or p out of range.
+Result<double> PercentileOfSorted(const std::vector<double>& sorted_xs,
+                                  double p);
+
+/// Both the p_lo-th and p_hi-th percentiles from a single sorted copy of
+/// `xs` — the two-endpoint case (e.g. a percentile confidence interval),
+/// which would otherwise copy and re-sort the data once per endpoint.
+/// Errors if empty or either p is out of [0, 100].
+struct PercentileEndpoints {
+  double lo = 0.0;
+  double hi = 0.0;
+};
+Result<PercentileEndpoints> PercentilePair(std::vector<double> xs,
+                                           double p_lo, double p_hi);
+
 /// Pearson's chi-squared goodness-of-fit statistic
 /// Σ (observed_i - expected_i)² / expected_i. The two vectors must have
 /// equal, non-zero length and every expected count must be positive.

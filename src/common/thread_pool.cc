@@ -71,6 +71,10 @@ size_t ShardCountForRows(size_t num_rows) {
   return (num_rows + kRowsPerShard - 1) / kRowsPerShard;
 }
 
+size_t ShardCountForCoarseItems(size_t num_items) {
+  return std::max<size_t>(1, std::min(num_items, kMaxCoarseShards));
+}
+
 ShardRange ShardBounds(size_t num_items, size_t num_shards, size_t shard) {
   PCLEAN_CHECK(num_shards > 0);
   PCLEAN_CHECK(shard < num_shards);

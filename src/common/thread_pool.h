@@ -76,6 +76,20 @@ inline constexpr size_t kRowsPerShard = 16384;
 /// ceil(num_rows / kRowsPerShard), and at least 1.
 size_t ShardCountForRows(size_t num_rows);
 
+/// Shard-count cap for coarse-grained items, where one *item* is itself a
+/// full pass over the data (e.g. one bootstrap replicate resampling all S
+/// rows). Row-granularity sharding would put thousands of such items in
+/// one shard; instead each item gets its own shard up to this cap, after
+/// which items group into contiguous ranges so per-shard scratch buffers
+/// amortize across the shard's items.
+inline constexpr size_t kMaxCoarseShards = 64;
+
+/// Number of shards for `num_items` coarse items:
+/// min(num_items, kMaxCoarseShards), and at least 1. Like
+/// ShardCountForRows, the result is a function of the item count alone —
+/// never the thread count — so shard-indexed state stays deterministic.
+size_t ShardCountForCoarseItems(size_t num_items);
+
 /// Half-open item range [begin, end) of shard `shard` when `num_items`
 /// items are split into `num_shards` contiguous, balanced shards.
 struct ShardRange {

@@ -1,6 +1,8 @@
 #include "core/private_table.h"
 
 #include <cmath>
+#include <string>
+#include <vector>
 
 #include "privacy/allocation.h"
 
@@ -332,13 +334,14 @@ namespace {
 /// table (used by both the point estimate and the bootstrap replicates).
 Result<double> ExtendedAggregateOnTable(const Table& table,
                                         const AggregateQuery& query,
-                                        double b) {
+                                        double b,
+                                        const ExecutionOptions& exec) {
   switch (query.agg) {
     case AggregateType::kMedian:
     case AggregateType::kPercentile:
       // Laplace noise has zero median; the nominal value is a consistent
       // estimate (§10).
-      return ExecuteAggregate(table, query);
+      return ExecuteAggregate(table, query, exec);
     case AggregateType::kVar:
     case AggregateType::kStd: {
       PCLEAN_ASSIGN_OR_RETURN(
@@ -346,7 +349,8 @@ Result<double> ExtendedAggregateOnTable(const Table& table,
           ExecuteAggregate(table,
                            AggregateQuery{AggregateType::kVar,
                                           query.numeric_attribute,
-                                          query.predicate, 50.0}));
+                                          query.predicate, 50.0},
+                           exec));
       // var(x + noise) = var(x) + 2b² for independent noise (§10).
       double corrected = std::max(0.0, nominal_var - 2.0 * b * b);
       return query.agg == AggregateType::kVar ? corrected
@@ -361,60 +365,104 @@ Result<double> ExtendedAggregateOnTable(const Table& table,
 
 }  // namespace
 
-Result<double> PrivateTable::ExtendedAggregate(
-    const AggregateQuery& query) const {
-  double b = 0.0;
-  if (auto it = metadata_.numeric.find(query.numeric_attribute);
+Result<double> PrivateTable::NoiseScaleFor(
+    const std::string& numeric_attribute) const {
+  if (auto it = metadata_.numeric.find(numeric_attribute);
       it != metadata_.numeric.end()) {
-    b = it->second.b;
+    return it->second.b;  // b == 0 means "covered but un-noised".
   }
-  return ExtendedAggregateOnTable(relation_, query, b);
+  if (!relation_.schema().FieldByName(numeric_attribute).ok()) {
+    return Status::InvalidArgument(
+        "extended aggregate attribute '" + numeric_attribute +
+        "' does not exist in the private relation");
+  }
+  // Present in the relation but outside the Laplace metadata (e.g. a
+  // discrete column): no noise was added, so no correction applies.
+  return 0.0;
+}
+
+Result<double> PrivateTable::ExtendedAggregate(
+    const AggregateQuery& query, const ExecutionOptions& exec) const {
+  PCLEAN_ASSIGN_OR_RETURN(double b, NoiseScaleFor(query.numeric_attribute));
+  return ExtendedAggregateOnTable(relation_, query, b, exec);
 }
 
 Result<QueryResult> PrivateTable::BootstrapExtendedAggregate(
     const AggregateQuery& query, Rng& rng, size_t replicates,
-    double confidence) const {
+    double confidence, const ExecutionOptions& exec) const {
   if (replicates < 10) {
     return Status::InvalidArgument("need at least 10 bootstrap replicates");
   }
   if (!(confidence > 0.0 && confidence < 1.0)) {
     return Status::InvalidArgument("confidence must be in (0, 1)");
   }
-  PCLEAN_ASSIGN_OR_RETURN(double point, ExtendedAggregate(query));
-  double b = 0.0;
-  if (auto it = metadata_.numeric.find(query.numeric_attribute);
-      it != metadata_.numeric.end()) {
-    b = it->second.b;
+  const size_t rows = relation_.num_rows();
+  if (rows == 0) {
+    return Status::FailedPrecondition(
+        "cannot bootstrap an empty private relation");
   }
-  size_t rows = relation_.num_rows();
+  PCLEAN_ASSIGN_OR_RETURN(double point, ExtendedAggregate(query, exec));
+  PCLEAN_ASSIGN_OR_RETURN(double b, NoiseScaleFor(query.numeric_attribute));
+
+  // One RNG stream per replicate, forked in replicate-index order (the
+  // shard-indexed scheme of ApplyGrr, at replicate granularity): stream
+  // assignment depends only on the replicate count, never on the thread
+  // count or on how many replicates turn out degenerate.
+  std::vector<Rng> replicate_rngs = rng.ForkStreams(replicates);
+  std::vector<double> values(replicates, 0.0);
+  std::vector<uint8_t> succeeded(replicates, 0);
+  const size_t shards = ShardCountForCoarseItems(replicates);
+  PCLEAN_RETURN_NOT_OK(ParallelFor(
+      replicates, shards, exec,
+      [&](size_t, size_t begin, size_t end) -> Status {
+        // One resample index buffer per shard, reused across its
+        // replicates. Replicates run their row passes inline (default
+        // ExecutionOptions): the replicate axis is already parallel.
+        std::vector<size_t> indices(rows);
+        for (size_t rep = begin; rep < end; ++rep) {
+          Rng& rep_rng = replicate_rngs[rep];
+          for (size_t i = 0; i < rows; ++i) {
+            indices[i] = static_cast<size_t>(rep_rng.UniformInt(rows));
+          }
+          PCLEAN_ASSIGN_OR_RETURN(Table resampled, relation_.Take(indices));
+          auto value =
+              ExtendedAggregateOnTable(resampled, query, b, ExecutionOptions{});
+          if (!value.ok()) continue;  // Degenerate resample (e.g. empty group).
+          values[rep] = *value;
+          succeeded[rep] = 1;
+        }
+        return Status::OK();
+      }));
+
+  // Merge surviving replicate values in replicate order.
   std::vector<double> replicate_values;
   replicate_values.reserve(replicates);
-  std::vector<size_t> indices(rows);
   for (size_t rep = 0; rep < replicates; ++rep) {
-    for (size_t i = 0; i < rows; ++i) {
-      indices[i] = static_cast<size_t>(rng.UniformInt(rows));
-    }
-    PCLEAN_ASSIGN_OR_RETURN(Table resampled, relation_.Take(indices));
-    auto value = ExtendedAggregateOnTable(resampled, query, b);
-    if (!value.ok()) continue;  // Degenerate resample (e.g. empty group).
-    replicate_values.push_back(*value);
+    if (succeeded[rep]) replicate_values.push_back(values[rep]);
   }
-  if (replicate_values.size() < replicates / 2) {
+  // At least half of the requested replicates must survive, rounding the
+  // threshold *up* for odd counts (2·size < replicates ⇔ size < ⌈replicates/2⌉).
+  if (2 * replicate_values.size() < replicates) {
     return Status::FailedPrecondition(
-        "too many degenerate bootstrap replicates");
+        "too many degenerate bootstrap replicates: " +
+        std::to_string(replicate_values.size()) + " of " +
+        std::to_string(replicates) + " succeeded");
   }
+  const size_t effective = replicate_values.size();
   double alpha = (1.0 - confidence) / 2.0;
-  PCLEAN_ASSIGN_OR_RETURN(double lo,
-                          Percentile(replicate_values, 100.0 * alpha));
   PCLEAN_ASSIGN_OR_RETURN(
-      double hi, Percentile(replicate_values, 100.0 * (1.0 - alpha)));
+      PercentileEndpoints endpoints,
+      PercentilePair(std::move(replicate_values), 100.0 * alpha,
+                     100.0 * (1.0 - alpha)));
   QueryResult result;
   result.estimator = EstimatorKind::kPrivateClean;
   result.estimate = point;
-  result.ci = ConfidenceInterval{lo, hi};
+  result.ci = ConfidenceInterval{endpoints.lo, endpoints.hi};
   result.confidence = confidence;
   result.nominal = point;
   result.s = rows;
+  result.replicates_requested = replicates;
+  result.replicates_effective = effective;
   return result;
 }
 

@@ -26,9 +26,21 @@ struct QueryOptions {
   /// Threading (common/thread_pool.h) for every row pass a query runs:
   /// the predicate scans of Count/Sum/Avg/CountConjunctive, the
   /// GroupByCountEstimate counting pass, ExecuteAggregate's per-row
-  /// loops, and provenance graph (re)builds. Results are identical at
+  /// loops, provenance graph (re)builds, and the bootstrap replicate
+  /// loop of the §10 extension aggregates. Results are identical at
   /// every thread count.
   ExecutionOptions exec;
+
+  /// Extension aggregates (median/percentile/var/std) through the SQL
+  /// front-end: when > 0, wrap the point estimate in a bootstrap
+  /// percentile interval with this many replicates (paper §10); 0 (the
+  /// default) returns the point estimate with a degenerate interval.
+  size_t bootstrap_replicates = 0;
+
+  /// Seed of the bootstrap resampling stream (only consulted when
+  /// `bootstrap_replicates > 0`). Fixed seed + fixed replicate count =
+  /// bit-identical interval at any thread count.
+  uint64_t bootstrap_seed = 0x9E3779B97F4A7C15ULL;
 };
 
 /// The PrivateClean facade: an ε-locally-differentially-private relation
@@ -151,16 +163,34 @@ class PrivateTable {
   /// pass-through is exact only for distributions roughly symmetric
   /// around their median — on heavily skewed marginals the noised median
   /// shifts toward the heavy tail.
-  Result<double> ExtendedAggregate(const AggregateQuery& query) const;
+  ///
+  /// `query.numeric_attribute` must exist in the relation (typed
+  /// InvalidArgument otherwise). An attribute that exists but carries no
+  /// Laplace noise — b = 0 in the metadata, or a column outside the
+  /// numeric metadata entirely — gets a documented no-op correction
+  /// (b = 0): its nominal value needs no de-noising.
+  ///
+  /// The row pass is sharded per `exec` (common/thread_pool.h).
+  Result<double> ExtendedAggregate(const AggregateQuery& query,
+                                   const ExecutionOptions& exec = {}) const;
 
   /// §10: confidence intervals for the extension aggregates via the
   /// bootstrap ("calculating confidence intervals ... require[s] an
   /// empirical method"). Resamples the private relation's rows with
   /// replacement `replicates` times and returns the point estimate with
   /// the percentile interval of the replicate statistics.
+  ///
+  /// Replicates run through the deterministic parallel engine per `exec`:
+  /// one RNG stream is forked per replicate in replicate-index order, and
+  /// replicate values merge in replicate order, so for a fixed seed the
+  /// interval is bit-identical at any thread count. Degenerate resamples
+  /// (e.g. an empty selection under the query's predicate) are dropped;
+  /// the surviving count is reported in `QueryResult::replicates_effective`
+  /// and at least half of `replicates` (rounding up for odd counts) must
+  /// survive or the call fails with FailedPrecondition.
   Result<QueryResult> BootstrapExtendedAggregate(
       const AggregateQuery& query, Rng& rng, size_t replicates = 200,
-      double confidence = 0.95) const;
+      double confidence = 0.95, const ExecutionOptions& exec = {}) const;
 
   /// --- Introspection -----------------------------------------------------
 
@@ -183,6 +213,13 @@ class PrivateTable {
   Result<QueryScanStats> Scan(const Predicate& predicate,
                               const std::string& numeric_attribute,
                               const ExecutionOptions& exec = {}) const;
+
+  /// Laplace scale b of `numeric_attribute` for the §10 var/std
+  /// correction. InvalidArgument when the relation has no such attribute
+  /// (a typo would otherwise surface only as a generic scan error);
+  /// 0.0 — a documented no-op correction — when the attribute exists but
+  /// carries no Laplace noise.
+  Result<double> NoiseScaleFor(const std::string& numeric_attribute) const;
 
   /// Returns the (possibly cached) provenance graph for `attribute`.
   /// Graphs cost O(S) to build, so they are cached between queries and

@@ -26,6 +26,13 @@ struct QueryResult {
   double l = 0.0;        ///< Dirty-side distinct-value selectivity.
   double n = 0.0;        ///< N, dirty domain size.
   size_t s = 0;          ///< S, relation size.
+
+  // Bootstrap provenance (zero for non-bootstrap results). Degenerate
+  // resamples (e.g. an empty selection) are dropped, so the interval may
+  // rest on fewer replicates than requested; callers that care about
+  // interval quality should compare the two.
+  size_t replicates_requested = 0;  ///< Bootstrap replicates asked for.
+  size_t replicates_effective = 0;  ///< Replicates the CI was computed on.
 };
 
 }  // namespace privateclean

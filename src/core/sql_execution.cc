@@ -1,5 +1,7 @@
 #include "core/sql_execution.h"
 
+#include "common/random.h"
+
 namespace privateclean {
 
 namespace {
@@ -30,32 +32,44 @@ Result<QueryResult> ExecuteSql(const PrivateTable& table,
                                   *parsed.conjunct, options);
   }
   if (IsExtensionAggregate(parsed.query.agg)) {
-    PCLEAN_ASSIGN_OR_RETURN(double value,
-                            table.ExtendedAggregate(parsed.query));
+    if (options.bootstrap_replicates > 0) {
+      // Bootstrap percentile interval (§10); the replicate loop shards
+      // per options.exec with a replicate-forked RNG stream, so the
+      // interval is identical at every thread count.
+      Rng rng(options.bootstrap_seed);
+      return table.BootstrapExtendedAggregate(
+          parsed.query, rng, options.bootstrap_replicates,
+          options.confidence, options.exec);
+    }
+    PCLEAN_ASSIGN_OR_RETURN(
+        double value, table.ExtendedAggregate(parsed.query, options.exec));
     return PointResult(value, EstimatorKind::kPrivateClean, table.size());
   }
   return table.Execute(parsed.query, options);
 }
 
 Result<QueryResult> ExecuteSqlDirect(const PrivateTable& table,
-                                     const std::string& sql) {
+                                     const std::string& sql,
+                                     const ExecutionOptions& exec) {
   PCLEAN_ASSIGN_OR_RETURN(ParsedSql parsed, ParseSql(sql));
   if (parsed.conjunct.has_value()) {
     // Nominal conjunctive count: scan the quadrants, no correction.
     PCLEAN_ASSIGN_OR_RETURN(
         ConjunctiveScanStats stats,
         ScanConjunctive(table.relation(), *parsed.query.predicate,
-                        *parsed.conjunct));
+                        *parsed.conjunct, exec));
     return PointResult(static_cast<double>(stats.count_tt),
                        EstimatorKind::kDirect, table.size());
   }
   if (IsExtensionAggregate(parsed.query.agg)) {
     // Nominal extension aggregate straight off the private relation.
     PCLEAN_ASSIGN_OR_RETURN(
-        double value, ExecuteAggregate(table.relation(), parsed.query));
+        double value, ExecuteAggregate(table.relation(), parsed.query, exec));
     return PointResult(value, EstimatorKind::kDirect, table.size());
   }
-  return table.ExecuteDirect(parsed.query);
+  QueryOptions options;
+  options.exec = exec;
+  return table.ExecuteDirect(parsed.query, options);
 }
 
 }  // namespace privateclean

@@ -15,16 +15,21 @@ namespace privateclean {
 ///
 /// Dispatch: COUNT with two AND-conditions uses the conjunctive
 /// estimator; plain SUM/COUNT/AVG use the corrected estimators;
-/// MEDIAN/VAR/STD use the §10 extension aggregates (point estimates —
-/// their intervals are degenerate). The FROM table name is not checked
-/// (a PrivateTable is a single relation).
+/// MEDIAN/VAR/STD/PERCENTILE use the §10 extension aggregates — point
+/// estimates with degenerate intervals by default, or bootstrap
+/// percentile intervals when `options.bootstrap_replicates > 0` (the
+/// replicate loop threads per `options.exec`). The FROM table name is
+/// not checked (a PrivateTable is a single relation).
 Result<QueryResult> ExecuteSql(const PrivateTable& table,
                                const std::string& sql,
                                const QueryOptions& options = QueryOptions());
 
 /// The Direct-baseline counterpart (nominal values, no re-weighting).
+/// Row passes thread per `exec`; results are identical at every thread
+/// count.
 Result<QueryResult> ExecuteSqlDirect(const PrivateTable& table,
-                                     const std::string& sql);
+                                     const std::string& sql,
+                                     const ExecutionOptions& exec = {});
 
 }  // namespace privateclean
 

@@ -59,9 +59,7 @@ Status RandomizeDiscreteColumn(Column* col, const Column& original,
 
   size_t attempts = 0;
   for (;;) {
-    std::vector<Rng> shard_rngs;
-    shard_rngs.reserve(shards);
-    for (size_t s = 0; s < shards; ++s) shard_rngs.push_back(rng.Fork());
+    std::vector<Rng> shard_rngs = rng.ForkStreams(shards);
     if (track_coverage) {
       for (auto& c : coverage) c.assign(domain.size(), 0);
     }
@@ -113,9 +111,7 @@ Status NoiseNumericColumn(Column* col, double b, const GrrOptions& options,
                           Rng& rng) {
   const size_t rows = col->size();
   const size_t shards = ShardCountForRows(rows);
-  std::vector<Rng> shard_rngs;
-  shard_rngs.reserve(shards);
-  for (size_t s = 0; s < shards; ++s) shard_rngs.push_back(rng.Fork());
+  std::vector<Rng> shard_rngs = rng.ForkStreams(shards);
   return ParallelFor(rows, shards, options.exec,
                      [&](size_t shard, size_t begin, size_t end) -> Status {
                        return ApplyLaplaceMechanismShard(

@@ -64,6 +64,30 @@ TEST(AccountantTest, AddingAttributesIncreasesEpsilon) {
             AccountPrivacy(one)->total_epsilon);
 }
 
+TEST(AccountantTest, NegativeRetentionIsInfinite) {
+  // p < 0 is nonsensical metadata; treat it like "never retained" (no
+  // privacy guarantee) rather than passing it to the log formula.
+  PrivacyReport report = *AccountPrivacy(MakeMetadata(-0.5, 10.0, 100.0));
+  EXPECT_TRUE(std::isinf(report.per_attribute_epsilon.at("d")));
+  EXPECT_FALSE(report.fully_private);
+}
+
+TEST(AccountantTest, NegativeNoiseScaleIsInfinite) {
+  // b < 0 never arises from the mechanism; the conservative reading is
+  // "no noise was added".
+  PrivacyReport report = *AccountPrivacy(MakeMetadata(0.25, -3.0, 100.0));
+  EXPECT_TRUE(std::isinf(report.per_attribute_epsilon.at("x")));
+  EXPECT_FALSE(report.fully_private);
+}
+
+TEST(AccountantTest, PositiveNoiseOnConstantColumnIsZeroEpsilon) {
+  // sensitivity == 0 with real noise: ε = Δ/b = 0, and the report stays
+  // fully private.
+  PrivacyReport report = *AccountPrivacy(MakeMetadata(0.25, 5.0, 0.0));
+  EXPECT_DOUBLE_EQ(report.per_attribute_epsilon.at("x"), 0.0);
+  EXPECT_TRUE(report.fully_private);
+}
+
 TEST(AccountantTest, EmptyMetadataIsZero) {
   PrivateRelationMetadata meta;
   PrivacyReport report = *AccountPrivacy(meta);

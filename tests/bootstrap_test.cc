@@ -147,5 +147,125 @@ TEST_F(BootstrapTest, DeterministicGivenSeed) {
   EXPECT_DOUBLE_EQ(a.ci.hi, b.ci.hi);
 }
 
+TEST_F(BootstrapTest, ParallelMatchesSerial) {
+  AggregateQuery median{AggregateType::kMedian, "value", std::nullopt,
+                        50.0};
+  Rng r1(8), r2(8);
+  ExecutionOptions four_threads;
+  four_threads.num_threads = 4;
+  QueryResult serial =
+      *pt_->BootstrapExtendedAggregate(median, r1, 50, 0.95, {});
+  QueryResult parallel =
+      *pt_->BootstrapExtendedAggregate(median, r2, 50, 0.95, four_threads);
+  EXPECT_EQ(serial.estimate, parallel.estimate);
+  EXPECT_EQ(serial.ci.lo, parallel.ci.lo);
+  EXPECT_EQ(serial.ci.hi, parallel.ci.hi);
+  EXPECT_EQ(serial.replicates_effective, parallel.replicates_effective);
+}
+
+TEST_F(BootstrapTest, RecordsReplicateCounts) {
+  AggregateQuery median{AggregateType::kMedian, "value", std::nullopt,
+                        50.0};
+  Rng rng(9);
+  QueryResult boot = *pt_->BootstrapExtendedAggregate(median, rng, 60);
+  EXPECT_EQ(boot.replicates_requested, 60u);
+  // No predicate, 600 rows: every resample is non-degenerate.
+  EXPECT_EQ(boot.replicates_effective, 60u);
+}
+
+TEST_F(BootstrapTest, DegenerateReplicatesReduceEffectiveCount) {
+  // A two-row rare category makes ≈ e^-2 of resamples match zero rows;
+  // those replicates fail inside the aggregate and are dropped, and the
+  // result must say so.
+  Schema s = *Schema::Make({Field::Discrete("category"),
+                            Field::Numerical("value", ValueType::kDouble)});
+  TableBuilder b(s);
+  Rng data_rng(44);
+  for (int i = 0; i < 1000; ++i) {
+    Value category = (i == 17 || i == 801) ? Value("rare") : Value("common");
+    b.Row({category, Value(data_rng.UniformRealRange(0.0, 100.0))});
+  }
+  Table t = *b.Finish();
+  PrivateRelationMetadata meta;
+  meta.discrete.emplace(
+      "category",
+      DiscreteAttributeMeta{0.1, *Domain::FromColumn(t, "category")});
+  meta.numeric.emplace("value", NumericAttributeMeta{2.0, 100.0});
+  PrivateTable pt = *PrivateTable::FromPrivateRelation(t.Clone(), meta);
+  AggregateQuery median{AggregateType::kMedian, "value",
+                        Predicate::Equals("category", Value("rare")), 50.0};
+  Rng rng(10);
+  QueryResult boot = *pt.BootstrapExtendedAggregate(median, rng, 100);
+  EXPECT_EQ(boot.replicates_requested, 100u);
+  EXPECT_LT(boot.replicates_effective, boot.replicates_requested);
+  // Guard: at least half (round-up for odd counts) must have succeeded
+  // for the call to return OK at all.
+  EXPECT_GE(2 * boot.replicates_effective, boot.replicates_requested);
+}
+
+TEST_F(BootstrapTest, FailsWhenMostReplicatesDegenerate) {
+  // Var needs at least two matching rows per resample. With exactly one
+  // matching source row, a resample succeeds only when it draws that row
+  // twice or more — P ≈ 1 - 2e^-1 ≈ 26% — so well under half of the
+  // replicates survive and the call must fail loudly.
+  Schema s = *Schema::Make({Field::Discrete("category"),
+                            Field::Numerical("value", ValueType::kDouble)});
+  TableBuilder b(s);
+  Rng data_rng(45);
+  for (int i = 0; i < 200; ++i) {
+    Value category = (i == 50) ? Value("rare") : Value("common");
+    b.Row({category, Value(data_rng.UniformRealRange(0.0, 100.0))});
+  }
+  Table t = *b.Finish();
+  PrivateRelationMetadata meta;
+  meta.discrete.emplace(
+      "category",
+      DiscreteAttributeMeta{0.1, *Domain::FromColumn(t, "category")});
+  meta.numeric.emplace("value", NumericAttributeMeta{2.0, 100.0});
+  PrivateTable pt = *PrivateTable::FromPrivateRelation(t.Clone(), meta);
+  AggregateQuery var{AggregateType::kVar, "value",
+                     Predicate::Equals("category", Value("rare")), 50.0};
+  Rng rng(11);
+  auto r = pt.BootstrapExtendedAggregate(var, rng, 51);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsFailedPrecondition());
+}
+
+TEST_F(BootstrapTest, UnknownAttributeIsTypedError) {
+  AggregateQuery median{AggregateType::kMedian, "no_such_column",
+                        std::nullopt, 50.0};
+  auto direct = pt_->ExtendedAggregate(median);
+  ASSERT_FALSE(direct.ok());
+  EXPECT_TRUE(direct.status().IsInvalidArgument());
+  Rng rng(12);
+  auto boot = pt_->BootstrapExtendedAggregate(median, rng, 50);
+  ASSERT_FALSE(boot.ok());
+  EXPECT_TRUE(boot.status().IsInvalidArgument());
+}
+
+TEST_F(BootstrapTest, UnNoisedNumericColumnUsesZeroNoiseScale) {
+  // A numeric column covered by metadata with b = 0 is a documented
+  // pass-through: the extended aggregate applies no correction but the
+  // query still runs.
+  Schema s = *Schema::Make({Field::Discrete("d"),
+                            Field::Numerical("x", ValueType::kDouble)});
+  TableBuilder b(s);
+  Rng data_rng(46);
+  for (int i = 0; i < 100; ++i) {
+    b.Row({Value("v"), Value(data_rng.UniformRealRange(0.0, 10.0))});
+  }
+  Table t = *b.Finish();
+  PrivateRelationMetadata meta;
+  meta.discrete.emplace(
+      "d", DiscreteAttributeMeta{0.2, *Domain::FromColumn(t, "d")});
+  meta.numeric.emplace("x", NumericAttributeMeta{0.0, 10.0});
+  PrivateTable pt = *PrivateTable::FromPrivateRelation(t.Clone(), meta);
+  AggregateQuery var{AggregateType::kVar, "x", std::nullopt, 50.0};
+  double corrected = *pt.ExtendedAggregate(var);
+  double nominal = *ExecuteAggregate(t, var);
+  // b = 0 ⇒ the 2b² variance correction vanishes.
+  EXPECT_DOUBLE_EQ(corrected, nominal);
+}
+
 }  // namespace
 }  // namespace privateclean

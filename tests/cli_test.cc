@@ -145,6 +145,48 @@ TEST_F(CliTest, QueryBadSqlFails) {
   EXPECT_NE(err_.str().find("SQL error"), std::string::npos);
 }
 
+TEST_F(CliTest, QueryBootstrapExtendedAggregate) {
+  ASSERT_EQ(Run({"privatize", "--input", csv_path_, "--output",
+                 release_dir_, "--p", "0.1", "--b", "5.0", "--seed", "7"}),
+            0);
+  ASSERT_EQ(Run({"query", "--release", release_dir_, "--bootstrap", "50",
+                 "--seed", "13", "--sql", "SELECT median(value) FROM r"}),
+            0)
+      << err_.str();
+  EXPECT_NE(out_.str().find("estimate:"), std::string::npos);
+  EXPECT_NE(out_.str().find("bootstrap replicates: 50/50"),
+            std::string::npos);
+}
+
+TEST_F(CliTest, QueryBootstrapRejectsTooFewReplicates) {
+  ASSERT_EQ(Run({"privatize", "--input", csv_path_, "--output",
+                 release_dir_, "--p", "0.1", "--b", "5.0", "--seed", "7"}),
+            0);
+  EXPECT_EQ(Run({"query", "--release", release_dir_, "--bootstrap", "5",
+                 "--sql", "SELECT median(value) FROM r"}),
+            1);
+  EXPECT_NE(err_.str().find(">= 10"), std::string::npos);
+}
+
+TEST_F(CliTest, QueryBootstrapDeterministicGivenSeed) {
+  ASSERT_EQ(Run({"privatize", "--input", csv_path_, "--output",
+                 release_dir_, "--p", "0.1", "--b", "5.0", "--seed", "7"}),
+            0);
+  ASSERT_EQ(Run({"query", "--release", release_dir_, "--bootstrap", "40",
+                 "--seed", "21", "--threads", "1", "--sql",
+                 "SELECT percentile(value, 90) FROM r"}),
+            0)
+      << err_.str();
+  std::string first = out_.str();
+  ASSERT_EQ(Run({"query", "--release", release_dir_, "--bootstrap", "40",
+                 "--seed", "21", "--threads", "4", "--sql",
+                 "SELECT percentile(value, 90) FROM r"}),
+            0)
+      << err_.str();
+  // Same bootstrap seed at a different thread count: identical output.
+  EXPECT_EQ(first, out_.str());
+}
+
 TEST_F(CliTest, QueryMissingReleaseFails) {
   EXPECT_EQ(Run({"query", "--release", base_ + "/nope", "--sql",
                  "SELECT count(1) FROM r"}),

@@ -355,5 +355,94 @@ TEST(ParallelDeterminismTest, EdgeCaseSizesIdenticalAcrossThreadCounts) {
   }
 }
 
+// --- Bootstrap replicates ----------------------------------------------
+
+void AppendBootstrapResult(ByteSink* sink, const QueryResult& r) {
+  AppendQueryResult(sink, r);
+  sink->AppendU64(r.replicates_requested);
+  sink->AppendU64(r.replicates_effective);
+}
+
+TEST(ParallelDeterminismTest, BootstrapIdenticalAcrossThreadCounts) {
+  // The replicate loop forks one RNG stream per replicate in replicate
+  // index order and merges replicate values in replicate order, so the
+  // whole interval is bit-identical at any thread count. 24 replicates
+  // span 24 coarse shards (ShardCountForCoarseItems), exercising real
+  // cross-thread scheduling at 2 and 8 threads.
+  SyntheticOptions options;
+  options.num_rows = 1500;
+  options.num_distinct = 12;
+  Rng data_rng(17);
+  Table data = *GenerateSynthetic(options, data_rng);
+  Rng grr_rng(18);
+  PrivateTable pt = *PrivateTable::Create(
+      data, GrrParams::Uniform(0.1, 3.0), GrrOptions{}, grr_rng);
+  std::vector<AggregateQuery> queries = {
+      AggregateQuery{AggregateType::kMedian, "value", std::nullopt, 50.0},
+      AggregateQuery{AggregateType::kPercentile, "value", std::nullopt, 90.0},
+      AggregateQuery{AggregateType::kVar, "value", std::nullopt, 50.0},
+      AggregateQuery{AggregateType::kStd, "value", std::nullopt, 50.0},
+  };
+  ExpectIdenticalAcrossThreadCounts([&](const ExecutionOptions& exec) {
+    ByteSink sink;
+    for (const AggregateQuery& query : queries) {
+      Rng boot_rng(23);
+      QueryResult r =
+          *pt.BootstrapExtendedAggregate(query, boot_rng, 24, 0.95, exec);
+      AppendBootstrapResult(&sink, r);
+    }
+    return std::move(sink).Finish();
+  });
+}
+
+TEST(ParallelDeterminismTest,
+     BootstrapWithDegenerateReplicatesIdenticalAcrossThreadCounts) {
+  // A predicate matching only two rows makes a resample degenerate
+  // whenever it draws neither row (probability ≈ e^-2 per replicate), so
+  // some replicates drop out. The dropped set — and therefore the
+  // effective replicate count and the interval — must not depend on the
+  // thread count: RNG streams are forked by replicate index before any
+  // replicate is known to be degenerate.
+  Schema schema = *Schema::Make(
+      {Field::Discrete("category"),
+       Field::Numerical("value", ValueType::kDouble)});
+  TableBuilder builder(schema);
+  Rng data_rng(29);
+  const size_t rows = 1500;
+  for (size_t r = 0; r < rows; ++r) {
+    Value category = (r == 100 || r == 900) ? Value("rare") : Value("common");
+    builder.Row({category, Value(data_rng.UniformRealRange(0.0, 100.0))});
+  }
+  Table data = *builder.Finish();
+  PrivateRelationMetadata meta;
+  meta.discrete.emplace(
+      "category",
+      DiscreteAttributeMeta{0.1, *Domain::FromColumn(data, "category")});
+  meta.numeric.emplace("value", NumericAttributeMeta{3.0, 100.0});
+  // FromPrivateRelation keeps the rows exactly as built, so the rare
+  // category stays at exactly two occurrences.
+  PrivateTable pt = *PrivateTable::FromPrivateRelation(data.Clone(), meta);
+  AggregateQuery median{AggregateType::kMedian, "value",
+                        Predicate::Equals("category", Value("rare")), 50.0};
+
+  ExecutionOptions serial;
+  Rng probe_rng(31);
+  QueryResult probe =
+      *pt.BootstrapExtendedAggregate(median, probe_rng, 20, 0.95, serial);
+  // The fixed seed must actually produce degenerate replicates, or this
+  // test exercises nothing.
+  ASSERT_LT(probe.replicates_effective, probe.replicates_requested);
+  ASSERT_GE(2 * probe.replicates_effective, probe.replicates_requested);
+
+  ExpectIdenticalAcrossThreadCounts([&](const ExecutionOptions& exec) {
+    Rng boot_rng(31);
+    QueryResult r =
+        *pt.BootstrapExtendedAggregate(median, boot_rng, 20, 0.95, exec);
+    ByteSink sink;
+    AppendBootstrapResult(&sink, r);
+    return std::move(sink).Finish();
+  });
+}
+
 }  // namespace
 }  // namespace privateclean

@@ -151,6 +151,38 @@ TEST(PercentileTest, ErrorsOnBadInput) {
   EXPECT_DOUBLE_EQ(*Percentile({5.0}, 99.0), 5.0);
 }
 
+TEST(PercentileTest, PairMatchesTwoSingleCalls) {
+  std::vector<double> xs{41.0, 7.0, 23.0, 99.0, 3.0, 58.0, 12.0};
+  PercentileEndpoints pair = *PercentilePair(xs, 2.5, 97.5);
+  EXPECT_DOUBLE_EQ(pair.lo, *Percentile(xs, 2.5));
+  EXPECT_DOUBLE_EQ(pair.hi, *Percentile(xs, 97.5));
+}
+
+TEST(PercentileTest, PairSortsUnsortedInput) {
+  // The single internal sort must produce the same endpoints as on
+  // pre-sorted data.
+  std::vector<double> sorted{1.0, 2.0, 3.0, 4.0};
+  std::vector<double> shuffled{3.0, 1.0, 4.0, 2.0};
+  PercentileEndpoints a = *PercentilePair(sorted, 25.0, 75.0);
+  PercentileEndpoints b = *PercentilePair(shuffled, 25.0, 75.0);
+  EXPECT_DOUBLE_EQ(a.lo, b.lo);
+  EXPECT_DOUBLE_EQ(a.hi, b.hi);
+}
+
+TEST(PercentileTest, PairErrors) {
+  EXPECT_FALSE(PercentilePair({}, 2.5, 97.5).ok());
+  EXPECT_FALSE(PercentilePair({1.0}, -1.0, 97.5).ok());
+  EXPECT_FALSE(PercentilePair({1.0}, 2.5, 101.0).ok());
+}
+
+TEST(PercentileTest, OfSortedMatchesPercentile) {
+  std::vector<double> sorted{10.0, 20.0, 30.0, 40.0, 50.0};
+  for (double p : {0.0, 12.5, 25.0, 50.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(*PercentileOfSorted(sorted, p), *Percentile(sorted, p));
+  }
+  EXPECT_FALSE(PercentileOfSorted({}, 50.0).ok());
+}
+
 TEST(ChiSquaredTest, StatisticKnownValue) {
   // (60-50)²/50 + (40-50)²/50 = 2 + 2 = 4.
   EXPECT_DOUBLE_EQ(*ChiSquaredStatistic({60.0, 40.0}, {50.0, 50.0}), 4.0);

@@ -93,10 +93,14 @@ void PrintUsage(std::ostream& out) {
          "  pclean info --release release_dir\n"
          "  pclean query --release release_dir --sql \"SELECT ...\"\n"
          "         [--direct] [--confidence C] [--threads N]\n"
-         "         [--replace attr:from=to]...\n"
+         "         [--bootstrap R] [--seed N] [--replace attr:from=to]...\n"
          "\n"
          "  --threads N uses N worker threads for randomization and query\n"
-         "  scans (0 = all hardware threads); results are independent of N.\n";
+         "  scans (0 = all hardware threads); results are independent of N.\n"
+         "  --bootstrap R wraps median/percentile/var/std estimates in a\n"
+         "  bootstrap confidence interval with R replicates (needs R >= 10;\n"
+         "  the replicate loop also threads per --threads). --seed fixes\n"
+         "  the resampling stream.\n";
 }
 
 Status RunPrivatize(const ParsedArgs& args, std::ostream& out) {
@@ -233,12 +237,26 @@ Status RunQuery(const ParsedArgs& args, std::ostream& out) {
                             ParseFlagDouble(args, "confidence"));
   }
   PCLEAN_ASSIGN_OR_RETURN(options.exec, ParseExecOptions(args));
+  if (args.Has("bootstrap")) {
+    PCLEAN_ASSIGN_OR_RETURN(std::string text, args.One("bootstrap"));
+    PCLEAN_ASSIGN_OR_RETURN(int64_t replicates, ParseInt64(text));
+    if (replicates < 10) {
+      return Status::InvalidArgument("--bootstrap needs >= 10 replicates");
+    }
+    options.bootstrap_replicates = static_cast<size_t>(replicates);
+  }
+  if (args.Has("seed")) {
+    PCLEAN_ASSIGN_OR_RETURN(std::string seed_text, args.One("seed"));
+    PCLEAN_ASSIGN_OR_RETURN(int64_t seed, ParseInt64(seed_text));
+    if (seed != 0) options.bootstrap_seed = static_cast<uint64_t>(seed);
+  }
   PCLEAN_ASSIGN_OR_RETURN(PrivateTable table, OpenRelease(dir, options.exec));
   for (const std::string& rule : args.All("replace")) {
     PCLEAN_RETURN_NOT_OK(ApplyReplaceRule(&table, rule));
   }
   if (args.Has("direct")) {
-    PCLEAN_ASSIGN_OR_RETURN(QueryResult r, ExecuteSqlDirect(table, sql));
+    PCLEAN_ASSIGN_OR_RETURN(QueryResult r,
+                            ExecuteSqlDirect(table, sql, options.exec));
     out << "direct: " << FormatDouble(r.estimate) << "\n";
     return Status::OK();
   }
@@ -247,6 +265,12 @@ Status RunQuery(const ParsedArgs& args, std::ostream& out) {
   if (r.ci.Width() > 0.0) {
     out << FormatDouble(options.confidence * 100) << "% CI: ["
         << FormatDouble(r.ci.lo) << ", " << FormatDouble(r.ci.hi) << "]\n";
+  }
+  if (r.replicates_requested > 0) {
+    // Degenerate resamples drop out of the interval; surface the count
+    // so a thinned interval is visible to the analyst.
+    out << "bootstrap replicates: " << r.replicates_effective << "/"
+        << r.replicates_requested << "\n";
   }
   return Status::OK();
 }
