@@ -4,15 +4,21 @@
 #   2. thread-sanitizer pass: rebuild with PCLEAN_SANITIZE=thread and run
 #      the `determinism`-labeled suites (the 1/2/8-thread bit-identity and
 #      statistical tests), so data races in the sharded paths are caught
-#      even when plain ctest happens to schedule them benignly.
+#      even when plain ctest happens to schedule them benignly;
+#   3. address+UB-sanitizer pass: rebuild with
+#      PCLEAN_SANITIZE=address,undefined and run the `failpoint` and
+#      `fuzz` suites — the fault-injection torture and byte-corruption
+#      fuzzers, where torn files and mid-error cleanup paths are most
+#      likely to hide memory bugs.
 #
-# Usage: scripts/verify.sh [build-dir] [tsan-build-dir]
+# Usage: scripts/verify.sh [build-dir] [tsan-build-dir] [asan-build-dir]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 BUILD_DIR="${1:-build}"
 TSAN_DIR="${2:-build-tsan}"
+ASAN_DIR="${3:-build-asan}"
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 
 echo "== tier-1: build + full ctest (${BUILD_DIR}) =="
@@ -24,6 +30,11 @@ echo "== TSan: build + ctest -L determinism (${TSAN_DIR}) =="
 cmake -B "${TSAN_DIR}" -S . -DPCLEAN_SANITIZE=thread
 cmake --build "${TSAN_DIR}" -j "${JOBS}"
 ctest --test-dir "${TSAN_DIR}" --output-on-failure -j "${JOBS}" -L determinism
+
+echo "== ASan+UBSan: build + ctest -L 'failpoint|fuzz' (${ASAN_DIR}) =="
+cmake -B "${ASAN_DIR}" -S . -DPCLEAN_SANITIZE=address,undefined
+cmake --build "${ASAN_DIR}" -j "${JOBS}"
+ctest --test-dir "${ASAN_DIR}" --output-on-failure -j "${JOBS}" -L 'failpoint|fuzz'
 
 echo "verify: OK"
 echo "optional: scripts/bench.sh runs the *ParallelScaling benchmarks"

@@ -1,0 +1,262 @@
+#include "common/failpoint.h"
+
+#include <cstdlib>
+#include <mutex>
+#include <unordered_map>
+
+namespace privateclean {
+namespace failpoint {
+
+namespace {
+
+/// One catalogue entry: the site's name and the fault kind a bare env
+/// entry activates. Adding an injection point to the code means adding
+/// its site here, which automatically enrolls it in the torture test.
+struct SiteInfo {
+  const char* name;
+  Fault::Kind default_kind;
+};
+
+constexpr SiteInfo kCatalogue[] = {
+    // Generic file I/O (common/io_util.cc) — every release/CSV byte
+    // passes through these.
+    {"io.read.open", Fault::Kind::kError},
+    {"io.read.transient", Fault::Kind::kError},
+    {"io.read.bitflip", Fault::Kind::kBitFlip},
+    {"io.read.truncate", Fault::Kind::kTruncate},
+    {"io.write.open", Fault::Kind::kError},
+    {"io.write.short", Fault::Kind::kShortWrite},
+    {"io.write.enospc", Fault::Kind::kError},
+    {"io.write.fsync", Fault::Kind::kError},
+    {"io.fsync.dir", Fault::Kind::kError},
+    // Release directory commit (core/release.cc).
+    {"release.commit.rename", Fault::Kind::kError},
+    {"release.commit.torn", Fault::Kind::kError},
+    {"release.swap.backup", Fault::Kind::kError},
+};
+
+const SiteInfo* FindSite(const std::string& name) {
+  for (const SiteInfo& info : kCatalogue) {
+    if (name == info.name) return &info;
+  }
+  return nullptr;
+}
+
+/// Registry state. A single mutex is fine: sites sit on file-I/O paths,
+/// never inside sharded row loops.
+struct Registry {
+  std::mutex mu;
+  std::unordered_map<std::string, Fault> active;
+  std::unordered_map<std::string, uint64_t> hits;
+};
+
+Registry& GetRegistry() {
+  static Registry* registry = new Registry();
+  return *registry;
+}
+
+/// Registers a fault without touching the env loader. The env-loading
+/// path itself activates through this: the loader runs inside a
+/// `std::call_once`, and call_once is not reentrant, so if activation
+/// called back into EnsureEnvLoaded the first env-driven run would
+/// self-deadlock on its own once_flag.
+Status ActivateNoEnv(const std::string& site, Fault fault) {
+  if (FindSite(site) == nullptr) {
+    return Status::InvalidArgument("unknown failpoint site '" + site + "'");
+  }
+  Registry& r = GetRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.active[site] = std::move(fault);
+  return Status::OK();
+}
+
+/// Applies `PCLEAN_FAILPOINTS` from the environment once, before the
+/// first registry access, so CLI runs can inject faults without a test
+/// driver. Explicit Activate/Deactivate calls land afterwards and win.
+void EnsureEnvLoaded() {
+  static std::once_flag flag;
+  std::call_once(flag, [] {
+    const char* spec = std::getenv("PCLEAN_FAILPOINTS");
+    // A malformed env spec is ignored rather than fatal.
+    if (spec != nullptr && *spec != '\0') (void)ActivateFromSpec(spec);
+  });
+}
+
+Status MakeInjected(const char* site, const Fault& fault,
+                    const std::string& detail) {
+  std::string msg = "failpoint '" + std::string(site) + "'";
+  if (!detail.empty()) msg += " at '" + detail + "'";
+  msg += ": " + fault.message;
+  return Status::WithCode(fault.code, std::move(msg));
+}
+
+void ApplyDataFault(const Fault& fault, std::string* data) {
+  if (data == nullptr || data->empty()) return;
+  size_t cut = fault.offset == static_cast<size_t>(-1) ? data->size() / 2
+                                                       : fault.offset;
+  switch (fault.kind) {
+    case Fault::Kind::kShortWrite:
+    case Fault::Kind::kTruncate:
+      data->resize(cut < data->size() ? cut : data->size() - 1);
+      break;
+    case Fault::Kind::kBitFlip: {
+      size_t pos = cut < data->size() ? cut : data->size() - 1;
+      (*data)[pos] = static_cast<char>((*data)[pos] ^ 0x01);
+      break;
+    }
+    case Fault::Kind::kError:
+      break;
+  }
+}
+
+}  // namespace
+
+bool CompiledIn() {
+#if defined(PCLEAN_FAILPOINTS_ENABLED)
+  return true;
+#else
+  return false;
+#endif
+}
+
+Status Activate(const std::string& site, Fault fault) {
+  EnsureEnvLoaded();
+  return ActivateNoEnv(site, std::move(fault));
+}
+
+void Deactivate(const std::string& site) {
+  EnsureEnvLoaded();
+  Registry& r = GetRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.active.erase(site);
+}
+
+void DeactivateAll() {
+  EnsureEnvLoaded();
+  Registry& r = GetRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.active.clear();
+}
+
+const std::vector<std::string>& Sites() {
+  static const std::vector<std::string>* sites = [] {
+    auto* v = new std::vector<std::string>();
+    for (const SiteInfo& info : kCatalogue) v->push_back(info.name);
+    return v;
+  }();
+  return *sites;
+}
+
+Fault DefaultFault(const std::string& site) {
+  Fault fault;
+  if (const SiteInfo* info = FindSite(site)) {
+    fault.kind = info->default_kind;
+  }
+  if (site == "io.write.enospc") {
+    fault.message = "injected ENOSPC (no space left on device)";
+  }
+  return fault;
+}
+
+uint64_t Hits(const std::string& site) {
+  Registry& r = GetRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.hits.find(site);
+  return it == r.hits.end() ? 0 : it->second;
+}
+
+void ResetHits() {
+  Registry& r = GetRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.hits.clear();
+}
+
+Status ActivateFromSpec(const std::string& spec) {
+  size_t start = 0;
+  while (start <= spec.size()) {
+    size_t end = spec.find_first_of(",;", start);
+    if (end == std::string::npos) end = spec.size();
+    std::string entry = spec.substr(start, end - start);
+    start = end + 1;
+    if (entry.empty()) continue;
+
+    std::string site = entry;
+    std::string action;
+    int count = -1;
+    if (size_t colon = site.rfind(':'); colon != std::string::npos) {
+      count = std::atoi(site.substr(colon + 1).c_str());
+      if (count <= 0) {
+        return Status::InvalidArgument("bad failpoint count in '" + entry +
+                                       "'");
+      }
+      site = site.substr(0, colon);
+    }
+    if (size_t eq = site.find('='); eq != std::string::npos) {
+      action = site.substr(eq + 1);
+      site = site.substr(0, eq);
+    }
+
+    Fault fault = DefaultFault(site);
+    fault.remaining = count;
+    if (!action.empty()) {
+      if (action == "error") {
+        fault.kind = Fault::Kind::kError;
+        fault.code = StatusCode::kIOError;
+      } else if (action == "enospc") {
+        fault.kind = Fault::Kind::kError;
+        fault.code = StatusCode::kIOError;
+        fault.message = "injected ENOSPC (no space left on device)";
+      } else if (action == "notfound") {
+        fault.kind = Fault::Kind::kError;
+        fault.code = StatusCode::kNotFound;
+      } else if (action == "exists") {
+        fault.kind = Fault::Kind::kError;
+        fault.code = StatusCode::kAlreadyExists;
+      } else if (action == "short-write") {
+        fault.kind = Fault::Kind::kShortWrite;
+      } else if (action == "bit-flip") {
+        fault.kind = Fault::Kind::kBitFlip;
+      } else if (action == "truncate") {
+        fault.kind = Fault::Kind::kTruncate;
+      } else {
+        return Status::InvalidArgument("unknown failpoint action '" +
+                                       action + "' in '" + entry + "'");
+      }
+    }
+    PCLEAN_RETURN_NOT_OK(ActivateNoEnv(site, std::move(fault)));
+  }
+  return Status::OK();
+}
+
+Status Hit(const char* site, const std::string& detail) {
+  EnsureEnvLoaded();
+  Registry& r = GetRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  ++r.hits[site];
+  auto it = r.active.find(site);
+  if (it == r.active.end() || it->second.kind != Fault::Kind::kError) {
+    return Status::OK();
+  }
+  Fault& fault = it->second;
+  if (fault.remaining == 0) return Status::OK();
+  if (fault.remaining > 0) --fault.remaining;
+  return MakeInjected(site, fault, detail);
+}
+
+void HitData(const char* site, std::string* data) {
+  EnsureEnvLoaded();
+  Registry& r = GetRegistry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  ++r.hits[site];
+  auto it = r.active.find(site);
+  if (it == r.active.end() || it->second.kind == Fault::Kind::kError) {
+    return;
+  }
+  Fault& fault = it->second;
+  if (fault.remaining == 0) return;
+  if (fault.remaining > 0) --fault.remaining;
+  ApplyDataFault(fault, data);
+}
+
+}  // namespace failpoint
+}  // namespace privateclean

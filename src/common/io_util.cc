@@ -1,0 +1,207 @@
+#include "common/io_util.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <array>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <thread>
+
+#include "common/failpoint.h"
+
+namespace privateclean {
+namespace io {
+
+namespace {
+
+/// Byte-at-a-time CRC32C table for the reflected Castagnoli polynomial.
+const std::array<uint32_t, 256>& Crc32cTable() {
+  static const std::array<uint32_t, 256>* table = [] {
+    auto* t = new std::array<uint32_t, 256>();
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1) ? 0x82F63B78u : 0u);
+      }
+      (*t)[i] = crc;
+    }
+    return t;
+  }();
+  return *table;
+}
+
+std::string ErrnoMessage() {
+  return std::strerror(errno);
+}
+
+/// RAII file descriptor so every early return closes the file.
+struct Fd {
+  int fd = -1;
+  ~Fd() {
+    if (fd >= 0) ::close(fd);
+  }
+};
+
+}  // namespace
+
+uint32_t Crc32cExtend(uint32_t crc, std::string_view data) {
+  const auto& table = Crc32cTable();
+  crc = ~crc;
+  for (unsigned char c : data) {
+    crc = table[(crc ^ c) & 0xFF] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+uint32_t Crc32c(std::string_view data) { return Crc32cExtend(0, data); }
+
+std::string Crc32cToHex(uint32_t crc) {
+  char buf[9];
+  std::snprintf(buf, sizeof(buf), "%08x", crc);
+  return buf;
+}
+
+Result<uint32_t> Crc32cFromHex(std::string_view hex) {
+  if (hex.size() != 8) {
+    return Status::InvalidArgument("CRC32C hex must be 8 digits, got '" +
+                                   std::string(hex) + "'");
+  }
+  uint32_t value = 0;
+  for (char c : hex) {
+    value <<= 4;
+    if (c >= '0' && c <= '9') {
+      value |= static_cast<uint32_t>(c - '0');
+    } else if (c >= 'a' && c <= 'f') {
+      value |= static_cast<uint32_t>(c - 'a' + 10);
+    } else if (c >= 'A' && c <= 'F') {
+      value |= static_cast<uint32_t>(c - 'A' + 10);
+    } else {
+      return Status::InvalidArgument("bad CRC32C hex digit in '" +
+                                     std::string(hex) + "'");
+    }
+  }
+  return value;
+}
+
+Result<std::string> ReadFileToString(const std::string& path) {
+  PCLEAN_FAILPOINT("io.read.open", path);
+  Fd f;
+  f.fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (f.fd < 0) {
+    if (errno == ENOENT || errno == ENOTDIR) {
+      return Status::NotFound("'" + path + "' not found");
+    }
+    return Status::IOError("cannot open '" + path +
+                           "' for reading: " + ErrnoMessage());
+  }
+  PCLEAN_FAILPOINT("io.read.transient", path);
+  std::string data;
+  char buf[1 << 16];
+  for (;;) {
+    ssize_t n = ::read(f.fd, buf, sizeof(buf));
+    if (n == 0) break;
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError("failed reading '" + path + "' at byte " +
+                             std::to_string(data.size()) + ": " +
+                             ErrnoMessage());
+    }
+    data.append(buf, static_cast<size_t>(n));
+  }
+  PCLEAN_FAILPOINT_DATA("io.read.bitflip", &data);
+  PCLEAN_FAILPOINT_DATA("io.read.truncate", &data);
+  return data;
+}
+
+Result<std::string> ReadFileWithRetry(const std::string& path,
+                                      const RetryOptions& retry) {
+  Status last;
+  int backoff_ms = retry.initial_backoff_ms;
+  for (int attempt = 1;; ++attempt) {
+    auto result = ReadFileToString(path);
+    // Only IOError is plausibly transient; everything else (incl. the
+    // value itself) is final.
+    if (result.ok() || !result.status().IsIOError()) return result;
+    last = result.status();
+    if (attempt >= retry.max_attempts) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+    backoff_ms *= 2;
+  }
+  return Status::IOError(last.message() + " (after " +
+                         std::to_string(retry.max_attempts) + " attempts)");
+}
+
+Status WriteFileDurable(const std::string& path, std::string_view data) {
+  PCLEAN_FAILPOINT("io.write.open", path);
+  Fd f;
+  f.fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC,
+                0644);
+  if (f.fd < 0) {
+    return Status::IOError("cannot open '" + path +
+                           "' for writing: " + ErrnoMessage());
+  }
+
+  std::string_view payload = data;
+#if defined(PCLEAN_FAILPOINTS_ENABLED)
+  // A short write silently drops the tail — the caller sees OK and only
+  // a checksum on read can catch it. Copy so the fault cannot leak back
+  // into the caller's buffer.
+  std::string mutated(data);
+  PCLEAN_FAILPOINT_DATA("io.write.short", &mutated);
+  payload = mutated;
+  // ENOSPC-style failure: persist a partial prefix, then report the
+  // error, leaving a torn file behind for the reader to detect.
+  {
+    Status enospc = failpoint::Hit("io.write.enospc", path);
+    if (!enospc.ok()) {
+      std::string_view prefix = payload.substr(0, payload.size() / 2);
+      while (!prefix.empty()) {
+        ssize_t n = ::write(f.fd, prefix.data(), prefix.size());
+        if (n <= 0) break;
+        prefix.remove_prefix(static_cast<size_t>(n));
+      }
+      return enospc;
+    }
+  }
+#endif
+
+  std::string_view rest = payload;
+  while (!rest.empty()) {
+    ssize_t n = ::write(f.fd, rest.data(), rest.size());
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError("failed writing '" + path + "' at byte " +
+                             std::to_string(payload.size() - rest.size()) +
+                             ": " + ErrnoMessage());
+    }
+    rest.remove_prefix(static_cast<size_t>(n));
+  }
+  PCLEAN_FAILPOINT("io.write.fsync", path);
+  if (::fsync(f.fd) != 0) {
+    return Status::IOError("fsync failed for '" + path +
+                           "': " + ErrnoMessage());
+  }
+  return Status::OK();
+}
+
+Status FsyncDir(const std::string& path) {
+  PCLEAN_FAILPOINT("io.fsync.dir", path);
+  Fd f;
+  f.fd = ::open(path.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (f.fd < 0) {
+    return Status::IOError("cannot open directory '" + path +
+                           "' for fsync: " + ErrnoMessage());
+  }
+  if (::fsync(f.fd) != 0) {
+    return Status::IOError("fsync failed for directory '" + path +
+                           "': " + ErrnoMessage());
+  }
+  return Status::OK();
+}
+
+}  // namespace io
+}  // namespace privateclean

@@ -1,0 +1,59 @@
+#ifndef PRIVATECLEAN_COMMON_IO_UTIL_H_
+#define PRIVATECLEAN_COMMON_IO_UTIL_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+
+namespace privateclean {
+namespace io {
+
+/// CRC32C (Castagnoli polynomial 0x1EDC6F41, reflected), the checksum
+/// used by the release MANIFEST. Software table implementation; the
+/// release files are small enough that hardware CRC is not worth a
+/// dependency.
+uint32_t Crc32c(std::string_view data);
+/// Incremental form: extends `crc` (a previous Crc32c result) with more
+/// bytes, so a file can be checksummed in chunks.
+uint32_t Crc32cExtend(uint32_t crc, std::string_view data);
+
+/// Formats a CRC as fixed-width lowercase hex (8 digits) and parses it
+/// back; the MANIFEST stores checksums in this form.
+std::string Crc32cToHex(uint32_t crc);
+Result<uint32_t> Crc32cFromHex(std::string_view hex);
+
+/// Reads a whole file. Typed failures:
+///   NotFound — the file does not exist;
+///   IOError  — the open/read failed (possibly transiently);
+/// Failpoint sites: io.read.open, io.read.transient, io.read.bitflip,
+/// io.read.truncate.
+Result<std::string> ReadFileToString(const std::string& path);
+
+/// Bounded retry with exponential backoff around ReadFileToString.
+/// Only IOError is retried — NotFound and DataLoss are permanent, and a
+/// checksum mismatch is detected by the caller, not here.
+struct RetryOptions {
+  int max_attempts = 4;
+  /// First backoff; doubles per attempt (1, 2, 4 ms by default, so a
+  /// fully failing read costs < 10 ms).
+  int initial_backoff_ms = 1;
+};
+Result<std::string> ReadFileWithRetry(const std::string& path,
+                                      const RetryOptions& retry = {});
+
+/// Writes a whole file and fsyncs it before returning OK, so a
+/// subsequent directory rename publishes fully-persisted bytes.
+/// Failpoint sites: io.write.open, io.write.short, io.write.enospc,
+/// io.write.fsync.
+Status WriteFileDurable(const std::string& path, std::string_view data);
+
+/// Fsyncs a directory so entries created/renamed inside it are durable.
+/// Failpoint site: io.fsync.dir.
+Status FsyncDir(const std::string& path);
+
+}  // namespace io
+}  // namespace privateclean
+
+#endif  // PRIVATECLEAN_COMMON_IO_UTIL_H_

@@ -20,6 +20,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "IO error";
     case StatusCode::kInternal:
       return "Internal error";
+    case StatusCode::kDataLoss:
+      return "Data loss";
   }
   return "Unknown";
 }

@@ -19,6 +19,11 @@ enum class StatusCode {
   kAlreadyExists = 5,
   kIOError = 6,
   kInternal = 7,
+  /// Stored bytes are unrecoverably damaged: checksum mismatch, torn
+  /// write, truncated record. Distinct from kIOError (the device failed
+  /// to perform the operation, possibly transiently) and kNotFound (the
+  /// artifact was never there): retrying a kDataLoss read cannot help.
+  kDataLoss = 8,
 };
 
 /// Returns a stable human-readable name for a status code ("OK",
@@ -73,6 +78,17 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
+  }
+
+  /// Builds a status with an arbitrary code — used to re-wrap an error
+  /// with added context (e.g. file path and line number) while keeping
+  /// its code. A kOk code yields an OK status and drops the message.
+  static Status WithCode(StatusCode code, std::string msg) {
+    if (code == StatusCode::kOk) return Status();
+    return Status(code, std::move(msg));
+  }
 
   /// True iff the status carries no error.
   bool ok() const { return state_ == nullptr; }
@@ -101,6 +117,7 @@ class Status {
   }
   bool IsIOError() const { return code() == StatusCode::kIOError; }
   bool IsInternal() const { return code() == StatusCode::kInternal; }
+  bool IsDataLoss() const { return code() == StatusCode::kDataLoss; }
 
   /// "OK" or "<code name>: <message>".
   std::string ToString() const;

@@ -1,7 +1,15 @@
 #include "core/release.h"
 
-#include <filesystem>
+#include <unistd.h>
 
+#include <atomic>
+#include <filesystem>
+#include <map>
+#include <utility>
+
+#include "common/failpoint.h"
+#include "common/io_util.h"
+#include "common/string_util.h"
 #include "table/csv.h"
 #include "table/table_builder.h"
 
@@ -9,8 +17,14 @@ namespace privateclean {
 
 namespace {
 
+namespace fs = std::filesystem;
+
+constexpr char kManifestFile[] = "MANIFEST";
 constexpr char kDataFile[] = "data.csv";
 constexpr char kMetaFile[] = "meta.csv";
+/// First line of every MANIFEST; anything else is not a release manifest.
+constexpr char kManifestMagic[] = "%PCLEAN-RELEASE";
+constexpr int kFormatVersion = 2;
 /// All release files encode NULL distinctly from the empty string.
 /// data.csv historically used the writer's default (empty unquoted
 /// field), which conflated a NULL string entry with "" on read; both
@@ -23,6 +37,29 @@ CsvOptions ReleaseCsvOptions(const ExecutionOptions& exec = {}) {
   options.null_literal = kNullLiteral;
   options.exec = exec;
   return options;
+}
+
+/// Read-side options: pin parse errors to the file inside the release
+/// and treat a missing final newline as truncation (every release file
+/// ends with '\n' as written, so a torn tail is always detectable even
+/// without the MANIFEST).
+CsvOptions ReleaseReadOptions(CsvOptions base, const std::string& dir,
+                              const std::string& name) {
+  base.error_context = dir + "/" + name;
+  base.require_trailing_newline = true;
+  return base;
+}
+
+/// Fault-injection hook that leaves cleanup to the caller (the
+/// PCLEAN_FAILPOINT macro returns directly, which would skip rollback).
+Status HitSite(const char* site, const std::string& detail) {
+#if defined(PCLEAN_FAILPOINTS_ENABLED)
+  return failpoint::Hit(site, detail);
+#else
+  (void)site;
+  (void)detail;
+  return Status::OK();
+#endif
 }
 
 Result<Schema> MetaSchema() {
@@ -47,19 +84,19 @@ Result<ValueType> TypeFromName(const std::string& name) {
   return Status::IOError("unknown type '" + name + "' in release metadata");
 }
 
-}  // namespace
+/// An ordered list of (file name, rendered bytes) — the entire release
+/// payload held in memory, so validation failures never touch disk and
+/// the MANIFEST can checksum exactly what will be written.
+using RenderedFiles = std::vector<std::pair<std::string, std::string>>;
 
-Status WriteRelease(const Table& private_relation,
-                    const PrivateRelationMetadata& metadata,
-                    const std::string& dir, const ExecutionOptions& exec) {
-  std::error_code ec;
-  std::filesystem::create_directories(dir, ec);
-  if (ec) {
-    return Status::IOError("cannot create release directory '" + dir +
-                           "': " + ec.message());
-  }
-  PCLEAN_RETURN_NOT_OK(WriteCsvFile(private_relation, dir + "/" + kDataFile,
-                                    ReleaseCsvOptions(exec)));
+/// Renders every payload file of the release (everything except the
+/// MANIFEST itself). Pure validation + serialization; no I/O.
+Result<RenderedFiles> RenderReleaseFiles(
+    const Table& private_relation, const PrivateRelationMetadata& metadata,
+    const ExecutionOptions& exec) {
+  RenderedFiles files;
+  files.emplace_back(kDataFile,
+                     TableToCsv(private_relation, ReleaseCsvOptions(exec)));
 
   // meta.csv: one row per attribute, in schema order so the analyst can
   // reconstruct the schema exactly.
@@ -88,9 +125,8 @@ Status WriteRelease(const Table& private_relation,
         domain_table.Row({v});
       }
       PCLEAN_ASSIGN_OR_RETURN(Table dt, domain_table.Finish());
-      PCLEAN_RETURN_NOT_OK(
-          WriteCsvFile(dt, dir + "/" + DomainFileName(domain_index),
-                       ReleaseCsvOptions()));
+      files.emplace_back(DomainFileName(domain_index),
+                         TableToCsv(dt, ReleaseCsvOptions()));
       ++domain_index;
     } else {
       auto it = metadata.numeric.find(field.name);
@@ -104,21 +140,210 @@ Status WriteRelease(const Table& private_relation,
     }
   }
   PCLEAN_ASSIGN_OR_RETURN(Table meta_table, meta.Finish());
-  return WriteCsvFile(meta_table, dir + "/" + kMetaFile);
+  // meta.csv keeps the default CSV options for byte compatibility with
+  // v1 releases (its nulls render as empty fields).
+  files.emplace_back(kMetaFile, TableToCsv(meta_table, CsvOptions{}));
+  return files;
 }
 
-Status WriteRelease(const GrrOutput& grr, const std::string& dir,
-                    const ExecutionOptions& exec) {
-  return WriteRelease(grr.table, grr.metadata, dir, exec);
+/// Renders the MANIFEST: magic, version, relation size, one line per
+/// payload file ("file: <crc32c> <bytes> <name>"), and a trailing
+/// self-checksum over everything above it.
+std::string RenderManifest(uint64_t rows, const RenderedFiles& files) {
+  std::string out = kManifestMagic;
+  out += "\nversion: ";
+  out += std::to_string(kFormatVersion);
+  out += "\nrows: ";
+  out += std::to_string(rows);
+  out += '\n';
+  for (const auto& [name, content] : files) {
+    out += "file: ";
+    out += io::Crc32cToHex(io::Crc32c(content));
+    out += ' ';
+    out += std::to_string(content.size());
+    out += ' ';
+    out += name;
+    out += '\n';
+  }
+  // Self-checksum covers every byte above the trailer line.
+  const uint32_t self_crc = io::Crc32c(out);
+  out += "manifest_crc: ";
+  out += io::Crc32cToHex(self_crc);
+  out += '\n';
+  return out;
 }
 
-Result<LoadedRelease> ReadRelease(const std::string& dir,
-                                  const ExecutionOptions& exec) {
+struct ManifestEntry {
+  std::string name;
+  uint64_t bytes = 0;
+  uint32_t crc = 0;
+};
+
+struct Manifest {
+  uint64_t rows = 0;
+  std::vector<ManifestEntry> files;
+};
+
+/// Parses and self-verifies a MANIFEST. Any structural damage —
+/// including a failed self-checksum — is DataLoss naming `path`; a
+/// version this reader does not know is FailedPrecondition.
+Result<Manifest> ParseManifest(const std::string& text,
+                               const std::string& path) {
+  const std::string magic_line = std::string(kManifestMagic) + "\n";
+  if (text.compare(0, magic_line.size(), magic_line) != 0) {
+    return Status::DataLoss("'" + path +
+                            "' is not a release manifest (bad magic)");
+  }
+  // The self-checksum line must be the LAST line, so nothing after it
+  // escapes coverage.
+  const std::string trailer_key = "manifest_crc: ";
+  size_t trailer = text.rfind("\n" + trailer_key);
+  if (trailer == std::string::npos) {
+    return Status::DataLoss("'" + path +
+                            "': missing manifest_crc trailer line");
+  }
+  trailer += 1;  // start of the trailer line
+  const size_t hex_begin = trailer + trailer_key.size();
+  const size_t hex_end = text.find('\n', hex_begin);
+  if (hex_end == std::string::npos || hex_end + 1 != text.size()) {
+    return Status::DataLoss(
+        "'" + path + "': manifest_crc trailer is not the final line");
+  }
+  auto stored = io::Crc32cFromHex(
+      std::string_view(text).substr(hex_begin, hex_end - hex_begin));
+  if (!stored.ok()) {
+    return Status::DataLoss("'" + path + "': " + stored.status().message());
+  }
+  const uint32_t computed = io::Crc32c(std::string_view(text).substr(0, trailer));
+  if (computed != stored.ValueOrDie()) {
+    return Status::DataLoss(
+        "'" + path + "': manifest checksum mismatch (stored " +
+        io::Crc32cToHex(stored.ValueOrDie()) + ", computed " +
+        io::Crc32cToHex(computed) + ") — the manifest itself is corrupt");
+  }
+
+  // Body lines between the magic and the trailer.
+  Manifest manifest;
+  bool saw_version = false;
+  bool saw_rows = false;
+  size_t pos = magic_line.size();
+  size_t line_no = 2;  // 1-based; the magic was line 1
+  while (pos < trailer) {
+    size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos || eol > trailer) eol = trailer;
+    std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    auto loc = [&] { return "'" + path + "' line " + std::to_string(line_no); };
+    ++line_no;
+    if (line.rfind("version: ", 0) == 0) {
+      PCLEAN_ASSIGN_OR_RETURN(int64_t v, ParseInt64(line.substr(9)));
+      if (v != kFormatVersion) {
+        return Status::FailedPrecondition(
+            "'" + path + "' declares release format version " +
+            std::to_string(v) + "; this reader supports version " +
+            std::to_string(kFormatVersion));
+      }
+      saw_version = true;
+    } else if (line.rfind("rows: ", 0) == 0) {
+      PCLEAN_ASSIGN_OR_RETURN(int64_t v, ParseInt64(line.substr(6)));
+      if (v < 0) return Status::DataLoss(loc() + ": negative row count");
+      manifest.rows = static_cast<uint64_t>(v);
+      saw_rows = true;
+    } else if (line.rfind("file: ", 0) == 0) {
+      // "file: <crc8hex> <bytes> <name>"
+      const std::string body = line.substr(6);
+      const size_t sp1 = body.find(' ');
+      const size_t sp2 =
+          sp1 == std::string::npos ? std::string::npos : body.find(' ', sp1 + 1);
+      if (sp2 == std::string::npos || sp2 + 1 >= body.size()) {
+        return Status::DataLoss(loc() + ": malformed file entry '" + line +
+                                "'");
+      }
+      ManifestEntry entry;
+      auto crc = io::Crc32cFromHex(std::string_view(body).substr(0, sp1));
+      if (!crc.ok()) {
+        return Status::DataLoss(loc() + ": " + crc.status().message());
+      }
+      entry.crc = crc.ValueOrDie();
+      auto bytes = ParseInt64(body.substr(sp1 + 1, sp2 - sp1 - 1));
+      if (!bytes.ok() || bytes.ValueOrDie() < 0) {
+        return Status::DataLoss(loc() + ": malformed byte length in '" +
+                                line + "'");
+      }
+      entry.bytes = static_cast<uint64_t>(bytes.ValueOrDie());
+      entry.name = body.substr(sp2 + 1);
+      if (entry.name.empty() || entry.name.find('/') != std::string::npos ||
+          entry.name == "..") {
+        return Status::DataLoss(loc() + ": invalid file name '" + entry.name +
+                                "'");
+      }
+      manifest.files.push_back(std::move(entry));
+    } else {
+      return Status::DataLoss(loc() + ": unrecognized manifest line '" + line +
+                              "'");
+    }
+  }
+  if (!saw_version || !saw_rows || manifest.files.empty()) {
+    return Status::DataLoss("'" + path +
+                            "': manifest is missing version, rows, or file "
+                            "entries");
+  }
+  return manifest;
+}
+
+/// Reads one MANIFEST-listed file and verifies its length and CRC32C.
+/// On success `*content` holds the verified bytes.
+Status FetchAndCheck(const std::string& dir, const ManifestEntry& entry,
+                     std::string* content) {
+  const std::string path = dir + "/" + entry.name;
+  auto read = io::ReadFileWithRetry(path);
+  if (!read.ok()) {
+    if (read.status().IsNotFound()) {
+      return Status::DataLoss("'" + path +
+                              "' is listed in the MANIFEST but missing");
+    }
+    return read.status();
+  }
+  std::string bytes = std::move(read).ValueOrDie();
+  if (bytes.size() != entry.bytes) {
+    return Status::DataLoss(
+        "'" + path + "' is " + std::to_string(bytes.size()) +
+        " bytes but the MANIFEST records " + std::to_string(entry.bytes) +
+        " (content diverges at byte " +
+        std::to_string(std::min<uint64_t>(bytes.size(), entry.bytes)) +
+        "; truncated or torn write)");
+  }
+  const uint32_t crc = io::Crc32c(bytes);
+  if (crc != entry.crc) {
+    return Status::DataLoss("'" + path + "': checksum mismatch (stored " +
+                            io::Crc32cToHex(entry.crc) + ", computed " +
+                            io::Crc32cToHex(crc) + ") over " +
+                            std::to_string(bytes.size()) +
+                            " bytes — file content is corrupt");
+  }
+  *content = std::move(bytes);
+  return Status::OK();
+}
+
+/// Provides the bytes of a named release file to the shared parser.
+/// v2 serves checksum-verified bytes already in memory; v1 reads from
+/// disk with retry.
+using FileFetcher = std::function<Result<std::string>(const std::string&)>;
+
+/// Parses meta.csv / domain files / data.csv into a LoadedRelease.
+/// Shared by the v1 and v2 read paths; `fetch` abstracts where verified
+/// bytes come from.
+Result<LoadedRelease> ParseReleaseTables(const FileFetcher& fetch,
+                                         const std::string& dir,
+                                         const ExecutionOptions& exec) {
   PCLEAN_ASSIGN_OR_RETURN(Schema meta_schema, MetaSchema());
-  PCLEAN_ASSIGN_OR_RETURN(Table meta,
-                          ReadCsvFile(dir + "/" + kMetaFile, meta_schema));
+  PCLEAN_ASSIGN_OR_RETURN(std::string meta_text, fetch(kMetaFile));
+  PCLEAN_ASSIGN_OR_RETURN(
+      Table meta, CsvToTable(meta_text, meta_schema,
+                             ReleaseReadOptions(CsvOptions{}, dir, kMetaFile)));
   if (meta.num_rows() == 0) {
-    return Status::IOError("release metadata is empty");
+    return Status::DataLoss("'" + dir + "/" + kMetaFile +
+                            "': release metadata is empty");
   }
 
   // Reconstruct the data schema and the metadata maps.
@@ -140,10 +365,13 @@ Result<LoadedRelease> ReadRelease(const std::string& dir,
       PCLEAN_ASSIGN_OR_RETURN(
           Schema domain_schema,
           Schema::Make({Field::Discrete(name, type)}));
+      const std::string domain_file = DomainFileName(domain_index);
+      PCLEAN_ASSIGN_OR_RETURN(std::string domain_text, fetch(domain_file));
       PCLEAN_ASSIGN_OR_RETURN(
           Table domain_table,
-          ReadCsvFile(dir + "/" + DomainFileName(domain_index),
-                      domain_schema, ReleaseCsvOptions()));
+          CsvToTable(domain_text, domain_schema,
+                     ReleaseReadOptions(ReleaseCsvOptions(), dir,
+                                        domain_file)));
       ++domain_index;
       std::vector<Value> values;
       values.reserve(domain_table.num_rows());
@@ -154,8 +382,11 @@ Result<LoadedRelease> ReadRelease(const std::string& dir,
       if (!meta.column(5).IsNull(r) &&
           domain.size() !=
               static_cast<size_t>(meta.column(5).Int64At(r))) {
-        return Status::IOError("domain file for '" + name +
-                               "' does not match the recorded size");
+        return Status::DataLoss(
+            "'" + dir + "/" + domain_file + "' holds " +
+            std::to_string(domain.size()) + " values but '" + name +
+            "' records a domain of " +
+            std::to_string(meta.column(5).Int64At(r)));
       }
       release.metadata.discrete.emplace(
           name, DiscreteAttributeMeta{param, std::move(domain)});
@@ -174,10 +405,202 @@ Result<LoadedRelease> ReadRelease(const std::string& dir,
     }
   }
   PCLEAN_ASSIGN_OR_RETURN(Schema schema, Schema::Make(std::move(fields)));
+  PCLEAN_ASSIGN_OR_RETURN(std::string data_text, fetch(kDataFile));
   PCLEAN_ASSIGN_OR_RETURN(
       release.relation,
-      ReadCsvFile(dir + "/" + kDataFile, schema, ReleaseCsvOptions(exec)));
+      CsvToTable(data_text, schema,
+                 ReleaseReadOptions(ReleaseCsvOptions(exec), dir, kDataFile)));
   release.metadata.dataset_size = release.relation.num_rows();
+  return release;
+}
+
+/// Monotonic suffix so concurrent writers in one process never collide
+/// on the same temporary/backup sibling.
+std::string UniqueSuffix() {
+  static std::atomic<uint64_t> counter{0};
+  return std::to_string(static_cast<long>(::getpid())) + "." +
+         std::to_string(counter.fetch_add(1));
+}
+
+/// Removes a directory tree unless disarmed — every early-error return
+/// from the commit sequence cleans up its temporary directory.
+struct RemoveOnFailure {
+  std::string path;
+  bool armed = true;
+  ~RemoveOnFailure() {
+    if (armed) {
+      std::error_code ec;
+      fs::remove_all(path, ec);
+    }
+  }
+};
+
+/// True when `dir` may be replaced by an atomic swap: an empty
+/// directory, or one holding a release (manifest or pre-manifest).
+bool IsReplaceableDir(const std::string& dir) {
+  std::error_code ec;
+  if (fs::exists(dir + "/" + kManifestFile, ec)) return true;
+  if (fs::exists(dir + "/" + kMetaFile, ec)) return true;
+  return fs::is_empty(dir, ec) && !ec;
+}
+
+}  // namespace
+
+Status WriteRelease(const Table& private_relation,
+                    const PrivateRelationMetadata& metadata,
+                    const std::string& dir, const ExecutionOptions& exec) {
+  // Render the entire release in memory first: validation failures
+  // (missing metadata, bad schema) touch nothing on disk.
+  PCLEAN_ASSIGN_OR_RETURN(
+      RenderedFiles files,
+      RenderReleaseFiles(private_relation, metadata, exec));
+  files.emplace_back(kManifestFile,
+                     RenderManifest(private_relation.num_rows(), files));
+
+  const fs::path target(dir);
+  const fs::path parent =
+      target.parent_path().empty() ? fs::path(".") : target.parent_path();
+  std::error_code ec;
+  fs::create_directories(parent, ec);
+  if (ec) {
+    return Status::IOError("cannot create parent directory for '" + dir +
+                           "': " + ec.message());
+  }
+
+  // Stage into a temporary sibling (same filesystem, so the commit
+  // rename is atomic), then swap it in.
+  const std::string suffix = UniqueSuffix();
+  const std::string tmp = dir + ".tmp." + suffix;
+  RemoveOnFailure tmp_guard{tmp};
+  fs::create_directory(tmp, ec);
+  if (ec) {
+    return Status::IOError("cannot create staging directory '" + tmp +
+                           "': " + ec.message());
+  }
+  for (const auto& [name, content] : files) {
+    PCLEAN_RETURN_NOT_OK(io::WriteFileDurable(tmp + "/" + name, content));
+  }
+  PCLEAN_RETURN_NOT_OK(io::FsyncDir(tmp));
+
+  // Commit. A fresh target is a single rename; an existing one is
+  // backed up first so a failed swap restores it.
+  const bool exists = fs::exists(target, ec);
+  if (exists) {
+    if (!fs::is_directory(target, ec)) {
+      return Status::AlreadyExists("'" + dir +
+                                   "' exists and is not a directory");
+    }
+    if (!IsReplaceableDir(dir)) {
+      return Status::AlreadyExists(
+          "'" + dir +
+          "' exists and is not a release directory (no MANIFEST or "
+          "meta.csv); refusing to replace it");
+    }
+    const std::string backup = dir + ".old." + suffix;
+    PCLEAN_RETURN_NOT_OK(HitSite("release.swap.backup", dir));
+    fs::rename(target, backup, ec);
+    if (ec) {
+      return Status::IOError("cannot move existing release '" + dir +
+                             "' aside: " + ec.message());
+    }
+    // Crash window: the target is momentarily absent. The torn-commit
+    // failpoint stops here, exactly as a crash between the two renames
+    // would — readers then see a typed NotFound, never a half release.
+    Status torn = HitSite("release.commit.torn", dir);
+    if (!torn.ok()) {
+      tmp_guard.armed = false;
+      return torn;
+    }
+    Status fault = HitSite("release.commit.rename", dir);
+    ec.clear();
+    if (fault.ok()) fs::rename(tmp, target, ec);
+    if (!fault.ok() || ec) {
+      // Roll the original release back into place (best effort — if
+      // this rename also fails the backup still holds it intact).
+      std::error_code rollback;
+      fs::rename(backup, target, rollback);
+      if (!fault.ok()) return fault;
+      return Status::IOError("cannot commit release to '" + dir +
+                             "': " + ec.message());
+    }
+    tmp_guard.armed = false;
+    fs::remove_all(backup, ec);  // best effort; the release is committed
+  } else {
+    PCLEAN_RETURN_NOT_OK(HitSite("release.commit.rename", dir));
+    fs::rename(tmp, target, ec);
+    if (ec) {
+      return Status::IOError("cannot commit release to '" + dir +
+                             "': " + ec.message());
+    }
+    tmp_guard.armed = false;
+  }
+  // The renames are durable only once the parent directory is synced.
+  return io::FsyncDir(parent.string());
+}
+
+Status WriteRelease(const GrrOutput& grr, const std::string& dir,
+                    const ExecutionOptions& exec) {
+  return WriteRelease(grr.table, grr.metadata, dir, exec);
+}
+
+Result<LoadedRelease> ReadRelease(const std::string& dir,
+                                  const ExecutionOptions& exec) {
+  const std::string manifest_path = dir + "/" + kManifestFile;
+  auto manifest_text = io::ReadFileWithRetry(manifest_path);
+  if (!manifest_text.ok()) {
+    if (!manifest_text.status().IsNotFound()) return manifest_text.status();
+    std::error_code ec;
+    if (!fs::exists(dir, ec)) {
+      return Status::NotFound("no release at '" + dir + "'");
+    }
+    if (!fs::exists(dir + "/" + kMetaFile, ec)) {
+      return Status::NotFound("'" + dir +
+                              "' contains no release (no MANIFEST or "
+                              "meta.csv)");
+    }
+    // Pre-manifest (v1) directory: loadable, but nothing to check the
+    // bytes against.
+    FileFetcher from_disk = [&dir](const std::string& name) {
+      return io::ReadFileWithRetry(dir + "/" + name);
+    };
+    PCLEAN_ASSIGN_OR_RETURN(LoadedRelease release,
+                            ParseReleaseTables(from_disk, dir, exec));
+    release.format_version = 1;
+    release.verified = false;
+    return release;
+  }
+
+  PCLEAN_ASSIGN_OR_RETURN(
+      Manifest manifest,
+      ParseManifest(manifest_text.ValueOrDie(), manifest_path));
+  // Read and checksum every listed file up front; parsing only ever
+  // sees verified bytes.
+  std::map<std::string, std::string> verified;
+  for (const ManifestEntry& entry : manifest.files) {
+    std::string content;
+    PCLEAN_RETURN_NOT_OK(FetchAndCheck(dir, entry, &content));
+    verified.emplace(entry.name, std::move(content));
+  }
+  FileFetcher from_manifest =
+      [&verified, &dir](const std::string& name) -> Result<std::string> {
+    auto it = verified.find(name);
+    if (it == verified.end()) {
+      return Status::DataLoss("'" + dir + "/" + name +
+                              "' is referenced by the release but not "
+                              "listed in the MANIFEST");
+    }
+    return it->second;
+  };
+  PCLEAN_ASSIGN_OR_RETURN(LoadedRelease release,
+                          ParseReleaseTables(from_manifest, dir, exec));
+  if (release.relation.num_rows() != manifest.rows) {
+    return Status::DataLoss(
+        "'" + dir + "/" + kDataFile + "' parsed to " +
+        std::to_string(release.relation.num_rows()) +
+        " rows but the MANIFEST records " + std::to_string(manifest.rows));
+  }
+  release.format_version = kFormatVersion;
+  release.verified = true;
   return release;
 }
 
@@ -186,6 +609,55 @@ Result<PrivateTable> OpenRelease(const std::string& dir,
   PCLEAN_ASSIGN_OR_RETURN(LoadedRelease release, ReadRelease(dir, exec));
   return PrivateTable::FromPrivateRelation(std::move(release.relation),
                                            std::move(release.metadata));
+}
+
+Result<ReleaseVerification> VerifyRelease(const std::string& dir) {
+  const std::string manifest_path = dir + "/" + kManifestFile;
+  auto manifest_text = io::ReadFileWithRetry(manifest_path);
+  if (!manifest_text.ok()) {
+    if (!manifest_text.status().IsNotFound()) return manifest_text.status();
+    std::error_code ec;
+    if (fs::exists(dir + "/" + kMetaFile, ec)) {
+      // Deliberately strict: falling back to "v1, fine" here would let
+      // a deleted MANIFEST silently downgrade a checksummed release.
+      return Status::FailedPrecondition(
+          "'" + dir +
+          "' is an unverified pre-manifest (v1) release: it has no "
+          "checksums to verify; rewrite it with WriteRelease to add a "
+          "MANIFEST");
+    }
+    if (!fs::exists(dir, ec)) {
+      return Status::NotFound("no release at '" + dir + "'");
+    }
+    return Status::NotFound("'" + dir +
+                            "' contains no release (no MANIFEST or "
+                            "meta.csv)");
+  }
+
+  PCLEAN_ASSIGN_OR_RETURN(
+      Manifest manifest,
+      ParseManifest(manifest_text.ValueOrDie(), manifest_path));
+  ReleaseVerification verification;
+  verification.format_version = kFormatVersion;
+  verification.rows = manifest.rows;
+  for (const ManifestEntry& entry : manifest.files) {
+    std::string content;
+    ReleaseFileCheck check;
+    check.file = entry.name;
+    check.bytes = entry.bytes;
+    check.status = FetchAndCheck(dir, entry, &content);
+    if (verification.status.ok() && !check.status.ok()) {
+      verification.status = check.status;
+    }
+    verification.files.push_back(std::move(check));
+  }
+  if (verification.status.ok()) {
+    // Checksums passing still leaves semantic damage (a writer bug or a
+    // collision); a full parse is the final gate.
+    auto loaded = ReadRelease(dir);
+    if (!loaded.ok()) verification.status = loaded.status();
+  }
+  return verification;
 }
 
 }  // namespace privateclean

@@ -1,7 +1,9 @@
 #ifndef PRIVATECLEAN_CORE_RELEASE_H_
 #define PRIVATECLEAN_CORE_RELEASE_H_
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include "common/result.h"
 #include "core/private_table.h"
@@ -10,8 +12,11 @@
 namespace privateclean {
 
 /// Serialization of a private release — the actual provider→analyst
-/// handoff. A release directory contains:
+/// handoff. A format-v2 release directory contains:
 ///
+///   MANIFEST       magic, format version, relation size, and one line
+///                  per payload file with its byte length and CRC32C,
+///                  followed by a self-checksum of the manifest itself
 ///   data.csv       the private relation V (RFC-4180 CSV)
 ///   meta.csv       one row per attribute: name, kind, physical type,
 ///                  mechanism parameter (p or b), sensitivity, domain
@@ -23,10 +28,33 @@ namespace privateclean {
 /// shipping it alongside V does not weaken ε-local differential privacy
 /// — and it is exactly what the analyst-side estimators need (p_i, b_i,
 /// the dirty domains fixing N, and S).
+///
+/// Durability contract. WriteRelease renders every file in memory
+/// first, writes them into a temporary sibling directory with
+/// write+fsync, fsyncs that directory, and only then renames it over
+/// the target (backing up and restoring an existing release if the
+/// swap fails part-way). ReadRelease reads each payload file once,
+/// verifies its length and CRC32C against the MANIFEST before parsing,
+/// and maps damage to typed statuses:
+///
+///   NotFound           no release at that path (or a torn swap left
+///                      nothing behind)
+///   DataLoss           checksum/length mismatch, truncated record, or
+///                      a file the MANIFEST lists but the dir lacks
+///   IOError            possibly-transient read failure (retried with
+///                      bounded backoff before being returned)
+///   FailedPrecondition strict verification of a pre-manifest (v1)
+///                      release, which has no checksums to check
+///   AlreadyExists      the target exists and is not a replaceable
+///                      release directory
 
-/// Writes the release into `dir` (created if missing). `exec` shards the
-/// CSV serialization of data.csv (see CsvOptions::exec); the bytes
-/// written are identical at every thread count.
+/// Writes the release into `dir` atomically: on return the target is
+/// either the complete new release or (on error) its previous content.
+/// An existing release directory (or empty directory) at `dir` is
+/// replaced by atomic swap; anything else there fails with
+/// AlreadyExists. `exec` shards the CSV serialization of data.csv (see
+/// CsvOptions::exec); the bytes written are identical at every thread
+/// count.
 Status WriteRelease(const Table& private_relation,
                     const PrivateRelationMetadata& metadata,
                     const std::string& dir, const ExecutionOptions& exec = {});
@@ -39,10 +67,17 @@ Status WriteRelease(const GrrOutput& grr, const std::string& dir,
 struct LoadedRelease {
   Table relation;
   PrivateRelationMetadata metadata;
+  /// 2 for manifest releases, 1 for pre-manifest directories.
+  int format_version = 2;
+  /// True iff every payload file was checked against MANIFEST checksums
+  /// before parsing. v1 releases load with `verified = false`.
+  bool verified = false;
 };
 
-/// Reads a release directory back. `exec` shards the CSV cell typing of
-/// data.csv; the resulting Table is identical at every thread count.
+/// Reads a release directory back, verifying MANIFEST checksums. v1
+/// directories (no MANIFEST, but a meta.csv) still load, flagged
+/// `verified = false`. `exec` shards the CSV cell typing of data.csv;
+/// the resulting Table is identical at every thread count.
 Result<LoadedRelease> ReadRelease(const std::string& dir,
                                   const ExecutionOptions& exec = {});
 
@@ -52,6 +87,32 @@ Result<LoadedRelease> ReadRelease(const std::string& dir,
 /// PrivateTable::Clean as usual.
 Result<PrivateTable> OpenRelease(const std::string& dir,
                                  const ExecutionOptions& exec = {});
+
+/// Outcome of checking one payload file against the MANIFEST.
+struct ReleaseFileCheck {
+  std::string file;    ///< name relative to the release directory
+  uint64_t bytes = 0;  ///< size recorded in the MANIFEST
+  Status status;       ///< OK, or typed DataLoss/NotFound/IOError
+};
+
+/// Result of `VerifyRelease` on a manifest release.
+struct ReleaseVerification {
+  int format_version = 2;
+  uint64_t rows = 0;  ///< relation size recorded in the MANIFEST
+  std::vector<ReleaseFileCheck> files;
+  /// OK iff every file check passed and the release parses; otherwise
+  /// the first failure, with its file named in the message.
+  Status status;
+};
+
+/// Strict integrity check behind `pclean verify`. Unlike ReadRelease it
+/// does NOT accept v1 directories: a release without a MANIFEST cannot
+/// be verified and yields FailedPrecondition (otherwise deleting the
+/// MANIFEST would silently downgrade a checksummed release to an
+/// unchecked one). Returns an error Result when there is no manifest to
+/// check against (NotFound / DataLoss / FailedPrecondition); otherwise
+/// returns per-file outcomes plus an overall status.
+Result<ReleaseVerification> VerifyRelease(const std::string& dir);
 
 }  // namespace privateclean
 

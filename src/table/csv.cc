@@ -1,9 +1,8 @@
 #include "table/csv.h"
 
 #include <cctype>
-#include <fstream>
-#include <sstream>
 
+#include "common/io_util.h"
 #include "common/string_util.h"
 #include "common/thread_pool.h"
 
@@ -52,25 +51,42 @@ struct RawField {
   bool quoted = false;
 };
 
+/// One record plus the 1-based input line it starts on (for error
+/// messages; a quoted field may span lines, so record index != line).
+struct RawRecord {
+  std::vector<RawField> fields;
+  size_t line = 1;
+};
+
 /// A blank input line parses as a record with one unquoted empty field.
 /// For single-column schemas that is a legitimate NULL row; for wider
 /// schemas it is a blank line to skip.
-bool IsBlankRecord(const std::vector<RawField>& record) {
-  return record.size() == 1 && !record[0].quoted && record[0].text.empty();
+bool IsBlankRecord(const RawRecord& record) {
+  return record.fields.size() == 1 && !record.fields[0].quoted &&
+         record.fields[0].text.empty();
 }
 
-/// Splits CSV text into records of fields, honoring quoting.
-Result<std::vector<std::vector<RawField>>> ParseRecords(
-    const std::string& text, const CsvOptions& options) {
-  std::vector<std::vector<RawField>> records;
-  std::vector<RawField> record;
+/// Source-location prefix for parse errors: "<context>:<line>: ".
+std::string Loc(const CsvOptions& options, size_t line) {
+  return (options.error_context.empty() ? "<csv>" : options.error_context) +
+         ":" + std::to_string(line) + ": ";
+}
+
+/// Splits CSV text into records of fields, honoring quoting. With
+/// `options.require_trailing_newline`, input whose last record lacks a
+/// newline terminator (or whose quoting is still open) is DataLoss.
+Result<std::vector<RawRecord>> ParseRecords(const std::string& text,
+                                            const CsvOptions& options) {
+  std::vector<RawRecord> out;
+  RawRecord record;
   std::string field;
   bool in_quotes = false;
   bool field_was_quoted = false;
   bool any_content = false;
+  size_t line = 1;
 
   auto end_field = [&]() {
-    record.push_back(RawField{
+    record.fields.push_back(RawField{
         field_was_quoted ? field : std::string(TrimWhitespace(field)),
         field_was_quoted});
     field.clear();
@@ -78,8 +94,8 @@ Result<std::vector<std::vector<RawField>>> ParseRecords(
   };
   auto end_record = [&]() {
     end_field();
-    records.push_back(std::move(record));
-    record.clear();
+    out.push_back(std::move(record));
+    record = RawRecord{};
     any_content = false;
   };
 
@@ -94,6 +110,7 @@ Result<std::vector<std::vector<RawField>>> ParseRecords(
           in_quotes = false;
         }
       } else {
+        if (c == '\n') ++line;
         field.push_back(c);
       }
       continue;
@@ -110,6 +127,8 @@ Result<std::vector<std::vector<RawField>>> ParseRecords(
       // with a single unquoted empty field (a NULL row for one-column
       // relations; schema-aware callers skip them otherwise).
       end_record();
+      ++line;
+      record.line = line;
     } else if (c == '\r') {
       // Swallow; '\n' terminates the record.
     } else {
@@ -118,10 +137,19 @@ Result<std::vector<std::vector<RawField>>> ParseRecords(
     }
   }
   if (in_quotes) {
-    return Status::IOError("unterminated quoted field in CSV input");
+    return Status::DataLoss(
+        Loc(options, record.line) +
+        "unterminated quoted field at end of input (truncated file?)");
   }
-  if (any_content || !field.empty() || !record.empty()) end_record();
-  return records;
+  if (any_content || !field.empty() || !record.fields.empty()) {
+    if (options.require_trailing_newline) {
+      return Status::DataLoss(
+          Loc(options, record.line) +
+          "truncated final record: missing newline at end of file");
+    }
+    end_record();
+  }
+  return out;
 }
 
 Result<Value> ParseCell(const RawField& cell, const Field& field,
@@ -194,11 +222,7 @@ std::string TableToCsv(const Table& table, const CsvOptions& options) {
 
 Status WriteCsvFile(const Table& table, const std::string& path,
                     const CsvOptions& options) {
-  std::ofstream f(path, std::ios::binary);
-  if (!f) return Status::IOError("cannot open '" + path + "' for writing");
-  f << TableToCsv(table, options);
-  if (!f) return Status::IOError("failed writing '" + path + "'");
-  return Status::OK();
+  return io::WriteFileDurable(path, TableToCsv(table, options));
 }
 
 Result<Table> CsvToTable(const std::string& text, const Schema& schema,
@@ -207,17 +231,19 @@ Result<Table> CsvToTable(const std::string& text, const Schema& schema,
   size_t first_data = 0;
   if (options.header) {
     if (records.empty()) {
-      return Status::IOError("CSV input missing header row");
+      return Status::IOError(Loc(options, 1) + "CSV input missing header row");
     }
-    const auto& header = records[0];
+    const auto& header = records[0].fields;
     if (header.size() != schema.num_fields()) {
       return Status::IOError(
-          "CSV header has " + std::to_string(header.size()) +
-          " fields, schema expects " + std::to_string(schema.num_fields()));
+          Loc(options, records[0].line) + "CSV header has " +
+          std::to_string(header.size()) + " fields, schema expects " +
+          std::to_string(schema.num_fields()));
     }
     for (size_t c = 0; c < header.size(); ++c) {
       if (header[c].text != schema.field(c).name) {
-        return Status::IOError("CSV header field '" + header[c].text +
+        return Status::IOError(Loc(options, records[0].line) +
+                               "CSV header field '" + header[c].text +
                                "' does not match schema field '" +
                                schema.field(c).name + "'");
       }
@@ -241,18 +267,26 @@ Result<Table> CsvToTable(const std::string& text, const Schema& schema,
           const size_t r = first_data + i;
           const auto& record = records[r];
           if (schema.num_fields() != 1 && IsBlankRecord(record)) continue;
-          if (record.size() != schema.num_fields()) {
+          if (record.fields.size() != schema.num_fields()) {
             return Status::IOError(
-                "CSV record " + std::to_string(r) + " has " +
-                std::to_string(record.size()) + " fields, expected " +
+                Loc(options, record.line) + "CSV record has " +
+                std::to_string(record.fields.size()) +
+                " fields, expected " +
                 std::to_string(schema.num_fields()));
           }
           std::vector<Value> row;
-          row.reserve(record.size());
-          for (size_t c = 0; c < record.size(); ++c) {
-            PCLEAN_ASSIGN_OR_RETURN(
-                Value v, ParseCell(record[c], schema.field(c), options));
-            row.push_back(std::move(v));
+          row.reserve(record.fields.size());
+          for (size_t c = 0; c < record.fields.size(); ++c) {
+            auto cell = ParseCell(record.fields[c], schema.field(c), options);
+            if (!cell.ok()) {
+              // Keep the underlying code (strict numeric parses are
+              // InvalidArgument) but pin the failure to file and line.
+              return Status::WithCode(
+                  cell.status().code(),
+                  Loc(options, record.line) + "column '" +
+                      schema.field(c).name + "': " + cell.status().message());
+            }
+            row.push_back(std::move(cell).ValueOrDie());
           }
           rows.push_back(std::move(row));
         }
@@ -268,11 +302,15 @@ Result<Table> CsvToTable(const std::string& text, const Schema& schema,
 
 Result<Table> ReadCsvFile(const std::string& path, const Schema& schema,
                           const CsvOptions& options) {
-  std::ifstream f(path, std::ios::binary);
-  if (!f) return Status::IOError("cannot open '" + path + "' for reading");
-  std::ostringstream buffer;
-  buffer << f.rdbuf();
-  return CsvToTable(buffer.str(), schema, options);
+  // Transient read errors are retried with bounded backoff; a missing
+  // file is NotFound immediately.
+  PCLEAN_ASSIGN_OR_RETURN(std::string text, io::ReadFileWithRetry(path));
+  if (options.error_context.empty()) {
+    CsvOptions located = options;
+    located.error_context = path;
+    return CsvToTable(text, schema, located);
+  }
+  return CsvToTable(text, schema, options);
 }
 
 Result<Schema> InferCsvSchema(const std::string& text,
@@ -283,7 +321,7 @@ Result<Schema> InferCsvSchema(const std::string& text,
   }
   PCLEAN_ASSIGN_OR_RETURN(auto records, ParseRecords(text, options));
   if (records.empty()) return Status::IOError("empty CSV input");
-  const auto& header = records[0];
+  const auto& header = records[0].fields;
   std::vector<Field> fields;
   for (size_t c = 0; c < header.size(); ++c) {
     bool all_int = true;
@@ -291,8 +329,8 @@ Result<Schema> InferCsvSchema(const std::string& text,
     bool any_value = false;
     for (size_t r = 1; r < records.size(); ++r) {
       if (header.size() != 1 && IsBlankRecord(records[r])) continue;
-      if (c >= records[r].size()) continue;
-      const RawField& cell = records[r][c];
+      if (c >= records[r].fields.size()) continue;
+      const RawField& cell = records[r].fields[c];
       if (!cell.quoted &&
           (cell.text.empty() || cell.text == options.null_literal)) {
         continue;

@@ -23,6 +23,17 @@ struct CsvOptions {
   /// per-shard output concatenated in shard index order so the bytes
   /// (write) and Table (read) are identical at every thread count.
   ExecutionOptions exec;
+  /// Source name used in parse-error messages ("<name>:<line>: ...").
+  /// ReadCsvFile fills it with the file path when empty; inline text
+  /// defaults to "<csv>". Line numbers are 1-based input lines (a quoted
+  /// field spanning lines reports the line its record starts on).
+  std::string error_context;
+  /// Treat a final record that is not newline-terminated (or a quoted
+  /// field still open at end of input) as a truncated file and fail with
+  /// DataLoss. The release reader sets this — release files always end
+  /// with '\n' — so a torn tail can't silently drop the last row's
+  /// terminator and parse as a complete record.
+  bool require_trailing_newline = false;
 };
 
 /// Serializes a table to CSV text. Null cells render as

@@ -209,6 +209,76 @@ TEST_F(CliTest, FlagEqualsSyntax) {
   EXPECT_NE(out_.str().find("total epsilon: 3"), std::string::npos);
 }
 
+TEST_F(CliTest, VerifyReportsOkRelease) {
+  ASSERT_EQ(Run({"privatize", "--input", csv_path_, "--output",
+                 release_dir_, "--epsilon", "2.0", "--seed", "7"}),
+            0);
+  ASSERT_EQ(Run({"verify", release_dir_}), 0) << err_.str();
+  EXPECT_NE(out_.str().find("format: v2"), std::string::npos);
+  EXPECT_NE(out_.str().find("rows: 500"), std::string::npos);
+  EXPECT_NE(out_.str().find("data.csv"), std::string::npos);
+  EXPECT_NE(out_.str().find("verification: OK"), std::string::npos);
+}
+
+TEST_F(CliTest, VerifyAcceptsReleaseFlagForm) {
+  ASSERT_EQ(Run({"privatize", "--input", csv_path_, "--output",
+                 release_dir_, "--epsilon", "2.0", "--seed", "7"}),
+            0);
+  ASSERT_EQ(Run({"verify", "--release", release_dir_}), 0) << err_.str();
+  EXPECT_NE(out_.str().find("verification: OK"), std::string::npos);
+}
+
+TEST_F(CliTest, VerifyDetectsCorruption) {
+  ASSERT_EQ(Run({"privatize", "--input", csv_path_, "--output",
+                 release_dir_, "--epsilon", "2.0", "--seed", "7"}),
+            0);
+  const std::string path = release_dir_ + "/data.csv";
+  std::stringstream bytes;
+  {
+    std::ifstream in(path, std::ios::binary);
+    bytes << in.rdbuf();
+  }
+  std::string data = bytes.str();
+  data[data.size() / 2] ^= 0x10;
+  {
+    std::ofstream fixed(path, std::ios::binary | std::ios::trunc);
+    fixed << data;
+  }
+  EXPECT_EQ(Run({"verify", release_dir_}), 1);
+  EXPECT_NE(err_.str().find("Data loss"), std::string::npos) << err_.str();
+  EXPECT_NE(out_.str().find("data.csv"), std::string::npos);
+}
+
+TEST_F(CliTest, VerifyMissingReleaseFails) {
+  EXPECT_EQ(Run({"verify", base_ + "/nope"}), 1);
+  EXPECT_NE(err_.str().find("Not found"), std::string::npos) << err_.str();
+}
+
+TEST_F(CliTest, VerifyRefusesUncheckableV1Release) {
+  ASSERT_EQ(Run({"privatize", "--input", csv_path_, "--output",
+                 release_dir_, "--epsilon", "2.0", "--seed", "7"}),
+            0);
+  std::filesystem::remove(release_dir_ + "/MANIFEST");
+  EXPECT_EQ(Run({"verify", release_dir_}), 1);
+  EXPECT_NE(err_.str().find("Failed precondition"), std::string::npos)
+      << err_.str();
+  // The same v1 directory still queries fine — only strict verification
+  // refuses it.
+  EXPECT_EQ(Run({"query", "--release", release_dir_, "--sql",
+                 "SELECT count(1) FROM r"}),
+            0)
+      << err_.str();
+}
+
+TEST_F(CliTest, VerifyRequiresADirectory) {
+  EXPECT_EQ(Run({"verify"}), 1);
+}
+
+TEST_F(CliTest, UsageMentionsVerify) {
+  Run({"help"});
+  EXPECT_NE(out_.str().find("verify"), std::string::npos);
+}
+
 TEST_F(CliTest, DeterministicGivenSeed) {
   ASSERT_EQ(Run({"privatize", "--input", csv_path_, "--output",
                  release_dir_ + "_a", "--p", "0.2", "--b", "5.0", "--seed",

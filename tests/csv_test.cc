@@ -179,7 +179,61 @@ TEST(CsvTest, FileRoundTrip) {
 TEST(CsvTest, ReadMissingFileFails) {
   auto r = ReadCsvFile("/nonexistent/path/file.csv", TestSchema());
   EXPECT_FALSE(r.ok());
-  EXPECT_TRUE(r.status().IsIOError());
+  EXPECT_TRUE(r.status().IsNotFound());
+}
+
+TEST(CsvTest, ParseErrorsCarryLineNumbers) {
+  // Line 1 is the header; the bad cell sits on line 3.
+  std::string csv = "name,score,count\nok,1.0,1\nbad,oops,2\n";
+  CsvOptions options;
+  options.error_context = "input.csv";
+  auto r = CsvToTable(csv, TestSchema(), options);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("input.csv:3"), std::string::npos)
+      << r.status().ToString();
+  EXPECT_NE(r.status().message().find("score"), std::string::npos);
+}
+
+TEST(CsvTest, FieldCountErrorsCarryLineNumbers) {
+  std::string csv = "name,score,count\nok,1.0,1\nshort,2\n";
+  CsvOptions options;
+  options.error_context = "input.csv";
+  auto r = CsvToTable(csv, TestSchema(), options);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("input.csv:3"), std::string::npos)
+      << r.status().ToString();
+}
+
+TEST(CsvTest, MultilineQuotedFieldsReportTheRecordStartLine) {
+  // The bad record begins on line 2 even though its quoted field spans
+  // through line 3.
+  std::string csv = "name,score,count\n\"a\nb\",oops,2\n";
+  CsvOptions options;
+  options.error_context = "input.csv";
+  auto r = CsvToTable(csv, TestSchema(), options);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("input.csv:2"), std::string::npos)
+      << r.status().ToString();
+}
+
+TEST(CsvTest, UnterminatedQuoteIsDataLoss) {
+  std::string csv = "name,score,count\n\"unterminated,1,2\n";
+  auto r = CsvToTable(csv, TestSchema());
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsDataLoss()) << r.status().ToString();
+}
+
+TEST(CsvTest, TrailingNewlineRequirementFlagsTruncation) {
+  std::string truncated = "name,score,count\nx,1.5,2";
+  CsvOptions options;
+  options.require_trailing_newline = true;
+  auto r = CsvToTable(truncated, TestSchema(), options);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsDataLoss()) << r.status().ToString();
+  EXPECT_NE(r.status().message().find("truncated"), std::string::npos);
+  // With the final newline present the same bytes parse cleanly.
+  Table t = *CsvToTable(truncated + "\n", TestSchema(), options);
+  EXPECT_EQ(t.num_rows(), 1u);
 }
 
 TEST(CsvInferTest, InfersTypes) {

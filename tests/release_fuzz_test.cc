@@ -221,5 +221,144 @@ TEST(ReleaseFuzzTest, ParallelReleaseRoundTripMatchesSerial) {
   }
 }
 
+TEST(ReleaseFuzzTest, ByteLevelCorruptionNeverPassesUnnoticed) {
+  // Random byte-level damage — bit flips, truncations, byte-range
+  // deletions, whole-file deletion — applied to a pristine release.
+  // Every damaged copy must either fail typed (DataLoss / NotFound /
+  // FailedPrecondition / IOError) or load the exact original relation;
+  // an OK load with different data, or a crash, is a contract breach.
+  // VerifyRelease must flag every damaged copy.
+  std::string base = ::testing::TempDir() + "/pclean_release_corrupt";
+  std::filesystem::remove_all(base);
+  std::filesystem::create_directories(base);
+
+  Rng setup_rng(7777);
+  Schema schema = RandomSchema(setup_rng);
+  TableBuilder b(schema);
+  for (size_t r = 0; r < 60; ++r) {
+    std::vector<Value> row;
+    for (size_t c = 0; c < schema.num_fields(); ++c) {
+      row.push_back(RandomCell(schema.field(c), setup_rng));
+    }
+    b.Row(std::move(row));
+  }
+  Table original = *b.Finish();
+  PrivateRelationMetadata metadata;
+  metadata.dataset_size = original.num_rows();
+  for (size_t c = 0; c < schema.num_fields(); ++c) {
+    const Field& field = schema.field(c);
+    if (field.kind == AttributeKind::kDiscrete) {
+      Domain domain = *Domain::FromColumn(original, field.name,
+                                          /*include_null=*/true);
+      metadata.discrete.emplace(field.name,
+                                DiscreteAttributeMeta{0.2, domain});
+    } else {
+      metadata.numeric.emplace(field.name, NumericAttributeMeta{1.0, 10.0});
+    }
+  }
+  const std::string pristine = base + "/pristine";
+  ASSERT_TRUE(WriteRelease(original, metadata, pristine).ok());
+
+  std::vector<std::string> files;
+  for (const auto& entry : std::filesystem::directory_iterator(pristine)) {
+    files.push_back(entry.path().filename().string());
+  }
+  ASSERT_GE(files.size(), 3u);
+
+  auto slurp = [](const std::string& path) {
+    std::ifstream f(path, std::ios::binary);
+    std::ostringstream buffer;
+    buffer << f.rdbuf();
+    return buffer.str();
+  };
+  auto spit = [](const std::string& path, const std::string& bytes) {
+    std::ofstream f(path, std::ios::binary | std::ios::trunc);
+    f << bytes;
+  };
+
+  auto relation_equals_original = [&](const Table& loaded) {
+    if (!(loaded.schema() == original.schema()) ||
+        loaded.num_rows() != original.num_rows()) {
+      return false;
+    }
+    for (size_t r = 0; r < original.num_rows(); ++r) {
+      for (size_t c = 0; c < original.num_columns(); ++c) {
+        if (!(loaded.column(c).ValueAt(r) ==
+              original.column(c).ValueAt(r))) {
+          return false;
+        }
+      }
+    }
+    return true;
+  };
+
+  for (int trial = 0; trial < 60; ++trial) {
+    SCOPED_TRACE("trial " + std::to_string(trial));
+    Rng rng(4000 + trial);
+    const std::string dir = base + "/t" + std::to_string(trial);
+    std::filesystem::remove_all(dir);
+    std::filesystem::copy(pristine, dir);
+
+    const std::string& victim = files[rng.UniformInt(files.size())];
+    const std::string victim_path = dir + "/" + victim;
+    std::string bytes = slurp(victim_path);
+    ASSERT_FALSE(bytes.empty()) << victim;
+    const size_t mutation = rng.UniformInt(4);
+    switch (mutation) {
+      case 0: {  // single bit flip
+        size_t offset = rng.UniformInt(bytes.size());
+        bytes[offset] ^= static_cast<char>(1u << rng.UniformInt(8));
+        spit(victim_path, bytes);
+        break;
+      }
+      case 1: {  // truncation
+        spit(victim_path, bytes.substr(0, rng.UniformInt(bytes.size())));
+        break;
+      }
+      case 2: {  // byte-range deletion
+        size_t from = rng.UniformInt(bytes.size());
+        size_t len = 1 + rng.UniformInt(bytes.size() - from);
+        spit(victim_path, bytes.erase(from, len));
+        break;
+      }
+      default:  // whole-file deletion
+        std::filesystem::remove(victim_path);
+        break;
+    }
+
+    const bool manifest_gone =
+        victim == "MANIFEST" && mutation == 3;
+    auto read = ReadRelease(dir);
+    if (read.ok()) {
+      // Loading successfully is only acceptable if the data is exactly
+      // the original — which (MANIFEST deletion aside) the checksums
+      // make all but impossible for a damaged payload.
+      EXPECT_TRUE(relation_equals_original(read->relation));
+      if (manifest_gone) {
+        EXPECT_EQ(read->format_version, 1);
+        EXPECT_FALSE(read->verified);
+      }
+    } else {
+      const Status& st = read.status();
+      EXPECT_TRUE(st.IsDataLoss() || st.IsNotFound() || st.IsIOError() ||
+                  st.IsFailedPrecondition())
+          << st.ToString();
+    }
+
+    // Strict verification must reject every damaged copy.
+    auto verification = VerifyRelease(dir);
+    if (verification.ok()) {
+      EXPECT_FALSE(verification->status.ok()) << victim;
+    } else {
+      const Status& st = verification.status();
+      EXPECT_TRUE(st.IsDataLoss() || st.IsNotFound() ||
+                  st.IsFailedPrecondition() || st.IsIOError())
+          << st.ToString();
+    }
+    std::filesystem::remove_all(dir);
+  }
+  std::filesystem::remove_all(base);
+}
+
 }  // namespace
 }  // namespace privateclean

@@ -5,6 +5,7 @@
 #include <filesystem>
 
 #include "cleaning/merge.h"
+#include "common/io_util.h"
 #include "common/random.h"
 #include "datagen/synthetic.h"
 #include "table/table_builder.h"
@@ -152,14 +153,219 @@ TEST_F(ReleaseTest, EpsilonAccountingSurvivesRoundTrip) {
 TEST_F(ReleaseTest, ReadMissingDirectoryFails) {
   auto r = ReadRelease(dir_ + "_nonexistent");
   EXPECT_FALSE(r.ok());
-  EXPECT_TRUE(r.status().IsIOError());
+  EXPECT_TRUE(r.status().IsNotFound());
 }
 
 TEST_F(ReleaseTest, MissingDomainFileFails) {
   GrrOutput grr = MakeGrr();
   ASSERT_TRUE(WriteRelease(grr, dir_).ok());
   std::filesystem::remove(dir_ + "/domain_0.csv");
-  EXPECT_FALSE(ReadRelease(dir_).ok());
+  auto r = ReadRelease(dir_);
+  ASSERT_FALSE(r.ok());
+  // Listed in the MANIFEST but gone: unrecoverable, and the message
+  // names the missing file.
+  EXPECT_TRUE(r.status().IsDataLoss()) << r.status().ToString();
+  EXPECT_NE(r.status().message().find("domain_0.csv"), std::string::npos);
+}
+
+TEST_F(ReleaseTest, ReadIsVerifiedV2ByDefault) {
+  ASSERT_TRUE(WriteRelease(MakeGrr(), dir_).ok());
+  EXPECT_TRUE(std::filesystem::exists(dir_ + "/MANIFEST"));
+  LoadedRelease loaded = *ReadRelease(dir_);
+  EXPECT_EQ(loaded.format_version, 2);
+  EXPECT_TRUE(loaded.verified);
+}
+
+TEST_F(ReleaseTest, V1DirectoryLoadsUnverified) {
+  // A v1 release is exactly a v2 one without the MANIFEST.
+  GrrOutput grr = MakeGrr();
+  ASSERT_TRUE(WriteRelease(grr, dir_).ok());
+  std::filesystem::remove(dir_ + "/MANIFEST");
+  auto loaded = ReadRelease(dir_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->format_version, 1);
+  EXPECT_FALSE(loaded->verified);
+  EXPECT_EQ(loaded->relation.num_rows(), grr.table.num_rows());
+  // Strict verification refuses what it cannot check — otherwise
+  // deleting the MANIFEST would silently downgrade a checksummed
+  // release to an unchecked one.
+  auto verification = VerifyRelease(dir_);
+  ASSERT_FALSE(verification.ok());
+  EXPECT_TRUE(verification.status().IsFailedPrecondition())
+      << verification.status().ToString();
+}
+
+TEST_F(ReleaseTest, BitFlipInDataFileIsDataLossNamingTheFile) {
+  ASSERT_TRUE(WriteRelease(MakeGrr(), dir_).ok());
+  const std::string path = dir_ + "/data.csv";
+  std::string bytes = *io::ReadFileToString(path);
+  bytes[bytes.size() / 3] ^= 0x40;
+  ASSERT_TRUE(io::WriteFileDurable(path, bytes).ok());
+  // Re-writing data.csv alone desyncs it from the MANIFEST checksum.
+  auto r = ReadRelease(dir_);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsDataLoss()) << r.status().ToString();
+  EXPECT_NE(r.status().message().find("data.csv"), std::string::npos);
+  EXPECT_NE(r.status().message().find("checksum mismatch"),
+            std::string::npos);
+}
+
+TEST_F(ReleaseTest, TruncatedDataFileIsDataLossWithByteCounts) {
+  ASSERT_TRUE(WriteRelease(MakeGrr(), dir_).ok());
+  const std::string path = dir_ + "/data.csv";
+  std::string bytes = *io::ReadFileToString(path);
+  const size_t cut = bytes.size() / 2;
+  ASSERT_TRUE(io::WriteFileDurable(path, bytes.substr(0, cut)).ok());
+  auto r = ReadRelease(dir_);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsDataLoss()) << r.status().ToString();
+  EXPECT_NE(r.status().message().find("data.csv"), std::string::npos);
+  EXPECT_NE(r.status().message().find(std::to_string(cut)),
+            std::string::npos);
+}
+
+TEST_F(ReleaseTest, CorruptManifestIsDataLoss) {
+  ASSERT_TRUE(WriteRelease(MakeGrr(), dir_).ok());
+  const std::string path = dir_ + "/MANIFEST";
+  std::string bytes = *io::ReadFileToString(path);
+  bytes[bytes.size() / 2] ^= 0x01;
+  ASSERT_TRUE(io::WriteFileDurable(path, bytes).ok());
+  auto r = ReadRelease(dir_);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsDataLoss()) << r.status().ToString();
+  EXPECT_NE(r.status().message().find("MANIFEST"), std::string::npos);
+}
+
+TEST_F(ReleaseTest, OverwriteSwapsAtomicallyToTheNewRelease) {
+  GrrOutput first = MakeGrr(3);
+  GrrOutput second = MakeGrr(7);
+  ASSERT_TRUE(WriteRelease(first, dir_).ok());
+  ASSERT_TRUE(WriteRelease(second, dir_).ok());
+  LoadedRelease loaded = *ReadRelease(dir_);
+  EXPECT_TRUE(loaded.verified);
+  ASSERT_EQ(loaded.relation.num_rows(), second.table.num_rows());
+  bool any_diff = false;
+  for (size_t r = 0; r < loaded.relation.num_rows() && !any_diff; ++r) {
+    if (!(loaded.relation.column(0).ValueAt(r) ==
+          first.table.column(0).ValueAt(r))) {
+      any_diff = true;
+    }
+  }
+  for (size_t r = 0; r < loaded.relation.num_rows(); ++r) {
+    EXPECT_EQ(loaded.relation.column(0).ValueAt(r),
+              second.table.column(0).ValueAt(r));
+  }
+  EXPECT_TRUE(any_diff) << "seeds 3 and 7 should randomize differently";
+  // No staging or backup siblings survive a successful swap.
+  size_t entries = 0;
+  for (auto it = std::filesystem::directory_iterator(
+           std::filesystem::path(dir_).parent_path());
+       it != std::filesystem::directory_iterator(); ++it) {
+    std::string name = it->path().filename().string();
+    EXPECT_EQ(name.find(".tmp."), std::string::npos) << name;
+    EXPECT_EQ(name.find(".old."), std::string::npos) << name;
+    ++entries;
+  }
+  EXPECT_GE(entries, 1u);
+}
+
+TEST_F(ReleaseTest, WriteRefusesNonReleaseDirectory) {
+  std::filesystem::create_directories(dir_);
+  ASSERT_TRUE(io::WriteFileDurable(dir_ + "/precious.txt", "keep me\n").ok());
+  Status st = WriteRelease(MakeGrr(), dir_);
+  ASSERT_TRUE(st.IsAlreadyExists()) << st.ToString();
+  // The directory and its contents are untouched.
+  auto kept = io::ReadFileToString(dir_ + "/precious.txt");
+  ASSERT_TRUE(kept.ok());
+  EXPECT_EQ(kept.ValueOrDie(), "keep me\n");
+  EXPECT_FALSE(std::filesystem::exists(dir_ + "/MANIFEST"));
+}
+
+TEST_F(ReleaseTest, WriteRefusesPlainFileTarget) {
+  ASSERT_TRUE(io::WriteFileDurable(dir_, "not a directory\n").ok());
+  Status st = WriteRelease(MakeGrr(), dir_);
+  EXPECT_TRUE(st.IsAlreadyExists()) << st.ToString();
+  auto kept = io::ReadFileToString(dir_);
+  ASSERT_TRUE(kept.ok());
+  EXPECT_EQ(kept.ValueOrDie(), "not a directory\n");
+}
+
+TEST_F(ReleaseTest, WriteReplacesEmptyDirectory) {
+  std::filesystem::create_directories(dir_);
+  GrrOutput grr = MakeGrr();
+  ASSERT_TRUE(WriteRelease(grr, dir_).ok());
+  LoadedRelease loaded = *ReadRelease(dir_);
+  EXPECT_EQ(loaded.relation.num_rows(), grr.table.num_rows());
+}
+
+TEST_F(ReleaseTest, V1ParseErrorsCarryFileAndLineNumber) {
+  // Build a v1 release (no MANIFEST, so the CSV parse is the first line
+  // of defense) and plant a non-numeric cell in the numeric column.
+  ASSERT_TRUE(WriteRelease(MakeGrr(), dir_).ok());
+  std::filesystem::remove(dir_ + "/MANIFEST");
+  const std::string path = dir_ + "/data.csv";
+  std::string bytes = *io::ReadFileToString(path);
+  // Row 3 of the data (line 4: one header line + 3 data lines).
+  size_t pos = 0;
+  for (int newlines = 0; newlines < 3; ++newlines) {
+    pos = bytes.find('\n', pos) + 1;
+  }
+  size_t eol = bytes.find('\n', pos);
+  bytes.replace(pos, eol - pos, "EECS,1,not-a-number");
+  ASSERT_TRUE(io::WriteFileDurable(path, bytes).ok());
+  auto r = ReadRelease(dir_);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("data.csv:4"), std::string::npos)
+      << r.status().ToString();
+  EXPECT_NE(r.status().message().find("score"), std::string::npos);
+}
+
+TEST_F(ReleaseTest, V1TruncatedFinalRecordIsDataLoss) {
+  ASSERT_TRUE(WriteRelease(MakeGrr(), dir_).ok());
+  std::filesystem::remove(dir_ + "/MANIFEST");
+  const std::string path = dir_ + "/data.csv";
+  std::string bytes = *io::ReadFileToString(path);
+  // Drop the final newline and half the last record — a classic torn
+  // tail that still parses as a "complete" record without the
+  // trailing-newline requirement.
+  ASSERT_TRUE(
+      io::WriteFileDurable(path, bytes.substr(0, bytes.size() - 4)).ok());
+  auto r = ReadRelease(dir_);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsDataLoss()) << r.status().ToString();
+  EXPECT_NE(r.status().message().find("truncated"), std::string::npos);
+}
+
+TEST_F(ReleaseTest, VerifyReleaseReportsPerFileResults) {
+  ASSERT_TRUE(WriteRelease(MakeGrr(), dir_).ok());
+  auto ok_verification = VerifyRelease(dir_);
+  ASSERT_TRUE(ok_verification.ok()) << ok_verification.status().ToString();
+  EXPECT_TRUE(ok_verification->status.ok());
+  EXPECT_EQ(ok_verification->rows, 200u);
+  ASSERT_GE(ok_verification->files.size(), 3u);  // data, meta, domains
+  for (const ReleaseFileCheck& check : ok_verification->files) {
+    EXPECT_TRUE(check.status.ok()) << check.file;
+    EXPECT_GT(check.bytes, 0u) << check.file;
+  }
+
+  // Corrupt one domain file: its check fails, the others stay OK.
+  const std::string path = dir_ + "/domain_0.csv";
+  std::string bytes = *io::ReadFileToString(path);
+  bytes[0] ^= 0x02;
+  ASSERT_TRUE(io::WriteFileDurable(path, bytes).ok());
+  auto verification = VerifyRelease(dir_);
+  ASSERT_TRUE(verification.ok()) << verification.status().ToString();
+  EXPECT_TRUE(verification->status.IsDataLoss());
+  bool found = false;
+  for (const ReleaseFileCheck& check : verification->files) {
+    if (check.file == "domain_0.csv") {
+      found = true;
+      EXPECT_TRUE(check.status.IsDataLoss());
+    } else {
+      EXPECT_TRUE(check.status.ok()) << check.file;
+    }
+  }
+  EXPECT_TRUE(found);
 }
 
 TEST_F(ReleaseTest, WriteRejectsIncompleteMetadata) {

@@ -30,6 +30,7 @@ TEST(StatusTest, ErrorFactoriesCarryCodeAndMessage) {
       {Status::AlreadyExists("e"), StatusCode::kAlreadyExists},
       {Status::IOError("f"), StatusCode::kIOError},
       {Status::Internal("g"), StatusCode::kInternal},
+      {Status::DataLoss("h"), StatusCode::kDataLoss},
   };
   for (const Case& c : cases) {
     EXPECT_FALSE(c.status.ok());
@@ -46,7 +47,15 @@ TEST(StatusTest, PredicatesMatchCodes) {
   EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
   EXPECT_TRUE(Status::IOError("x").IsIOError());
   EXPECT_TRUE(Status::Internal("x").IsInternal());
+  EXPECT_TRUE(Status::DataLoss("x").IsDataLoss());
   EXPECT_FALSE(Status::NotFound("x").IsInvalidArgument());
+  EXPECT_FALSE(Status::IOError("x").IsDataLoss());
+}
+
+TEST(StatusTest, WithCodeRebindsCodeKeepingMessage) {
+  Status st = Status::WithCode(StatusCode::kDataLoss, "torn record");
+  EXPECT_TRUE(st.IsDataLoss());
+  EXPECT_EQ(st.message(), "torn record");
 }
 
 TEST(StatusTest, ToStringIncludesCodeNameAndMessage) {
@@ -108,6 +117,7 @@ TEST(StatusTest, CodeNamesAreStable) {
   EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "OK");
   EXPECT_STREQ(StatusCodeToString(StatusCode::kNotFound), "Not found");
   EXPECT_STREQ(StatusCodeToString(StatusCode::kIOError), "IO error");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kDataLoss), "Data loss");
 }
 
 }  // namespace

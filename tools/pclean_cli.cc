@@ -91,9 +91,15 @@ void PrintUsage(std::ostream& out) {
          "         (--epsilon E | --p P --b B | --count-error TARGET)\n"
          "         [--seed N] [--threads N]\n"
          "  pclean info --release release_dir\n"
+         "  pclean verify release_dir\n"
          "  pclean query --release release_dir --sql \"SELECT ...\"\n"
          "         [--direct] [--confidence C] [--threads N]\n"
          "         [--bootstrap R] [--seed N] [--replace attr:from=to]...\n"
+         "\n"
+         "  verify checks every release file against the MANIFEST checksums\n"
+         "  and exits non-zero on any corruption (Data loss), a missing\n"
+         "  release (Not found), or an unverifiable pre-manifest release\n"
+         "  (Failed precondition).\n"
          "\n"
          "  --threads N uses N worker threads for randomization and query\n"
          "  scans (0 = all hardware threads); results are independent of N.\n"
@@ -192,6 +198,24 @@ Status RunInfo(const ParsedArgs& args, std::ostream& out) {
   return Status::OK();
 }
 
+Status RunVerify(const ParsedArgs& args, std::string dir, std::ostream& out) {
+  if (dir.empty()) {
+    PCLEAN_ASSIGN_OR_RETURN(dir, args.One("release"));
+  }
+  PCLEAN_ASSIGN_OR_RETURN(ReleaseVerification verification,
+                          VerifyRelease(dir));
+  out << "release: " << dir << "\n";
+  out << "  format: v" << verification.format_version << "\n";
+  out << "  rows: " << verification.rows << "\n";
+  for (const ReleaseFileCheck& check : verification.files) {
+    out << "  " << check.file << "  " << check.bytes << " bytes  "
+        << (check.status.ok() ? "OK" : check.status.ToString()) << "\n";
+  }
+  if (!verification.status.ok()) return verification.status;
+  out << "verification: OK\n";
+  return Status::OK();
+}
+
 /// Parses a --replace rule "attr:from=to" with values typed by the
 /// attribute's column type.
 Status ApplyReplaceRule(PrivateTable* table, const std::string& rule) {
@@ -284,7 +308,16 @@ int RunPcleanCli(const std::vector<std::string>& args, std::ostream& out,
     return args.empty() ? 1 : 0;
   }
   const std::string& command = args[0];
-  auto parsed = ParseFlags(args, 1);
+  // `pclean verify <dir>` takes its release directory positionally;
+  // the --release flag form works too.
+  std::string verify_dir;
+  size_t flag_start = 1;
+  if (command == "verify" && args.size() > 1 &&
+      args[1].rfind("--", 0) != 0) {
+    verify_dir = args[1];
+    flag_start = 2;
+  }
+  auto parsed = ParseFlags(args, flag_start);
   if (!parsed.ok()) {
     err << "pclean: " << parsed.status().ToString() << "\n";
     return 1;
@@ -296,6 +329,8 @@ int RunPcleanCli(const std::vector<std::string>& args, std::ostream& out,
     st = RunInfo(*parsed, out);
   } else if (command == "query") {
     st = RunQuery(*parsed, out);
+  } else if (command == "verify") {
+    st = RunVerify(*parsed, std::move(verify_dir), out);
   } else {
     err << "pclean: unknown command '" << command << "'\n";
     PrintUsage(err);

@@ -23,6 +23,12 @@ namespace privateclean {
 ///   pclean info --release release_dir
 ///       Prints the release's size, schema, per-attribute and total ε.
 ///
+///   pclean verify <release_dir>
+///       Checks every file of the release against its MANIFEST (byte
+///       length and CRC32C, plus a full parse) and reports per-file
+///       results. Exits non-zero on corruption, a missing release, or
+///       a pre-manifest (v1) release, which has no checksums to check.
+///
 ///   pclean query --release release_dir --sql "SELECT ..."
 ///          [--direct] [--confidence C] [--replace attr:from=to]...
 ///       Opens a release, optionally applies find-and-replace cleaning
