@@ -267,6 +267,54 @@ void BM_CsvParseParallelScaling(benchmark::State& state) {
 BENCHMARK(BM_CsvParseParallelScaling)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
     ->Unit(benchmark::kMillisecond);
 
+void BM_CsvSplitParallelScaling(benchmark::State& state) {
+  // Record splitting alone (the stage CSV parse scaling was previously
+  // bottlenecked on), over ~1M rows of text heavy in quoted fields —
+  // multiline, escaped quotes, CRLF — so the speculative splitter's
+  // parity machinery is what's measured, not a plain memchr loop. Forced
+  // speculative even at 1 thread, so Arg(1) reports the splitter's
+  // overhead against BM_CsvParseParallelScaling's serial baseline.
+  static const std::string* text = [] {
+    auto* s = new std::string("name,score,count\n");
+    s->reserve(45u << 20);
+    for (size_t i = 0; i < 1000000; ++i) {
+      switch (i % 5) {
+        case 0:
+          *s += "plain_" + std::to_string(i);
+          break;
+        case 1:
+          *s += "\"comma, inside\"";
+          break;
+        case 2:
+          *s += "\"multi\r\nline\"";
+          break;
+        case 3:
+          *s += "\"esc\"\"aped\"";
+          break;
+        case 4:
+          *s += "\\N";
+          break;
+      }
+      *s += "," + std::to_string(static_cast<double>(i % 997) * 0.5) + "," +
+            std::to_string(i % 101) + "\n";
+    }
+    return s;
+  }();
+  CsvOptions options;
+  options.null_literal = "\\N";
+  options.split = CsvSplitMode::kSpeculative;
+  options.exec.num_threads = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    auto records = SplitCsvRecords(*text, options);
+    benchmark::DoNotOptimize(records.ok());
+  }
+  state.SetItemsProcessed(state.iterations() * 1000000);
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<int64_t>(text->size()));
+}
+BENCHMARK(BM_CsvSplitParallelScaling)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_CsvWriteRead(benchmark::State& state) {
   Table data = MakeData(static_cast<size_t>(state.range(0)), 50);
   for (auto _ : state) {

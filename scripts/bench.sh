@@ -2,20 +2,25 @@
 # Thread-scaling benchmark run:
 #   1. build the release benchmark binary;
 #   2. run the *ParallelScaling microbenchmarks (GRR, CSV parse,
-#      bootstrap replicates) at their 1..8-thread arguments;
-#   3. condense the google-benchmark JSON into BENCH_pr3.json, mapping
-#      each benchmark to its 1-thread and max-thread wall time in ms.
+#      bootstrap replicates, CSV record splitting) at their 1..8-thread
+#      arguments;
+#   3. condense the google-benchmark JSON into BENCH_pr3.json (the
+#      original scaling set) and BENCH_pr5.json (the speculative-split
+#      CSV record parser next to the full CSV parse for comparison),
+#      mapping each benchmark to its 1-thread and max-thread wall time
+#      in ms.
 #
 # On a single-core machine the scaling numbers are flat; the run still
 # verifies that every scaling path executes and stays deterministic.
 #
-# Usage: scripts/bench.sh [build-dir] [output-json]
+# Usage: scripts/bench.sh [build-dir] [output-json] [split-output-json]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 
 BUILD_DIR="${1:-build}"
 OUT_JSON="${2:-BENCH_pr3.json}"
+SPLIT_JSON="${3:-BENCH_pr5.json}"
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 RAW_JSON="${BUILD_DIR}/bench_scaling_raw.json"
 
@@ -30,12 +35,12 @@ echo "== run *ParallelScaling benchmarks =="
   --benchmark_out="${RAW_JSON}" \
   --benchmark_out_format=json
 
-echo "== condense into ${OUT_JSON} =="
-python3 - "${RAW_JSON}" "${OUT_JSON}" <<'PY'
+echo "== condense into ${OUT_JSON} + ${SPLIT_JSON} =="
+python3 - "${RAW_JSON}" "${OUT_JSON}" "${SPLIT_JSON}" <<'PY'
 import json
 import sys
 
-raw_path, out_path = sys.argv[1], sys.argv[2]
+raw_path, out_path, split_path = sys.argv[1], sys.argv[2], sys.argv[3]
 with open(raw_path) as f:
     raw = json.load(f)
 
@@ -53,19 +58,32 @@ for b in raw.get("benchmarks", []):
     ms = b["real_time"] * TO_MS[b.get("time_unit", "ns")]
     runs.setdefault(name, {})[int(arg)] = ms
 
-summary = {}
-for name, by_threads in sorted(runs.items()):
-    max_threads = max(by_threads)
-    summary[name] = {
-        "threads_1_ms": round(by_threads.get(1, float("nan")), 4),
-        "threads_max": max_threads,
-        "threads_max_ms": round(by_threads[max_threads], 4),
-    }
+def condense(names):
+    summary = {}
+    for name in sorted(names):
+        by_threads = runs[name]
+        max_threads = max(by_threads)
+        summary[name] = {
+            "threads_1_ms": round(by_threads.get(1, float("nan")), 4),
+            "threads_max": max_threads,
+            "threads_max_ms": round(by_threads[max_threads], 4),
+        }
+    return summary
 
-with open(out_path, "w") as f:
-    json.dump(summary, f, indent=2, sort_keys=True)
-    f.write("\n")
-print(json.dumps(summary, indent=2, sort_keys=True))
+def write(path, summary):
+    with open(path, "w") as f:
+        json.dump(summary, f, indent=2, sort_keys=True)
+        f.write("\n")
+    print(path)
+    print(json.dumps(summary, indent=2, sort_keys=True))
+
+# BENCH_pr3.json keeps the original scaling set; BENCH_pr5.json holds
+# the speculative-split record parser next to the full CSV parse so the
+# split stage's share of parse time is directly comparable.
+SPLIT = "BM_CsvSplitParallelScaling"
+write(out_path, condense(n for n in runs if n != SPLIT))
+write(split_path, condense(
+    n for n in runs if n == SPLIT or n == "BM_CsvParseParallelScaling"))
 PY
 
-echo "bench: wrote ${OUT_JSON}"
+echo "bench: wrote ${OUT_JSON} and ${SPLIT_JSON}"

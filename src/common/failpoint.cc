@@ -33,6 +33,15 @@ constexpr SiteInfo kCatalogue[] = {
     {"release.commit.rename", Fault::Kind::kError},
     {"release.commit.torn", Fault::Kind::kError},
     {"release.swap.backup", Fault::Kind::kError},
+    // Query / provenance read path: loading a release into a queryable
+    // PrivateTable (core/release.cc), the predicate scan every aggregate
+    // starts from (query/aggregate.cc), and the provenance-graph build
+    // queries trigger lazily (provenance/provenance_graph.cc). All sit at
+    // function entry, outside the sharded row loops, per the registry's
+    // single-mutex contract.
+    {"release.open.relation", Fault::Kind::kError},
+    {"query.scan.begin", Fault::Kind::kError},
+    {"provenance.graph.build", Fault::Kind::kError},
 };
 
 const SiteInfo* FindSite(const std::string& name) {

@@ -12,7 +12,9 @@ namespace failpoint {
 
 /// Fault injection for durability testing (RocksDB fail_point style).
 ///
-/// Every fallible step of release/CSV I/O evaluates a *named site* via
+/// Every fallible step of release/CSV I/O — plus the query/provenance
+/// read path (release open, predicate scan, lazy provenance-graph
+/// build) — evaluates a *named site* via
 /// the `PCLEAN_FAILPOINT*` macros below. A site is inert until a test
 /// (or the `PCLEAN_FAILPOINTS` environment variable) activates it with a
 /// `Fault`; an active site either injects a typed error Status at that

@@ -71,6 +71,12 @@ size_t ShardCountForRows(size_t num_rows) {
   return (num_rows + kRowsPerShard - 1) / kRowsPerShard;
 }
 
+size_t ChunkCountForBytes(size_t num_bytes, size_t bytes_per_chunk) {
+  size_t chunk = bytes_per_chunk == 0 ? kBytesPerSplitChunk : bytes_per_chunk;
+  if (num_bytes == 0) return 1;
+  return (num_bytes + chunk - 1) / chunk;
+}
+
 size_t ShardCountForCoarseItems(size_t num_items) {
   return std::max<size_t>(1, std::min(num_items, kMaxCoarseShards));
 }

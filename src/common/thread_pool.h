@@ -76,6 +76,16 @@ inline constexpr size_t kRowsPerShard = 16384;
 /// ceil(num_rows / kRowsPerShard), and at least 1.
 size_t ShardCountForRows(size_t num_rows);
 
+/// Bytes per chunk for byte-partitioned split loops (the speculative-split
+/// CSV record parser). Like kRowsPerShard, the chunk layout is a function
+/// of the byte count alone, never of the thread count.
+inline constexpr size_t kBytesPerSplitChunk = 64 * 1024;
+
+/// Number of chunks for `num_bytes` bytes at `bytes_per_chunk` granularity
+/// (0 picks kBytesPerSplitChunk): ceil(num_bytes / bytes_per_chunk), and at
+/// least 1.
+size_t ChunkCountForBytes(size_t num_bytes, size_t bytes_per_chunk = 0);
+
 /// Shard-count cap for coarse-grained items, where one *item* is itself a
 /// full pass over the data (e.g. one bootstrap replicate resampling all S
 /// rows). Row-granularity sharding would put thousands of such items in

@@ -370,7 +370,7 @@ Result<LoadedRelease> ParseReleaseTables(const FileFetcher& fetch,
       PCLEAN_ASSIGN_OR_RETURN(
           Table domain_table,
           CsvToTable(domain_text, domain_schema,
-                     ReleaseReadOptions(ReleaseCsvOptions(), dir,
+                     ReleaseReadOptions(ReleaseCsvOptions(exec), dir,
                                         domain_file)));
       ++domain_index;
       std::vector<Value> values;
@@ -607,6 +607,10 @@ Result<LoadedRelease> ReadRelease(const std::string& dir,
 Result<PrivateTable> OpenRelease(const std::string& dir,
                                  const ExecutionOptions& exec) {
   PCLEAN_ASSIGN_OR_RETURN(LoadedRelease release, ReadRelease(dir, exec));
+  // Injection point between the verified read and the queryable table:
+  // a fault here models the analyst-side open failing after the bytes
+  // were already fetched intact.
+  PCLEAN_FAILPOINT("release.open.relation", dir);
   return PrivateTable::FromPrivateRelation(std::move(release.relation),
                                            std::move(release.metadata));
 }

@@ -2,6 +2,7 @@
 
 #include <map>
 
+#include "common/failpoint.h"
 #include "common/thread_pool.h"
 
 namespace privateclean {
@@ -47,6 +48,10 @@ Result<ProvenanceGraph> ProvenanceGraph::Build(const Column& dirty_snapshot,
   if (dirty_domain.empty()) {
     return Status::InvalidArgument("dirty domain must be non-empty");
   }
+  // Injection point after argument validation, before the sharded
+  // passes: a fault here models the lazy graph build failing when a
+  // query first touches a cleaned attribute.
+  PCLEAN_FAILPOINT("provenance.graph.build", "");
 
   ProvenanceGraph graph;
   graph.dirty_domain_ = dirty_domain;

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "common/failpoint.h"
 #include "common/statistics.h"
 
 namespace privateclean {
@@ -184,6 +185,10 @@ Result<QueryScanStats> ScanWithPredicate(const Table& table,
                                          const Predicate& predicate,
                                          const std::string& numeric_attribute,
                                          const ExecutionOptions& exec) {
+  // Injection point at scan entry — before the sharded loops, so faults
+  // model a query that fails up front (e.g. a paged-out relation), not a
+  // partially merged result.
+  PCLEAN_FAILPOINT("query.scan.begin", numeric_attribute);
   QueryScanStats stats;
   stats.total_rows = table.num_rows();
   PCLEAN_ASSIGN_OR_RETURN(auto mask, predicate.Evaluate(table, exec));

@@ -44,19 +44,12 @@ void AppendField(std::string* out, const std::string& field,
   out->push_back('"');
 }
 
-/// One parsed field: its text and whether it was quoted in the input
-/// (quoted fields are never interpreted as NULL).
-struct RawField {
-  std::string text;
-  bool quoted = false;
-};
-
-/// One record plus the 1-based input line it starts on (for error
-/// messages; a quoted field may span lines, so record index != line).
-struct RawRecord {
-  std::vector<RawField> fields;
-  size_t line = 1;
-};
+/// Internal aliases for the public raw-record types (table/csv.h): the
+/// field text plus whether it was quoted (quoted fields are never NULL),
+/// and the record plus the 1-based input line it starts on (a quoted
+/// field may span lines, so record index != line).
+using RawField = CsvRawField;
+using RawRecord = CsvRawRecord;
 
 /// A blank input line parses as a record with one unquoted empty field.
 /// For single-column schemas that is a legitimate NULL row; for wider
@@ -75,8 +68,12 @@ std::string Loc(const CsvOptions& options, size_t line) {
 /// Splits CSV text into records of fields, honoring quoting. With
 /// `options.require_trailing_newline`, input whose last record lacks a
 /// newline terminator (or whose quoting is still open) is DataLoss.
-Result<std::vector<RawRecord>> ParseRecords(const std::string& text,
-                                            const CsvOptions& options) {
+///
+/// This is the single-pass reference parser; ParseRecordsSpeculative
+/// below must be byte-identical to it (records, line numbers, error
+/// statuses) — the differential fuzz suite enforces that.
+Result<std::vector<RawRecord>> ParseRecordsSerial(const std::string& text,
+                                                  const CsvOptions& options) {
   std::vector<RawRecord> out;
   RawRecord record;
   std::string field;
@@ -152,6 +149,307 @@ Result<std::vector<RawRecord>> ParseRecords(const std::string& text,
   return out;
 }
 
+// --- Two-phase speculative-split record parser ------------------------------
+//
+// The quote automaton has exactly two states (inside / outside a quoted
+// field), so a chunk of bytes can be parsed under *both* possible starting
+// parities in parallel; each chunk's scan doubles as its parity transfer
+// function (start parity -> end parity). A cheap sequential pass then
+// chains the transfer functions from chunk 0 (which provably starts
+// outside quotes), selects each chunk's matching speculative scan, and the
+// records are materialized in parallel from the resolved unquoted-'\n'
+// terminators. The serial parser increments its line counter on *every*
+// '\n' (quoted or not), so a record's line number is 1 + the count of
+// '\n' bytes before it — per-chunk newline counts plus a prefix sum
+// reproduce serial line tracking exactly.
+
+/// Phase-1 scan of one chunk under one assumed starting parity. Tracks
+/// only '"' and '\n'; delimiters, '\r', and field bytes don't affect
+/// record framing.
+struct ChunkScan {
+  struct Terminator {
+    /// Byte offset of an unquoted '\n' (a record terminator).
+    size_t offset = 0;
+    /// 1-based ordinal of that '\n' among *all* the chunk's '\n' bytes
+    /// (quoted ones included), so the terminated record's successor line
+    /// is newline_base + ordinal + 1.
+    size_t newline_ordinal = 0;
+  };
+  std::vector<Terminator> terminators;
+  /// Total '\n' bytes in the chunk (parity-independent).
+  size_t newlines = 0;
+  /// Quote parity after the chunk's last byte (the transfer function's
+  /// value at this starting parity).
+  bool end_in_quotes = false;
+};
+
+/// Chunk boundaries for the speculative parser: balanced byte ranges
+/// (ShardBounds), nudged forward so no boundary falls between two
+/// adjacent '"' bytes. An escaped-quote pair (`""`) is then always
+/// chunk-local, so a chunk scan's one-byte lookahead never pairs a quote
+/// with a byte another chunk already consumed — under either parity,
+/// since the adjustment is purely syntactic. A pure function of the text
+/// and chunk size: thread count never moves a boundary.
+std::vector<size_t> SplitPoints(const std::string& text, size_t chunk_bytes) {
+  const size_t chunks = ChunkCountForBytes(text.size(), chunk_bytes);
+  std::vector<size_t> bounds;
+  bounds.reserve(chunks + 1);
+  bounds.push_back(0);
+  for (size_t c = 1; c < chunks; ++c) {
+    size_t b = ShardBounds(text.size(), chunks, c).begin;
+    while (b > 0 && b < text.size() && text[b] == '"' && text[b - 1] == '"') {
+      ++b;
+    }
+    // Adjustment only moves boundaries forward; keep them monotone (an
+    // empty chunk is fine — it scans as the identity transfer function).
+    bounds.push_back(std::max(b, bounds.back()));
+  }
+  bounds.push_back(text.size());
+  return bounds;
+}
+
+/// Scans text[begin, end) assuming the chunk starts with quote parity
+/// `start_in_quotes`, collecting record terminators and newline counts.
+ChunkScan ScanChunk(const std::string& text, size_t begin, size_t end,
+                    bool start_in_quotes) {
+  ChunkScan scan;
+  bool in_quotes = start_in_quotes;
+  size_t newlines = 0;
+  for (size_t i = begin; i < end; ++i) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          ++i;  // Escaped quote; SplitPoints keeps the pair chunk-local.
+        } else {
+          in_quotes = false;
+        }
+      } else if (c == '\n') {
+        ++newlines;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == '\n') {
+      ++newlines;
+      scan.terminators.push_back(ChunkScan::Terminator{i, newlines});
+    }
+  }
+  scan.newlines = newlines;
+  scan.end_in_quotes = in_quotes;
+  return scan;
+}
+
+/// Parses the byte range of exactly one record (its terminating '\n'
+/// excluded) that is known to start outside quotes. The field loop is the
+/// serial parser's, minus line tracking (the record's line is resolved
+/// from the newline prefix sums) and minus the '\n' record branch (the
+/// range contains no unquoted '\n' by construction).
+RawRecord ParseOneRecord(const std::string& text, size_t begin, size_t end,
+                         size_t line, const CsvOptions& options) {
+  RawRecord record;
+  record.line = line;
+  std::string field;
+  bool in_quotes = false;
+  bool field_was_quoted = false;
+  auto end_field = [&]() {
+    record.fields.push_back(RawField{
+        field_was_quoted ? field : std::string(TrimWhitespace(field)),
+        field_was_quoted});
+    field.clear();
+    field_was_quoted = false;
+  };
+  for (size_t i = begin; i < end; ++i) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          field.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        field.push_back(c);
+      }
+      continue;
+    }
+    if (c == '"') {
+      in_quotes = true;
+      field_was_quoted = true;
+    } else if (c == options.delimiter) {
+      end_field();
+    } else if (c == '\r') {
+      // Swallow, exactly like the serial parser.
+    } else {
+      field.push_back(c);
+    }
+  }
+  end_field();
+  return record;
+}
+
+/// The two-phase speculative-split parser. Byte-identical to
+/// ParseRecordsSerial — same records, same line numbers, same error
+/// statuses — at any thread count and any chunk size.
+Result<std::vector<RawRecord>> ParseRecordsSpeculative(
+    const std::string& text, const CsvOptions& options) {
+  std::vector<RawRecord> out;
+  if (text.empty()) return out;
+
+  const std::vector<size_t> bounds =
+      SplitPoints(text, options.split_chunk_bytes);
+  const size_t chunks = bounds.size() - 1;
+
+  // Phase 1 (parallel): scan every chunk under both possible starting
+  // parities. Chunks are coarse items (each is a full pass over its
+  // bytes), so they shard under the coarse cap. Scan bodies never fail.
+  std::vector<ChunkScan> scans[2];
+  scans[0].resize(chunks);
+  scans[1].resize(chunks);
+  Status scan_status = ParallelFor(
+      chunks, ShardCountForCoarseItems(chunks), options.exec,
+      [&](size_t, size_t begin, size_t end) -> Status {
+        for (size_t c = begin; c < end; ++c) {
+          scans[0][c] = ScanChunk(text, bounds[c], bounds[c + 1], false);
+          scans[1][c] = ScanChunk(text, bounds[c], bounds[c + 1], true);
+        }
+        return Status::OK();
+      });
+  (void)scan_status;
+
+  // Phase 2 (sequential, O(chunks)): chunk 0 starts outside quotes;
+  // chain each chunk's end parity into the next chunk's start parity,
+  // selecting the matching speculative scan, and prefix-sum newline and
+  // terminator counts for global line numbers and record indexing.
+  std::vector<const ChunkScan*> chosen(chunks);
+  std::vector<size_t> newline_base(chunks);
+  std::vector<size_t> terminator_base(chunks);
+  bool parity = false;
+  size_t total_newlines = 0;
+  size_t total_terminators = 0;
+  for (size_t c = 0; c < chunks; ++c) {
+    const ChunkScan& scan = scans[parity ? 1 : 0][c];
+    chosen[c] = &scan;
+    newline_base[c] = total_newlines;
+    terminator_base[c] = total_terminators;
+    total_newlines += scan.newlines;
+    total_terminators += scan.terminators.size();
+    parity = scan.end_in_quotes;
+  }
+  const bool final_in_quotes = parity;
+
+  // Flatten the chosen scans' terminators into one global array carrying
+  // each terminator's successor line (the line number of the record that
+  // starts right after it): 1 + the '\n' count up to and including it.
+  struct GlobalTerminator {
+    size_t offset = 0;
+    size_t line_after = 1;
+  };
+  std::vector<GlobalTerminator> terminators(total_terminators);
+  Status fill_status = ParallelFor(
+      chunks, ShardCountForCoarseItems(chunks), options.exec,
+      [&](size_t, size_t begin, size_t end) -> Status {
+        for (size_t c = begin; c < end; ++c) {
+          const ChunkScan& scan = *chosen[c];
+          for (size_t t = 0; t < scan.terminators.size(); ++t) {
+            terminators[terminator_base[c] + t] = GlobalTerminator{
+                scan.terminators[t].offset,
+                1 + newline_base[c] + scan.terminators[t].newline_ordinal};
+          }
+        }
+        return Status::OK();
+      });
+  (void)fill_status;
+
+  // Tail = bytes after the last terminator. Serial checks the open-quote
+  // error first, then truncation; record.line at EOF is the last
+  // terminator's successor line (quoted '\n' in the tail never moves a
+  // record's starting line).
+  const size_t tail_begin =
+      total_terminators == 0 ? 0 : terminators.back().offset + 1;
+  const size_t tail_line =
+      total_terminators == 0 ? 1 : terminators.back().line_after;
+  if (final_in_quotes) {
+    return Status::DataLoss(
+        Loc(options, tail_line) +
+        "unterminated quoted field at end of input (truncated file?)");
+  }
+  // The tail forms a final record exactly when it contains any byte other
+  // than '\r': an unquoted '\n' cannot appear (it would be a terminator)
+  // and a quoted '\n' implies a preceding '"' in the tail, so this matches
+  // the serial parser's any-content test byte for byte.
+  bool tail_content = false;
+  for (size_t i = tail_begin; i < text.size(); ++i) {
+    if (text[i] != '\r') {
+      tail_content = true;
+      break;
+    }
+  }
+  if (tail_content && options.require_trailing_newline) {
+    return Status::DataLoss(
+        Loc(options, tail_line) +
+        "truncated final record: missing newline at end of file");
+  }
+
+  // Phase 3 (parallel): materialize records. Record r spans the bytes
+  // between terminators r-1 and r; its line is terminator r-1's successor
+  // line. Per-shard buffers are appended in shard index order, which
+  // reproduces the serial record order exactly.
+  const size_t num_records = total_terminators + (tail_content ? 1 : 0);
+  if (num_records == 0) return out;
+  const size_t shards = ShardCountForRows(num_records);
+  std::vector<std::vector<RawRecord>> shard_records(shards);
+  Status parse_status = ParallelFor(
+      num_records, shards, options.exec,
+      [&](size_t shard, size_t begin, size_t end) -> Status {
+        std::vector<RawRecord>& local = shard_records[shard];
+        local.reserve(end - begin);
+        for (size_t r = begin; r < end; ++r) {
+          const size_t byte_begin = r == 0 ? 0 : terminators[r - 1].offset + 1;
+          const size_t byte_end =
+              r < total_terminators ? terminators[r].offset : text.size();
+          const size_t line = r == 0 ? 1 : terminators[r - 1].line_after;
+          local.push_back(
+              ParseOneRecord(text, byte_begin, byte_end, line, options));
+        }
+        return Status::OK();
+      });
+  (void)parse_status;
+  out.reserve(num_records);
+  for (std::vector<RawRecord>& chunk : shard_records) {
+    for (RawRecord& record : chunk) out.push_back(std::move(record));
+  }
+  return out;
+}
+
+/// Whether the speculative splitter applies. Record framing only depends
+/// on '"' and '\n' when the delimiter is neither, so those (pathological)
+/// configurations always parse serially; otherwise kAuto requires real
+/// parallelism and enough bytes to amortize the chunk bookkeeping.
+bool UseSpeculativeSplit(const std::string& text, const CsvOptions& options) {
+  if (options.delimiter == '"' || options.delimiter == '\n') return false;
+  switch (options.split) {
+    case CsvSplitMode::kSerial:
+      return false;
+    case CsvSplitMode::kSpeculative:
+      return true;
+    case CsvSplitMode::kAuto:
+      break;
+  }
+  return options.exec.EffectiveThreads() > 1 &&
+         text.size() >= options.split_min_bytes;
+}
+
+/// Record-splitting dispatcher for CsvToTable / InferCsvSchema /
+/// SplitCsvRecords.
+Result<std::vector<RawRecord>> ParseRecords(const std::string& text,
+                                            const CsvOptions& options) {
+  if (UseSpeculativeSplit(text, options)) {
+    return ParseRecordsSpeculative(text, options);
+  }
+  return ParseRecordsSerial(text, options);
+}
+
 Result<Value> ParseCell(const RawField& cell, const Field& field,
                         const CsvOptions& options) {
   // Quoted fields are never NULL; unquoted empty fields and the null
@@ -178,6 +476,11 @@ Result<Value> ParseCell(const RawField& cell, const Field& field,
 }
 
 }  // namespace
+
+Result<std::vector<CsvRawRecord>> SplitCsvRecords(const std::string& text,
+                                                  const CsvOptions& options) {
+  return ParseRecords(text, options);
+}
 
 std::string TableToCsv(const Table& table, const CsvOptions& options) {
   std::string out;

@@ -2,12 +2,26 @@
 #define PRIVATECLEAN_TABLE_CSV_H_
 
 #include <string>
+#include <vector>
 
 #include "common/result.h"
 #include "common/thread_pool.h"
 #include "table/table.h"
 
 namespace privateclean {
+
+/// How the reader cuts CSV text into records before cell typing.
+enum class CsvSplitMode {
+  /// Speculative split when it can pay off: more than one effective
+  /// thread and at least `split_min_bytes` of input; serial otherwise.
+  kAuto,
+  /// Always the single-pass serial parser (the reference semantics).
+  kSerial,
+  /// Always the two-phase speculative-split parser, even single-threaded.
+  /// The differential fuzz suite forces this (with tiny chunk sizes) to
+  /// prove byte-identical behavior against kSerial.
+  kSpeculative,
+};
 
 /// CSV parsing/serialization options (RFC-4180 quoting).
 struct CsvOptions {
@@ -17,12 +31,25 @@ struct CsvOptions {
   bool header = true;
   /// String that encodes NULL (in addition to the empty field).
   std::string null_literal = "";
-  /// Threading (common/thread_pool.h). Record splitting is inherently
-  /// sequential (quote state carries across bytes) and stays serial;
-  /// cell typing on read and row rendering on write are sharded, with
-  /// per-shard output concatenated in shard index order so the bytes
-  /// (write) and Table (read) are identical at every thread count.
+  /// Threading (common/thread_pool.h). Cell typing on read and row
+  /// rendering on write are sharded, with per-shard output concatenated
+  /// in shard index order. Record splitting — where quote state carries
+  /// across bytes — is sharded too via the two-phase speculative-split
+  /// parser (see `split`), which resolves per-chunk quote parities
+  /// sequentially and is byte-identical to the serial parser at every
+  /// thread count.
   ExecutionOptions exec;
+  /// Record-splitting strategy. kAuto falls back to serial for inputs
+  /// under `split_min_bytes` or when only one thread is effective.
+  CsvSplitMode split = CsvSplitMode::kAuto;
+  /// kAuto threshold: inputs smaller than this parse serially (chunk
+  /// bookkeeping costs more than it saves).
+  size_t split_min_bytes = 64 * 1024;
+  /// Chunk granularity for the speculative splitter; 0 picks
+  /// kBytesPerSplitChunk. Tests shrink it to force record and quote
+  /// state across chunk boundaries on small inputs. Chunk layout is a
+  /// function of the input bytes alone, never the thread count.
+  size_t split_chunk_bytes = 0;
   /// Source name used in parse-error messages ("<name>:<line>: ...").
   /// ReadCsvFile fills it with the file path when empty; inline text
   /// defaults to "<csv>". Line numbers are 1-based input lines (a quoted
@@ -54,6 +81,28 @@ Result<Table> CsvToTable(const std::string& text, const Schema& schema,
 /// Reads a CSV file into a table with a caller-provided schema.
 Result<Table> ReadCsvFile(const std::string& path, const Schema& schema,
                           const CsvOptions& options = {});
+
+/// One raw field as produced by the record splitter, before cell typing:
+/// the field text (quoted fields unescaped, unquoted fields trimmed) and
+/// whether it was quoted (quoted fields are never NULL).
+struct CsvRawField {
+  std::string text;
+  bool quoted = false;
+};
+
+/// One raw record: its fields and the 1-based input line it starts on
+/// (quoted fields may span lines; the record keeps its starting line).
+struct CsvRawRecord {
+  std::vector<CsvRawField> fields;
+  size_t line = 1;
+};
+
+/// Splits CSV text into raw records per `options.split` without typing
+/// cells — the record-splitting stage of CsvToTable, exposed so the
+/// differential fuzz suite can compare the serial and speculative-split
+/// parsers field-for-field (and error-for-error) on arbitrary inputs.
+Result<std::vector<CsvRawRecord>> SplitCsvRecords(
+    const std::string& text, const CsvOptions& options = {});
 
 /// Infers a schema from CSV text: a column parseable entirely as int64
 /// becomes a numerical int64 field; else entirely as double, a numerical

@@ -279,6 +279,35 @@ TEST_F(CliTest, UsageMentionsVerify) {
   EXPECT_NE(out_.str().find("verify"), std::string::npos);
 }
 
+TEST_F(CliTest, CsvSplitModesProduceIdenticalReleases) {
+  ASSERT_EQ(Run({"privatize", "--input", csv_path_, "--output",
+                 release_dir_ + "_serial", "--p", "0.2", "--b", "5.0",
+                 "--seed", "42", "--csv-split", "serial"}),
+            0)
+      << err_.str();
+  ASSERT_EQ(Run({"privatize", "--input", csv_path_, "--output",
+                 release_dir_ + "_spec", "--p", "0.2", "--b", "5.0",
+                 "--seed", "42", "--csv-split", "speculative", "--threads",
+                 "4"}),
+            0)
+      << err_.str();
+  std::ifstream a(release_dir_ + "_serial/data.csv");
+  std::ifstream b(release_dir_ + "_spec/data.csv");
+  std::stringstream sa, sb;
+  sa << a.rdbuf();
+  sb << b.rdbuf();
+  EXPECT_EQ(sa.str(), sb.str());
+}
+
+TEST_F(CliTest, CsvSplitRejectsUnknownMode) {
+  EXPECT_EQ(Run({"privatize", "--input", csv_path_, "--output",
+                 release_dir_, "--epsilon", "2.0", "--csv-split",
+                 "sideways"}),
+            1);
+  EXPECT_NE(err_.str().find("--csv-split"), std::string::npos)
+      << err_.str();
+}
+
 TEST_F(CliTest, DeterministicGivenSeed) {
   ASSERT_EQ(Run({"privatize", "--input", csv_path_, "--output",
                  release_dir_ + "_a", "--p", "0.2", "--b", "5.0", "--seed",

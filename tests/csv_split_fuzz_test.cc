@@ -1,0 +1,250 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "parallel_harness.h"
+#include "table/csv.h"
+
+// Differential fuzzing of the two-phase speculative-split CSV record
+// parser against the single-pass serial parser. The speculative parser's
+// correctness argument is subtle (per-chunk quote-parity transfer
+// functions, boundary adjustment around escaped quotes, newline prefix
+// sums for line tracking), so the proof here is brute force: on
+// thousands of randomized inputs — quoted fields, multiline quoted
+// fields, escaped quotes, CRLF, \N nulls, blank lines, and torn
+// (truncated-anywhere) variants — the two parsers must agree
+// byte-for-byte on every record, every field's quoted flag, every
+// record's line number, and on malformed input must return the same
+// status code with the same file:line-prefixed message. Each comparison
+// runs the speculative parser at 1, 2, and 8 threads with adversarially
+// tiny chunk sizes so chunk boundaries land inside quoted fields,
+// escaped-quote pairs, and CRLF sequences even on short inputs.
+
+namespace privateclean {
+namespace {
+
+/// Serializes a split result — success or error — into comparable bytes.
+/// Tag-prefixed so an error can never collide with a record list.
+std::string SplitImage(const Result<std::vector<CsvRawRecord>>& result) {
+  ByteSink sink;
+  if (!result.ok()) {
+    sink.AppendU64(0xE0E0E0E0);
+    sink.AppendU64(static_cast<uint64_t>(result.status().code()));
+    sink.AppendString(result.status().message());
+    return std::move(sink).Finish();
+  }
+  const std::vector<CsvRawRecord>& records = result.ValueOrDie();
+  sink.AppendU64(records.size());
+  for (const CsvRawRecord& record : records) {
+    sink.AppendU64(record.line);
+    sink.AppendU64(record.fields.size());
+    for (const CsvRawField& field : record.fields) {
+      sink.AppendString(field.text);
+      sink.AppendU64(field.quoted ? 1 : 0);
+    }
+  }
+  return std::move(sink).Finish();
+}
+
+/// Asserts serial == speculative on `text` for every thread count and a
+/// few chunk sizes. `require_trailing_newline` exercises the truncated-
+/// final-record DataLoss path on torn inputs.
+void ExpectParsersAgree(const std::string& text, Rng& rng,
+                        bool require_trailing_newline) {
+  CsvOptions serial;
+  serial.split = CsvSplitMode::kSerial;
+  serial.error_context = "fuzz.csv";
+  serial.require_trailing_newline = require_trailing_newline;
+  const std::string want = SplitImage(SplitCsvRecords(text, serial));
+
+  CsvOptions spec = serial;
+  spec.split = CsvSplitMode::kSpeculative;
+  // Tiny chunks force record and quote state across chunk boundaries;
+  // chunk size 1 makes *every* byte a boundary candidate.
+  const size_t chunk_sizes[] = {1, 1 + rng.UniformInt(7),
+                                8 + rng.UniformInt(24), 0};
+  for (size_t chunk_bytes : chunk_sizes) {
+    spec.split_chunk_bytes = chunk_bytes;
+    for (size_t threads : {1u, 2u, 8u}) {
+      SCOPED_TRACE("chunk_bytes=" + std::to_string(chunk_bytes) +
+                   " threads=" + std::to_string(threads) + " text=[" + text +
+                   "]");
+      spec.exec.num_threads = threads;
+      EXPECT_EQ(SplitImage(SplitCsvRecords(text, spec)), want);
+    }
+  }
+}
+
+/// One random CSV-ish fragment drawn from generators that cover the
+/// grammar's hard corners. Deliberately includes malformed shapes
+/// (unterminated quotes, bare quotes mid-field) — the parsers must agree
+/// on errors too.
+std::string RandomFragment(Rng& rng) {
+  switch (rng.UniformInt(12)) {
+    case 0:
+      return "plain" + std::to_string(rng.UniformInt(1000));
+    case 1:
+      return "\"quoted,with delimiter\"";
+    case 2:
+      return "\"multi\nline\nfield\"";
+    case 3:
+      return "\"escaped \"\" quote\"";
+    case 4: {
+      // A run of quotes of random length — the adversarial case for the
+      // chunk-boundary adjustment.
+      std::string quotes(1 + rng.UniformInt(6), '"');
+      return quotes;
+    }
+    case 5:
+      return "\\N";
+    case 6:
+      return "";  // Empty field.
+    case 7:
+      return "  padded  ";
+    case 8:
+      return "\"\"";  // Quoted empty string (non-NULL).
+    case 9:
+      return "\"crlf\r\ninside\"";
+    case 10:
+      return std::to_string(rng.UniformReal());
+    case 11:
+      return "tail\rcarriage";
+  }
+  return "";
+}
+
+/// A random record: fragments joined by delimiters, randomly terminated
+/// by '\n', "\r\n", or nothing (torn tail).
+std::string RandomRecord(Rng& rng) {
+  std::string record;
+  const size_t fields = 1 + rng.UniformInt(4);
+  for (size_t f = 0; f < fields; ++f) {
+    if (f > 0) record.push_back(',');
+    record += RandomFragment(rng);
+  }
+  switch (rng.UniformInt(8)) {
+    case 0:
+      record += "\r\n";
+      break;
+    case 1:
+      break;  // Torn: no terminator.
+    default:
+      record.push_back('\n');
+      break;
+  }
+  return record;
+}
+
+TEST(CsvSplitFuzzTest, RandomizedInputsAgreeByteForByte) {
+  Rng rng(0xC5F5F17ULL);
+  for (int trial = 0; trial < 400; ++trial) {
+    std::string text;
+    const size_t records = rng.UniformInt(8);
+    for (size_t r = 0; r < records; ++r) text += RandomRecord(rng);
+    ExpectParsersAgree(text, rng, rng.Bernoulli(0.5));
+  }
+}
+
+TEST(CsvSplitFuzzTest, TornInputsAgreeIncludingErrors) {
+  Rng rng(0xDEADBEEFCAFEULL);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string text;
+    for (size_t r = 0; r < 4; ++r) text += RandomRecord(rng);
+    // Tear the input at a random byte: quoted fields become unterminated
+    // and final records lose their newline, so both error branches get
+    // exercised with both require_trailing_newline settings.
+    if (!text.empty()) text.resize(rng.UniformInt(text.size() + 1));
+    ExpectParsersAgree(text, rng, false);
+    ExpectParsersAgree(text, rng, true);
+  }
+}
+
+TEST(CsvSplitFuzzTest, CellTypingPipelineAgreesOnTables) {
+  // End-to-end CsvToTable comparison: render random tables, parse them
+  // back under both split modes at 1/2/8 threads, and require the byte
+  // image of the parsed table (and of any error) to match the serial
+  // parse, proving the splitter composes with sharded cell typing.
+  Rng rng(0x5EED5EED5EEDULL);
+  Schema schema = *Schema::Make({Field::Discrete("name", ValueType::kString),
+                                 Field::Numerical("score", ValueType::kDouble),
+                                 Field::Numerical("count", ValueType::kInt64)});
+  for (int trial = 0; trial < 40; ++trial) {
+    std::string text = "name,score,count\n";
+    const size_t rows = rng.UniformInt(60);
+    for (size_t r = 0; r < rows; ++r) {
+      text += RandomFragment(rng) + "," +
+              std::to_string(rng.UniformRealRange(-10, 10)) + "," +
+              std::to_string(rng.UniformIntRange(-5, 5)) + "\n";
+    }
+    CsvOptions serial;
+    serial.split = CsvSplitMode::kSerial;
+    serial.null_literal = "\\N";
+    serial.error_context = "pipeline.csv";
+
+    auto image = [&](const Result<Table>& result) {
+      ByteSink sink;
+      if (!result.ok()) {
+        sink.AppendU64(0xE0E0E0E0);
+        sink.AppendU64(static_cast<uint64_t>(result.status().code()));
+        sink.AppendString(result.status().message());
+      } else {
+        sink.AppendTable(result.ValueOrDie());
+      }
+      return std::move(sink).Finish();
+    };
+    const std::string want = image(CsvToTable(text, schema, serial));
+
+    CsvOptions spec = serial;
+    spec.split = CsvSplitMode::kSpeculative;
+    spec.split_chunk_bytes = 1 + rng.UniformInt(32);
+    for (size_t threads : {1u, 2u, 8u}) {
+      SCOPED_TRACE("threads=" + std::to_string(threads));
+      spec.exec.num_threads = threads;
+      EXPECT_EQ(image(CsvToTable(text, schema, spec)), want);
+    }
+  }
+}
+
+TEST(CsvSplitFuzzTest, ErrorMessagesCarryIdenticalFileLineContext) {
+  // Malformed inputs with the error several (possibly quoted) lines in:
+  // the speculative parser must reproduce the serial parser's
+  // "<context>:<line>: " prefix exactly, including lines advanced inside
+  // quoted fields.
+  const char* inputs[] = {
+      "a,b\nc,d\n\"open",              // Unterminated quote on line 3.
+      "\"x\ny\nz\"\nnext,\"",          // Quoted newlines, then line 4 opens.
+      "one\ntwo\nthree",               // Truncated final record, line 3.
+      "\"a\nb\"\r\n\"c",               // CRLF after a multiline field.
+      "h1,h2\n\"v\n\n\n",              // Quote swallowing blank lines.
+  };
+  Rng rng(0xABCDEF);
+  for (const char* input : inputs) {
+    for (bool require_newline : {false, true}) {
+      ExpectParsersAgree(input, rng, require_newline);
+    }
+  }
+}
+
+TEST(CsvSplitFuzzTest, AutoModeMatchesSerialAcrossThreadCounts) {
+  // kAuto on a large input flips to the speculative path once more than
+  // one thread is effective; the parallel-harness contract (identical
+  // bytes at 1/2/8 threads) must hold across that flip.
+  std::string text = "name,score\n";
+  Rng rng(77);
+  for (int r = 0; r < 4000; ++r) {
+    text += RandomFragment(rng) + "," + std::to_string(rng.UniformReal()) +
+            "\n";
+  }
+  CsvOptions options;
+  options.split_min_bytes = 1024;  // Well under the text size.
+  ExpectIdenticalAcrossThreadCounts([&](const ExecutionOptions& exec) {
+    CsvOptions run = options;
+    run.exec = exec;
+    return SplitImage(SplitCsvRecords(text, run));
+  });
+}
+
+}  // namespace
+}  // namespace privateclean

@@ -364,5 +364,152 @@ TEST(CsvParallelFuzzTest, ParallelParseMatchesSerialOnRawText) {
   }
 }
 
+// --- Serial/speculative edge-case equivalence -------------------------------
+//
+// Deterministic corner inputs where the two record splitters could
+// plausibly diverge: blank records, carriage returns at EOF, quotes
+// opened on the very last byte. Each case is asserted field-for-field
+// (and error-for-error) across both parsers at several chunk sizes.
+
+/// Splits `text` under both modes (speculative at chunk sizes 1, 3, and
+/// default) and asserts identical records/lines or identical statuses.
+void ExpectSplitModesAgree(const std::string& text,
+                           bool require_trailing_newline = false) {
+  CsvOptions serial;
+  serial.split = CsvSplitMode::kSerial;
+  serial.require_trailing_newline = require_trailing_newline;
+  auto want = SplitCsvRecords(text, serial);
+
+  CsvOptions spec = serial;
+  spec.split = CsvSplitMode::kSpeculative;
+  spec.exec.num_threads = 4;
+  for (size_t chunk_bytes : {size_t{1}, size_t{3}, size_t{0}}) {
+    SCOPED_TRACE("chunk_bytes=" + std::to_string(chunk_bytes));
+    spec.split_chunk_bytes = chunk_bytes;
+    auto got = SplitCsvRecords(text, spec);
+    ASSERT_EQ(want.ok(), got.ok());
+    if (!want.ok()) {
+      EXPECT_EQ(want.status().code(), got.status().code());
+      EXPECT_EQ(want.status().message(), got.status().message());
+      continue;
+    }
+    const auto& w = want.ValueOrDie();
+    const auto& g = got.ValueOrDie();
+    ASSERT_EQ(w.size(), g.size());
+    for (size_t r = 0; r < w.size(); ++r) {
+      EXPECT_EQ(w[r].line, g[r].line) << "record " << r;
+      ASSERT_EQ(w[r].fields.size(), g[r].fields.size()) << "record " << r;
+      for (size_t f = 0; f < w[r].fields.size(); ++f) {
+        EXPECT_EQ(w[r].fields[f].text, g[r].fields[f].text)
+            << "record " << r << " field " << f;
+        EXPECT_EQ(w[r].fields[f].quoted, g[r].fields[f].quoted)
+            << "record " << r << " field " << f;
+      }
+    }
+  }
+}
+
+TEST(CsvSplitEdgeCaseTest, EmptyInput) {
+  ExpectSplitModesAgree("");
+  ExpectSplitModesAgree("", /*require_trailing_newline=*/true);
+  EXPECT_TRUE(SplitCsvRecords("")->empty());
+}
+
+TEST(CsvSplitEdgeCaseTest, OnlyNewlines) {
+  // Every newline is a blank record (one unquoted empty field) in both
+  // parsers, with consecutive line numbers.
+  for (const char* text : {"\n", "\n\n", "\n\n\n\n\n"}) {
+    ExpectSplitModesAgree(text);
+    ExpectSplitModesAgree(text, /*require_trailing_newline=*/true);
+  }
+  auto records = *SplitCsvRecords("\n\n\n");
+  ASSERT_EQ(records.size(), 3u);
+  for (size_t r = 0; r < records.size(); ++r) {
+    EXPECT_EQ(records[r].line, r + 1);
+    ASSERT_EQ(records[r].fields.size(), 1u);
+    EXPECT_TRUE(records[r].fields[0].text.empty());
+    EXPECT_FALSE(records[r].fields[0].quoted);
+  }
+}
+
+TEST(CsvSplitEdgeCaseTest, LoneCarriageReturnAtEof) {
+  // A bare '\r' tail is swallowed: no final record, and not truncation
+  // even under require_trailing_newline — in both parsers.
+  for (const char* text : {"\r", "\r\r", "a\n\r", "a\n\r\r"}) {
+    ExpectSplitModesAgree(text);
+    ExpectSplitModesAgree(text, /*require_trailing_newline=*/true);
+  }
+  EXPECT_TRUE(SplitCsvRecords("\r")->empty());
+  CsvOptions strict;
+  strict.require_trailing_newline = true;
+  EXPECT_TRUE(SplitCsvRecords("a\n\r", strict).ok());
+  EXPECT_EQ(SplitCsvRecords("a\n\r", strict)->size(), 1u);
+}
+
+TEST(CsvSplitEdgeCaseTest, CarriageReturnWithContentAtEof) {
+  // '\r' plus real bytes *is* a final record ("a\r" parses as "a").
+  ExpectSplitModesAgree("a\r");
+  ExpectSplitModesAgree("a\r", /*require_trailing_newline=*/true);
+  auto records = *SplitCsvRecords("a\r");
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].fields[0].text, "a");
+}
+
+TEST(CsvSplitEdgeCaseTest, QuoteOpenedAtLastByte) {
+  // A quote opened on the final byte is an unterminated quoted field;
+  // both parsers must report DataLoss at the same line.
+  for (const char* text : {"\"", "abc\"", "a,b\n\"", "a\nb\nc,\""}) {
+    ExpectSplitModesAgree(text);
+    ExpectSplitModesAgree(text, /*require_trailing_newline=*/true);
+  }
+  auto result = SplitCsvRecords("a\nb\nc,\"");
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsDataLoss());
+  EXPECT_NE(result.status().message().find("<csv>:3:"), std::string::npos)
+      << result.status().message();
+}
+
+TEST(CsvSplitEdgeCaseTest, BlankRecordsAndCrLfMixtures) {
+  for (const char* text :
+       {"\r\n", "\r\n\r\n", "a\r\n\r\nb\r\n", "a\n\nb\n", "\n\r\n\n",
+        "a,b\r\n\r\nc,d"}) {
+    ExpectSplitModesAgree(text);
+    ExpectSplitModesAgree(text, /*require_trailing_newline=*/true);
+  }
+}
+
+TEST(CsvSplitEdgeCaseTest, QuoteRunsAcrossChunkBoundaries) {
+  // Runs of escaped quotes positioned so naive chunk boundaries would
+  // split a `""` pair; the boundary adjustment must keep pairs
+  // chunk-local under every chunk size.
+  for (const char* text :
+       {"\"\"\"\"\n", "a,\"\"\"\"\"\"\n", "\"\"\"x\"\"\"\n",
+        "\"\"\n\"\"\"\"\n", "x\"\"\"\"y\n"}) {
+    ExpectSplitModesAgree(text);
+  }
+}
+
+TEST(CsvSplitEdgeCaseTest, AutoModeFallsBackToSerialForSmallInputs) {
+  // kAuto with multiple threads but a tiny input takes the serial path;
+  // with a forced-low threshold it takes the speculative path. The flip
+  // must be observable only in timing, never in the records.
+  const std::string text = "a,\"multi\nline\"\nb,c\n";
+  CsvOptions auto_serial;
+  auto_serial.exec.num_threads = 8;  // Input is far below split_min_bytes.
+  CsvOptions auto_spec = auto_serial;
+  auto_spec.split_min_bytes = 1;
+  auto serial_records = *SplitCsvRecords(text, auto_serial);
+  auto spec_records = *SplitCsvRecords(text, auto_spec);
+  ASSERT_EQ(serial_records.size(), spec_records.size());
+  for (size_t r = 0; r < serial_records.size(); ++r) {
+    EXPECT_EQ(serial_records[r].line, spec_records[r].line);
+    ASSERT_EQ(serial_records[r].fields.size(), spec_records[r].fields.size());
+    for (size_t f = 0; f < serial_records[r].fields.size(); ++f) {
+      EXPECT_EQ(serial_records[r].fields[f].text,
+                spec_records[r].fields[f].text);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace privateclean

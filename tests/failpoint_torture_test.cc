@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <filesystem>
 #include <string>
 #include <vector>
@@ -14,6 +15,7 @@
 #include "common/failpoint.h"
 #include "common/random.h"
 #include "core/release.h"
+#include "query/predicate.h"
 #include "table/table_builder.h"
 
 namespace privateclean {
@@ -222,21 +224,65 @@ TEST_F(FailpointTortureTest, RandomizedFaultCombinations) {
   }
 }
 
+TEST_F(FailpointTortureTest, EverySiteOneAtATimeOnOpenAndQuery) {
+  // The query/provenance read-path sites: open the release into a
+  // PrivateTable and run a Count (which scans with a predicate and
+  // lazily builds the provenance graph) under each catalogued fault.
+  // Every outcome must be a typed error or a successful, sane estimate.
+  GrrOutput grr = MakeGrr(71, 100);
+  const std::string dir = base_ + "/q";
+  ASSERT_TRUE(WriteRelease(grr, dir).ok());
+  const Predicate pred = Predicate::In("city", {Value("Berkeley")});
+  for (const std::string& site : failpoint::Sites()) {
+    SCOPED_TRACE("site " + site);
+    ASSERT_TRUE(
+        failpoint::Activate(site, failpoint::DefaultFault(site)).ok());
+    auto table = OpenRelease(dir);
+    if (!table.ok()) {
+      failpoint::DeactivateAll();
+      EXPECT_TRUE(IsTypedReleaseError(table.status()))
+          << table.status().ToString();
+      continue;
+    }
+    auto count = table->Count(pred);
+    failpoint::DeactivateAll();
+    if (count.ok()) {
+      EXPECT_TRUE(std::isfinite(count->estimate)) << count->estimate;
+    } else {
+      EXPECT_TRUE(IsTypedReleaseError(count.status()) ||
+                  count.status().IsInvalidArgument())
+          << count.status().ToString();
+    }
+    // Faults never corrupt in-process state: the same open + query with
+    // the registry clean must succeed.
+    auto clean_table = OpenRelease(dir);
+    ASSERT_TRUE(clean_table.ok()) << clean_table.status().ToString();
+    auto clean_count = clean_table->Count(pred);
+    ASSERT_TRUE(clean_count.ok()) << clean_count.status().ToString();
+    EXPECT_TRUE(std::isfinite(clean_count->estimate));
+  }
+}
+
 TEST_F(FailpointTortureTest, EveryCataloguedSiteSitsOnAnExercisedPath) {
   // A site that never counts a hit during a full write + overwrite +
-  // read + verify cycle is dead instrumentation — the torture above
-  // would silently stop covering it.
+  // read + open + query + verify cycle is dead instrumentation — the
+  // torture above would silently stop covering it.
   GrrOutput grr = MakeGrr(61, 80);
   const std::string dir = base_ + "/cov";
   failpoint::ResetHits();
   ASSERT_TRUE(WriteRelease(grr, dir).ok());
   ASSERT_TRUE(WriteRelease(grr, dir).ok());  // swap path
   ASSERT_TRUE(ReadRelease(dir).ok());
+  // Open + Count covers the analyst read path: release.open.relation,
+  // query.scan.begin, and the lazy provenance.graph.build.
+  auto table = OpenRelease(dir);
+  ASSERT_TRUE(table.ok()) << table.status().ToString();
+  ASSERT_TRUE(table->Count(Predicate::In("city", {Value("Berkeley")})).ok());
   ASSERT_TRUE(VerifyRelease(dir).ok());
   for (const std::string& site : failpoint::Sites()) {
     EXPECT_GT(failpoint::Hits(site), 0u)
         << "site '" << site
-        << "' was never reached by write/overwrite/read/verify";
+        << "' was never reached by write/overwrite/read/open/query/verify";
   }
 }
 

@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "core/privateclean.h"
+#include "datagen/synthetic.h"
+#include "table/csv.h"
+
+// Golden end-to-end regression: a fixed-seed run of the full pipeline —
+// synthetic dirty relation → CSV round trip through the speculative-split
+// parser → GRR privatization → Transform cleaning (which rebuilds the
+// provenance graph) → COUNT/SUM/AVG estimates — bit-compared against a
+// checked-in golden file. Estimates and confidence bounds are serialized
+// as raw IEEE-754 hex, so any change to the parser, the sharded
+// estimator passes, the RNG forking discipline, or the provenance cut
+// that perturbs even the last ulp of any result fails this test. Runs at
+// 1, 2, and 8 threads (label `determinism`, so scripts/verify.sh also
+// runs it under TSan): every thread count must reproduce the same file.
+
+#ifndef PCLEAN_TEST_DATA_DIR
+#error "PCLEAN_TEST_DATA_DIR must point at the tests/ source directory"
+#endif
+
+namespace privateclean {
+namespace {
+
+std::string HexBits(double v) {
+  uint64_t bits;
+  static_assert(sizeof bits == sizeof v);
+  std::memcpy(&bits, &v, sizeof bits);
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(bits));
+  return buf;
+}
+
+/// Runs the whole pipeline at `threads` and renders every estimate as
+/// "name <estimate-bits> <ci.lo-bits> <ci.hi-bits>" lines.
+std::string RunPipeline(size_t threads) {
+  ExecutionOptions exec;
+  exec.num_threads = threads;
+
+  // Provider side: a skewed synthetic relation, serialized to CSV and
+  // ingested through the speculative-split parser with chunks small
+  // enough that the 400-row text spans many chunk boundaries.
+  SyntheticOptions data_options;
+  data_options.num_rows = 400;
+  data_options.num_distinct = 20;
+  data_options.zipf_skew = 1.5;
+  Rng data_rng(777);
+  Table dirty = *GenerateSynthetic(data_options, data_rng);
+
+  CsvOptions csv;
+  csv.null_literal = "\\N";
+  csv.exec = exec;
+  csv.split = CsvSplitMode::kSpeculative;
+  csv.split_chunk_bytes = 256;
+  std::string text = TableToCsv(dirty, csv);
+  Table ingested = *CsvToTable(text, dirty.schema(), csv);
+
+  GrrOptions grr_options;
+  grr_options.exec = exec;
+  Rng grr_rng(4242);
+  PrivateTable pt = *PrivateTable::Create(
+      ingested, GrrParams::Uniform(0.25, 5.0), grr_options, grr_rng);
+
+  // Analyst side: merge two categories (a Transform), which invalidates
+  // and lazily rebuilds the provenance graph inside the queries below.
+  EXPECT_TRUE(pt.Clean(FindReplace::Single("category", SyntheticCategory(3),
+                                           SyntheticCategory(0)))
+                  .ok());
+
+  QueryOptions query_options;
+  query_options.exec = exec;
+  const char* queries[][2] = {
+      {"count_c0", "SELECT count(1) FROM r WHERE category = 'c0'"},
+      {"count_c7", "SELECT count(1) FROM r WHERE category = 'c7'"},
+      {"sum_c0", "SELECT sum(value) FROM r WHERE category = 'c0'"},
+      {"avg_c1", "SELECT avg(value) FROM r WHERE category = 'c1'"},
+      {"avg_all", "SELECT avg(value) FROM r"},
+  };
+  std::ostringstream out;
+  for (const auto& q : queries) {
+    QueryResult r = *ExecuteSql(pt, q[1], query_options);
+    out << q[0] << " " << HexBits(r.estimate) << " " << HexBits(r.ci.lo)
+        << " " << HexBits(r.ci.hi) << "\n";
+  }
+  return out.str();
+}
+
+TEST(GoldenPipelineTest, EstimatesMatchCheckedInGoldenAtEveryThreadCount) {
+  const std::string golden_path =
+      std::string(PCLEAN_TEST_DATA_DIR) + "/golden/e2e_pipeline.golden";
+  std::ifstream f(golden_path, std::ios::binary);
+  ASSERT_TRUE(f) << "missing golden file " << golden_path
+                 << "; expected content is:\n"
+                 << RunPipeline(1);
+  std::ostringstream buffer;
+  buffer << f.rdbuf();
+  const std::string golden = buffer.str();
+
+  for (size_t threads : {1u, 2u, 8u}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    const std::string got = RunPipeline(threads);
+    EXPECT_EQ(got, golden)
+        << "pipeline output diverged from " << golden_path
+        << " — if the change is intentional, regenerate the golden file "
+           "with the printed content";
+  }
+}
+
+}  // namespace
+}  // namespace privateclean

@@ -68,6 +68,22 @@ Result<double> ParseFlagDouble(const ParsedArgs& args,
   return ParseDouble(text);
 }
 
+/// --csv-split MODE: record-splitting strategy for CSV ingest. "auto"
+/// (default) uses the speculative-split parallel parser for large inputs
+/// when --threads > 1, "serial" forces the single-pass parser, and
+/// "speculative" forces the parallel parser; output is identical in
+/// every mode.
+Result<CsvSplitMode> ParseCsvSplitMode(const ParsedArgs& args) {
+  if (!args.Has("csv-split")) return CsvSplitMode::kAuto;
+  PCLEAN_ASSIGN_OR_RETURN(std::string mode, args.One("csv-split"));
+  if (mode == "auto") return CsvSplitMode::kAuto;
+  if (mode == "serial") return CsvSplitMode::kSerial;
+  if (mode == "speculative") return CsvSplitMode::kSpeculative;
+  return Status::InvalidArgument(
+      "--csv-split expects auto, serial, or speculative; got '" + mode +
+      "'");
+}
+
 /// --threads N: scan/randomization parallelism. 1 = single-threaded
 /// (default), 0 = all hardware threads. Output is identical at every
 /// setting; only wall-clock time changes.
@@ -89,7 +105,7 @@ void PrintUsage(std::ostream& out) {
          "\n"
          "  pclean privatize --input data.csv --output release_dir\n"
          "         (--epsilon E | --p P --b B | --count-error TARGET)\n"
-         "         [--seed N] [--threads N]\n"
+         "         [--seed N] [--threads N] [--csv-split MODE]\n"
          "  pclean info --release release_dir\n"
          "  pclean verify release_dir\n"
          "  pclean query --release release_dir --sql \"SELECT ...\"\n"
@@ -103,6 +119,10 @@ void PrintUsage(std::ostream& out) {
          "\n"
          "  --threads N uses N worker threads for randomization and query\n"
          "  scans (0 = all hardware threads); results are independent of N.\n"
+         "  --csv-split MODE picks the ingest record splitter: auto\n"
+         "  (speculative parallel split for large inputs, the default),\n"
+         "  serial, or speculative; parsed records are identical in every\n"
+         "  mode.\n"
          "  --bootstrap R wraps median/percentile/var/std estimates in a\n"
          "  bootstrap confidence interval with R replicates (needs R >= 10;\n"
          "  the replicate loop also threads per --threads). --seed fixes\n"
@@ -120,8 +140,12 @@ Status RunPrivatize(const ParsedArgs& args, std::ostream& out) {
   std::string text = buffer.str();
 
   CsvOptions csv_options;
+  csv_options.error_context = input;
   PCLEAN_ASSIGN_OR_RETURN(csv_options.exec, ParseExecOptions(args));
-  PCLEAN_ASSIGN_OR_RETURN(Schema schema, InferCsvSchema(text));
+  PCLEAN_ASSIGN_OR_RETURN(csv_options.split, ParseCsvSplitMode(args));
+  // Schema inference splits records with the same options, so a forced
+  // speculative mode covers the whole ingest path.
+  PCLEAN_ASSIGN_OR_RETURN(Schema schema, InferCsvSchema(text, csv_options));
   PCLEAN_ASSIGN_OR_RETURN(Table table, CsvToTable(text, schema, csv_options));
 
   uint64_t seed = 0;
