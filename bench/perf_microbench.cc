@@ -8,6 +8,7 @@
 
 #include "bench/harness.h"
 #include "cleaning/merge.h"
+#include "common/arena.h"
 #include "common/edit_distance.h"
 #include "datagen/synthetic.h"
 #include "privacy/laplace_mechanism.h"
@@ -156,6 +157,19 @@ const Table& ScalingTable() {
   return *table;
 }
 
+/// Attach the dictionary/arena accounting that QueryResult::memory
+/// surfaces, so BENCH_*.json records the columnar footprint next to the
+/// wall times.
+void RecordMemoryCounters(benchmark::State& state, const Table& data) {
+  ColumnMemory mem = data.MemoryUsage();
+  state.counters["payload_bytes"] = static_cast<double>(mem.payload_bytes);
+  state.counters["dict_bytes"] = static_cast<double>(mem.dictionary_bytes);
+  state.counters["dict_entries"] =
+      static_cast<double>(mem.dictionary_entries);
+  state.counters["arena_peak_bytes"] =
+      static_cast<double>(ArenaProfiler::Totals().peak_live_bytes);
+}
+
 void BM_GrrParallelScaling(benchmark::State& state) {
   const Table& data = ScalingTable();
   GrrOptions options;
@@ -184,8 +198,39 @@ void BM_ScanParallelScaling(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() *
                           static_cast<int64_t>(data.num_rows()));
+  RecordMemoryCounters(state, data);
 }
 BENCHMARK(BM_ScanParallelScaling)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ProvenanceParallelScaling(benchmark::State& state) {
+  // Both ProvenanceGraph::Build passes (local value-count runs, then
+  // per-dirty totals + pair counts) shard over the 1M-row table; half
+  // the 50-value domain is merged pairwise so the graph has real edges.
+  const Table& data = ScalingTable();
+  static const Table* cleaned = [] {
+    auto* t = new Table(ScalingTable().Clone());
+    std::unordered_map<Value, Value, ValueHash> merges;
+    for (size_t k = 0; k + 1 < 50; k += 2) {
+      merges.emplace(SyntheticCategory(k + 1), SyntheticCategory(k));
+    }
+    (void)FindReplace("category", merges).Apply(t);
+    return t;
+  }();
+  const Column& dirty = *data.ColumnByName("category").ValueOrDie();
+  const Column& clean = *cleaned->ColumnByName("category").ValueOrDie();
+  Domain domain = *Domain::FromColumn(data, "category");
+  ExecutionOptions exec;
+  exec.num_threads = static_cast<size_t>(state.range(0));
+  for (auto _ : state) {
+    auto graph = ProvenanceGraph::Build(dirty, clean, domain, exec);
+    benchmark::DoNotOptimize(graph.ok());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(data.num_rows()));
+  RecordMemoryCounters(state, data);
+}
+BENCHMARK(BM_ProvenanceParallelScaling)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
     ->Unit(benchmark::kMillisecond);
 
 void BM_GroupByParallelScaling(benchmark::State& state) {

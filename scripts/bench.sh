@@ -1,19 +1,24 @@
 #!/usr/bin/env bash
 # Thread-scaling benchmark run:
 #   1. build the release benchmark binary;
-#   2. run the *ParallelScaling microbenchmarks (GRR, CSV parse,
-#      bootstrap replicates, CSV record splitting) at their 1..8-thread
-#      arguments;
+#   2. run the *ParallelScaling microbenchmarks (GRR, scans, provenance
+#      build, CSV parse, bootstrap replicates, CSV record splitting) at
+#      their 1..8-thread arguments;
 #   3. condense the google-benchmark JSON into BENCH_pr3.json (the
-#      original scaling set) and BENCH_pr5.json (the speculative-split
-#      CSV record parser next to the full CSV parse for comparison),
-#      mapping each benchmark to its 1-thread and max-thread wall time
-#      in ms.
+#      original scaling set), BENCH_pr5.json (the speculative-split CSV
+#      record parser next to the full CSV parse), and BENCH_pr6.json
+#      (dictionary-encoded predicate scan + provenance build, with the
+#      dictionary/arena memory counters), mapping each benchmark to its
+#      1-thread and max-thread wall time in ms.
 #
-# On a single-core machine the scaling numbers are flat; the run still
-# verifies that every scaling path executes and stays deterministic.
+# Every output carries a `_host` record (nproc, CPU model) so numbers
+# from different machines are never compared blind, and each benchmark
+# is flagged `flat_scaling` when the max-thread run is within 10% of
+# the 1-thread run — expected on a single-core machine, a red flag on a
+# multi-core one.
 #
 # Usage: scripts/bench.sh [build-dir] [output-json] [split-output-json]
+#                         [dict-output-json]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -21,6 +26,7 @@ cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build}"
 OUT_JSON="${2:-BENCH_pr3.json}"
 SPLIT_JSON="${3:-BENCH_pr5.json}"
+DICT_JSON="${4:-BENCH_pr6.json}"
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 RAW_JSON="${BUILD_DIR}/bench_scaling_raw.json"
 
@@ -35,20 +41,44 @@ echo "== run *ParallelScaling benchmarks =="
   --benchmark_out="${RAW_JSON}" \
   --benchmark_out_format=json
 
-echo "== condense into ${OUT_JSON} + ${SPLIT_JSON} =="
-python3 - "${RAW_JSON}" "${OUT_JSON}" "${SPLIT_JSON}" <<'PY'
+echo "== condense into ${OUT_JSON} + ${SPLIT_JSON} + ${DICT_JSON} =="
+python3 - "${RAW_JSON}" "${OUT_JSON}" "${SPLIT_JSON}" "${DICT_JSON}" <<'PY'
 import json
+import re
 import sys
 
-raw_path, out_path, split_path = sys.argv[1], sys.argv[2], sys.argv[3]
+raw_path, out_path, split_path, dict_path = sys.argv[1:5]
 with open(raw_path) as f:
     raw = json.load(f)
 
 TO_MS = {"ns": 1e-6, "us": 1e-3, "ms": 1.0, "s": 1e3}
 
+def cpu_model():
+    try:
+        with open("/proc/cpuinfo") as f:
+            for line in f:
+                if line.startswith("model name"):
+                    return line.split(":", 1)[1].strip()
+    except OSError:
+        pass
+    return "unknown"
+
+def host_record():
+    ctx = raw.get("context", {})
+    return {
+        "nproc": ctx.get("num_cpus"),
+        "cpu_model": cpu_model(),
+        "cpu_mhz": ctx.get("mhz_per_cpu"),
+        "date": ctx.get("date"),
+    }
+
 # One entry per benchmark family: real time in ms at 1 thread and at the
-# largest thread argument that ran.
+# largest thread argument that ran, plus any user counters (the
+# dictionary/arena accounting) from the 1-thread run.
+COUNTER_KEYS = ("payload_bytes", "dict_bytes", "dict_entries",
+                "arena_peak_bytes")
 runs = {}
+counters = {}
 for b in raw.get("benchmarks", []):
     if b.get("run_type") == "aggregate":
         continue
@@ -57,17 +87,29 @@ for b in raw.get("benchmarks", []):
         continue
     ms = b["real_time"] * TO_MS[b.get("time_unit", "ns")]
     runs.setdefault(name, {})[int(arg)] = ms
+    if int(arg) == 1:
+        found = {k: int(b[k]) for k in COUNTER_KEYS if k in b}
+        if found:
+            counters[name] = found
 
 def condense(names):
-    summary = {}
+    summary = {"_host": host_record()}
     for name in sorted(names):
         by_threads = runs[name]
         max_threads = max(by_threads)
-        summary[name] = {
-            "threads_1_ms": round(by_threads.get(1, float("nan")), 4),
+        t1 = by_threads.get(1, float("nan"))
+        tmax = by_threads[max_threads]
+        entry = {
+            "threads_1_ms": round(t1, 4),
             "threads_max": max_threads,
-            "threads_max_ms": round(by_threads[max_threads], 4),
+            "threads_max_ms": round(tmax, 4),
+            # Within 10% of the 1-thread time at max threads: no real
+            # speedup. Expected when _host.nproc == 1.
+            "flat_scaling": bool(tmax == tmax and tmax > 0.9 * t1),
         }
+        if name in counters:
+            entry["memory"] = counters[name]
+        summary[name] = entry
     return summary
 
 def write(path, summary):
@@ -79,11 +121,17 @@ def write(path, summary):
 
 # BENCH_pr3.json keeps the original scaling set; BENCH_pr5.json holds
 # the speculative-split record parser next to the full CSV parse so the
-# split stage's share of parse time is directly comparable.
+# split stage's share of parse time is directly comparable;
+# BENCH_pr6.json isolates the two paths the dictionary-encoded columnar
+# core targets (predicate scan, provenance build) with their memory
+# counters.
 SPLIT = "BM_CsvSplitParallelScaling"
-write(out_path, condense(n for n in runs if n != SPLIT))
+DICT = ("BM_ScanParallelScaling", "BM_ProvenanceParallelScaling")
+write(out_path, condense(
+    n for n in runs if n != SPLIT and n not in ("BM_ProvenanceParallelScaling",)))
 write(split_path, condense(
     n for n in runs if n == SPLIT or n == "BM_CsvParseParallelScaling"))
+write(dict_path, condense(n for n in runs if n in DICT))
 PY
 
-echo "bench: wrote ${OUT_JSON} and ${SPLIT_JSON}"
+echo "bench: wrote ${OUT_JSON}, ${SPLIT_JSON} and ${DICT_JSON}"

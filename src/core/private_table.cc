@@ -1,12 +1,32 @@
 #include "core/private_table.h"
 
 #include <cmath>
+#include <cstdint>
 #include <string>
 #include <vector>
 
+#include "common/arena.h"
+#include "common/check.h"
 #include "privacy/allocation.h"
 
 namespace privateclean {
+
+namespace {
+
+/// Stamps QueryResult::memory with the scanned relation's footprint and
+/// the process-wide arena totals at result time.
+void StampMemoryStats(const Table& relation, QueryResult* r) {
+  ColumnMemory m = relation.MemoryUsage();
+  r->memory.relation_payload_bytes = m.payload_bytes;
+  r->memory.dictionary_bytes = m.dictionary_bytes;
+  r->memory.dictionary_entries = m.dictionary_entries;
+  ArenaSiteStats totals = ArenaProfiler::Totals();
+  r->memory.arena_live_bytes = totals.live_bytes;
+  r->memory.arena_peak_bytes = totals.peak_live_bytes;
+  r->memory.arena_alloc_calls = totals.alloc_calls;
+}
+
+}  // namespace
 
 Result<PrivateTable> PrivateTable::Create(const Table& original,
                                           const GrrParams& params,
@@ -155,7 +175,9 @@ Result<QueryResult> PrivateTable::Count(const Predicate& predicate,
                           InputsForPredicate(predicate, "", options));
   PCLEAN_ASSIGN_OR_RETURN(QueryScanStats stats,
                           Scan(predicate, "", options.exec));
-  return EstimateCount(stats, in);
+  PCLEAN_ASSIGN_OR_RETURN(QueryResult r, EstimateCount(stats, in));
+  StampMemoryStats(relation_, &r);
+  return r;
 }
 
 Result<QueryResult> PrivateTable::Sum(const std::string& numeric_attribute,
@@ -166,7 +188,9 @@ Result<QueryResult> PrivateTable::Sum(const std::string& numeric_attribute,
       InputsForPredicate(predicate, numeric_attribute, options));
   PCLEAN_ASSIGN_OR_RETURN(QueryScanStats stats,
                           Scan(predicate, numeric_attribute, options.exec));
-  return EstimateSum(stats, in);
+  PCLEAN_ASSIGN_OR_RETURN(QueryResult r, EstimateSum(stats, in));
+  StampMemoryStats(relation_, &r);
+  return r;
 }
 
 Result<QueryResult> PrivateTable::Avg(const std::string& numeric_attribute,
@@ -177,7 +201,9 @@ Result<QueryResult> PrivateTable::Avg(const std::string& numeric_attribute,
       InputsForPredicate(predicate, numeric_attribute, options));
   PCLEAN_ASSIGN_OR_RETURN(QueryScanStats stats,
                           Scan(predicate, numeric_attribute, options.exec));
-  return EstimateAvg(stats, in);
+  PCLEAN_ASSIGN_OR_RETURN(QueryResult r, EstimateAvg(stats, in));
+  StampMemoryStats(relation_, &r);
+  return r;
 }
 
 Result<QueryResult> PrivateTable::CountConjunctive(
@@ -190,7 +216,10 @@ Result<QueryResult> PrivateTable::CountConjunctive(
   PCLEAN_ASSIGN_OR_RETURN(
       ConjunctiveScanStats stats,
       ScanConjunctive(relation_, cond_a, cond_b, options.exec));
-  return EstimateConjunctiveCount(stats, in_a, in_b);
+  PCLEAN_ASSIGN_OR_RETURN(QueryResult r,
+                          EstimateConjunctiveCount(stats, in_a, in_b));
+  StampMemoryStats(relation_, &r);
+  return r;
 }
 
 Result<std::vector<std::pair<Value, QueryResult>>>
@@ -215,15 +244,45 @@ PrivateTable::GroupByCountEstimate(const std::string& attribute,
   const size_t shards = ShardCountForRows(col->size());
   std::vector<std::vector<size_t>> partial_counts(
       shards, std::vector<size_t>(clean_domain.size(), 0));
-  PCLEAN_RETURN_NOT_OK(ParallelFor(
-      col->size(), shards, options.exec,
-      [&](size_t shard, size_t begin, size_t end) -> Status {
-        std::vector<size_t>& counts = partial_counts[shard];
-        for (size_t r = begin; r < end; ++r) {
-          ++counts[clean_domain.IndexOf(col->ValueAt(r)).ValueOrDie()];
-        }
-        return Status::OK();
-      }));
+  if (col->type() == ValueType::kString) {
+    // Dictionary fast path: resolve each distinct value against the
+    // clean domain once, then count codes with vector indexing. Rows can
+    // only carry codes whose value is in the clean domain (it was built
+    // from this column); unused dictionary entries map to a sentinel no
+    // row references.
+    const StringDictionary& dict = col->dictionary();
+    const size_t null_slot = dict.size();
+    std::vector<size_t> slot_index(dict.size() + 1, SIZE_MAX);
+    for (uint32_t c = 0; c < dict.size(); ++c) {
+      auto idx = clean_domain.IndexOf(Value(std::string(dict.At(c))));
+      if (idx.ok()) slot_index[c] = *idx;
+    }
+    if (auto idx = clean_domain.IndexOf(Value::Null()); idx.ok()) {
+      slot_index[null_slot] = *idx;
+    }
+    const uint32_t* codes = col->codes().data();
+    PCLEAN_RETURN_NOT_OK(ParallelFor(
+        col->size(), shards, options.exec,
+        [&](size_t shard, size_t begin, size_t end) -> Status {
+          std::vector<size_t>& counts = partial_counts[shard];
+          for (size_t r = begin; r < end; ++r) {
+            size_t slot = codes[r] == kNullCode ? null_slot : codes[r];
+            PCLEAN_CHECK(slot_index[slot] != SIZE_MAX);
+            ++counts[slot_index[slot]];
+          }
+          return Status::OK();
+        }));
+  } else {
+    PCLEAN_RETURN_NOT_OK(ParallelFor(
+        col->size(), shards, options.exec,
+        [&](size_t shard, size_t begin, size_t end) -> Status {
+          std::vector<size_t>& counts = partial_counts[shard];
+          for (size_t r = begin; r < end; ++r) {
+            ++counts[clean_domain.IndexOf(col->ValueAt(r)).ValueOrDie()];
+          }
+          return Status::OK();
+        }));
+  }
   std::vector<size_t> counts(clean_domain.size(), 0);
   for (const std::vector<size_t>& partial : partial_counts) {
     for (size_t i = 0; i < partial.size(); ++i) counts[i] += partial[i];
@@ -243,6 +302,7 @@ PrivateTable::GroupByCountEstimate(const std::string& attribute,
     stats.total_rows = relation_.num_rows();
     stats.matching_rows = counts[i];
     PCLEAN_ASSIGN_OR_RETURN(QueryResult r, EstimateCount(stats, in));
+    StampMemoryStats(relation_, &r);
     groups.emplace_back(clean_domain.value(i), std::move(r));
   }
   return groups;
@@ -292,6 +352,7 @@ Result<QueryResult> PrivateTable::Execute(const AggregateQuery& query,
     half = (s > 0.0) ? z * std::sqrt(2.0 * b * b / s) : 0.0;
   }
   r.ci = ConfidenceInterval{r.estimate - half, r.estimate + half};
+  StampMemoryStats(relation_, &r);
   return r;
 }
 
@@ -311,6 +372,7 @@ Result<QueryResult> PrivateTable::ExecuteDirect(
     r.nominal = nominal;
     r.ci = ConfidenceInterval{nominal, nominal};
     r.s = relation_.num_rows();
+    StampMemoryStats(relation_, &r);
     return r;
   }
   PCLEAN_ASSIGN_OR_RETURN(
@@ -318,14 +380,19 @@ Result<QueryResult> PrivateTable::ExecuteDirect(
       Scan(*query.predicate,
            query.agg == AggregateType::kCount ? "" : query.numeric_attribute,
            options.exec));
-  switch (query.agg) {
-    case AggregateType::kCount:
-      return DirectCount(stats);
-    case AggregateType::kSum:
-      return DirectSum(stats);
-    default:
-      return DirectAvg(stats);
-  }
+  Result<QueryResult> direct = [&]() -> Result<QueryResult> {
+    switch (query.agg) {
+      case AggregateType::kCount:
+        return DirectCount(stats);
+      case AggregateType::kSum:
+        return DirectSum(stats);
+      default:
+        return DirectAvg(stats);
+    }
+  }();
+  PCLEAN_ASSIGN_OR_RETURN(QueryResult r, std::move(direct));
+  StampMemoryStats(relation_, &r);
+  return r;
 }
 
 namespace {
@@ -463,6 +530,7 @@ Result<QueryResult> PrivateTable::BootstrapExtendedAggregate(
   result.s = rows;
   result.replicates_requested = replicates;
   result.replicates_effective = effective;
+  StampMemoryStats(relation_, &result);
   return result;
 }
 

@@ -5,12 +5,14 @@
 #include <atomic>
 #include <filesystem>
 #include <map>
+#include <tuple>
 #include <utility>
 
 #include "common/failpoint.h"
 #include "common/io_util.h"
 #include "common/string_util.h"
 #include "table/csv.h"
+#include "table/dictionary.h"
 #include "table/table_builder.h"
 
 namespace privateclean {
@@ -75,6 +77,14 @@ std::string DomainFileName(size_t index) {
   return "domain_" + std::to_string(index) + ".csv";
 }
 
+/// Dictionary file for the i-th discrete attribute (same counter as
+/// DomainFileName): the writer's interned string values in code order.
+/// Additive to format v2 — releases written before dictionary files
+/// simply lack the entries, and readers skip the rebind.
+std::string DictFileName(size_t index) {
+  return "dict_" + std::to_string(index) + ".csv";
+}
+
 std::string TypeName(ValueType type) { return ValueTypeToString(type); }
 
 Result<ValueType> TypeFromName(const std::string& name) {
@@ -127,6 +137,22 @@ Result<RenderedFiles> RenderReleaseFiles(
       PCLEAN_ASSIGN_OR_RETURN(Table dt, domain_table.Finish());
       files.emplace_back(DomainFileName(domain_index),
                          TableToCsv(dt, ReleaseCsvOptions()));
+      // Dictionary file: the column's interned values in code order, so
+      // a reader reconstructs the writer's exact code assignment (and
+      // with it, byte-identical downstream query behavior).
+      if (field.type == ValueType::kString) {
+        const StringDictionary& dict = private_relation.column(i).dictionary();
+        PCLEAN_ASSIGN_OR_RETURN(
+            Schema dict_schema,
+            Schema::Make({Field::Discrete(field.name, ValueType::kString)}));
+        TableBuilder dict_table(dict_schema);
+        for (uint32_t code = 0; code < dict.size(); ++code) {
+          dict_table.Row({Value(std::string(dict.At(code)))});
+        }
+        PCLEAN_ASSIGN_OR_RETURN(Table dict_t, dict_table.Finish());
+        files.emplace_back(DictFileName(domain_index),
+                           TableToCsv(dict_t, ReleaseCsvOptions()));
+      }
       ++domain_index;
     } else {
       auto it = metadata.numeric.find(field.name);
@@ -350,11 +376,15 @@ Result<LoadedRelease> ParseReleaseTables(const FileFetcher& fetch,
   std::vector<Field> fields;
   LoadedRelease release;
   size_t domain_index = 0;
+  /// String columns whose dictionary file should be applied after the
+  /// data parse: (column index, attribute name, dict file name).
+  std::vector<std::tuple<size_t, std::string, std::string>> dict_rebinds;
   for (size_t r = 0; r < meta.num_rows(); ++r) {
-    std::string name = meta.column(0).StringAt(r);
-    std::string kind = meta.column(1).StringAt(r);
-    PCLEAN_ASSIGN_OR_RETURN(ValueType type,
-                            TypeFromName(meta.column(2).StringAt(r)));
+    std::string name(meta.column(0).StringAt(r));
+    std::string kind(meta.column(1).StringAt(r));
+    PCLEAN_ASSIGN_OR_RETURN(
+        ValueType type,
+        TypeFromName(std::string(meta.column(2).StringAt(r))));
     if (meta.column(3).IsNull(r)) {
       return Status::IOError("attribute '" + name +
                              "' missing its mechanism parameter");
@@ -362,6 +392,10 @@ Result<LoadedRelease> ParseReleaseTables(const FileFetcher& fetch,
     double param = meta.column(3).DoubleAt(r);
     if (kind == "discrete") {
       fields.push_back(Field{name, type, AttributeKind::kDiscrete});
+      if (type == ValueType::kString) {
+        dict_rebinds.emplace_back(fields.size() - 1, name,
+                                  DictFileName(domain_index));
+      }
       PCLEAN_ASSIGN_OR_RETURN(
           Schema domain_schema,
           Schema::Make({Field::Discrete(name, type)}));
@@ -410,6 +444,43 @@ Result<LoadedRelease> ParseReleaseTables(const FileFetcher& fetch,
       release.relation,
       CsvToTable(data_text, schema,
                  ReleaseReadOptions(ReleaseCsvOptions(exec), dir, kDataFile)));
+  // Restore each string column's dictionary code order from its dict
+  // file. Absent files (a v1 release, or a v2 release written before
+  // dictionary files existed) leave the parse-order dictionary in
+  // place; a present-but-inconsistent file is DataLoss.
+  for (const auto& [col_idx, attr_name, dict_file] : dict_rebinds) {
+    auto dict_text = fetch(dict_file);
+    if (!dict_text.ok()) {
+      if (dict_text.status().IsNotFound() || dict_text.status().IsDataLoss()) {
+        continue;  // Not part of this release.
+      }
+      return dict_text.status();
+    }
+    PCLEAN_ASSIGN_OR_RETURN(
+        Schema dict_schema,
+        Schema::Make({Field::Discrete(attr_name, ValueType::kString)}));
+    PCLEAN_ASSIGN_OR_RETURN(
+        Table dict_table,
+        CsvToTable(dict_text.ValueOrDie(), dict_schema,
+                   ReleaseReadOptions(ReleaseCsvOptions(exec), dir,
+                                      dict_file)));
+    std::vector<std::string_view> entries;
+    entries.reserve(dict_table.num_rows());
+    for (size_t i = 0; i < dict_table.num_rows(); ++i) {
+      if (dict_table.column(0).IsNull(i)) {
+        return Status::DataLoss("'" + dir + "/" + dict_file +
+                                "' row " + std::to_string(i) +
+                                ": dictionary entries cannot be NULL");
+      }
+      entries.push_back(dict_table.column(0).StringAt(i));
+    }
+    Status rebind =
+        release.relation.mutable_column(col_idx)->RebindDictionary(entries);
+    if (!rebind.ok()) {
+      return Status::DataLoss("'" + dir + "/" + dict_file + "': " +
+                              rebind.message());
+    }
+  }
   release.metadata.dataset_size = release.relation.num_rows();
   return release;
 }

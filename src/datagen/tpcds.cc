@@ -58,7 +58,9 @@ Status CorruptStates(Table* table, size_t num_corruptions, Rng& rng) {
   const auto& states = StateNames();
   for (size_t i = 0; i < num_corruptions; ++i) {
     size_t row = static_cast<size_t>(rng.UniformInt(col->size()));
-    const std::string& current = col->StringAt(row);
+    // Copy: StringAt views dictionary bytes, and SetValue below may
+    // intern (the view would still be stable, but don't rely on it).
+    const std::string current(col->StringAt(row));
     // Pick a different state.
     for (int attempt = 0; attempt < 16; ++attempt) {
       const std::string& replacement =
@@ -80,7 +82,7 @@ Status CorruptCountries(Table* table, size_t num_corruptions, Rng& rng) {
                           table->MutableColumnByName("ca_country"));
   for (size_t i = 0; i < num_corruptions; ++i) {
     size_t row = static_cast<size_t>(rng.UniformInt(col->size()));
-    std::string corrupted = col->StringAt(row);
+    std::string corrupted(col->StringAt(row));
     corrupted.push_back(
         static_cast<char>('a' + rng.UniformInt(26)));  // 1-char append.
     PCLEAN_RETURN_NOT_OK(col->SetValue(row, Value(corrupted)));

@@ -23,6 +23,33 @@ std::vector<uint32_t> DomainIndices(const Column& column, const Domain& domain,
   std::vector<uint32_t> indices(column.size(), kNoDomainIndex);
   // Read-only on the column and domain, so sharding is safe; the result
   // does not depend on the shard layout.
+  if (column.type() == ValueType::kString) {
+    // Dictionary fast path: resolve each *distinct* value against the
+    // domain once (O(distinct) hash lookups), then the per-row pass is a
+    // pair of array reads. Null rows resolve through the null member's
+    // domain index, exactly as IndexOf(Value::Null()) would.
+    const StringDictionary& dict = column.dictionary();
+    std::vector<uint32_t> code_to_index(dict.size(), kNoDomainIndex);
+    for (uint32_t c = 0; c < dict.size(); ++c) {
+      auto idx = domain.IndexOf(Value(std::string(dict.At(c))));
+      if (idx.ok()) code_to_index[c] = static_cast<uint32_t>(*idx);
+    }
+    uint32_t null_index = kNoDomainIndex;
+    if (auto idx = domain.IndexOf(Value::Null()); idx.ok()) {
+      null_index = static_cast<uint32_t>(*idx);
+    }
+    const uint32_t* codes = column.codes().data();
+    (void)ParallelFor(
+        column.size(), ShardCountForRows(column.size()), exec,
+        [&](size_t, size_t begin, size_t end) -> Status {
+          for (size_t r = begin; r < end; ++r) {
+            indices[r] = codes[r] == kNullCode ? null_index
+                                               : code_to_index[codes[r]];
+          }
+          return Status::OK();
+        });
+    return indices;
+  }
   (void)ParallelFor(
       column.size(), ShardCountForRows(column.size()), exec,
       [&](size_t, size_t begin, size_t end) -> Status {
@@ -57,6 +84,11 @@ Status RandomizeDiscreteColumn(Column* col, const Column& original,
     coverage.resize(shards);
   }
 
+  // Single-writer dictionary step before the parallel section: intern
+  // every string domain value so the sharded kernels write plain codes.
+  PCLEAN_ASSIGN_OR_RETURN(std::vector<uint32_t> domain_codes,
+                          PrepareDomainCodes(col, domain));
+
   size_t attempts = 0;
   for (;;) {
     std::vector<Rng> shard_rngs = rng.ForkStreams(shards);
@@ -72,9 +104,10 @@ Status RandomizeDiscreteColumn(Column* col, const Column& original,
             shard_coverage = coverage[shard].data();
             indices = original_indices.data();
           }
-          return ApplyRandomizedResponseShard(col, domain, p,
-                                              shard_rngs[shard], begin, end,
-                                              indices, shard_coverage);
+          return ApplyRandomizedResponseShard(
+              col, domain, p, shard_rngs[shard], begin, end, indices,
+              shard_coverage,
+              domain_codes.empty() ? nullptr : domain_codes.data());
         }));
     col->RecomputeNullCount();
     if (!track_coverage) return Status::OK();
@@ -100,8 +133,11 @@ Status RandomizeDiscreteColumn(Column* col, const Column& original,
           " regenerations; dataset likely violates the Theorem 2 size "
           "bound");
     }
-    // Restore the original values and retry with fresh randomness.
+    // Restore the original values and retry with fresh randomness. The
+    // restore also restores the original's dictionary, so the domain
+    // codes must be re-prepared against it before the next attempt.
     *col = original;
+    PCLEAN_ASSIGN_OR_RETURN(domain_codes, PrepareDomainCodes(col, domain));
   }
 }
 

@@ -7,17 +7,41 @@ Status ApplyRandomizedResponse(Column* column, const Domain& domain,
   if (column == nullptr) {
     return Status::InvalidArgument("column must not be null");
   }
+  PCLEAN_ASSIGN_OR_RETURN(std::vector<uint32_t> domain_codes,
+                          PrepareDomainCodes(column, domain));
   PCLEAN_RETURN_NOT_OK(ApplyRandomizedResponseShard(
-      column, domain, p, rng, 0, column->size(), nullptr, nullptr));
+      column, domain, p, rng, 0, column->size(), nullptr, nullptr,
+      domain_codes.empty() ? nullptr : domain_codes.data()));
   column->RecomputeNullCount();
   return Status::OK();
+}
+
+Result<std::vector<uint32_t>> PrepareDomainCodes(Column* column,
+                                                 const Domain& domain) {
+  if (column == nullptr) {
+    return Status::InvalidArgument("column must not be null");
+  }
+  if (column->type() != ValueType::kString) return std::vector<uint32_t>{};
+  std::vector<uint32_t> codes(domain.size(), kNullCode);
+  for (size_t j = 0; j < domain.size(); ++j) {
+    const Value& v = domain.value(j);
+    if (v.is_null()) continue;  // Stays kNullCode: the null member.
+    if (v.type() != ValueType::kString) {
+      return Status::InvalidArgument(
+          std::string("cannot set ") + ValueTypeToString(v.type()) +
+          " value in string column");
+    }
+    codes[j] = column->InternString(v.AsString());
+  }
+  return codes;
 }
 
 Status ApplyRandomizedResponseShard(Column* column, const Domain& domain,
                                     double p, Rng& rng, size_t begin,
                                     size_t end,
                                     const uint32_t* original_indices,
-                                    uint8_t* coverage) {
+                                    uint8_t* coverage,
+                                    const uint32_t* domain_codes) {
   if (column == nullptr) {
     return Status::InvalidArgument("column must not be null");
   }
@@ -37,9 +61,36 @@ Status ApplyRandomizedResponseShard(Column* column, const Domain& domain,
     return Status::InvalidArgument(
         "coverage tracking requires the original domain indices");
   }
+  if (column->type() == ValueType::kString && domain_codes == nullptr) {
+    return Status::InvalidArgument(
+        "string columns require the PrepareDomainCodes table");
+  }
 
   uint8_t* valid = column->mutable_validity()->data();
   const size_t n = domain.size();
+
+  if (column->type() == ValueType::kString) {
+    // Dictionary fast path: a replacement is one table lookup and one
+    // aligned 4-byte store. The draw sequence (one Bernoulli, then one
+    // uniform draw only on replacement) is shared with the boxed path
+    // below, so both produce bit-identical columns from the same stream.
+    uint32_t* codes = column->mutable_codes()->data();
+    for (size_t r = begin; r < end; ++r) {
+      if (p == 0.0 || !rng.Bernoulli(p)) {
+        if (coverage != nullptr && original_indices[r] != UINT32_MAX) {
+          coverage[original_indices[r]] = 1;
+        }
+        continue;
+      }
+      size_t j = static_cast<size_t>(rng.UniformInt(n));
+      uint32_t code = domain_codes[j];
+      codes[r] = code;
+      valid[r] = (code == kNullCode) ? 0 : 1;
+      if (coverage != nullptr) coverage[j] = 1;
+    }
+    return Status::OK();
+  }
+
   for (size_t r = begin; r < end; ++r) {
     if (p == 0.0 || !rng.Bernoulli(p)) {
       // UINT32_MAX flags a row whose original value is outside the
@@ -60,11 +111,8 @@ Status ApplyRandomizedResponseShard(Column* column, const Domain& domain,
         case ValueType::kDouble:
           (*column->mutable_doubles())[r] = 0.0;
           break;
-        case ValueType::kString:
-          (*column->mutable_strings())[r].clear();
-          break;
-        case ValueType::kNull:
-          return Status::Internal("column with null type");
+        default:
+          return Status::Internal("unexpected column type");
       }
       valid[r] = 0;
     } else {
@@ -80,11 +128,8 @@ Status ApplyRandomizedResponseShard(Column* column, const Domain& domain,
         case ValueType::kDouble:
           (*column->mutable_doubles())[r] = v.AsDouble();
           break;
-        case ValueType::kString:
-          (*column->mutable_strings())[r] = v.AsString();
-          break;
-        case ValueType::kNull:
-          return Status::Internal("column with null type");
+        default:
+          return Status::Internal("unexpected column type");
       }
       valid[r] = 1;
     }

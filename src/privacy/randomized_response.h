@@ -1,6 +1,8 @@
 #ifndef PRIVATECLEAN_PRIVACY_RANDOMIZED_RESPONSE_H_
 #define PRIVATECLEAN_PRIVACY_RANDOMIZED_RESPONSE_H_
 
+#include <vector>
+
 #include "common/random.h"
 #include "common/result.h"
 #include "table/column.h"
@@ -23,12 +25,30 @@ namespace privateclean {
 Status ApplyRandomizedResponse(Column* column, const Domain& domain,
                                double p, Rng& rng);
 
+/// Pre-interns every string domain value into the dictionary of a string
+/// `column` and returns the domain-index -> dictionary-code table (the
+/// null domain member maps to kNullCode). This is the single-writer step
+/// that must run *before* sharded randomization: with the table in hand,
+/// the parallel kernels replace a row with one Bernoulli draw, one
+/// uniform integer draw, and a plain `uint32_t` store — no string copies
+/// and no dictionary mutation. Rejects non-string domain members with
+/// InvalidArgument (they could never be stored in the column).
+///
+/// For non-string columns returns an empty table; the kernels then write
+/// through the typed numeric storage as before.
+Result<std::vector<uint32_t>> PrepareDomainCodes(Column* column,
+                                                 const Domain& domain);
+
 /// Row-range kernel of randomized response, for sharded execution
 /// (common/thread_pool.h): randomizes rows [begin, end) of `column`
 /// drawing from `rng`. Kernels over disjoint ranges may run concurrently
 /// on one column — writes go through the raw typed storage and skip the
 /// shared null bookkeeping, so the caller must invoke
 /// `column->RecomputeNullCount()` after all shards finish.
+///
+/// `domain_codes` must be the table returned by PrepareDomainCodes for
+/// this (column, domain) pair; it is required for string columns (the
+/// kernel writes codes, never strings) and ignored for numeric ones.
 ///
 /// If `coverage` is non-null it must point at `domain.size()` flags; the
 /// kernel sets the flag of every domain value that appears in the range
@@ -43,7 +63,8 @@ Status ApplyRandomizedResponseShard(Column* column, const Domain& domain,
                                     double p, Rng& rng, size_t begin,
                                     size_t end,
                                     const uint32_t* original_indices,
-                                    uint8_t* coverage);
+                                    uint8_t* coverage,
+                                    const uint32_t* domain_codes = nullptr);
 
 /// Transition probabilities of randomized response for a predicate that
 /// selects l of the N distinct values (paper §5.3). These are the

@@ -35,6 +35,39 @@ struct EdgeCountPartial {
   std::unordered_map<uint64_t, size_t> pair_counts;
 };
 
+/// Code-indexed variant of CleanDomainPartial for dictionary-encoded
+/// columns: per-slot counts with vector indexing (slot = dictionary
+/// code, with one extra slot for null), no per-row hashing. `order`
+/// preserves the shard's first-appearance sequence so the shard-order
+/// merge reproduces the global first-appearance order exactly.
+struct CodeDomainPartial {
+  std::vector<size_t> counts;
+  std::vector<size_t> order;
+
+  void Add(size_t slot) {
+    if (counts[slot]++ == 0) order.push_back(slot);
+  }
+};
+
+/// Domain index of every dictionary slot of `column` (slot dict.size() =
+/// null), resolved once per distinct value; kMissing for values outside
+/// `domain`.
+constexpr uint32_t kMissingIndex = UINT32_MAX;
+
+std::vector<uint32_t> SlotDomainIndices(const Column& column,
+                                        const Domain& domain) {
+  const StringDictionary& dict = column.dictionary();
+  std::vector<uint32_t> slot_to_index(dict.size() + 1, kMissingIndex);
+  for (uint32_t c = 0; c < dict.size(); ++c) {
+    auto idx = domain.IndexOf(Value(std::string(dict.At(c))));
+    if (idx.ok()) slot_to_index[c] = static_cast<uint32_t>(*idx);
+  }
+  if (auto idx = domain.IndexOf(Value::Null()); idx.ok()) {
+    slot_to_index[dict.size()] = static_cast<uint32_t>(*idx);
+  }
+  return slot_to_index;
+}
+
 }  // namespace
 
 Result<ProvenanceGraph> ProvenanceGraph::Build(const Column& dirty_snapshot,
@@ -58,21 +91,55 @@ Result<ProvenanceGraph> ProvenanceGraph::Build(const Column& dirty_snapshot,
 
   const size_t rows = clean_current.size();
   const size_t shards = ShardCountForRows(rows);
+  const bool dictionary_encoded =
+      dirty_snapshot.type() == ValueType::kString &&
+      clean_current.type() == ValueType::kString;
 
   // Pass 1: the clean domain, in first-appearance order. Shards collect
   // local (value, count) runs; the sequential shard-order merge rebuilds
-  // the global first-appearance order and frequencies.
-  std::vector<CleanDomainPartial> domain_partials(shards);
-  PCLEAN_RETURN_NOT_OK(ParallelFor(
-      rows, shards, exec,
-      [&](size_t shard, size_t begin, size_t end) -> Status {
-        CleanDomainPartial& part = domain_partials[shard];
-        for (size_t r = begin; r < end; ++r) {
-          part.Add(clean_current.ValueAt(r));
-        }
-        return Status::OK();
-      }));
-  {
+  // the global first-appearance order and frequencies. Dictionary-encoded
+  // columns tally per-code with vector indexing instead of hashing boxed
+  // values; both produce identical domains.
+  if (dictionary_encoded) {
+    const StringDictionary& clean_dict = clean_current.dictionary();
+    const uint32_t* clean_codes = clean_current.codes().data();
+    const size_t null_slot = clean_dict.size();
+    std::vector<CodeDomainPartial> domain_partials(shards);
+    PCLEAN_RETURN_NOT_OK(ParallelFor(
+        rows, shards, exec,
+        [&](size_t shard, size_t begin, size_t end) -> Status {
+          CodeDomainPartial& part = domain_partials[shard];
+          part.counts.assign(null_slot + 1, 0);
+          for (size_t r = begin; r < end; ++r) {
+            part.Add(clean_codes[r] == kNullCode ? null_slot
+                                                 : clean_codes[r]);
+          }
+          return Status::OK();
+        }));
+    std::vector<Value> merged_values;
+    std::vector<size_t> merged_counts;
+    for (const CodeDomainPartial& part : domain_partials) {
+      for (size_t slot : part.order) {
+        merged_values.push_back(
+            slot == null_slot ? Value::Null()
+                              : Value(std::string(clean_dict.At(
+                                    static_cast<uint32_t>(slot)))));
+        merged_counts.push_back(part.counts[slot]);
+      }
+    }
+    graph.clean_domain_ =
+        Domain::FromValueCounts(merged_values, merged_counts);
+  } else {
+    std::vector<CleanDomainPartial> domain_partials(shards);
+    PCLEAN_RETURN_NOT_OK(ParallelFor(
+        rows, shards, exec,
+        [&](size_t shard, size_t begin, size_t end) -> Status {
+          CleanDomainPartial& part = domain_partials[shard];
+          for (size_t r = begin; r < end; ++r) {
+            part.Add(clean_current.ValueAt(r));
+          }
+          return Status::OK();
+        }));
     std::vector<Value> merged_values;
     std::vector<size_t> merged_counts;
     for (const CleanDomainPartial& part : domain_partials) {
@@ -86,30 +153,69 @@ Result<ProvenanceGraph> ProvenanceGraph::Build(const Column& dirty_snapshot,
   }
 
   // Pass 2: per (dirty, clean) row counts and per-dirty totals, sharded
-  // with integer partials summed in shard index order.
+  // with integer partials summed in shard index order. For dictionary
+  // columns the domain memberships are resolved once per distinct value
+  // (SlotDomainIndices), making the row loop two array reads per side.
   size_t n_dirty = dirty_domain.size();
   size_t n_clean = graph.clean_domain_.size();
   std::vector<EdgeCountPartial> edge_partials(shards);
-  PCLEAN_RETURN_NOT_OK(ParallelFor(
-      rows, shards, exec,
-      [&](size_t shard, size_t begin, size_t end) -> Status {
-        EdgeCountPartial& part = edge_partials[shard];
-        part.dirty_totals.assign(n_dirty, 0);
-        for (size_t r = begin; r < end; ++r) {
-          auto d_idx = dirty_domain.IndexOf(dirty_snapshot.ValueAt(r));
-          if (!d_idx.ok()) {
-            return Status::InvalidArgument(
-                "snapshot value '" + dirty_snapshot.ValueAt(r).ToString() +
-                "' at row " + std::to_string(r) +
-                " is not in the dirty domain");
+  if (dictionary_encoded) {
+    const std::vector<uint32_t> dirty_slot_index =
+        SlotDomainIndices(dirty_snapshot, dirty_domain);
+    const std::vector<uint32_t> clean_slot_index =
+        SlotDomainIndices(clean_current, graph.clean_domain_);
+    const uint32_t* dirty_codes = dirty_snapshot.codes().data();
+    const uint32_t* clean_codes = clean_current.codes().data();
+    const size_t dirty_null_slot = dirty_snapshot.dictionary().size();
+    const size_t clean_null_slot = clean_current.dictionary().size();
+    PCLEAN_RETURN_NOT_OK(ParallelFor(
+        rows, shards, exec,
+        [&](size_t shard, size_t begin, size_t end) -> Status {
+          EdgeCountPartial& part = edge_partials[shard];
+          part.dirty_totals.assign(n_dirty, 0);
+          for (size_t r = begin; r < end; ++r) {
+            size_t d_slot = dirty_codes[r] == kNullCode ? dirty_null_slot
+                                                        : dirty_codes[r];
+            uint32_t d_idx = dirty_slot_index[d_slot];
+            if (d_idx == kMissingIndex) {
+              return Status::InvalidArgument(
+                  "snapshot value '" +
+                  dirty_snapshot.ValueAt(r).ToString() + "' at row " +
+                  std::to_string(r) + " is not in the dirty domain");
+            }
+            size_t c_slot = clean_codes[r] == kNullCode ? clean_null_slot
+                                                        : clean_codes[r];
+            // Always present: the clean domain was built from this
+            // column in pass 1.
+            uint32_t c_idx = clean_slot_index[c_slot];
+            ++part.dirty_totals[d_idx];
+            ++part.pair_counts[static_cast<uint64_t>(d_idx) * n_clean +
+                               c_idx];
           }
-          size_t c_idx = graph.clean_domain_.IndexOf(clean_current.ValueAt(r))
-                             .ValueOrDie();
-          ++part.dirty_totals[*d_idx];
-          ++part.pair_counts[static_cast<uint64_t>(*d_idx) * n_clean + c_idx];
-        }
-        return Status::OK();
-      }));
+          return Status::OK();
+        }));
+  } else {
+    PCLEAN_RETURN_NOT_OK(ParallelFor(
+        rows, shards, exec,
+        [&](size_t shard, size_t begin, size_t end) -> Status {
+          EdgeCountPartial& part = edge_partials[shard];
+          part.dirty_totals.assign(n_dirty, 0);
+          for (size_t r = begin; r < end; ++r) {
+            auto d_idx = dirty_domain.IndexOf(dirty_snapshot.ValueAt(r));
+            if (!d_idx.ok()) {
+              return Status::InvalidArgument(
+                  "snapshot value '" + dirty_snapshot.ValueAt(r).ToString() +
+                  "' at row " + std::to_string(r) +
+                  " is not in the dirty domain");
+            }
+            size_t c_idx = graph.clean_domain_.IndexOf(clean_current.ValueAt(r))
+                               .ValueOrDie();
+            ++part.dirty_totals[*d_idx];
+            ++part.pair_counts[static_cast<uint64_t>(*d_idx) * n_clean + c_idx];
+          }
+          return Status::OK();
+        }));
+  }
 
   std::vector<size_t> dirty_totals(n_dirty, 0);
   // (dirty, clean) pair -> row count, in deterministic key order for

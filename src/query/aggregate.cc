@@ -63,6 +63,7 @@ namespace {
 /// results depend only on the shard layout, never the thread count.
 struct AggregatePartial {
   size_t count = 0;             ///< Matching rows (count) / non-null (avg).
+  size_t masked = 0;            ///< Matching rows including NULLs.
   double sum = 0.0;             ///< Sum of matching non-null values.
   RunningMoments moments;       ///< For var/std.
   std::vector<double> values;   ///< For median/percentile (in row order).
@@ -113,7 +114,9 @@ Result<double> ExecuteAggregate(const Table& table,
       [&](size_t shard, size_t begin, size_t end) -> Status {
         AggregatePartial& part = partials[shard];
         for (size_t r = begin; r < end; ++r) {
-          if (!mask[r] || col->IsNull(r)) continue;
+          if (!mask[r]) continue;
+          part.masked++;
+          if (col->IsNull(r)) continue;
           double x = col->NumericAt(r);
           part.sum += x;
           ++part.count;
@@ -126,6 +129,7 @@ Result<double> ExecuteAggregate(const Table& table,
   AggregatePartial merged;
   for (AggregatePartial& part : partials) {
     merged.count += part.count;
+    merged.masked += part.masked;
     merged.sum += part.sum;
     if (needs_moments) merged.moments.Merge(part.moments);
     if (needs_values) {
@@ -138,6 +142,14 @@ Result<double> ExecuteAggregate(const Table& table,
 
   switch (query.agg) {
     case AggregateType::kSum:
+      // An empty selection sums to 0 (conventional); a selection where
+      // every value is NULL does not — that 0 would be silently biased.
+      if (merged.masked > 0 && merged.count == 0) {
+        return Status::FailedPrecondition(
+            "sum over '" + query.numeric_attribute + "' matched " +
+            std::to_string(merged.masked) +
+            " rows but every value is NULL");
+      }
       return merged.sum;
     case AggregateType::kAvg: {
       if (merged.count == 0) {

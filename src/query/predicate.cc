@@ -50,6 +50,30 @@ Result<std::vector<uint8_t>> Predicate::Evaluate(
     const Table& table, const ExecutionOptions& exec) const {
   PCLEAN_ASSIGN_OR_RETURN(const Column* col, table.ColumnByName(attribute_));
   std::vector<uint8_t> mask(col->size());
+  if (col->type() == ValueType::kString) {
+    // Dictionary fast path: the predicate is value-deterministic, so it
+    // is evaluated once per *distinct* value (O(distinct) boxed calls)
+    // into a code-indexed match table; the sharded row pass is then a
+    // pure integer gather. The slot past the dictionary is null.
+    const StringDictionary& dict = col->dictionary();
+    std::vector<uint8_t> match(dict.size() + 1, 0);
+    for (uint32_t c = 0; c < dict.size(); ++c) {
+      match[c] = Matches(Value(std::string(dict.At(c)))) ? 1 : 0;
+    }
+    match[dict.size()] = Matches(Value::Null()) ? 1 : 0;
+    const uint32_t* codes = col->codes().data();
+    const size_t null_slot = dict.size();
+    PCLEAN_RETURN_NOT_OK(ParallelFor(
+        col->size(), ShardCountForRows(col->size()), exec,
+        [&](size_t, size_t begin, size_t end) -> Status {
+          for (size_t r = begin; r < end; ++r) {
+            mask[r] =
+                match[codes[r] == kNullCode ? null_slot : codes[r]];
+          }
+          return Status::OK();
+        }));
+    return mask;
+  }
   PCLEAN_RETURN_NOT_OK(ParallelFor(
       col->size(), ShardCountForRows(col->size()), exec,
       [&](size_t, size_t begin, size_t end) -> Status {

@@ -128,7 +128,15 @@ class Lexer {
   Token LexNumber(size_t* i) {
     size_t start = *i;
     bool is_float = false;
-    if (input_[*i] == '-' || input_[*i] == '+') ++*i;
+    // A leading '+' is accepted by the grammar but dropped from the
+    // token text: the numeric parsers (std::from_chars) reject it, and
+    // `+5` must mean the same literal as `5`.
+    if (input_[*i] == '+') {
+      ++*i;
+      start = *i;
+    } else if (input_[*i] == '-') {
+      ++*i;
+    }
     while (*i < input_.size()) {
       char c = input_[*i];
       if (std::isdigit(static_cast<unsigned char>(c))) {
@@ -208,6 +216,14 @@ class Parser {
                                    msg);
   }
 
+  /// Positioned error for a numeric token the lexer accepted but the
+  /// numeric grammar rejects (e.g. '1.2.3', '1e', an out-of-range int).
+  Status NumberErr(const Token& num) const {
+    return Status::InvalidArgument(
+        "SQL error at position " + std::to_string(num.position) +
+        ": malformed numeric literal '" + num.text + "'");
+  }
+
   bool TryKeyword(const std::string& upper) {
     if (Peek().kind == TokenKind::kIdentifier &&
         ToLowerAscii(Peek().text) == ToLowerAscii(upper)) {
@@ -280,8 +296,10 @@ class Parser {
           return Err("PERCENTILE expects a numeric rank, e.g. "
                      "percentile(score, 90)");
         }
-        PCLEAN_ASSIGN_OR_RETURN(query->percentile,
-                                ParseDouble(Advance().text));
+        const Token& rank = Advance();
+        auto parsed_rank = ParseDouble(rank.text);
+        if (!parsed_rank.ok()) return NumberErr(rank);
+        query->percentile = parsed_rank.ValueOrDie();
         if (query->percentile < 0.0 || query->percentile > 100.0) {
           return Err("percentile rank must be in [0, 100]");
         }
@@ -300,11 +318,13 @@ class Parser {
       case TokenKind::kNumber: {
         Token num = Advance();
         if (num.is_float) {
-          PCLEAN_ASSIGN_OR_RETURN(double v, ParseDouble(num.text));
-          return Value(v);
+          auto v = ParseDouble(num.text);
+          if (!v.ok()) return NumberErr(num);
+          return Value(v.ValueOrDie());
         }
-        PCLEAN_ASSIGN_OR_RETURN(int64_t v, ParseInt64(num.text));
-        return Value(v);
+        auto v = ParseInt64(num.text);
+        if (!v.ok()) return NumberErr(num);
+        return Value(v.ValueOrDie());
       }
       case TokenKind::kIdentifier:
         if (ToLowerAscii(t.text) == "null") {

@@ -20,7 +20,7 @@ void Column::AppendNull() {
       doubles_.push_back(0.0);
       break;
     case ValueType::kString:
-      strings_.emplace_back();
+      codes_.push_back(kNullCode);
       break;
     case ValueType::kNull:
       PCLEAN_CHECK(false);
@@ -41,9 +41,9 @@ void Column::AppendDouble(double v) {
   valid_.push_back(1);
 }
 
-void Column::AppendString(std::string v) {
+void Column::AppendString(std::string_view v) {
   PCLEAN_CHECK(type_ == ValueType::kString);
-  strings_.push_back(std::move(v));
+  codes_.push_back(dict_.Intern(v));
   valid_.push_back(1);
 }
 
@@ -94,7 +94,7 @@ Value Column::ValueAt(size_t row) const {
     case ValueType::kDouble:
       return Value(doubles_[row]);
     case ValueType::kString:
-      return Value(strings_[row]);
+      return Value(std::string(dict_.At(codes_[row])));
     case ValueType::kNull:
       break;
   }
@@ -118,7 +118,7 @@ Status Column::SetValue(size_t row, const Value& v) {
         doubles_[row] = 0.0;
         break;
       case ValueType::kString:
-        strings_[row].clear();
+        codes_[row] = kNullCode;
         break;
       case ValueType::kNull:
         PCLEAN_CHECK(false);
@@ -140,7 +140,7 @@ Status Column::SetValue(size_t row, const Value& v) {
       doubles_[row] = v.AsDouble();
       break;
     case ValueType::kString:
-      strings_[row] = v.AsString();
+      codes_[row] = dict_.Intern(v.AsString());
       break;
     case ValueType::kNull:
       PCLEAN_CHECK(false);
@@ -148,6 +148,72 @@ Status Column::SetValue(size_t row, const Value& v) {
   valid_[row] = 1;
   if (was_null) --null_count_;
   return Status::OK();
+}
+
+uint32_t Column::InternString(std::string_view v) {
+  PCLEAN_CHECK(type_ == ValueType::kString);
+  return dict_.Intern(v);
+}
+
+Status Column::RebindDictionary(
+    const std::vector<std::string_view>& entries) {
+  if (type_ != ValueType::kString) {
+    return Status::InvalidArgument(
+        "RebindDictionary requires a string column");
+  }
+  StringDictionary next;
+  for (std::string_view e : entries) {
+    uint32_t before = static_cast<uint32_t>(next.size());
+    if (next.Intern(e) != before) {
+      return Status::InvalidArgument(
+          "dictionary entries contain duplicate value '" + std::string(e) +
+          "'");
+    }
+  }
+  // Old code -> new code. Every string in use must survive the rebind.
+  std::vector<uint32_t> remap(dict_.size(), kNullCode);
+  for (uint32_t old = 0; old < dict_.size(); ++old) {
+    remap[old] = next.Find(dict_.At(old));
+  }
+  for (size_t r = 0; r < codes_.size(); ++r) {
+    if (codes_[r] == kNullCode) continue;
+    uint32_t mapped = remap[codes_[r]];
+    if (mapped == kNullCode) {
+      return Status::InvalidArgument(
+          "column value '" + std::string(dict_.At(codes_[r])) +
+          "' missing from replacement dictionary");
+    }
+    codes_[r] = mapped;
+  }
+  dict_ = std::move(next);
+  return Status::OK();
+}
+
+Column Column::SelectRows(const std::vector<size_t>& rows) const {
+  Column out(type_);
+  out.valid_.reserve(rows.size());
+  switch (type_) {
+    case ValueType::kInt64:
+      out.ints_.reserve(rows.size());
+      for (size_t r : rows) out.ints_.push_back(ints_[r]);
+      break;
+    case ValueType::kDouble:
+      out.doubles_.reserve(rows.size());
+      for (size_t r : rows) out.doubles_.push_back(doubles_[r]);
+      break;
+    case ValueType::kString:
+      out.dict_ = dict_;
+      out.codes_.reserve(rows.size());
+      for (size_t r : rows) out.codes_.push_back(codes_[r]);
+      break;
+    case ValueType::kNull:
+      PCLEAN_CHECK(false);
+  }
+  for (size_t r : rows) {
+    out.valid_.push_back(valid_[r]);
+    if (valid_[r] == 0) ++out.null_count_;
+  }
+  return out;
 }
 
 void Column::RecomputeNullCount() {
@@ -166,11 +232,22 @@ void Column::Reserve(size_t n) {
       doubles_.reserve(n);
       break;
     case ValueType::kString:
-      strings_.reserve(n);
+      codes_.reserve(n);
       break;
     case ValueType::kNull:
       break;
   }
+}
+
+ColumnMemory Column::MemoryUsage() const {
+  ColumnMemory m;
+  m.payload_bytes = ints_.capacity() * sizeof(int64_t) +
+                    doubles_.capacity() * sizeof(double) +
+                    codes_.capacity() * sizeof(uint32_t) +
+                    valid_.capacity() * sizeof(uint8_t);
+  m.dictionary_bytes = dict_.arena_bytes();
+  m.dictionary_entries = dict_.size();
+  return m;
 }
 
 }  // namespace privateclean

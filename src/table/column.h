@@ -3,19 +3,35 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/result.h"
+#include "table/dictionary.h"
 #include "table/value.h"
 
 namespace privateclean {
 
+/// Memory footprint of one column, split by storage class so callers can
+/// attribute bytes to the dictionary versus the dense arrays.
+struct ColumnMemory {
+  size_t payload_bytes = 0;     ///< Typed vectors + validity (capacities).
+  size_t dictionary_bytes = 0;  ///< Arena bytes of the string dictionary.
+  size_t dictionary_entries = 0;
+};
+
 /// Typed column with a validity vector.
 ///
-/// Storage is unboxed (`vector<int64_t>` / `vector<double>` /
-/// `vector<string>`) so aggregate scans are cache-friendly; `Value` boxing
-/// happens only at API edges. Null entries keep a placeholder in the typed
-/// vector and are flagged invalid.
+/// Storage is unboxed and columnar: `vector<int64_t>` / `vector<double>`
+/// for numeric columns, and for string columns a per-column
+/// StringDictionary plus a dense `vector<uint32_t>` code array — every
+/// hot path in PrivateClean (GRR, predicate scans, provenance builds)
+/// operates over *distinct values*, so rows carry dictionary codes and
+/// the string bytes are stored once. `Value` boxing happens only at API
+/// edges. Null entries keep a placeholder in the typed vector (0 / 0.0 /
+/// kNullCode) and are flagged invalid; for string columns the code array
+/// and validity vector are kept in lockstep (codes_[r] == kNullCode iff
+/// valid_[r] == 0).
 class Column {
  public:
   /// Creates an empty column of the given physical type (not kNull).
@@ -35,7 +51,7 @@ class Column {
   /// (checked via PCLEAN_CHECK).
   void AppendInt64(int64_t v);
   void AppendDouble(double v);
-  void AppendString(std::string v);
+  void AppendString(std::string_view v);
   /// Boxed append with type checking; null is accepted for any column type.
   Status AppendValue(const Value& v);
 
@@ -45,7 +61,11 @@ class Column {
   /// Unchecked typed getters (row must be valid and type must match).
   int64_t Int64At(size_t row) const { return ints_[row]; }
   double DoubleAt(size_t row) const { return doubles_[row]; }
-  const std::string& StringAt(size_t row) const { return strings_[row]; }
+  std::string_view StringAt(size_t row) const {
+    return dict_.At(codes_[row]);
+  }
+  /// Dictionary code of a row of a string column; kNullCode for null rows.
+  uint32_t CodeAt(size_t row) const { return codes_[row]; }
   /// Numeric view of an int64/double entry; 0 for null.
   double NumericAt(size_t row) const;
   /// Boxed getter; returns Value::Null() for null entries.
@@ -56,23 +76,50 @@ class Column {
   /// Overwrites row with a boxed value (type-checked; null allowed).
   Status SetValue(size_t row, const Value& v);
 
+  /// --- Dictionary access (string columns only) -------------------------
+
+  /// The column's distinct-value table. Codes index into it.
+  const StringDictionary& dictionary() const { return dict_; }
+
+  /// Interns `v` into the dictionary (without appending a row) and
+  /// returns its code. Single-writer: must not race with readers of the
+  /// dictionary. This is how callers pre-intern a randomization domain
+  /// before a sharded pass so the parallel kernels write plain codes.
+  uint32_t InternString(std::string_view v);
+
+  /// Replaces the dictionary with `entries` (code order) and remaps the
+  /// code array. Every distinct string currently in the column must
+  /// appear in `entries` and `entries` must not contain duplicates;
+  /// InvalidArgument otherwise. Used by the release reader to restore
+  /// the writer's persisted dictionary order.
+  Status RebindDictionary(const std::vector<std::string_view>& entries);
+
   /// --- Raw access for fast scans ---------------------------------------
 
   const std::vector<int64_t>& ints() const { return ints_; }
   const std::vector<double>& doubles() const { return doubles_; }
-  const std::vector<std::string>& strings() const { return strings_; }
+  /// Dense dictionary codes of a string column (kNullCode for nulls).
+  const std::vector<uint32_t>& codes() const { return codes_; }
   const std::vector<uint8_t>& validity() const { return valid_; }
 
   /// Mutable numeric payload for in-place Laplace noising. Requires a
   /// double column.
   std::vector<double>* mutable_doubles() { return &doubles_; }
   std::vector<int64_t>* mutable_ints() { return &ints_; }
-  /// Mutable string payload / validity for sharded in-place mutation
+  /// Mutable code array / validity for sharded in-place mutation
   /// (randomized response). Writers touching disjoint row ranges through
-  /// these may run concurrently, but they bypass the null bookkeeping:
-  /// call RecomputeNullCount() once all writers have finished.
-  std::vector<std::string>* mutable_strings() { return &strings_; }
+  /// these may run concurrently — codes must already be interned — but
+  /// they bypass the null bookkeeping: keep codes_[r] == kNullCode in
+  /// lockstep with valid_[r] == 0 and call RecomputeNullCount() once all
+  /// writers have finished.
+  std::vector<uint32_t>* mutable_codes() { return &codes_; }
   std::vector<uint8_t>* mutable_validity() { return &valid_; }
+
+  /// A new column holding the given rows in order (rows must be in
+  /// range). String columns share the dictionary wholesale — the codes
+  /// are copied as-is, no re-interning — so Filter/Take over a large
+  /// relation never touch string bytes.
+  Column SelectRows(const std::vector<size_t>& rows) const;
 
   /// Recounts nulls from the validity vector. Required after any
   /// mutation through mutable_validity().
@@ -81,13 +128,17 @@ class Column {
   /// Pre-allocates capacity for n rows.
   void Reserve(size_t n);
 
+  /// Storage footprint, split into dense payload and dictionary bytes.
+  ColumnMemory MemoryUsage() const;
+
  private:
   explicit Column(ValueType type) : type_(type) {}
 
   ValueType type_;
   std::vector<int64_t> ints_;
   std::vector<double> doubles_;
-  std::vector<std::string> strings_;
+  std::vector<uint32_t> codes_;
+  StringDictionary dict_;
   std::vector<uint8_t> valid_;
   size_t null_count_ = 0;
 };

@@ -10,7 +10,7 @@ namespace privateclean {
 
 namespace {
 
-bool NeedsQuoting(const std::string& field, const CsvOptions& options) {
+bool NeedsQuoting(std::string_view field, const CsvOptions& options) {
   // Real values that would read back as NULL must be quoted: quoted
   // fields are never NULL (see ParseCell), which keeps the empty string
   // and a literal null marker distinguishable from actual nulls.
@@ -30,7 +30,7 @@ bool NeedsQuoting(const std::string& field, const CsvOptions& options) {
 }
 
 /// Appends a non-null field, quoting when necessary.
-void AppendField(std::string* out, const std::string& field,
+void AppendField(std::string* out, std::string_view field,
                  const CsvOptions& options) {
   if (!NeedsQuoting(field, options)) {
     out->append(field);
@@ -504,14 +504,18 @@ std::string TableToCsv(const Table& table, const CsvOptions& options) {
         for (size_t r = begin; r < end; ++r) {
           for (size_t c = 0; c < table.num_columns(); ++c) {
             if (c > 0) chunk.push_back(options.delimiter);
-            Value v = table.column(c).ValueAt(r);
-            if (v.is_null()) {
+            const Column& col = table.column(c);
+            if (col.IsNull(r)) {
               // NULL is encoded as the *unquoted* null literal; AppendField
               // would quote it, which marks a real value (quoted fields are
               // never NULL).
               chunk.append(options.null_literal);
+            } else if (col.type() == ValueType::kString) {
+              // Render straight from the dictionary bytes — no Value
+              // boxing, no per-cell string copy.
+              AppendField(&chunk, col.StringAt(r), options);
             } else {
-              AppendField(&chunk, v.ToString(), options);
+              AppendField(&chunk, col.ValueAt(r).ToString(), options);
             }
           }
           chunk.push_back('\n');

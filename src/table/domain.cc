@@ -6,6 +6,29 @@ Result<Domain> Domain::FromColumn(const Table& table,
                                   const std::string& field,
                                   bool include_null) {
   PCLEAN_ASSIGN_OR_RETURN(const Column* col, table.ColumnByName(field));
+  if (col->type() == ValueType::kString) {
+    // Dictionary fast path: tally per-code frequencies with vector
+    // indexing (no per-row hashing), recording codes in row-order
+    // first-appearance order — exactly the order the boxed loop below
+    // would produce. The extra slot past the dictionary is null.
+    const std::vector<uint32_t>& codes = col->codes();
+    const StringDictionary& dict = col->dictionary();
+    const size_t null_slot = dict.size();
+    std::vector<size_t> counts(dict.size() + 1, 0);
+    std::vector<size_t> order;
+    for (uint32_t code : codes) {
+      size_t slot = code == kNullCode ? null_slot : code;
+      if (slot == null_slot && !include_null) continue;
+      if (counts[slot]++ == 0) order.push_back(slot);
+    }
+    Domain d;
+    for (size_t slot : order) {
+      d.AddCount(slot == null_slot ? Value::Null()
+                                   : Value(std::string(dict.At(slot))),
+                 counts[slot]);
+    }
+    return d;
+  }
   Domain d;
   for (size_t r = 0; r < col->size(); ++r) {
     if (col->IsNull(r) && !include_null) continue;

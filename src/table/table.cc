@@ -112,33 +112,45 @@ Result<Table> Table::Filter(const std::vector<uint8_t>& keep) const {
   if (keep.size() != num_rows()) {
     return Status::InvalidArgument("filter mask length mismatch");
   }
-  PCLEAN_ASSIGN_OR_RETURN(Table out, MakeEmpty(schema_));
-  for (size_t c = 0; c < columns_.size(); ++c) {
-    Column* dst = out.mutable_column(c);
-    const Column& src = columns_[c];
-    for (size_t r = 0; r < keep.size(); ++r) {
-      if (!keep[r]) continue;
-      PCLEAN_RETURN_NOT_OK(dst->AppendValue(src.ValueAt(r)));
-    }
+  std::vector<size_t> rows;
+  for (size_t r = 0; r < keep.size(); ++r) {
+    if (keep[r]) rows.push_back(r);
   }
-  return out;
+  Table t;
+  t.schema_ = schema_;
+  t.columns_.reserve(columns_.size());
+  // Column-level row selection: numeric payloads copy densely and string
+  // columns carry their dictionary over wholesale, so no Value boxing or
+  // re-interning happens per cell.
+  for (const Column& src : columns_) t.columns_.push_back(src.SelectRows(rows));
+  return t;
 }
 
 Result<Table> Table::Take(const std::vector<size_t>& row_indices) const {
-  PCLEAN_ASSIGN_OR_RETURN(Table out, MakeEmpty(schema_));
-  for (size_t c = 0; c < columns_.size(); ++c) {
-    Column* dst = out.mutable_column(c);
-    dst->Reserve(row_indices.size());
-    const Column& src = columns_[c];
-    for (size_t r : row_indices) {
-      if (r >= num_rows()) {
-        return Status::OutOfRange("row index " + std::to_string(r) +
-                                  " out of range");
-      }
-      PCLEAN_RETURN_NOT_OK(dst->AppendValue(src.ValueAt(r)));
+  for (size_t r : row_indices) {
+    if (r >= num_rows()) {
+      return Status::OutOfRange("row index " + std::to_string(r) +
+                                " out of range");
     }
   }
-  return out;
+  Table t;
+  t.schema_ = schema_;
+  t.columns_.reserve(columns_.size());
+  for (const Column& src : columns_) {
+    t.columns_.push_back(src.SelectRows(row_indices));
+  }
+  return t;
+}
+
+ColumnMemory Table::MemoryUsage() const {
+  ColumnMemory total;
+  for (const Column& c : columns_) {
+    ColumnMemory m = c.MemoryUsage();
+    total.payload_bytes += m.payload_bytes;
+    total.dictionary_bytes += m.dictionary_bytes;
+    total.dictionary_entries += m.dictionary_entries;
+  }
+  return total;
 }
 
 std::string Table::ToString(size_t max_rows) const {

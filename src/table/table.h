@@ -64,6 +64,10 @@ class Table {
   /// and example output).
   std::string ToString(size_t max_rows = 10) const;
 
+  /// Summed per-column memory accounting (payload vectors plus string
+  /// dictionary arenas).
+  ColumnMemory MemoryUsage() const;
+
   Table(Table&&) = default;
   Table& operator=(Table&&) = default;
   Table(const Table&) = delete;

@@ -18,15 +18,19 @@ const char* ValueTypeToString(ValueType type) {
   return "unknown";
 }
 
-double Value::ToNumeric() const {
+Result<double> Value::ToNumeric() const {
   switch (type()) {
     case ValueType::kInt64:
       return static_cast<double>(AsInt64());
     case ValueType::kDouble:
       return AsDouble();
-    default:
-      return 0.0;
+    case ValueType::kString:
+      return Status::InvalidArgument("cannot read string value '" +
+                                     AsString() + "' as numeric");
+    case ValueType::kNull:
+      return Status::FailedPrecondition("cannot read NULL as numeric");
   }
+  return Status::Internal("unhandled value type");
 }
 
 std::string Value::ToString() const {

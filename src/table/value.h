@@ -6,6 +6,8 @@
 #include <string>
 #include <variant>
 
+#include "common/result.h"
+
 namespace privateclean {
 
 /// Physical type of a column or boxed value.
@@ -61,9 +63,10 @@ class Value {
   double AsDouble() const { return std::get<double>(data_); }
   const std::string& AsString() const { return std::get<std::string>(data_); }
 
-  /// Numeric view: int64 and double both convert; errors otherwise are a
-  /// caller bug (null/string return 0 and should be guarded by type()).
-  double ToNumeric() const;
+  /// Numeric view: int64 and double both convert. A string value is
+  /// InvalidArgument and NULL is FailedPrecondition — never a silent
+  /// 0.0, which would fold unnoticed into SUM/AVG/VAR aggregates.
+  Result<double> ToNumeric() const;
 
   /// Renders the value for display/CSV. Null renders as the empty string.
   std::string ToString() const;

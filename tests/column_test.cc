@@ -100,8 +100,74 @@ TEST(ColumnTest, NullPlaceholderKeepsVectorsAligned) {
   Column c = *Column::Make(ValueType::kString);
   c.AppendNull();
   c.AppendString("x");
-  EXPECT_EQ(c.strings().size(), 2u);
+  EXPECT_EQ(c.codes().size(), 2u);
+  EXPECT_EQ(c.CodeAt(0), kNullCode);
   EXPECT_EQ(c.StringAt(1), "x");
+}
+
+TEST(ColumnTest, StringStorageIsDictionaryEncoded) {
+  Column c = *Column::Make(ValueType::kString);
+  c.AppendString("red");
+  c.AppendString("blue");
+  c.AppendString("red");
+  c.AppendString("red");
+  // Two distinct strings, four dense codes, repeats share a code.
+  EXPECT_EQ(c.dictionary().size(), 2u);
+  EXPECT_EQ(c.codes().size(), 4u);
+  EXPECT_EQ(c.CodeAt(0), c.CodeAt(2));
+  EXPECT_EQ(c.CodeAt(0), c.CodeAt(3));
+  EXPECT_NE(c.CodeAt(0), c.CodeAt(1));
+  EXPECT_EQ(c.dictionary().At(c.CodeAt(1)), "blue");
+}
+
+TEST(ColumnTest, SetValueReusesAndExtendsDictionary) {
+  Column c = *Column::Make(ValueType::kString);
+  c.AppendString("a");
+  c.AppendString("b");
+  ASSERT_TRUE(c.SetValue(0, Value("b")).ok());
+  EXPECT_EQ(c.CodeAt(0), c.CodeAt(1));
+  EXPECT_EQ(c.dictionary().size(), 2u);  // "a" stays interned.
+  ASSERT_TRUE(c.SetValue(0, Value("z")).ok());
+  EXPECT_EQ(c.dictionary().size(), 3u);
+  EXPECT_EQ(c.StringAt(0), "z");
+}
+
+TEST(ColumnTest, SelectRowsPreservesDictionaryAndNulls) {
+  Column c = *Column::Make(ValueType::kString);
+  c.AppendString("a");
+  c.AppendNull();
+  c.AppendString("b");
+  Column taken = c.SelectRows({2, 1, 2});
+  ASSERT_EQ(taken.size(), 3u);
+  EXPECT_EQ(taken.StringAt(0), "b");
+  EXPECT_TRUE(taken.IsNull(1));
+  EXPECT_EQ(taken.StringAt(2), "b");
+  EXPECT_EQ(taken.null_count(), 1u);
+  // The dictionary is carried over wholesale: "a" is still interned.
+  EXPECT_EQ(taken.dictionary().size(), c.dictionary().size());
+}
+
+TEST(ColumnTest, RebindDictionaryRemapsCodes) {
+  Column c = *Column::Make(ValueType::kString);
+  c.AppendString("x");
+  c.AppendString("y");
+  c.AppendNull();
+  ASSERT_TRUE(c.RebindDictionary({"y", "x", "unused"}).ok());
+  EXPECT_EQ(c.StringAt(0), "x");
+  EXPECT_EQ(c.StringAt(1), "y");
+  EXPECT_TRUE(c.IsNull(2));
+  EXPECT_EQ(c.CodeAt(0), 1u);
+  EXPECT_EQ(c.CodeAt(1), 0u);
+  EXPECT_EQ(c.dictionary().size(), 3u);
+}
+
+TEST(ColumnTest, RebindDictionaryRejectsMissingAndDuplicate) {
+  Column c = *Column::Make(ValueType::kString);
+  c.AppendString("x");
+  EXPECT_TRUE(c.RebindDictionary({"y"}).IsInvalidArgument());
+  EXPECT_TRUE(c.RebindDictionary({"x", "x"}).IsInvalidArgument());
+  Column n = *Column::Make(ValueType::kInt64);
+  EXPECT_TRUE(n.RebindDictionary({}).IsInvalidArgument());
 }
 
 }  // namespace

@@ -73,7 +73,7 @@ TEST(RandomizedResponseTest, FullRandomizationIsUniform) {
   Domain d = Domain::FromValues(values);  // {always_a, b, c}
   ASSERT_TRUE(ApplyRandomizedResponse(&c, d, 1.0, rng).ok());
   std::unordered_map<std::string, int> counts;
-  for (int r = 0; r < rows; ++r) counts[c.StringAt(r)]++;
+  for (int r = 0; r < rows; ++r) counts[std::string(c.StringAt(r))]++;
   for (const auto& [value, count] : counts) {
     EXPECT_NEAR(static_cast<double>(count) / rows, 1.0 / 3.0, 0.02)
         << value;

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <optional>
 
 #include "cleaning/merge.h"
 #include "common/io_util.h"
@@ -381,6 +382,143 @@ TEST_F(ReleaseTest, FromPrivateRelationRejectsUncoveredAttribute) {
   meta.numeric.erase("score");
   auto r = PrivateTable::FromPrivateRelation(grr.table.Clone(), meta);
   EXPECT_FALSE(r.ok());
+}
+
+// --- Dictionary files -----------------------------------------------------
+
+/// Rewrites one payload file and patches the MANIFEST (file line and
+/// self-checksum) so the release stays checksum-consistent — simulating
+/// a writer that produced `content` for `name`. Pass an empty optional
+/// to delete the file and drop its manifest line entirely (simulating a
+/// release written before dictionary files existed).
+void RewriteReleaseFile(const std::string& dir, const std::string& name,
+                        const std::optional<std::string>& content) {
+  if (content.has_value()) {
+    ASSERT_TRUE(io::WriteFileDurable(dir + "/" + name, *content).ok());
+  } else {
+    std::filesystem::remove(dir + "/" + name);
+  }
+  std::string manifest = *io::ReadFileToString(dir + "/MANIFEST");
+  size_t trailer = manifest.rfind("\nmanifest_crc: ");
+  ASSERT_NE(trailer, std::string::npos);
+  std::string body = manifest.substr(0, trailer + 1);
+  std::string out;
+  size_t pos = 0;
+  while (pos < body.size()) {
+    size_t eol = body.find('\n', pos);
+    ASSERT_NE(eol, std::string::npos);
+    std::string line = body.substr(pos, eol - pos);
+    pos = eol + 1;
+    const bool is_target = line.rfind("file: ", 0) == 0 &&
+                           line.size() > name.size() &&
+                           line.compare(line.size() - name.size() - 1,
+                                        name.size() + 1, " " + name) == 0;
+    if (!is_target) {
+      out += line + "\n";
+    } else if (content.has_value()) {
+      out += "file: " + io::Crc32cToHex(io::Crc32c(*content)) + " " +
+             std::to_string(content->size()) + " " + name + "\n";
+    }  // else: drop the line.
+  }
+  out += "manifest_crc: " + io::Crc32cToHex(io::Crc32c(out)) + "\n";
+  ASSERT_TRUE(io::WriteFileDurable(dir + "/MANIFEST", out).ok());
+}
+
+TEST_F(ReleaseTest, DictionaryFilesAreWrittenAndManifestListed) {
+  GrrOutput grr = MakeGrr();
+  ASSERT_TRUE(WriteRelease(grr, dir_).ok());
+  // "major" is the only string-typed discrete field → exactly dict_0.
+  EXPECT_TRUE(std::filesystem::exists(dir_ + "/dict_0.csv"));
+  EXPECT_FALSE(std::filesystem::exists(dir_ + "/dict_1.csv"));
+  std::string manifest = *io::ReadFileToString(dir_ + "/MANIFEST");
+  EXPECT_NE(manifest.find(" dict_0.csv\n"), std::string::npos);
+}
+
+TEST_F(ReleaseTest, RoundTripRestoresWriterDictionaryCodeOrder) {
+  GrrOutput grr = MakeGrr();
+  ASSERT_TRUE(WriteRelease(grr, dir_).ok());
+  LoadedRelease loaded = *ReadRelease(dir_);
+  const Column& written = grr.table.column(0);
+  const Column& read = loaded.relation.column(0);
+  // Not just value-equal: the dictionary (including interned-but-unused
+  // entries) and every per-row code must match the writer's exactly.
+  ASSERT_EQ(read.dictionary().size(), written.dictionary().size());
+  for (uint32_t c = 0; c < written.dictionary().size(); ++c) {
+    EXPECT_EQ(read.dictionary().At(c), written.dictionary().At(c))
+        << "code " << c;
+  }
+  ASSERT_EQ(read.codes().size(), written.codes().size());
+  for (size_t r = 0; r < written.codes().size(); ++r) {
+    EXPECT_EQ(read.CodeAt(r), written.CodeAt(r)) << "row " << r;
+  }
+}
+
+TEST_F(ReleaseTest, ReleaseWithoutDictionaryFilesStillLoads) {
+  // A v2 release written before dictionary files existed: same layout,
+  // no dict_<i>.csv entries. The reader keeps its parse-order
+  // dictionary — values (not codes) are the compatibility contract.
+  GrrOutput grr = MakeGrr();
+  ASSERT_TRUE(WriteRelease(grr, dir_).ok());
+  RewriteReleaseFile(dir_, "dict_0.csv", std::nullopt);
+  auto loaded = ReadRelease(dir_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(loaded->verified);
+  for (size_t r = 0; r < grr.table.num_rows(); ++r) {
+    EXPECT_EQ(loaded->relation.column(0).ValueAt(r),
+              grr.table.column(0).ValueAt(r))
+        << "row " << r;
+  }
+}
+
+TEST_F(ReleaseTest, DictionaryMissingUsedValueIsDataLoss) {
+  GrrOutput grr = MakeGrr();
+  ASSERT_TRUE(WriteRelease(grr, dir_).ok());
+  // A consistent-looking dictionary that does not cover the column's
+  // values: checksums pass, the semantic rebind must fail.
+  RewriteReleaseFile(dir_, "dict_0.csv",
+                     std::string("major\nnot_a_real_major\n"));
+  auto r = ReadRelease(dir_);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsDataLoss()) << r.status().ToString();
+  EXPECT_NE(r.status().message().find("dict_0.csv"), std::string::npos);
+}
+
+TEST_F(ReleaseTest, NullEntryInDictionaryFileIsDataLoss) {
+  GrrOutput grr = MakeGrr();
+  ASSERT_TRUE(WriteRelease(grr, dir_).ok());
+  RewriteReleaseFile(dir_, "dict_0.csv", std::string("major\n\\N\n"));
+  auto r = ReadRelease(dir_);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsDataLoss()) << r.status().ToString();
+  EXPECT_NE(r.status().message().find("NULL"), std::string::npos);
+}
+
+TEST_F(ReleaseTest, BitFlipInDictionaryFileIsDataLossNamingTheFile) {
+  ASSERT_TRUE(WriteRelease(MakeGrr(), dir_).ok());
+  const std::string path = dir_ + "/dict_0.csv";
+  std::string bytes = *io::ReadFileToString(path);
+  bytes[bytes.size() / 2] ^= 0x20;
+  ASSERT_TRUE(io::WriteFileDurable(path, bytes).ok());
+  auto r = ReadRelease(dir_);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsDataLoss()) << r.status().ToString();
+  EXPECT_NE(r.status().message().find("dict_0.csv"), std::string::npos);
+}
+
+TEST_F(ReleaseTest, NullLiteralRowsRoundTripThroughDictionary) {
+  // MakeGrr's relation mixes NULL rows (written as \N) with quoted and
+  // empty-adjacent strings; after the round trip NULL and "" must stay
+  // distinct and the null count exact.
+  GrrOutput grr = MakeGrr();
+  ASSERT_TRUE(WriteRelease(grr, dir_).ok());
+  LoadedRelease loaded = *ReadRelease(dir_);
+  EXPECT_EQ(loaded.relation.column(0).null_count(),
+            grr.table.column(0).null_count());
+  for (size_t r = 0; r < grr.table.num_rows(); ++r) {
+    EXPECT_EQ(loaded.relation.column(0).IsNull(r),
+              grr.table.column(0).IsNull(r))
+        << "row " << r;
+  }
 }
 
 TEST_F(ReleaseTest, EndToEndProviderAnalystSeparation) {

@@ -190,6 +190,65 @@ TEST(SqlParseTest, ErrorsCarryPosition) {
   EXPECT_NE(r.status().message().find("position"), std::string::npos);
 }
 
+// --- Parsing: literal regression suite ------------------------------------------
+
+TEST(SqlParseTest, DoubledQuoteEscapesInsideInList) {
+  ParsedSql p = *ParseSql(
+      "SELECT count(1) FROM r WHERE name IN ('O''Brien', '', '''')");
+  EXPECT_TRUE(p.query.predicate->Matches(Value("O'Brien")));
+  EXPECT_TRUE(p.query.predicate->Matches(Value("")));   // Empty literal.
+  EXPECT_TRUE(p.query.predicate->Matches(Value("'")));  // Just a quote.
+  EXPECT_FALSE(p.query.predicate->Matches(Value("OBrien")));
+  EXPECT_FALSE(p.query.predicate->Matches(Value::Null()));
+}
+
+TEST(SqlParseTest, SignedAndExponentNumericLiterals) {
+  // Leading '+' is grammar-visible but must parse as the unsigned value
+  // (std::from_chars would otherwise reject the token text).
+  EXPECT_TRUE(ParseSql("SELECT count(1) FROM r WHERE x = +5")
+                  ->query.predicate->Matches(Value(5)));
+  EXPECT_TRUE(ParseSql("SELECT count(1) FROM r WHERE x = +2.5")
+                  ->query.predicate->Matches(Value(2.5)));
+  EXPECT_TRUE(ParseSql("SELECT count(1) FROM r WHERE x = -1e3")
+                  ->query.predicate->Matches(Value(-1000.0)));
+  EXPECT_TRUE(ParseSql("SELECT count(1) FROM r WHERE x = 2E-2")
+                  ->query.predicate->Matches(Value(0.02)));
+  EXPECT_TRUE(ParseSql("SELECT count(1) FROM r WHERE x = +1e+2")
+                  ->query.predicate->Matches(Value(100.0)));
+  ParsedSql in = *ParseSql(
+      "SELECT count(1) FROM r WHERE x IN (-3, +4, 1.5e1)");
+  EXPECT_TRUE(in.query.predicate->Matches(Value(-3)));
+  EXPECT_TRUE(in.query.predicate->Matches(Value(4)));
+  EXPECT_TRUE(in.query.predicate->Matches(Value(15.0)));
+}
+
+TEST(SqlParseTest, MalformedNumericLiteralsArePositionedErrors) {
+  for (const char* sql : {
+           "SELECT count(1) FROM r WHERE x = 1.2.3",
+           "SELECT count(1) FROM r WHERE x = 1e",
+           "SELECT count(1) FROM r WHERE x = 1e+",
+           "SELECT count(1) FROM r WHERE x = 99999999999999999999",
+           "SELECT percentile(score, 1.2.3) FROM r",
+       }) {
+    auto r = ParseSql(sql);
+    ASSERT_FALSE(r.ok()) << "should reject: " << sql;
+    EXPECT_NE(r.status().message().find("position"), std::string::npos)
+        << sql << " -> " << r.status().message();
+  }
+}
+
+TEST(SqlParseTest, NotEqualsSpellingsAreEquivalent) {
+  ParsedSql bang = *ParseSql("SELECT count(1) FROM r WHERE x != 3");
+  ParsedSql diamond = *ParseSql("SELECT count(1) FROM r WHERE x <> 3");
+  for (const Value& v : {Value(3), Value(4), Value(3.0), Value::Null()}) {
+    EXPECT_EQ(bang.query.predicate->Matches(v),
+              diamond.query.predicate->Matches(v));
+  }
+  // A bare '<' or '!' is not an operator.
+  EXPECT_FALSE(ParseSql("SELECT count(1) FROM r WHERE x < 3").ok());
+  EXPECT_FALSE(ParseSql("SELECT count(1) FROM r WHERE x ! 3").ok());
+}
+
 // --- Execution ------------------------------------------------------------------
 
 class SqlExecutionTest : public ::testing::Test {

@@ -29,10 +29,18 @@ TEST(ValueTest, Accessors) {
 }
 
 TEST(ValueTest, ToNumeric) {
-  EXPECT_DOUBLE_EQ(Value(3).ToNumeric(), 3.0);
-  EXPECT_DOUBLE_EQ(Value(2.5).ToNumeric(), 2.5);
-  EXPECT_DOUBLE_EQ(Value("x").ToNumeric(), 0.0);
-  EXPECT_DOUBLE_EQ(Value::Null().ToNumeric(), 0.0);
+  EXPECT_DOUBLE_EQ(Value(3).ToNumeric().ValueOrDie(), 3.0);
+  EXPECT_DOUBLE_EQ(Value(2.5).ToNumeric().ValueOrDie(), 2.5);
+}
+
+TEST(ValueTest, ToNumericRejectsStringAndNull) {
+  // No silent 0.0 coercion: a string is a type error, NULL a state error.
+  Result<double> s = Value("x").ToNumeric();
+  ASSERT_FALSE(s.ok());
+  EXPECT_TRUE(s.status().IsInvalidArgument());
+  Result<double> n = Value::Null().ToNumeric();
+  ASSERT_FALSE(n.ok());
+  EXPECT_TRUE(n.status().IsFailedPrecondition());
 }
 
 TEST(ValueTest, EqualityIsTypeAware) {
