@@ -185,6 +185,46 @@ void BM_GrrParallelScaling(benchmark::State& state) {
 BENCHMARK(BM_GrrParallelScaling)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
     ->Unit(benchmark::kMillisecond);
 
+// The alternative mechanism families through the same sharded path, at
+// a comparable effective randomization rate, so BENCH_pr7.json exposes
+// any per-row cost the draw sequence adds (hlm shares the grr kernel;
+// sampling draws an extra Bernoulli per pooled row).
+void BM_HlmParallelScaling(benchmark::State& state) {
+  const Table& data = ScalingTable();
+  GrrOptions options;
+  options.mechanism.name = "hlm";
+  options.exec.num_threads = static_cast<size_t>(state.range(0));
+  Rng rng(6);
+  for (auto _ : state) {
+    // Per-attribute target ε = 6: p_eff ≈ 0.11 on the ~50-value domain,
+    // matching BM_GrrParallelScaling's replacement rate.
+    auto out = ApplyGrr(data, GrrParams::Uniform(6.0, 10.0), options, rng);
+    benchmark::DoNotOptimize(out.ok());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(data.num_rows()));
+}
+BENCHMARK(BM_HlmParallelScaling)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SamplingParallelScaling(benchmark::State& state) {
+  const Table& data = ScalingTable();
+  GrrOptions options;
+  options.mechanism.name = "sampling";
+  options.mechanism.params["beta"] = 0.9;
+  options.exec.num_threads = static_cast<size_t>(state.range(0));
+  Rng rng(6);
+  for (auto _ : state) {
+    // p_eff = 1 - β(1 - p0) = 0.1 with β = 0.9, p0 = 0.
+    auto out = ApplyGrr(data, GrrParams::Uniform(0.0, 10.0), options, rng);
+    benchmark::DoNotOptimize(out.ok());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(data.num_rows()));
+}
+BENCHMARK(BM_SamplingParallelScaling)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_ScanParallelScaling(benchmark::State& state) {
   const Table& data = ScalingTable();
   ExecutionOptions exec;

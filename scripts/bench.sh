@@ -6,10 +6,12 @@
 #      their 1..8-thread arguments;
 #   3. condense the google-benchmark JSON into BENCH_pr3.json (the
 #      original scaling set), BENCH_pr5.json (the speculative-split CSV
-#      record parser next to the full CSV parse), and BENCH_pr6.json
+#      record parser next to the full CSV parse), BENCH_pr6.json
 #      (dictionary-encoded predicate scan + provenance build, with the
-#      dictionary/arena memory counters), mapping each benchmark to its
-#      1-thread and max-thread wall time in ms.
+#      dictionary/arena memory counters), and BENCH_pr7.json (the
+#      mechanism zoo: grr/hlm/sampling randomization at matched
+#      replacement rates), mapping each benchmark to its 1-thread and
+#      max-thread wall time in ms.
 #
 # Every output carries a `_host` record (nproc, CPU model) so numbers
 # from different machines are never compared blind, and each benchmark
@@ -18,7 +20,7 @@
 # multi-core one.
 #
 # Usage: scripts/bench.sh [build-dir] [output-json] [split-output-json]
-#                         [dict-output-json]
+#                         [dict-output-json] [mechanism-output-json]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -27,6 +29,7 @@ BUILD_DIR="${1:-build}"
 OUT_JSON="${2:-BENCH_pr3.json}"
 SPLIT_JSON="${3:-BENCH_pr5.json}"
 DICT_JSON="${4:-BENCH_pr6.json}"
+MECH_JSON="${5:-BENCH_pr7.json}"
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 RAW_JSON="${BUILD_DIR}/bench_scaling_raw.json"
 
@@ -41,13 +44,13 @@ echo "== run *ParallelScaling benchmarks =="
   --benchmark_out="${RAW_JSON}" \
   --benchmark_out_format=json
 
-echo "== condense into ${OUT_JSON} + ${SPLIT_JSON} + ${DICT_JSON} =="
-python3 - "${RAW_JSON}" "${OUT_JSON}" "${SPLIT_JSON}" "${DICT_JSON}" <<'PY'
+echo "== condense into ${OUT_JSON} + ${SPLIT_JSON} + ${DICT_JSON} + ${MECH_JSON} =="
+python3 - "${RAW_JSON}" "${OUT_JSON}" "${SPLIT_JSON}" "${DICT_JSON}" "${MECH_JSON}" <<'PY'
 import json
 import re
 import sys
 
-raw_path, out_path, split_path, dict_path = sys.argv[1:5]
+raw_path, out_path, split_path, dict_path, mech_path = sys.argv[1:6]
 with open(raw_path) as f:
     raw = json.load(f)
 
@@ -124,14 +127,21 @@ def write(path, summary):
 # split stage's share of parse time is directly comparable;
 # BENCH_pr6.json isolates the two paths the dictionary-encoded columnar
 # core targets (predicate scan, provenance build) with their memory
-# counters.
+# counters; BENCH_pr7.json compares the mechanism families' perturbation
+# kernels at matched effective replacement rates (grr is repeated there
+# as the baseline, and stays in the pr3 set it has always anchored).
 SPLIT = "BM_CsvSplitParallelScaling"
 DICT = ("BM_ScanParallelScaling", "BM_ProvenanceParallelScaling")
+MECH = ("BM_GrrParallelScaling", "BM_HlmParallelScaling",
+        "BM_SamplingParallelScaling")
 write(out_path, condense(
-    n for n in runs if n != SPLIT and n not in ("BM_ProvenanceParallelScaling",)))
+    n for n in runs
+    if n != SPLIT and n not in ("BM_ProvenanceParallelScaling",)
+    and (n not in MECH or n == "BM_GrrParallelScaling")))
 write(split_path, condense(
     n for n in runs if n == SPLIT or n == "BM_CsvParseParallelScaling"))
 write(dict_path, condense(n for n in runs if n in DICT))
+write(mech_path, condense(n for n in runs if n in MECH))
 PY
 
-echo "bench: wrote ${OUT_JSON}, ${SPLIT_JSON} and ${DICT_JSON}"
+echo "bench: wrote ${OUT_JSON}, ${SPLIT_JSON}, ${DICT_JSON} and ${MECH_JSON}"

@@ -1,11 +1,18 @@
 #!/usr/bin/env bash
 # Full verification flow:
 #   1. tier-1: configure, build, run the whole test suite;
-#   2. thread-sanitizer pass: rebuild with PCLEAN_SANITIZE=thread and run
+#   2. statistical acceptance: ctest -L statistical in the tier-1 build —
+#      the fixed-seed mechanism acceptance suite (empirical confusion
+#      matrices, Monte-Carlo estimator unbiasedness, utility-bound
+#      identities) plus the statistical regression suite. Seeds are
+#      checked in, so this pass is deterministic; the thresholds are
+#      sized for a <1% false-positive rate if the seeds were redrawn
+#      (see tests/mechanism_statistical_test.cc);
+#   3. thread-sanitizer pass: rebuild with PCLEAN_SANITIZE=thread and run
 #      the `determinism`-labeled suites (the 1/2/8-thread bit-identity and
 #      statistical tests), so data races in the sharded paths are caught
 #      even when plain ctest happens to schedule them benignly;
-#   3. address+UB-sanitizer pass: rebuild with
+#   4. address+UB-sanitizer pass: rebuild with
 #      PCLEAN_SANITIZE=address,undefined and run the `failpoint` and
 #      `fuzz` suites — the fault-injection torture and byte-corruption
 #      fuzzers, where torn files and mid-error cleanup paths are most
@@ -25,6 +32,9 @@ echo "== tier-1: build + full ctest (${BUILD_DIR}) =="
 cmake -B "${BUILD_DIR}" -S .
 cmake --build "${BUILD_DIR}" -j "${JOBS}"
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"
+
+echo "== statistical acceptance: ctest -L statistical (${BUILD_DIR}) =="
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}" -L statistical
 
 echo "== TSan: build + ctest -L determinism (${TSAN_DIR}) =="
 cmake -B "${TSAN_DIR}" -S . -DPCLEAN_SANITIZE=thread

@@ -33,6 +33,12 @@ constexpr SiteInfo kCatalogue[] = {
     {"release.commit.rename", Fault::Kind::kError},
     {"release.commit.torn", Fault::Kind::kError},
     {"release.swap.backup", Fault::Kind::kError},
+    // Mechanism identity in the MANIFEST (core/release.cc): the render
+    // step on write, the `mechanism:` line parse on read. Both sit
+    // outside the staged-file loop, so a fault here must leave no
+    // partial release behind.
+    {"release.mechanism.render", Fault::Kind::kError},
+    {"release.mechanism.parse", Fault::Kind::kError},
     // Query / provenance read path: loading a release into a queryable
     // PrivateTable (core/release.cc), the predicate scan every aggregate
     // starts from (query/aggregate.cc), and the provenance-graph build

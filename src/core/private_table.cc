@@ -148,7 +148,10 @@ Result<EstimationInputs> PrivateTable::InputsForPredicate(
       predicate.MatchingValues(graph->clean_domain());
 
   EstimationInputs in;
-  in.p = meta_it->second.p;
+  PCLEAN_ASSIGN_OR_RETURN(in.mechanism, MechanismFor(meta_it->second));
+  PCLEAN_ASSIGN_OR_RETURN(
+      in.p,
+      in.mechanism->ReplacementProbability(meta_it->second.domain.size()));
   in.n = static_cast<double>(graph->num_dirty_values());
   in.l = options.weighted_cut
              ? graph->WeightedSelectivity(m_pred)
@@ -287,11 +290,17 @@ PrivateTable::GroupByCountEstimate(const std::string& attribute,
   for (const std::vector<size_t>& partial : partial_counts) {
     for (size_t i = 0; i < partial.size(); ++i) counts[i] += partial[i];
   }
+  PCLEAN_ASSIGN_OR_RETURN(MechanismPtr mechanism,
+                          MechanismFor(meta_it->second));
+  PCLEAN_ASSIGN_OR_RETURN(
+      double p_eff,
+      mechanism->ReplacementProbability(meta_it->second.domain.size()));
   std::vector<std::pair<Value, QueryResult>> groups;
   groups.reserve(clean_domain.size());
   for (size_t i = 0; i < clean_domain.size(); ++i) {
     EstimationInputs in;
-    in.p = meta_it->second.p;
+    in.mechanism = mechanism;
+    in.p = p_eff;
     in.n = static_cast<double>(graph->num_dirty_values());
     std::vector<Value> m_pred{clean_domain.value(i)};
     in.l = options.weighted_cut

@@ -36,6 +36,7 @@
 #include "privacy/allocation.h"
 #include "privacy/grr.h"
 #include "privacy/laplace_mechanism.h"
+#include "privacy/mechanism.h"
 #include "privacy/privacy_params.h"
 #include "privacy/randomized_response.h"
 #include "privacy/size_bound.h"

@@ -172,15 +172,19 @@ Result<RenderedFiles> RenderReleaseFiles(
   return files;
 }
 
-/// Renders the MANIFEST: magic, version, relation size, one line per
-/// payload file ("file: <crc32c> <bytes> <name>"), and a trailing
-/// self-checksum over everything above it.
-std::string RenderManifest(uint64_t rows, const RenderedFiles& files) {
+/// Renders the MANIFEST: magic, version, relation size, the mechanism
+/// the relation was randomized under, one line per payload file
+/// ("file: <crc32c> <bytes> <name>"), and a trailing self-checksum over
+/// everything above it.
+std::string RenderManifest(uint64_t rows, const MechanismSpec& mechanism,
+                           const RenderedFiles& files) {
   std::string out = kManifestMagic;
   out += "\nversion: ";
   out += std::to_string(kFormatVersion);
   out += "\nrows: ";
   out += std::to_string(rows);
+  out += "\nmechanism: ";
+  out += RenderMechanismSpec(mechanism);
   out += '\n';
   for (const auto& [name, content] : files) {
     out += "file: ";
@@ -207,6 +211,10 @@ struct ManifestEntry {
 
 struct Manifest {
   uint64_t rows = 0;
+  /// Defaults to the paper's GRR: a v2 manifest written before the
+  /// mechanism zoo has no `mechanism:` line, and every such release was
+  /// randomized by the only mechanism that existed then.
+  MechanismSpec mechanism;
   std::vector<ManifestEntry> files;
 };
 
@@ -275,6 +283,23 @@ Result<Manifest> ParseManifest(const std::string& text,
       if (v < 0) return Status::DataLoss(loc() + ": negative row count");
       manifest.rows = static_cast<uint64_t>(v);
       saw_rows = true;
+    } else if (line.rfind("mechanism: ", 0) == 0) {
+      PCLEAN_FAILPOINT("release.mechanism.parse", path);
+      auto spec = ParseMechanismSpec(line.substr(11));
+      if (!spec.ok()) {
+        return Status::DataLoss(loc() + ": corrupt mechanism entry: " +
+                                spec.status().message());
+      }
+      Status valid = ValidateMechanismSpec(spec.ValueOrDie());
+      if (!valid.ok()) {
+        // Unknown mechanism *name* is a capability gap of this reader
+        // (FailedPrecondition, like an unknown format version); anything
+        // else — bad parameters under a known name — is a damaged
+        // manifest.
+        if (valid.IsFailedPrecondition()) return valid;
+        return Status::DataLoss(loc() + ": " + valid.message());
+      }
+      manifest.mechanism = std::move(spec).ValueOrDie();
     } else if (line.rfind("file: ", 0) == 0) {
       // "file: <crc8hex> <bytes> <name>"
       const std::string body = line.substr(6);
@@ -358,9 +383,13 @@ using FileFetcher = std::function<Result<std::string>(const std::string&)>;
 
 /// Parses meta.csv / domain files / data.csv into a LoadedRelease.
 /// Shared by the v1 and v2 read paths; `fetch` abstracts where verified
-/// bytes come from.
+/// bytes come from. `mechanism` is the manifest's declared family (the
+/// legacy-GRR default for v1 and pre-mechanism v2 releases); every
+/// discrete attribute's meta.csv `param` is bound through it, so a
+/// parameter the family rejects surfaces as DataLoss naming meta.csv.
 Result<LoadedRelease> ParseReleaseTables(const FileFetcher& fetch,
                                          const std::string& dir,
+                                         const MechanismSpec& mechanism,
                                          const ExecutionOptions& exec) {
   PCLEAN_ASSIGN_OR_RETURN(Schema meta_schema, MetaSchema());
   PCLEAN_ASSIGN_OR_RETURN(std::string meta_text, fetch(kMetaFile));
@@ -422,8 +451,15 @@ Result<LoadedRelease> ParseReleaseTables(const FileFetcher& fetch,
             "' records a domain of " +
             std::to_string(meta.column(5).Int64At(r)));
       }
+      auto bound = MakeMechanism(mechanism, param);
+      if (!bound.ok()) {
+        return Status::DataLoss("'" + dir + "/" + kMetaFile +
+                                "': attribute '" + name + "': " +
+                                bound.status().message());
+      }
       release.metadata.discrete.emplace(
-          name, DiscreteAttributeMeta{param, std::move(domain)});
+          name, DiscreteAttributeMeta{param, std::move(domain),
+                                      std::move(bound).ValueOrDie()});
     } else if (kind == "numeric") {
       if (type == ValueType::kString) {
         return Status::IOError("numeric attribute '" + name +
@@ -482,6 +518,7 @@ Result<LoadedRelease> ParseReleaseTables(const FileFetcher& fetch,
     }
   }
   release.metadata.dataset_size = release.relation.num_rows();
+  release.metadata.mechanism_spec = mechanism;
   return release;
 }
 
@@ -521,12 +558,17 @@ Status WriteRelease(const Table& private_relation,
                     const PrivateRelationMetadata& metadata,
                     const std::string& dir, const ExecutionOptions& exec) {
   // Render the entire release in memory first: validation failures
-  // (missing metadata, bad schema) touch nothing on disk.
+  // (missing metadata, bad schema) touch nothing on disk. The mechanism
+  // spec is validated before anything renders — an unknown family or a
+  // malformed parameter block must never be persisted.
+  PCLEAN_RETURN_NOT_OK(ValidateMechanismSpec(metadata.mechanism_spec));
   PCLEAN_ASSIGN_OR_RETURN(
       RenderedFiles files,
       RenderReleaseFiles(private_relation, metadata, exec));
+  PCLEAN_FAILPOINT("release.mechanism.render", dir);
   files.emplace_back(kManifestFile,
-                     RenderManifest(private_relation.num_rows(), files));
+                     RenderManifest(private_relation.num_rows(),
+                                    metadata.mechanism_spec, files));
 
   const fs::path target(dir);
   const fs::path parent =
@@ -630,12 +672,14 @@ Result<LoadedRelease> ReadRelease(const std::string& dir,
                               "meta.csv)");
     }
     // Pre-manifest (v1) directory: loadable, but nothing to check the
-    // bytes against.
+    // bytes against. v1 predates the mechanism zoo, so the family is
+    // the explicit legacy-GRR default.
     FileFetcher from_disk = [&dir](const std::string& name) {
       return io::ReadFileWithRetry(dir + "/" + name);
     };
-    PCLEAN_ASSIGN_OR_RETURN(LoadedRelease release,
-                            ParseReleaseTables(from_disk, dir, exec));
+    PCLEAN_ASSIGN_OR_RETURN(
+        LoadedRelease release,
+        ParseReleaseTables(from_disk, dir, MechanismSpec{}, exec));
     release.format_version = 1;
     release.verified = false;
     return release;
@@ -662,8 +706,9 @@ Result<LoadedRelease> ReadRelease(const std::string& dir,
     }
     return it->second;
   };
-  PCLEAN_ASSIGN_OR_RETURN(LoadedRelease release,
-                          ParseReleaseTables(from_manifest, dir, exec));
+  PCLEAN_ASSIGN_OR_RETURN(
+      LoadedRelease release,
+      ParseReleaseTables(from_manifest, dir, manifest.mechanism, exec));
   if (release.relation.num_rows() != manifest.rows) {
     return Status::DataLoss(
         "'" + dir + "/" + kDataFile + "' parsed to " +

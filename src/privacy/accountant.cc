@@ -1,7 +1,9 @@
 #include "privacy/accountant.h"
 
+#include <cmath>
 #include <limits>
 
+#include "privacy/mechanism.h"
 #include "privacy/privacy_params.h"
 
 namespace privateclean {
@@ -12,13 +14,19 @@ Result<PrivacyReport> AccountPrivacy(
   constexpr double kInf = std::numeric_limits<double>::infinity();
 
   for (const auto& [name, meta] : metadata.discrete) {
-    double eps;
-    if (meta.p <= 0.0) {
-      eps = kInf;
+    // Legacy metadata with a parameter the GRR family itself rejects
+    // (p < 0 is nonsensical, "never retained"): no privacy guarantee,
+    // rather than an error — a report over damaged metadata should
+    // still name the offending attribute.
+    if (meta.mechanism == nullptr && meta.p < 0.0) {
       report.fully_private = false;
-    } else {
-      PCLEAN_ASSIGN_OR_RETURN(eps, EpsilonForRandomizedResponse(meta.p));
+      report.per_attribute_epsilon.emplace(name, kInf);
+      continue;
     }
+    PCLEAN_ASSIGN_OR_RETURN(MechanismPtr mechanism, MechanismFor(meta));
+    PCLEAN_ASSIGN_OR_RETURN(double eps,
+                            mechanism->Epsilon(meta.domain.size()));
+    if (std::isinf(eps)) report.fully_private = false;
     report.per_attribute_epsilon.emplace(name, eps);
   }
   for (const auto& [name, meta] : metadata.numeric) {

@@ -1,12 +1,14 @@
 #ifndef PRIVATECLEAN_PRIVACY_GRR_H_
 #define PRIVATECLEAN_PRIVACY_GRR_H_
 
+#include <memory>
 #include <string>
 #include <unordered_map>
 
 #include "common/random.h"
 #include "common/result.h"
 #include "common/thread_pool.h"
+#include "privacy/mechanism.h"
 #include "privacy/privacy_params.h"
 #include "table/domain.h"
 #include "table/table.h"
@@ -14,14 +16,28 @@
 namespace privateclean {
 
 /// Metadata retained for one randomized discrete attribute: the
-/// randomization probability and the snapshot of the *dirty* domain at
-/// randomization time. The snapshot is what query processing needs — it
-/// fixes N (the number of distinct dirty values) and anchors the
-/// provenance graph's left-hand side (paper §6.2).
+/// per-attribute mechanism parameter, the snapshot of the *dirty* domain
+/// at randomization time, and the mechanism instance itself. The domain
+/// snapshot is what query processing needs — it fixes N (the number of
+/// distinct dirty values) and anchors the provenance graph's left-hand
+/// side (paper §6.2).
 struct DiscreteAttributeMeta {
+  /// The mechanism's stored per-attribute parameter (meta.csv `param`):
+  /// the replacement probability for "grr", the target ε for "hlm", the
+  /// inner randomization probability p0 for "sampling". Named `p` for
+  /// continuity with the paper and the pre-mechanism-zoo layout.
   double p = 0.0;
   Domain domain;
+  /// Null means legacy GRR with parameter `p` (pre-mechanism-zoo
+  /// metadata, including every hand-built test fixture); resolve
+  /// through MechanismFor() rather than dereferencing directly.
+  std::shared_ptr<const Mechanism> mechanism;
 };
+
+/// The mechanism behind a metadata entry, with null defaulting to the
+/// paper's GRR at parameter `meta.p` — the explicit legacy fallback for
+/// metadata built before the mechanism zoo (or by hand in tests).
+Result<MechanismPtr> MechanismFor(const DiscreteAttributeMeta& meta);
 
 /// Metadata for one noised numerical attribute.
 struct NumericAttributeMeta {
@@ -36,6 +52,10 @@ struct PrivateRelationMetadata {
   size_t dataset_size = 0;  ///< S
   std::unordered_map<std::string, DiscreteAttributeMeta> discrete;
   std::unordered_map<std::string, NumericAttributeMeta> numeric;
+  /// The mechanism family the relation was randomized under, persisted
+  /// in the release MANIFEST so a release is never decoded with the
+  /// wrong estimator. Defaults to the paper's GRR.
+  MechanismSpec mechanism_spec;
 };
 
 /// Options for private-relation generation.
@@ -47,6 +67,12 @@ struct GrrOptions {
   /// Abort with FailedPrecondition after this many attempts per column —
   /// a symptom that the dataset violates the Theorem 2 size bound badly.
   size_t max_regenerations = 1000;
+  /// The randomization-mechanism family for discrete attributes (see
+  /// privacy/mechanism.h). The per-attribute parameter still comes from
+  /// GrrParams (`discrete_p` / `default_p`): p for "grr", target ε for
+  /// "hlm", inner p0 for "sampling". Numeric attributes use the Laplace
+  /// mechanism under every family.
+  MechanismSpec mechanism;
   /// Threading for the per-row randomization loops. Rows are sharded by
   /// size alone and each shard forks its own RNG stream by shard index,
   /// so for a fixed seed the private relation is bit-identical at any

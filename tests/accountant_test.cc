@@ -96,5 +96,122 @@ TEST(AccountantTest, EmptyMetadataIsZero) {
   EXPECT_TRUE(report.per_attribute_epsilon.empty());
 }
 
+// --- Mechanism-aware accounting -------------------------------------------
+
+PrivateRelationMetadata MetadataWithMechanism(const MechanismSpec& spec,
+                                              double param, size_t n) {
+  std::vector<Value> values;
+  for (size_t i = 0; i < n; ++i) {
+    values.push_back(Value(static_cast<int64_t>(i)));
+  }
+  PrivateRelationMetadata meta;
+  meta.dataset_size = 100;
+  meta.discrete.emplace(
+      "d", DiscreteAttributeMeta{param, Domain::FromValues(values),
+                                 *MakeMechanism(spec, param)});
+  meta.mechanism_spec = spec;
+  return meta;
+}
+
+TEST(AccountantTest, HlmAttributeSpendsExactlyItsTarget) {
+  PrivacyReport report = *AccountPrivacy(
+      MetadataWithMechanism(MechanismSpec{"hlm", {}}, 1.3, 8));
+  EXPECT_DOUBLE_EQ(report.per_attribute_epsilon.at("d"), 1.3);
+  EXPECT_TRUE(report.fully_private);
+}
+
+TEST(AccountantTest, HlmSingleValueDomainIsZeroEpsilon) {
+  // One domain value: the output is constant whatever the input, so the
+  // attribute leaks nothing even at a generous target.
+  PrivacyReport report = *AccountPrivacy(
+      MetadataWithMechanism(MechanismSpec{"hlm", {}}, 5.0, 1));
+  EXPECT_DOUBLE_EQ(report.per_attribute_epsilon.at("d"), 0.0);
+  EXPECT_TRUE(report.fully_private);
+}
+
+TEST(AccountantTest, SamplingReportsExactEpsilonWithinAmplificationBound) {
+  const double beta = 0.5;
+  const double p0 = 0.25;
+  const size_t n = 4;
+  MechanismSpec spec{"sampling", {{"beta", beta}}};
+  PrivacyReport report =
+      *AccountPrivacy(MetadataWithMechanism(spec, p0, n));
+
+  // Exact accounting: ln(diag/off) of the combined confusion matrix,
+  // which the matrix-free EpsilonFromConfusionMatrix agrees with …
+  MechanismPtr m = *MakeMechanism(spec, p0);
+  EXPECT_NEAR(report.per_attribute_epsilon.at("d"),
+              *EpsilonFromConfusionMatrix((*m->Confusion(n)).Dense()),
+              1e-12);
+  // … and the subsampling amplification theorem dominates.
+  const double nd = static_cast<double>(n);
+  const double inner_eps = std::log(nd / p0 - nd + 1.0);
+  EXPECT_LE(report.per_attribute_epsilon.at("d"),
+            *SamplingAmplifiedEpsilon(inner_eps, beta) + 1e-12);
+  EXPECT_TRUE(report.fully_private);
+}
+
+TEST(AccountantTest, NonPrivateSamplingConfigurationIsInfinite) {
+  // beta == 1 with p0 == 0 never replaces a value: no guarantee.
+  PrivacyReport report = *AccountPrivacy(
+      MetadataWithMechanism(MechanismSpec{"sampling", {{"beta", 1.0}}},
+                            0.0, 4));
+  EXPECT_TRUE(std::isinf(report.per_attribute_epsilon.at("d")));
+  EXPECT_FALSE(report.fully_private);
+}
+
+TEST(AccountantTest, EmptyDomainIsTypedInvalidArgument) {
+  // An infeasible (parameter, domain-size) combination surfaces as a
+  // typed error, not a crash or a silent infinity.
+  PrivateRelationMetadata meta =
+      MetadataWithMechanism(MechanismSpec{"hlm", {}}, 1.0, 8);
+  meta.discrete.at("d").domain = Domain::FromValues({});
+  auto report = AccountPrivacy(meta);
+  ASSERT_FALSE(report.ok());
+  EXPECT_TRUE(report.status().IsInvalidArgument())
+      << report.status().ToString();
+}
+
+// --- EpsilonFromConfusionMatrix (general, non-diagonal-constant) ----------
+
+TEST(AccountantTest, EpsilonFromNonSymmetricConfusionMatrix) {
+  // Worst-case log-likelihood ratio over output columns:
+  // column 0 gives ln(0.7/0.1), column 1 gives ln(0.9/0.3); ε = ln 7.
+  std::vector<std::vector<double>> m = {{0.7, 0.3}, {0.1, 0.9}};
+  EXPECT_NEAR(*EpsilonFromConfusionMatrix(m), std::log(7.0), 1e-12);
+}
+
+TEST(AccountantTest, EpsilonFromConfusionMatrixSkipsImpossibleOutputs) {
+  // The middle output never occurs under any input: it constrains
+  // nothing, so ε comes from the remaining columns (ln 3).
+  std::vector<std::vector<double>> m = {
+      {0.5, 0.0, 0.5}, {0.2, 0.0, 0.8}, {0.6, 0.0, 0.4}};
+  EXPECT_NEAR(*EpsilonFromConfusionMatrix(m), std::log(3.0), 1e-12);
+}
+
+TEST(AccountantTest, EpsilonFromConfusionMatrixTypedErrors) {
+  // Non-square.
+  EXPECT_TRUE(EpsilonFromConfusionMatrix({{0.5, 0.5}})
+                  .status()
+                  .IsInvalidArgument());
+  // Empty.
+  EXPECT_TRUE(EpsilonFromConfusionMatrix({}).status().IsInvalidArgument());
+  // Row does not sum to 1.
+  EXPECT_TRUE(EpsilonFromConfusionMatrix({{0.9, 0.2}, {0.5, 0.5}})
+                  .status()
+                  .IsInvalidArgument());
+  // Negative entry.
+  EXPECT_TRUE(EpsilonFromConfusionMatrix({{1.2, -0.2}, {0.5, 0.5}})
+                  .status()
+                  .IsInvalidArgument());
+  // A column mixing zero and non-zero entries: observing that output
+  // identifies the input — no finite ε exists, and that is a property of
+  // the mechanism (FailedPrecondition), not of the matrix encoding.
+  auto mixed = EpsilonFromConfusionMatrix({{1.0, 0.0}, {0.5, 0.5}});
+  ASSERT_FALSE(mixed.ok());
+  EXPECT_TRUE(mixed.status().IsFailedPrecondition())
+      << mixed.status().ToString();
+}
+
 }  // namespace
 }  // namespace privateclean

@@ -521,6 +521,163 @@ TEST_F(ReleaseTest, NullLiteralRowsRoundTripThroughDictionary) {
   }
 }
 
+// --- Mechanism identity (MANIFEST `mechanism:` line) ----------------------
+
+GrrOutput MakeWithMechanism(const MechanismSpec& mechanism, double param,
+                            uint64_t seed = 3) {
+  Schema s = *Schema::Make(
+      {Field::Discrete("major"),
+       Field{"section", ValueType::kInt64, AttributeKind::kDiscrete},
+       Field::Numerical("score", ValueType::kDouble)});
+  TableBuilder b(s);
+  const char* majors[] = {"EECS", "Math, Applied", "Bio\"x\"", "Physics"};
+  for (int i = 0; i < 200; ++i) {
+    Value major = (i % 17 == 0) ? Value::Null() : Value(majors[i % 4]);
+    b.Row({major, Value(i % 5), Value(static_cast<double>(i % 10))});
+  }
+  Table t = *b.Finish();
+  Rng rng(seed);
+  GrrOptions options;
+  options.mechanism = mechanism;
+  return *ApplyGrr(t, GrrParams::Uniform(param, 1.5), options, rng);
+}
+
+/// Replaces the MANIFEST's `mechanism:` line with `line` (or drops it
+/// when nullopt, simulating a release written before the mechanism zoo)
+/// and recomputes the self-checksum so only the mechanism entry is under
+/// test, not the CRC machinery.
+void PatchManifestMechanism(const std::string& dir,
+                            const std::optional<std::string>& line) {
+  std::string manifest = *io::ReadFileToString(dir + "/MANIFEST");
+  size_t trailer = manifest.rfind("\nmanifest_crc: ");
+  ASSERT_NE(trailer, std::string::npos);
+  std::string body = manifest.substr(0, trailer + 1);
+  std::string out;
+  size_t pos = 0;
+  bool replaced = false;
+  while (pos < body.size()) {
+    size_t eol = body.find('\n', pos);
+    ASSERT_NE(eol, std::string::npos);
+    std::string l = body.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (l.rfind("mechanism: ", 0) == 0) {
+      replaced = true;
+      if (line.has_value()) out += *line + "\n";
+    } else {
+      out += l + "\n";
+    }
+  }
+  ASSERT_TRUE(replaced) << "MANIFEST carries no mechanism line";
+  out += "manifest_crc: " + io::Crc32cToHex(io::Crc32c(out)) + "\n";
+  ASSERT_TRUE(io::WriteFileDurable(dir + "/MANIFEST", out).ok());
+}
+
+TEST_F(ReleaseTest, ManifestRecordsMechanismIdentity) {
+  ASSERT_TRUE(WriteRelease(MakeGrr(), dir_).ok());
+  std::string manifest = *io::ReadFileToString(dir_ + "/MANIFEST");
+  EXPECT_NE(manifest.find("mechanism: grr\n"), std::string::npos);
+  LoadedRelease loaded = *ReadRelease(dir_);
+  EXPECT_EQ(loaded.metadata.mechanism_spec.name, "grr");
+  EXPECT_TRUE(loaded.metadata.mechanism_spec.params.empty());
+}
+
+TEST_F(ReleaseTest, RoundTripsHlmMechanismIdentity) {
+  GrrOutput grr = MakeWithMechanism(MechanismSpec{"hlm", {}}, 1.2);
+  ASSERT_TRUE(WriteRelease(grr, dir_).ok());
+  LoadedRelease loaded = *ReadRelease(dir_);
+  EXPECT_EQ(loaded.metadata.mechanism_spec.name, "hlm");
+  for (const auto& [name, meta] : loaded.metadata.discrete) {
+    MechanismPtr m = *MechanismFor(meta);
+    EXPECT_STREQ(m->name(), "hlm") << name;
+    EXPECT_DOUBLE_EQ(m->param(), 1.2) << name;
+  }
+  // The loaded release accounts and estimates exactly like the writer's
+  // in-process metadata — the wrong-estimator failure mode the MANIFEST
+  // line exists to prevent.
+  EXPECT_NEAR(AccountPrivacy(loaded.metadata)->total_epsilon,
+              AccountPrivacy(grr.metadata)->total_epsilon, 1e-9);
+  PrivateTable pt = *OpenRelease(dir_);
+  PrivateTable direct = *PrivateTable::FromPrivateRelation(
+      grr.table.Clone(), grr.metadata);
+  Predicate pred = Predicate::Equals("major", "EECS");
+  EXPECT_DOUBLE_EQ(pt.Count(pred)->estimate, direct.Count(pred)->estimate);
+}
+
+TEST_F(ReleaseTest, RoundTripsSamplingMechanismIdentityWithBeta) {
+  GrrOutput grr = MakeWithMechanism(
+      MechanismSpec{"sampling", {{"beta", 0.5}}}, 0.25);
+  ASSERT_TRUE(WriteRelease(grr, dir_).ok());
+  std::string manifest = *io::ReadFileToString(dir_ + "/MANIFEST");
+  EXPECT_NE(manifest.find("mechanism: sampling beta=0.5\n"),
+            std::string::npos);
+  LoadedRelease loaded = *ReadRelease(dir_);
+  EXPECT_EQ(loaded.metadata.mechanism_spec.name, "sampling");
+  ASSERT_EQ(loaded.metadata.mechanism_spec.params.count("beta"), 1u);
+  EXPECT_DOUBLE_EQ(loaded.metadata.mechanism_spec.params.at("beta"), 0.5);
+  for (const auto& [name, meta] : loaded.metadata.discrete) {
+    MechanismPtr m = *MechanismFor(meta);
+    EXPECT_STREQ(m->name(), "sampling") << name;
+    EXPECT_DOUBLE_EQ(m->param(), 0.25) << name;
+  }
+}
+
+TEST_F(ReleaseTest, UnknownMechanismNameInManifestIsFailedPrecondition) {
+  ASSERT_TRUE(WriteRelease(MakeGrr(), dir_).ok());
+  PatchManifestMechanism(dir_, std::string("mechanism: staircase"));
+  auto r = ReadRelease(dir_);
+  ASSERT_FALSE(r.ok());
+  // A release written by a newer build: the data is intact, this build
+  // just cannot decode it — FailedPrecondition, not DataLoss.
+  EXPECT_TRUE(r.status().IsFailedPrecondition()) << r.status().ToString();
+  EXPECT_NE(r.status().message().find("staircase"), std::string::npos);
+}
+
+TEST_F(ReleaseTest, MissingMechanismLineLoadsAsLegacyGrr) {
+  // A v2 release written before the mechanism zoo: no mechanism line at
+  // all. The reader defaults to the paper's GRR explicitly.
+  GrrOutput grr = MakeGrr();
+  ASSERT_TRUE(WriteRelease(grr, dir_).ok());
+  PatchManifestMechanism(dir_, std::nullopt);
+  auto loaded = ReadRelease(dir_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(loaded->verified);
+  EXPECT_EQ(loaded->metadata.mechanism_spec.name, "grr");
+  for (const auto& [name, meta] : loaded->metadata.discrete) {
+    EXPECT_STREQ((*MechanismFor(meta))->name(), "grr") << name;
+  }
+}
+
+TEST_F(ReleaseTest, CorruptMechanismParameterBlockIsDataLoss) {
+  ASSERT_TRUE(WriteRelease(MakeGrr(), dir_).ok());
+  PatchManifestMechanism(dir_, std::string("mechanism: sampling beta=zebra"));
+  auto r = ReadRelease(dir_);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsDataLoss()) << r.status().ToString();
+  EXPECT_NE(r.status().message().find("MANIFEST"), std::string::npos)
+      << r.status().ToString();
+}
+
+TEST_F(ReleaseTest, KnownMechanismWithInfeasibleParametersIsDataLoss) {
+  ASSERT_TRUE(WriteRelease(MakeGrr(), dir_).ok());
+  // Known family, parameter block this build can parse but not satisfy
+  // (sampling without its required beta): the entry is damaged, not
+  // from-the-future.
+  PatchManifestMechanism(dir_, std::string("mechanism: sampling"));
+  auto r = ReadRelease(dir_);
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsDataLoss()) << r.status().ToString();
+}
+
+TEST_F(ReleaseTest, V1ReleaseLoadsWithLegacyGrrDefault) {
+  GrrOutput grr = MakeGrr();
+  ASSERT_TRUE(WriteRelease(grr, dir_).ok());
+  std::filesystem::remove(dir_ + "/MANIFEST");
+  auto loaded = ReadRelease(dir_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->format_version, 1);
+  EXPECT_EQ(loaded->metadata.mechanism_spec.name, "grr");
+}
+
 TEST_F(ReleaseTest, EndToEndProviderAnalystSeparation) {
   // Provider process: generate, privatize, write, forget.
   SyntheticOptions options;

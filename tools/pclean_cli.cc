@@ -68,6 +68,22 @@ Result<double> ParseFlagDouble(const ParsedArgs& args,
   return ParseDouble(text);
 }
 
+/// --mechanism NAME [--beta B]: the randomization family for discrete
+/// attributes (privacy/mechanism.h). Defaults to the paper's GRR; the
+/// spec is validated here so a typo'd family name fails before any I/O.
+Result<MechanismSpec> ParseMechanismFlags(const ParsedArgs& args) {
+  MechanismSpec mechanism;
+  if (args.Has("mechanism")) {
+    PCLEAN_ASSIGN_OR_RETURN(mechanism.name, args.One("mechanism"));
+  }
+  if (args.Has("beta")) {
+    PCLEAN_ASSIGN_OR_RETURN(double beta, ParseFlagDouble(args, "beta"));
+    mechanism.params["beta"] = beta;
+  }
+  PCLEAN_RETURN_NOT_OK(ValidateMechanismSpec(mechanism));
+  return mechanism;
+}
+
 /// --csv-split MODE: record-splitting strategy for CSV ingest. "auto"
 /// (default) uses the speculative-split parallel parser for large inputs
 /// when --threads > 1, "serial" forces the single-pass parser, and
@@ -105,6 +121,7 @@ void PrintUsage(std::ostream& out) {
          "\n"
          "  pclean privatize --input data.csv --output release_dir\n"
          "         (--epsilon E | --p P --b B | --count-error TARGET)\n"
+         "         [--mechanism grr|hlm|sampling] [--beta B]\n"
          "         [--seed N] [--threads N] [--csv-split MODE]\n"
          "  pclean info --release release_dir\n"
          "  pclean verify release_dir\n"
@@ -117,6 +134,12 @@ void PrintUsage(std::ostream& out) {
          "  release (Not found), or an unverifiable pre-manifest release\n"
          "  (Failed precondition).\n"
          "\n"
+         "  --mechanism picks the discrete randomization family: grr\n"
+         "  (paper generalized randomized response, the default), hlm\n"
+         "  (Holohan-Leith-Mason optimal RR; --p is the per-attribute\n"
+         "  target epsilon), or sampling (subsample-then-randomize; --p is\n"
+         "  the inner randomization probability, --beta the sampling\n"
+         "  rate in (0, 1]). --count-error tuning is grr-only.\n"
          "  --threads N uses N worker threads for randomization and query\n"
          "  scans (0 = all hardware threads); results are independent of N.\n"
          "  --csv-split MODE picks the ingest record splitter: auto\n"
@@ -156,17 +179,29 @@ Status RunPrivatize(const ParsedArgs& args, std::ostream& out) {
   }
   Rng rng(seed != 0 ? seed : 0x9E3779B97F4A7C15ULL);
 
+  PCLEAN_ASSIGN_OR_RETURN(MechanismSpec mechanism,
+                          ParseMechanismFlags(args));
+
   GrrParams params;
   if (args.Has("epsilon")) {
     PCLEAN_ASSIGN_OR_RETURN(double epsilon, ParseFlagDouble(args, "epsilon"));
-    PCLEAN_ASSIGN_OR_RETURN(params, AllocateEpsilonBudget(table, epsilon));
+    PCLEAN_ASSIGN_OR_RETURN(
+        params, AllocateEpsilonBudget(table, epsilon, {}, mechanism));
   } else if (args.Has("count-error")) {
+    if (mechanism.name != "grr") {
+      return Status::InvalidArgument(
+          "--count-error tuning models the paper's GRR estimator; use "
+          "--epsilon (or --p/--b) with --mechanism " + mechanism.name);
+    }
     PCLEAN_ASSIGN_OR_RETURN(double target,
                             ParseFlagDouble(args, "count-error"));
     PCLEAN_ASSIGN_OR_RETURN(TuningResult tuning,
                             TunePrivacyParameters(table, target));
     params = ToGrrParams(tuning);
   } else if (args.Has("p") && args.Has("b")) {
+    // --p is the family's per-attribute parameter: the replacement
+    // probability for grr, the target epsilon for hlm, the inner
+    // randomization probability p0 for sampling.
     PCLEAN_ASSIGN_OR_RETURN(double p, ParseFlagDouble(args, "p"));
     PCLEAN_ASSIGN_OR_RETURN(double b, ParseFlagDouble(args, "b"));
     params = GrrParams::Uniform(p, b);
@@ -176,6 +211,7 @@ Status RunPrivatize(const ParsedArgs& args, std::ostream& out) {
   }
 
   GrrOptions grr_options;
+  grr_options.mechanism = mechanism;
   grr_options.exec = csv_options.exec;
   PCLEAN_ASSIGN_OR_RETURN(GrrOutput grr,
                           ApplyGrr(table, params, grr_options, rng));
@@ -184,6 +220,8 @@ Status RunPrivatize(const ParsedArgs& args, std::ostream& out) {
                           AccountPrivacy(grr.metadata));
   out << "wrote release: " << output << "\n";
   out << "  rows: " << grr.table.num_rows() << "\n";
+  out << "  mechanism: " << RenderMechanismSpec(grr.metadata.mechanism_spec)
+      << "\n";
   out << "  total epsilon: " << FormatDouble(report.total_epsilon) << "\n";
   if (grr.total_regenerations > 0) {
     out << "  regenerations: " << grr.total_regenerations << "\n";
@@ -198,6 +236,8 @@ Status RunInfo(const ParsedArgs& args, std::ostream& out) {
                           AccountPrivacy(release.metadata));
   out << "release: " << dir << "\n";
   out << "  rows: " << release.relation.num_rows() << "\n";
+  out << "  mechanism: "
+      << RenderMechanismSpec(release.metadata.mechanism_spec) << "\n";
   out << "  attributes:\n";
   const Schema& schema = release.relation.schema();
   for (size_t i = 0; i < schema.num_fields(); ++i) {
