@@ -400,6 +400,57 @@ void BM_CsvSplitParallelScaling(benchmark::State& state) {
 BENCHMARK(BM_CsvSplitParallelScaling)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
     ->Unit(benchmark::kMillisecond);
 
+// --- Vectorized batch engine vs boxed row loop ------------------------
+//
+// BM_RowLoopScanScaling preserves the engine's old execution strategy as
+// a baseline: one boxed ValueAt + Predicate::Matches call per row, sum
+// accumulated in a scalar loop. BM_VectorizedScanScaling is the shipping
+// engine: the same predicate compiled once into a dictionary match
+// table, evaluated in kVectorBatchRows batches into stack masks with the
+// sum accumulated per batch. scripts/bench.sh condenses the two side by
+// side into BENCH_pr8.json; vectorized must never be slower.
+
+void BM_RowLoopScanScaling(benchmark::State& state) {
+  const Table& data = ScalingTable();
+  Predicate pred = Predicate::In(
+      "category", {SyntheticCategory(0), SyntheticCategory(1),
+                   SyntheticCategory(2)});
+  const Column& cat = *data.ColumnByName("category").ValueOrDie();
+  const Column& val = *data.ColumnByName("value").ValueOrDie();
+  for (auto _ : state) {
+    double sum = 0.0;
+    for (size_t r = 0; r < data.num_rows(); ++r) {
+      if (!pred.Matches(cat.ValueAt(r))) continue;
+      if (!val.IsNull(r)) sum += val.DoubleAt(r);
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(data.num_rows()));
+}
+BENCHMARK(BM_RowLoopScanScaling)->Arg(1)->Unit(benchmark::kMillisecond);
+
+void BM_VectorizedScanScaling(benchmark::State& state) {
+  const Table& data = ScalingTable();
+  ExecutionOptions exec;
+  exec.num_threads = static_cast<size_t>(state.range(0));
+  Predicate pred = Predicate::In(
+      "category", {SyntheticCategory(0), SyntheticCategory(1),
+                   SyntheticCategory(2)});
+  CompiledPredicate compiled = *CompiledPredicate::Compile(data, pred);
+  AggregateQuery query;
+  query.agg = AggregateType::kSum;
+  query.numeric_attribute = "value";
+  for (auto _ : state) {
+    auto r = ExecuteAggregate(data, query, compiled, exec);
+    benchmark::DoNotOptimize(r.ok());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(data.num_rows()));
+}
+BENCHMARK(BM_VectorizedScanScaling)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_CsvWriteRead(benchmark::State& state) {
   Table data = MakeData(static_cast<size_t>(state.range(0)), 50);
   for (auto _ : state) {

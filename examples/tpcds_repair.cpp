@@ -74,17 +74,18 @@ int main() {
               "PrivateClean", "Direct");
   int shown = 0;
   // std::map iterates alphabetically; show the 5 largest instead.
-  std::vector<std::pair<std::string, size_t>> sorted(truth_groups.begin(),
-                                                     truth_groups.end());
+  std::vector<std::pair<Value, size_t>> sorted(truth_groups.begin(),
+                                               truth_groups.end());
   std::sort(sorted.begin(), sorted.end(),
             [](const auto& a, const auto& b) { return a.second > b.second; });
   for (const auto& [country, true_count] : sorted) {
     if (shown++ >= 5) break;
-    Predicate pred = Predicate::Equals("ca_country", Value(country));
+    Predicate pred = Predicate::Equals("ca_country", country);
     auto pc = private_table->Count(pred);
     auto direct = private_table->ExecuteDirect(AggregateQuery::Count(pred));
-    std::printf("  %-16s %10zu %14.1f %10.1f\n", country.c_str(),
-                true_count, pc.ok() ? pc->estimate : -1.0,
+    std::printf("  %-16s %10zu %14.1f %10.1f\n",
+                country.ToString().c_str(), true_count,
+                pc.ok() ? pc->estimate : -1.0,
                 direct.ok() ? direct->estimate : -1.0);
   }
 

@@ -10,8 +10,9 @@
 #      (dictionary-encoded predicate scan + provenance build, with the
 #      dictionary/arena memory counters), and BENCH_pr7.json (the
 #      mechanism zoo: grr/hlm/sampling randomization at matched
-#      replacement rates), mapping each benchmark to its 1-thread and
-#      max-thread wall time in ms.
+#      replacement rates), and BENCH_pr8.json (the vectorized batch scan
+#      next to the boxed row-loop baseline it replaced), mapping each
+#      benchmark to its 1-thread and max-thread wall time in ms.
 #
 # Every output carries a `_host` record (nproc, CPU model) so numbers
 # from different machines are never compared blind, and each benchmark
@@ -21,6 +22,7 @@
 #
 # Usage: scripts/bench.sh [build-dir] [output-json] [split-output-json]
 #                         [dict-output-json] [mechanism-output-json]
+#                         [vectorized-output-json]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -30,6 +32,7 @@ OUT_JSON="${2:-BENCH_pr3.json}"
 SPLIT_JSON="${3:-BENCH_pr5.json}"
 DICT_JSON="${4:-BENCH_pr6.json}"
 MECH_JSON="${5:-BENCH_pr7.json}"
+VEC_JSON="${6:-BENCH_pr8.json}"
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 RAW_JSON="${BUILD_DIR}/bench_scaling_raw.json"
 
@@ -39,18 +42,18 @@ cmake --build "${BUILD_DIR}" -j "${JOBS}" --target perf_microbench
 
 echo "== run *ParallelScaling benchmarks =="
 "${BUILD_DIR}/bench/perf_microbench" \
-  --benchmark_filter='ParallelScaling' \
+  --benchmark_filter='ParallelScaling|ScanScaling' \
   --benchmark_format=json \
   --benchmark_out="${RAW_JSON}" \
   --benchmark_out_format=json
 
-echo "== condense into ${OUT_JSON} + ${SPLIT_JSON} + ${DICT_JSON} + ${MECH_JSON} =="
-python3 - "${RAW_JSON}" "${OUT_JSON}" "${SPLIT_JSON}" "${DICT_JSON}" "${MECH_JSON}" <<'PY'
+echo "== condense into ${OUT_JSON} + ${SPLIT_JSON} + ${DICT_JSON} + ${MECH_JSON} + ${VEC_JSON} =="
+python3 - "${RAW_JSON}" "${OUT_JSON}" "${SPLIT_JSON}" "${DICT_JSON}" "${MECH_JSON}" "${VEC_JSON}" <<'PY'
 import json
 import re
 import sys
 
-raw_path, out_path, split_path, dict_path, mech_path = sys.argv[1:6]
+raw_path, out_path, split_path, dict_path, mech_path, vec_path = sys.argv[1:7]
 with open(raw_path) as f:
     raw = json.load(f)
 
@@ -134,14 +137,19 @@ SPLIT = "BM_CsvSplitParallelScaling"
 DICT = ("BM_ScanParallelScaling", "BM_ProvenanceParallelScaling")
 MECH = ("BM_GrrParallelScaling", "BM_HlmParallelScaling",
         "BM_SamplingParallelScaling")
+# BENCH_pr8.json: the vectorized batch engine against the boxed row-loop
+# baseline it replaced — same 1M-row table, same predicate + SUM.
+VEC = ("BM_VectorizedScanScaling", "BM_RowLoopScanScaling")
 write(out_path, condense(
     n for n in runs
     if n != SPLIT and n not in ("BM_ProvenanceParallelScaling",)
+    and n not in VEC
     and (n not in MECH or n == "BM_GrrParallelScaling")))
 write(split_path, condense(
     n for n in runs if n == SPLIT or n == "BM_CsvParseParallelScaling"))
 write(dict_path, condense(n for n in runs if n in DICT))
 write(mech_path, condense(n for n in runs if n in MECH))
+write(vec_path, condense(n for n in runs if n in VEC))
 PY
 
-echo "bench: wrote ${OUT_JSON}, ${SPLIT_JSON}, ${DICT_JSON} and ${MECH_JSON}"
+echo "bench: wrote ${OUT_JSON}, ${SPLIT_JSON}, ${DICT_JSON}, ${MECH_JSON} and ${VEC_JSON}"

@@ -8,11 +8,16 @@
 #      checked in, so this pass is deterministic; the thresholds are
 #      sized for a <1% false-positive rate if the seeds were redrawn
 #      (see tests/mechanism_statistical_test.cc);
-#   3. thread-sanitizer pass: rebuild with PCLEAN_SANITIZE=thread and run
+#   3. SQL suite: ctest -L sql in the tier-1 build — the grammar
+#      differential/round-trip properties (sql_test) plus the vectorized
+#      batch engine's differential, determinism, and bias-correction
+#      acceptance (sql_engine_test), called out separately so a SQL-layer
+#      regression is visible at a glance;
+#   4. thread-sanitizer pass: rebuild with PCLEAN_SANITIZE=thread and run
 #      the `determinism`-labeled suites (the 1/2/8-thread bit-identity and
 #      statistical tests), so data races in the sharded paths are caught
 #      even when plain ctest happens to schedule them benignly;
-#   4. address+UB-sanitizer pass: rebuild with
+#   5. address+UB-sanitizer pass: rebuild with
 #      PCLEAN_SANITIZE=address,undefined and run the `failpoint` and
 #      `fuzz` suites — the fault-injection torture and byte-corruption
 #      fuzzers, where torn files and mid-error cleanup paths are most
@@ -35,6 +40,9 @@ ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}"
 
 echo "== statistical acceptance: ctest -L statistical (${BUILD_DIR}) =="
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}" -L statistical
+
+echo "== SQL suite: ctest -L sql (${BUILD_DIR}) =="
+ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}" -L sql
 
 echo "== TSan: build + ctest -L determinism (${TSAN_DIR}) =="
 cmake -B "${TSAN_DIR}" -S . -DPCLEAN_SANITIZE=thread

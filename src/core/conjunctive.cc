@@ -1,8 +1,10 @@
 #include "core/conjunctive.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "privacy/randomized_response.h"
+#include "query/vectorized.h"
 
 namespace privateclean {
 
@@ -16,8 +18,10 @@ Result<ConjunctiveScanStats> ScanConjunctive(const Table& table,
         "attributes (combine same-attribute conditions into one "
         "Predicate instead)");
   }
-  PCLEAN_ASSIGN_OR_RETURN(auto mask_a, cond_a.Evaluate(table, exec));
-  PCLEAN_ASSIGN_OR_RETURN(auto mask_b, cond_b.Evaluate(table, exec));
+  PCLEAN_ASSIGN_OR_RETURN(CompiledPredicate pred_a,
+                          CompiledPredicate::Compile(table, cond_a));
+  PCLEAN_ASSIGN_OR_RETURN(CompiledPredicate pred_b,
+                          CompiledPredicate::Compile(table, cond_b));
   ConjunctiveScanStats stats;
   stats.total_rows = table.num_rows();
   const size_t shards = ShardCountForRows(table.num_rows());
@@ -26,15 +30,22 @@ Result<ConjunctiveScanStats> ScanConjunctive(const Table& table,
       table.num_rows(), shards, exec,
       [&](size_t shard, size_t begin, size_t end) -> Status {
         ConjunctiveScanStats& part = partials[shard];
-        for (size_t r = begin; r < end; ++r) {
-          if (mask_a[r] && mask_b[r]) {
-            ++part.count_tt;
-          } else if (mask_a[r]) {
-            ++part.count_tf;
-          } else if (mask_b[r]) {
-            ++part.count_ft;
-          } else {
-            ++part.count_ff;
+        uint8_t mask_a[kVectorBatchRows];
+        uint8_t mask_b[kVectorBatchRows];
+        for (size_t b = begin; b < end; b += kVectorBatchRows) {
+          const size_t batch = std::min(kVectorBatchRows, end - b);
+          pred_a.EvalBatch(b, batch, mask_a);
+          pred_b.EvalBatch(b, batch, mask_b);
+          for (size_t i = 0; i < batch; ++i) {
+            if (mask_a[i] && mask_b[i]) {
+              ++part.count_tt;
+            } else if (mask_a[i]) {
+              ++part.count_tf;
+            } else if (mask_b[i]) {
+              ++part.count_ft;
+            } else {
+              ++part.count_ff;
+            }
           }
         }
         return Status::OK();

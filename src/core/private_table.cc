@@ -131,10 +131,23 @@ Status PrivateTable::Clean(const CleaningPipeline& pipeline) {
   return Status::OK();
 }
 
+Status PrivateTable::RejectNumericPredicateAttribute(
+    const std::string& attr) const {
+  if (metadata_.numeric.count(attr) > 0) {
+    return Status::FailedPrecondition(
+        "not privately answerable: predicate on numeric attribute '" + attr +
+        "' — the bias correction needs a discrete randomized attribute "
+        "(Laplace-noised numerics have no transition matrix); use the Direct "
+        "baseline or a predicate on a discrete attribute");
+  }
+  return Status::OK();
+}
+
 Result<EstimationInputs> PrivateTable::InputsForPredicate(
     const Predicate& predicate, const std::string& numeric_attribute,
     const QueryOptions& options) const {
   const std::string& attr = predicate.attribute();
+  PCLEAN_RETURN_NOT_OK(RejectNumericPredicateAttribute(attr));
   PCLEAN_ASSIGN_OR_RETURN(std::string anchor, provenance_.AnchorOf(attr));
   auto meta_it = metadata_.discrete.find(anchor);
   if (meta_it == metadata_.discrete.end()) {
@@ -228,6 +241,7 @@ Result<QueryResult> PrivateTable::CountConjunctive(
 Result<std::vector<std::pair<Value, QueryResult>>>
 PrivateTable::GroupByCountEstimate(const std::string& attribute,
                                    const QueryOptions& options) const {
+  PCLEAN_RETURN_NOT_OK(RejectNumericPredicateAttribute(attribute));
   PCLEAN_ASSIGN_OR_RETURN(std::string anchor, provenance_.AnchorOf(attribute));
   auto meta_it = metadata_.discrete.find(anchor);
   if (meta_it == metadata_.discrete.end()) {
@@ -319,6 +333,14 @@ PrivateTable::GroupByCountEstimate(const std::string& attribute,
 
 Result<QueryResult> PrivateTable::Execute(const AggregateQuery& query,
                                           const QueryOptions& options) const {
+  if (query.agg == AggregateType::kMin || query.agg == AggregateType::kMax) {
+    return Status::FailedPrecondition(
+        "not privately answerable: " +
+        std::string(AggregateTypeToString(query.agg)) +
+        "() reads an extreme value, which randomization destroys — no "
+        "bias-corrected estimator exists (use the Direct baseline for a "
+        "nominal value)");
+  }
   if (query.agg != AggregateType::kCount &&
       query.agg != AggregateType::kSum && query.agg != AggregateType::kAvg) {
     return Status::InvalidArgument(
@@ -367,6 +389,20 @@ Result<QueryResult> PrivateTable::Execute(const AggregateQuery& query,
 
 Result<QueryResult> PrivateTable::ExecuteDirect(
     const AggregateQuery& query, const QueryOptions& options) const {
+  if (query.agg == AggregateType::kMin || query.agg == AggregateType::kMax) {
+    // Direct answers extremes nominally — the whole point of the
+    // baseline is reading noised values as-is.
+    PCLEAN_ASSIGN_OR_RETURN(
+        double nominal, ExecuteAggregate(relation_, query, options.exec));
+    QueryResult r;
+    r.estimator = EstimatorKind::kDirect;
+    r.estimate = nominal;
+    r.nominal = nominal;
+    r.ci = ConfidenceInterval{nominal, nominal};
+    r.s = relation_.num_rows();
+    StampMemoryStats(relation_, &r);
+    return r;
+  }
   if (query.agg != AggregateType::kCount &&
       query.agg != AggregateType::kSum && query.agg != AggregateType::kAvg) {
     return Status::InvalidArgument(
@@ -432,6 +468,14 @@ Result<double> ExtendedAggregateOnTable(const Table& table,
       return query.agg == AggregateType::kVar ? corrected
                                               : std::sqrt(corrected);
     }
+    case AggregateType::kMin:
+    case AggregateType::kMax:
+      return Status::FailedPrecondition(
+          "not privately answerable: " +
+          std::string(AggregateTypeToString(query.agg)) +
+          "() reads an extreme value, which randomization destroys — no "
+          "bias-corrected estimator exists (use the Direct baseline for a "
+          "nominal value)");
     default:
       return Status::InvalidArgument(
           "ExtendedAggregate handles median/percentile/var/std; use "

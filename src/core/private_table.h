@@ -198,6 +198,11 @@ class PrivateTable {
   Result<ProvenanceGraph> ProvenanceFor(const std::string& attribute,
                                         const ExecutionOptions& exec = {}) const;
 
+  /// Typed rejection for corrected estimators keyed on a Laplace-noised
+  /// numeric attribute: no transition matrix exists, so no bias
+  /// correction is possible. OK when `attr` is not a numeric attribute.
+  Status RejectNumericPredicateAttribute(const std::string& attr) const;
+
   /// The deterministic estimator inputs (p, l, N) PrivateClean would use
   /// for this predicate right now — exposed for tests and diagnostics.
   Result<EstimationInputs> InputsForPredicate(

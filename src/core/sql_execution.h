@@ -1,32 +1,76 @@
 #ifndef PRIVATECLEAN_CORE_SQL_EXECUTION_H_
 #define PRIVATECLEAN_CORE_SQL_EXECUTION_H_
 
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "core/private_table.h"
 #include "query/sql.h"
 
 namespace privateclean {
 
+/// One output row of a SQL query. Scalar queries produce a single row
+/// with no group key; grouped queries (GROUP BY / SELECT DISTINCT) one
+/// row per group with the boxed key (a NULL group is Value::Null(),
+/// distinct from the empty string — render with RenderSqlLiteral).
+struct SqlRow {
+  std::optional<Value> group;
+  QueryResult result;
+};
+
+/// The full result of a SQL query after ORDER BY / LIMIT shaping.
+struct SqlResultSet {
+  bool grouped = false;
+  std::vector<SqlRow> rows;
+};
+
 /// Parses and runs a SQL query against a private table with the
 /// PrivateClean estimators:
 ///
-///   ExecuteSql(pt, "SELECT avg(score) FROM r WHERE major = 'EECS'")
+///   ExecuteSqlQuery(pt, "SELECT count(1) FROM r WHERE score >= 3")
 ///
-/// Dispatch: COUNT with two AND-conditions uses the conjunctive
-/// estimator; plain SUM/COUNT/AVG use the corrected estimators;
-/// MEDIAN/VAR/STD/PERCENTILE use the §10 extension aggregates — point
-/// estimates with degenerate intervals by default, or bootstrap
-/// percentile intervals when `options.bootstrap_replicates > 0` (the
-/// replicate loop threads per `options.exec`). The FROM table name is
-/// not checked (a PrivateTable is a single relation).
+/// Dispatch:
+///  - any single-attribute WHERE tree (comparisons, ranges, AND/OR/NOT,
+///    IN, IS NULL) collapses to one predicate and routes through the
+///    bias-corrected SUM/COUNT/AVG estimators;
+///  - COUNT under an AND of two single-attribute condition groups uses
+///    the §10 conjunctive estimator;
+///  - MEDIAN/VAR/STD/PERCENTILE use the §10 extension aggregates — point
+///    estimates, or bootstrap percentile intervals when
+///    `options.bootstrap_replicates > 0`;
+///  - GROUP BY <attr> on a bare COUNT runs GroupByCountEstimate: one
+///    corrected estimate per clean-domain group, then ORDER BY / LIMIT
+///    shape the rows (stable sort, so ties keep first-appearance order).
+///
+/// Forms with no bias-corrected estimator fail with a typed
+/// FailedPrecondition("not privately answerable: ...") naming the form:
+/// MIN/MAX, SELECT DISTINCT, COUNT(DISTINCT), GROUP BY combined with
+/// WHERE or a non-COUNT aggregate, and WHERE trees spanning more than
+/// two attributes (or two attributes outside a pure COUNT conjunction).
+/// The FROM table name is not checked (a PrivateTable is a single
+/// relation).
+Result<SqlResultSet> ExecuteSqlQuery(const PrivateTable& table,
+                                     const std::string& sql,
+                                     const QueryOptions& options = QueryOptions());
+
+/// The Direct-baseline counterpart: nominal values off the private
+/// relation, no re-weighting, degenerate intervals. Because nothing is
+/// corrected, Direct answers every parseable form — MIN/MAX, GROUP BY
+/// with WHERE and any aggregate, SELECT DISTINCT (group rows whose
+/// results carry the nominal group counts), and arbitrary
+/// multi-attribute WHERE trees (compiled to a vectorized mask).
+/// COUNT(DISTINCT attr) returns the nominal distinct-value count.
+Result<SqlResultSet> ExecuteSqlQueryDirect(const PrivateTable& table,
+                                           const std::string& sql,
+                                           const ExecutionOptions& exec = {});
+
+/// Scalar convenience wrappers: the single QueryResult of a non-grouped
+/// query. Grouped queries (GROUP BY / SELECT DISTINCT) return
+/// InvalidArgument directing callers to the SqlResultSet entry points.
 Result<QueryResult> ExecuteSql(const PrivateTable& table,
                                const std::string& sql,
                                const QueryOptions& options = QueryOptions());
-
-/// The Direct-baseline counterpart (nominal values, no re-weighting).
-/// Row passes thread per `exec`; results are identical at every thread
-/// count.
 Result<QueryResult> ExecuteSqlDirect(const PrivateTable& table,
                                      const std::string& sql,
                                      const ExecutionOptions& exec = {});

@@ -1,5 +1,6 @@
 #include "query/aggregate.h"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/failpoint.h"
@@ -23,6 +24,10 @@ const char* AggregateTypeToString(AggregateType agg) {
       return "var";
     case AggregateType::kStd:
       return "std";
+    case AggregateType::kMin:
+      return "min";
+    case AggregateType::kMax:
+      return "max";
   }
   return "unknown";
 }
@@ -65,6 +70,9 @@ struct AggregatePartial {
   size_t count = 0;             ///< Matching rows (count) / non-null (avg).
   size_t masked = 0;            ///< Matching rows including NULLs.
   double sum = 0.0;             ///< Sum of matching non-null values.
+  bool has_extreme = false;     ///< min_value/max_value are populated.
+  double min_value = 0.0;       ///< For min.
+  double max_value = 0.0;       ///< For max.
   RunningMoments moments;       ///< For var/std.
   std::vector<double> values;   ///< For median/percentile (in row order).
 };
@@ -74,13 +82,18 @@ struct AggregatePartial {
 Result<double> ExecuteAggregate(const Table& table,
                                 const AggregateQuery& query,
                                 const ExecutionOptions& exec) {
-  std::vector<uint8_t> mask;
+  CompiledPredicate predicate = CompiledPredicate::True();
   if (query.predicate.has_value()) {
-    PCLEAN_ASSIGN_OR_RETURN(mask, query.predicate->Evaluate(table, exec));
-  } else {
-    mask.assign(table.num_rows(), 1);
+    PCLEAN_ASSIGN_OR_RETURN(
+        predicate, CompiledPredicate::Compile(table, *query.predicate));
   }
+  return ExecuteAggregate(table, query, predicate, exec);
+}
 
+Result<double> ExecuteAggregate(const Table& table,
+                                const AggregateQuery& query,
+                                const CompiledPredicate& predicate,
+                                const ExecutionOptions& exec) {
   const size_t rows = table.num_rows();
   const size_t shards = ShardCountForRows(rows);
 
@@ -89,8 +102,13 @@ Result<double> ExecuteAggregate(const Table& table,
     PCLEAN_RETURN_NOT_OK(ParallelFor(
         rows, shards, exec,
         [&](size_t shard, size_t begin, size_t end) -> Status {
+          uint8_t mask[kVectorBatchRows];
           size_t n = 0;
-          for (size_t r = begin; r < end; ++r) n += mask[r];
+          for (size_t b = begin; b < end; b += kVectorBatchRows) {
+            const size_t batch = std::min(kVectorBatchRows, end - b);
+            predicate.EvalBatch(b, batch, mask);
+            for (size_t i = 0; i < batch; ++i) n += mask[i];
+          }
           partials[shard].count = n;
           return Status::OK();
         }));
@@ -108,20 +126,41 @@ Result<double> ExecuteAggregate(const Table& table,
                             query.agg == AggregateType::kPercentile;
   const bool needs_moments =
       query.agg == AggregateType::kVar || query.agg == AggregateType::kStd;
+  const bool needs_extremes =
+      query.agg == AggregateType::kMin || query.agg == AggregateType::kMax;
   std::vector<AggregatePartial> partials(shards);
   PCLEAN_RETURN_NOT_OK(ParallelFor(
       rows, shards, exec,
       [&](size_t shard, size_t begin, size_t end) -> Status {
         AggregatePartial& part = partials[shard];
-        for (size_t r = begin; r < end; ++r) {
-          if (!mask[r]) continue;
-          part.masked++;
-          if (col->IsNull(r)) continue;
-          double x = col->NumericAt(r);
-          part.sum += x;
-          ++part.count;
-          if (needs_moments) part.moments.Add(x);
-          if (needs_values) part.values.push_back(x);
+        uint8_t mask[kVectorBatchRows];
+        for (size_t b = begin; b < end; b += kVectorBatchRows) {
+          const size_t batch = std::min(kVectorBatchRows, end - b);
+          predicate.EvalBatch(b, batch, mask);
+          // The accumulation below visits matching rows in row order —
+          // exactly the pre-vectorization sequence, so sums and value
+          // buffers are bit-identical to the row-loop engine.
+          for (size_t i = 0; i < batch; ++i) {
+            if (!mask[i]) continue;
+            const size_t r = b + i;
+            part.masked++;
+            if (col->IsNull(r)) continue;
+            double x = col->NumericAt(r);
+            part.sum += x;
+            ++part.count;
+            if (needs_moments) part.moments.Add(x);
+            if (needs_values) part.values.push_back(x);
+            if (needs_extremes) {
+              if (!part.has_extreme) {
+                part.has_extreme = true;
+                part.min_value = x;
+                part.max_value = x;
+              } else {
+                if (x < part.min_value) part.min_value = x;
+                if (x > part.max_value) part.max_value = x;
+              }
+            }
+          }
         }
         return Status::OK();
       }));
@@ -132,6 +171,20 @@ Result<double> ExecuteAggregate(const Table& table,
     merged.masked += part.masked;
     merged.sum += part.sum;
     if (needs_moments) merged.moments.Merge(part.moments);
+    if (needs_extremes && part.has_extreme) {
+      if (!merged.has_extreme) {
+        merged.has_extreme = true;
+        merged.min_value = part.min_value;
+        merged.max_value = part.max_value;
+      } else {
+        if (part.min_value < merged.min_value) {
+          merged.min_value = part.min_value;
+        }
+        if (part.max_value > merged.max_value) {
+          merged.max_value = part.max_value;
+        }
+      }
+    }
     if (needs_values) {
       // Concatenating in shard index order reproduces the serial row
       // order exactly.
@@ -173,6 +226,16 @@ Result<double> ExecuteAggregate(const Table& table,
       }
       return Percentile(std::move(merged.values), query.percentile);
     }
+    case AggregateType::kMin:
+    case AggregateType::kMax: {
+      if (!merged.has_extreme) {
+        return Status::FailedPrecondition(
+            std::string(AggregateTypeToString(query.agg)) +
+            " over zero non-null matching rows");
+      }
+      return query.agg == AggregateType::kMin ? merged.min_value
+                                              : merged.max_value;
+    }
     case AggregateType::kCount:
       break;  // Handled above.
   }
@@ -203,7 +266,8 @@ Result<QueryScanStats> ScanWithPredicate(const Table& table,
   PCLEAN_FAILPOINT("query.scan.begin", numeric_attribute);
   QueryScanStats stats;
   stats.total_rows = table.num_rows();
-  PCLEAN_ASSIGN_OR_RETURN(auto mask, predicate.Evaluate(table, exec));
+  PCLEAN_ASSIGN_OR_RETURN(CompiledPredicate compiled,
+                          CompiledPredicate::Compile(table, predicate));
 
   const Column* numeric = nullptr;
   if (!numeric_attribute.empty()) {
@@ -217,17 +281,25 @@ Result<QueryScanStats> ScanWithPredicate(const Table& table,
       table.num_rows(), shards, exec,
       [&](size_t shard, size_t begin, size_t end) -> Status {
         ScanPartial& part = partials[shard];
-        for (size_t r = begin; r < end; ++r) {
-          double x = 0.0;
-          if (numeric != nullptr && !numeric->IsNull(r)) {
-            x = numeric->NumericAt(r);
-            part.moments.Add(x);
-          }
-          if (mask[r]) {
-            ++part.matching_rows;
-            part.matching_sum += x;
-          } else {
-            part.complement_sum += x;
+        uint8_t mask[kVectorBatchRows];
+        for (size_t b = begin; b < end; b += kVectorBatchRows) {
+          const size_t batch = std::min(kVectorBatchRows, end - b);
+          compiled.EvalBatch(b, batch, mask);
+          // Row order within the shard is unchanged from the row-loop
+          // engine, so moments and sums accumulate bit-identically.
+          for (size_t i = 0; i < batch; ++i) {
+            const size_t r = b + i;
+            double x = 0.0;
+            if (numeric != nullptr && !numeric->IsNull(r)) {
+              x = numeric->NumericAt(r);
+              part.moments.Add(x);
+            }
+            if (mask[i]) {
+              ++part.matching_rows;
+              part.matching_sum += x;
+            } else {
+              part.complement_sum += x;
+            }
           }
         }
         return Status::OK();
@@ -245,13 +317,16 @@ Result<QueryScanStats> ScanWithPredicate(const Table& table,
   return stats;
 }
 
-Result<std::map<std::string, size_t>> GroupByCount(
+Result<std::map<Value, size_t>> GroupByCount(
     const Table& table, const std::string& group_attribute) {
   PCLEAN_ASSIGN_OR_RETURN(const Column* col,
                           table.ColumnByName(group_attribute));
-  std::map<std::string, size_t> counts;
+  // Keys are boxed Values: a NULL group is Value::Null(), a distinct
+  // bucket from a genuine empty-string group (they collided when keys
+  // were stringified).
+  std::map<Value, size_t> counts;
   for (size_t r = 0; r < col->size(); ++r) {
-    counts[col->ValueAt(r).ToString()]++;
+    counts[col->ValueAt(r)]++;
   }
   return counts;
 }

@@ -8,6 +8,7 @@
 #include "common/result.h"
 #include "common/thread_pool.h"
 #include "query/predicate.h"
+#include "query/vectorized.h"
 #include "table/table.h"
 
 namespace privateclean {
@@ -15,7 +16,10 @@ namespace privateclean {
 /// Supported aggregate functions. The paper's core class is
 /// sum/count/avg (§3.2.2); median/percentile/var/std are the §10
 /// extensions (Laplace noise has zero median, and its variance 2b² can be
-/// subtracted from var).
+/// subtracted from var). min/max exist for ground truth and the Direct
+/// baseline only — extreme values are destroyed by randomization, so no
+/// bias-corrected private estimator exists (the private entry points
+/// reject them with a typed FailedPrecondition).
 enum class AggregateType {
   kCount = 0,
   kSum = 1,
@@ -24,6 +28,8 @@ enum class AggregateType {
   kPercentile = 4,
   kVar = 5,
   kStd = 6,
+  kMin = 7,
+  kMax = 8,
 };
 
 const char* AggregateTypeToString(AggregateType agg);
@@ -56,13 +62,24 @@ struct AggregateQuery {
 /// Avg over a selection with zero (non-null) matching rows is a
 /// FailedPrecondition, never 0 or NaN.
 ///
-/// The per-row loop is sharded per `exec` (common/thread_pool.h):
-/// per-shard partials (counts, sums, Welford moments, value buffers)
+/// The scan runs vectorized: each shard walks its rows in fixed-size
+/// batches (kVectorBatchRows), evaluating the compiled predicate into a
+/// stack mask and accumulating matching rows in row order. Per-shard
+/// partials (counts, sums, Welford moments, min/max, value buffers)
 /// merge in shard index order, so the result — including floating-point
 /// sums and the median/percentile value order — is bit-identical at every
-/// thread count.
+/// thread count (batch boundaries are thread-count-independent).
 Result<double> ExecuteAggregate(const Table& table,
                                 const AggregateQuery& query,
+                                const ExecutionOptions& exec = {});
+
+/// Same, against an already-compiled predicate — how the SQL executors
+/// run multi-attribute WHERE trees (compiled once, no Predicate
+/// collapse). `query.predicate` is ignored; `predicate` supplies the
+/// row mask.
+Result<double> ExecuteAggregate(const Table& table,
+                                const AggregateQuery& query,
+                                const CompiledPredicate& predicate,
                                 const ExecutionOptions& exec = {});
 
 /// One-pass scan producing everything the PrivateClean estimators need
@@ -92,9 +109,11 @@ Result<QueryScanStats> ScanWithPredicate(const Table& table,
                                          const ExecutionOptions& exec = {});
 
 /// `SELECT group, count(1) FROM t GROUP BY group_attribute` — used by the
-/// TPC-DS experiment (§8.3.4). Keys are rendered with Value::ToString();
-/// null groups render as the empty string.
-Result<std::map<std::string, size_t>> GroupByCount(
+/// TPC-DS experiment (§8.3.4). Keys are the boxed group values, so a
+/// NULL group gets its own bucket (Value::Null()) and can never collide
+/// with a genuine empty-string group; render keys with RenderSqlLiteral
+/// (query/sql.h) for unambiguous display.
+Result<std::map<Value, size_t>> GroupByCount(
     const Table& table, const std::string& group_attribute);
 
 }  // namespace privateclean

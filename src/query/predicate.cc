@@ -1,8 +1,67 @@
 #include "query/predicate.h"
 
-#include <unordered_map>
+#include "query/vectorized.h"
 
 namespace privateclean {
+
+const char* CompareOpToString(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "!=";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+bool ComparesTrue(CompareOp op, const Value& v, const Value& bound) {
+  if (op == CompareOp::kEq) return v == bound;
+  if (op == CompareOp::kNe) return v != bound;
+  const ValueType vt = v.type();
+  const ValueType bt = bound.type();
+  const bool v_numeric = vt == ValueType::kInt64 || vt == ValueType::kDouble;
+  const bool b_numeric = bt == ValueType::kInt64 || bt == ValueType::kDouble;
+  int cmp = 0;
+  if (v_numeric && b_numeric) {
+    if (vt == ValueType::kInt64 && bt == ValueType::kInt64) {
+      int64_t a = v.AsInt64();
+      int64_t b = bound.AsInt64();
+      cmp = a < b ? -1 : (a > b ? 1 : 0);
+    } else {
+      double a = vt == ValueType::kInt64 ? static_cast<double>(v.AsInt64())
+                                         : v.AsDouble();
+      double b = bt == ValueType::kInt64 ? static_cast<double>(bound.AsInt64())
+                                         : bound.AsDouble();
+      cmp = a < b ? -1 : (a > b ? 1 : 0);
+    }
+  } else if (vt == ValueType::kString && bt == ValueType::kString) {
+    int c = v.AsString().compare(bound.AsString());
+    cmp = c < 0 ? -1 : (c > 0 ? 1 : 0);
+  } else {
+    // NULL or mixed string/numeric operands: no defined order.
+    return false;
+  }
+  switch (op) {
+    case CompareOp::kLt:
+      return cmp < 0;
+    case CompareOp::kLe:
+      return cmp <= 0;
+    case CompareOp::kGt:
+      return cmp > 0;
+    case CompareOp::kGe:
+      return cmp >= 0;
+    default:
+      return false;  // kEq/kNe handled above.
+  }
+}
 
 Predicate Predicate::Equals(std::string attribute, Value value) {
   Predicate p(std::move(attribute), Mode::kIn);
@@ -24,6 +83,19 @@ Predicate Predicate::IsNotNull(std::string attribute) {
   return IsNull(std::move(attribute)).Negate();
 }
 
+Predicate Predicate::Compare(std::string attribute, CompareOp op, Value bound) {
+  if (op == CompareOp::kEq) {
+    return Equals(std::move(attribute), std::move(bound));
+  }
+  if (op == CompareOp::kNe) {
+    return Equals(std::move(attribute), std::move(bound)).Negate();
+  }
+  Predicate p(std::move(attribute), Mode::kCompare);
+  p.compare_op_ = op;
+  p.compare_bound_ = std::move(bound);
+  return p;
+}
+
 Predicate Predicate::Udf(std::string attribute,
                          std::function<bool(const Value&)> fn) {
   Predicate p(std::move(attribute), Mode::kUdf);
@@ -39,6 +111,7 @@ Predicate Predicate::Negate() const {
 
 bool Predicate::MatchesIgnoringNegation(const Value& v) const {
   if (mode_ == Mode::kIn) return values_.count(v) > 0;
+  if (mode_ == Mode::kCompare) return ComparesTrue(compare_op_, v, compare_bound_);
   return fn_(v);
 }
 
@@ -48,51 +121,14 @@ bool Predicate::Matches(const Value& v) const {
 
 Result<std::vector<uint8_t>> Predicate::Evaluate(
     const Table& table, const ExecutionOptions& exec) const {
+  // One engine for every mask: compile (string columns get the
+  // dictionary match-table gather, numeric columns typed kernels or a
+  // memoized boxed loop) and run batched through the deterministic
+  // shards. See query/vectorized.h.
   PCLEAN_ASSIGN_OR_RETURN(const Column* col, table.ColumnByName(attribute_));
-  std::vector<uint8_t> mask(col->size());
-  if (col->type() == ValueType::kString) {
-    // Dictionary fast path: the predicate is value-deterministic, so it
-    // is evaluated once per *distinct* value (O(distinct) boxed calls)
-    // into a code-indexed match table; the sharded row pass is then a
-    // pure integer gather. The slot past the dictionary is null.
-    const StringDictionary& dict = col->dictionary();
-    std::vector<uint8_t> match(dict.size() + 1, 0);
-    for (uint32_t c = 0; c < dict.size(); ++c) {
-      match[c] = Matches(Value(std::string(dict.At(c)))) ? 1 : 0;
-    }
-    match[dict.size()] = Matches(Value::Null()) ? 1 : 0;
-    const uint32_t* codes = col->codes().data();
-    const size_t null_slot = dict.size();
-    PCLEAN_RETURN_NOT_OK(ParallelFor(
-        col->size(), ShardCountForRows(col->size()), exec,
-        [&](size_t, size_t begin, size_t end) -> Status {
-          for (size_t r = begin; r < end; ++r) {
-            mask[r] =
-                match[codes[r] == kNullCode ? null_slot : codes[r]];
-          }
-          return Status::OK();
-        }));
-    return mask;
-  }
-  PCLEAN_RETURN_NOT_OK(ParallelFor(
-      col->size(), ShardCountForRows(col->size()), exec,
-      [&](size_t, size_t begin, size_t end) -> Status {
-        // Memoize per distinct value within the shard: UDFs can be
-        // arbitrarily expensive and the paper's model is
-        // value-deterministic anyway, so repeats cost one hash lookup.
-        std::unordered_map<Value, bool, ValueHash> memo;
-        for (size_t r = begin; r < end; ++r) {
-          Value v = col->ValueAt(r);
-          auto it = memo.find(v);
-          if (it == memo.end()) {
-            bool m = Matches(v);
-            it = memo.emplace(std::move(v), m).first;
-          }
-          mask[r] = it->second ? 1 : 0;
-        }
-        return Status::OK();
-      }));
-  return mask;
+  PCLEAN_ASSIGN_OR_RETURN(CompiledPredicate compiled,
+                          CompiledPredicate::Compile(table, *this));
+  return compiled.EvaluateAll(col->size(), exec);
 }
 
 std::vector<Value> Predicate::MatchingValues(const Domain& domain) const {

@@ -14,6 +14,21 @@
 
 namespace privateclean {
 
+/// Comparison operator of a SQL condition. kEq/kNe exist so the parser
+/// can name every operator uniformly; Predicate::Compare normalizes them
+/// to Equals / Equals().Negate().
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+/// SQL spelling: "=", "!=", "<", "<=", ">", ">=".
+const char* CompareOpToString(CompareOp op);
+
+/// Whether `v op bound` holds. The ordering operators compare numerics
+/// with int64→double promotion and strings lexicographically; NULL and
+/// mixed string/numeric operands satisfy no ordering operator. kEq/kNe
+/// use Value's typed structural equality (so Value(3) != Value(3.0)),
+/// matching Predicate::Equals.
+bool ComparesTrue(CompareOp op, const Value& v, const Value& bound);
+
 /// Predicate over a single discrete attribute (the paper's `cond(d)`,
 /// Section 3.2.2). Every deterministic predicate is equivalent to
 /// membership in a subset of the attribute's distinct values, which is
@@ -37,6 +52,11 @@ class Predicate {
   /// d is null / d is not null.
   static Predicate IsNull(std::string attribute);
   static Predicate IsNotNull(std::string attribute);
+
+  /// d op bound — an ordering comparison (SQL `score >= 3`). NULL never
+  /// satisfies an ordering comparison. kEq and kNe inputs are normalized
+  /// to Equals / Equals().Negate().
+  static Predicate Compare(std::string attribute, CompareOp op, Value bound);
 
   /// Arbitrary deterministic condition. The function must be pure: it is
   /// evaluated at most once per distinct value per shard, not once per
@@ -68,8 +88,21 @@ class Predicate {
   Result<size_t> CountMatches(const Table& table,
                               const ExecutionOptions& exec = {}) const;
 
+  /// --- Introspection for the vectorized compiler (query/vectorized.h) --
+
+  /// Membership predicate (Equals/In/IsNull): d ∈ membership_values().
+  bool is_membership() const { return mode_ == Mode::kIn; }
+  const std::unordered_set<Value, ValueHash>& membership_values() const {
+    return values_;
+  }
+
+  /// Ordering comparison: d comparison_op() comparison_bound().
+  bool is_comparison() const { return mode_ == Mode::kCompare; }
+  CompareOp comparison_op() const { return compare_op_; }
+  const Value& comparison_bound() const { return compare_bound_; }
+
  private:
-  enum class Mode { kIn, kUdf };
+  enum class Mode { kIn, kCompare, kUdf };
 
   Predicate(std::string attribute, Mode mode)
       : attribute_(std::move(attribute)), mode_(mode) {}
@@ -80,6 +113,8 @@ class Predicate {
   Mode mode_;
   bool negated_ = false;
   std::unordered_set<Value, ValueHash> values_;
+  CompareOp compare_op_ = CompareOp::kEq;
+  Value compare_bound_;
   std::function<bool(const Value&)> fn_;
 };
 

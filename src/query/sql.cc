@@ -1,5 +1,6 @@
 #include "query/sql.h"
 
+#include <array>
 #include <cctype>
 #include <vector>
 
@@ -13,7 +14,7 @@ enum class TokenKind {
   kIdentifier,  ///< Bare or double-quoted identifier / keyword.
   kString,      ///< Single-quoted string literal.
   kNumber,
-  kSymbol,  ///< One of ( ) , = != <> *
+  kSymbol,  ///< One of ( ) , * = != < <= > >=
   kEnd,
 };
 
@@ -22,6 +23,9 @@ struct Token {
   std::string text;   ///< Identifier/symbol text or decoded literal.
   size_t position;    ///< Byte offset in the input, for error messages.
   bool is_float = false;  ///< For kNumber: contains '.' or exponent.
+  /// For kIdentifier: came from double quotes. A quoted name is always a
+  /// plain identifier — it never matches a keyword or the NULL literal.
+  bool quoted = false;
 };
 
 class Lexer {
@@ -52,16 +56,35 @@ class Lexer {
         tokens.push_back(LexNumber(&i));
       } else if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
         tokens.push_back(LexIdentifier(&i));
-      } else if (c == '!' || c == '<') {
+      } else if (c == '!') {
         size_t start = i;
-        if (i + 1 < input_.size() &&
-            ((c == '!' && input_[i + 1] == '=') ||
-             (c == '<' && input_[i + 1] == '>'))) {
+        if (i + 1 < input_.size() && input_[i + 1] == '=') {
           i += 2;
           tokens.push_back(Token{TokenKind::kSymbol, "!=", start});
         } else {
-          return Err(start, "unexpected character '" + std::string(1, c) +
-                                "'");
+          return Err(start, "unexpected character '!'");
+        }
+      } else if (c == '<') {
+        size_t start = i;
+        if (i + 1 < input_.size() && input_[i + 1] == '>') {
+          i += 2;
+          // <> is the alternate not-equals spelling; normalize to !=.
+          tokens.push_back(Token{TokenKind::kSymbol, "!=", start});
+        } else if (i + 1 < input_.size() && input_[i + 1] == '=') {
+          i += 2;
+          tokens.push_back(Token{TokenKind::kSymbol, "<=", start});
+        } else {
+          ++i;
+          tokens.push_back(Token{TokenKind::kSymbol, "<", start});
+        }
+      } else if (c == '>') {
+        size_t start = i;
+        if (i + 1 < input_.size() && input_[i + 1] == '=') {
+          i += 2;
+          tokens.push_back(Token{TokenKind::kSymbol, ">=", start});
+        } else {
+          ++i;
+          tokens.push_back(Token{TokenKind::kSymbol, ">", start});
         }
       } else if (c == '(' || c == ')' || c == ',' || c == '=' || c == '*') {
         tokens.push_back(
@@ -115,7 +138,12 @@ class Lexer {
           *i += 2;
         } else {
           ++*i;
-          return Token{TokenKind::kIdentifier, std::move(out), start};
+          if (out.empty()) {
+            return Err(start, "empty quoted identifier");
+          }
+          Token t{TokenKind::kIdentifier, std::move(out), start};
+          t.quoted = true;
+          return t;
         }
       } else {
         out.push_back(c);
@@ -179,55 +207,116 @@ class Parser {
   Result<ParsedSql> Parse() {
     PCLEAN_RETURN_NOT_OK(ExpectKeyword("SELECT"));
     ParsedSql out;
-    PCLEAN_RETURN_NOT_OK(ParseAggregate(&out.query));
+    if (TryKeyword("DISTINCT")) {
+      out.select_distinct = true;
+      PCLEAN_ASSIGN_OR_RETURN(out.distinct_attribute,
+                              ExpectIdentifier("attribute"));
+    } else {
+      PCLEAN_RETURN_NOT_OK(ParseAggregate(&out));
+    }
     PCLEAN_RETURN_NOT_OK(ExpectKeyword("FROM"));
     PCLEAN_ASSIGN_OR_RETURN(out.table_name, ExpectIdentifier("table name"));
     if (TryKeyword("WHERE")) {
-      PCLEAN_ASSIGN_OR_RETURN(Predicate first, ParseCondition());
-      out.query.predicate = std::move(first);
-      if (TryKeyword("AND")) {
-        PCLEAN_ASSIGN_OR_RETURN(Predicate second, ParseCondition());
-        if (out.query.agg != AggregateType::kCount) {
-          return Err(
-              "AND conditions are supported for COUNT queries only "
-              "(the conjunctive estimator)");
-        }
-        if (second.attribute() == out.query.predicate->attribute()) {
-          return Err(
-              "AND conditions must reference two different attributes; "
-              "use IN (...) for multiple values of one attribute");
-        }
-        out.conjunct = std::move(second);
+      PCLEAN_ASSIGN_OR_RETURN(SqlExpr where, ParseOrExpr());
+      out.where = std::move(where);
+    }
+    size_t clause_pos = 0;
+    if (TryKeywordAt("GROUP", &clause_pos)) {
+      PCLEAN_RETURN_NOT_OK(ExpectKeyword("BY"));
+      if (out.select_distinct) {
+        return ErrAt(clause_pos, "SELECT DISTINCT does not take GROUP BY");
       }
+      PCLEAN_ASSIGN_OR_RETURN(out.group_by,
+                              ExpectIdentifier("grouping attribute"));
+    }
+    if (TryKeywordAt("ORDER", &clause_pos)) {
+      PCLEAN_RETURN_NOT_OK(ExpectKeyword("BY"));
+      if (out.group_by.empty() && !out.select_distinct) {
+        return ErrAt(clause_pos,
+                     "ORDER BY requires GROUP BY or SELECT DISTINCT");
+      }
+      PCLEAN_RETURN_NOT_OK(ParseOrderKey(&out));
+      SqlOrderBy& order = *out.order_by;
+      if (TryKeyword("DESC")) {
+        order.descending = true;
+      } else {
+        TryKeyword("ASC");
+      }
+    }
+    if (TryKeywordAt("LIMIT", &clause_pos)) {
+      if (out.group_by.empty() && !out.select_distinct) {
+        return ErrAt(clause_pos,
+                     "LIMIT requires GROUP BY or SELECT DISTINCT");
+      }
+      if (Peek().kind != TokenKind::kNumber) {
+        return Err("LIMIT expects a non-negative integer");
+      }
+      Token num = Advance();
+      if (num.is_float) {
+        return ErrAt(num.position, "LIMIT expects an integer, got '" +
+                                       num.text + "'");
+      }
+      auto v = ParseInt64(num.text);
+      if (!v.ok()) return NumberErr(num);
+      if (v.ValueOrDie() < 0) {
+        return ErrAt(num.position, "LIMIT must be non-negative, got '" +
+                                       num.text + "'");
+      }
+      out.limit = static_cast<uint64_t>(v.ValueOrDie());
     }
     if (Peek().kind != TokenKind::kEnd) {
       return Err("unexpected trailing input '" + Peek().text + "'");
+    }
+    if (out.where.has_value()) {
+      // Pre-compute the estimator routing when the tree has one: callers
+      // keep reading `query.predicate`/`conjunct` as before. A tree
+      // without a plan still parses — execution surfaces the typed
+      // "not privately answerable" error from PlanWhere.
+      auto plan = PlanWhere(*out.where, out.query.agg);
+      if (plan.ok()) {
+        out.query.predicate = std::move(plan.ValueOrDie().predicate);
+        out.conjunct = std::move(plan.ValueOrDie().conjunct);
+      }
     }
     return out;
   }
 
  private:
-  const Token& Peek() const { return tokens_[pos_]; }
+  const Token& Peek(size_t ahead = 0) const {
+    size_t at = pos_ + ahead;
+    return tokens_[at < tokens_.size() ? at : tokens_.size() - 1];
+  }
   const Token& Advance() { return tokens_[pos_++]; }
 
   Status Err(const std::string& msg) const {
+    return ErrAt(Peek().position, msg);
+  }
+
+  Status ErrAt(size_t pos, const std::string& msg) const {
     return Status::InvalidArgument("SQL error at position " +
-                                   std::to_string(Peek().position) + ": " +
-                                   msg);
+                                   std::to_string(pos) + ": " + msg);
   }
 
   /// Positioned error for a numeric token the lexer accepted but the
   /// numeric grammar rejects (e.g. '1.2.3', '1e', an out-of-range int).
   Status NumberErr(const Token& num) const {
-    return Status::InvalidArgument(
-        "SQL error at position " + std::to_string(num.position) +
-        ": malformed numeric literal '" + num.text + "'");
+    return ErrAt(num.position,
+                 "malformed numeric literal '" + num.text + "'");
   }
 
   bool TryKeyword(const std::string& upper) {
-    if (Peek().kind == TokenKind::kIdentifier &&
+    if (Peek().kind == TokenKind::kIdentifier && !Peek().quoted &&
         ToLowerAscii(Peek().text) == ToLowerAscii(upper)) {
       Advance();
+      return true;
+    }
+    return false;
+  }
+
+  bool TryKeywordAt(const std::string& upper, size_t* pos) {
+    size_t at = Peek().position;
+    if (TryKeyword(upper)) {
+      *pos = at;
       return true;
     }
     return false;
@@ -247,24 +336,67 @@ class Parser {
     return Advance().text;
   }
 
+  bool TrySymbol(const std::string& symbol) {
+    if (Peek().kind == TokenKind::kSymbol && Peek().text == symbol) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+
   Status ExpectSymbol(const std::string& symbol) {
-    if (Peek().kind != TokenKind::kSymbol || Peek().text != symbol) {
+    if (!TrySymbol(symbol)) {
       return Err("expected '" + symbol + "'");
     }
-    Advance();
     return Status::OK();
   }
 
-  Status ParseAggregate(AggregateQuery* query) {
-    PCLEAN_ASSIGN_OR_RETURN(std::string name,
-                            ExpectIdentifier("aggregate function"));
-    std::string lower = ToLowerAscii(name);
+  /// COUNT's argument: * or any literal spelling of the number one
+  /// (1, 01, +1, 1.0 — compared by value, not token text).
+  Status ParseCountArgument() {
+    if (TrySymbol("*")) return Status::OK();
+    if (Peek().kind != TokenKind::kNumber) {
+      return Err("COUNT takes 1 or * (predicates go in WHERE)");
+    }
+    Token num = Advance();
+    double value = 0.0;
+    if (num.is_float) {
+      auto v = ParseDouble(num.text);
+      if (!v.ok()) return NumberErr(num);
+      value = v.ValueOrDie();
+    } else {
+      auto v = ParseInt64(num.text);
+      if (!v.ok()) return NumberErr(num);
+      value = static_cast<double>(v.ValueOrDie());
+    }
+    if (value != 1.0) {
+      return ErrAt(num.position, "COUNT takes 1 or * (got '" + num.text +
+                                     "'; predicates go in WHERE)");
+    }
+    return Status::OK();
+  }
+
+  Status ParseAggregate(ParsedSql* out) {
+    const Token& t = Peek();
+    if (t.kind != TokenKind::kIdentifier) {
+      return Err("expected aggregate function");
+    }
+    if (t.quoted) {
+      return ErrAt(t.position, "quoted identifier \"" + t.text +
+                                   "\" cannot name an aggregate function");
+    }
+    AggregateQuery* query = &out->query;
+    std::string lower = ToLowerAscii(t.text);
     if (lower == "count") {
       query->agg = AggregateType::kCount;
     } else if (lower == "sum") {
       query->agg = AggregateType::kSum;
     } else if (lower == "avg") {
       query->agg = AggregateType::kAvg;
+    } else if (lower == "min") {
+      query->agg = AggregateType::kMin;
+    } else if (lower == "max") {
+      query->agg = AggregateType::kMax;
     } else if (lower == "median") {
       query->agg = AggregateType::kMedian;
     } else if (lower == "var") {
@@ -274,17 +406,17 @@ class Parser {
     } else if (lower == "percentile") {
       query->agg = AggregateType::kPercentile;
     } else {
-      return Err("unknown aggregate '" + name + "'");
+      return Err("unknown aggregate '" + t.text + "'");
     }
+    Advance();
     PCLEAN_RETURN_NOT_OK(ExpectSymbol("("));
     if (query->agg == AggregateType::kCount) {
-      // COUNT(1) or COUNT(*).
-      if (Peek().kind == TokenKind::kNumber && Peek().text == "1") {
-        Advance();
-      } else if (Peek().kind == TokenKind::kSymbol && Peek().text == "*") {
-        Advance();
+      if (TryKeyword("DISTINCT")) {
+        out->count_distinct = true;
+        PCLEAN_ASSIGN_OR_RETURN(out->distinct_attribute,
+                                ExpectIdentifier("attribute"));
       } else {
-        return Err("COUNT takes 1 or * (predicates go in WHERE)");
+        PCLEAN_RETURN_NOT_OK(ParseCountArgument());
       }
     } else {
       PCLEAN_ASSIGN_OR_RETURN(query->numeric_attribute,
@@ -308,6 +440,39 @@ class Parser {
     return ExpectSymbol(")");
   }
 
+  /// ORDER BY key: the grouping attribute, or COUNT(1|*) for
+  /// by-estimate ordering of a GROUP BY result.
+  Status ParseOrderKey(ParsedSql* out) {
+    out->order_by = SqlOrderBy{};
+    if (Peek().kind == TokenKind::kIdentifier && !Peek().quoted &&
+        ToLowerAscii(Peek().text) == "count" &&
+        Peek(1).kind == TokenKind::kSymbol && Peek(1).text == "(") {
+      size_t at = Peek().position;
+      if (out->select_distinct) {
+        return ErrAt(at, "ORDER BY COUNT(1) requires GROUP BY");
+      }
+      Advance();
+      PCLEAN_RETURN_NOT_OK(ExpectSymbol("("));
+      PCLEAN_RETURN_NOT_OK(ParseCountArgument());
+      PCLEAN_RETURN_NOT_OK(ExpectSymbol(")"));
+      out->order_by->by_estimate = true;
+      return Status::OK();
+    }
+    size_t at = Peek().position;
+    PCLEAN_ASSIGN_OR_RETURN(std::string key,
+                            ExpectIdentifier("ORDER BY key"));
+    const std::string& expected = out->select_distinct
+                                      ? out->distinct_attribute
+                                      : out->group_by;
+    if (key != expected) {
+      return ErrAt(at, "ORDER BY key '" + key +
+                           "' must be the grouping attribute '" + expected +
+                           "' or COUNT(1)");
+    }
+    out->order_by->by_estimate = false;
+    return Status::OK();
+  }
+
   Result<Value> ParseLiteral() {
     const Token& t = Peek();
     switch (t.kind) {
@@ -327,6 +492,12 @@ class Parser {
         return Value(v.ValueOrDie());
       }
       case TokenKind::kIdentifier:
+        if (t.quoted) {
+          return ErrAt(t.position,
+                       "quoted name \"" + t.text +
+                           "\" is an identifier, not a literal "
+                           "(string literals use single quotes)");
+        }
         if (ToLowerAscii(t.text) == "null") {
           Advance();
           return Value::Null();
@@ -337,51 +508,107 @@ class Parser {
     }
   }
 
-  Result<Predicate> ParseCondition() {
+  Result<SqlCondition> ParseCondition() {
     PCLEAN_ASSIGN_OR_RETURN(std::string attribute,
                             ExpectIdentifier("attribute"));
+    SqlCondition cond;
+    cond.attribute = std::move(attribute);
     const Token& t = Peek();
-    if (t.kind == TokenKind::kSymbol && t.text == "=") {
-      Advance();
-      PCLEAN_ASSIGN_OR_RETURN(Value literal, ParseLiteral());
-      return Predicate::Equals(std::move(attribute), std::move(literal));
-    }
-    if (t.kind == TokenKind::kSymbol && t.text == "!=") {
-      Advance();
-      PCLEAN_ASSIGN_OR_RETURN(Value literal, ParseLiteral());
-      return Predicate::Equals(std::move(attribute), std::move(literal))
-          .Negate();
+    if (t.kind == TokenKind::kSymbol) {
+      std::optional<CompareOp> op;
+      if (t.text == "=") op = CompareOp::kEq;
+      else if (t.text == "!=") op = CompareOp::kNe;
+      else if (t.text == "<") op = CompareOp::kLt;
+      else if (t.text == "<=") op = CompareOp::kLe;
+      else if (t.text == ">") op = CompareOp::kGt;
+      else if (t.text == ">=") op = CompareOp::kGe;
+      if (op.has_value()) {
+        Advance();
+        PCLEAN_ASSIGN_OR_RETURN(Value literal, ParseLiteral());
+        cond.kind = SqlCondition::Kind::kCompare;
+        cond.op = *op;
+        cond.literals.push_back(std::move(literal));
+        return cond;
+      }
     }
     if (TryKeyword("IN")) {
       PCLEAN_RETURN_NOT_OK(ExpectSymbol("("));
-      std::vector<Value> values;
       for (;;) {
         PCLEAN_ASSIGN_OR_RETURN(Value literal, ParseLiteral());
-        values.push_back(std::move(literal));
-        if (Peek().kind == TokenKind::kSymbol && Peek().text == ",") {
-          Advance();
-          continue;
-        }
+        cond.literals.push_back(std::move(literal));
+        if (TrySymbol(",")) continue;
         break;
       }
       PCLEAN_RETURN_NOT_OK(ExpectSymbol(")"));
-      return Predicate::In(std::move(attribute), std::move(values));
+      cond.kind = SqlCondition::Kind::kIn;
+      return cond;
     }
     if (TryKeyword("IS")) {
-      bool negated = TryKeyword("NOT");
+      cond.is_not_null = TryKeyword("NOT");
       if (!TryKeyword("NULL")) {
         return Err("expected NULL after IS [NOT]");
       }
-      Predicate p = Predicate::IsNull(attribute);
-      return negated ? p.Negate() : p;
+      cond.kind = SqlCondition::Kind::kIsNull;
+      return cond;
     }
-    return Err("expected =, !=, <>, IN, or IS after attribute '" +
-               attribute + "'");
+    return Err("expected =, !=, <>, <, <=, >, >=, IN, or IS after "
+               "attribute '" + cond.attribute + "'");
+  }
+
+  // Predicate expression grammar, loosest-binding first:
+  //   or    := and (OR and)*
+  //   and   := unary (AND unary)*
+  //   unary := NOT unary | ( or ) | condition
+  Result<SqlExpr> ParseOrExpr() {
+    PCLEAN_ASSIGN_OR_RETURN(SqlExpr first, ParseAndExpr());
+    if (!TryKeyword("OR")) return first;
+    std::vector<SqlExpr> children;
+    children.push_back(std::move(first));
+    do {
+      PCLEAN_ASSIGN_OR_RETURN(SqlExpr next, ParseAndExpr());
+      children.push_back(std::move(next));
+    } while (TryKeyword("OR"));
+    return SqlExpr::MakeOr(std::move(children));
+  }
+
+  Result<SqlExpr> ParseAndExpr() {
+    PCLEAN_ASSIGN_OR_RETURN(SqlExpr first, ParseUnaryExpr());
+    if (!TryKeyword("AND")) return first;
+    std::vector<SqlExpr> children;
+    children.push_back(std::move(first));
+    do {
+      PCLEAN_ASSIGN_OR_RETURN(SqlExpr next, ParseUnaryExpr());
+      children.push_back(std::move(next));
+    } while (TryKeyword("AND"));
+    return SqlExpr::MakeAnd(std::move(children));
+  }
+
+  Result<SqlExpr> ParseUnaryExpr() {
+    if (TryKeyword("NOT")) {
+      PCLEAN_ASSIGN_OR_RETURN(SqlExpr inner, ParseUnaryExpr());
+      return SqlExpr::Not(std::move(inner));
+    }
+    if (TrySymbol("(")) {
+      PCLEAN_ASSIGN_OR_RETURN(SqlExpr inner, ParseOrExpr());
+      PCLEAN_RETURN_NOT_OK(ExpectSymbol(")"));
+      return inner;
+    }
+    PCLEAN_ASSIGN_OR_RETURN(SqlCondition cond, ParseCondition());
+    return SqlExpr::Leaf(std::move(cond));
   }
 
   std::vector<Token> tokens_;
   size_t pos_ = 0;
 };
+
+std::string JoinAttributes(const std::vector<std::string>& attrs) {
+  std::string out;
+  for (size_t i = 0; i < attrs.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += "'" + attrs[i] + "'";
+  }
+  return out;
+}
 
 }  // namespace
 
@@ -390,6 +617,255 @@ Result<ParsedSql> ParseSql(const std::string& sql) {
   PCLEAN_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
   Parser parser(std::move(tokens));
   return parser.Parse();
+}
+
+Result<WherePlan> PlanWhere(const SqlExpr& where, AggregateType agg) {
+  std::vector<std::string> attrs = SqlExprAttributes(where);
+  if (attrs.empty()) {
+    return Status::Internal("WHERE tree references no attribute");
+  }
+  WherePlan plan;
+  if (attrs.size() == 1) {
+    // Any boolean structure over one attribute reduces to subset
+    // membership M_pred, which is all the corrected estimators need.
+    PCLEAN_ASSIGN_OR_RETURN(Predicate collapsed,
+                            CollapseSingleAttribute(where));
+    plan.predicate = std::move(collapsed);
+    return plan;
+  }
+  if (attrs.size() > 2) {
+    return Status::FailedPrecondition(
+        "not privately answerable: WHERE references " +
+        std::to_string(attrs.size()) + " attributes (" +
+        JoinAttributes(attrs) +
+        "); the conjunctive estimator composes exactly two");
+  }
+  if (agg != AggregateType::kCount) {
+    return Status::FailedPrecondition(
+        std::string("not privately answerable: multi-attribute WHERE with ") +
+        AggregateTypeToString(agg) +
+        "(...) — the conjunctive estimator is derived for COUNT only");
+  }
+  if (where.kind != SqlExpr::Kind::kAnd) {
+    return Status::FailedPrecondition(
+        "not privately answerable: OR/NOT across attributes " +
+        JoinAttributes(attrs) +
+        " — only an AND of two single-attribute condition groups has a "
+        "derived estimator (the §10 conjunctive COUNT)");
+  }
+  std::vector<SqlExpr> group_a;
+  std::vector<SqlExpr> group_b;
+  for (const SqlExpr& child : where.children) {
+    std::vector<std::string> child_attrs = SqlExprAttributes(child);
+    if (child_attrs.size() != 1) {
+      return Status::FailedPrecondition(
+          "not privately answerable: an AND operand mixes attributes " +
+          JoinAttributes(child_attrs) +
+          " — group each attribute's conditions so the WHERE is "
+          "<conditions on one attribute> AND <conditions on the other>");
+    }
+    (child_attrs.front() == attrs.front() ? group_a : group_b)
+        .push_back(child);
+  }
+  PCLEAN_ASSIGN_OR_RETURN(Predicate pred_a, CollapseSingleAttribute(
+                                                SqlExpr::MakeAnd(group_a)));
+  PCLEAN_ASSIGN_OR_RETURN(Predicate pred_b, CollapseSingleAttribute(
+                                                SqlExpr::MakeAnd(group_b)));
+  plan.predicate = std::move(pred_a);
+  plan.conjunct = std::move(pred_b);
+  return plan;
+}
+
+namespace {
+
+/// Keywords the renderer must quote when they appear as identifiers.
+bool IsKeywordLower(const std::string& lower) {
+  static const std::array<const char*, 17> kKeywords = {
+      "select", "distinct", "from", "where", "and",  "or",
+      "not",    "in",       "is",   "null",  "group", "order",
+      "by",     "asc",      "desc", "limit", "count"};
+  for (const char* kw : kKeywords) {
+    if (lower == kw) return true;
+  }
+  return false;
+}
+
+std::string RenderIdentifier(const std::string& name) {
+  bool bare = !name.empty() &&
+              (std::isalpha(static_cast<unsigned char>(name[0])) ||
+               name[0] == '_') &&
+              !IsKeywordLower(ToLowerAscii(name));
+  if (bare) {
+    for (char c : name) {
+      if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_') {
+        bare = false;
+        break;
+      }
+    }
+  }
+  if (bare) return name;
+  std::string out = "\"";
+  for (char c : name) {
+    out.push_back(c);
+    if (c == '"') out.push_back('"');
+  }
+  out.push_back('"');
+  return out;
+}
+
+int ExprPrecedence(SqlExpr::Kind kind) {
+  switch (kind) {
+    case SqlExpr::Kind::kOr:
+      return 1;
+    case SqlExpr::Kind::kAnd:
+      return 2;
+    case SqlExpr::Kind::kNot:
+      return 3;
+    case SqlExpr::Kind::kCondition:
+      return 4;
+  }
+  return 4;
+}
+
+std::string RenderExpr(const SqlExpr& expr);
+
+std::string RenderChild(const SqlExpr& child, int parent_precedence) {
+  std::string s = RenderExpr(child);
+  if (ExprPrecedence(child.kind) < parent_precedence) {
+    return "(" + s + ")";
+  }
+  return s;
+}
+
+std::string RenderCondition(const SqlCondition& cond) {
+  std::string out = RenderIdentifier(cond.attribute);
+  switch (cond.kind) {
+    case SqlCondition::Kind::kCompare:
+      out += std::string(" ") + CompareOpToString(cond.op) + " " +
+             RenderSqlLiteral(cond.literals.front());
+      break;
+    case SqlCondition::Kind::kIn: {
+      out += " IN (";
+      for (size_t i = 0; i < cond.literals.size(); ++i) {
+        if (i > 0) out += ", ";
+        out += RenderSqlLiteral(cond.literals[i]);
+      }
+      out += ")";
+      break;
+    }
+    case SqlCondition::Kind::kIsNull:
+      out += cond.is_not_null ? " IS NOT NULL" : " IS NULL";
+      break;
+  }
+  return out;
+}
+
+std::string RenderExpr(const SqlExpr& expr) {
+  switch (expr.kind) {
+    case SqlExpr::Kind::kCondition:
+      return RenderCondition(expr.condition);
+    case SqlExpr::Kind::kNot:
+      return "NOT " + RenderChild(expr.children.front(), 3);
+    case SqlExpr::Kind::kAnd: {
+      std::string out;
+      for (size_t i = 0; i < expr.children.size(); ++i) {
+        if (i > 0) out += " AND ";
+        out += RenderChild(expr.children[i], 2);
+      }
+      return out;
+    }
+    case SqlExpr::Kind::kOr: {
+      std::string out;
+      for (size_t i = 0; i < expr.children.size(); ++i) {
+        if (i > 0) out += " OR ";
+        out += RenderChild(expr.children[i], 1);
+      }
+      return out;
+    }
+  }
+  return "";
+}
+
+std::string ToUpperAscii(const std::string& s) {
+  std::string out = s;
+  for (char& c : out) {
+    c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string RenderSqlLiteral(const Value& value) {
+  switch (value.type()) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInt64:
+      return std::to_string(value.AsInt64());
+    case ValueType::kDouble: {
+      std::string s = FormatDouble(value.AsDouble());
+      // Keep the literal re-parsing as a double: an integral double must
+      // not collapse to integer syntax (Value(3.0) != Value(3)).
+      if (s.find('.') == std::string::npos &&
+          s.find('e') == std::string::npos &&
+          s.find('E') == std::string::npos &&
+          s.find("inf") == std::string::npos &&
+          s.find("nan") == std::string::npos) {
+        s += ".0";
+      }
+      return s;
+    }
+    case ValueType::kString: {
+      std::string out = "'";
+      for (char c : value.AsString()) {
+        out.push_back(c);
+        if (c == '\'') out.push_back('\'');
+      }
+      out.push_back('\'');
+      return out;
+    }
+  }
+  return "NULL";
+}
+
+std::string RenderSql(const ParsedSql& parsed) {
+  std::string out = "SELECT ";
+  if (parsed.select_distinct) {
+    out += "DISTINCT " + RenderIdentifier(parsed.distinct_attribute);
+  } else if (parsed.count_distinct) {
+    out += "COUNT(DISTINCT " + RenderIdentifier(parsed.distinct_attribute) +
+           ")";
+  } else if (parsed.query.agg == AggregateType::kCount) {
+    out += "COUNT(1)";
+  } else if (parsed.query.agg == AggregateType::kPercentile) {
+    out += "PERCENTILE(" + RenderIdentifier(parsed.query.numeric_attribute) +
+           ", " + FormatDouble(parsed.query.percentile) + ")";
+  } else {
+    out += ToUpperAscii(AggregateTypeToString(parsed.query.agg)) + "(" +
+           RenderIdentifier(parsed.query.numeric_attribute) + ")";
+  }
+  out += " FROM " + RenderIdentifier(parsed.table_name);
+  if (parsed.where.has_value()) {
+    out += " WHERE " + RenderExpr(*parsed.where);
+  }
+  if (!parsed.group_by.empty()) {
+    out += " GROUP BY " + RenderIdentifier(parsed.group_by);
+  }
+  if (parsed.order_by.has_value()) {
+    out += " ORDER BY ";
+    if (parsed.order_by->by_estimate) {
+      out += "COUNT(1)";
+    } else {
+      out += RenderIdentifier(parsed.select_distinct
+                                  ? parsed.distinct_attribute
+                                  : parsed.group_by);
+    }
+    if (parsed.order_by->descending) out += " DESC";
+  }
+  if (parsed.limit.has_value()) {
+    out += " LIMIT " + std::to_string(*parsed.limit);
+  }
+  return out;
 }
 
 }  // namespace privateclean

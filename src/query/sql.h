@@ -1,45 +1,116 @@
 #ifndef PRIVATECLEAN_QUERY_SQL_H_
 #define PRIVATECLEAN_QUERY_SQL_H_
 
+#include <cstdint>
 #include <optional>
 #include <string>
 
 #include "common/result.h"
 #include "query/aggregate.h"
 #include "query/predicate.h"
+#include "query/sql_expr.h"
 
 namespace privateclean {
 
-/// A parsed PrivateClean query. The supported grammar is exactly the
-/// paper's query class (§3.2.2) plus the §10 extensions:
+/// Result shaping of a grouped query (GROUP BY / SELECT DISTINCT).
+struct SqlOrderBy {
+  /// true: ORDER BY COUNT(1) — sort groups by their estimate.
+  /// false: ORDER BY <grouping attribute> — sort by group key.
+  bool by_estimate = false;
+  bool descending = false;
+};
+
+/// A parsed PrivateClean query.
 ///
-///   SELECT <agg> FROM <table> [WHERE <condition> [AND <condition>]]
+///   SELECT <select> FROM <table>
+///     [WHERE <expr>] [GROUP BY <attr>]
+///     [ORDER BY <attr> | COUNT(1|*) [ASC|DESC]] [LIMIT <n>]
 ///
-///   <agg>       := COUNT(1) | COUNT(*)
-///                | SUM(<attr>) | AVG(<attr>)
-///                | MEDIAN(<attr>) | VAR(<attr>) | STD(<attr>)
-///                | PERCENTILE(<attr>, <rank 0-100>)
-///   <condition> := <attr> =  <literal>
-///                | <attr> != <literal> | <attr> <> <literal>
-///                | <attr> IN ( <literal> [, <literal>]... )
-///                | <attr> IS NULL | <attr> IS NOT NULL
-///   <literal>   := 'string' (doubled '' escapes a quote)
-///                | integer | floating point | NULL
+///   <select>  := COUNT(1) | COUNT(*) | COUNT(DISTINCT <attr>)
+///              | SUM(<attr>) | AVG(<attr>) | MIN(<attr>) | MAX(<attr>)
+///              | MEDIAN(<attr>) | VAR(<attr>) | STD(<attr>)
+///              | PERCENTILE(<attr>, <rank 0-100>)
+///              | DISTINCT <attr>
+///   <expr>    := <or>
+///   <or>      := <and> (OR <and>)*
+///   <and>     := <unary> (AND <unary>)*
+///   <unary>   := NOT <unary> | ( <expr> ) | <condition>
+///   <condition> := <attr> ( = | != | <> | < | <= | > | >= ) <literal>
+///              | <attr> IN ( <literal> [, <literal>]... )
+///              | <attr> IS [NOT] NULL
+///   <literal> := 'string' (doubled '' escapes a quote)
+///              | integer | floating point | NULL
 ///
 /// Keywords are case-insensitive; identifiers are case-sensitive and may
-/// be double-quoted to include spaces. A second AND-condition is only
-/// meaningful for COUNT (the conjunctive estimator, §10) and must name a
-/// different attribute than the first.
+/// be double-quoted (doubled "" escapes a quote) to include spaces or
+/// collide with keywords — a quoted name is always an identifier, never
+/// a keyword or literal. ORDER BY/LIMIT are only accepted on grouped
+/// queries (GROUP BY or SELECT DISTINCT), where they shape the
+/// per-group result rows after estimation.
+///
+/// ParseSql accepts the full grammar; whether a form is *privately
+/// answerable* is decided at execution (core/sql_execution.h): forms
+/// without a bias-corrected estimator (MIN/MAX, DISTINCT, COUNT
+/// (DISTINCT), multi-attribute trees beyond a two-attribute COUNT
+/// conjunction, GROUP BY beyond COUNT) fail there with a typed
+/// FailedPrecondition naming the offending form.
 struct ParsedSql {
   std::string table_name;
-  AggregateQuery query;  ///< Carries the first WHERE condition, if any.
-  /// Second AND-condition (COUNT only).
+  /// Aggregate + the collapsed single-attribute predicate when the WHERE
+  /// tree is collapsible (see PlanWhere); `numeric_attribute`/`percentile`
+  /// as parsed.
+  AggregateQuery query;
+  /// Second conjunct of a two-attribute COUNT conjunction (§10).
   std::optional<Predicate> conjunct;
+  /// The full WHERE tree, verbatim (set iff the query has WHERE).
+  std::optional<SqlExpr> where;
+
+  /// SELECT DISTINCT <attr> / COUNT(DISTINCT <attr>).
+  bool select_distinct = false;
+  bool count_distinct = false;
+  std::string distinct_attribute;
+
+  std::string group_by;  ///< Grouping attribute; empty = no GROUP BY.
+  std::optional<SqlOrderBy> order_by;
+  std::optional<uint64_t> limit;
 };
 
 /// Parses `sql` into a ParsedSql. Returns InvalidArgument with a
 /// position-annotated message on syntax errors.
 Result<ParsedSql> ParseSql(const std::string& sql);
+
+/// The private-estimation plan of a WHERE tree.
+struct WherePlan {
+  /// Collapsed single-attribute predicate (always set on success).
+  std::optional<Predicate> predicate;
+  /// Second single-attribute conjunct of a two-attribute COUNT
+  /// conjunction; unset for single-attribute trees.
+  std::optional<Predicate> conjunct;
+};
+
+/// Decides how a WHERE tree routes through the bias-corrected
+/// estimators: a tree over one attribute collapses to a single
+/// Predicate (any boolean structure — the estimators only need the
+/// matching-value subset M_pred); a pure conjunction over exactly two
+/// attributes under COUNT splits into the §10 conjunctive pair.
+/// Everything else returns FailedPrecondition("not privately
+/// answerable: ...") naming the offending form.
+Result<WherePlan> PlanWhere(const SqlExpr& where, AggregateType agg);
+
+/// Renders `value` as a SQL literal: NULL (unquoted keyword), bare
+/// numbers (doubles keep a decimal point or exponent so the type
+/// round-trips), and single-quoted strings with '' doubling. The
+/// canonical way to print group keys unambiguously: NULL and '' render
+/// differently.
+std::string RenderSqlLiteral(const Value& value);
+
+/// Renders `parsed` back to canonical SQL text. Canonical form:
+/// upper-case keywords, COUNT(1) for both count spellings, `!=` for
+/// `<>`, minimal parentheses, no ASC. ParseSql(RenderSql(p)) re-parses
+/// to an equivalent query, and rendering is a fixed point — the
+/// round-trip property the sql test suite checks for every grammar
+/// production.
+std::string RenderSql(const ParsedSql& parsed);
 
 }  // namespace privateclean
 

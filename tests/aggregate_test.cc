@@ -156,18 +156,25 @@ TEST(ScanTest, SumPlusComplementEqualsTotal) {
 TEST(GroupByTest, CountsPerGroup) {
   auto groups = *GroupByCount(TestTable(), "major");
   EXPECT_EQ(groups.size(), 3u);
-  EXPECT_EQ(groups["EECS"], 3u);
-  EXPECT_EQ(groups["Math"], 2u);
-  EXPECT_EQ(groups["Bio"], 1u);
+  EXPECT_EQ(groups[Value("EECS")], 3u);
+  EXPECT_EQ(groups[Value("Math")], 2u);
+  EXPECT_EQ(groups[Value("Bio")], 1u);
 }
 
-TEST(GroupByTest, NullGroupKeyedByEmptyString) {
+TEST(GroupByTest, NullGroupDistinctFromEmptyStringGroup) {
+  // Regression: keys used to be stringified, so a NULL group and a
+  // genuine '' group collided into one bucket of 3.
   TableBuilder b(TestSchema());
-  b.Row({Value::Null(), Value(1.0)}).Row({Value("X"), Value(2.0)});
+  b.Row({Value::Null(), Value(1.0)})
+      .Row({Value(""), Value(2.0)})
+      .Row({Value(""), Value(3.0)})
+      .Row({Value("X"), Value(4.0)});
   Table t = *b.Finish();
   auto groups = *GroupByCount(t, "major");
-  EXPECT_EQ(groups[""], 1u);
-  EXPECT_EQ(groups["X"], 1u);
+  EXPECT_EQ(groups.size(), 3u);
+  EXPECT_EQ(groups[Value::Null()], 1u);
+  EXPECT_EQ(groups[Value("")], 2u);
+  EXPECT_EQ(groups[Value("X")], 1u);
 }
 
 TEST(GroupByTest, MissingAttributeFails) {

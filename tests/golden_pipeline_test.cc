@@ -90,6 +90,38 @@ std::string RunPipeline(size_t threads) {
     out << q[0] << " " << HexBits(r.estimate) << " " << HexBits(r.ci.lo)
         << " " << HexBits(r.ci.hi) << "\n";
   }
+
+  // The grown grammar: range predicates, boolean WHERE trees, IN lists —
+  // all collapse to one predicate and route through the same corrected
+  // estimators, so their estimates golden-pin the vectorized comparison
+  // and mask-combination kernels too.
+  const char* grown[][2] = {
+      {"count_range", "SELECT count(1) FROM r WHERE category >= 'c2' AND "
+                      "category < 'c6'"},
+      {"count_not_or", "SELECT count(1) FROM r WHERE NOT (category = 'c0' "
+                       "OR category = 'c1')"},
+      {"count_in", "SELECT count(1) FROM r WHERE category IN ('c1', 'c2', "
+                   "'c5')"},
+      {"sum_range", "SELECT sum(value) FROM r WHERE category <= 'c1'"},
+  };
+  for (const auto& q : grown) {
+    QueryResult r = *ExecuteSql(pt, q[1], query_options);
+    out << q[0] << " " << HexBits(r.estimate) << " " << HexBits(r.ci.lo)
+        << " " << HexBits(r.ci.hi) << "\n";
+  }
+
+  // Grouped rows: keys and per-group corrected estimates, after ORDER BY
+  // estimate / LIMIT shaping.
+  SqlResultSet grouped = *ExecuteSqlQuery(
+      pt,
+      "SELECT count(1) FROM r GROUP BY category ORDER BY count(1) DESC "
+      "LIMIT 3",
+      query_options);
+  for (const SqlRow& row : grouped.rows) {
+    out << "group_" << RenderSqlLiteral(*row.group) << " "
+        << HexBits(row.result.estimate) << " " << HexBits(row.result.ci.lo)
+        << " " << HexBits(row.result.ci.hi) << "\n";
+  }
   return out.str();
 }
 

@@ -106,7 +106,7 @@ TEST(IntegrationTest, TpcdsFdRepairPipeline) {
   size_t top_count = 0;
   for (const auto& [state, count] : truth_groups) {
     if (count > top_count) {
-      top_state = state;
+      top_state = state.ToString();
       top_count = count;
     }
   }

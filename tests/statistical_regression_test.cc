@@ -79,7 +79,7 @@ TEST(StatisticalRegressionTest, ShardedGrrMatchesTransitionDistribution) {
     std::vector<double> observed;
     for (size_t j = 0; j < n_values; ++j) {
       observed.push_back(
-          static_cast<double>(counts["c" + std::to_string(j)]));
+          static_cast<double>(counts[Value("c" + std::to_string(j))]));
     }
     double chi2 = *ChiSquaredStatistic(observed, expected);
     EXPECT_LT(chi2, threshold) << "chi-squared " << chi2;

@@ -343,12 +343,31 @@ Status RunQuery(const ParsedArgs& args, std::ostream& out) {
     PCLEAN_RETURN_NOT_OK(ApplyReplaceRule(&table, rule));
   }
   if (args.Has("direct")) {
-    PCLEAN_ASSIGN_OR_RETURN(QueryResult r,
-                            ExecuteSqlDirect(table, sql, options.exec));
-    out << "direct: " << FormatDouble(r.estimate) << "\n";
+    PCLEAN_ASSIGN_OR_RETURN(SqlResultSet rs,
+                            ExecuteSqlQueryDirect(table, sql, options.exec));
+    if (rs.grouped) {
+      // Group keys render as SQL literals, so NULL and '' stay distinct.
+      for (const SqlRow& row : rs.rows) {
+        out << RenderSqlLiteral(*row.group) << ": "
+            << FormatDouble(row.result.estimate) << "\n";
+      }
+      return Status::OK();
+    }
+    out << "direct: " << FormatDouble(rs.rows.front().result.estimate)
+        << "\n";
     return Status::OK();
   }
-  PCLEAN_ASSIGN_OR_RETURN(QueryResult r, ExecuteSql(table, sql, options));
+  PCLEAN_ASSIGN_OR_RETURN(SqlResultSet rs, ExecuteSqlQuery(table, sql, options));
+  if (rs.grouped) {
+    for (const SqlRow& row : rs.rows) {
+      out << RenderSqlLiteral(*row.group) << ": "
+          << FormatDouble(row.result.estimate) << " CI: ["
+          << FormatDouble(row.result.ci.lo) << ", "
+          << FormatDouble(row.result.ci.hi) << "]\n";
+    }
+    return Status::OK();
+  }
+  const QueryResult& r = rs.rows.front().result;
   out << "estimate: " << FormatDouble(r.estimate) << "\n";
   if (r.ci.Width() > 0.0) {
     out << FormatDouble(options.confidence * 100) << "% CI: ["
