@@ -6,12 +6,16 @@
 
 #include <benchmark/benchmark.h>
 
+#include <filesystem>
+#include <thread>
+
 #include "bench/harness.h"
 #include "cleaning/merge.h"
 #include "common/arena.h"
 #include "common/edit_distance.h"
 #include "datagen/synthetic.h"
 #include "privacy/laplace_mechanism.h"
+#include "privacy/ledger.h"
 #include "privacy/randomized_response.h"
 #include "provenance/provenance_graph.h"
 #include "table/csv.h"
@@ -450,6 +454,65 @@ void BM_VectorizedScanScaling(benchmark::State& state) {
 }
 BENCHMARK(BM_VectorizedScanScaling)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
     ->Unit(benchmark::kMillisecond);
+
+// Ledger commit throughput: N threads charging one tenant concurrently,
+// each charge a durable WAL record. BM_LedgerSerialCommitScaling fsyncs
+// once per record (group commit off); BM_LedgerGroupCommitScaling lets
+// the commit leader batch every queued record behind one fsync.
+// scripts/bench.sh condenses the pair into BENCH_pr9.json; group commit
+// must never be slower at >1 thread.
+void LedgerCommitBench(benchmark::State& state, bool group_commit) {
+  const size_t threads = static_cast<size_t>(state.range(0));
+  constexpr size_t kChargesPerThread = 32;
+  const std::string dir =
+      (std::filesystem::temp_directory_path() /
+       ("pclean_bench_ledger_" + std::to_string(group_commit ? 1 : 0) + "_" +
+        std::to_string(threads)))
+          .string();
+  for (auto _ : state) {
+    state.PauseTiming();
+    std::filesystem::remove_all(dir);
+    BudgetLedger::Options options;
+    options.group_commit = group_commit;
+    options.checkpoint_every = 0;  // isolate the commit path
+    auto opened = BudgetLedger::Open(dir, options);
+    if (!opened.ok()) {
+      state.SkipWithError(opened.status().ToString().c_str());
+      break;
+    }
+    BudgetLedger ledger = std::move(*opened);
+    if (!ledger.Grant("t", 1e9).ok()) {
+      state.SkipWithError("grant failed");
+      break;
+    }
+    state.ResumeTiming();
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    for (size_t w = 0; w < threads; ++w) {
+      workers.emplace_back([&ledger] {
+        for (size_t i = 0; i < kChargesPerThread; ++i) {
+          benchmark::DoNotOptimize(ledger.Charge("t", 0.001).ok());
+        }
+      });
+    }
+    for (auto& worker : workers) worker.join();
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(threads * kChargesPerThread));
+  std::filesystem::remove_all(dir);
+}
+
+void BM_LedgerSerialCommitScaling(benchmark::State& state) {
+  LedgerCommitBench(state, false);
+}
+BENCHMARK(BM_LedgerSerialCommitScaling)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_LedgerGroupCommitScaling(benchmark::State& state) {
+  LedgerCommitBench(state, true);
+}
+BENCHMARK(BM_LedgerGroupCommitScaling)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
 
 void BM_CsvWriteRead(benchmark::State& state) {
   Table data = MakeData(static_cast<size_t>(state.range(0)), 50);

@@ -10,9 +10,11 @@
 #      (dictionary-encoded predicate scan + provenance build, with the
 #      dictionary/arena memory counters), and BENCH_pr7.json (the
 #      mechanism zoo: grr/hlm/sampling randomization at matched
-#      replacement rates), and BENCH_pr8.json (the vectorized batch scan
-#      next to the boxed row-loop baseline it replaced), mapping each
-#      benchmark to its 1-thread and max-thread wall time in ms.
+#      replacement rates), BENCH_pr8.json (the vectorized batch scan
+#      next to the boxed row-loop baseline it replaced), and
+#      BENCH_pr9.json (epsilon-ledger commit throughput: one fsync per
+#      record vs group commit), mapping each benchmark to its 1-thread
+#      and max-thread wall time in ms.
 #
 # Every output carries a `_host` record (nproc, CPU model) so numbers
 # from different machines are never compared blind, and each benchmark
@@ -22,7 +24,7 @@
 #
 # Usage: scripts/bench.sh [build-dir] [output-json] [split-output-json]
 #                         [dict-output-json] [mechanism-output-json]
-#                         [vectorized-output-json]
+#                         [vectorized-output-json] [ledger-output-json]
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -33,6 +35,7 @@ SPLIT_JSON="${3:-BENCH_pr5.json}"
 DICT_JSON="${4:-BENCH_pr6.json}"
 MECH_JSON="${5:-BENCH_pr7.json}"
 VEC_JSON="${6:-BENCH_pr8.json}"
+LEDGER_JSON="${7:-BENCH_pr9.json}"
 JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
 RAW_JSON="${BUILD_DIR}/bench_scaling_raw.json"
 
@@ -42,18 +45,19 @@ cmake --build "${BUILD_DIR}" -j "${JOBS}" --target perf_microbench
 
 echo "== run *ParallelScaling benchmarks =="
 "${BUILD_DIR}/bench/perf_microbench" \
-  --benchmark_filter='ParallelScaling|ScanScaling' \
+  --benchmark_filter='ParallelScaling|ScanScaling|CommitScaling' \
   --benchmark_format=json \
   --benchmark_out="${RAW_JSON}" \
   --benchmark_out_format=json
 
-echo "== condense into ${OUT_JSON} + ${SPLIT_JSON} + ${DICT_JSON} + ${MECH_JSON} + ${VEC_JSON} =="
-python3 - "${RAW_JSON}" "${OUT_JSON}" "${SPLIT_JSON}" "${DICT_JSON}" "${MECH_JSON}" "${VEC_JSON}" <<'PY'
+echo "== condense into ${OUT_JSON} + ${SPLIT_JSON} + ${DICT_JSON} + ${MECH_JSON} + ${VEC_JSON} + ${LEDGER_JSON} =="
+python3 - "${RAW_JSON}" "${OUT_JSON}" "${SPLIT_JSON}" "${DICT_JSON}" "${MECH_JSON}" "${VEC_JSON}" "${LEDGER_JSON}" <<'PY'
 import json
 import re
 import sys
 
-raw_path, out_path, split_path, dict_path, mech_path, vec_path = sys.argv[1:7]
+(raw_path, out_path, split_path, dict_path, mech_path, vec_path,
+ ledger_path) = sys.argv[1:8]
 with open(raw_path) as f:
     raw = json.load(f)
 
@@ -88,7 +92,12 @@ counters = {}
 for b in raw.get("benchmarks", []):
     if b.get("run_type") == "aggregate":
         continue
-    name, _, arg = b["name"].rpartition("/")
+    # UseRealTime benchmarks (the ledger commit pair) report as
+    # "BM_Name/threads/real_time"; strip the suffix before splitting.
+    bench_name = b["name"]
+    if bench_name.endswith("/real_time"):
+        bench_name = bench_name[: -len("/real_time")]
+    name, _, arg = bench_name.rpartition("/")
     if not name or not arg.isdigit():
         continue
     ms = b["real_time"] * TO_MS[b.get("time_unit", "ns")]
@@ -140,16 +149,20 @@ MECH = ("BM_GrrParallelScaling", "BM_HlmParallelScaling",
 # BENCH_pr8.json: the vectorized batch engine against the boxed row-loop
 # baseline it replaced — same 1M-row table, same predicate + SUM.
 VEC = ("BM_VectorizedScanScaling", "BM_RowLoopScanScaling")
+# BENCH_pr9.json: durable epsilon-ledger commits — one fsync per charge
+# (serial) against leader-batched group commit at the same thread counts.
+LEDGER = ("BM_LedgerSerialCommitScaling", "BM_LedgerGroupCommitScaling")
 write(out_path, condense(
     n for n in runs
     if n != SPLIT and n not in ("BM_ProvenanceParallelScaling",)
-    and n not in VEC
+    and n not in VEC and n not in LEDGER
     and (n not in MECH or n == "BM_GrrParallelScaling")))
 write(split_path, condense(
     n for n in runs if n == SPLIT or n == "BM_CsvParseParallelScaling"))
 write(dict_path, condense(n for n in runs if n in DICT))
 write(mech_path, condense(n for n in runs if n in MECH))
 write(vec_path, condense(n for n in runs if n in VEC))
+write(ledger_path, condense(n for n in runs if n in LEDGER))
 PY
 
-echo "bench: wrote ${OUT_JSON}, ${SPLIT_JSON}, ${DICT_JSON}, ${MECH_JSON} and ${VEC_JSON}"
+echo "bench: wrote ${OUT_JSON}, ${SPLIT_JSON}, ${DICT_JSON}, ${MECH_JSON}, ${VEC_JSON} and ${LEDGER_JSON}"

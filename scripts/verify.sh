@@ -18,10 +18,11 @@
 #      statistical tests), so data races in the sharded paths are caught
 #      even when plain ctest happens to schedule them benignly;
 #   5. address+UB-sanitizer pass: rebuild with
-#      PCLEAN_SANITIZE=address,undefined and run the `failpoint` and
-#      `fuzz` suites — the fault-injection torture and byte-corruption
-#      fuzzers, where torn files and mid-error cleanup paths are most
-#      likely to hide memory bugs.
+#      PCLEAN_SANITIZE=address,undefined and run the `ledger`,
+#      `failpoint`, and `fuzz` suites — the epsilon-ledger crash
+#      torture, fault-injection torture, and byte-corruption fuzzers,
+#      where torn files and mid-error cleanup paths are most likely to
+#      hide memory bugs.
 #
 # Usage: scripts/verify.sh [build-dir] [tsan-build-dir] [asan-build-dir]
 set -euo pipefail
@@ -49,10 +50,10 @@ cmake -B "${TSAN_DIR}" -S . -DPCLEAN_SANITIZE=thread
 cmake --build "${TSAN_DIR}" -j "${JOBS}"
 ctest --test-dir "${TSAN_DIR}" --output-on-failure -j "${JOBS}" -L determinism
 
-echo "== ASan+UBSan: build + ctest -L 'failpoint|fuzz' (${ASAN_DIR}) =="
+echo "== ASan+UBSan: build + ctest -L 'ledger|failpoint|fuzz' (${ASAN_DIR}) =="
 cmake -B "${ASAN_DIR}" -S . -DPCLEAN_SANITIZE=address,undefined
 cmake --build "${ASAN_DIR}" -j "${JOBS}"
-ctest --test-dir "${ASAN_DIR}" --output-on-failure -j "${JOBS}" -L 'failpoint|fuzz'
+ctest --test-dir "${ASAN_DIR}" --output-on-failure -j "${JOBS}" -L 'ledger|failpoint|fuzz'
 
 echo "verify: OK"
 echo "optional: scripts/bench.sh runs the *ParallelScaling benchmarks"

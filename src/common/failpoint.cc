@@ -48,6 +48,23 @@ constexpr SiteInfo kCatalogue[] = {
     {"release.open.relation", Fault::Kind::kError},
     {"query.scan.begin", Fault::Kind::kError},
     {"provenance.graph.build", Fault::Kind::kError},
+    // ε-budget ledger (privacy/ledger.cc). The WAL commit path: an error
+    // before the frame batch is appended, a short write tearing the
+    // batch's tail on disk, and an error between the append and its
+    // fsync barrier (the classic lost-durability window).
+    {"ledger.wal.append", Fault::Kind::kError},
+    {"ledger.wal.short", Fault::Kind::kShortWrite},
+    {"ledger.wal.fsync", Fault::Kind::kError},
+    // Checkpoint compaction: writing the temp checkpoint, and the atomic
+    // rename that commits it.
+    {"ledger.ckpt.write", Fault::Kind::kError},
+    {"ledger.ckpt.rename", Fault::Kind::kError},
+    // Recovery: opening the ledger files, a truncated WAL tail, and a
+    // flipped bit mid-log (the data faults hit the recovered bytes, so
+    // recovery sees exactly what a torn/corrupt disk would serve).
+    {"ledger.recover.open", Fault::Kind::kError},
+    {"ledger.recover.torn", Fault::Kind::kTruncate},
+    {"ledger.recover.bitflip", Fault::Kind::kBitFlip},
 };
 
 const SiteInfo* FindSite(const std::string& name) {

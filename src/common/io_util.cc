@@ -3,6 +3,7 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <array>
 #include <cerrno>
 #include <chrono>
@@ -12,6 +13,7 @@
 #include <thread>
 
 #include "common/failpoint.h"
+#include "common/random.h"
 
 namespace privateclean {
 namespace io {
@@ -120,19 +122,38 @@ Result<std::string> ReadFileToString(const std::string& path) {
 Result<std::string> ReadFileWithRetry(const std::string& path,
                                       const RetryOptions& retry) {
   Status last;
-  int backoff_ms = retry.initial_backoff_ms;
+  Rng jitter(retry.jitter_seed == 0 ? 1 : retry.jitter_seed);
+  int cap_ms = retry.initial_backoff_ms;
+  int slept_ms = 0;
+  int attempts = 0;
   for (int attempt = 1;; ++attempt) {
     auto result = ReadFileToString(path);
+    attempts = attempt;
     // Only IOError is plausibly transient; everything else (incl. the
     // value itself) is final.
     if (result.ok() || !result.status().IsIOError()) return result;
     last = result.status();
     if (attempt >= retry.max_attempts) break;
-    std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
-    backoff_ms *= 2;
+    // Full jitter: sleep uniform in [0, cap], never past the total
+    // budget. A spent budget ends the retry loop early — waiting longer
+    // than the budget cannot be cheaper than failing over.
+    int remaining_ms = retry.max_total_backoff_ms - slept_ms;
+    if (remaining_ms <= 0) break;
+    int sleep_ms = std::min(cap_ms, remaining_ms);
+    if (retry.jitter_seed != 0 && sleep_ms > 0) {
+      sleep_ms = static_cast<int>(
+          jitter.UniformInt(static_cast<uint64_t>(sleep_ms) + 1));
+    }
+    slept_ms += sleep_ms;
+    if (retry.sleep_fn) {
+      retry.sleep_fn(sleep_ms);
+    } else if (sleep_ms > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+    }
+    if (cap_ms <= (1 << 30)) cap_ms *= 2;
   }
   return Status::IOError(last.message() + " (after " +
-                         std::to_string(retry.max_attempts) + " attempts)");
+                         std::to_string(attempts) + " attempts)");
 }
 
 Status WriteFileDurable(const std::string& path, std::string_view data) {
@@ -181,6 +202,42 @@ Status WriteFileDurable(const std::string& path, std::string_view data) {
     rest.remove_prefix(static_cast<size_t>(n));
   }
   PCLEAN_FAILPOINT("io.write.fsync", path);
+  if (::fsync(f.fd) != 0) {
+    return Status::IOError("fsync failed for '" + path +
+                           "': " + ErrnoMessage());
+  }
+  return Status::OK();
+}
+
+Status AppendFile(const std::string& path, std::string_view data) {
+  Fd f;
+  f.fd = ::open(path.c_str(), O_WRONLY | O_APPEND | O_CREAT | O_CLOEXEC,
+                0644);
+  if (f.fd < 0) {
+    return Status::IOError("cannot open '" + path +
+                           "' for appending: " + ErrnoMessage());
+  }
+  std::string_view rest = data;
+  while (!rest.empty()) {
+    ssize_t n = ::write(f.fd, rest.data(), rest.size());
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError("failed appending to '" + path + "' at byte " +
+                             std::to_string(data.size() - rest.size()) +
+                             ": " + ErrnoMessage());
+    }
+    rest.remove_prefix(static_cast<size_t>(n));
+  }
+  return Status::OK();
+}
+
+Status FsyncFile(const std::string& path) {
+  Fd f;
+  f.fd = ::open(path.c_str(), O_WRONLY | O_CLOEXEC);
+  if (f.fd < 0) {
+    return Status::IOError("cannot open '" + path +
+                           "' for fsync: " + ErrnoMessage());
+  }
   if (::fsync(f.fd) != 0) {
     return Status::IOError("fsync failed for '" + path +
                            "': " + ErrnoMessage());

@@ -2,6 +2,7 @@
 #define PRIVATECLEAN_COMMON_IO_UTIL_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <string_view>
 
@@ -34,11 +35,28 @@ Result<std::string> ReadFileToString(const std::string& path);
 /// Bounded retry with exponential backoff around ReadFileToString.
 /// Only IOError is retried — NotFound and DataLoss are permanent, and a
 /// checksum mismatch is detected by the caller, not here.
+///
+/// Backoff uses *full jitter* (AWS-style): each sleep is drawn uniformly
+/// from [0, cap], where the cap doubles per attempt from
+/// `initial_backoff_ms`. Jitter decorrelates retry storms when many
+/// readers (release opens, WAL recovery replays) hit the same transient
+/// fault together. Total sleep across all attempts is additionally
+/// bounded by `max_total_backoff_ms`: once the budget is spent, the next
+/// failure is final even if attempts remain.
 struct RetryOptions {
   int max_attempts = 4;
-  /// First backoff; doubles per attempt (1, 2, 4 ms by default, so a
-  /// fully failing read costs < 10 ms).
+  /// First backoff cap; doubles per attempt (1, 2, 4 ms caps by default,
+  /// so a fully failing read costs < 10 ms even un-jittered).
   int initial_backoff_ms = 1;
+  /// Hard ceiling on the summed sleep across every retry of one call.
+  int max_total_backoff_ms = 100;
+  /// Seed of the jitter stream; a fixed seed makes the sleep sequence
+  /// deterministic. 0 disables jitter (sleeps the full cap each time).
+  uint64_t jitter_seed = 0x9E3779B97F4A7C15ULL;
+  /// Test hook: invoked instead of sleeping when set, with the sleep
+  /// duration in ms. Lets a unit test count and measure sleeps without
+  /// wall-clock delay.
+  std::function<void(int)> sleep_fn;
 };
 Result<std::string> ReadFileWithRetry(const std::string& path,
                                       const RetryOptions& retry = {});
@@ -48,6 +66,18 @@ Result<std::string> ReadFileWithRetry(const std::string& path,
 /// Failpoint sites: io.write.open, io.write.short, io.write.enospc,
 /// io.write.fsync.
 Status WriteFileDurable(const std::string& path, std::string_view data);
+
+/// Appends bytes to `path` (creating it if absent) WITHOUT fsync. The
+/// write-ahead-log building block: a group commit appends many frames,
+/// then makes the batch durable with one FsyncFile. Callers that need
+/// fault injection wrap the call in their own failpoint sites (see
+/// privacy/ledger.cc); this function itself is deliberately uninstrumented
+/// so ledger faults and release faults stay independently addressable.
+Status AppendFile(const std::string& path, std::string_view data);
+
+/// Fsyncs a regular file by path (open + fsync + close): the durability
+/// barrier of a group commit batch appended with AppendFile.
+Status FsyncFile(const std::string& path);
 
 /// Fsyncs a directory so entries created/renamed inside it are durable.
 /// Failpoint site: io.fsync.dir.

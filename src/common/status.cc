@@ -22,6 +22,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "Internal error";
     case StatusCode::kDataLoss:
       return "Data loss";
+    case StatusCode::kResourceExhausted:
+      return "Resource exhausted";
   }
   return "Unknown";
 }

@@ -24,6 +24,11 @@ enum class StatusCode {
   /// to perform the operation, possibly transiently) and kNotFound (the
   /// artifact was never there): retrying a kDataLoss read cannot help.
   kDataLoss = 8,
+  /// A quota or budget is spent: the request is well-formed and the
+  /// system is healthy, but admitting it would exceed a hard allowance
+  /// (e.g. a tenant's remaining ε). Retrying cannot help until the
+  /// allowance is raised.
+  kResourceExhausted = 9,
 };
 
 /// Returns a stable human-readable name for a status code ("OK",
@@ -81,6 +86,9 @@ class Status {
   static Status DataLoss(std::string msg) {
     return Status(StatusCode::kDataLoss, std::move(msg));
   }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
 
   /// Builds a status with an arbitrary code — used to re-wrap an error
   /// with added context (e.g. file path and line number) while keeping
@@ -118,6 +126,9 @@ class Status {
   bool IsIOError() const { return code() == StatusCode::kIOError; }
   bool IsInternal() const { return code() == StatusCode::kInternal; }
   bool IsDataLoss() const { return code() == StatusCode::kDataLoss; }
+  bool IsResourceExhausted() const {
+    return code() == StatusCode::kResourceExhausted;
+  }
 
   /// "OK" or "<code name>: <message>".
   std::string ToString() const;

@@ -26,6 +26,7 @@
 #include "common/result.h"
 #include "common/statistics.h"
 #include "common/status.h"
+#include "core/admission.h"
 #include "core/conjunctive.h"
 #include "core/estimators.h"
 #include "core/private_table.h"
@@ -36,6 +37,7 @@
 #include "privacy/allocation.h"
 #include "privacy/grr.h"
 #include "privacy/laplace_mechanism.h"
+#include "privacy/ledger.h"
 #include "privacy/mechanism.h"
 #include "privacy/privacy_params.h"
 #include "privacy/randomized_response.h"

@@ -172,12 +172,70 @@ Result<RenderedFiles> RenderReleaseFiles(
   return files;
 }
 
+/// Names in the MANIFEST's relation/column lines are free text in a
+/// line-oriented format, so line-breaking bytes are backslash-escaped
+/// ("\n", "\r", "\\"); everything else (spaces, commas, quotes) passes
+/// through untouched.
+std::string EscapeManifestName(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    switch (c) {
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+Result<std::string> UnescapeManifestName(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (size_t i = 0; i < text.size(); ++i) {
+    if (text[i] != '\\') {
+      out += text[i];
+      continue;
+    }
+    if (i + 1 >= text.size()) {
+      return Status::DataLoss("dangling escape in manifest name '" + text +
+                              "'");
+    }
+    switch (text[++i]) {
+      case 'n':
+        out += '\n';
+        break;
+      case 'r':
+        out += '\r';
+        break;
+      case '\\':
+        out += '\\';
+        break;
+      default:
+        return Status::DataLoss("unknown escape '\\" +
+                                std::string(1, text[i]) +
+                                "' in manifest name '" + text + "'");
+    }
+  }
+  return out;
+}
+
 /// Renders the MANIFEST: magic, version, relation size, the mechanism
-/// the relation was randomized under, one line per payload file
-/// ("file: <crc32c> <bytes> <name>"), and a trailing self-checksum over
-/// everything above it.
+/// the relation was randomized under, the SQL relation name, the schema
+/// ("column: <kind> <type> <name>" in schema order), one line per
+/// payload file ("file: <crc32c> <bytes> <name>"), and a trailing
+/// self-checksum over everything above it.
 std::string RenderManifest(uint64_t rows, const MechanismSpec& mechanism,
-                           const RenderedFiles& files) {
+                           const std::string& relation_name,
+                           const Schema& schema, const RenderedFiles& files) {
   std::string out = kManifestMagic;
   out += "\nversion: ";
   out += std::to_string(kFormatVersion);
@@ -185,7 +243,19 @@ std::string RenderManifest(uint64_t rows, const MechanismSpec& mechanism,
   out += std::to_string(rows);
   out += "\nmechanism: ";
   out += RenderMechanismSpec(mechanism);
+  out += "\nrelation: ";
+  out += EscapeManifestName(relation_name);
   out += '\n';
+  for (size_t i = 0; i < schema.num_fields(); ++i) {
+    const Field& field = schema.field(i);
+    out += "column: ";
+    out += field.kind == AttributeKind::kDiscrete ? "discrete" : "numeric";
+    out += ' ';
+    out += TypeName(field.type);
+    out += ' ';
+    out += EscapeManifestName(field.name);  // last: names may have spaces
+    out += '\n';
+  }
   for (const auto& [name, content] : files) {
     out += "file: ";
     out += io::Crc32cToHex(io::Crc32c(content));
@@ -209,12 +279,27 @@ struct ManifestEntry {
   uint32_t crc = 0;
 };
 
+/// One `column:` schema line: the writer's view of a data.csv column,
+/// cross-checked against meta.csv before the data parse.
+struct ManifestColumn {
+  std::string kind;  ///< "discrete" | "numeric"
+  std::string type;  ///< TypeName() spelling
+  std::string name;
+};
+
 struct Manifest {
   uint64_t rows = 0;
   /// Defaults to the paper's GRR: a v2 manifest written before the
   /// mechanism zoo has no `mechanism:` line, and every such release was
   /// randomized by the only mechanism that existed then.
   MechanismSpec mechanism;
+  /// The SQL name this release answers to in FROM clauses. Manifests
+  /// written before the `relation:` line default to "r", the paper's
+  /// private view R — the name every such release was queried under.
+  std::string relation_name = "r";
+  /// Schema carried by `column:` lines; empty for manifests written
+  /// before the section existed (the legacy path skips the check).
+  std::vector<ManifestColumn> columns;
   std::vector<ManifestEntry> files;
 };
 
@@ -300,6 +385,38 @@ Result<Manifest> ParseManifest(const std::string& text,
         return Status::DataLoss(loc() + ": " + valid.message());
       }
       manifest.mechanism = std::move(spec).ValueOrDie();
+    } else if (line.rfind("relation: ", 0) == 0) {
+      auto name = UnescapeManifestName(line.substr(10));
+      if (!name.ok()) {
+        return Status::DataLoss(loc() + ": " + name.status().message());
+      }
+      manifest.relation_name = std::move(name).ValueOrDie();
+      if (manifest.relation_name.empty()) {
+        return Status::DataLoss(loc() + ": empty relation name");
+      }
+    } else if (line.rfind("column: ", 0) == 0) {
+      // "column: <kind> <type> <name>" — name last, may contain spaces.
+      const std::string body = line.substr(8);
+      const size_t sp1 = body.find(' ');
+      const size_t sp2 =
+          sp1 == std::string::npos ? std::string::npos : body.find(' ', sp1 + 1);
+      if (sp2 == std::string::npos || sp2 + 1 >= body.size()) {
+        return Status::DataLoss(loc() + ": malformed column entry '" + line +
+                                "'");
+      }
+      ManifestColumn column;
+      column.kind = body.substr(0, sp1);
+      column.type = body.substr(sp1 + 1, sp2 - sp1 - 1);
+      auto name = UnescapeManifestName(body.substr(sp2 + 1));
+      if (!name.ok()) {
+        return Status::DataLoss(loc() + ": " + name.status().message());
+      }
+      column.name = std::move(name).ValueOrDie();
+      if (column.kind != "discrete" && column.kind != "numeric") {
+        return Status::DataLoss(loc() + ": unknown column kind '" +
+                                column.kind + "'");
+      }
+      manifest.columns.push_back(std::move(column));
     } else if (line.rfind("file: ", 0) == 0) {
       // "file: <crc8hex> <bytes> <name>"
       const std::string body = line.substr(6);
@@ -387,10 +504,10 @@ using FileFetcher = std::function<Result<std::string>(const std::string&)>;
 /// legacy-GRR default for v1 and pre-mechanism v2 releases); every
 /// discrete attribute's meta.csv `param` is bound through it, so a
 /// parameter the family rejects surfaces as DataLoss naming meta.csv.
-Result<LoadedRelease> ParseReleaseTables(const FileFetcher& fetch,
-                                         const std::string& dir,
-                                         const MechanismSpec& mechanism,
-                                         const ExecutionOptions& exec) {
+Result<LoadedRelease> ParseReleaseTables(
+    const FileFetcher& fetch, const std::string& dir,
+    const MechanismSpec& mechanism, const ExecutionOptions& exec,
+    const std::vector<ManifestColumn>* manifest_columns = nullptr) {
   PCLEAN_ASSIGN_OR_RETURN(Schema meta_schema, MetaSchema());
   PCLEAN_ASSIGN_OR_RETURN(std::string meta_text, fetch(kMetaFile));
   PCLEAN_ASSIGN_OR_RETURN(
@@ -475,6 +592,34 @@ Result<LoadedRelease> ParseReleaseTables(const FileFetcher& fetch,
     }
   }
   PCLEAN_ASSIGN_OR_RETURN(Schema schema, Schema::Make(std::move(fields)));
+  // Cross-check the MANIFEST-carried schema against meta.csv BEFORE the
+  // data parse: a writer/reader disagreement about what data.csv holds
+  // must fail with the offending column named, not as a downstream
+  // coercion error on some row.
+  if (manifest_columns != nullptr && !manifest_columns->empty()) {
+    const std::vector<ManifestColumn>& expected = *manifest_columns;
+    if (expected.size() != schema.num_fields()) {
+      return Status::FailedPrecondition(
+          "'" + dir + "': MANIFEST declares " +
+          std::to_string(expected.size()) + " columns but meta.csv yields " +
+          std::to_string(schema.num_fields()));
+    }
+    for (size_t i = 0; i < schema.num_fields(); ++i) {
+      const Field& field = schema.field(i);
+      const ManifestColumn& want = expected[i];
+      const std::string got_kind =
+          field.kind == AttributeKind::kDiscrete ? "discrete" : "numeric";
+      if (field.name != want.name || got_kind != want.kind ||
+          TypeName(field.type) != want.type) {
+        return Status::FailedPrecondition(
+            "'" + dir + "': column " + std::to_string(i) +
+            " mismatch between MANIFEST and meta.csv: MANIFEST declares '" +
+            want.name + "' (" + want.kind + " " + want.type +
+            ") but meta.csv yields '" + field.name + "' (" + got_kind + " " +
+            TypeName(field.type) + ")");
+      }
+    }
+  }
   PCLEAN_ASSIGN_OR_RETURN(std::string data_text, fetch(kDataFile));
   PCLEAN_ASSIGN_OR_RETURN(
       release.relation,
@@ -566,9 +711,14 @@ Status WriteRelease(const Table& private_relation,
       RenderedFiles files,
       RenderReleaseFiles(private_relation, metadata, exec));
   PCLEAN_FAILPOINT("release.mechanism.render", dir);
-  files.emplace_back(kManifestFile,
-                     RenderManifest(private_relation.num_rows(),
-                                    metadata.mechanism_spec, files));
+  // An unnamed relation publishes under "r", the paper's private view R
+  // — the name every pre-`relation:` release answered to.
+  const std::string relation_name =
+      metadata.relation_name.empty() ? "r" : metadata.relation_name;
+  files.emplace_back(
+      kManifestFile,
+      RenderManifest(private_relation.num_rows(), metadata.mechanism_spec,
+                     relation_name, private_relation.schema(), files));
 
   const fs::path target(dir);
   const fs::path parent =
@@ -682,6 +832,7 @@ Result<LoadedRelease> ReadRelease(const std::string& dir,
         ParseReleaseTables(from_disk, dir, MechanismSpec{}, exec));
     release.format_version = 1;
     release.verified = false;
+    release.metadata.relation_name = "r";
     return release;
   }
 
@@ -708,7 +859,9 @@ Result<LoadedRelease> ReadRelease(const std::string& dir,
   };
   PCLEAN_ASSIGN_OR_RETURN(
       LoadedRelease release,
-      ParseReleaseTables(from_manifest, dir, manifest.mechanism, exec));
+      ParseReleaseTables(from_manifest, dir, manifest.mechanism, exec,
+                         &manifest.columns));
+  release.metadata.relation_name = manifest.relation_name;
   if (release.relation.num_rows() != manifest.rows) {
     return Status::DataLoss(
         "'" + dir + "/" + kDataFile + "' parsed to " +

@@ -58,12 +58,24 @@ SqlResultSet ScalarResult(QueryResult r) {
   return rs;
 }
 
+/// The FROM name must match the relation the table was opened as. An
+/// unnamed table (in-process PrivateTable::Create) accepts any
+/// spelling; a release validates against its MANIFEST `relation:` name.
+Status CheckRelationName(const PrivateTable& table, const ParsedSql& parsed) {
+  const std::string& expected = table.metadata().relation_name;
+  if (expected.empty() || parsed.table_name == expected) return Status::OK();
+  return Status::NotFound("unknown relation '" + parsed.table_name +
+                          "' in FROM: this release serves relation '" +
+                          expected + "'");
+}
+
 }  // namespace
 
 Result<SqlResultSet> ExecuteSqlQuery(const PrivateTable& table,
                                      const std::string& sql,
                                      const QueryOptions& options) {
   PCLEAN_ASSIGN_OR_RETURN(ParsedSql parsed, ParseSql(sql));
+  PCLEAN_RETURN_NOT_OK(CheckRelationName(table, parsed));
   if (parsed.count_distinct) {
     return Status::FailedPrecondition(
         "not privately answerable: COUNT(DISTINCT " +
@@ -156,6 +168,7 @@ Result<SqlResultSet> ExecuteSqlQueryDirect(const PrivateTable& table,
                                            const std::string& sql,
                                            const ExecutionOptions& exec) {
   PCLEAN_ASSIGN_OR_RETURN(ParsedSql parsed, ParseSql(sql));
+  PCLEAN_RETURN_NOT_OK(CheckRelationName(table, parsed));
   const Table& relation = table.relation();
   if (parsed.count_distinct) {
     // Nominal distinct-value count (NULL counts as its own value iff

@@ -48,8 +48,10 @@ struct SqlResultSet {
 /// MIN/MAX, SELECT DISTINCT, COUNT(DISTINCT), GROUP BY combined with
 /// WHERE or a non-COUNT aggregate, and WHERE trees spanning more than
 /// two attributes (or two attributes outside a pure COUNT conjunction).
-/// The FROM table name is not checked (a PrivateTable is a single
-/// relation).
+/// The FROM name is validated against the relation the table was opened
+/// as: a release answers only to its MANIFEST `relation:` name (default
+/// "r", the paper's private view R), and an unknown name is a typed
+/// NotFound naming both. Unnamed in-process tables accept any spelling.
 Result<SqlResultSet> ExecuteSqlQuery(const PrivateTable& table,
                                      const std::string& sql,
                                      const QueryOptions& options = QueryOptions());

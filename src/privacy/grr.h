@@ -56,6 +56,11 @@ struct PrivateRelationMetadata {
   /// in the release MANIFEST so a release is never decoded with the
   /// wrong estimator. Defaults to the paper's GRR.
   MechanismSpec mechanism_spec;
+  /// The SQL relation name this table answers to in FROM clauses. Empty
+  /// means unnamed: in-process tables accept any FROM spelling. Releases
+  /// persist the name in the MANIFEST (`relation:` line) and default to
+  /// "r", the paper's private view R.
+  std::string relation_name;
 };
 
 /// Options for private-relation generation.

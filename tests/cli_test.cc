@@ -308,6 +308,119 @@ TEST_F(CliTest, CsvSplitRejectsUnknownMode) {
       << err_.str();
 }
 
+TEST_F(CliTest, BudgetGrantShowRelaxRoundTrip) {
+  const std::string ledger = base_ + "/ledger";
+  ASSERT_EQ(Run({"budget", "grant", "--ledger", ledger, "--tenant", "alice",
+                 "--epsilon", "2.5"}),
+            0)
+      << err_.str();
+  EXPECT_NE(out_.str().find("granted=2.5"), std::string::npos) << out_.str();
+  ASSERT_EQ(Run({"budget", "relax", "--ledger", ledger, "--tenant", "alice",
+                 "--epsilon", "0.5"}),
+            0)
+      << err_.str();
+  EXPECT_NE(out_.str().find("granted=3"), std::string::npos) << out_.str();
+  ASSERT_EQ(Run({"budget", "show", "--ledger", ledger}), 0) << err_.str();
+  EXPECT_NE(out_.str().find("alice"), std::string::npos);
+  EXPECT_NE(out_.str().find("remaining=3"), std::string::npos) << out_.str();
+  // The ledger is durable: a fresh show (new process-equivalent open)
+  // still sees the budget.
+  ASSERT_EQ(Run({"budget", "show", "--ledger", ledger, "--tenant", "alice"}),
+            0)
+      << err_.str();
+  EXPECT_NE(out_.str().find("granted=3"), std::string::npos);
+}
+
+TEST_F(CliTest, BudgetRejectsBadActionsAndUnknownTenants) {
+  const std::string ledger = base_ + "/ledger";
+  EXPECT_EQ(Run({"budget", "--ledger", ledger}), 1);
+  EXPECT_NE(err_.str().find("grant, relax, or show"), std::string::npos)
+      << err_.str();
+  EXPECT_EQ(Run({"budget", "shrink", "--ledger", ledger}), 1);
+  EXPECT_NE(err_.str().find("unknown budget action"), std::string::npos);
+  EXPECT_EQ(Run({"budget", "show", "--ledger", ledger, "--tenant", "bob"}),
+            1);
+  EXPECT_NE(err_.str().find("Not found"), std::string::npos) << err_.str();
+}
+
+TEST_F(CliTest, QueryChargesTenantAndRejectsOverdraftBeforeExecution) {
+  ASSERT_EQ(Run({"privatize", "--input", csv_path_, "--output",
+                 release_dir_, "--epsilon", "4.0", "--seed", "7"}),
+            0)
+      << err_.str();
+  const std::string ledger = base_ + "/ledger";
+  // Per-attribute epsilon is ~2 of the total 4, so a grant of 3 admits
+  // exactly one single-attribute query.
+  ASSERT_EQ(Run({"budget", "grant", "--ledger", ledger, "--tenant", "alice",
+                 "--epsilon", "3.0"}),
+            0)
+      << err_.str();
+  const std::vector<std::string> query = {
+      "query",    "--release", release_dir_,
+      "--sql",    "SELECT COUNT(*) FROM r WHERE category = 'a'",
+      "--ledger", ledger,      "--tenant",
+      "alice"};
+  ASSERT_EQ(Run(query), 0) << err_.str();
+  EXPECT_NE(out_.str().find("charged epsilon"), std::string::npos)
+      << out_.str();
+  EXPECT_NE(out_.str().find("estimate:"), std::string::npos);
+
+  // Second identical query overdrafts: typed rejection, no estimate —
+  // the query never executed.
+  EXPECT_EQ(Run(query), 1);
+  EXPECT_NE(err_.str().find("Resource exhausted"), std::string::npos)
+      << err_.str();
+  EXPECT_NE(err_.str().find("alice"), std::string::npos);
+  EXPECT_EQ(out_.str().find("estimate:"), std::string::npos) << out_.str();
+
+  // A relax tops the tenant back up and the same query is admitted.
+  ASSERT_EQ(Run({"budget", "relax", "--ledger", ledger, "--tenant", "alice",
+                 "--epsilon", "2.0"}),
+            0)
+      << err_.str();
+  EXPECT_EQ(Run(query), 0) << err_.str();
+}
+
+TEST_F(CliTest, QueryWithUnknownRelationIsRejectedWithoutCharge) {
+  ASSERT_EQ(Run({"privatize", "--input", csv_path_, "--output",
+                 release_dir_, "--epsilon", "4.0", "--seed", "7"}),
+            0)
+      << err_.str();
+  const std::string ledger = base_ + "/ledger";
+  ASSERT_EQ(Run({"budget", "grant", "--ledger", ledger, "--tenant", "alice",
+                 "--epsilon", "3.0"}),
+            0);
+  EXPECT_EQ(Run({"query", "--release", release_dir_, "--sql",
+                 "SELECT COUNT(*) FROM wrong WHERE category = 'a'",
+                 "--ledger", ledger, "--tenant", "alice"}),
+            1);
+  EXPECT_NE(err_.str().find("unknown relation 'wrong'"), std::string::npos)
+      << err_.str();
+  EXPECT_NE(err_.str().find("relation 'r'"), std::string::npos);
+  // Nothing was charged for the rejected query.
+  ASSERT_EQ(Run({"budget", "show", "--ledger", ledger, "--tenant", "alice"}),
+            0);
+  EXPECT_NE(out_.str().find("spent=0"), std::string::npos) << out_.str();
+}
+
+TEST_F(CliTest, QueryLedgerAndTenantGoTogether) {
+  ASSERT_EQ(Run({"privatize", "--input", csv_path_, "--output",
+                 release_dir_, "--epsilon", "4.0", "--seed", "7"}),
+            0);
+  EXPECT_EQ(Run({"query", "--release", release_dir_, "--sql",
+                 "SELECT COUNT(*) FROM r", "--tenant", "alice"}),
+            1);
+  EXPECT_NE(err_.str().find("--ledger and --tenant go together"),
+            std::string::npos)
+      << err_.str();
+}
+
+TEST_F(CliTest, UsageMentionsBudget) {
+  EXPECT_EQ(Run({"help"}), 0);
+  EXPECT_NE(out_.str().find("budget grant"), std::string::npos);
+  EXPECT_NE(out_.str().find("--tenant"), std::string::npos);
+}
+
 TEST_F(CliTest, DeterministicGivenSeed) {
   ASSERT_EQ(Run({"privatize", "--input", csv_path_, "--output",
                  release_dir_ + "_a", "--p", "0.2", "--b", "5.0", "--seed",

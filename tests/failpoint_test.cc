@@ -9,6 +9,7 @@
 
 #include <algorithm>
 #include <filesystem>
+#include <vector>
 
 #include "common/io_util.h"
 
@@ -103,6 +104,72 @@ TEST_F(FailpointTest, RetryGivesUpAfterMaxAttempts) {
   ASSERT_TRUE(read.status().IsIOError());
   EXPECT_NE(read.status().message().find("after 3 attempts"),
             std::string::npos);
+}
+
+TEST_F(FailpointTest, RetryJitterSleepsStayUnderTheDoublingCaps) {
+  // Persistent transient fault: every attempt fails, so the loop sleeps
+  // max_attempts - 1 times. With full jitter each sleep is uniform in
+  // [0, cap] where the cap doubles: 4, 8, 16 ms here.
+  ASSERT_TRUE(failpoint::Activate("io.read.transient",
+                                  failpoint::DefaultFault("io.read.transient"))
+                  .ok());
+  ASSERT_TRUE(io::WriteFileDurable(Path("f"), "data\n").ok());
+  io::RetryOptions retry;
+  retry.max_attempts = 4;
+  retry.initial_backoff_ms = 4;
+  retry.jitter_seed = 20260808;
+  std::vector<int> sleeps;
+  retry.sleep_fn = [&sleeps](int ms) { sleeps.push_back(ms); };
+  auto read = io::ReadFileWithRetry(Path("f"), retry);
+  ASSERT_TRUE(read.status().IsIOError());
+  ASSERT_EQ(sleeps.size(), 3u);
+  int cap = 4;
+  int total = 0;
+  for (int ms : sleeps) {
+    EXPECT_GE(ms, 0);
+    EXPECT_LE(ms, cap);
+    cap *= 2;
+    total += ms;
+  }
+  EXPECT_LE(total, retry.max_total_backoff_ms);
+}
+
+TEST_F(FailpointTest, RetryZeroJitterSeedSleepsTheFullCaps) {
+  ASSERT_TRUE(failpoint::Activate("io.read.transient",
+                                  failpoint::DefaultFault("io.read.transient"))
+                  .ok());
+  ASSERT_TRUE(io::WriteFileDurable(Path("f"), "data\n").ok());
+  io::RetryOptions retry;
+  retry.max_attempts = 4;
+  retry.initial_backoff_ms = 4;
+  retry.jitter_seed = 0;  // jitter off: deterministic worst-case backoff
+  std::vector<int> sleeps;
+  retry.sleep_fn = [&sleeps](int ms) { sleeps.push_back(ms); };
+  EXPECT_TRUE(io::ReadFileWithRetry(Path("f"), retry).status().IsIOError());
+  EXPECT_EQ(sleeps, (std::vector<int>{4, 8, 16}));
+}
+
+TEST_F(FailpointTest, RetryTotalBackoffBudgetEndsTheLoopEarly) {
+  ASSERT_TRUE(failpoint::Activate("io.read.transient",
+                                  failpoint::DefaultFault("io.read.transient"))
+                  .ok());
+  ASSERT_TRUE(io::WriteFileDurable(Path("f"), "data\n").ok());
+  io::RetryOptions retry;
+  retry.max_attempts = 10;
+  retry.initial_backoff_ms = 4;
+  retry.max_total_backoff_ms = 5;
+  retry.jitter_seed = 0;
+  std::vector<int> sleeps;
+  retry.sleep_fn = [&sleeps](int ms) { sleeps.push_back(ms); };
+  auto read = io::ReadFileWithRetry(Path("f"), retry);
+  ASSERT_TRUE(read.status().IsIOError());
+  // Caps would be 4, 8, 16, ... but the 5 ms budget clips the second
+  // sleep to 1 ms and ends the loop before the third: 3 attempts, not
+  // 10, and the summed sleep never exceeds the budget.
+  EXPECT_EQ(sleeps, (std::vector<int>{4, 1}));
+  EXPECT_NE(read.status().message().find("after 3 attempts"),
+            std::string::npos)
+      << read.status().message();
 }
 
 TEST_F(FailpointTest, RetryDoesNotRetryNotFound) {

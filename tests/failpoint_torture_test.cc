@@ -15,6 +15,7 @@
 #include "common/failpoint.h"
 #include "common/random.h"
 #include "core/release.h"
+#include "privacy/ledger.h"
 #include "query/predicate.h"
 #include "table/table_builder.h"
 
@@ -279,10 +280,23 @@ TEST_F(FailpointTortureTest, EveryCataloguedSiteSitsOnAnExercisedPath) {
   ASSERT_TRUE(table.ok()) << table.status().ToString();
   ASSERT_TRUE(table->Count(Predicate::In("city", {Value("Berkeley")})).ok());
   ASSERT_TRUE(VerifyRelease(dir).ok());
+  // Ledger cycle: open + mutate (WAL commit sites) + checkpoint +
+  // reopen over an existing WAL (recovery sites).
+  const std::string ledger_dir = base_ + "/cov_ledger";
+  {
+    auto ledger = BudgetLedger::Open(ledger_dir);
+    ASSERT_TRUE(ledger.ok()) << ledger.status().ToString();
+    ASSERT_TRUE(ledger->Grant("alice", 2.0).ok());
+    ASSERT_TRUE(ledger->Charge("alice", 0.5).ok());
+    ASSERT_TRUE(ledger->Checkpoint().ok());
+    ASSERT_TRUE(ledger->Grant("bob", 1.0).ok());  // leave a live WAL frame
+  }
+  ASSERT_TRUE(BudgetLedger::Open(ledger_dir).ok());
   for (const std::string& site : failpoint::Sites()) {
     EXPECT_GT(failpoint::Hits(site), 0u)
         << "site '" << site
-        << "' was never reached by write/overwrite/read/open/query/verify";
+        << "' was never reached by write/overwrite/read/open/query/verify"
+           "/ledger";
   }
 }
 

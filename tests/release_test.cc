@@ -3,9 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <functional>
 #include <optional>
 
 #include "cleaning/merge.h"
+#include "core/sql_execution.h"
 #include "common/io_util.h"
 #include "common/random.h"
 #include "datagen/synthetic.h"
@@ -257,12 +259,18 @@ TEST_F(ReleaseTest, OverwriteSwapsAtomicallyToTheNewRelease) {
               second.table.column(0).ValueAt(r));
   }
   EXPECT_TRUE(any_diff) << "seeds 3 and 7 should randomize differently";
-  // No staging or backup siblings survive a successful swap.
+  // No staging or backup siblings of THIS release survive a successful
+  // swap. Staging dirs are named "<release>.tmp.<suffix>" /
+  // "<release>.old.<suffix>", so scope the scan to our own basename —
+  // the temp root is shared with concurrently running tests whose
+  // in-flight staging dirs are not our business.
+  const std::string base = std::filesystem::path(dir_).filename().string();
   size_t entries = 0;
   for (auto it = std::filesystem::directory_iterator(
            std::filesystem::path(dir_).parent_path());
        it != std::filesystem::directory_iterator(); ++it) {
     std::string name = it->path().filename().string();
+    if (name.rfind(base, 0) != 0) continue;
     EXPECT_EQ(name.find(".tmp."), std::string::npos) << name;
     EXPECT_EQ(name.find(".old."), std::string::npos) << name;
     ++entries;
@@ -698,6 +706,171 @@ TEST_F(ReleaseTest, EndToEndProviderAnalystSeparation) {
   QueryResult r = *pt.Count(pred);
   EXPECT_NEAR(r.estimate, truth, 0.35 * truth);
   EXPECT_TRUE(r.ci.Contains(r.estimate));
+}
+
+/// Rewrites the MANIFEST body line-by-line through `edit` (return the
+/// replacement line, or nullopt to drop it) and recomputes the
+/// self-checksum, so schema-section tests tamper with one declaration
+/// without tripping the CRC machinery.
+void PatchManifestLines(
+    const std::string& dir,
+    const std::function<std::optional<std::string>(const std::string&)>&
+        edit) {
+  std::string manifest = *io::ReadFileToString(dir + "/MANIFEST");
+  size_t trailer = manifest.rfind("\nmanifest_crc: ");
+  ASSERT_NE(trailer, std::string::npos);
+  std::string body = manifest.substr(0, trailer + 1);
+  std::string out;
+  size_t pos = 0;
+  while (pos < body.size()) {
+    size_t eol = body.find('\n', pos);
+    ASSERT_NE(eol, std::string::npos);
+    std::optional<std::string> line = edit(body.substr(pos, eol - pos));
+    pos = eol + 1;
+    if (line.has_value()) out += *line + "\n";
+  }
+  out += "manifest_crc: " + io::Crc32cToHex(io::Crc32c(out)) + "\n";
+  ASSERT_TRUE(io::WriteFileDurable(dir + "/MANIFEST", out).ok());
+}
+
+TEST_F(ReleaseTest, ManifestCarriesRelationNameAndSchema) {
+  GrrOutput grr = MakeGrr();
+  ASSERT_TRUE(WriteRelease(grr, dir_).ok());
+  std::string manifest = *io::ReadFileToString(dir_ + "/MANIFEST");
+  EXPECT_NE(manifest.find("relation: r\n"), std::string::npos);
+  EXPECT_NE(manifest.find("column: discrete string major\n"),
+            std::string::npos);
+  EXPECT_NE(manifest.find("column: discrete int64 section\n"),
+            std::string::npos);
+  EXPECT_NE(manifest.find("column: numeric double score\n"),
+            std::string::npos);
+  LoadedRelease loaded = *ReadRelease(dir_);
+  EXPECT_EQ(loaded.metadata.relation_name, "r");
+}
+
+TEST_F(ReleaseTest, CustomRelationNameRoundTripsAndGatesSql) {
+  GrrOutput grr = MakeGrr();
+  grr.metadata.relation_name = "students";
+  ASSERT_TRUE(WriteRelease(grr, dir_).ok());
+  PrivateTable table = *OpenRelease(dir_);
+  EXPECT_EQ(table.metadata().relation_name, "students");
+  // FROM must name the released relation; anything else is a typed
+  // NotFound naming both the asked-for and the actual relation.
+  auto ok = ExecuteSqlQuery(table, "SELECT COUNT(*) FROM students");
+  EXPECT_TRUE(ok.ok()) << ok.status().ToString();
+  auto bad = ExecuteSqlQuery(table, "SELECT COUNT(*) FROM r");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_TRUE(bad.status().IsNotFound()) << bad.status().ToString();
+  EXPECT_NE(bad.status().message().find("unknown relation 'r'"),
+            std::string::npos)
+      << bad.status().message();
+  EXPECT_NE(bad.status().message().find("'students'"), std::string::npos);
+}
+
+TEST_F(ReleaseTest, DefaultReleaseRejectsUnknownFromRelation) {
+  GrrOutput grr = MakeGrr();
+  ASSERT_TRUE(WriteRelease(grr, dir_).ok());
+  PrivateTable table = *OpenRelease(dir_);
+  auto bad = ExecuteSqlQuery(table, "SELECT COUNT(*) FROM nosuch");
+  ASSERT_FALSE(bad.ok());
+  EXPECT_TRUE(bad.status().IsNotFound()) << bad.status().ToString();
+  EXPECT_NE(bad.status().message().find("unknown relation 'nosuch'"),
+            std::string::npos);
+  EXPECT_NE(bad.status().message().find("relation 'r'"), std::string::npos);
+}
+
+TEST_F(ReleaseTest, ManifestColumnTypeMismatchIsFailedPrecondition) {
+  GrrOutput grr = MakeGrr();
+  ASSERT_TRUE(WriteRelease(grr, dir_).ok());
+  PatchManifestLines(dir_, [](const std::string& line) {
+    if (line == "column: discrete string major") {
+      return std::optional<std::string>("column: discrete int64 major");
+    }
+    return std::optional<std::string>(line);
+  });
+  auto read = ReadRelease(dir_);
+  ASSERT_FALSE(read.ok());
+  EXPECT_TRUE(read.status().IsFailedPrecondition())
+      << read.status().ToString();
+  EXPECT_NE(read.status().message().find("'major'"), std::string::npos)
+      << read.status().message();
+  EXPECT_NE(read.status().message().find("meta.csv"), std::string::npos);
+}
+
+TEST_F(ReleaseTest, ManifestColumnNameMismatchIsFailedPrecondition) {
+  GrrOutput grr = MakeGrr();
+  ASSERT_TRUE(WriteRelease(grr, dir_).ok());
+  PatchManifestLines(dir_, [](const std::string& line) {
+    if (line == "column: numeric double score") {
+      return std::optional<std::string>("column: numeric double points");
+    }
+    return std::optional<std::string>(line);
+  });
+  auto read = ReadRelease(dir_);
+  ASSERT_FALSE(read.ok());
+  EXPECT_TRUE(read.status().IsFailedPrecondition());
+  EXPECT_NE(read.status().message().find("'points'"), std::string::npos)
+      << read.status().message();
+}
+
+TEST_F(ReleaseTest, ManifestColumnCountMismatchIsFailedPrecondition) {
+  GrrOutput grr = MakeGrr();
+  ASSERT_TRUE(WriteRelease(grr, dir_).ok());
+  PatchManifestLines(dir_, [](const std::string& line) {
+    if (line == "column: numeric double score") return std::optional<std::string>();
+    return std::optional<std::string>(line);
+  });
+  auto read = ReadRelease(dir_);
+  ASSERT_FALSE(read.ok());
+  EXPECT_TRUE(read.status().IsFailedPrecondition());
+  EXPECT_NE(read.status().message().find("declares 2 columns"),
+            std::string::npos)
+      << read.status().message();
+}
+
+TEST_F(ReleaseTest, LineBreakingColumnNamesAreEscapedInTheManifest) {
+  // meta.csv CSV-quotes hostile names; the line-oriented MANIFEST
+  // schema section must escape them instead of splitting the line.
+  Schema s = *Schema::Make({Field::Discrete("new\nline"),
+                            Field::Numerical("back\\slash",
+                                             ValueType::kDouble)});
+  TableBuilder b(s);
+  for (int i = 0; i < 50; ++i) {
+    b.Row({Value("v" + std::to_string(i % 3)),
+           Value(static_cast<double>(i % 7))});
+  }
+  Table t = *b.Finish();
+  Rng rng(5);
+  GrrOutput grr = *ApplyGrr(t, GrrParams::Uniform(0.2, 1.5), GrrOptions{},
+                            rng);
+  ASSERT_TRUE(WriteRelease(grr, dir_).ok());
+  std::string manifest = *io::ReadFileToString(dir_ + "/MANIFEST");
+  EXPECT_NE(manifest.find("column: discrete string new\\nline\n"),
+            std::string::npos)
+      << manifest;
+  EXPECT_NE(manifest.find("column: numeric double back\\\\slash\n"),
+            std::string::npos);
+  LoadedRelease loaded = *ReadRelease(dir_);
+  EXPECT_EQ(loaded.relation.schema().field(0).name, "new\nline");
+  EXPECT_EQ(loaded.relation.schema().field(1).name, "back\\slash");
+}
+
+TEST_F(ReleaseTest, ManifestWithoutSchemaSectionLoadsAsLegacy) {
+  GrrOutput grr = MakeGrr();
+  ASSERT_TRUE(WriteRelease(grr, dir_).ok());
+  // A release written before the schema section: no relation/column
+  // lines at all. It loads with the default relation name and no
+  // schema cross-check.
+  PatchManifestLines(dir_, [](const std::string& line) {
+    if (line.rfind("relation: ", 0) == 0 ||
+        line.rfind("column: ", 0) == 0) {
+      return std::optional<std::string>();
+    }
+    return std::optional<std::string>(line);
+  });
+  auto read = ReadRelease(dir_);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_EQ(read->metadata.relation_name, "r");
 }
 
 }  // namespace

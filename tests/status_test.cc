@@ -31,6 +31,7 @@ TEST(StatusTest, ErrorFactoriesCarryCodeAndMessage) {
       {Status::IOError("f"), StatusCode::kIOError},
       {Status::Internal("g"), StatusCode::kInternal},
       {Status::DataLoss("h"), StatusCode::kDataLoss},
+      {Status::ResourceExhausted("i"), StatusCode::kResourceExhausted},
   };
   for (const Case& c : cases) {
     EXPECT_FALSE(c.status.ok());
@@ -48,8 +49,15 @@ TEST(StatusTest, PredicatesMatchCodes) {
   EXPECT_TRUE(Status::IOError("x").IsIOError());
   EXPECT_TRUE(Status::Internal("x").IsInternal());
   EXPECT_TRUE(Status::DataLoss("x").IsDataLoss());
+  EXPECT_TRUE(Status::ResourceExhausted("x").IsResourceExhausted());
   EXPECT_FALSE(Status::NotFound("x").IsInvalidArgument());
   EXPECT_FALSE(Status::IOError("x").IsDataLoss());
+  EXPECT_FALSE(Status::ResourceExhausted("x").IsFailedPrecondition());
+}
+
+TEST(StatusTest, ResourceExhaustedRendersItsName) {
+  Status st = Status::ResourceExhausted("budget gone");
+  EXPECT_EQ(st.ToString(), "Resource exhausted: budget gone");
 }
 
 TEST(StatusTest, WithCodeRebindsCodeKeepingMessage) {

@@ -128,6 +128,10 @@ void PrintUsage(std::ostream& out) {
          "  pclean query --release release_dir --sql \"SELECT ...\"\n"
          "         [--direct] [--confidence C] [--threads N]\n"
          "         [--bootstrap R] [--seed N] [--replace attr:from=to]...\n"
+         "         [--ledger ledger_dir --tenant NAME]\n"
+         "  pclean budget grant --ledger ledger_dir --tenant NAME --epsilon E\n"
+         "  pclean budget relax --ledger ledger_dir --tenant NAME --epsilon E\n"
+         "  pclean budget show --ledger ledger_dir [--tenant NAME]\n"
          "\n"
          "  verify checks every release file against the MANIFEST checksums\n"
          "  and exits non-zero on any corruption (Data loss), a missing\n"
@@ -149,7 +153,15 @@ void PrintUsage(std::ostream& out) {
          "  --bootstrap R wraps median/percentile/var/std estimates in a\n"
          "  bootstrap confidence interval with R replicates (needs R >= 10;\n"
          "  the replicate loop also threads per --threads). --seed fixes\n"
-         "  the resampling stream.\n";
+         "  the resampling stream.\n"
+         "  budget manages per-tenant epsilon budgets in a crash-safe\n"
+         "  ledger directory (WAL + checkpoint). grant opens or tops up a\n"
+         "  tenant's budget, relax returns unspent epsilon after a\n"
+         "  data-cleaning relaxation, and show prints granted/spent/\n"
+         "  remaining. query with --ledger and --tenant charges the\n"
+         "  query's epsilon cost against the tenant BEFORE executing and\n"
+         "  rejects overdrafts (Resource exhausted) without running the\n"
+         "  query.\n";
 }
 
 Status RunPrivatize(const ParsedArgs& args, std::ostream& out) {
@@ -342,6 +354,34 @@ Status RunQuery(const ParsedArgs& args, std::ostream& out) {
   for (const std::string& rule : args.All("replace")) {
     PCLEAN_RETURN_NOT_OK(ApplyReplaceRule(&table, rule));
   }
+  // Admission control: with a ledger and tenant, the query's epsilon
+  // cost is charged durably BEFORE any execution; an overdraft rejects
+  // the query (Resource exhausted) with zero side effects on results.
+  if (args.Has("ledger") || args.Has("tenant")) {
+    if (!args.Has("ledger") || !args.Has("tenant")) {
+      return Status::InvalidArgument(
+          "--ledger and --tenant go together: both are needed to charge "
+          "a query against a budget");
+    }
+    PCLEAN_ASSIGN_OR_RETURN(std::string ledger_dir, args.One("ledger"));
+    PCLEAN_ASSIGN_OR_RETURN(std::string tenant, args.One("tenant"));
+    PCLEAN_ASSIGN_OR_RETURN(BudgetLedger ledger,
+                            BudgetLedger::Open(ledger_dir));
+    PCLEAN_ASSIGN_OR_RETURN(AdmissionTicket ticket,
+                            AdmitSqlQuery(ledger, tenant, table, sql));
+    // A zero-cost query (no private attributes referenced) is admitted
+    // even for a tenant the ledger has never seen.
+    TenantBudget after;
+    auto budget = ledger.Budget(tenant);
+    if (budget.ok()) {
+      after = *budget;
+    } else if (!budget.status().IsNotFound()) {
+      return budget.status();
+    }
+    out << "charged epsilon " << FormatDouble(ticket.cost) << " to tenant '"
+        << tenant << "' (remaining " << FormatDouble(after.remaining())
+        << ")\n";
+  }
   if (args.Has("direct")) {
     PCLEAN_ASSIGN_OR_RETURN(SqlResultSet rs,
                             ExecuteSqlQueryDirect(table, sql, options.exec));
@@ -382,6 +422,56 @@ Status RunQuery(const ParsedArgs& args, std::ostream& out) {
   return Status::OK();
 }
 
+void PrintTenantBudget(const std::string& tenant, const TenantBudget& budget,
+                       std::ostream& out) {
+  out << "  " << tenant << "  granted=" << FormatDouble(budget.granted)
+      << "  spent=" << FormatDouble(budget.spent)
+      << "  remaining=" << FormatDouble(budget.remaining()) << "\n";
+}
+
+/// `pclean budget <grant|relax|show>`: crash-safe per-tenant epsilon
+/// accounts. grant/relax append a durable WAL record before reporting
+/// success; show is read-only.
+Status RunBudget(const ParsedArgs& args, const std::string& action,
+                 std::ostream& out) {
+  if (action.empty()) {
+    return Status::InvalidArgument(
+        "budget expects an action: grant, relax, or show");
+  }
+  PCLEAN_ASSIGN_OR_RETURN(std::string dir, args.One("ledger"));
+  PCLEAN_ASSIGN_OR_RETURN(BudgetLedger ledger, BudgetLedger::Open(dir));
+  if (action == "show") {
+    out << "ledger: " << dir << "\n";
+    if (args.Has("tenant")) {
+      PCLEAN_ASSIGN_OR_RETURN(std::string tenant, args.One("tenant"));
+      PCLEAN_ASSIGN_OR_RETURN(TenantBudget budget, ledger.Budget(tenant));
+      PrintTenantBudget(tenant, budget, out);
+      return Status::OK();
+    }
+    PCLEAN_ASSIGN_OR_RETURN(auto tenants, ledger.Snapshot());
+    for (const auto& [tenant, budget] : tenants) {
+      PrintTenantBudget(tenant, budget, out);
+    }
+    if (tenants.empty()) out << "  (no tenants)\n";
+    return Status::OK();
+  }
+  if (action != "grant" && action != "relax") {
+    return Status::InvalidArgument("unknown budget action '" + action +
+                                   "': expected grant, relax, or show");
+  }
+  PCLEAN_ASSIGN_OR_RETURN(std::string tenant, args.One("tenant"));
+  PCLEAN_ASSIGN_OR_RETURN(double epsilon, ParseFlagDouble(args, "epsilon"));
+  if (action == "grant") {
+    PCLEAN_RETURN_NOT_OK(ledger.Grant(tenant, epsilon));
+  } else {
+    PCLEAN_RETURN_NOT_OK(ledger.Relax(tenant, epsilon));
+  }
+  PCLEAN_ASSIGN_OR_RETURN(TenantBudget budget, ledger.Budget(tenant));
+  out << action << " epsilon " << FormatDouble(epsilon) << ":\n";
+  PrintTenantBudget(tenant, budget, out);
+  return Status::OK();
+}
+
 }  // namespace
 
 int RunPcleanCli(const std::vector<std::string>& args, std::ostream& out,
@@ -392,12 +482,19 @@ int RunPcleanCli(const std::vector<std::string>& args, std::ostream& out,
   }
   const std::string& command = args[0];
   // `pclean verify <dir>` takes its release directory positionally;
-  // the --release flag form works too.
+  // the --release flag form works too. `pclean budget <action>` takes
+  // its action positionally.
   std::string verify_dir;
+  std::string budget_action;
   size_t flag_start = 1;
   if (command == "verify" && args.size() > 1 &&
       args[1].rfind("--", 0) != 0) {
     verify_dir = args[1];
+    flag_start = 2;
+  }
+  if (command == "budget" && args.size() > 1 &&
+      args[1].rfind("--", 0) != 0) {
+    budget_action = args[1];
     flag_start = 2;
   }
   auto parsed = ParseFlags(args, flag_start);
@@ -414,6 +511,8 @@ int RunPcleanCli(const std::vector<std::string>& args, std::ostream& out,
     st = RunQuery(*parsed, out);
   } else if (command == "verify") {
     st = RunVerify(*parsed, std::move(verify_dir), out);
+  } else if (command == "budget") {
+    st = RunBudget(*parsed, budget_action, out);
   } else {
     err << "pclean: unknown command '" << command << "'\n";
     PrintUsage(err);
