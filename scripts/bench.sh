@@ -166,3 +166,11 @@ write(ledger_path, condense(n for n in runs if n in LEDGER))
 PY
 
 echo "bench: wrote ${OUT_JSON}, ${SPLIT_JSON}, ${DICT_JSON}, ${MECH_JSON}, ${VEC_JSON} and ${LEDGER_JSON}"
+
+# The serve soak (BENCH_pr10.json: sessions/sec, serial vs pooled strand
+# pump) runs whole processes for ~60s, so it is opt-in:
+#   PCLEAN_SOAK=1 scripts/bench.sh
+if [ "${PCLEAN_SOAK:-0}" = "1" ]; then
+  echo "== serve soak (PCLEAN_SOAK=1) =="
+  scripts/soak.sh "${BUILD_DIR}" BENCH_pr10.json
+fi

@@ -1,0 +1,182 @@
+#!/usr/bin/env bash
+# Bounded soak of `pclean serve` (~60 s total):
+#
+#   1. build the release `pclean` binary;
+#   2. privatize a synthetic relation and grant budgets to 7 tenants
+#      (an 8th client runs with an unfunded tenant, so the overdraft
+#      path stays under load the whole run);
+#   3. twice — once with --pool-threads 1 (serial strand pump) and once
+#      with --pool-threads 4 (pooled) — run 8 client processes for
+#      PCLEAN_SOAK_SECONDS each, every iteration a full session:
+#      connect, HELLO, one charged query, BYE;
+#   4. emit BENCH_pr10.json with sessions/sec for both modes, a `_host`
+#      record (nproc, CPU model, date), and a `flat_scaling` flag when
+#      pooled is within 10% of serial — expected on a single-core
+#      machine, a red flag on a multi-core one.
+#
+# The server is asked to stop with SIGTERM (drain: queued queries are
+# answered, sessions get a GOODBYE, the socket is unlinked); a non-zero
+# server exit fails the soak. --serve-for-ms bounds the run even if the
+# signal is lost, so the soak can never hang a CI job.
+#
+# Usage: scripts/soak.sh [build-dir] [output-json]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${1:-build}"
+OUT_JSON="${2:-BENCH_pr10.json}"
+DURATION_S="${PCLEAN_SOAK_SECONDS:-25}"
+CLIENTS=8
+JOBS="$(nproc 2>/dev/null || sysctl -n hw.ncpu 2>/dev/null || echo 4)"
+
+echo "== build (${BUILD_DIR}) =="
+cmake -B "${BUILD_DIR}" -S . -DCMAKE_BUILD_TYPE=Release >/dev/null
+cmake --build "${BUILD_DIR}" -j "${JOBS}" --target pclean >/dev/null
+PCLEAN="${BUILD_DIR}/tools/pclean"
+
+# Workspace under /tmp (NOT the repo): Unix socket paths cap at ~107
+# bytes, and mktemp -d keeps them short.
+WORK="$(mktemp -d /tmp/pclean_soak.XXXXXX)"
+trap 'rm -rf "${WORK}"' EXIT
+
+echo "== data: synthetic relation + ledger =="
+python3 - "${WORK}/input.csv" <<'PY'
+import random
+import sys
+
+random.seed(10)
+with open(sys.argv[1], "w") as f:
+    f.write("category,value\n")
+    for _ in range(5000):
+        # Zipf-flavoured skew over 20 categories, like the paper's
+        # synthetic generator.
+        rank = min(int(random.paretovariate(1.5)) - 1, 19)
+        f.write("c%d,%.6f\n" % (rank, random.uniform(0.0, 100.0)))
+PY
+"${PCLEAN}" privatize --input "${WORK}/input.csv" --output "${WORK}/release" \
+  --epsilon 4.0 --seed 7 >/dev/null
+for i in $(seq 0 $((CLIENTS - 2))); do
+  "${PCLEAN}" budget grant --ledger "${WORK}/ledger" --tenant "t${i}" \
+    --epsilon 1000000 >/dev/null
+done
+
+SQL="SELECT count(1) FROM r WHERE category = 'c1'"
+
+# run_mode <pool-threads> <counts-subdir>: serve + 8 client processes
+# for DURATION_S seconds; prints total completed sessions.
+run_mode() {
+  local pool="$1" tag="$2"
+  local sock="${WORK}/${tag}.sock"
+  local counts="${WORK}/${tag}_counts"
+  mkdir -p "${counts}"
+  "${PCLEAN}" serve "${WORK}/release" --socket "${sock}" \
+    --ledger "${WORK}/ledger" --pool-threads "${pool}" \
+    --serve-for-ms $(((DURATION_S + 30) * 1000)) \
+    > "${WORK}/${tag}_server.log" 2>&1 &
+  local server_pid=$!
+  for _ in $(seq 1 100); do
+    [ -S "${sock}" ] && break
+    kill -0 "${server_pid}" 2>/dev/null || {
+      echo "server died during startup:" >&2
+      cat "${WORK}/${tag}_server.log" >&2
+      exit 1
+    }
+    sleep 0.1
+  done
+  [ -S "${sock}" ] || { echo "server socket never appeared" >&2; exit 1; }
+
+  local client_pids=()
+  for i in $(seq 0 $((CLIENTS - 1))); do
+    (
+      # Client 7's tenant holds no budget: every one of its sessions
+      # exercises the overdraft path and still counts as a completed
+      # session (typed refusal, clean BYE).
+      tenant="t${i}"
+      [ "${i}" -eq $((CLIENTS - 1)) ] && tenant="unfunded"
+      sessions=0
+      end=$((SECONDS + DURATION_S))
+      while [ "${SECONDS}" -lt "${end}" ]; do
+        if "${PCLEAN}" query --connect "${sock}" --tenant "${tenant}" \
+             --sql "${SQL}" >/dev/null 2>&1; then
+          sessions=$((sessions + 1))
+        elif [ "${tenant}" = "unfunded" ]; then
+          sessions=$((sessions + 1))
+        fi
+      done
+      echo "${sessions}" > "${counts}/c${i}"
+    ) &
+    client_pids+=("$!")
+  done
+  wait "${client_pids[@]}"
+  kill -TERM "${server_pid}" 2>/dev/null || true
+  if ! wait "${server_pid}"; then
+    echo "server exited non-zero:" >&2
+    cat "${WORK}/${tag}_server.log" >&2
+    exit 1
+  fi
+  grep -q "drained:" "${WORK}/${tag}_server.log" || {
+    echo "server never drained:" >&2
+    cat "${WORK}/${tag}_server.log" >&2
+    exit 1
+  }
+  cat "${counts}"/c* | awk '{s += $1} END {print s}'
+}
+
+echo "== soak: serial (--pool-threads 1), ${DURATION_S}s x ${CLIENTS} clients =="
+SERIAL_SESSIONS="$(run_mode 1 serial)"
+echo "   ${SERIAL_SESSIONS} sessions"
+echo "== soak: pooled (--pool-threads 4), ${DURATION_S}s x ${CLIENTS} clients =="
+POOLED_SESSIONS="$(run_mode 4 pooled)"
+echo "   ${POOLED_SESSIONS} sessions"
+
+[ "${SERIAL_SESSIONS}" -gt 0 ] || { echo "no serial sessions completed" >&2; exit 1; }
+[ "${POOLED_SESSIONS}" -gt 0 ] || { echo "no pooled sessions completed" >&2; exit 1; }
+
+echo "== write ${OUT_JSON} =="
+python3 - "${OUT_JSON}" "${DURATION_S}" "${CLIENTS}" \
+  "${SERIAL_SESSIONS}" "${POOLED_SESSIONS}" <<'PY'
+import datetime
+import json
+import os
+import sys
+
+out_path, duration_s, clients, serial, pooled = sys.argv[1:6]
+duration_s, clients = int(duration_s), int(clients)
+serial, pooled = int(serial), int(pooled)
+
+def cpu_model():
+    try:
+        with open("/proc/cpuinfo") as f:
+            for line in f:
+                if line.startswith("model name"):
+                    return line.split(":", 1)[1].strip()
+    except OSError:
+        pass
+    return "unknown"
+
+serial_rate = serial / duration_s
+pooled_rate = pooled / duration_s
+report = {
+    "serve_soak": {
+        "clients": clients,
+        "duration_s": duration_s,
+        "serial_sessions": serial,
+        "serial_sessions_per_sec": round(serial_rate, 2),
+        "pooled_sessions": pooled,
+        "pooled_sessions_per_sec": round(pooled_rate, 2),
+        "flat_scaling": pooled_rate < serial_rate * 1.1,
+    },
+    "_host": {
+        "nproc": os.cpu_count(),
+        "cpu_model": cpu_model(),
+        "date": datetime.datetime.now(datetime.timezone.utc)
+            .astimezone().isoformat(timespec="seconds"),
+    },
+}
+with open(out_path, "w") as f:
+    json.dump(report, f, indent=2, sort_keys=True)
+    f.write("\n")
+print(json.dumps(report["serve_soak"], indent=2, sort_keys=True))
+PY
+echo "== done =="

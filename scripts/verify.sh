@@ -14,15 +14,18 @@
 #      acceptance (sql_engine_test), called out separately so a SQL-layer
 #      regression is visible at a glance;
 #   4. thread-sanitizer pass: rebuild with PCLEAN_SANITIZE=thread and run
-#      the `determinism`-labeled suites (the 1/2/8-thread bit-identity and
-#      statistical tests), so data races in the sharded paths are caught
-#      even when plain ctest happens to schedule them benignly;
+#      the `determinism`- and `server`-labeled suites (the 1/2/8-thread
+#      bit-identity and statistical tests, plus the `pclean serve`
+#      concurrency torture — sessions, strand pump, drain, reaper), so
+#      data races in the sharded and multiplexed paths are caught even
+#      when plain ctest happens to schedule them benignly;
 #   5. address+UB-sanitizer pass: rebuild with
 #      PCLEAN_SANITIZE=address,undefined and run the `ledger`,
-#      `failpoint`, and `fuzz` suites — the epsilon-ledger crash
-#      torture, fault-injection torture, and byte-corruption fuzzers,
-#      where torn files and mid-error cleanup paths are most likely to
-#      hide memory bugs.
+#      `failpoint`, `fuzz`, and `server` suites — the epsilon-ledger
+#      crash torture, fault-injection torture, byte-corruption fuzzers,
+#      and the server torture (torn frames, hard kills, session
+#      teardown), where torn files and mid-error cleanup paths are most
+#      likely to hide memory bugs.
 #
 # Usage: scripts/verify.sh [build-dir] [tsan-build-dir] [asan-build-dir]
 set -euo pipefail
@@ -45,15 +48,15 @@ ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}" -L statistical
 echo "== SQL suite: ctest -L sql (${BUILD_DIR}) =="
 ctest --test-dir "${BUILD_DIR}" --output-on-failure -j "${JOBS}" -L sql
 
-echo "== TSan: build + ctest -L determinism (${TSAN_DIR}) =="
+echo "== TSan: build + ctest -L 'determinism|server' (${TSAN_DIR}) =="
 cmake -B "${TSAN_DIR}" -S . -DPCLEAN_SANITIZE=thread
 cmake --build "${TSAN_DIR}" -j "${JOBS}"
-ctest --test-dir "${TSAN_DIR}" --output-on-failure -j "${JOBS}" -L determinism
+ctest --test-dir "${TSAN_DIR}" --output-on-failure -j "${JOBS}" -L 'determinism|server'
 
-echo "== ASan+UBSan: build + ctest -L 'ledger|failpoint|fuzz' (${ASAN_DIR}) =="
+echo "== ASan+UBSan: build + ctest -L 'ledger|failpoint|fuzz|server' (${ASAN_DIR}) =="
 cmake -B "${ASAN_DIR}" -S . -DPCLEAN_SANITIZE=address,undefined
 cmake --build "${ASAN_DIR}" -j "${JOBS}"
-ctest --test-dir "${ASAN_DIR}" --output-on-failure -j "${JOBS}" -L 'ledger|failpoint|fuzz'
+ctest --test-dir "${ASAN_DIR}" --output-on-failure -j "${JOBS}" -L 'ledger|failpoint|fuzz|server'
 
 echo "verify: OK"
 echo "optional: scripts/bench.sh runs the *ParallelScaling benchmarks"

@@ -65,6 +65,15 @@ constexpr SiteInfo kCatalogue[] = {
     {"ledger.recover.open", Fault::Kind::kError},
     {"ledger.recover.torn", Fault::Kind::kTruncate},
     {"ledger.recover.bitflip", Fault::Kind::kBitFlip},
+    // `pclean serve` (src/server): admitting a connection, the framed
+    // wire protocol (data faults mutate a payload before its length/CRC
+    // check, modeling a torn or corrupted connection), and the graceful
+    // drain entry.
+    {"server.accept", Fault::Kind::kError},
+    {"server.frame.read.short", Fault::Kind::kTruncate},
+    {"server.frame.read.bitflip", Fault::Kind::kBitFlip},
+    {"server.frame.write.short", Fault::Kind::kShortWrite},
+    {"server.drain", Fault::Kind::kError},
 };
 
 const SiteInfo* FindSite(const std::string& name) {

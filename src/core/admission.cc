@@ -3,6 +3,7 @@
 #include <set>
 #include <vector>
 
+#include "common/string_util.h"
 #include "privacy/accountant.h"
 #include "query/sql_expr.h"
 
@@ -84,6 +85,13 @@ Result<SqlResultSet> ExecuteSqlQueryAdmitted(BudgetLedger& ledger,
                           AdmitSqlQuery(ledger, tenant, table, sql));
   (void)ticket;
   return ExecuteSqlQuery(table, sql, options);
+}
+
+std::string RenderAdmissionLine(const std::string& tenant,
+                                const AdmissionTicket& ticket,
+                                const TenantBudget& after) {
+  return "charged epsilon " + FormatDouble(ticket.cost) + " to tenant '" +
+         tenant + "' (remaining " + FormatDouble(after.remaining()) + ")\n";
 }
 
 }  // namespace privateclean

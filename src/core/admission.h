@@ -44,6 +44,15 @@ Result<AdmissionTicket> AdmitSqlQuery(BudgetLedger& ledger,
                                       const PrivateTable& table,
                                       const std::string& sql);
 
+/// Renders the one-line charge acknowledgement `pclean query` prints
+/// after admission ("charged epsilon E to tenant 't' (remaining R)").
+/// The server prepends the same line to a served RESULT, so a charged
+/// answer is byte-identical locally and over the wire. `after` is the
+/// tenant's budget after the charge (BudgetLedger::BudgetOrZero).
+std::string RenderAdmissionLine(const std::string& tenant,
+                                const AdmissionTicket& ticket,
+                                const TenantBudget& after);
+
 /// The admission-controlled query entry point: AdmitSqlQuery, then
 /// ExecuteSqlQuery. The charge is durable before the estimators run, so
 /// a crash mid-query can strand at most this one query's ε as spent-

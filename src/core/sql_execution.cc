@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cctype>
+#include <ostream>
 #include <utility>
+
+#include "common/string_util.h"
 
 #include "common/random.h"
 #include "query/vectorized.h"
@@ -247,6 +250,44 @@ Result<SqlResultSet> ExecuteSqlQueryDirect(const PrivateTable& table,
   PCLEAN_ASSIGN_OR_RETURN(QueryResult r,
                           table.ExecuteDirect(parsed.query, options));
   return ScalarResult(std::move(r));
+}
+
+void RenderSqlResultText(const SqlResultSet& rs, bool direct,
+                         double confidence, std::ostream& out) {
+  if (direct) {
+    if (rs.grouped) {
+      // Group keys render as SQL literals, so NULL and '' stay distinct.
+      for (const SqlRow& row : rs.rows) {
+        out << RenderSqlLiteral(*row.group) << ": "
+            << FormatDouble(row.result.estimate) << "\n";
+      }
+      return;
+    }
+    out << "direct: " << FormatDouble(rs.rows.front().result.estimate)
+        << "\n";
+    return;
+  }
+  if (rs.grouped) {
+    for (const SqlRow& row : rs.rows) {
+      out << RenderSqlLiteral(*row.group) << ": "
+          << FormatDouble(row.result.estimate) << " CI: ["
+          << FormatDouble(row.result.ci.lo) << ", "
+          << FormatDouble(row.result.ci.hi) << "]\n";
+    }
+    return;
+  }
+  const QueryResult& r = rs.rows.front().result;
+  out << "estimate: " << FormatDouble(r.estimate) << "\n";
+  if (r.ci.Width() > 0.0) {
+    out << FormatDouble(confidence * 100) << "% CI: ["
+        << FormatDouble(r.ci.lo) << ", " << FormatDouble(r.ci.hi) << "]\n";
+  }
+  if (r.replicates_requested > 0) {
+    // Degenerate resamples drop out of the interval; surface the count
+    // so a thinned interval is visible to the analyst.
+    out << "bootstrap replicates: " << r.replicates_effective << "/"
+        << r.replicates_requested << "\n";
+  }
 }
 
 Result<QueryResult> ExecuteSql(const PrivateTable& table,

@@ -1,6 +1,7 @@
 #ifndef PRIVATECLEAN_CORE_SQL_EXECUTION_H_
 #define PRIVATECLEAN_CORE_SQL_EXECUTION_H_
 
+#include <iosfwd>
 #include <optional>
 #include <string>
 #include <vector>
@@ -66,6 +67,15 @@ Result<SqlResultSet> ExecuteSqlQuery(const PrivateTable& table,
 Result<SqlResultSet> ExecuteSqlQueryDirect(const PrivateTable& table,
                                            const std::string& sql,
                                            const ExecutionOptions& exec = {});
+
+/// Renders a result set exactly as `pclean query` prints it. The CLI
+/// and the server's RESULT payload both call this one function — that
+/// shared body, not a pair of look-alike loops, is what makes a served
+/// answer byte-identical to a local one. `direct` selects the
+/// Direct-baseline rendering (no intervals); `confidence` is the level
+/// the scalar CI line names.
+void RenderSqlResultText(const SqlResultSet& rs, bool direct,
+                         double confidence, std::ostream& out);
 
 /// Scalar convenience wrappers: the single QueryResult of a non-grouped
 /// query. Grouped queries (GROUP BY / SELECT DISTINCT) return

@@ -664,6 +664,13 @@ Result<TenantBudget> BudgetLedger::Budget(const std::string& tenant) const {
   return it->second;
 }
 
+TenantBudget BudgetLedger::BudgetOrZero(const std::string& tenant) const {
+  std::lock_guard<std::mutex> lk(rep_->mu);
+  auto it = rep_->tenants.find(tenant);
+  if (it == rep_->tenants.end()) return TenantBudget{};
+  return it->second;
+}
+
 Result<std::map<std::string, TenantBudget>> BudgetLedger::Snapshot() const {
   std::lock_guard<std::mutex> lk(rep_->mu);
   const Rep& r = *rep_;

@@ -118,6 +118,13 @@ class BudgetLedger {
   /// The tenant's current budget; NotFound if no grant ever named them.
   Result<TenantBudget> Budget(const std::string& tenant) const;
 
+  /// Budget() with the NotFound case folded to an all-zero budget — the
+  /// natural reading for display paths, where a tenant the ledger has
+  /// never seen simply has nothing granted and nothing spent. Intended
+  /// for reporting right after a successful mutation (a wounded ledger
+  /// returns the in-memory view, which may be ahead of what committed).
+  TenantBudget BudgetOrZero(const std::string& tenant) const;
+
   /// All tenants, sorted by name.
   Result<std::map<std::string, TenantBudget>> Snapshot() const;
 

@@ -1,0 +1,147 @@
+#include "server/client.h"
+
+#include <errno.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <utility>
+
+namespace privateclean {
+namespace server {
+
+namespace {
+
+Status ConnectError(const std::string& path) {
+  if (errno == ENOENT || errno == ECONNREFUSED) {
+    return Status::NotFound("no server at '" + path +
+                            "': " + std::strerror(errno));
+  }
+  return Status::IOError("connect '" + path +
+                         "' failed: " + std::strerror(errno));
+}
+
+}  // namespace
+
+Client::Client(int fd, WelcomeInfo welcome)
+    : fd_(fd), reader_(fd), welcome_(std::move(welcome)) {}
+
+Client::~Client() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Client::Client(Client&& other) noexcept
+    : fd_(other.fd_),
+      reader_(std::move(other.reader_)),
+      welcome_(std::move(other.welcome_)) {
+  other.fd_ = -1;
+}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = other.fd_;
+    reader_ = std::move(other.reader_);
+    welcome_ = std::move(other.welcome_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Result<Client> Client::Connect(const std::string& socket_path,
+                               const std::string& tenant,
+                               const std::string& release) {
+  sockaddr_un addr;
+  std::memset(&addr, 0, sizeof addr);
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof(addr.sun_path)) {
+    return Status::InvalidArgument("socket path '" + socket_path +
+                                   "' exceeds the Unix-domain limit");
+  }
+  std::memcpy(addr.sun_path, socket_path.data(), socket_path.size());
+  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError("socket failed: " +
+                           std::string(std::strerror(errno)));
+  }
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr);
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
+    Status status = ConnectError(socket_path);
+    ::close(fd);
+    return status;
+  }
+  Client client(fd, WelcomeInfo{});
+  HelloRequest hello;
+  hello.tenant = tenant;
+  hello.release = release;
+  PCLEAN_RETURN_NOT_OK(
+      WriteFrame(client.fd_, Frame{FrameType::kHello, RenderHello(hello)}));
+  PCLEAN_ASSIGN_OR_RETURN(auto reply, client.reader_.Read());
+  if (!reply.has_value()) {
+    return Status::IOError("server closed during the handshake");
+  }
+  switch (reply->type) {
+    case FrameType::kWelcome: {
+      PCLEAN_ASSIGN_OR_RETURN(client.welcome_, ParseWelcome(reply->payload));
+      return client;
+    }
+    case FrameType::kError:
+      return ParseStatusPayload(reply->payload);
+    case FrameType::kGoodbye:
+      return Status::FailedPrecondition("session closed by server: " +
+                                        reply->payload);
+    default:
+      return Status::Internal(std::string("unexpected handshake frame '") +
+                              FrameTypeToken(reply->type) + "'");
+  }
+}
+
+Result<std::string> Client::Query(const QueryRequest& request) {
+  PCLEAN_RETURN_NOT_OK(WriteFrame(
+      fd_, Frame{FrameType::kQuery, RenderQueryRequest(request)}));
+  PCLEAN_ASSIGN_OR_RETURN(auto reply, reader_.Read());
+  if (!reply.has_value()) {
+    return Status::IOError("connection closed before a reply");
+  }
+  switch (reply->type) {
+    case FrameType::kResult:
+      return std::move(reply->payload);
+    case FrameType::kError:
+      return ParseStatusPayload(reply->payload);
+    case FrameType::kGoodbye:
+      return Status::FailedPrecondition("session closed by server: " +
+                                        reply->payload);
+    default:
+      return Status::Internal(std::string("unexpected reply frame '") +
+                              FrameTypeToken(reply->type) + "'");
+  }
+}
+
+Result<std::string> Client::Query(const std::string& sql, bool direct,
+                                  double confidence) {
+  QueryRequest request;
+  request.sql = sql;
+  request.direct = direct;
+  request.confidence = confidence;
+  return Query(request);
+}
+
+Status Client::Bye() {
+  if (fd_ < 0) return Status::OK();
+  PCLEAN_RETURN_NOT_OK(WriteFrame(fd_, Frame{FrameType::kBye, ""}));
+  // Await the GOODBYE so the server's polite-close path is exercised;
+  // anything else (EOF, a late RESULT) still ends the session.
+  for (;;) {
+    PCLEAN_ASSIGN_OR_RETURN(auto reply, reader_.Read());
+    if (!reply.has_value() || reply->type == FrameType::kGoodbye) break;
+  }
+  ::shutdown(fd_, SHUT_RDWR);
+  return Status::OK();
+}
+
+}  // namespace server
+}  // namespace privateclean

@@ -1,0 +1,59 @@
+#ifndef PRIVATECLEAN_SERVER_CLIENT_H_
+#define PRIVATECLEAN_SERVER_CLIENT_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "server/protocol.h"
+
+namespace privateclean {
+namespace server {
+
+/// Synchronous client for one analyst session against `pclean serve`.
+/// Used by `pclean query --connect` and the server tests; one Client is
+/// one session (HELLO at connect, BYE at close), not thread-safe.
+class Client {
+ public:
+  /// Connects to the socket and completes the HELLO/WELCOME handshake.
+  /// An ERROR reply to the HELLO (unknown release, tenant rules)
+  /// surfaces as that typed Status; a missing socket is NotFound.
+  static Result<Client> Connect(const std::string& socket_path,
+                                const std::string& tenant = "",
+                                const std::string& release = "");
+
+  ~Client();
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+
+  /// What the server said at bind time.
+  const WelcomeInfo& welcome() const { return welcome_; }
+
+  /// Sends one QUERY and waits for the reply. Returns the RESULT
+  /// payload — the rendered text, byte-identical to what `pclean query`
+  /// prints for the same SQL over the same release. A server ERROR
+  /// frame returns as the same typed Status the server raised
+  /// (ResourceExhausted overdraft, InvalidArgument SQL, ...); a GOODBYE
+  /// (drain, idle timeout) is FailedPrecondition; a torn reply is the
+  /// reader's DataLoss.
+  Result<std::string> Query(const QueryRequest& request);
+  Result<std::string> Query(const std::string& sql, bool direct = false,
+                            double confidence = 0.95);
+
+  /// Polite close: BYE, await GOODBYE, shut the socket. Safe to skip —
+  /// the destructor just closes the socket.
+  Status Bye();
+
+ private:
+  Client(int fd, WelcomeInfo welcome);
+
+  int fd_ = -1;
+  FrameReader reader_;
+  WelcomeInfo welcome_;
+};
+
+}  // namespace server
+}  // namespace privateclean
+
+#endif  // PRIVATECLEAN_SERVER_CLIENT_H_

@@ -1,0 +1,100 @@
+#ifndef PRIVATECLEAN_SERVER_SERVER_H_
+#define PRIVATECLEAN_SERVER_SERVER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/thread_pool.h"
+#include "server/session.h"
+
+namespace privateclean {
+namespace server {
+
+/// Configuration of one `pclean serve` daemon.
+struct ServerOptions {
+  /// Unix-domain socket path the server listens on.
+  std::string socket_path;
+  /// Release directories to serve, opened read-only at startup. Each is
+  /// bound under its directory basename; a HELLO with an empty release
+  /// gets the first one. Sessions binding the same release share one
+  /// dictionary-encoded table (ReleaseCache).
+  std::vector<std::string> release_dirs;
+  /// Budget-ledger directory; empty runs the server without admission
+  /// control (anonymous sessions only).
+  std::string ledger_dir;
+  /// Worker threads for session scheduling. Every session is a strand
+  /// on this pool (at most one task in flight), so 1 thread serializes
+  /// all sessions — the soak benchmark's serial baseline — while N
+  /// threads serve up to N sessions concurrently. 0 = one per hardware
+  /// thread. Never affects response bytes.
+  int pool_threads = 0;
+  /// Per-query execution threading (QueryOptions::exec inside a session
+  /// task). Also never affects response bytes.
+  ExecutionOptions query_exec;
+  /// Close sessions idle longer than this; <= 0 disables.
+  int idle_timeout_ms = 0;
+  /// Bounded per-session request queue (pipelining backpressure).
+  size_t queue_depth = 8;
+  /// How long Drain() waits for sessions to answer their queues before
+  /// aborting the stragglers.
+  int drain_grace_ms = 10000;
+};
+
+/// The `pclean serve` daemon: accepts analyst connections on a
+/// Unix-domain socket and multiplexes their sessions over one shared
+/// thread pool against shared read-only releases.
+///
+/// Lifecycle: Start() binds, listens, opens every release and (if
+/// configured) the ledger, then runs the accept loop on its own thread.
+/// Drain() is the graceful shutdown: stop accepting, let every live
+/// session answer what it has queued, say GOODBYE, wait (bounded by
+/// drain_grace_ms), then tear down and unlink the socket. The
+/// destructor hard-stops anything Drain() did not get to.
+///
+/// Teardown ordering is the correctness-critical part: sessions only
+/// schedule strand tasks on the pool while live, and a session reports
+/// closed only when it can schedule no further work (see
+/// Session::FinishedLocked), so the destructor can safely destroy the
+/// pool after every session closed, and the sessions after the pool.
+class Server {
+ public:
+  /// Binds and starts serving. Typed failures: InvalidArgument (bad
+  /// options, duplicate release basenames, oversize socket path),
+  /// FailedPrecondition (another live server owns the socket), IOError
+  /// (socket syscalls), plus whatever opening a release or the ledger
+  /// returns. A dead socket file left by a crashed server is replaced.
+  /// Failpoint `server.accept` injects accept-time failures; the loop
+  /// treats them as transient (that connection is dropped).
+  static Result<Server> Start(const ServerOptions& options);
+
+  ~Server();
+  Server(Server&&) noexcept;
+  Server& operator=(Server&&) noexcept;
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  const std::string& socket_path() const;
+
+  /// Graceful drain (idempotent). Failpoint `server.drain` injects a
+  /// typed failure before any teardown; the destructor still hard-stops
+  /// cleanly afterwards.
+  Status Drain();
+
+  /// Counters for tests and the drain log.
+  uint64_t sessions_accepted() const;
+  size_t sessions_live() const;
+  uint64_t queries_served() const;
+
+ private:
+  struct Impl;
+  explicit Server(std::unique_ptr<Impl> impl);
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace server
+}  // namespace privateclean
+
+#endif  // PRIVATECLEAN_SERVER_SERVER_H_

@@ -2,9 +2,15 @@
 
 #include <gtest/gtest.h>
 
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <csignal>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <thread>
 
 #include "common/random.h"
 #include "datagen/synthetic.h"
@@ -413,6 +419,99 @@ TEST_F(CliTest, QueryLedgerAndTenantGoTogether) {
   EXPECT_NE(err_.str().find("--ledger and --tenant go together"),
             std::string::npos)
       << err_.str();
+}
+
+TEST_F(CliTest, QueryConnectRejectsServerOwnedFlags) {
+  // With --connect the server owns the table, the ledger, and the
+  // threading; every execution-owning flag must be refused up front, not
+  // silently ignored.
+  for (const char* banned : {"--ledger", "--replace", "--bootstrap",
+                             "--seed", "--threads", "--csv-split"}) {
+    EXPECT_EQ(Run({"query", "--connect", "/tmp/nowhere.sock", "--sql",
+                   "SELECT count(1) FROM r", banned, "x"}),
+              1)
+        << banned;
+    EXPECT_NE(err_.str().find("does not apply with --connect"),
+              std::string::npos)
+        << banned << ": " << err_.str();
+  }
+}
+
+TEST_F(CliTest, QueryConnectToMissingServerIsTyped) {
+  EXPECT_EQ(Run({"query", "--connect", "/tmp/pclean_no_such.sock", "--sql",
+                 "SELECT count(1) FROM r"}),
+            1);
+  EXPECT_NE(err_.str().find("no server at"), std::string::npos)
+      << err_.str();
+}
+
+TEST_F(CliTest, ServeArgumentValidation) {
+  EXPECT_EQ(Run({"serve", "--socket", "/tmp/pclean_sv.sock"}), 1);
+  EXPECT_NE(err_.str().find("at least one release directory"),
+            std::string::npos)
+      << err_.str();
+  ASSERT_EQ(Run({"privatize", "--input", csv_path_, "--output",
+                 release_dir_, "--epsilon", "4.0", "--seed", "7"}),
+            0);
+  EXPECT_EQ(Run({"serve", release_dir_, "--socket", "/tmp/pclean_sv.sock",
+                 "--serve-for-ms", "0"}),
+            1);
+  EXPECT_NE(err_.str().find("--serve-for-ms must be > 0"),
+            std::string::npos)
+      << err_.str();
+}
+
+TEST_F(CliTest, ServeAndConnectRoundTripMatchesLocalBytes) {
+  ASSERT_EQ(Run({"privatize", "--input", csv_path_, "--output",
+                 release_dir_, "--epsilon", "4.0", "--seed", "7"}),
+            0);
+  // Socket directly under /tmp: sun_path caps at ~107 bytes and the
+  // gtest temp path is long.
+  const std::string socket_path =
+      "/tmp/pcsrv_cli_" + std::to_string(::getpid()) + ".sock";
+  ::unlink(socket_path.c_str());
+  std::ostringstream serve_out, serve_err;
+  int serve_rc = -1;
+  std::thread server([&] {
+    serve_rc = RunPcleanCli({"serve", release_dir_, "--socket", socket_path,
+                             "--serve-for-ms", "30000"},
+                            serve_out, serve_err);
+  });
+  struct stat st;
+  for (int i = 0; i < 300 && ::stat(socket_path.c_str(), &st) != 0; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  ASSERT_EQ(::stat(socket_path.c_str(), &st), 0) << serve_err.str();
+
+  const std::string sql = "SELECT count(1) FROM r WHERE category = 'c0'";
+  ASSERT_EQ(Run({"query", "--connect", socket_path, "--sql", sql,
+                 "--confidence", "0.9"}),
+            0)
+      << err_.str();
+  const std::string served = out_.str();
+  ASSERT_EQ(Run({"query", "--release", release_dir_, "--sql", sql,
+                 "--confidence", "0.9"}),
+            0)
+      << err_.str();
+  EXPECT_EQ(served, out_.str())
+      << "served bytes diverged from the local rendering";
+
+  // The serve loop installed its signal handlers before the socket-file
+  // wait above could finish; SIGTERM asks it to drain now rather than at
+  // the --serve-for-ms bound.
+  ::raise(SIGTERM);
+  server.join();
+  EXPECT_EQ(serve_rc, 0) << serve_err.str();
+  EXPECT_NE(serve_out.str().find("drained: 1 sessions, 1 queries"),
+            std::string::npos)
+      << serve_out.str();
+}
+
+TEST_F(CliTest, UsageMentionsServe) {
+  EXPECT_EQ(Run({"help"}), 0);
+  EXPECT_NE(out_.str().find("pclean serve"), std::string::npos);
+  EXPECT_NE(out_.str().find("--connect"), std::string::npos);
+  EXPECT_NE(out_.str().find("--socket"), std::string::npos);
 }
 
 TEST_F(CliTest, UsageMentionsBudget) {

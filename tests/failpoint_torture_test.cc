@@ -7,6 +7,8 @@
 
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cmath>
 #include <filesystem>
 #include <string>
@@ -17,6 +19,8 @@
 #include "core/release.h"
 #include "privacy/ledger.h"
 #include "query/predicate.h"
+#include "server/client.h"
+#include "server/server.h"
 #include "table/table_builder.h"
 
 namespace privateclean {
@@ -292,11 +296,28 @@ TEST_F(FailpointTortureTest, EveryCataloguedSiteSitsOnAnExercisedPath) {
     ASSERT_TRUE(ledger->Grant("bob", 1.0).ok());  // leave a live WAL frame
   }
   ASSERT_TRUE(BudgetLedger::Open(ledger_dir).ok());
+  // Serve cycle: accept one session (server.accept), exchange
+  // HELLO/WELCOME frames (the shared WriteFrame/FrameReader code hits
+  // server.frame.write.short and both read sites on each end), then
+  // drain (server.drain). The socket lives directly under /tmp — gtest
+  // temp paths can exceed sun_path's ~107-byte cap.
+  {
+    server::ServerOptions options;
+    options.socket_path =
+        "/tmp/pcsrv_cov_" + std::to_string(::getpid()) + ".sock";
+    options.release_dirs = {dir};
+    auto srv = server::Server::Start(options);
+    ASSERT_TRUE(srv.ok()) << srv.status().ToString();
+    auto client = server::Client::Connect(options.socket_path);
+    ASSERT_TRUE(client.ok()) << client.status().ToString();
+    ASSERT_TRUE(client->Bye().ok());
+    ASSERT_TRUE(srv->Drain().ok());
+  }
   for (const std::string& site : failpoint::Sites()) {
     EXPECT_GT(failpoint::Hits(site), 0u)
         << "site '" << site
         << "' was never reached by write/overwrite/read/open/query/verify"
-           "/ledger";
+           "/ledger/serve";
   }
 }
 

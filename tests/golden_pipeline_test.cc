@@ -1,14 +1,23 @@
 #include <gtest/gtest.h>
 
+#include <unistd.h>
+
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "core/privateclean.h"
+#include "core/release.h"
+#include "core/sql_execution.h"
 #include "datagen/synthetic.h"
+#include "privacy/grr.h"
+#include "server/client.h"
+#include "server/server.h"
 #include "table/csv.h"
 
 // Golden end-to-end regression: a fixed-seed run of the full pipeline —
@@ -144,6 +153,72 @@ TEST(GoldenPipelineTest, EstimatesMatchCheckedInGoldenAtEveryThreadCount) {
         << " — if the change is intentional, regenerate the golden file "
            "with the printed content";
   }
+}
+
+// Served determinism: the answer an analyst gets over a `pclean serve`
+// session must be byte-identical to what a local `pclean query` prints
+// for the same SQL over the same release — both ends render through
+// RenderSqlResultText, and the session pool must not perturb a single
+// bit of it at any pool size. Label `server` puts this under the
+// sanitizer passes of scripts/verify.sh as well.
+TEST(GoldenPipelineTest, ServedResultsAreByteIdenticalToLocalAtEveryPoolSize) {
+  SyntheticOptions data_options;
+  data_options.num_rows = 400;
+  data_options.num_distinct = 20;
+  data_options.zipf_skew = 1.5;
+  Rng data_rng(777);
+  Table dirty = *GenerateSynthetic(data_options, data_rng);
+  GrrOptions grr_options;
+  Rng grr_rng(4242);
+  GrrOutput grr =
+      *ApplyGrr(dirty, GrrParams::Uniform(0.25, 5.0), grr_options, grr_rng);
+  const std::string dir = ::testing::TempDir() + "/pclean_golden_served";
+  std::filesystem::remove_all(dir);
+  ASSERT_TRUE(WriteRelease(grr, dir).ok());
+
+  const double confidence = 0.9;
+  const char* sqls[] = {
+      "SELECT count(1) FROM r WHERE category = 'c0'",
+      "SELECT sum(value) FROM r WHERE category IN ('c1', 'c2')",
+      "SELECT avg(value) FROM r",
+      "SELECT count(1) FROM r GROUP BY category ORDER BY count(1) DESC "
+      "LIMIT 3",
+  };
+  // The local `pclean query` rendering of each result.
+  PrivateTable local = *OpenRelease(dir);
+  QueryOptions query_options;
+  query_options.confidence = confidence;
+  std::vector<std::string> expected;
+  for (const char* sql : sqls) {
+    SqlResultSet rs = *ExecuteSqlQuery(local, sql, query_options);
+    std::ostringstream text;
+    RenderSqlResultText(rs, /*direct=*/false, confidence, text);
+    expected.push_back(text.str());
+  }
+
+  for (size_t pool : {1u, 2u, 8u}) {
+    SCOPED_TRACE("pool_threads=" + std::to_string(pool));
+    server::ServerOptions options;
+    // Under /tmp, not the gtest temp dir: sun_path caps at ~107 bytes.
+    options.socket_path = "/tmp/pcsrv_gold_" + std::to_string(::getpid()) +
+                          "_" + std::to_string(pool) + ".sock";
+    options.release_dirs = {dir};
+    options.pool_threads = pool;
+    auto srv = server::Server::Start(options);
+    ASSERT_TRUE(srv.ok()) << srv.status().ToString();
+    auto client = server::Client::Connect(options.socket_path);
+    ASSERT_TRUE(client.ok()) << client.status().ToString();
+    for (size_t i = 0; i < expected.size(); ++i) {
+      auto reply = client->Query(sqls[i], /*direct=*/false, confidence);
+      ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+      EXPECT_EQ(*reply, expected[i]) << "served bytes diverged from the "
+                                        "local rendering for: "
+                                     << sqls[i];
+    }
+    ASSERT_TRUE(client->Bye().ok());
+    ASSERT_TRUE(srv->Drain().ok());
+  }
+  std::filesystem::remove_all(dir);
 }
 
 }  // namespace

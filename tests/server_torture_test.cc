@@ -1,0 +1,704 @@
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <sys/un.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/failpoint.h"
+#include "common/random.h"
+#include "common/string_util.h"
+#include "core/admission.h"
+#include "core/release.h"
+#include "datagen/synthetic.h"
+#include "privacy/grr.h"
+#include "privacy/ledger.h"
+#include "server/client.h"
+#include "server/protocol.h"
+#include "server/server.h"
+
+// Concurrency torture for `pclean serve` (ctest labels: server,
+// failpoint). The claims under test:
+//
+//  - N threads × M sessions of mixed traffic — admissible queries,
+//    overdrafts, malformed SQL — each get their own typed answer, and
+//    sessions never bleed into each other;
+//  - concurrent charges by one tenant never jointly overdraft and never
+//    double-admit: with budget for exactly K queries, exactly K of many
+//    racing attempts succeed;
+//  - a RESULT on the wire implies the charge was durable first: after a
+//    hard kill (SIGKILL) mid-traffic, the recovered ledger satisfies
+//    acknowledged·cost <= spent <= attempted·cost;
+//  - a framing fault (bit flip on a received payload) kills exactly the
+//    session it hit, with a typed DataLoss, and nobody else;
+//  - drain answers what is queued, says GOODBYE, and unlinks the socket;
+//    idle sessions are timed out with a GOODBYE of their own.
+
+namespace privateclean {
+namespace {
+
+using server::Client;
+using server::Frame;
+using server::FrameReader;
+using server::FrameType;
+using server::QueryRequest;
+using server::Server;
+using server::ServerOptions;
+
+constexpr char kChargedSql[] =
+    "SELECT count(1) FROM r WHERE category = 'c1'";
+constexpr char kFreeSql[] = "SELECT count(1) FROM r";
+constexpr char kMalformedSql[] = "SELECT nope(";
+constexpr char kUnknownAttrSql[] =
+    "SELECT count(1) FROM r WHERE ghost = 'x'";
+
+class ServerTortureTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const char* name =
+        ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    base_ = ::testing::TempDir() + "/pclean_server_" + name;
+    std::filesystem::remove_all(base_);
+    std::filesystem::create_directories(base_);
+    release_dir_ = base_ + "/release";
+    ledger_dir_ = base_ + "/ledger";
+
+    SyntheticOptions options;
+    options.num_rows = 300;
+    options.num_distinct = 10;
+    Rng data_rng(11);
+    Table dirty = *GenerateSynthetic(options, data_rng);
+    GrrOptions grr_options;
+    Rng grr_rng(22);
+    GrrOutput grr =
+        *ApplyGrr(dirty, GrrParams::Uniform(0.25, 4.0), grr_options, grr_rng);
+    ASSERT_TRUE(WriteRelease(grr, release_dir_).ok());
+  }
+
+  void TearDown() override {
+    failpoint::DeactivateAll();
+    std::filesystem::remove_all(base_);
+    for (const std::string& path : sockets_) ::unlink(path.c_str());
+  }
+
+  /// Socket paths live directly under /tmp: sun_path caps at ~107 bytes
+  /// and gtest temp dirs plus long test names can blow past it.
+  std::string NewSocketPath() {
+    std::string path = "/tmp/pcsrv_" + std::to_string(::getpid()) + "_" +
+                       std::to_string(sockets_.size()) + ".sock";
+    sockets_.push_back(path);
+    ::unlink(path.c_str());
+    return path;
+  }
+
+  ServerOptions BaseOptions(const std::string& socket_path,
+                            bool with_ledger) {
+    ServerOptions options;
+    options.socket_path = socket_path;
+    options.release_dirs = {release_dir_};
+    if (with_ledger) options.ledger_dir = ledger_dir_;
+    options.pool_threads = 4;
+    return options;
+  }
+
+  void Grant(const std::string& tenant, double epsilon) {
+    BudgetLedger ledger = *BudgetLedger::Open(ledger_dir_);
+    ASSERT_TRUE(ledger.Grant(tenant, epsilon).ok());
+  }
+
+  /// The ε price of kChargedSql, measured by admitting it once for a
+  /// throwaway tenant (the probe's charge stays in the ledger; every
+  /// assertion below uses tenants of its own).
+  double ChargedCost() {
+    BudgetLedger ledger = *BudgetLedger::Open(ledger_dir_);
+    EXPECT_TRUE(ledger.Grant("__cost_probe", 1000.0).ok());
+    PrivateTable table = *OpenRelease(release_dir_);
+    AdmissionTicket ticket =
+        *AdmitSqlQuery(ledger, "__cost_probe", table, kChargedSql);
+    EXPECT_GT(ticket.cost, 0.0);
+    return ticket.cost;
+  }
+
+  double Spent(const std::string& tenant) {
+    BudgetLedger ledger = *BudgetLedger::Open(ledger_dir_);
+    return ledger.BudgetOrZero(tenant).spent;
+  }
+
+  /// Raw connection for protocol-level tests (malformed bytes,
+  /// pipelining) where the polite Client would get in the way.
+  int RawConnect(const std::string& socket_path) {
+    sockaddr_un addr;
+    std::memset(&addr, 0, sizeof addr);
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, socket_path.data(), socket_path.size());
+    int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0);
+    EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr),
+              0)
+        << std::strerror(errno);
+    return fd;
+  }
+
+  void RawSend(int fd, const std::string& bytes) {
+    size_t sent = 0;
+    while (sent < bytes.size()) {
+      ssize_t n = ::send(fd, bytes.data() + sent, bytes.size() - sent,
+                         MSG_NOSIGNAL);
+      ASSERT_GT(n, 0) << std::strerror(errno);
+      sent += static_cast<size_t>(n);
+    }
+  }
+
+  void RawHello(int fd, FrameReader& reader, const std::string& tenant = "",
+                const std::string& release = "") {
+    server::HelloRequest hello;
+    hello.tenant = tenant;
+    hello.release = release;
+    RawSend(fd, EncodeFrame(Frame{FrameType::kHello, RenderHello(hello)}));
+    auto welcome = reader.Read(10000);
+    ASSERT_TRUE(welcome.ok()) << welcome.status().ToString();
+    ASSERT_TRUE(welcome->has_value());
+    ASSERT_EQ((*welcome)->type, FrameType::kWelcome);
+  }
+
+  std::string base_, release_dir_, ledger_dir_;
+  std::vector<std::string> sockets_;
+};
+
+TEST_F(ServerTortureTest, MixedTrafficAcrossManySessionsStaysTyped) {
+  const double cost = ChargedCost();
+  Grant("rich", 1e6);
+  // Budget for exactly one charged query (plus margin against float
+  // dust): of all the racing "poor" attempts below, exactly one may win.
+  Grant("poor", 1.5 * cost);
+
+  std::atomic<int> rich_charged{0};
+  std::atomic<int> poor_admitted{0};
+  std::atomic<int> poor_overdrafted{0};
+  std::atomic<int> results_seen{0};
+  std::atomic<int> failures{0};
+  uint64_t served = 0;
+  {
+    Server srv = *Server::Start(BaseOptions(NewSocketPath(), true));
+    auto rich_worker = [&] {
+      for (int session = 0; session < 3; ++session) {
+        auto client = Client::Connect(srv.socket_path(), "rich");
+        if (!client.ok()) {
+          ++failures;
+          return;
+        }
+        // One session, five queries, four outcome types: the point is
+        // that each reply is typed for ITS request, interleaved with
+        // every other session's traffic.
+        auto ok1 = client->Query(kChargedSql);
+        if (ok1.ok() && ok1->find("charged epsilon") != std::string::npos) {
+          ++rich_charged;
+          ++results_seen;
+        } else {
+          ++failures;
+        }
+        auto bad = client->Query(kMalformedSql);
+        if (!bad.ok() && bad.status().IsInvalidArgument()) {
+        } else {
+          ++failures;
+        }
+        auto ghost = client->Query(kUnknownAttrSql);
+        if (!ghost.ok() && ghost.status().IsNotFound()) {
+        } else {
+          ++failures;
+        }
+        auto direct = client->Query(kFreeSql, /*direct=*/true);
+        if (direct.ok() && direct->find("direct: ") != std::string::npos) {
+          ++results_seen;
+        } else {
+          ++failures;
+        }
+        auto ok2 = client->Query(kChargedSql);
+        if (ok2.ok()) {
+          ++rich_charged;
+          ++results_seen;
+        } else {
+          ++failures;
+        }
+        (void)client->Bye();
+      }
+    };
+    auto poor_worker = [&] {
+      for (int session = 0; session < 3; ++session) {
+        auto client = Client::Connect(srv.socket_path(), "poor");
+        if (!client.ok()) {
+          ++failures;
+          return;
+        }
+        for (int attempt = 0; attempt < 2; ++attempt) {
+          auto reply = client->Query(kChargedSql);
+          if (reply.ok()) {
+            ++poor_admitted;
+            ++results_seen;
+          } else if (reply.status().IsResourceExhausted()) {
+            ++poor_overdrafted;
+          } else {
+            ++failures;
+          }
+        }
+        (void)client->Bye();
+      }
+    };
+    std::vector<std::thread> threads;
+    for (int i = 0; i < 4; ++i) threads.emplace_back(rich_worker);
+    for (int i = 0; i < 2; ++i) threads.emplace_back(poor_worker);
+    for (auto& t : threads) t.join();
+    served = srv.queries_served();
+    ASSERT_TRUE(srv.Drain().ok());
+  }
+
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(rich_charged.load(), 4 * 3 * 2);
+  // The no-double-admit claim, cross-session: one budget, one winner.
+  EXPECT_EQ(poor_admitted.load(), 1);
+  EXPECT_EQ(poor_overdrafted.load(), 2 * 3 * 2 - 1);
+  EXPECT_EQ(served, static_cast<uint64_t>(results_seen.load()));
+  EXPECT_NEAR(Spent("rich"), rich_charged.load() * cost, 1e-6);
+  EXPECT_NEAR(Spent("poor"), cost, 1e-9);
+}
+
+TEST_F(ServerTortureTest, ConcurrentSameTenantChargesAdmitExactlyK) {
+  const double cost = ChargedCost();
+  constexpr int kAdmissible = 5;
+  Grant("team", (kAdmissible + 0.5) * cost);
+
+  std::atomic<int> admitted{0};
+  std::atomic<int> rejected{0};
+  std::atomic<int> failures{0};
+  {
+    Server srv = *Server::Start(BaseOptions(NewSocketPath(), true));
+    std::vector<std::thread> threads;
+    for (int i = 0; i < 8; ++i) {
+      threads.emplace_back([&] {
+        auto client = Client::Connect(srv.socket_path(), "team");
+        if (!client.ok()) {
+          ++failures;
+          return;
+        }
+        for (int attempt = 0; attempt < 3; ++attempt) {
+          auto reply = client->Query(kChargedSql);
+          if (reply.ok()) {
+            ++admitted;
+          } else if (reply.status().IsResourceExhausted()) {
+            ++rejected;
+          } else {
+            ++failures;
+          }
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    ASSERT_TRUE(srv.Drain().ok());
+  }
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(admitted.load(), kAdmissible);
+  EXPECT_EQ(rejected.load(), 8 * 3 - kAdmissible);
+  EXPECT_NEAR(Spent("team"), kAdmissible * cost, 1e-6);
+}
+
+#ifdef PCLEAN_BINARY
+TEST_F(ServerTortureTest, HardKillMidTrafficKeepsLedgerInvariant) {
+  const double cost = ChargedCost();
+  Grant("t", 1e9);
+  std::string socket_path = NewSocketPath();
+
+  pid_t pid = ::fork();
+  ASSERT_GE(pid, 0);
+  if (pid == 0) {
+    int devnull = ::open("/dev/null", O_WRONLY);
+    ::dup2(devnull, STDOUT_FILENO);
+    ::dup2(devnull, STDERR_FILENO);
+    ::execl(PCLEAN_BINARY, PCLEAN_BINARY, "serve", release_dir_.c_str(),
+            "--socket", socket_path.c_str(), "--ledger", ledger_dir_.c_str(),
+            "--serve-for-ms", "60000", "--pool-threads", "4",
+            static_cast<char*>(nullptr));
+    ::_exit(127);
+  }
+  // Wait for the socket to come up (the release + ledger open first).
+  bool up = false;
+  for (int i = 0; i < 300 && !up; ++i) {
+    struct stat st;
+    up = ::stat(socket_path.c_str(), &st) == 0;
+    if (!up) std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    int wait_status;
+    ASSERT_EQ(::waitpid(pid, &wait_status, WNOHANG), 0)
+        << "server exited before coming up";
+  }
+  ASSERT_TRUE(up);
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> attempted{0};     // QUERY frames we tried to send
+  std::atomic<int> acknowledged{0};  // RESULT frames we received
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 4; ++i) {
+    threads.emplace_back([&] {
+      while (!stop.load()) {
+        auto client = Client::Connect(socket_path, "t");
+        if (!client.ok()) {
+          std::this_thread::sleep_for(std::chrono::milliseconds(20));
+          continue;
+        }
+        while (!stop.load()) {
+          ++attempted;
+          auto reply = client->Query(kChargedSql);
+          if (!reply.ok()) break;  // killed mid-flight, or conn torn
+          ++acknowledged;
+        }
+      }
+    });
+  }
+  // Let real traffic build, then kill without warning: no drain, no WAL
+  // flush courtesy, mid-query very likely.
+  for (int i = 0; i < 500 && acknowledged.load() < 5; ++i) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  ::kill(pid, SIGKILL);
+  int wait_status = 0;
+  ::waitpid(pid, &wait_status, 0);
+  ASSERT_TRUE(WIFSIGNALED(wait_status));
+  stop.store(true);
+  for (auto& t : threads) t.join();
+  ::unlink(socket_path.c_str());
+
+  ASSERT_GT(acknowledged.load(), 0) << "no traffic flowed before the kill";
+  // Recovery invariant (the tentpole's ledger claim): every RESULT we
+  // hold was charged durably BEFORE executing, and nothing beyond our
+  // attempts can have been charged. spent ∈ [acked·cost, attempted·cost].
+  const double spent = Spent("t");
+  EXPECT_GE(spent, acknowledged.load() * cost - 1e-6)
+      << "a query was answered without its charge surviving the crash";
+  EXPECT_LE(spent, attempted.load() * cost + 1e-6)
+      << "more charges survived than queries were ever sent";
+}
+#endif  // PCLEAN_BINARY
+
+TEST_F(ServerTortureTest, FramingFaultKillsExactlyTheSessionItHit) {
+  if (!failpoint::CompiledIn()) GTEST_SKIP() << "failpoints compiled out";
+  Server srv = *Server::Start(BaseOptions(NewSocketPath(), false));
+  Client a = *Client::Connect(srv.socket_path());
+  Client b = *Client::Connect(srv.socket_path());
+  ASSERT_TRUE(a.Query(kFreeSql).ok());
+  ASSERT_TRUE(b.Query(kFreeSql).ok());
+
+  // One bit flip on the next payload the server reads: that is A's
+  // QUERY below (B is idle, so no other payload is in flight).
+  failpoint::Fault fault =
+      failpoint::DefaultFault("server.frame.read.bitflip");
+  fault.remaining = 1;
+  ASSERT_TRUE(failpoint::Activate("server.frame.read.bitflip", fault).ok());
+  auto corrupted = a.Query(kFreeSql);
+  ASSERT_FALSE(corrupted.ok());
+  EXPECT_TRUE(corrupted.status().IsDataLoss())
+      << corrupted.status().ToString();
+  // The corrupted stream cannot be resynchronized: A's session is dead.
+  EXPECT_FALSE(a.Query(kFreeSql).ok());
+  // B never noticed.
+  EXPECT_TRUE(b.Query(kFreeSql).ok()) << "sibling session was not isolated";
+  failpoint::DeactivateAll();
+  EXPECT_TRUE(b.Query(kFreeSql).ok());
+  ASSERT_TRUE(srv.Drain().ok());
+}
+
+TEST_F(ServerTortureTest, ShortWriteFaultSurfacesAsTornFrameAtTheClient) {
+  if (!failpoint::CompiledIn()) GTEST_SKIP() << "failpoints compiled out";
+  Server srv = *Server::Start(BaseOptions(NewSocketPath(), false));
+  // Raw socket on purpose: `server.frame.write.short` sits in the shared
+  // WriteFrame, so a polite Client would trip the fault on its own QUERY
+  // write before the server ever replies. Sending the request with raw
+  // send() leaves the server's RESULT write as the only WriteFrame in
+  // the process — the one the fault is meant to tear.
+  int fd = RawConnect(srv.socket_path());
+  FrameReader reader(fd);
+  failpoint::Fault fault =
+      failpoint::DefaultFault("server.frame.write.short");
+  fault.remaining = 1;
+  RawHello(fd, reader);
+  ASSERT_TRUE(failpoint::Activate("server.frame.write.short", fault).ok());
+  QueryRequest request;
+  request.sql = kFreeSql;
+  RawSend(fd, EncodeFrame(Frame{FrameType::kQuery,
+                                server::RenderQueryRequest(request)}));
+  // Half-close after the request: the strand answers the QUERY (torn by
+  // the fault), then sees our EOF and closes. The client reader ends up
+  // with a partial RESULT terminated by EOF — which the framing layer
+  // must type as DataLoss, never hand back as a short answer.
+  ASSERT_EQ(::shutdown(fd, SHUT_WR), 0);
+  auto reply = reader.Read(20000);
+  ASSERT_FALSE(reply.ok()) << "a torn RESULT was accepted: "
+                           << (reply->has_value() ? (*reply)->payload
+                                                  : "<eof>");
+  EXPECT_TRUE(reply.status().IsDataLoss()) << reply.status().ToString();
+  ::close(fd);
+  failpoint::DeactivateAll();
+  ASSERT_TRUE(srv.Drain().ok());
+}
+
+TEST_F(ServerTortureTest, TornClientFrameCannotWedgeTheServer) {
+  if (!failpoint::CompiledIn()) GTEST_SKIP() << "failpoints compiled out";
+  // The dual direction: a client whose QUERY loses its tail (the fault
+  // fires on the Client's own WriteFrame) leaves the server waiting
+  // mid-frame. The idle reaper must collect that half-dead session
+  // instead of letting it pin the server forever.
+  ServerOptions options = BaseOptions(NewSocketPath(), false);
+  options.idle_timeout_ms = 300;
+  Server srv = *Server::Start(options);
+  Client client = *Client::Connect(srv.socket_path());
+  ASSERT_TRUE(client.Query(kFreeSql).ok());
+  failpoint::Fault fault =
+      failpoint::DefaultFault("server.frame.write.short");
+  fault.remaining = 1;
+  ASSERT_TRUE(failpoint::Activate("server.frame.write.short", fault).ok());
+  auto reply = client.Query(kFreeSql);
+  failpoint::DeactivateAll();
+  ASSERT_FALSE(reply.ok());
+  // The server timed the stalled session out and said GOODBYE; the
+  // client surfaces that as the session-closed FailedPrecondition.
+  EXPECT_TRUE(reply.status().IsFailedPrecondition())
+      << reply.status().ToString();
+  EXPECT_NE(reply.status().ToString().find("idle timeout"),
+            std::string::npos)
+      << reply.status().ToString();
+  ASSERT_TRUE(srv.Drain().ok());
+}
+
+TEST_F(ServerTortureTest, MalformedBytesGetTypedDataLossThenClose) {
+  Server srv = *Server::Start(BaseOptions(NewSocketPath(), false));
+
+  // Garbage instead of a header.
+  {
+    int fd = RawConnect(srv.socket_path());
+    FrameReader reader(fd);
+    RawSend(fd, "GET / HTTP/1.1\r\n\r\n");
+    auto reply = reader.Read(10000);
+    ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+    ASSERT_TRUE(reply->has_value());
+    EXPECT_EQ((*reply)->type, FrameType::kError);
+    Status status = server::ParseStatusPayload((*reply)->payload);
+    EXPECT_TRUE(status.IsDataLoss()) << status.ToString();
+    auto eof = reader.Read(10000);
+    ASSERT_TRUE(eof.ok());
+    EXPECT_FALSE(eof->has_value()) << "session not closed after bad framing";
+    ::close(fd);
+  }
+  // An absurd length field: refused before any payload allocation.
+  {
+    int fd = RawConnect(srv.socket_path());
+    FrameReader reader(fd);
+    RawSend(fd, "%PCLN QUERY 9999999999 deadbeef\n");
+    auto reply = reader.Read(10000);
+    ASSERT_TRUE(reply.ok() && reply->has_value());
+    EXPECT_EQ((*reply)->type, FrameType::kError);
+    EXPECT_TRUE(server::ParseStatusPayload((*reply)->payload).IsDataLoss());
+    ::close(fd);
+  }
+  // A well-formed header whose payload fails the checksum.
+  {
+    int fd = RawConnect(srv.socket_path());
+    FrameReader reader(fd);
+    RawSend(fd, "%PCLN HELLO 4 00000000\nabcd");
+    auto reply = reader.Read(10000);
+    ASSERT_TRUE(reply.ok() && reply->has_value());
+    EXPECT_EQ((*reply)->type, FrameType::kError);
+    EXPECT_TRUE(server::ParseStatusPayload((*reply)->payload).IsDataLoss());
+    ::close(fd);
+  }
+  ASSERT_TRUE(srv.Drain().ok());
+}
+
+TEST_F(ServerTortureTest, PipelinedQueriesAnswerInOrder) {
+  ServerOptions options = BaseOptions(NewSocketPath(), false);
+  options.pool_threads = 2;
+  options.queue_depth = 2;  // force the backpressure path
+  Server srv = *Server::Start(options);
+  int fd = RawConnect(srv.socket_path());
+  FrameReader reader(fd);
+  RawHello(fd, reader);
+  // 12 queries at distinct confidence levels, written back-to-back
+  // without reading a single reply: the strand must answer them in
+  // order (each reply names its confidence) through a queue of depth 2.
+  constexpr int kPipelined = 12;
+  std::string burst;
+  for (int i = 0; i < kPipelined; ++i) {
+    QueryRequest request;
+    request.sql = kChargedSql;  // no ledger: charged SQL is just SQL
+    request.confidence = 0.80 + 0.01 * i;
+    burst += EncodeFrame(
+        Frame{FrameType::kQuery, server::RenderQueryRequest(request)});
+  }
+  RawSend(fd, burst);
+  for (int i = 0; i < kPipelined; ++i) {
+    auto reply = reader.Read(20000);
+    ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+    ASSERT_TRUE(reply->has_value());
+    ASSERT_EQ((*reply)->type, FrameType::kResult) << (*reply)->payload;
+    std::string expected = FormatDouble((0.80 + 0.01 * i) * 100) + "% CI:";
+    EXPECT_NE((*reply)->payload.find(expected), std::string::npos)
+        << "reply " << i << " out of order: " << (*reply)->payload;
+  }
+  RawSend(fd, EncodeFrame(Frame{FrameType::kBye, ""}));
+  auto goodbye = reader.Read(10000);
+  ASSERT_TRUE(goodbye.ok() && goodbye->has_value());
+  EXPECT_EQ((*goodbye)->type, FrameType::kGoodbye);
+  ::close(fd);
+  ASSERT_TRUE(srv.Drain().ok());
+}
+
+TEST_F(ServerTortureTest, SessionBindingRulesAreTyped) {
+  std::string with_ledger_path = NewSocketPath();
+  {
+    BudgetLedger ledger = *BudgetLedger::Open(ledger_dir_);
+    ASSERT_TRUE(ledger.Grant("alice", 100.0).ok());
+  }
+  Server with_ledger = *Server::Start(BaseOptions(with_ledger_path, true));
+  // Ledger server: anonymous HELLO refused.
+  auto anonymous = Client::Connect(with_ledger_path);
+  ASSERT_FALSE(anonymous.ok());
+  EXPECT_TRUE(anonymous.status().IsInvalidArgument());
+  // Unknown release name: typed NotFound.
+  auto wrong_release = Client::Connect(with_ledger_path, "alice", "nope");
+  ASSERT_FALSE(wrong_release.ok());
+  EXPECT_TRUE(wrong_release.status().IsNotFound());
+  // Explicit bind name (the directory basename) works.
+  auto named = Client::Connect(with_ledger_path, "alice", "release");
+  ASSERT_TRUE(named.ok()) << named.status().ToString();
+  EXPECT_EQ(named->welcome().rows, 300u);
+
+  Server no_ledger = *Server::Start(BaseOptions(NewSocketPath(), false));
+  // Ledger-less server: naming a tenant is refused (nobody would charge).
+  auto tenant = Client::Connect(no_ledger.socket_path(), "alice");
+  ASSERT_FALSE(tenant.ok());
+  EXPECT_TRUE(tenant.status().IsInvalidArgument());
+
+  // QUERY before HELLO is a query-level FailedPrecondition; the session
+  // survives and a later HELLO still binds.
+  int fd = RawConnect(no_ledger.socket_path());
+  FrameReader reader(fd);
+  QueryRequest premature;
+  premature.sql = kFreeSql;
+  RawSend(fd, EncodeFrame(Frame{FrameType::kQuery,
+                                server::RenderQueryRequest(premature)}));
+  auto refused = reader.Read(10000);
+  ASSERT_TRUE(refused.ok() && refused->has_value());
+  ASSERT_EQ((*refused)->type, FrameType::kError);
+  EXPECT_TRUE(
+      server::ParseStatusPayload((*refused)->payload).IsFailedPrecondition());
+  RawHello(fd, reader);
+  // Second HELLO on a bound session: FailedPrecondition too.
+  server::HelloRequest again;
+  RawSend(fd,
+          EncodeFrame(Frame{FrameType::kHello, server::RenderHello(again)}));
+  auto rebind = reader.Read(10000);
+  ASSERT_TRUE(rebind.ok() && rebind->has_value());
+  ASSERT_EQ((*rebind)->type, FrameType::kError);
+  EXPECT_TRUE(
+      server::ParseStatusPayload((*rebind)->payload).IsFailedPrecondition());
+  ::close(fd);
+  ASSERT_TRUE(with_ledger.Drain().ok());
+  ASSERT_TRUE(no_ledger.Drain().ok());
+}
+
+TEST_F(ServerTortureTest, DrainSaysGoodbyeAndIdleSessionsTimeOut) {
+  // Drain: an established idle session gets a GOODBYE, then EOF, and
+  // the socket file is gone afterwards.
+  std::string socket_path = NewSocketPath();
+  {
+    Server srv = *Server::Start(BaseOptions(socket_path, false));
+    int fd = RawConnect(socket_path);
+    FrameReader reader(fd);
+    RawHello(fd, reader);
+    ASSERT_TRUE(srv.Drain().ok());
+    auto goodbye = reader.Read(10000);
+    ASSERT_TRUE(goodbye.ok() && goodbye->has_value());
+    EXPECT_EQ((*goodbye)->type, FrameType::kGoodbye);
+    EXPECT_EQ((*goodbye)->payload, "server draining");
+    auto eof = reader.Read(10000);
+    ASSERT_TRUE(eof.ok());
+    EXPECT_FALSE(eof->has_value());
+    ::close(fd);
+    struct stat st;
+    EXPECT_NE(::stat(socket_path.c_str(), &st), 0)
+        << "drain left the socket file behind";
+  }
+
+  // Idle timeout: a session that sends nothing for longer than the
+  // limit is closed with a GOODBYE naming the reason.
+  ServerOptions options = BaseOptions(NewSocketPath(), false);
+  options.idle_timeout_ms = 300;
+  Server srv = *Server::Start(options);
+  int fd = RawConnect(srv.socket_path());
+  FrameReader reader(fd);
+  RawHello(fd, reader);
+  auto timed_out = reader.Read(20000);
+  ASSERT_TRUE(timed_out.ok()) << timed_out.status().ToString();
+  ASSERT_TRUE(timed_out->has_value());
+  EXPECT_EQ((*timed_out)->type, FrameType::kGoodbye);
+  EXPECT_EQ((*timed_out)->payload, "idle timeout");
+  ::close(fd);
+  ASSERT_TRUE(srv.Drain().ok());
+}
+
+TEST_F(ServerTortureTest, SocketOwnershipLiveRefusalAndStaleTakeover) {
+  std::string socket_path = NewSocketPath();
+  {
+    Server srv = *Server::Start(BaseOptions(socket_path, false));
+    // A live sibling is refused, and its socket survives the refusal.
+    auto second = Server::Start(BaseOptions(socket_path, false));
+    ASSERT_FALSE(second.ok());
+    EXPECT_TRUE(second.status().IsFailedPrecondition())
+        << second.status().ToString();
+    EXPECT_TRUE(Client::Connect(socket_path).ok())
+        << "the failed Start damaged the live server's socket";
+    ASSERT_TRUE(srv.Drain().ok());
+  }
+  // A stale file left by a crashed server (bound, never unlinked, no
+  // listener behind it) is replaced.
+  {
+    sockaddr_un addr;
+    std::memset(&addr, 0, sizeof addr);
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, socket_path.data(), socket_path.size());
+    int stale = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    ASSERT_EQ(
+        ::bind(stale, reinterpret_cast<sockaddr*>(&addr), sizeof addr), 0);
+    ::close(stale);  // fd gone, file left behind
+  }
+  auto takeover = Server::Start(BaseOptions(socket_path, false));
+  ASSERT_TRUE(takeover.ok()) << takeover.status().ToString();
+  EXPECT_TRUE(Client::Connect(socket_path).ok());
+  ASSERT_TRUE(takeover->Drain().ok());
+}
+
+TEST_F(ServerTortureTest, DrainFailpointLeavesHardStopClean) {
+  if (!failpoint::CompiledIn()) GTEST_SKIP() << "failpoints compiled out";
+  Server srv = *Server::Start(BaseOptions(NewSocketPath(), false));
+  Client client = *Client::Connect(srv.socket_path());
+  ASSERT_TRUE(client.Query(kFreeSql).ok());
+  failpoint::Fault fault = failpoint::DefaultFault("server.drain");
+  fault.remaining = 1;
+  ASSERT_TRUE(failpoint::Activate("server.drain", fault).ok());
+  Status drain = srv.Drain();
+  ASSERT_FALSE(drain.ok());
+  EXPECT_TRUE(drain.IsIOError()) << drain.ToString();
+  failpoint::DeactivateAll();
+  // Second attempt succeeds; the destructor would also hard-stop fine.
+  EXPECT_TRUE(srv.Drain().ok());
+}
+
+}  // namespace
+}  // namespace privateclean

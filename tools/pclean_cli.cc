@@ -1,11 +1,17 @@
 #include "tools/pclean_cli.h"
 
+#include <chrono>
+#include <csignal>
+#include <cstring>
 #include <fstream>
 #include <map>
 #include <sstream>
+#include <thread>
 
 #include "common/string_util.h"
 #include "core/privateclean.h"
+#include "server/client.h"
+#include "server/server.h"
 
 namespace privateclean {
 
@@ -129,9 +135,15 @@ void PrintUsage(std::ostream& out) {
          "         [--direct] [--confidence C] [--threads N]\n"
          "         [--bootstrap R] [--seed N] [--replace attr:from=to]...\n"
          "         [--ledger ledger_dir --tenant NAME]\n"
+         "  pclean query --connect SOCKET --sql \"SELECT ...\"\n"
+         "         [--tenant NAME] [--release BIND_NAME] [--direct]\n"
+         "         [--confidence C]\n"
          "  pclean budget grant --ledger ledger_dir --tenant NAME --epsilon E\n"
          "  pclean budget relax --ledger ledger_dir --tenant NAME --epsilon E\n"
          "  pclean budget show --ledger ledger_dir [--tenant NAME]\n"
+         "  pclean serve release_dir... --socket PATH [--ledger ledger_dir]\n"
+         "         [--pool-threads N] [--threads N] [--idle-timeout-ms N]\n"
+         "         [--serve-for-ms N]\n"
          "\n"
          "  verify checks every release file against the MANIFEST checksums\n"
          "  and exits non-zero on any corruption (Data loss), a missing\n"
@@ -161,7 +173,15 @@ void PrintUsage(std::ostream& out) {
          "  remaining. query with --ledger and --tenant charges the\n"
          "  query's epsilon cost against the tenant BEFORE executing and\n"
          "  rejects overdrafts (Resource exhausted) without running the\n"
-         "  query.\n";
+         "  query.\n"
+         "  serve opens the releases read-only and multiplexes analyst\n"
+         "  sessions over a Unix-domain socket; query --connect runs the\n"
+         "  same query through a session and prints the identical bytes.\n"
+         "  With --ledger the server charges every session's queries\n"
+         "  against its tenant's budget. --pool-threads sizes the session\n"
+         "  scheduler (1 serializes all sessions; results never depend on\n"
+         "  it). serve drains gracefully on SIGTERM/SIGINT, or after\n"
+         "  --serve-for-ms milliseconds.\n";
 }
 
 Status RunPrivatize(const ParsedArgs& args, std::ostream& out) {
@@ -328,7 +348,52 @@ Status ApplyReplaceRule(PrivateTable* table, const std::string& rule) {
       FindReplace::Single(attr, std::move(from), std::move(to)));
 }
 
+/// `pclean query --connect SOCKET`: the same query, served. The client
+/// sends one QUERY frame and prints the RESULT payload verbatim, which
+/// the server rendered through the exact functions the local path below
+/// uses — so the bytes match a local `pclean query` over the same
+/// release.
+Status RunServedQuery(const ParsedArgs& args, std::ostream& out) {
+  // Execution-owning flags make no sense here: the server owns the
+  // table, the ledger, and the threading.
+  for (const char* banned :
+       {"ledger", "replace", "bootstrap", "seed", "threads", "csv-split"}) {
+    if (args.Has(banned)) {
+      return Status::InvalidArgument(
+          std::string("--") + banned +
+          " does not apply with --connect: the server owns execution");
+    }
+  }
+  PCLEAN_ASSIGN_OR_RETURN(std::string socket_path, args.One("connect"));
+  server::QueryRequest request;
+  PCLEAN_ASSIGN_OR_RETURN(request.sql, args.One("sql"));
+  request.direct = args.Has("direct");
+  if (args.Has("confidence")) {
+    PCLEAN_ASSIGN_OR_RETURN(request.confidence,
+                            ParseFlagDouble(args, "confidence"));
+  }
+  std::string tenant;
+  if (args.Has("tenant")) {
+    PCLEAN_ASSIGN_OR_RETURN(tenant, args.One("tenant"));
+  }
+  // --release names the server-side bind name (directory basename);
+  // empty binds the server's default release.
+  std::string release;
+  if (args.Has("release")) {
+    PCLEAN_ASSIGN_OR_RETURN(release, args.One("release"));
+  }
+  PCLEAN_ASSIGN_OR_RETURN(
+      server::Client client,
+      server::Client::Connect(socket_path, tenant, release));
+  PCLEAN_ASSIGN_OR_RETURN(std::string text, client.Query(request));
+  out << text;
+  // Polite close; a drain racing the BYE is not this query's failure.
+  (void)client.Bye();
+  return Status::OK();
+}
+
 Status RunQuery(const ParsedArgs& args, std::ostream& out) {
+  if (args.Has("connect")) return RunServedQuery(args, out);
   PCLEAN_ASSIGN_OR_RETURN(std::string dir, args.One("release"));
   PCLEAN_ASSIGN_OR_RETURN(std::string sql, args.One("sql"));
   QueryOptions options;
@@ -370,55 +435,97 @@ Status RunQuery(const ParsedArgs& args, std::ostream& out) {
     PCLEAN_ASSIGN_OR_RETURN(AdmissionTicket ticket,
                             AdmitSqlQuery(ledger, tenant, table, sql));
     // A zero-cost query (no private attributes referenced) is admitted
-    // even for a tenant the ledger has never seen.
-    TenantBudget after;
-    auto budget = ledger.Budget(tenant);
-    if (budget.ok()) {
-      after = *budget;
-    } else if (!budget.status().IsNotFound()) {
-      return budget.status();
-    }
-    out << "charged epsilon " << FormatDouble(ticket.cost) << " to tenant '"
-        << tenant << "' (remaining " << FormatDouble(after.remaining())
-        << ")\n";
+    // even for a tenant the ledger has never seen; BudgetOrZero reads
+    // such a tenant as all-zero.
+    out << RenderAdmissionLine(tenant, ticket, ledger.BudgetOrZero(tenant));
   }
+  // Rendering is shared with the server's RESULT payload
+  // (RenderSqlResultText), which is what keeps a served answer
+  // byte-identical to this local one.
   if (args.Has("direct")) {
     PCLEAN_ASSIGN_OR_RETURN(SqlResultSet rs,
                             ExecuteSqlQueryDirect(table, sql, options.exec));
-    if (rs.grouped) {
-      // Group keys render as SQL literals, so NULL and '' stay distinct.
-      for (const SqlRow& row : rs.rows) {
-        out << RenderSqlLiteral(*row.group) << ": "
-            << FormatDouble(row.result.estimate) << "\n";
-      }
-      return Status::OK();
-    }
-    out << "direct: " << FormatDouble(rs.rows.front().result.estimate)
-        << "\n";
+    RenderSqlResultText(rs, /*direct=*/true, options.confidence, out);
     return Status::OK();
   }
   PCLEAN_ASSIGN_OR_RETURN(SqlResultSet rs, ExecuteSqlQuery(table, sql, options));
-  if (rs.grouped) {
-    for (const SqlRow& row : rs.rows) {
-      out << RenderSqlLiteral(*row.group) << ": "
-          << FormatDouble(row.result.estimate) << " CI: ["
-          << FormatDouble(row.result.ci.lo) << ", "
-          << FormatDouble(row.result.ci.hi) << "]\n";
+  RenderSqlResultText(rs, /*direct=*/false, options.confidence, out);
+  return Status::OK();
+}
+
+/// Set by SIGTERM/SIGINT while `pclean serve` runs; the serve loop
+/// polls it and drains gracefully.
+volatile std::sig_atomic_t g_serve_stop = 0;
+void HandleServeSignal(int) { g_serve_stop = 1; }
+
+/// `pclean serve <release_dir>... --socket PATH`: the analyst session
+/// daemon. Blocks until SIGTERM/SIGINT (or --serve-for-ms elapses, the
+/// signal-free bound tests and the soak harness use), then drains:
+/// in-flight and queued queries are answered, every session gets a
+/// GOODBYE, and the socket is unlinked.
+Status RunServe(const ParsedArgs& args,
+                const std::vector<std::string>& release_dirs,
+                std::ostream& out) {
+  if (release_dirs.empty()) {
+    return Status::InvalidArgument(
+        "serve expects at least one release directory");
+  }
+  server::ServerOptions options;
+  PCLEAN_ASSIGN_OR_RETURN(options.socket_path, args.One("socket"));
+  options.release_dirs = release_dirs;
+  if (args.Has("ledger")) {
+    PCLEAN_ASSIGN_OR_RETURN(options.ledger_dir, args.One("ledger"));
+  }
+  if (args.Has("pool-threads")) {
+    PCLEAN_ASSIGN_OR_RETURN(std::string text, args.One("pool-threads"));
+    PCLEAN_ASSIGN_OR_RETURN(int64_t threads, ParseInt64(text));
+    if (threads < 0) {
+      return Status::InvalidArgument("--pool-threads must be >= 0");
     }
-    return Status::OK();
+    options.pool_threads = static_cast<int>(threads);
   }
-  const QueryResult& r = rs.rows.front().result;
-  out << "estimate: " << FormatDouble(r.estimate) << "\n";
-  if (r.ci.Width() > 0.0) {
-    out << FormatDouble(options.confidence * 100) << "% CI: ["
-        << FormatDouble(r.ci.lo) << ", " << FormatDouble(r.ci.hi) << "]\n";
+  PCLEAN_ASSIGN_OR_RETURN(options.query_exec, ParseExecOptions(args));
+  if (args.Has("idle-timeout-ms")) {
+    PCLEAN_ASSIGN_OR_RETURN(std::string text, args.One("idle-timeout-ms"));
+    PCLEAN_ASSIGN_OR_RETURN(int64_t timeout, ParseInt64(text));
+    if (timeout < 0) {
+      return Status::InvalidArgument("--idle-timeout-ms must be >= 0");
+    }
+    options.idle_timeout_ms = static_cast<int>(timeout);
   }
-  if (r.replicates_requested > 0) {
-    // Degenerate resamples drop out of the interval; surface the count
-    // so a thinned interval is visible to the analyst.
-    out << "bootstrap replicates: " << r.replicates_effective << "/"
-        << r.replicates_requested << "\n";
+  int64_t serve_for_ms = -1;
+  if (args.Has("serve-for-ms")) {
+    PCLEAN_ASSIGN_OR_RETURN(std::string text, args.One("serve-for-ms"));
+    PCLEAN_ASSIGN_OR_RETURN(serve_for_ms, ParseInt64(text));
+    if (serve_for_ms <= 0) {
+      return Status::InvalidArgument("--serve-for-ms must be > 0");
+    }
   }
+  PCLEAN_ASSIGN_OR_RETURN(server::Server srv, server::Server::Start(options));
+  out << "serving " << release_dirs.size()
+      << (release_dirs.size() == 1 ? " release" : " releases") << " on "
+      << srv.socket_path() << "\n";
+  out.flush();
+  g_serve_stop = 0;
+  struct sigaction action;
+  struct sigaction old_term;
+  struct sigaction old_int;
+  std::memset(&action, 0, sizeof action);
+  action.sa_handler = HandleServeSignal;
+  sigemptyset(&action.sa_mask);
+  ::sigaction(SIGTERM, &action, &old_term);
+  ::sigaction(SIGINT, &action, &old_int);
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(serve_for_ms);
+  while (g_serve_stop == 0 &&
+         (serve_for_ms < 0 || std::chrono::steady_clock::now() < deadline)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  ::sigaction(SIGTERM, &old_term, nullptr);
+  ::sigaction(SIGINT, &old_int, nullptr);
+  PCLEAN_RETURN_NOT_OK(srv.Drain());
+  out << "drained: " << srv.sessions_accepted() << " sessions, "
+      << srv.queries_served() << " queries\n";
   return Status::OK();
 }
 
@@ -484,9 +591,17 @@ int RunPcleanCli(const std::vector<std::string>& args, std::ostream& out,
   // `pclean verify <dir>` takes its release directory positionally;
   // the --release flag form works too. `pclean budget <action>` takes
   // its action positionally.
+  // `pclean serve <dir>...` takes its release directories positionally.
   std::string verify_dir;
   std::string budget_action;
+  std::vector<std::string> serve_dirs;
   size_t flag_start = 1;
+  if (command == "serve") {
+    while (flag_start < args.size() &&
+           args[flag_start].rfind("--", 0) != 0) {
+      serve_dirs.push_back(args[flag_start++]);
+    }
+  }
   if (command == "verify" && args.size() > 1 &&
       args[1].rfind("--", 0) != 0) {
     verify_dir = args[1];
@@ -513,6 +628,8 @@ int RunPcleanCli(const std::vector<std::string>& args, std::ostream& out,
     st = RunVerify(*parsed, std::move(verify_dir), out);
   } else if (command == "budget") {
     st = RunBudget(*parsed, budget_action, out);
+  } else if (command == "serve") {
+    st = RunServe(*parsed, serve_dirs, out);
   } else {
     err << "pclean: unknown command '" << command << "'\n";
     PrintUsage(err);
