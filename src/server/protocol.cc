@@ -108,6 +108,16 @@ std::string EncodeFrame(const Frame& frame) {
 }
 
 Status WriteFrame(int fd, const Frame& frame) {
+  if (frame.payload.size() > kMaxPayloadBytes) {
+    // The peer's reader refuses oversize frames as DataLoss; catching
+    // the overflow before any byte leaves turns "peer tears the session
+    // down with a corrupt-frame diagnosis" into a typed, answerable
+    // error on the writer's side.
+    return Status::ResourceExhausted(
+        "frame payload of " + std::to_string(frame.payload.size()) +
+        " bytes exceeds the " + std::to_string(kMaxPayloadBytes) +
+        "-byte frame limit");
+  }
   std::string bytes = EncodeFrame(frame);
   // A short write here models a connection torn mid-frame: the tail never
   // reaches the peer, whose length/CRC check types it as DataLoss.

@@ -72,9 +72,12 @@ struct Frame {
   std::string payload;
 };
 
-/// Frames larger than this are refused as DataLoss before any payload
-/// read, so a corrupt length field cannot make the reader allocate or
-/// wait for gigabytes.
+/// Frames larger than this are refused on both sides of the wire: the
+/// reader types them DataLoss before any payload read (a corrupt length
+/// field cannot make it allocate or wait for gigabytes), and WriteFrame
+/// types them ResourceExhausted before any byte leaves (an oversize
+/// RESULT must surface as an answerable error, not as the peer
+/// mis-diagnosing a torn frame).
 inline constexpr size_t kMaxPayloadBytes = 1 << 20;
 
 /// Upper bound on the header line ("%PCLN GOODBYE 1048576 ffffffff\n").
@@ -85,7 +88,9 @@ std::string EncodeFrame(const Frame& frame);
 
 /// Writes one frame to `fd`, looping over partial writes. Failpoint
 /// `server.frame.write.short` truncates the encoded bytes first. Typed
-/// IOError when the peer is gone (EPIPE/ECONNRESET; SIGPIPE suppressed).
+/// IOError when the peer is gone (EPIPE/ECONNRESET; SIGPIPE suppressed);
+/// typed ResourceExhausted — with nothing sent — when the payload
+/// exceeds kMaxPayloadBytes.
 Status WriteFrame(int fd, const Frame& frame);
 
 /// Buffered frame reader over a stream socket.

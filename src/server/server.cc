@@ -1,10 +1,14 @@
 #include "server/server.h"
 
 #include <errno.h>
+#include <fcntl.h>
 #include <poll.h>
+#include <sys/file.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
+
+#include <cstdio>
 
 #include <atomic>
 #include <condition_variable>
@@ -107,12 +111,29 @@ void Server::Impl::AcceptLoop() {
     int ready = ::poll(&pfd, 1, kAcceptTickMs);
     if (ready < 0) {
       if (errno == EINTR) continue;
-      return;  // listener unusable; Drain/TearDown still cleans up
+      // Listener unusable; Drain/TearDown still cleans up.
+      std::fprintf(stderr,
+                   "pclean serve: poll on '%s' failed (%s); no further "
+                   "sessions will be accepted\n",
+                   options.socket_path.c_str(), std::strerror(errno));
+      return;
     }
     if (ready == 0) continue;
     int fd = ::accept(listen_fd, nullptr, nullptr);
     if (fd < 0) {
       if (errno == EINTR || errno == ECONNABORTED) continue;
+      if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||
+          errno == ENOMEM) {
+        // Resource exhaustion under load is transient: that connection
+        // attempt is lost, but the listener must live on — exiting here
+        // would leave a live-looking server that accepts nobody.
+        std::this_thread::sleep_for(std::chrono::milliseconds(kAcceptTickMs));
+        continue;
+      }
+      std::fprintf(stderr,
+                   "pclean serve: accept on '%s' failed (%s); no further "
+                   "sessions will be accepted\n",
+                   options.socket_path.c_str(), std::strerror(errno));
       return;
     }
     // An injected accept failure models fd exhaustion or a dying
@@ -275,6 +296,31 @@ Result<Server> Server::Start(const ServerOptions& options) {
                            std::string(std::strerror(errno)));
   }
   impl->listen_fd = fd;  // Impl's TearDown closes it on any exit below
+
+  // Two servers starting concurrently can both hit EADDRINUSE on a
+  // stale socket, both find the liveness probe dead, and both
+  // unlink+bind — the second silently deleting the first's fresh
+  // socket. An flock on a sibling lock file serializes the whole
+  // bind → probe → takeover → listen sequence (the probe is only
+  // conclusive once the winner has listened). The lock file itself is
+  // never unlinked: removing it would reopen the same race.
+  struct LockFile {
+    int fd = -1;
+    ~LockFile() {
+      if (fd >= 0) ::close(fd);  // close releases the flock
+    }
+  } bind_lock;
+  bind_lock.fd = ::open((options.socket_path + ".lock").c_str(),
+                        O_CREAT | O_RDWR | O_CLOEXEC, 0600);
+  if (bind_lock.fd < 0) {
+    return Status::IOError("open '" + options.socket_path +
+                           ".lock' failed: " + std::strerror(errno));
+  }
+  if (::flock(bind_lock.fd, LOCK_EX) != 0) {
+    return Status::IOError("flock '" + options.socket_path +
+                           ".lock' failed: " + std::strerror(errno));
+  }
+
   if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
     if (errno != EADDRINUSE) {
       return Status::IOError("bind '" + options.socket_path +

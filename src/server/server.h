@@ -65,9 +65,13 @@ class Server {
   /// options, duplicate release basenames, oversize socket path),
   /// FailedPrecondition (another live server owns the socket), IOError
   /// (socket syscalls), plus whatever opening a release or the ledger
-  /// returns. A dead socket file left by a crashed server is replaced.
+  /// returns. A dead socket file left by a crashed server is replaced;
+  /// the probe/unlink/bind takeover is serialized across concurrently
+  /// starting servers by an flock on `<socket_path>.lock` (the lock
+  /// file stays behind — unlinking it would reopen the race).
   /// Failpoint `server.accept` injects accept-time failures; the loop
-  /// treats them as transient (that connection is dropped).
+  /// treats them as transient (that connection is dropped), as are
+  /// fd/buffer-exhaustion accept errors (EMFILE and friends).
   static Result<Server> Start(const ServerOptions& options);
 
   ~Server();

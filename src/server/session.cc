@@ -32,11 +32,13 @@ Session::~Session() {
 void Session::Start() {
   reader_ = std::thread([this] {
     ReaderLoop();
+    std::function<void()> on_closed;
     {
       std::lock_guard<std::mutex> lock(mu_);
       reader_exited_ = true;
+      on_closed = ClaimFinishLocked();
     }
-    MaybeFinish();
+    if (on_closed) on_closed();
   });
 }
 
@@ -62,6 +64,7 @@ void Session::BeginDrain() {
 }
 
 void Session::Abort() {
+  std::function<void()> on_closed;
   {
     std::lock_guard<std::mutex> lock(mu_);
     if (!aborted_) {
@@ -73,8 +76,9 @@ void Session::Abort() {
       }
       space_cv_.notify_all();
     }
+    on_closed = ClaimFinishLocked();
   }
-  MaybeFinish();
+  if (on_closed) on_closed();
 }
 
 void Session::ReaderLoop() {
@@ -169,14 +173,23 @@ void Session::Pump() {
     space_cv_.notify_one();
     Handle(std::move(item));
   }
+  std::function<void()> on_closed;
   {
     std::lock_guard<std::mutex> lock(mu_);
     pump_scheduled_ = false;
     // One item per task: a busy session yields the worker between
     // requests, so it cannot starve its siblings on a small pool.
     SchedulePumpLocked();
+    // The finish claim must share this critical section: with an
+    // unlocked gap after pump_scheduled_ clears, the reader or Abort()
+    // could claim the finish, fire on_closed, and let the server
+    // destroy the session while this pool worker still needed mu_.
+    on_closed = ClaimFinishLocked();
   }
-  MaybeFinish();
+  // `this` may be gone the moment the lock above is released (another
+  // thread can now claim the finish): past this point, touch nothing
+  // but the local copy of the callback.
+  if (on_closed) on_closed();
 }
 
 void Session::Handle(Item item) {
@@ -211,8 +224,12 @@ void Session::Handle(Item item) {
 
 void Session::HandleFrame(Frame frame) {
   switch (frame.type) {
+    // Bound-ness is tracked by release_ (strand-only state), not by
+    // SessionState: a draining session is still bound, and its queued
+    // queries are answered by contract (session.h) — gating QUERY on
+    // state()==kReady would reject them with a misleading error.
     case FrameType::kHello: {
-      if (state() != SessionState::kAwaitHello) {
+      if (release_ != nullptr) {
         SendError(Status::FailedPrecondition(
             "session is already bound: HELLO must be the first and only "
             "binding frame"));
@@ -223,7 +240,7 @@ void Session::HandleFrame(Frame frame) {
       return;
     }
     case FrameType::kQuery: {
-      if (state() != SessionState::kReady) {
+      if (release_ == nullptr) {
         SendError(Status::FailedPrecondition(
             "QUERY before a successful HELLO: bind a tenant and release "
             "first"));
@@ -330,12 +347,19 @@ void Session::SendGoodbye(const std::string& reason) {
 void Session::Send(const Frame& frame) {
   if (write_failed_) return;
   Status status = WriteFrame(fd_, frame);
-  if (!status.ok()) {
-    // The peer is gone (or the write path is under fault injection):
-    // nothing more can usefully be said on this socket.
-    write_failed_ = true;
-    Close();
+  if (status.ok()) return;
+  if (status.IsResourceExhausted() && frame.type != FrameType::kError) {
+    // The frame (e.g. a huge GROUP BY RESULT) exceeds the wire cap, but
+    // the connection itself is healthy: answer with the typed error and
+    // keep serving. (ERROR frames are exempt to bound the recursion;
+    // they are always far under the cap.)
+    SendError(status);
+    return;
   }
+  // The peer is gone (or the write path is under fault injection):
+  // nothing more can usefully be said on this socket.
+  write_failed_ = true;
+  Close();
 }
 
 void Session::Close() {
@@ -351,16 +375,16 @@ bool Session::FinishedLocked() const {
          !pump_scheduled_ && reader_exited_ && !finish_claimed_;
 }
 
-void Session::MaybeFinish() {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (!FinishedLocked()) return;
-    finish_claimed_ = true;
-  }
-  // Outside mu_: on_closed takes the server's lock, and the server
-  // calls session methods (which take mu_) under that lock — invoking
-  // the callback under mu_ would invert the order.
-  if (context_.on_closed) context_.on_closed();
+std::function<void()> Session::ClaimFinishLocked() {
+  if (!FinishedLocked()) return nullptr;
+  finish_claimed_ = true;
+  // The claimer returns a copy of the callback and invokes it only
+  // after releasing mu_: on_closed takes the server's lock, and the
+  // server calls session methods (which take mu_) under that lock —
+  // invoking the callback under mu_ would invert the order. The copy
+  // matters too: once on_closed fires the server may destroy the
+  // session, so the member std::function cannot be touched mid-call.
+  return context_.on_closed;
 }
 
 }  // namespace server

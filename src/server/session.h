@@ -131,10 +131,16 @@ class Session {
   /// empty, no strand task is in flight, and the reader thread has
   /// exited — only then can no party schedule further pool work, which
   /// is what makes it safe for the server to destroy the session after
-  /// on_closed. Exactly one caller claims the transition (under mu_),
-  /// and only that caller invokes on_closed (outside mu_).
+  /// on_closed. Exactly one caller claims the transition, in the SAME
+  /// critical section that flipped the last FinishedLocked condition
+  /// (an unlocked gap would let another thread claim, fire on_closed,
+  /// and free the session under the first thread), and only that
+  /// caller invokes on_closed (outside mu_).
   bool FinishedLocked() const;
-  void MaybeFinish();
+  /// Claims the finish if FinishedLocked(); returns the callback the
+  /// claimer must invoke after releasing mu_ (null when not finished,
+  /// already claimed, or no callback is set). Call with mu_ held.
+  std::function<void()> ClaimFinishLocked();
 
   const uint64_t id_;
   SessionContext context_;

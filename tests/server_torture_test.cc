@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <fcntl.h>
+#include <poll.h>
 #include <signal.h>
 #include <sys/socket.h>
 #include <sys/stat.h>
@@ -12,6 +13,7 @@
 #include <chrono>
 #include <cstring>
 #include <filesystem>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -89,7 +91,10 @@ class ServerTortureTest : public ::testing::Test {
   void TearDown() override {
     failpoint::DeactivateAll();
     std::filesystem::remove_all(base_);
-    for (const std::string& path : sockets_) ::unlink(path.c_str());
+    for (const std::string& path : sockets_) {
+      ::unlink(path.c_str());
+      ::unlink((path + ".lock").c_str());
+    }
   }
 
   /// Socket paths live directly under /tmp: sun_path caps at ~107 bytes
@@ -653,6 +658,91 @@ TEST_F(ServerTortureTest, DrainSaysGoodbyeAndIdleSessionsTimeOut) {
   ASSERT_TRUE(srv.Drain().ok());
 }
 
+TEST_F(ServerTortureTest, DrainAnswersQueuedQueriesBeforeGoodbye) {
+  // The drain contract (session.h): queries already queued when the
+  // drain lands are still answered — each with a RESULT, never with a
+  // bogus "QUERY before HELLO" error — and the GOODBYE follows the last
+  // answer. A 1-thread pool and a depth-2 queue guarantee that after
+  // the first RESULT arrives here, later queries of the burst are still
+  // sitting in the session queue (the reader is parked in backpressure).
+  ServerOptions options = BaseOptions(NewSocketPath(), false);
+  options.pool_threads = 1;
+  options.queue_depth = 2;
+  Server srv = *Server::Start(options);
+  int fd = RawConnect(srv.socket_path());
+  FrameReader reader(fd);
+  RawHello(fd, reader);
+  constexpr int kBurst = 16;
+  std::string burst;
+  for (int i = 0; i < kBurst; ++i) {
+    QueryRequest request;
+    request.sql = kFreeSql;
+    burst += EncodeFrame(
+        Frame{FrameType::kQuery, server::RenderQueryRequest(request)});
+  }
+  RawSend(fd, burst);
+  auto first = reader.Read(20000);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  ASSERT_TRUE(first->has_value());
+  ASSERT_EQ((*first)->type, FrameType::kResult) << (*first)->payload;
+  ASSERT_TRUE(srv.Drain().ok());
+  // Everything between here and the GOODBYE must be a RESULT: queued
+  // queries are answered, not rejected. (Frames the reader had not yet
+  // consumed at drain time are dropped by contract, so the count is
+  // free to fall short of kBurst.)
+  int results = 1;
+  for (;;) {
+    auto reply = reader.Read(20000);
+    ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+    ASSERT_TRUE(reply->has_value())
+        << "EOF before GOODBYE, after " << results << " results";
+    if ((*reply)->type == FrameType::kGoodbye) {
+      EXPECT_EQ((*reply)->payload, "server draining");
+      break;
+    }
+    ASSERT_EQ((*reply)->type, FrameType::kResult)
+        << "queued query rejected during drain: " << (*reply)->payload;
+    ++results;
+  }
+  EXPECT_GT(results, 1) << "drain landed after the whole burst; the "
+                           "queued-query path was never exercised";
+  auto eof = reader.Read(10000);
+  ASSERT_TRUE(eof.ok());
+  EXPECT_FALSE(eof->has_value());
+  ::close(fd);
+}
+
+TEST_F(ServerTortureTest, OversizeFrameIsRefusedAtTheWriterWithATypedError) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  // One byte past the cap: typed ResourceExhausted, and NOTHING on the
+  // wire — a partial oversize frame would reach the peer's reader as a
+  // misleading "torn or corrupt frame" DataLoss.
+  Frame big{FrameType::kResult,
+            std::string(server::kMaxPayloadBytes + 1, 'x')};
+  Status refused = server::WriteFrame(fds[0], big);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_TRUE(refused.IsResourceExhausted()) << refused.ToString();
+  struct pollfd pfd;
+  pfd.fd = fds[1];
+  pfd.events = POLLIN;
+  EXPECT_EQ(::poll(&pfd, 1, 0), 0) << "bytes leaked before the size check";
+  // At the cap exactly, the frame round-trips intact.
+  Frame fits{FrameType::kResult, std::string(server::kMaxPayloadBytes, 'y')};
+  std::thread writer([&] {
+    EXPECT_TRUE(server::WriteFrame(fds[0], fits).ok());
+    ::shutdown(fds[0], SHUT_WR);
+  });
+  FrameReader reader(fds[1]);
+  auto frame = reader.Read(20000);
+  writer.join();
+  ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+  ASSERT_TRUE(frame->has_value());
+  EXPECT_EQ((*frame)->payload.size(), server::kMaxPayloadBytes);
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
 TEST_F(ServerTortureTest, SocketOwnershipLiveRefusalAndStaleTakeover) {
   std::string socket_path = NewSocketPath();
   {
@@ -682,6 +772,52 @@ TEST_F(ServerTortureTest, SocketOwnershipLiveRefusalAndStaleTakeover) {
   ASSERT_TRUE(takeover.ok()) << takeover.status().ToString();
   EXPECT_TRUE(Client::Connect(socket_path).ok());
   ASSERT_TRUE(takeover->Drain().ok());
+}
+
+TEST_F(ServerTortureTest, ConcurrentTakeoverOfAStaleSocketElectsOneServer) {
+  // Two servers racing to replace the same stale socket: without the
+  // flock serializing probe/unlink/bind/listen, both can judge the path
+  // dead and the second silently unlinks the first's fresh socket.
+  // Exactly one may win; the other must see the live-sibling refusal.
+  std::string socket_path = NewSocketPath();
+  {
+    sockaddr_un addr;
+    std::memset(&addr, 0, sizeof addr);
+    addr.sun_family = AF_UNIX;
+    std::memcpy(addr.sun_path, socket_path.data(), socket_path.size());
+    int stale = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    ASSERT_EQ(
+        ::bind(stale, reinterpret_cast<sockaddr*>(&addr), sizeof addr), 0);
+    ::close(stale);  // fd gone, file left behind
+  }
+  std::optional<Result<Server>> results[2];
+  {
+    std::vector<std::thread> starters;
+    for (auto& slot : results) {
+      starters.emplace_back([&slot, this, &socket_path] {
+        slot.emplace(Server::Start(BaseOptions(socket_path, false)));
+      });
+    }
+    for (auto& t : starters) t.join();
+  }
+  int winners = 0;
+  for (auto& slot : results) {
+    ASSERT_TRUE(slot.has_value());
+    if (slot->ok()) {
+      ++winners;
+    } else {
+      EXPECT_TRUE(slot->status().IsFailedPrecondition())
+          << slot->status().ToString();
+    }
+  }
+  ASSERT_EQ(winners, 1) << "stale takeover elected " << winners << " servers";
+  EXPECT_TRUE(Client::Connect(socket_path).ok())
+      << "the losing starter damaged the winner's socket";
+  for (auto& slot : results) {
+    if (slot->ok()) {
+      ASSERT_TRUE((**slot).Drain().ok());
+    }
+  }
 }
 
 TEST_F(ServerTortureTest, DrainFailpointLeavesHardStopClean) {
